@@ -1,0 +1,278 @@
+//! The monolithic AES block ciphers ([`Aes128`], [`Aes192`], [`Aes256`]).
+
+use core::fmt;
+
+use crate::key_schedule::{expand_key, RoundKeys};
+use crate::state::State;
+
+/// Error returned for keys that are not 16, 24 or 32 bytes long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidKeyLengthError {
+    length: usize,
+}
+
+impl InvalidKeyLengthError {
+    pub(crate) fn new(length: usize) -> Self {
+        InvalidKeyLengthError { length }
+    }
+
+    /// The offending key length in bytes.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+}
+
+impl fmt::Display for InvalidKeyLengthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AES key must be 16, 24 or 32 bytes, got {} bytes",
+            self.length
+        )
+    }
+}
+
+impl std::error::Error for InvalidKeyLengthError {}
+
+/// An AES cipher of any standard key size.
+///
+/// # Examples
+///
+/// ```
+/// use etx_aes::Aes;
+///
+/// let aes = Aes::new(&[0u8; 24])?; // AES-192
+/// let ct = aes.encrypt_block(&[0u8; 16]);
+/// assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+/// # Ok::<(), etx_aes::InvalidKeyLengthError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aes {
+    round_keys: RoundKeys,
+}
+
+impl Aes {
+    /// Creates a cipher from a 128/192/256-bit key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLengthError`] for any other key length.
+    pub fn new(key: &[u8]) -> Result<Self, InvalidKeyLengthError> {
+        Ok(Aes { round_keys: expand_key(key)? })
+    }
+
+    /// Number of rounds (10/12/14).
+    #[must_use]
+    pub fn round_count(&self) -> usize {
+        self.round_keys.round_count()
+    }
+
+    /// The expanded round keys.
+    #[must_use]
+    pub fn round_keys(&self) -> &RoundKeys {
+        &self.round_keys
+    }
+
+    /// Encrypts one 16-byte block (FIPS-197 Fig 5 `Cipher`).
+    #[must_use]
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        let nr = self.round_count();
+        let mut state = State::from_bytes(plaintext);
+        state.add_round_key(self.round_keys.round_key(0));
+        for round in 1..nr {
+            state.sub_bytes();
+            state.shift_rows();
+            state.mix_columns();
+            state.add_round_key(self.round_keys.round_key(round));
+        }
+        state.sub_bytes();
+        state.shift_rows();
+        state.add_round_key(self.round_keys.round_key(nr));
+        state.to_bytes()
+    }
+
+    /// Decrypts one 16-byte block (FIPS-197 Fig 12 `InvCipher`).
+    #[must_use]
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> [u8; 16] {
+        let nr = self.round_count();
+        let mut state = State::from_bytes(ciphertext);
+        state.add_round_key(self.round_keys.round_key(nr));
+        for round in (1..nr).rev() {
+            state.inv_shift_rows();
+            state.inv_sub_bytes();
+            state.add_round_key(self.round_keys.round_key(round));
+            state.inv_mix_columns();
+        }
+        state.inv_shift_rows();
+        state.inv_sub_bytes();
+        state.add_round_key(self.round_keys.round_key(0));
+        state.to_bytes()
+    }
+}
+
+macro_rules! fixed_key_cipher {
+    ($(#[$doc:meta])* $name:ident, $bytes:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            inner: Aes,
+        }
+
+        impl $name {
+            /// Creates the cipher from a fixed-size key.
+            #[must_use]
+            pub fn new(key: &[u8; $bytes]) -> Self {
+                $name {
+                    inner: Aes::new(key).expect("fixed-size key is always valid"),
+                }
+            }
+
+            /// Encrypts one 16-byte block.
+            #[must_use]
+            pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+                self.inner.encrypt_block(plaintext)
+            }
+
+            /// Decrypts one 16-byte block.
+            #[must_use]
+            pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> [u8; 16] {
+                self.inner.decrypt_block(ciphertext)
+            }
+
+            /// The underlying variable-key cipher.
+            #[must_use]
+            pub fn as_aes(&self) -> &Aes {
+                &self.inner
+            }
+        }
+    };
+}
+
+fixed_key_cipher!(
+    /// AES with a 128-bit key — the paper's driver application
+    /// ("128-bit AES, Nb = 4, Nr = 10").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use etx_aes::Aes128;
+    ///
+    /// let aes = Aes128::new(&[0u8; 16]);
+    /// let ct = aes.encrypt_block(&[0u8; 16]);
+    /// assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+    /// ```
+    Aes128,
+    16
+);
+
+fixed_key_cipher!(
+    /// AES with a 192-bit key.
+    Aes192,
+    24
+);
+
+fixed_key_cipher!(
+    /// AES with a 256-bit key.
+    Aes256,
+    32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex16(s: &str) -> [u8; 16] {
+        hex(s).try_into().unwrap()
+    }
+
+    #[test]
+    fn fips_appendix_b_worked_example() {
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), hex16("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips_appendix_c1_aes128() {
+        let key = hex16("000102030405060708090a0b0c0d0e0f");
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn fips_appendix_c2_aes192() {
+        let key: [u8; 24] = hex("000102030405060708090a0b0c0d0e0f1011121314151617")
+            .try_into()
+            .unwrap();
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let aes = Aes192::new(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct, hex16("dda97ca4864cdfe06eaf70a0ec0d7191"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn fips_appendix_c3_aes256() {
+        let key: [u8; 32] =
+            hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let aes = Aes256::new(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct, hex16("8ea2b7ca516745bfeafc49904b496089"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn variable_key_api_matches_fixed() {
+        let key = [0x42u8; 16];
+        let pt = [0x17u8; 16];
+        let a = Aes::new(&key).unwrap();
+        let b = Aes128::new(&key);
+        assert_eq!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+        assert_eq!(a.round_count(), 10);
+        assert_eq!(b.as_aes().round_count(), 10);
+    }
+
+    #[test]
+    fn invalid_key_length_error() {
+        let err = Aes::new(&[0u8; 20]).unwrap_err();
+        assert_eq!(err.length(), 20);
+        assert!(err.to_string().contains("20"));
+    }
+
+    proptest! {
+        #[test]
+        fn encrypt_decrypt_roundtrip_128(key: [u8; 16], pt: [u8; 16]) {
+            let aes = Aes128::new(&key);
+            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        }
+
+        #[test]
+        fn encrypt_decrypt_roundtrip_256(key: [u8; 32], pt: [u8; 16]) {
+            let aes = Aes256::new(&key);
+            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        }
+
+        #[test]
+        fn different_keys_differ(pt: [u8; 16], k1: [u8; 16], k2: [u8; 16]) {
+            prop_assume!(k1 != k2);
+            let c1 = Aes128::new(&k1).encrypt_block(&pt);
+            let c2 = Aes128::new(&k2).encrypt_block(&pt);
+            prop_assert_ne!(c1, c2);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Counter (CTR) mode, the streaming mode used by the examples.
+//!
+//! The paper motivates AES on e-textiles via 802.11i, whose CCMP protocol
+//! is CTR-based; a minimal CTR implementation lets the examples encrypt
+//! realistic multi-block sensor payloads rather than single blocks.
+
+use crate::Aes;
+
+/// AES in counter mode with a 128-bit big-endian counter block.
+///
+/// # Examples
+///
+/// ```
+/// use etx_aes::{Aes, AesCtr};
+///
+/// let aes = Aes::new(&[7u8; 16])?;
+/// let mut enc = AesCtr::new(aes.clone(), [0u8; 16]);
+/// let mut dec = AesCtr::new(aes, [0u8; 16]);
+///
+/// let mut msg = b"telemetry packet from the smart shirt".to_vec();
+/// enc.apply_keystream(&mut msg);
+/// dec.apply_keystream(&mut msg);
+/// assert_eq!(&msg, b"telemetry packet from the smart shirt");
+/// # Ok::<(), etx_aes::InvalidKeyLengthError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesCtr {
+    cipher: Aes,
+    counter: [u8; 16],
+    keystream: [u8; 16],
+    used: usize,
+}
+
+impl AesCtr {
+    /// Creates a CTR stream starting at `initial_counter`.
+    #[must_use]
+    pub fn new(cipher: Aes, initial_counter: [u8; 16]) -> Self {
+        AesCtr { cipher, counter: initial_counter, keystream: [0u8; 16], used: 16 }
+    }
+
+    fn increment_counter(&mut self) {
+        for b in self.counter.iter_mut().rev() {
+            let (v, carry) = b.overflowing_add(1);
+            *b = v;
+            if !carry {
+                break;
+            }
+        }
+    }
+
+    fn refill(&mut self) {
+        self.keystream = self.cipher.encrypt_block(&self.counter);
+        self.increment_counter();
+        self.used = 0;
+    }
+
+    /// XORs the keystream into `data` in place.
+    ///
+    /// CTR is symmetric: applying the same stream twice (from the same
+    /// starting counter) recovers the plaintext.
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.used == 16 {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.used];
+            self.used += 1;
+        }
+    }
+
+    /// Number of blocks a payload of `len` bytes needs — i.e. how many
+    /// AES *jobs* the e-textile platform must complete to encrypt it.
+    #[must_use]
+    pub fn blocks_for(len: usize) -> usize {
+        len.div_ceil(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn nist_sp800_38a_ctr_aes128_first_block() {
+        // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, block #1.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let ctr: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let mut pt = hex("6bc1bee22e409f96e93d7e117393172a");
+        let mut stream = AesCtr::new(Aes::new(&key).unwrap(), ctr);
+        stream.apply_keystream(&mut pt);
+        assert_eq!(pt, hex("874d6191b620e3261bef6864990db6ce"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_ctr_aes128_four_blocks() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let ctr: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let mut pt = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ));
+        let mut stream = AesCtr::new(Aes::new(&key).unwrap(), ctr);
+        stream.apply_keystream(&mut pt);
+        assert_eq!(
+            pt,
+            hex(concat!(
+                "874d6191b620e3261bef6864990db6ce",
+                "9806f66b7970fdff8617187bb9fffdff",
+                "5ae4df3edbd5d35e5b4f09020db03eab",
+                "1e031dda2fbe03d1792170a0f3009cee"
+            ))
+        );
+    }
+
+    #[test]
+    fn counter_overflow_wraps() {
+        let mut stream = AesCtr::new(Aes::new(&[0u8; 16]).unwrap(), [0xff; 16]);
+        let mut data = vec![0u8; 32]; // forces one counter wrap
+        stream.apply_keystream(&mut data);
+        assert_eq!(stream.counter, {
+            let mut c = [0u8; 16];
+            c[15] = 1;
+            c
+        });
+    }
+
+    #[test]
+    fn blocks_for_rounding() {
+        assert_eq!(AesCtr::blocks_for(0), 0);
+        assert_eq!(AesCtr::blocks_for(1), 1);
+        assert_eq!(AesCtr::blocks_for(16), 1);
+        assert_eq!(AesCtr::blocks_for(17), 2);
+        assert_eq!(AesCtr::blocks_for(160), 10);
+    }
+
+    proptest! {
+        #[test]
+        fn ctr_roundtrips(key: [u8; 16], nonce: [u8; 16], mut data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let original = data.clone();
+            let mut enc = AesCtr::new(Aes::new(&key).unwrap(), nonce);
+            enc.apply_keystream(&mut data);
+            let mut dec = AesCtr::new(Aes::new(&key).unwrap(), nonce);
+            dec.apply_keystream(&mut data);
+            prop_assert_eq!(data, original);
+        }
+
+        /// Split application equals one-shot application (stream state is
+        /// carried correctly across calls).
+        #[test]
+        fn split_equals_oneshot(key: [u8; 16], data in proptest::collection::vec(any::<u8>(), 1..100), split in 0usize..100) {
+            let split = split % data.len();
+            let mut a = data.clone();
+            let mut one = AesCtr::new(Aes::new(&key).unwrap(), [0u8; 16]);
+            one.apply_keystream(&mut a);
+
+            let mut b = data.clone();
+            let mut two = AesCtr::new(Aes::new(&key).unwrap(), [0u8; 16]);
+            let (left, right) = b.split_at_mut(split);
+            two.apply_keystream(left);
+            two.apply_keystream(right);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

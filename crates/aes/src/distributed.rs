@@ -1,0 +1,276 @@
+//! Distributed AES execution over the paper's three hardware modules.
+//!
+//! Sec 5.1.1 partitions the cipher so that no single e-textile node hosts
+//! the whole algorithm. [`DistributedAes128`] mirrors that partition in
+//! software: encryption proceeds as a *sequence of module operations*,
+//! each representing one act of computation on a platform node, with the
+//! 128-bit state travelling between acts as a packet. The resulting
+//! ciphertext is bit-identical to the monolithic [`Aes128`](crate::Aes128)
+//! — tested below — which is what justifies simulating the platform at the
+//! granularity of module operations.
+
+use core::fmt;
+
+use crate::key_schedule::{expand_key, RoundKeys};
+use crate::state::State;
+
+/// One act of computation in the distributed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleOp {
+    /// Module 1: `SubBytes` followed by `ShiftRows`.
+    SubShift,
+    /// Module 2: `MixColumns`.
+    MixColumns,
+    /// Module 3: `AddRoundKey` with the given round's key (round 0 is the
+    /// initial whitening).
+    AddRoundKey {
+        /// Which round key to add (`0..=10` for AES-128).
+        round: usize,
+    },
+    /// Module 1 in decryption mode: `InvShiftRows` followed by
+    /// `InvSubBytes`.
+    InvSubShift,
+    /// Module 2 in decryption mode: `InvMixColumns`.
+    InvMixColumns,
+}
+
+impl ModuleOp {
+    /// The zero-based index of the hardware module performing this act
+    /// (0 = SubBytes/ShiftRows, 1 = MixColumns, 2 = KeyExpansion/AddRoundKey),
+    /// matching the module ids of the platform's `AppSpec`. Inverse
+    /// operations run on the same hardware module as their forward
+    /// counterparts.
+    #[must_use]
+    pub fn module_index(self) -> usize {
+        match self {
+            ModuleOp::SubShift | ModuleOp::InvSubShift => 0,
+            ModuleOp::MixColumns | ModuleOp::InvMixColumns => 1,
+            ModuleOp::AddRoundKey { .. } => 2,
+        }
+    }
+}
+
+impl fmt::Display for ModuleOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleOp::SubShift => write!(f, "SubBytes/ShiftRows"),
+            ModuleOp::MixColumns => write!(f, "MixColumns"),
+            ModuleOp::AddRoundKey { round } => write!(f, "AddRoundKey[{round}]"),
+            ModuleOp::InvSubShift => write!(f, "InvShiftRows/InvSubBytes"),
+            ModuleOp::InvMixColumns => write!(f, "InvMixColumns"),
+        }
+    }
+}
+
+/// The result of one distributed encryption job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedTrace {
+    /// The ciphertext block.
+    pub ciphertext: [u8; 16],
+    /// The module operations executed, in order — one entry per act of
+    /// computation, i.e. per packet the platform must route.
+    pub ops: Vec<ModuleOp>,
+}
+
+impl DistributedTrace {
+    /// Number of operations module `module_index` performed (the paper's
+    /// `f_i` when executed once per job).
+    #[must_use]
+    pub fn ops_for_module(&self, module_index: usize) -> usize {
+        self.ops.iter().filter(|op| op.module_index() == module_index).count()
+    }
+}
+
+/// AES-128 executed as the paper's 3-module distributed application.
+///
+/// # Examples
+///
+/// ```
+/// use etx_aes::{Aes128, DistributedAes128};
+///
+/// let key = [0x2bu8; 16];
+/// let pt = [0x32u8; 16];
+/// let trace = DistributedAes128::new(&key).encrypt_block(&pt);
+/// // Same ciphertext as the monolithic cipher...
+/// assert_eq!(trace.ciphertext, Aes128::new(&key).encrypt_block(&pt));
+/// // ...and exactly the paper's operation counts: f = (10, 9, 11).
+/// assert_eq!(trace.ops_for_module(0), 10);
+/// assert_eq!(trace.ops_for_module(1), 9);
+/// assert_eq!(trace.ops_for_module(2), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedAes128 {
+    round_keys: RoundKeys,
+}
+
+impl DistributedAes128 {
+    /// Creates the distributed cipher from a 128-bit key.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        DistributedAes128 {
+            round_keys: expand_key(key).expect("16-byte key is always valid"),
+        }
+    }
+
+    /// The module-operation schedule of one encryption job: the initial
+    /// `AddRoundKey`, nine full rounds, and the final `MixColumns`-free
+    /// round — 30 acts in total, the sequence `et_sim` routes.
+    #[must_use]
+    pub fn schedule() -> Vec<ModuleOp> {
+        let mut ops = Vec::with_capacity(30);
+        ops.push(ModuleOp::AddRoundKey { round: 0 });
+        for round in 1..10 {
+            ops.push(ModuleOp::SubShift);
+            ops.push(ModuleOp::MixColumns);
+            ops.push(ModuleOp::AddRoundKey { round });
+        }
+        ops.push(ModuleOp::SubShift);
+        ops.push(ModuleOp::AddRoundKey { round: 10 });
+        ops
+    }
+
+    /// The decryption schedule (FIPS-197 `InvCipher`): the same three
+    /// hardware modules, running their inverse transformations — also 30
+    /// acts, with the identical per-module operation counts, so a
+    /// decryption job loads the platform exactly like an encryption job.
+    #[must_use]
+    pub fn decrypt_schedule() -> Vec<ModuleOp> {
+        let mut ops = Vec::with_capacity(30);
+        ops.push(ModuleOp::AddRoundKey { round: 10 });
+        for round in (1..10).rev() {
+            ops.push(ModuleOp::InvSubShift);
+            ops.push(ModuleOp::AddRoundKey { round });
+            ops.push(ModuleOp::InvMixColumns);
+        }
+        ops.push(ModuleOp::InvSubShift);
+        ops.push(ModuleOp::AddRoundKey { round: 0 });
+        ops
+    }
+
+    /// Applies a single module operation to a state — what one platform
+    /// node does when a job packet arrives.
+    pub fn apply(&self, state: &mut State, op: ModuleOp) {
+        match op {
+            ModuleOp::SubShift => {
+                state.sub_bytes();
+                state.shift_rows();
+            }
+            ModuleOp::MixColumns => state.mix_columns(),
+            ModuleOp::AddRoundKey { round } => {
+                state.add_round_key(self.round_keys.round_key(round));
+            }
+            ModuleOp::InvSubShift => {
+                state.inv_shift_rows();
+                state.inv_sub_bytes();
+            }
+            ModuleOp::InvMixColumns => state.inv_mix_columns(),
+        }
+    }
+
+    /// Runs one full distributed encryption job.
+    #[must_use]
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> DistributedTrace {
+        let ops = Self::schedule();
+        let mut state = State::from_bytes(plaintext);
+        for &op in &ops {
+            self.apply(&mut state, op);
+        }
+        DistributedTrace { ciphertext: state.to_bytes(), ops }
+    }
+
+    /// Runs one full distributed decryption job.
+    #[must_use]
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> DistributedTrace {
+        let ops = Self::decrypt_schedule();
+        let mut state = State::from_bytes(ciphertext);
+        for &op in &ops {
+            self.apply(&mut state, op);
+        }
+        DistributedTrace { ciphertext: state.to_bytes(), ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aes128;
+    use proptest::prelude::*;
+
+    #[test]
+    fn schedule_matches_paper_counts() {
+        let schedule = DistributedAes128::schedule();
+        assert_eq!(schedule.len(), 30);
+        let count = |m: usize| schedule.iter().filter(|op| op.module_index() == m).count();
+        assert_eq!(count(0), 10); // f1
+        assert_eq!(count(1), 9); // f2
+        assert_eq!(count(2), 11); // f3
+        assert_eq!(schedule[0], ModuleOp::AddRoundKey { round: 0 });
+        assert_eq!(schedule[29], ModuleOp::AddRoundKey { round: 10 });
+        assert_eq!(schedule[28], ModuleOp::SubShift);
+    }
+
+    #[test]
+    fn fips_vector_through_distributed_path() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c,
+            0x0d, 0x0e, 0x0f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
+            0xdd, 0xee, 0xff,
+        ];
+        let trace = DistributedAes128::new(&key).encrypt_block(&pt);
+        let expected: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+            0xb4, 0xc5, 0x5a,
+        ];
+        assert_eq!(trace.ciphertext, expected);
+    }
+
+    #[test]
+    fn module_op_display() {
+        assert_eq!(ModuleOp::SubShift.to_string(), "SubBytes/ShiftRows");
+        assert_eq!(ModuleOp::AddRoundKey { round: 3 }.to_string(), "AddRoundKey[3]");
+        assert_eq!(ModuleOp::MixColumns.to_string(), "MixColumns");
+    }
+
+    #[test]
+    fn decrypt_schedule_has_same_module_counts() {
+        let schedule = DistributedAes128::decrypt_schedule();
+        assert_eq!(schedule.len(), 30);
+        let count = |m: usize| schedule.iter().filter(|op| op.module_index() == m).count();
+        // Same platform load as encryption: f = (10, 9, 11).
+        assert_eq!(count(0), 10);
+        assert_eq!(count(1), 9);
+        assert_eq!(count(2), 11);
+    }
+
+    #[test]
+    fn inverse_op_display() {
+        assert_eq!(ModuleOp::InvSubShift.to_string(), "InvShiftRows/InvSubBytes");
+        assert_eq!(ModuleOp::InvMixColumns.to_string(), "InvMixColumns");
+    }
+
+    proptest! {
+        /// The distributed execution agrees with the monolithic cipher on
+        /// every key/plaintext pair.
+        #[test]
+        fn matches_monolithic(key: [u8; 16], pt: [u8; 16]) {
+            let mono = Aes128::new(&key).encrypt_block(&pt);
+            let dist = DistributedAes128::new(&key).encrypt_block(&pt);
+            prop_assert_eq!(mono, dist.ciphertext);
+        }
+
+        /// Distributed decryption inverts distributed encryption and
+        /// agrees with the monolithic inverse cipher.
+        #[test]
+        fn distributed_decrypt_roundtrips(key: [u8; 16], pt: [u8; 16]) {
+            let cipher = DistributedAes128::new(&key);
+            let ct = cipher.encrypt_block(&pt).ciphertext;
+            let back = cipher.decrypt_block(&ct);
+            prop_assert_eq!(back.ciphertext, pt);
+            let mono = Aes128::new(&key).decrypt_block(&ct);
+            prop_assert_eq!(mono, pt);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! GF(2⁸) arithmetic over the AES polynomial `x⁸ + x⁴ + x³ + x + 1`.
+//!
+//! Everything in AES that is not a permutation is arithmetic in this
+//! field; implementing it once (and `const`, so the S-box can be built at
+//! compile time) keeps the cipher self-contained.
+
+/// The AES reduction polynomial, minus the `x⁸` term: `0x1b`.
+pub const REDUCTION_POLY: u8 = 0x1b;
+
+/// Multiplies by `x` in GF(2⁸) (the `xtime` operation of FIPS-197).
+#[must_use]
+pub const fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (((a >> 7) & 1) * REDUCTION_POLY)
+}
+
+/// Multiplies two elements of GF(2⁸).
+///
+/// # Examples
+///
+/// ```
+/// use etx_aes::gf::mul;
+///
+/// // The worked example from FIPS-197 §4.2: {57} x {83} = {c1}.
+/// assert_eq!(mul(0x57, 0x83), 0xc1);
+/// ```
+#[must_use]
+pub const fn mul(a: u8, b: u8) -> u8 {
+    let mut acc = 0u8;
+    let mut a = a;
+    let mut b = b;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+        i += 1;
+    }
+    acc
+}
+
+/// Raises `a` to the power `e` in GF(2⁸).
+#[must_use]
+pub const fn pow(a: u8, mut e: u32) -> u8 {
+    let mut base = a;
+    let mut acc = 1u8;
+    while e > 0 {
+        if e & 1 != 0 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(2⁸), with `inv(0) = 0` as AES defines for
+/// the S-box construction.
+///
+/// Uses `a⁻¹ = a^254` (the field has 255 non-zero elements).
+#[must_use]
+pub const fn inv(a: u8) -> u8 {
+    if a == 0 {
+        0
+    } else {
+        pow(a, 254)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fips_worked_examples() {
+        // FIPS-197 §4.2 and §4.2.1.
+        assert_eq!(mul(0x57, 0x83), 0xc1);
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x47), 0x8e);
+        assert_eq!(xtime(0x8e), 0x07);
+        assert_eq!(mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn multiplicative_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        assert_eq!(inv(0), 0);
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a:#04x}");
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(pow(0x02, 0), 1);
+        assert_eq!(pow(0x02, 1), 0x02);
+        // Every non-zero element satisfies a^255 = 1 (Lagrange).
+        for a in 1..=255u8 {
+            assert_eq!(pow(a, 255), 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn commutative(a: u8, b: u8) {
+            prop_assert_eq!(mul(a, b), mul(b, a));
+        }
+
+        #[test]
+        fn associative(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+
+        #[test]
+        fn distributes_over_xor(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+        }
+    }
+}

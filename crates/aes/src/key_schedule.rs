@@ -1,0 +1,170 @@
+//! The AES key expansion (FIPS-197 §5.2) — the `KeyExpansion` half of the
+//! paper's Module 3.
+
+use crate::sbox::SBOX;
+
+/// Expanded round keys for one cipher instance.
+///
+/// Holds `Nr + 1` sixteen-byte round keys, where `Nr` is 10/12/14 for
+/// 128/192/256-bit keys.
+///
+/// # Examples
+///
+/// ```
+/// use etx_aes::expand_key;
+///
+/// let keys = expand_key(&[0u8; 16]).expect("128-bit key");
+/// assert_eq!(keys.round_count(), 10);
+/// assert_eq!(keys.round_key(0), &[0u8; 16]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundKeys {
+    keys: Vec<[u8; 16]>,
+}
+
+impl RoundKeys {
+    /// Number of cipher rounds `Nr` (`round_key` accepts `0..=Nr`).
+    #[must_use]
+    pub fn round_count(&self) -> usize {
+        self.keys.len() - 1
+    }
+
+    /// The round key for round `round` (`0` is the initial AddRoundKey).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round > Nr`.
+    #[must_use]
+    pub fn round_key(&self, round: usize) -> &[u8; 16] {
+        &self.keys[round]
+    }
+
+    /// Iterates over all round keys in round order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8; 16]> + '_ {
+        self.keys.iter()
+    }
+}
+
+fn sub_word(w: [u8; 4]) -> [u8; 4] {
+    [
+        SBOX[w[0] as usize],
+        SBOX[w[1] as usize],
+        SBOX[w[2] as usize],
+        SBOX[w[3] as usize],
+    ]
+}
+
+fn rot_word(w: [u8; 4]) -> [u8; 4] {
+    [w[1], w[2], w[3], w[0]]
+}
+
+fn rcon(i: usize) -> [u8; 4] {
+    let mut r = 1u8;
+    for _ in 1..i {
+        r = crate::gf::xtime(r);
+    }
+    [r, 0, 0, 0]
+}
+
+/// Expands a 128/192/256-bit cipher key into round keys.
+///
+/// # Errors
+///
+/// Returns [`InvalidKeyLengthError`](crate::InvalidKeyLengthError) if the
+/// key is not exactly 16, 24 or 32 bytes.
+pub fn expand_key(key: &[u8]) -> Result<RoundKeys, crate::InvalidKeyLengthError> {
+    let (nk, nr) = match key.len() {
+        16 => (4usize, 10usize),
+        24 => (6, 12),
+        32 => (8, 14),
+        len => return Err(crate::InvalidKeyLengthError::new(len)),
+    };
+    let total_words = 4 * (nr + 1);
+    let mut words: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+    for i in 0..nk {
+        words.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    for i in nk..total_words {
+        let mut temp = words[i - 1];
+        if i % nk == 0 {
+            temp = sub_word(rot_word(temp));
+            let rc = rcon(i / nk);
+            for (t, r) in temp.iter_mut().zip(rc) {
+                *t ^= r;
+            }
+        } else if nk > 6 && i % nk == 4 {
+            temp = sub_word(temp);
+        }
+        let prev = words[i - nk];
+        words.push([
+            prev[0] ^ temp[0],
+            prev[1] ^ temp[1],
+            prev[2] ^ temp[2],
+            prev[3] ^ temp[3],
+        ]);
+    }
+    let keys = words
+        .chunks_exact(4)
+        .map(|chunk| {
+            let mut rk = [0u8; 16];
+            for (c, w) in chunk.iter().enumerate() {
+                rk[4 * c..4 * c + 4].copy_from_slice(w);
+            }
+            rk
+        })
+        .collect();
+    Ok(RoundKeys { keys })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn fips_appendix_a1_key_expansion() {
+        // FIPS-197 Appendix A.1: key 2b7e1516...
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let rk = expand_key(&key).unwrap();
+        assert_eq!(rk.round_count(), 10);
+        assert_eq!(rk.round_key(0), &key);
+        // w[4..8] from the worked example: a0fafe17 88542cb1 23a33939 2a6c7605
+        assert_eq!(rk.round_key(1), &hex16("a0fafe1788542cb123a339392a6c7605"));
+        // Final round key: d014f9a8 c9ee2589 e13f0cc8 b6630ca6
+        assert_eq!(rk.round_key(10), &hex16("d014f9a8c9ee2589e13f0cc8b6630ca6"));
+    }
+
+    #[test]
+    fn key_sizes_round_counts() {
+        assert_eq!(expand_key(&[0u8; 16]).unwrap().round_count(), 10);
+        assert_eq!(expand_key(&[0u8; 24]).unwrap().round_count(), 12);
+        assert_eq!(expand_key(&[0u8; 32]).unwrap().round_count(), 14);
+        assert_eq!(expand_key(&[0u8; 16]).unwrap().iter().count(), 11);
+    }
+
+    #[test]
+    fn rejects_bad_key_lengths() {
+        for len in [0usize, 1, 15, 17, 23, 25, 31, 33, 64] {
+            let key = vec![0u8; len];
+            let err = expand_key(&key).unwrap_err();
+            assert_eq!(err.length(), len);
+            assert!(err.to_string().contains("16, 24 or 32"));
+        }
+    }
+
+    #[test]
+    fn rcon_sequence() {
+        assert_eq!(rcon(1)[0], 0x01);
+        assert_eq!(rcon(2)[0], 0x02);
+        assert_eq!(rcon(8)[0], 0x80);
+        assert_eq!(rcon(9)[0], 0x1b);
+        assert_eq!(rcon(10)[0], 0x36);
+    }
+}

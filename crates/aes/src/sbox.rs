@@ -1,0 +1,91 @@
+//! The AES S-box, computed at compile time rather than transcribed.
+//!
+//! FIPS-197 defines the S-box as the GF(2⁸) multiplicative inverse
+//! followed by an affine transformation; building the table from that
+//! definition (instead of copying 256 magic bytes) means a typo is
+//! impossible and the construction itself is testable.
+
+use crate::gf;
+
+/// The FIPS-197 affine transformation applied after inversion.
+const fn affine(x: u8) -> u8 {
+    // b'_i = b_i ^ b_{(i+4)%8} ^ b_{(i+5)%8} ^ b_{(i+6)%8} ^ b_{(i+7)%8} ^ c_i
+    // which is equivalent to x ^ rotl(x,1) ^ rotl(x,2) ^ rotl(x,3) ^ rotl(x,4) ^ 0x63.
+    x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        table[i] = affine(gf::inv(i as u8));
+        i += 1;
+    }
+    table
+}
+
+const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        table[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// The AES substitution box: `SBOX[x] = affine(x⁻¹)`.
+pub const SBOX: [u8; 256] = build_sbox();
+
+/// The inverse substitution box: `INV_SBOX[SBOX[x]] = x`.
+pub const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_entries_from_fips() {
+        // FIPS-197 Figure 7 spot checks.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(SBOX[0x10], 0xca);
+    }
+
+    #[test]
+    fn inverse_entries_from_fips() {
+        // FIPS-197 Figure 14 spot checks.
+        assert_eq!(INV_SBOX[0x00], 0x52);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0xed], 0x53);
+        assert_eq!(INV_SBOX[0x16], 0xff);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize], "duplicate S-box value {v:#04x}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn inv_sbox_inverts_sbox() {
+        for x in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[x as usize] as usize], x);
+            assert_eq!(SBOX[INV_SBOX[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn sbox_has_no_fixed_points() {
+        // Design property of AES: S(x) != x and S(x) != complement(x).
+        for x in 0..=255u8 {
+            assert_ne!(SBOX[x as usize], x);
+            assert_ne!(SBOX[x as usize], !x);
+        }
+    }
+}

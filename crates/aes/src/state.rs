@@ -1,0 +1,244 @@
+//! The AES [`State`] and the four round transformations.
+//!
+//! The four transformations map one-to-one onto the paper's hardware
+//! modules: `sub_bytes` + `shift_rows` are Module 1, `mix_columns` is
+//! Module 2, `add_round_key` is Module 3.
+
+use crate::gf;
+use crate::sbox::{INV_SBOX, SBOX};
+
+/// The 4x4-byte AES state.
+///
+/// Stored column-major as FIPS-197 defines: input byte `in[4c + r]` lands
+/// in row `r`, column `c`.
+///
+/// # Examples
+///
+/// ```
+/// use etx_aes::State;
+///
+/// let bytes = [0u8; 16];
+/// let s = State::from_bytes(&bytes);
+/// assert_eq!(s.to_bytes(), bytes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct State {
+    /// `grid[r][c]`.
+    grid: [[u8; 4]; 4],
+}
+
+impl State {
+    /// Loads a 16-byte block into the column-major state.
+    #[must_use]
+    pub fn from_bytes(block: &[u8; 16]) -> Self {
+        let mut grid = [[0u8; 4]; 4];
+        for c in 0..4 {
+            for r in 0..4 {
+                grid[r][c] = block[4 * c + r];
+            }
+        }
+        State { grid }
+    }
+
+    /// Serializes the state back to a 16-byte block.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for c in 0..4 {
+            for r in 0..4 {
+                out[4 * c + r] = self.grid[r][c];
+            }
+        }
+        out
+    }
+
+    /// The byte at row `r`, column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` exceeds 3.
+    #[must_use]
+    pub fn byte(&self, r: usize, c: usize) -> u8 {
+        self.grid[r][c]
+    }
+
+    /// `SubBytes`: applies the S-box to every byte (Module 1, part 1).
+    pub fn sub_bytes(&mut self) {
+        for row in &mut self.grid {
+            for b in row {
+                *b = SBOX[*b as usize];
+            }
+        }
+    }
+
+    /// `InvSubBytes`.
+    pub fn inv_sub_bytes(&mut self) {
+        for row in &mut self.grid {
+            for b in row {
+                *b = INV_SBOX[*b as usize];
+            }
+        }
+    }
+
+    /// `ShiftRows`: rotates row `r` left by `r` (Module 1, part 2).
+    pub fn shift_rows(&mut self) {
+        for r in 1..4 {
+            self.grid[r].rotate_left(r);
+        }
+    }
+
+    /// `InvShiftRows`.
+    pub fn inv_shift_rows(&mut self) {
+        for r in 1..4 {
+            self.grid[r].rotate_right(r);
+        }
+    }
+
+    /// `MixColumns`: multiplies every column by the fixed polynomial
+    /// `{03}x³ + {01}x² + {01}x + {02}` (Module 2).
+    pub fn mix_columns(&mut self) {
+        for c in 0..4 {
+            let col = [self.grid[0][c], self.grid[1][c], self.grid[2][c], self.grid[3][c]];
+            self.grid[0][c] =
+                gf::mul(col[0], 2) ^ gf::mul(col[1], 3) ^ col[2] ^ col[3];
+            self.grid[1][c] =
+                col[0] ^ gf::mul(col[1], 2) ^ gf::mul(col[2], 3) ^ col[3];
+            self.grid[2][c] =
+                col[0] ^ col[1] ^ gf::mul(col[2], 2) ^ gf::mul(col[3], 3);
+            self.grid[3][c] =
+                gf::mul(col[0], 3) ^ col[1] ^ col[2] ^ gf::mul(col[3], 2);
+        }
+    }
+
+    /// `InvMixColumns`.
+    pub fn inv_mix_columns(&mut self) {
+        for c in 0..4 {
+            let col = [self.grid[0][c], self.grid[1][c], self.grid[2][c], self.grid[3][c]];
+            self.grid[0][c] = gf::mul(col[0], 0x0e)
+                ^ gf::mul(col[1], 0x0b)
+                ^ gf::mul(col[2], 0x0d)
+                ^ gf::mul(col[3], 0x09);
+            self.grid[1][c] = gf::mul(col[0], 0x09)
+                ^ gf::mul(col[1], 0x0e)
+                ^ gf::mul(col[2], 0x0b)
+                ^ gf::mul(col[3], 0x0d);
+            self.grid[2][c] = gf::mul(col[0], 0x0d)
+                ^ gf::mul(col[1], 0x09)
+                ^ gf::mul(col[2], 0x0e)
+                ^ gf::mul(col[3], 0x0b);
+            self.grid[3][c] = gf::mul(col[0], 0x0b)
+                ^ gf::mul(col[1], 0x0d)
+                ^ gf::mul(col[2], 0x09)
+                ^ gf::mul(col[3], 0x0e);
+        }
+    }
+
+    /// `AddRoundKey`: XORs a 16-byte round key into the state (Module 3).
+    pub fn add_round_key(&mut self, round_key: &[u8; 16]) {
+        for c in 0..4 {
+            for r in 0..4 {
+                self.grid[r][c] ^= round_key[4 * c + r];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn state(bytes: [u8; 16]) -> State {
+        State::from_bytes(&bytes)
+    }
+
+    #[test]
+    fn byte_layout_is_column_major() {
+        let mut b = [0u8; 16];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let s = state(b);
+        assert_eq!(s.byte(0, 0), 0);
+        assert_eq!(s.byte(1, 0), 1);
+        assert_eq!(s.byte(0, 1), 4);
+        assert_eq!(s.byte(3, 3), 15);
+        assert_eq!(s.to_bytes(), b);
+    }
+
+    #[test]
+    fn shift_rows_matches_fips() {
+        // Row r rotates left by r.
+        let mut b = [0u8; 16];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let mut s = state(b);
+        s.shift_rows();
+        // Row 1 was [1, 5, 9, 13] -> [5, 9, 13, 1].
+        assert_eq!(
+            [s.byte(1, 0), s.byte(1, 1), s.byte(1, 2), s.byte(1, 3)],
+            [5, 9, 13, 1]
+        );
+        // Row 2 rotates by two.
+        assert_eq!(
+            [s.byte(2, 0), s.byte(2, 1), s.byte(2, 2), s.byte(2, 3)],
+            [10, 14, 2, 6]
+        );
+        s.inv_shift_rows();
+        assert_eq!(s.to_bytes(), b);
+    }
+
+    #[test]
+    fn mix_columns_fips_example() {
+        // FIPS-197 / standard test column: [db, 13, 53, 45] -> [8e, 4d, a1, bc].
+        let mut b = [0u8; 16];
+        b[0..4].copy_from_slice(&[0xdb, 0x13, 0x53, 0x45]);
+        let mut s = state(b);
+        s.mix_columns();
+        let out = s.to_bytes();
+        assert_eq!(&out[0..4], &[0x8e, 0x4d, 0xa1, 0xbc]);
+    }
+
+    #[test]
+    fn add_round_key_is_involutive() {
+        let mut s = state([0xab; 16]);
+        let key = [0x5a; 16];
+        let orig = s;
+        s.add_round_key(&key);
+        assert_ne!(s, orig);
+        s.add_round_key(&key);
+        assert_eq!(s, orig);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_bytes(bytes: [u8; 16]) {
+            prop_assert_eq!(State::from_bytes(&bytes).to_bytes(), bytes);
+        }
+
+        #[test]
+        fn sub_bytes_inverts(bytes: [u8; 16]) {
+            let mut s = State::from_bytes(&bytes);
+            s.sub_bytes();
+            s.inv_sub_bytes();
+            prop_assert_eq!(s.to_bytes(), bytes);
+        }
+
+        #[test]
+        fn mix_columns_inverts(bytes: [u8; 16]) {
+            let mut s = State::from_bytes(&bytes);
+            s.mix_columns();
+            s.inv_mix_columns();
+            prop_assert_eq!(s.to_bytes(), bytes);
+        }
+
+        #[test]
+        fn shift_rows_inverts(bytes: [u8; 16]) {
+            let mut s = State::from_bytes(&bytes);
+            s.shift_rows();
+            s.inv_shift_rows();
+            prop_assert_eq!(s.to_bytes(), bytes);
+        }
+    }
+}

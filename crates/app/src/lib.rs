@@ -1,0 +1,40 @@
+//! Application / dataflow model for e-textile workloads.
+//!
+//! Sec 3 of the DATE'05 paper assumes "the target application is
+//! partitioned into several modules", each performing one fixed function;
+//! a *job* is completed after module `i` performs `f_i` operations, where
+//! each operation is one act of computation plus the communication that
+//! carries its packet to the next module. This crate captures that model:
+//!
+//! * [`ModuleId`] / [`ModuleSpec`] — one application module with its
+//!   per-job operation count `f_i` and per-act computation energy `E_i`;
+//! * [`AppSpec`] — the whole application: modules plus the ordered
+//!   *operation sequence* a single job walks through;
+//! * [`AppSpec::aes()`] — the paper's 3-module partition of 128-bit AES
+//!   (Fig 1): 10 SubBytes/ShiftRows, 9 MixColumns and 11
+//!   KeyExpansion/AddRoundKey acts per encryption job.
+//!
+//! # Examples
+//!
+//! ```
+//! use etx_app::AppSpec;
+//!
+//! let aes = AppSpec::aes();
+//! assert_eq!(aes.module_count(), 3);
+//! assert_eq!(aes.ops_per_job(0.into()), Some(10)); // f1
+//! assert_eq!(aes.ops_per_job(1.into()), Some(9));  // f2
+//! assert_eq!(aes.ops_per_job(2.into()), Some(11)); // f3
+//! assert_eq!(aes.op_sequence().len(), 30);
+//! // The job starts and ends with AddRoundKey, as in FIPS-197:
+//! assert_eq!(aes.op_sequence().first(), Some(&2.into()));
+//! assert_eq!(aes.op_sequence().last(), Some(&2.into()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod module;
+mod spec;
+
+pub use module::{ModuleId, ModuleSpec};
+pub use spec::{AppSpec, AppSpecBuilder, AppSpecError};

@@ -1,0 +1,143 @@
+//! Application modules ([`ModuleId`], [`ModuleSpec`]).
+
+use core::fmt;
+
+use etx_units::Energy;
+
+/// Identifier of an application module (the paper's index `i`,
+/// `1 <= i <= p` — zero-based here).
+///
+/// # Examples
+///
+/// ```
+/// use etx_app::ModuleId;
+///
+/// let m: ModuleId = 2.into();
+/// assert_eq!(m.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ModuleId(usize);
+
+impl ModuleId {
+    /// Creates a module id from a dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        ModuleId(index)
+    }
+
+    /// The dense index of this module.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Display 1-based to match the paper's "module 1..p" convention.
+        write!(f, "M{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ModuleId {
+    fn from(index: usize) -> Self {
+        ModuleId(index)
+    }
+}
+
+impl From<ModuleId> for usize {
+    fn from(id: ModuleId) -> Self {
+        id.0
+    }
+}
+
+/// Specification of one application module.
+///
+/// Carries the two per-module quantities of the paper's Table 1: `f_i`
+/// (operations needed per job) and `E_i` (energy per act of computation).
+///
+/// # Examples
+///
+/// ```
+/// use etx_app::ModuleSpec;
+/// use etx_units::Energy;
+///
+/// let m = ModuleSpec::new("MixColumns", 9, Energy::from_picojoules(73.34));
+/// assert_eq!(m.ops_per_job(), 9);
+/// assert_eq!(m.name(), "MixColumns");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleSpec {
+    name: String,
+    ops_per_job: u32,
+    compute_energy: Energy,
+}
+
+impl ModuleSpec {
+    /// Creates a module spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops_per_job` is zero (a module that never runs is not a
+    /// module) or if `compute_energy` is negative.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ops_per_job: u32, compute_energy: Energy) -> Self {
+        assert!(ops_per_job > 0, "a module must perform at least one operation per job");
+        assert!(
+            compute_energy.picojoules() >= 0.0,
+            "computation energy must be non-negative, got {compute_energy}"
+        );
+        ModuleSpec { name: name.into(), ops_per_job, compute_energy }
+    }
+
+    /// Human-readable module name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `f_i`: operations this module performs per completed job.
+    #[must_use]
+    pub fn ops_per_job(&self) -> u32 {
+        self.ops_per_job
+    }
+
+    /// `E_i`: energy per act of computation.
+    #[must_use]
+    pub fn compute_energy(&self) -> Energy {
+        self.compute_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_id_roundtrip_and_display() {
+        let m = ModuleId::new(0);
+        assert_eq!(m.index(), 0);
+        assert_eq!(m.to_string(), "M1"); // 1-based like the paper
+        assert_eq!(usize::from(ModuleId::from(4usize)), 4);
+    }
+
+    #[test]
+    fn module_spec_accessors() {
+        let m = ModuleSpec::new("KeyExpansion/AddRoundKey", 11, Energy::from_picojoules(176.55));
+        assert_eq!(m.name(), "KeyExpansion/AddRoundKey");
+        assert_eq!(m.ops_per_job(), 11);
+        assert_eq!(m.compute_energy().picojoules(), 176.55);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn zero_ops_panics() {
+        let _ = ModuleSpec::new("idle", 0, Energy::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_panics() {
+        let _ = ModuleSpec::new("bad", 1, Energy::from_picojoules(-1.0));
+    }
+}

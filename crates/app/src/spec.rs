@@ -1,0 +1,330 @@
+//! The [`AppSpec`] application model and its builder.
+
+use core::fmt;
+
+use etx_energy::compute::aes_module_energies;
+use etx_units::Energy;
+
+use crate::{ModuleId, ModuleSpec};
+
+/// Errors raised when assembling an [`AppSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppSpecError {
+    /// The application declares no modules.
+    NoModules,
+    /// The operation sequence is empty.
+    EmptySequence,
+    /// The operation sequence references a module that does not exist.
+    UnknownModule {
+        /// Position in the sequence.
+        position: usize,
+        /// The unknown module.
+        module: ModuleId,
+    },
+    /// The number of occurrences of a module in the sequence does not
+    /// match its declared `f_i`.
+    OpCountMismatch {
+        /// The module whose count is off.
+        module: ModuleId,
+        /// `f_i` declared on the [`ModuleSpec`].
+        declared: u32,
+        /// Occurrences found in the operation sequence.
+        found: u32,
+    },
+}
+
+impl fmt::Display for AppSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppSpecError::NoModules => write!(f, "application has no modules"),
+            AppSpecError::EmptySequence => write!(f, "operation sequence is empty"),
+            AppSpecError::UnknownModule { position, module } => {
+                write!(f, "operation {position} references unknown module {module}")
+            }
+            AppSpecError::OpCountMismatch { module, declared, found } => write!(
+                f,
+                "module {module} declares {declared} ops per job but the sequence contains {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AppSpecError {}
+
+/// A partitioned application: modules plus the per-job operation sequence.
+///
+/// The operation sequence is the dataflow of one job, in execution order:
+/// entry `k` names the module that performs operation `k`, after which the
+/// intermediate result travels (as one fixed-length packet) to the node
+/// hosting the module of operation `k + 1`.
+///
+/// Invariant: for every module `i`, the sequence contains exactly `f_i`
+/// occurrences of `i` — this is checked at construction, so downstream
+/// code (the simulator, the bound) can trust `ops_per_job`.
+///
+/// # Examples
+///
+/// ```
+/// use etx_app::{AppSpec, ModuleSpec};
+/// use etx_units::Energy;
+///
+/// // A two-module "sense then log" application: 2 sensor reads, 1 store.
+/// let app = AppSpec::builder("sense-log")
+///     .module(ModuleSpec::new("sense", 2, Energy::from_picojoules(50.0)))
+///     .module(ModuleSpec::new("store", 1, Energy::from_picojoules(90.0)))
+///     .op_sequence([0, 0, 1])
+///     .build()?;
+/// assert_eq!(app.total_ops_per_job(), 3);
+/// # Ok::<(), etx_app::AppSpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    name: String,
+    modules: Vec<ModuleSpec>,
+    op_sequence: Vec<ModuleId>,
+}
+
+impl AppSpec {
+    /// Starts building an application spec.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> AppSpecBuilder {
+        AppSpecBuilder { name: name.into(), modules: Vec::new(), op_sequence: Vec::new() }
+    }
+
+    /// The paper's 3-module partition of 128-bit AES (Sec 5.1.1).
+    ///
+    /// * Module 1 — SubBytes / ShiftRows, `f1 = 10`, `E1 = 120.1 pJ`
+    /// * Module 2 — MixColumns, `f2 = 9`, `E2 = 73.34 pJ`
+    /// * Module 3 — KeyExpansion / AddRoundKey, `f3 = 11`, `E3 = 176.55 pJ`
+    ///
+    /// The operation sequence follows the Fig 1 pseudo-code: an initial
+    /// AddRoundKey, nine full rounds of SubBytes/ShiftRows → MixColumns →
+    /// AddRoundKey, then the final round without MixColumns.
+    #[must_use]
+    pub fn aes() -> Self {
+        let [e1, e2, e3] = aes_module_energies();
+        let (m1, m2, m3) = (ModuleId::new(0), ModuleId::new(1), ModuleId::new(2));
+        let mut seq = Vec::with_capacity(30);
+        seq.push(m3); // AddRoundKey(state, w[0..Nb-1])
+        for _ in 0..9 {
+            seq.push(m1); // SubBytes + ShiftRows
+            seq.push(m2); // MixColumns
+            seq.push(m3); // AddRoundKey
+        }
+        seq.push(m1); // final SubBytes + ShiftRows
+        seq.push(m3); // final AddRoundKey
+        AppSpec::builder("aes-128")
+            .module(ModuleSpec::new("SubBytes/ShiftRows", 10, e1))
+            .module(ModuleSpec::new("MixColumns", 9, e2))
+            .module(ModuleSpec::new("KeyExpansion/AddRoundKey", 11, e3))
+            .op_sequence_ids(seq)
+            .build()
+            .expect("the built-in AES spec is consistent")
+    }
+
+    /// Application name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `p`: the number of distinct modules.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// The spec of module `id`, if it exists.
+    #[must_use]
+    pub fn module(&self, id: ModuleId) -> Option<&ModuleSpec> {
+        self.modules.get(id.index())
+    }
+
+    /// Iterates over `(id, spec)` for all modules.
+    pub fn modules(&self) -> impl Iterator<Item = (ModuleId, &ModuleSpec)> + '_ {
+        self.modules.iter().enumerate().map(|(i, m)| (ModuleId::new(i), m))
+    }
+
+    /// `f_i` for module `id`, if it exists.
+    #[must_use]
+    pub fn ops_per_job(&self, id: ModuleId) -> Option<u32> {
+        self.module(id).map(ModuleSpec::ops_per_job)
+    }
+
+    /// Total operations per job (`Σ f_i`, also the sequence length).
+    #[must_use]
+    pub fn total_ops_per_job(&self) -> u32 {
+        self.op_sequence.len() as u32
+    }
+
+    /// The per-job operation sequence.
+    #[must_use]
+    pub fn op_sequence(&self) -> &[ModuleId] {
+        &self.op_sequence
+    }
+
+    /// Per-job computation energy `Σ f_i * E_i` (no communication).
+    #[must_use]
+    pub fn compute_energy_per_job(&self) -> Energy {
+        self.modules
+            .iter()
+            .map(|m| m.compute_energy() * f64::from(m.ops_per_job()))
+            .sum()
+    }
+}
+
+/// Builder for [`AppSpec`] (see [`AppSpec::builder`]).
+#[derive(Debug, Clone)]
+pub struct AppSpecBuilder {
+    name: String,
+    modules: Vec<ModuleSpec>,
+    op_sequence: Vec<ModuleId>,
+}
+
+impl AppSpecBuilder {
+    /// Adds a module; ids are assigned in insertion order.
+    #[must_use]
+    pub fn module(mut self, spec: ModuleSpec) -> Self {
+        self.modules.push(spec);
+        self
+    }
+
+    /// Sets the operation sequence from raw indices.
+    #[must_use]
+    pub fn op_sequence<I: IntoIterator<Item = usize>>(self, seq: I) -> Self {
+        self.op_sequence_ids(seq.into_iter().map(ModuleId::new))
+    }
+
+    /// Sets the operation sequence from module ids.
+    #[must_use]
+    pub fn op_sequence_ids<I: IntoIterator<Item = ModuleId>>(mut self, seq: I) -> Self {
+        self.op_sequence = seq.into_iter().collect();
+        self
+    }
+
+    /// Validates and assembles the [`AppSpec`].
+    ///
+    /// # Errors
+    ///
+    /// * [`AppSpecError::NoModules`] / [`AppSpecError::EmptySequence`] for
+    ///   missing pieces;
+    /// * [`AppSpecError::UnknownModule`] if the sequence references a
+    ///   module id `>= module_count`;
+    /// * [`AppSpecError::OpCountMismatch`] if any module's occurrences in
+    ///   the sequence differ from its declared `f_i`.
+    pub fn build(self) -> Result<AppSpec, AppSpecError> {
+        if self.modules.is_empty() {
+            return Err(AppSpecError::NoModules);
+        }
+        if self.op_sequence.is_empty() {
+            return Err(AppSpecError::EmptySequence);
+        }
+        let mut counts = vec![0u32; self.modules.len()];
+        for (position, &m) in self.op_sequence.iter().enumerate() {
+            if m.index() >= self.modules.len() {
+                return Err(AppSpecError::UnknownModule { position, module: m });
+            }
+            counts[m.index()] += 1;
+        }
+        for (i, (&found, spec)) in counts.iter().zip(&self.modules).enumerate() {
+            if found != spec.ops_per_job() {
+                return Err(AppSpecError::OpCountMismatch {
+                    module: ModuleId::new(i),
+                    declared: spec.ops_per_job(),
+                    found,
+                });
+            }
+        }
+        Ok(AppSpec { name: self.name, modules: self.modules, op_sequence: self.op_sequence })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_spec_matches_paper_counts() {
+        let aes = AppSpec::aes();
+        assert_eq!(aes.name(), "aes-128");
+        assert_eq!(aes.module_count(), 3);
+        assert_eq!(aes.ops_per_job(ModuleId::new(0)), Some(10));
+        assert_eq!(aes.ops_per_job(ModuleId::new(1)), Some(9));
+        assert_eq!(aes.ops_per_job(ModuleId::new(2)), Some(11));
+        assert_eq!(aes.total_ops_per_job(), 30);
+        // Per-job computation energy: 10*120.1 + 9*73.34 + 11*176.55.
+        let expected = 10.0 * 120.1 + 9.0 * 73.34 + 11.0 * 176.55;
+        assert!((aes.compute_energy_per_job().picojoules() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aes_sequence_follows_fig1() {
+        let aes = AppSpec::aes();
+        let seq = aes.op_sequence();
+        let (m1, m2, m3) = (ModuleId::new(0), ModuleId::new(1), ModuleId::new(2));
+        assert_eq!(seq[0], m3); // initial AddRoundKey
+        // First full round:
+        assert_eq!(&seq[1..4], &[m1, m2, m3]);
+        // Final round skips MixColumns:
+        assert_eq!(&seq[28..30], &[m1, m3]);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistencies() {
+        let e = Energy::from_picojoules(1.0);
+        assert_eq!(
+            AppSpec::builder("x").op_sequence([0]).build(),
+            Err(AppSpecError::NoModules)
+        );
+        assert_eq!(
+            AppSpec::builder("x")
+                .module(ModuleSpec::new("a", 1, e))
+                .build(),
+            Err(AppSpecError::EmptySequence)
+        );
+        assert_eq!(
+            AppSpec::builder("x")
+                .module(ModuleSpec::new("a", 1, e))
+                .op_sequence([0, 1])
+                .build(),
+            Err(AppSpecError::UnknownModule { position: 1, module: ModuleId::new(1) })
+        );
+        assert_eq!(
+            AppSpec::builder("x")
+                .module(ModuleSpec::new("a", 2, e))
+                .op_sequence([0])
+                .build(),
+            Err(AppSpecError::OpCountMismatch {
+                module: ModuleId::new(0),
+                declared: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = AppSpecError::OpCountMismatch {
+            module: ModuleId::new(1),
+            declared: 9,
+            found: 8,
+        };
+        let s = err.to_string();
+        assert!(s.contains("M2") && s.contains('9') && s.contains('8'));
+    }
+
+    #[test]
+    fn custom_app_roundtrip() {
+        let app = AppSpec::builder("pipeline")
+            .module(ModuleSpec::new("a", 2, Energy::from_picojoules(10.0)))
+            .module(ModuleSpec::new("b", 1, Energy::from_picojoules(20.0)))
+            .op_sequence([0, 1, 0])
+            .build()
+            .unwrap();
+        assert_eq!(app.module_count(), 2);
+        assert_eq!(app.module(ModuleId::new(1)).unwrap().name(), "b");
+        assert_eq!(app.modules().count(), 2);
+        assert_eq!(app.op_sequence(), &[0.into(), 1.into(), 0.into()]);
+        assert_eq!(app.compute_energy_per_job().picojoules(), 40.0);
+    }
+}

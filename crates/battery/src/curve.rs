@@ -1,0 +1,294 @@
+//! Piecewise-linear discharge-voltage curves.
+
+use core::fmt;
+
+use etx_units::Voltage;
+
+/// Errors raised when constructing a [`DischargeCurve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveError {
+    /// Fewer than two anchor points were supplied.
+    TooFewPoints(usize),
+    /// Depth-of-discharge values must start at 0.0, end at 1.0 and be
+    /// strictly increasing.
+    BadDomain {
+        /// Offending point index.
+        index: usize,
+        /// Offending depth-of-discharge value.
+        dod: f64,
+    },
+    /// Voltages must be non-increasing as the battery discharges.
+    VoltageIncreases {
+        /// Index of the point where voltage rose.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::TooFewPoints(n) => {
+                write!(f, "discharge curve needs at least 2 points, got {n}")
+            }
+            CurveError::BadDomain { index, dod } => write!(
+                f,
+                "discharge curve domain invalid at point {index}: dod={dod} \
+                 (must start at 0, end at 1, strictly increasing)"
+            ),
+            CurveError::VoltageIncreases { index } => {
+                write!(f, "discharge curve voltage increases at point {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
+
+/// A piecewise-linear map from depth-of-discharge (0 = full, 1 = empty) to
+/// output voltage.
+///
+/// The default curve reproduces the qualitative shape of the Li-free
+/// thin-film battery of the paper's Fig 2 (from Neudecker et al. \[10\]):
+/// a brief initial drop from ≈4.2 V, a long gentle plateau through the
+/// high-3-volt range, then a sharp knee. The paper kills a node at 3.0 V,
+/// so where the knee sits determines how much energy is stranded.
+///
+/// # Examples
+///
+/// ```
+/// use etx_battery::DischargeCurve;
+///
+/// let curve = DischargeCurve::li_free_thin_film();
+/// assert!(curve.voltage_at(0.0).volts() > 4.0);
+/// assert!(curve.voltage_at(1.0).volts() < 3.0);
+/// // Monotone non-increasing:
+/// assert!(curve.voltage_at(0.2) >= curve.voltage_at(0.8));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DischargeCurve {
+    /// `(dod, volts)` anchors; invariants enforced by the constructor.
+    points: Vec<(f64, f64)>,
+}
+
+impl DischargeCurve {
+    /// Builds a curve from `(depth_of_discharge, voltage)` anchor points.
+    ///
+    /// # Errors
+    ///
+    /// * [`CurveError::TooFewPoints`] with fewer than two anchors;
+    /// * [`CurveError::BadDomain`] unless dod values are strictly
+    ///   increasing from exactly `0.0` to exactly `1.0`;
+    /// * [`CurveError::VoltageIncreases`] if any anchor's voltage exceeds
+    ///   its predecessor's.
+    pub fn new(points: Vec<(f64, Voltage)>) -> Result<Self, CurveError> {
+        if points.len() < 2 {
+            return Err(CurveError::TooFewPoints(points.len()));
+        }
+        let raw: Vec<(f64, f64)> = points.iter().map(|(d, v)| (*d, v.volts())).collect();
+        if raw[0].0 != 0.0 {
+            return Err(CurveError::BadDomain { index: 0, dod: raw[0].0 });
+        }
+        if raw[raw.len() - 1].0 != 1.0 {
+            return Err(CurveError::BadDomain {
+                index: raw.len() - 1,
+                dod: raw[raw.len() - 1].0,
+            });
+        }
+        for i in 1..raw.len() {
+            if raw[i].0 <= raw[i - 1].0 || !raw[i].0.is_finite() {
+                return Err(CurveError::BadDomain { index: i, dod: raw[i].0 });
+            }
+            if raw[i].1 > raw[i - 1].1 {
+                return Err(CurveError::VoltageIncreases { index: i });
+            }
+        }
+        Ok(DischargeCurve { points: raw })
+    }
+
+    /// The qualitative Li-free thin-film curve of the paper's Fig 2.
+    ///
+    /// Anchors (digitized from the published shape of \[10\]): ≈4.2 V fresh,
+    /// fast initial drop, long plateau in the high-3 V range, knee near
+    /// 90 % depth-of-discharge, 3.0 V crossed at ≈95 %, collapsing to
+    /// ≈2.2 V when empty. With the paper's 3.0 V node-death rule this
+    /// strands roughly 5 % of nominal capacity, plus whatever the
+    /// discrete-time model holds unavailable.
+    #[must_use]
+    pub fn li_free_thin_film() -> Self {
+        Self::new(vec![
+            (0.00, Voltage::from_volts(4.20)),
+            (0.03, Voltage::from_volts(4.00)),
+            (0.10, Voltage::from_volts(3.88)),
+            (0.30, Voltage::from_volts(3.75)),
+            (0.50, Voltage::from_volts(3.65)),
+            (0.70, Voltage::from_volts(3.55)),
+            (0.85, Voltage::from_volts(3.42)),
+            (0.90, Voltage::from_volts(3.25)),
+            (0.95, Voltage::from_volts(3.00)),
+            (1.00, Voltage::from_volts(2.20)),
+        ])
+        .expect("built-in curve is valid")
+    }
+
+    /// A flat curve at `volts` that collapses to zero only at 100 % DoD.
+    ///
+    /// Useful to emulate an ideal cell through the thin-film machinery.
+    #[must_use]
+    pub fn flat(volts: Voltage) -> Self {
+        Self::new(vec![(0.0, volts), (1.0, volts)]).expect("flat curve is valid")
+    }
+
+    /// Output voltage at depth-of-discharge `dod` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn voltage_at(&self, dod: f64) -> Voltage {
+        let d = dod.clamp(0.0, 1.0);
+        let pts = &self.points;
+        // d is clamped to [0, 1] and the last anchor is exactly 1.0, so a
+        // containing segment always exists.
+        let seg = pts
+            .windows(2)
+            .find(|w| d <= w[1].0)
+            .expect("clamped dod always falls within the curve domain");
+        let (d0, v0) = seg[0];
+        let (d1, v1) = seg[1];
+        let t = if d1 > d0 { (d - d0) / (d1 - d0) } else { 0.0 };
+        Voltage::from_volts(v0 + t * (v1 - v0))
+    }
+
+    /// The smallest depth-of-discharge at which voltage falls below
+    /// `cutoff`; `None` if the curve never drops below it.
+    ///
+    /// This is where a thin-film node dies and the rest of the capacity is
+    /// wasted.
+    #[must_use]
+    pub fn dod_at_cutoff(&self, cutoff: Voltage) -> Option<f64> {
+        let vc = cutoff.volts();
+        if self.points[0].1 < vc {
+            return Some(0.0);
+        }
+        for w in self.points.windows(2) {
+            let (d0, v0) = w[0];
+            let (d1, v1) = w[1];
+            if v1 < vc {
+                // Crossing inside this segment (v0 >= vc > v1).
+                let t = if v0 > v1 { (v0 - vc) / (v0 - v1) } else { 0.0 };
+                return Some(d0 + t * (d1 - d0));
+            }
+        }
+        None
+    }
+
+    /// The anchor points of the curve.
+    pub fn points(&self) -> impl Iterator<Item = (f64, Voltage)> + '_ {
+        self.points.iter().map(|(d, v)| (*d, Voltage::from_volts(*v)))
+    }
+}
+
+impl Default for DischargeCurve {
+    fn default() -> Self {
+        Self::li_free_thin_film()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_curve_shape() {
+        let c = DischargeCurve::default();
+        assert!((c.voltage_at(0.0).volts() - 4.2).abs() < 1e-12);
+        assert!((c.voltage_at(1.0).volts() - 2.2).abs() < 1e-12);
+        // Plateau region stays in the high-3V range.
+        assert!(c.voltage_at(0.5).volts() > 3.5);
+        assert!(c.voltage_at(0.5).volts() < 3.8);
+    }
+
+    #[test]
+    fn interpolation_between_anchors() {
+        let c = DischargeCurve::new(vec![
+            (0.0, Voltage::from_volts(4.0)),
+            (0.5, Voltage::from_volts(3.0)),
+            (1.0, Voltage::from_volts(2.0)),
+        ])
+        .unwrap();
+        assert!((c.voltage_at(0.25).volts() - 3.5).abs() < 1e-12);
+        assert!((c.voltage_at(0.75).volts() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_out_of_range_dod() {
+        let c = DischargeCurve::default();
+        assert_eq!(c.voltage_at(-0.5), c.voltage_at(0.0));
+        assert_eq!(c.voltage_at(1.5), c.voltage_at(1.0));
+    }
+
+    #[test]
+    fn cutoff_location() {
+        let c = DischargeCurve::li_free_thin_film();
+        let dod = c.dod_at_cutoff(Voltage::from_volts(3.0)).unwrap();
+        assert!((dod - 0.95).abs() < 1e-9, "3.0 V anchor sits at 95% DoD, got {dod}");
+        // A cutoff below the final voltage is never reached.
+        assert_eq!(c.dod_at_cutoff(Voltage::from_volts(2.0)), None);
+        // A cutoff above the initial voltage is hit immediately.
+        assert_eq!(c.dod_at_cutoff(Voltage::from_volts(5.0)), Some(0.0));
+    }
+
+    #[test]
+    fn flat_curve() {
+        let c = DischargeCurve::flat(Voltage::from_volts(3.6));
+        assert_eq!(c.voltage_at(0.0).volts(), 3.6);
+        assert_eq!(c.voltage_at(0.999).volts(), 3.6);
+        assert_eq!(c.dod_at_cutoff(Voltage::from_volts(3.0)), None);
+    }
+
+    #[test]
+    fn rejects_bad_domains() {
+        let v = Voltage::from_volts(3.6);
+        assert_eq!(
+            DischargeCurve::new(vec![(0.0, v)]),
+            Err(CurveError::TooFewPoints(1))
+        );
+        assert!(matches!(
+            DischargeCurve::new(vec![(0.1, v), (1.0, v)]),
+            Err(CurveError::BadDomain { index: 0, .. })
+        ));
+        assert!(matches!(
+            DischargeCurve::new(vec![(0.0, v), (0.9, v)]),
+            Err(CurveError::BadDomain { .. })
+        ));
+        assert!(matches!(
+            DischargeCurve::new(vec![(0.0, v), (0.5, v), (0.5, v), (1.0, v)]),
+            Err(CurveError::BadDomain { .. })
+        ));
+        assert!(matches!(
+            DischargeCurve::new(vec![
+                (0.0, Voltage::from_volts(3.0)),
+                (1.0, Voltage::from_volts(3.5)),
+            ]),
+            Err(CurveError::VoltageIncreases { index: 1 })
+        ));
+        let err = DischargeCurve::new(vec![(0.1, v), (1.0, v)]).unwrap_err();
+        assert!(err.to_string().contains("domain"));
+    }
+
+    #[test]
+    fn points_accessor_roundtrips() {
+        let c = DischargeCurve::li_free_thin_film();
+        let pts: Vec<_> = c.points().collect();
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[9].0, 1.0);
+    }
+
+    proptest! {
+        /// Voltage is monotone non-increasing in depth-of-discharge.
+        #[test]
+        fn monotone_non_increasing(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let c = DischargeCurve::default();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(c.voltage_at(lo) >= c.voltage_at(hi));
+        }
+    }
+}

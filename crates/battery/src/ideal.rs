@@ -1,0 +1,195 @@
+//! The [`IdealBattery`] model used by the Table 2 comparison.
+
+use etx_units::{Cycles, Energy, Voltage};
+
+use crate::{Battery, DrawOutcome};
+
+/// An ideal battery: constant output voltage and 100 % efficiency until
+/// complete depletion, exactly as Sec 7.2 specifies for the comparison
+/// against the Theorem 1 upper bound ("the battery model ... is replaced
+/// with the ideal battery model which outputs constant voltage with 100 %
+/// efficiency until depletion").
+///
+/// # Examples
+///
+/// ```
+/// use etx_battery::{Battery, IdealBattery};
+/// use etx_units::Energy;
+///
+/// let mut b = IdealBattery::new(Energy::from_picojoules(1000.0));
+/// assert!(b.draw(Energy::from_picojoules(400.0)).is_delivered());
+/// assert_eq!(b.delivered().picojoules(), 400.0);
+/// assert!(!b.is_dead());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdealBattery {
+    nominal: Energy,
+    remaining: Energy,
+    output: Voltage,
+}
+
+impl IdealBattery {
+    /// Default output voltage for ideal cells (the thin-film plateau
+    /// midpoint).
+    pub const DEFAULT_VOLTAGE: f64 = 3.6;
+
+    /// Creates an ideal battery with capacity `nominal` at the default
+    /// 3.6 V output.
+    #[must_use]
+    pub fn new(nominal: Energy) -> Self {
+        Self::with_voltage(nominal, Voltage::from_volts(Self::DEFAULT_VOLTAGE))
+    }
+
+    /// Creates an ideal battery with an explicit output voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal` is negative.
+    #[must_use]
+    pub fn with_voltage(nominal: Energy, output: Voltage) -> Self {
+        assert!(
+            nominal.picojoules() >= 0.0,
+            "battery capacity must be non-negative, got {nominal}"
+        );
+        IdealBattery { nominal, remaining: nominal, output }
+    }
+
+    /// Energy still available.
+    #[must_use]
+    pub fn remaining(&self) -> Energy {
+        self.remaining
+    }
+}
+
+impl Battery for IdealBattery {
+    fn draw(&mut self, energy: Energy) -> DrawOutcome {
+        if self.is_dead() {
+            return DrawOutcome::AlreadyDead;
+        }
+        let energy = energy.clamp_non_negative();
+        if energy <= self.remaining {
+            self.remaining -= energy;
+            DrawOutcome::Delivered
+        } else {
+            let delivered = self.remaining;
+            self.remaining = Energy::ZERO;
+            DrawOutcome::Depleted { delivered }
+        }
+    }
+
+    fn rest(&mut self, _idle: Cycles) {
+        // No recovery effect in an ideal cell.
+    }
+
+    fn voltage(&self) -> Voltage {
+        if self.is_dead() {
+            Voltage::ZERO
+        } else {
+            self.output
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        !self.remaining.is_positive()
+    }
+
+    fn nominal_capacity(&self) -> Energy {
+        self.nominal
+    }
+
+    fn delivered(&self) -> Energy {
+        self.nominal - self.remaining
+    }
+
+    fn wasted(&self) -> Energy {
+        Energy::ZERO
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        if self.nominal.is_zero() {
+            0.0
+        } else {
+            self.remaining / self.nominal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pj(v: f64) -> Energy {
+        Energy::from_picojoules(v)
+    }
+
+    #[test]
+    fn delivers_full_capacity() {
+        let mut b = IdealBattery::new(pj(1000.0));
+        for _ in 0..10 {
+            assert!(b.draw(pj(100.0)).is_delivered());
+        }
+        assert!(b.is_dead());
+        assert_eq!(b.delivered(), pj(1000.0));
+        assert_eq!(b.wasted(), Energy::ZERO);
+        assert_eq!(b.draw(pj(1.0)), DrawOutcome::AlreadyDead);
+    }
+
+    #[test]
+    fn partial_final_draw_reports_depleted() {
+        let mut b = IdealBattery::new(pj(150.0));
+        assert!(b.draw(pj(100.0)).is_delivered());
+        match b.draw(pj(100.0)) {
+            DrawOutcome::Depleted { delivered } => assert_eq!(delivered, pj(50.0)),
+            other => panic!("expected Depleted, got {other:?}"),
+        }
+        assert!(b.is_dead());
+    }
+
+    #[test]
+    fn voltage_constant_until_death() {
+        let mut b = IdealBattery::new(pj(100.0));
+        assert_eq!(b.voltage().volts(), IdealBattery::DEFAULT_VOLTAGE);
+        b.draw(pj(99.0));
+        assert_eq!(b.voltage().volts(), IdealBattery::DEFAULT_VOLTAGE);
+        b.draw(pj(1.0));
+        assert_eq!(b.voltage(), Voltage::ZERO);
+    }
+
+    #[test]
+    fn rest_is_noop() {
+        let mut b = IdealBattery::new(pj(100.0));
+        b.draw(pj(40.0));
+        b.rest(Cycles::new(1_000_000));
+        assert_eq!(b.remaining(), pj(60.0));
+        assert!((b.state_of_charge() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_is_born_dead() {
+        let b = IdealBattery::new(Energy::ZERO);
+        assert!(b.is_dead());
+        assert_eq!(b.state_of_charge(), 0.0);
+    }
+
+    #[test]
+    fn negative_draw_is_clamped() {
+        let mut b = IdealBattery::new(pj(100.0));
+        assert!(b.draw(pj(-50.0)).is_delivered());
+        assert_eq!(b.remaining(), pj(100.0));
+    }
+
+    proptest! {
+        /// Accounting invariant: delivered + remaining == nominal.
+        #[test]
+        fn conservation(cap in 1.0f64..1e6, draws in proptest::collection::vec(0.1f64..1e4, 0..100)) {
+            let mut b = IdealBattery::new(pj(cap));
+            for d in draws {
+                b.draw(pj(d));
+            }
+            let total = b.delivered().picojoules() + b.remaining().picojoules();
+            prop_assert!((total - cap).abs() < 1e-6);
+            prop_assert!(b.delivered().picojoules() <= cap + 1e-6);
+        }
+    }
+}

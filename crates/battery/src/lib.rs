@@ -1,0 +1,182 @@
+//! Battery models for e-textile platforms.
+//!
+//! Each node of the DATE'05 platform carries its own thin-film battery
+//! (\[10\], \[11\] in the paper); the routing problem exists precisely because
+//! those batteries are tiny and non-uniform in their discharge behaviour.
+//! This crate provides the three battery models the evaluation needs:
+//!
+//! * [`IdealBattery`] — constant output voltage, 100 % efficiency until
+//!   depletion. Used by Table 2 so that the simulated EAR can be compared
+//!   fairly against the analytical upper bound of Theorem 1.
+//! * [`LinearBattery`] — voltage declines linearly with depth-of-discharge.
+//!   A useful middle ground for tests.
+//! * [`ThinFilmBattery`] — the Li-free thin-film model of Sec 5.1.3:
+//!   a measured-shape [`DischargeCurve`] (Fig 2) driven through a
+//!   Benini-style discrete-time model (rate-capacity and recovery
+//!   effects). A node is dead once output voltage drops below the 3.0 V
+//!   cutoff and the remaining stored energy is wasted.
+//!
+//! All models implement the [`Battery`] trait, which is what `et_sim`
+//! consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use etx_battery::{Battery, IdealBattery, ThinFilmBattery};
+//! use etx_units::Energy;
+//!
+//! // The paper's reduced nominal capacity: 60 000 pJ.
+//! let mut ideal = IdealBattery::new(Energy::from_picojoules(60_000.0));
+//! let mut film = ThinFilmBattery::new(Energy::from_picojoules(60_000.0));
+//!
+//! let op = Energy::from_picojoules(250.0);
+//! while !film.is_dead() {
+//!     film.draw(op);
+//! }
+//! while !ideal.is_dead() {
+//!     ideal.draw(op);
+//! }
+//! // The thin-film battery dies early (3.0 V cutoff) and strands energy;
+//! // the ideal battery delivers everything.
+//! assert!(film.delivered() < ideal.delivered());
+//! assert!(film.wasted().is_positive());
+//! assert!(ideal.wasted().is_zero());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod curve;
+mod ideal;
+mod linear;
+mod thin_film;
+
+pub use curve::{CurveError, DischargeCurve};
+pub use ideal::IdealBattery;
+pub use linear::LinearBattery;
+pub use thin_film::{ThinFilmBattery, ThinFilmConfig};
+
+use etx_units::{Cycles, Energy, Voltage};
+
+/// Outcome of drawing energy from a battery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DrawOutcome {
+    /// The full requested energy was delivered.
+    Delivered,
+    /// The battery died during the draw; only `delivered` was supplied and
+    /// the in-flight operation must be considered lost.
+    Depleted {
+        /// Energy actually supplied before death.
+        delivered: Energy,
+    },
+    /// The battery was already dead; nothing was supplied.
+    AlreadyDead,
+}
+
+impl DrawOutcome {
+    /// `true` if the full requested energy was delivered.
+    #[must_use]
+    pub fn is_delivered(self) -> bool {
+        matches!(self, DrawOutcome::Delivered)
+    }
+}
+
+/// A per-node energy source.
+///
+/// The simulator interacts with batteries through this trait only, so the
+/// ideal/thin-film swap behind Table 2 vs Fig 7 is a one-line change.
+///
+/// Implementations must uphold:
+///
+/// * [`draw`](Battery::draw) never delivers more than requested, and a dead
+///   battery delivers nothing;
+/// * [`delivered`](Battery::delivered) + [`wasted`](Battery::wasted) never
+///   exceeds [`nominal_capacity`](Battery::nominal_capacity) (up to float
+///   rounding);
+/// * once [`is_dead`](Battery::is_dead) returns `true` it stays `true`.
+pub trait Battery {
+    /// Attempts to draw `energy` for one act of computation/communication.
+    fn draw(&mut self, energy: Energy) -> DrawOutcome;
+
+    /// Advances idle time; models with a recovery effect may regain some
+    /// transiently-unavailable charge. Others ignore it.
+    fn rest(&mut self, idle: Cycles);
+
+    /// Present output voltage.
+    fn voltage(&self) -> Voltage;
+
+    /// `true` once the battery can no longer power its node.
+    fn is_dead(&self) -> bool;
+
+    /// Nominal (initial) capacity `B`.
+    fn nominal_capacity(&self) -> Energy;
+
+    /// Total energy actually delivered to the node so far.
+    fn delivered(&self) -> Energy;
+
+    /// Energy stranded in the battery at death (zero while alive, zero
+    /// forever for ideal batteries).
+    fn wasted(&self) -> Energy;
+
+    /// State of charge in `[0, 1]`: fraction of nominal capacity not yet
+    /// consumed (by delivery or transient unavailability).
+    fn state_of_charge(&self) -> f64;
+
+    /// Quantizes the state of charge onto `levels` discrete battery levels
+    /// `0 ..= levels - 1`, as reported to the central controller during
+    /// TDMA upload slots.
+    ///
+    /// A dead battery always reports level `0`; a fresh one reports
+    /// `levels - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    fn reported_level(&self, levels: u32) -> u32 {
+        assert!(levels > 0, "battery level quantization needs at least one level");
+        if self.is_dead() {
+            return 0;
+        }
+        let soc = self.state_of_charge().clamp(0.0, 1.0);
+        ((soc * levels as f64).floor() as u32).min(levels - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reported_level_bounds() {
+        let full = IdealBattery::new(Energy::from_picojoules(100.0));
+        assert_eq!(full.reported_level(16), 15);
+        let mut b = IdealBattery::new(Energy::from_picojoules(100.0));
+        b.draw(Energy::from_picojoules(100.0));
+        assert!(b.is_dead());
+        assert_eq!(b.reported_level(16), 0);
+    }
+
+    #[test]
+    fn reported_level_midway() {
+        let mut b = IdealBattery::new(Energy::from_picojoules(100.0));
+        b.draw(Energy::from_picojoules(50.0));
+        // soc = 0.5 -> level 8 of 16
+        assert_eq!(b.reported_level(16), 8);
+        assert_eq!(b.reported_level(2), 1);
+        assert_eq!(b.reported_level(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let b = IdealBattery::new(Energy::from_picojoules(100.0));
+        let _ = b.reported_level(0);
+    }
+
+    #[test]
+    fn draw_outcome_helpers() {
+        assert!(DrawOutcome::Delivered.is_delivered());
+        assert!(!DrawOutcome::AlreadyDead.is_delivered());
+        assert!(!DrawOutcome::Depleted { delivered: Energy::ZERO }.is_delivered());
+    }
+}

@@ -1,0 +1,207 @@
+//! The [`LinearBattery`] model.
+
+use etx_units::{Cycles, Energy, Voltage};
+
+use crate::{Battery, DrawOutcome};
+
+/// A battery whose voltage declines linearly from `v_full` to `v_empty`
+/// with depth-of-discharge, dying at a cutoff voltage.
+///
+/// Sits between [`IdealBattery`](crate::IdealBattery) (no voltage sag) and
+/// [`ThinFilmBattery`](crate::ThinFilmBattery) (measured curve plus
+/// discrete-time effects); mainly useful in tests and ablations that need
+/// a *predictable* amount of stranded energy.
+///
+/// # Examples
+///
+/// ```
+/// use etx_battery::{Battery, LinearBattery};
+/// use etx_units::{Energy, Voltage};
+///
+/// // 4.0 V full, 2.0 V empty, dies at 3.0 V => exactly half is usable.
+/// let mut b = LinearBattery::new(
+///     Energy::from_picojoules(1000.0),
+///     Voltage::from_volts(4.0),
+///     Voltage::from_volts(2.0),
+///     Voltage::from_volts(3.0),
+/// );
+/// while !b.is_dead() {
+///     b.draw(Energy::from_picojoules(10.0));
+/// }
+/// assert!((b.delivered().picojoules() - 500.0).abs() < 11.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearBattery {
+    nominal: Energy,
+    consumed: Energy,
+    v_full: Voltage,
+    v_empty: Voltage,
+    cutoff: Voltage,
+    dead: bool,
+}
+
+impl LinearBattery {
+    /// Creates a linear battery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_full < v_empty` or `nominal` is negative.
+    #[must_use]
+    pub fn new(nominal: Energy, v_full: Voltage, v_empty: Voltage, cutoff: Voltage) -> Self {
+        assert!(
+            v_full >= v_empty,
+            "full voltage {v_full} must not be below empty voltage {v_empty}"
+        );
+        assert!(
+            nominal.picojoules() >= 0.0,
+            "battery capacity must be non-negative, got {nominal}"
+        );
+        let mut b = LinearBattery {
+            nominal,
+            consumed: Energy::ZERO,
+            v_full,
+            v_empty,
+            cutoff,
+            dead: false,
+        };
+        b.dead = b.nominal.is_zero() || b.voltage_now() < b.cutoff;
+        b
+    }
+
+    fn depth_of_discharge(&self) -> f64 {
+        if self.nominal.is_zero() {
+            1.0
+        } else {
+            (self.consumed / self.nominal).clamp(0.0, 1.0)
+        }
+    }
+
+    fn voltage_now(&self) -> Voltage {
+        self.v_full.lerp(self.v_empty, self.depth_of_discharge())
+    }
+}
+
+impl Battery for LinearBattery {
+    fn draw(&mut self, energy: Energy) -> DrawOutcome {
+        if self.dead {
+            return DrawOutcome::AlreadyDead;
+        }
+        let energy = energy.clamp_non_negative();
+        let available = self.nominal - self.consumed;
+        let (outcome, drained) = if energy <= available {
+            (DrawOutcome::Delivered, energy)
+        } else {
+            (DrawOutcome::Depleted { delivered: available }, available)
+        };
+        self.consumed += drained;
+        if self.voltage_now() < self.cutoff || self.consumed >= self.nominal {
+            self.dead = true;
+            // A draw that tripped the cutoff still powered its operation if
+            // the full energy was supplied before the voltage check; the
+            // paper's rule is that the *next* operation finds the node dead.
+        }
+        outcome
+    }
+
+    fn rest(&mut self, _idle: Cycles) {}
+
+    fn voltage(&self) -> Voltage {
+        self.voltage_now()
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn nominal_capacity(&self) -> Energy {
+        self.nominal
+    }
+
+    fn delivered(&self) -> Energy {
+        self.consumed
+    }
+
+    fn wasted(&self) -> Energy {
+        if self.dead {
+            self.nominal - self.consumed
+        } else {
+            Energy::ZERO
+        }
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        1.0 - self.depth_of_discharge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pj(v: f64) -> Energy {
+        Energy::from_picojoules(v)
+    }
+
+    fn volts(v: f64) -> Voltage {
+        Voltage::from_volts(v)
+    }
+
+    #[test]
+    fn dies_at_cutoff_and_strands_energy() {
+        let mut b = LinearBattery::new(pj(1000.0), volts(4.0), volts(2.0), volts(3.0));
+        let mut draws = 0;
+        while !b.is_dead() {
+            b.draw(pj(10.0));
+            draws += 1;
+            assert!(draws < 200, "battery never died");
+        }
+        // Half the capacity is below 3.0 V.
+        assert!((b.delivered().picojoules() - 500.0).abs() <= 10.0 + 1e-9);
+        assert!((b.wasted().picojoules() - 500.0).abs() <= 10.0 + 1e-9);
+        let total = b.delivered() + b.wasted();
+        assert!((total.picojoules() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_declines_linearly() {
+        let mut b = LinearBattery::new(pj(100.0), volts(4.0), volts(2.0), volts(0.0));
+        assert_eq!(b.voltage().volts(), 4.0);
+        b.draw(pj(50.0));
+        assert!((b.voltage().volts() - 3.0).abs() < 1e-12);
+        b.draw(pj(50.0));
+        assert!((b.voltage().volts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_at_zero_uses_all_capacity() {
+        let mut b = LinearBattery::new(pj(100.0), volts(4.0), volts(2.0), volts(0.0));
+        for _ in 0..10 {
+            b.draw(pj(10.0));
+        }
+        assert!(b.is_dead());
+        assert_eq!(b.delivered(), pj(100.0));
+        assert_eq!(b.wasted(), Energy::ZERO);
+    }
+
+    #[test]
+    fn born_dead_when_cutoff_above_full_voltage() {
+        let b = LinearBattery::new(pj(100.0), volts(3.0), volts(2.0), volts(3.5));
+        assert!(b.is_dead());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be below")]
+    fn inverted_voltages_panic() {
+        let _ = LinearBattery::new(pj(100.0), volts(2.0), volts(4.0), volts(3.0));
+    }
+
+    #[test]
+    fn overdraw_reports_depleted() {
+        let mut b = LinearBattery::new(pj(100.0), volts(4.0), volts(2.0), volts(0.0));
+        match b.draw(pj(150.0)) {
+            DrawOutcome::Depleted { delivered } => assert_eq!(delivered, pj(100.0)),
+            other => panic!("expected Depleted, got {other:?}"),
+        }
+        assert!(b.is_dead());
+    }
+}

@@ -1,0 +1,403 @@
+//! The [`ThinFilmBattery`] model of Sec 5.1.3.
+
+use etx_units::{Cycles, Energy, Voltage};
+
+use crate::{Battery, DischargeCurve, DrawOutcome};
+
+/// Configuration for a [`ThinFilmBattery`].
+///
+/// Defaults reproduce the paper's setup: 60 000 pJ reduced nominal
+/// capacity, the Li-free thin-film discharge curve, and a 3.0 V death
+/// cutoff. The two discrete-time coefficients (rate-capacity and recovery)
+/// follow the structure of Benini et al. \[8\], which the paper cites as its
+/// battery-model source; their magnitudes are calibrated so that total
+/// deliverable energy stays within the paper's quoted 15 % model accuracy
+/// band of the ideal value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThinFilmConfig {
+    /// Nominal capacity `B` (the paper reduces it to 60 000 pJ to shorten
+    /// simulations).
+    pub nominal: Energy,
+    /// Discharge-voltage curve (Fig 2 shape by default).
+    pub curve: DischargeCurve,
+    /// Node-death threshold: the paper uses 3.0 V.
+    pub cutoff: Voltage,
+    /// Rate-capacity coefficient: the fraction of each draw that becomes
+    /// transiently unavailable at the reference draw size, growing
+    /// linearly with draw size (so doubling the instantaneous load more
+    /// than doubles the lost charge).
+    pub rate_capacity_coeff: f64,
+    /// Draw size at which the rate penalty equals
+    /// `rate_capacity_coeff * draw`.
+    pub reference_draw: Energy,
+    /// Fraction of the unavailable pool recovered per 1000 idle cycles.
+    pub recovery_per_kilocycle: f64,
+}
+
+impl Default for ThinFilmConfig {
+    fn default() -> Self {
+        ThinFilmConfig {
+            nominal: Energy::from_picojoules(60_000.0),
+            curve: DischargeCurve::li_free_thin_film(),
+            cutoff: Voltage::from_volts(3.0),
+            rate_capacity_coeff: 0.05,
+            reference_draw: Energy::from_picojoules(250.0),
+            recovery_per_kilocycle: 0.05,
+        }
+    }
+}
+
+/// A Li-free thin-film battery with a discrete-time discharge model.
+///
+/// Combines the measured discharge-voltage shape of the paper's Fig 2 with
+/// the discrete-time battery model of Benini et al. (the paper's reference
+/// \[8\]): each draw both delivers charge and makes a small, rate-dependent
+/// amount of charge transiently unavailable; idle periods recover part of
+/// that pool. The node dies when the output voltage falls below the 3.0 V
+/// cutoff, and **the remaining stored energy is wasted** — this is the
+/// physical effect that separates the Fig 7 results (thin-film) from the
+/// Table 2 results (ideal).
+///
+/// # Examples
+///
+/// ```
+/// use etx_battery::{Battery, ThinFilmBattery};
+/// use etx_units::{Cycles, Energy};
+///
+/// let mut b = ThinFilmBattery::default(); // the paper's 60 000 pJ cell
+/// let op = Energy::from_picojoules(250.0);
+/// let mut ops = 0;
+/// while b.draw(op).is_delivered() {
+///     b.rest(Cycles::new(100));
+///     ops += 1;
+/// }
+/// // Usable capacity is bounded by the 3.0 V knee (~95 % DoD).
+/// assert!(ops > 180 && ops < 240, "completed {ops} ops");
+/// assert!(b.wasted().is_positive());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThinFilmBattery {
+    config: ThinFilmConfig,
+    /// Energy delivered to the node.
+    consumed: Energy,
+    /// Charge transiently unavailable due to the rate-capacity effect.
+    unavailable: Energy,
+    dead: bool,
+}
+
+impl ThinFilmBattery {
+    /// Creates a thin-film battery with capacity `nominal` and default
+    /// curve/coefficients.
+    #[must_use]
+    pub fn new(nominal: Energy) -> Self {
+        Self::with_config(ThinFilmConfig { nominal, ..ThinFilmConfig::default() })
+    }
+
+    /// Creates a thin-film battery from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nominal capacity is negative, or if either
+    /// coefficient is negative or not finite, or if
+    /// `recovery_per_kilocycle > 1`.
+    #[must_use]
+    pub fn with_config(config: ThinFilmConfig) -> Self {
+        assert!(
+            config.nominal.picojoules() >= 0.0,
+            "battery capacity must be non-negative"
+        );
+        assert!(
+            config.rate_capacity_coeff.is_finite() && config.rate_capacity_coeff >= 0.0,
+            "rate-capacity coefficient must be finite and non-negative"
+        );
+        assert!(
+            config.recovery_per_kilocycle.is_finite()
+                && (0.0..=1.0).contains(&config.recovery_per_kilocycle),
+            "recovery fraction must be within [0, 1]"
+        );
+        assert!(
+            config.reference_draw.is_positive(),
+            "reference draw must be positive"
+        );
+        let mut b = ThinFilmBattery {
+            dead: config.nominal.is_zero(),
+            config,
+            consumed: Energy::ZERO,
+            unavailable: Energy::ZERO,
+        };
+        b.refresh_death();
+        b
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &ThinFilmConfig {
+        &self.config
+    }
+
+    /// Charge currently held unavailable by the rate-capacity effect.
+    #[must_use]
+    pub fn unavailable(&self) -> Energy {
+        self.unavailable
+    }
+
+    /// Effective depth of discharge, counting unavailable charge as spent.
+    #[must_use]
+    pub fn depth_of_discharge(&self) -> f64 {
+        if self.config.nominal.is_zero() {
+            return 1.0;
+        }
+        ((self.consumed + self.unavailable) / self.config.nominal).clamp(0.0, 1.0)
+    }
+
+    fn refresh_death(&mut self) {
+        if self.dead {
+            return;
+        }
+        let spent = self.consumed + self.unavailable;
+        if self.config.nominal.is_zero()
+            || spent >= self.config.nominal
+            || self.config.curve.voltage_at(self.depth_of_discharge()) < self.config.cutoff
+        {
+            self.dead = true;
+        }
+    }
+}
+
+impl Default for ThinFilmBattery {
+    /// The paper's cell: 60 000 pJ, Fig 2 curve, 3.0 V cutoff.
+    fn default() -> Self {
+        Self::with_config(ThinFilmConfig::default())
+    }
+}
+
+impl Battery for ThinFilmBattery {
+    fn draw(&mut self, energy: Energy) -> DrawOutcome {
+        if self.dead {
+            return DrawOutcome::AlreadyDead;
+        }
+        let energy = energy.clamp_non_negative();
+        let usable = (self.config.nominal - self.consumed - self.unavailable)
+            .clamp_non_negative();
+        if energy <= usable {
+            self.consumed += energy;
+            // Rate-capacity effect: a draw of size e locks away
+            // coeff * e * (e / reference) additional charge, capped by what
+            // remains.
+            let scale = energy / self.config.reference_draw;
+            let penalty = energy * (self.config.rate_capacity_coeff * scale);
+            let headroom =
+                (self.config.nominal - self.consumed - self.unavailable).clamp_non_negative();
+            self.unavailable += penalty.min(headroom);
+            self.refresh_death();
+            DrawOutcome::Delivered
+        } else {
+            self.consumed += usable;
+            self.dead = true;
+            DrawOutcome::Depleted { delivered: usable }
+        }
+    }
+
+    fn rest(&mut self, idle: Cycles) {
+        if self.dead || self.unavailable.is_zero() || idle.is_zero() {
+            return;
+        }
+        let kilocycles = idle.count() as f64 / 1000.0;
+        let keep = (1.0 - self.config.recovery_per_kilocycle).powf(kilocycles);
+        self.unavailable = self.unavailable * keep;
+        // Recovery can lift the voltage back above the cutoff only before
+        // death is latched; the paper's node death is permanent, so no
+        // resurrection check here.
+    }
+
+    fn voltage(&self) -> Voltage {
+        self.config.curve.voltage_at(self.depth_of_discharge())
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn nominal_capacity(&self) -> Energy {
+        self.config.nominal
+    }
+
+    fn delivered(&self) -> Energy {
+        self.consumed
+    }
+
+    fn wasted(&self) -> Energy {
+        if self.dead {
+            (self.config.nominal - self.consumed).clamp_non_negative()
+        } else {
+            Energy::ZERO
+        }
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        1.0 - self.depth_of_discharge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pj(v: f64) -> Energy {
+        Energy::from_picojoules(v)
+    }
+
+    #[test]
+    fn dies_at_cutoff_with_stranded_energy() {
+        let mut b = ThinFilmBattery::default();
+        while !b.is_dead() {
+            b.draw(pj(100.0));
+        }
+        // The 3.0 V knee sits at 95 % DoD; the rate effect brings death a
+        // little earlier still.
+        let frac = b.delivered() / b.nominal_capacity();
+        assert!(frac > 0.75 && frac < 0.96, "delivered fraction {frac}");
+        assert!(b.wasted().is_positive());
+        let total = b.delivered() + b.wasted();
+        assert!((total.picojoules() - 60_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn death_is_latched() {
+        let mut b = ThinFilmBattery::default();
+        while !b.is_dead() {
+            b.draw(pj(500.0));
+        }
+        b.rest(Cycles::new(1_000_000));
+        assert!(b.is_dead());
+        assert_eq!(b.draw(pj(1.0)), DrawOutcome::AlreadyDead);
+    }
+
+    #[test]
+    fn voltage_follows_curve() {
+        let mut b = ThinFilmBattery::default();
+        let fresh = b.voltage();
+        assert!((fresh.volts() - 4.2).abs() < 1e-9);
+        b.draw(pj(30_000.0)); // half the capacity in one (harsh) draw
+        assert!(b.voltage() < fresh);
+    }
+
+    #[test]
+    fn large_draws_strand_more_than_small_draws() {
+        let run = |chunk: f64| {
+            let mut b = ThinFilmBattery::default();
+            while b.draw(pj(chunk)).is_delivered() {}
+            b.delivered().picojoules()
+        };
+        let gentle = run(50.0);
+        let harsh = run(2_000.0);
+        assert!(
+            gentle > harsh,
+            "gentle {gentle} should out-deliver harsh {harsh} (rate-capacity effect)"
+        );
+    }
+
+    #[test]
+    fn resting_recovers_unavailable_charge() {
+        let mut rested = ThinFilmBattery::default();
+        let mut unrested = ThinFilmBattery::default();
+        let op = pj(500.0);
+        let (mut n_rested, mut n_unrested) = (0u32, 0u32);
+        loop {
+            if !rested.draw(op).is_delivered() {
+                break;
+            }
+            n_rested += 1;
+            rested.rest(Cycles::new(5_000));
+        }
+        while unrested.draw(op).is_delivered() {
+            n_unrested += 1;
+        }
+        assert!(
+            n_rested >= n_unrested,
+            "rested battery ({n_rested} ops) must not underperform unrested ({n_unrested})"
+        );
+        assert!(rested.unavailable().picojoules() >= 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_is_born_dead() {
+        let b = ThinFilmBattery::new(Energy::ZERO);
+        assert!(b.is_dead());
+        assert_eq!(b.state_of_charge(), 0.0);
+    }
+
+    #[test]
+    fn flat_curve_and_zero_coeffs_behave_ideally() {
+        // Disabling curve sag and discrete-time effects recovers the ideal
+        // battery's accounting (useful for differential testing).
+        let mut b = ThinFilmBattery::with_config(ThinFilmConfig {
+            nominal: pj(1000.0),
+            curve: DischargeCurve::flat(Voltage::from_volts(3.6)),
+            cutoff: Voltage::from_volts(3.0),
+            rate_capacity_coeff: 0.0,
+            reference_draw: pj(250.0),
+            recovery_per_kilocycle: 0.0,
+        });
+        let mut delivered = 0.0f64;
+        while b.draw(pj(100.0)).is_delivered() {
+            delivered += 100.0;
+        }
+        assert!((delivered - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery fraction")]
+    fn bad_recovery_fraction_panics() {
+        let _ = ThinFilmBattery::with_config(ThinFilmConfig {
+            recovery_per_kilocycle: 1.5,
+            ..ThinFilmConfig::default()
+        });
+    }
+
+    #[test]
+    fn reported_levels_decrease_monotonically() {
+        let mut b = ThinFilmBattery::default();
+        let mut last = b.reported_level(16);
+        while !b.is_dead() {
+            b.draw(pj(1000.0));
+            let now = b.reported_level(16);
+            assert!(now <= last, "battery level rose from {last} to {now}");
+            last = now;
+        }
+        assert_eq!(b.reported_level(16), 0);
+    }
+
+    proptest! {
+        /// delivered + wasted never exceeds nominal, and soc stays in [0,1].
+        #[test]
+        fn accounting_invariants(
+            draws in proptest::collection::vec(1.0f64..5000.0, 1..200),
+            rests in proptest::collection::vec(0u64..10_000, 1..200),
+        ) {
+            let mut b = ThinFilmBattery::default();
+            for (d, r) in draws.iter().zip(rests.iter().cycle()) {
+                b.draw(pj(*d));
+                b.rest(Cycles::new(*r));
+                prop_assert!((0.0..=1.0).contains(&b.state_of_charge()));
+                let sum = b.delivered().picojoules() + b.wasted().picojoules();
+                prop_assert!(sum <= b.nominal_capacity().picojoules() + 1e-6);
+            }
+        }
+
+        /// Once dead, always dead.
+        #[test]
+        fn death_latch(draws in proptest::collection::vec(100.0f64..10_000.0, 1..100)) {
+            let mut b = ThinFilmBattery::default();
+            let mut died = false;
+            for d in draws {
+                b.draw(pj(d));
+                if died {
+                    prop_assert!(b.is_dead());
+                }
+                died = died || b.is_dead();
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion bench for the Fig 2 battery models: discharge-curve lookups
+//! and full discharge walks of the thin-film discrete-time model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etx::experiments::fig2;
+use etx::prelude::*;
+
+fn bench_battery(c: &mut Criterion) {
+    let samples = fig2::run(60_000.0, 250.0);
+    println!("\nFig 2 (thin-film discharge curve):\n{}", fig2::render(&samples, 12));
+
+    let mut group = c.benchmark_group("battery");
+    group.bench_function("curve_lookup", |b| {
+        let curve = DischargeCurve::li_free_thin_film();
+        let mut dod = 0.0f64;
+        b.iter(|| {
+            dod = (dod + 0.001) % 1.0;
+            std::hint::black_box(curve.voltage_at(std::hint::black_box(dod)))
+        });
+    });
+    group.bench_function("thin_film_full_discharge", |b| {
+        b.iter(|| {
+            let mut cell = ThinFilmBattery::new(Energy::from_picojoules(60_000.0));
+            let op = Energy::from_picojoules(250.0);
+            let mut draws = 0u32;
+            while cell.draw(op).is_delivered() {
+                cell.rest(Cycles::new(100));
+                draws += 1;
+            }
+            std::hint::black_box(draws)
+        });
+    });
+    group.bench_function("ideal_full_discharge", |b| {
+        b.iter(|| {
+            let mut cell = IdealBattery::new(Energy::from_picojoules(60_000.0));
+            let op = Energy::from_picojoules(250.0);
+            let mut draws = 0u32;
+            while cell.draw(op).is_delivered() {
+                draws += 1;
+            }
+            std::hint::black_box(draws)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_battery);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for the routing kernels: the `O(K^3)` Floyd–Warshall
+//! phase 2 and the full EAR three-phase recomputation, across the paper's
+//! mesh sizes. This backs the paper's complexity claim that EAR/SDR are
+//! "practical for graphs consisting of tens to a few hundreds of nodes".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etx::prelude::*;
+use etx::graph::{dijkstra_all_pairs, floyd_warshall};
+
+fn module_stripes(k: usize) -> Vec<Vec<NodeId>> {
+    (0..3).map(|m| (m..k).step_by(3).map(NodeId::new).collect()).collect()
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_scaling");
+    for side in [4usize, 6, 8, 12, 16] {
+        let mesh = Mesh2D::square(side, Length::from_centimetres(2.05));
+        let graph = mesh.to_graph();
+        let k = graph.node_count();
+        let report = SystemReport::fresh(k, 16);
+        let modules = module_stripes(k);
+
+        group.bench_with_input(BenchmarkId::new("floyd_warshall", k), &graph, |b, graph| {
+            let weights = graph.weight_matrix(|e| e.length.centimetres());
+            b.iter(|| floyd_warshall(std::hint::black_box(&weights)));
+        });
+        // The O(K·E log K) alternative phase-2 backend: on sparse meshes
+        // it overtakes the O(K^3) Floyd-Warshall as K grows.
+        group.bench_with_input(BenchmarkId::new("dijkstra_all_pairs", k), &graph, |b, graph| {
+            let weights = graph.weight_matrix(|e| e.length.centimetres());
+            b.iter(|| dijkstra_all_pairs(std::hint::black_box(&weights)));
+        });
+        group.bench_with_input(BenchmarkId::new("ear_full_recompute", k), &graph, |b, graph| {
+            let router = Router::new(Algorithm::Ear);
+            b.iter(|| {
+                router.compute(
+                    std::hint::black_box(graph),
+                    std::hint::black_box(&modules),
+                    std::hint::black_box(&report),
+                    None,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! `repro` — regenerate every table and figure of the DATE'05 evaluation.
+//!
+//! ```text
+//! cargo run -p etx-bench --bin repro --release            # everything
+//! cargo run -p etx-bench --bin repro --release -- --exp fig7
+//! cargo run -p etx-bench --bin repro --release -- --exp table2 --battery 60000
+//! ```
+
+use etx::experiments::{
+    ablation, concurrent, fig2, fig7, fig8, table2, PAPER_BATTERY_PJ, PAPER_CONTROLLER_COUNTS,
+    PAPER_MESHES,
+};
+use etx::prelude::*;
+use etx_bench::Experiment;
+
+struct Options {
+    experiments: Vec<Experiment>,
+    battery_pj: f64,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiments = Vec::new();
+    let mut battery_pj = PAPER_BATTERY_PJ;
+    let mut csv = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--exp" => {
+                let name = args.next().ok_or("--exp needs a value")?;
+                if name == "all" {
+                    experiments.extend(Experiment::ALL);
+                } else {
+                    experiments.push(
+                        Experiment::parse(&name)
+                            .ok_or_else(|| format!("unknown experiment '{name}'"))?,
+                    );
+                }
+            }
+            "--battery" => {
+                let pj = args.next().ok_or("--battery needs a value")?;
+                battery_pj = pj
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad battery value '{pj}': {e}"))?;
+            }
+            "--csv" => {
+                csv = true;
+            }
+            "--help" | "-h" => {
+                let names: Vec<_> = Experiment::ALL.iter().map(|e| e.name()).collect();
+                return Err(format!(
+                    "usage: repro [--exp <name>|all]... [--battery <pJ>] [--csv]\n\
+                     experiments: {}",
+                    names.join(", ")
+                ));
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.extend(Experiment::ALL);
+    }
+    Ok(Options { experiments, battery_pj, csv })
+}
+
+fn run_theorem1(battery_pj: f64) {
+    let inputs = BoundInputs::uniform_comm(
+        &AppSpec::aes(),
+        SimConfig::default().comm_energy_per_act(),
+    );
+    println!("Theorem 1 — upper bound and optimal duplicates (B = {battery_pj} pJ)");
+    println!(
+        "normalized energies H_i: {:?}",
+        inputs
+            .normalized_energies()
+            .iter()
+            .map(|h| format!("{:.1} pJ", h.picojoules()))
+            .collect::<Vec<_>>()
+    );
+    for k in [16usize, 25, 36, 49, 64] {
+        let bound = upper_bound(&inputs, Energy::from_picojoules(battery_pj), k)
+            .expect("valid inputs");
+        let ints = bound.integer_duplicates().expect("node budget >= modules");
+        println!(
+            "K = {k:2}: J* = {:7.2}, n* = {:?} (integers {:?})",
+            bound.jobs(),
+            bound
+                .optimal_duplicates()
+                .iter()
+                .map(|d| format!("{d:.2}"))
+                .collect::<Vec<_>>(),
+            ints
+        );
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let b = options.battery_pj;
+    println!("etx repro — Kao & Marculescu, DATE 2005 (battery budget {b} pJ/node)\n");
+    for exp in options.experiments {
+        println!("==================================================================");
+        match exp {
+            Experiment::Fig2 => {
+                println!("Fig 2 — thin-film battery discharge curve\n");
+                let samples = fig2::run(b, b / 240.0);
+                println!("{}", fig2::render(&samples, 20));
+            }
+            Experiment::Fig7 => {
+                println!("Fig 7 — jobs completed, EAR vs SDR (thin-film batteries)\n");
+                let rows = fig7::run(&PAPER_MESHES, b);
+                if options.csv {
+                    println!("{}", fig7::render_as_csv(&rows));
+                } else {
+                    println!("{}", fig7::render(&rows));
+                }
+            }
+            Experiment::Table2 => {
+                println!("Table 2 — EAR vs the Theorem-1 upper bound (ideal batteries)\n");
+                let rows = table2::run(&PAPER_MESHES, b);
+                if options.csv {
+                    println!("{}", table2::render_as_csv(&rows));
+                } else {
+                    println!("{}", table2::render(&rows));
+                }
+            }
+            Experiment::Fig8 => {
+                println!("Fig 8 — controller-count sweep (battery-powered controllers)\n");
+                let cells = fig8::run(&PAPER_MESHES, &PAPER_CONTROLLER_COUNTS, b);
+                if options.csv {
+                    println!("{}", fig8::render_as_csv(&cells));
+                } else {
+                    println!("{}", fig8::render(&cells));
+                }
+            }
+            Experiment::Theorem1 => {
+                run_theorem1(b);
+            }
+            Experiment::Concurrent => {
+                println!("Concurrent jobs & deadlock recovery (Sec 7 intro)\n");
+                let rows = concurrent::run(&[1, 2, 4, 8], b);
+                println!("{}", concurrent::render(&rows));
+            }
+            Experiment::AblateQ => {
+                let rows = ablation::q_sweep(&[1.0, 2.0, 4.0, 8.0], b);
+                println!("{}", ablation::render("Ablation — EAR exponent Q (4x4)", &rows));
+            }
+            Experiment::AblateMapping => {
+                let rows = ablation::mapping_sweep(b);
+                println!("{}", ablation::render("Ablation — mapping strategy (EAR, 4x4)", &rows));
+            }
+            Experiment::AblateBattery => {
+                let rows = ablation::battery_sweep(b);
+                println!("{}", ablation::render("Ablation — battery model (4x4)", &rows));
+            }
+            Experiment::AblateLevels => {
+                let rows = ablation::levels_sweep(&[2, 4, 16, 64], b);
+                println!(
+                    "{}",
+                    ablation::render("Ablation — battery quantization N_B (EAR, 4x4)", &rows)
+                );
+            }
+            Experiment::AblateTopology => {
+                let rows = ablation::topology_sweep(b);
+                println!(
+                    "{}",
+                    ablation::render("Ablation — interconnect topology (EAR, 16 nodes)", &rows)
+                );
+            }
+            Experiment::AblateRemap => {
+                let rows = ablation::remap_sweep(b);
+                println!(
+                    "{}",
+                    ablation::render("Extension — module remapping (EAR, 5x5)", &rows)
+                );
+            }
+        }
+        println!();
+    }
+}

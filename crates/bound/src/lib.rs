@@ -1,0 +1,493 @@
+//! Theorem 1 of Kao & Marculescu (DATE'05): the analytical upper bound on
+//! the achievable number of completed jobs under *any* routing strategy.
+//!
+//! Construction (Sec 4 of the paper): the ideal routing strategy `RS*`
+//! (i) matches the topology to the application dataflow, (ii) maps an
+//! optimal — real-valued — number of duplicates `n_i` to each module,
+//! (iii) lets an interrupted operation resume on another duplicate for
+//! free, and (iv) pays no control overhead. Under `RS*` the only limit is
+//! energy itself, giving
+//!
+//! ```text
+//!   J* = B * K / Σ_i H_i          (Eq. 2)
+//!   n_i* = K * H_i / Σ_j H_j      (Eq. 3)
+//! ```
+//!
+//! where `H_i = f_i (E_i + c_i)` is the *normalized energy consumption* of
+//! module `i`, `B` the per-node battery budget and `K` the node budget.
+//! Eq. 3 is also the paper's mapping design rule: duplicate a module in
+//! proportion to how much energy it burns per job.
+//!
+//! # Examples
+//!
+//! ```
+//! use etx_app::AppSpec;
+//! use etx_bound::{upper_bound, BoundInputs};
+//! use etx_units::Energy;
+//!
+//! // Table 2, first row: 4x4 mesh, B = 60 000 pJ.
+//! let inputs = BoundInputs::uniform_comm(
+//!     &AppSpec::aes(),
+//!     Energy::from_picojoules(116.71),
+//! );
+//! let bound = upper_bound(&inputs, Energy::from_picojoules(60_000.0), 16)?;
+//! assert!((bound.jobs() - 131.4).abs() < 0.5);
+//! # Ok::<(), etx_bound::BoundError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+use etx_app::{AppSpec, ModuleId};
+use etx_units::Energy;
+
+/// Errors raised by bound computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundError {
+    /// The per-module communication-energy list has the wrong length.
+    CommEnergyLengthMismatch {
+        /// Number of modules in the application.
+        modules: usize,
+        /// Number of communication energies supplied.
+        supplied: usize,
+    },
+    /// A communication energy was negative.
+    NegativeCommEnergy {
+        /// The offending module.
+        module: ModuleId,
+    },
+    /// The battery budget was negative.
+    NegativeBudget,
+    /// The node budget is smaller than the number of modules, so no
+    /// feasible mapping exists (each module needs at least one node).
+    NodeBudgetTooSmall {
+        /// Node budget `K`.
+        nodes: usize,
+        /// Number of modules `p`.
+        modules: usize,
+    },
+}
+
+impl fmt::Display for BoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundError::CommEnergyLengthMismatch { modules, supplied } => write!(
+                f,
+                "application has {modules} modules but {supplied} communication energies were supplied"
+            ),
+            BoundError::NegativeCommEnergy { module } => {
+                write!(f, "communication energy for module {module} is negative")
+            }
+            BoundError::NegativeBudget => write!(f, "battery budget is negative"),
+            BoundError::NodeBudgetTooSmall { nodes, modules } => write!(
+                f,
+                "node budget {nodes} cannot host {modules} distinct modules"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BoundError {}
+
+/// The application-plus-platform inputs of Theorem 1: `p`, `f_i`, `E_i`
+/// and the per-module communication energies `c_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundInputs {
+    /// `H_i = f_i (E_i + c_i)` per module.
+    normalized: Vec<Energy>,
+}
+
+impl BoundInputs {
+    /// Builds inputs with an explicit per-module communication energy
+    /// `c_i` (energy per act of communication *originated* by module `i`).
+    ///
+    /// # Errors
+    ///
+    /// [`BoundError::CommEnergyLengthMismatch`] if `comm.len()` differs
+    /// from the module count, [`BoundError::NegativeCommEnergy`] for
+    /// negative entries.
+    pub fn new(app: &AppSpec, comm: &[Energy]) -> Result<Self, BoundError> {
+        if comm.len() != app.module_count() {
+            return Err(BoundError::CommEnergyLengthMismatch {
+                modules: app.module_count(),
+                supplied: comm.len(),
+            });
+        }
+        for (i, c) in comm.iter().enumerate() {
+            if c.picojoules() < 0.0 {
+                return Err(BoundError::NegativeCommEnergy { module: ModuleId::new(i) });
+            }
+        }
+        let normalized = app
+            .modules()
+            .zip(comm)
+            .map(|((_, m), &c)| (m.compute_energy() + c) * f64::from(m.ops_per_job()))
+            .collect();
+        Ok(BoundInputs { normalized })
+    }
+
+    /// Builds inputs where every module pays the same per-act
+    /// communication energy (the common case: all packets have the same
+    /// size and travel one ideal hop).
+    #[must_use]
+    pub fn uniform_comm(app: &AppSpec, comm: Energy) -> Self {
+        let comm = comm.clamp_non_negative();
+        Self::new(app, &vec![comm; app.module_count()])
+            .expect("uniform comm inputs are always consistent")
+    }
+
+    /// `H_i` for each module, in module order.
+    #[must_use]
+    pub fn normalized_energies(&self) -> &[Energy] {
+        &self.normalized
+    }
+
+    /// `Σ_i H_i`: the total normalized energy of one job.
+    #[must_use]
+    pub fn total_normalized_energy(&self) -> Energy {
+        self.normalized.iter().copied().sum()
+    }
+
+    /// Number of modules `p`.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.normalized.len()
+    }
+}
+
+/// The result of Theorem 1: the bound and the optimal duplicate counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpperBound {
+    jobs: f64,
+    duplicates: Vec<f64>,
+    node_budget: usize,
+}
+
+impl UpperBound {
+    /// `J*`: the maximum achievable number of completed jobs (Eq. 2).
+    ///
+    /// Real-valued, exactly as the paper reports it in Table 2
+    /// (e.g. 131.42 for the 4x4 mesh).
+    #[must_use]
+    pub fn jobs(&self) -> f64 {
+        self.jobs
+    }
+
+    /// `n_i*`: the optimal (real-valued) duplicate count per module
+    /// (Eq. 3). Sums to the node budget `K`.
+    #[must_use]
+    pub fn optimal_duplicates(&self) -> &[f64] {
+        &self.duplicates
+    }
+
+    /// Rounds the optimal duplicates to integers that sum to `K` with
+    /// every module keeping at least one node (largest-remainder
+    /// apportionment).
+    ///
+    /// This is what a real mapping has to do with Eq. 3, and it is how the
+    /// proportional mapping strategy in `etx-mapping` allocates nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`BoundError::NodeBudgetTooSmall`] if `K < p`.
+    pub fn integer_duplicates(&self) -> Result<Vec<u32>, BoundError> {
+        apportion(&self.duplicates, self.node_budget)
+    }
+}
+
+/// Largest-remainder apportionment of `total` seats proportional to
+/// `weights`, guaranteeing each entry at least one seat.
+///
+/// # Errors
+///
+/// [`BoundError::NodeBudgetTooSmall`] if `total < weights.len()`.
+pub fn apportion(weights: &[f64], total: usize) -> Result<Vec<u32>, BoundError> {
+    let p = weights.len();
+    if total < p {
+        return Err(BoundError::NodeBudgetTooSmall { nodes: total, modules: p });
+    }
+    let sum: f64 = weights.iter().sum();
+    // With a degenerate weight vector fall back to an even split.
+    let shares: Vec<f64> = if sum > 0.0 {
+        weights.iter().map(|w| w / sum * total as f64).collect()
+    } else {
+        vec![total as f64 / p as f64; p]
+    };
+    // Floor with a 1-seat minimum.
+    let mut alloc: Vec<u32> = shares.iter().map(|s| (s.floor() as u32).max(1)).collect();
+    let mut assigned: usize = alloc.iter().map(|&a| a as usize).sum();
+    // Guaranteeing minimums may have overshot; reclaim from the largest
+    // allocations (never below 1).
+    while assigned > total {
+        let victim = (0..p)
+            .filter(|&i| alloc[i] > 1)
+            .max_by(|&a, &b| {
+                (alloc[a] as f64 - shares[a])
+                    .partial_cmp(&(alloc[b] as f64 - shares[b]))
+                    .expect("shares are finite")
+            })
+            .expect("total >= p guarantees a reducible entry");
+        alloc[victim] -= 1;
+        assigned -= 1;
+    }
+    // Distribute leftovers by largest fractional remainder.
+    while assigned < total {
+        let winner = (0..p)
+            .max_by(|&a, &b| {
+                (shares[a] - alloc[a] as f64)
+                    .partial_cmp(&(shares[b] - alloc[b] as f64))
+                    .expect("shares are finite")
+            })
+            .expect("non-empty weights");
+        alloc[winner] += 1;
+        assigned += 1;
+    }
+    Ok(alloc)
+}
+
+/// Computes Theorem 1 for battery budget `battery` and node budget `nodes`.
+///
+/// # Errors
+///
+/// [`BoundError::NegativeBudget`] if `battery` is negative, and
+/// [`BoundError::NodeBudgetTooSmall`] if `nodes < p`.
+pub fn upper_bound(
+    inputs: &BoundInputs,
+    battery: Energy,
+    nodes: usize,
+) -> Result<UpperBound, BoundError> {
+    if battery.picojoules() < 0.0 {
+        return Err(BoundError::NegativeBudget);
+    }
+    let p = inputs.module_count();
+    if nodes < p {
+        return Err(BoundError::NodeBudgetTooSmall { nodes, modules: p });
+    }
+    let total_h = inputs.total_normalized_energy();
+    let jobs = if total_h.is_positive() {
+        battery.picojoules() * nodes as f64 / total_h.picojoules()
+    } else {
+        f64::INFINITY
+    };
+    let duplicates = inputs
+        .normalized
+        .iter()
+        .map(|h| {
+            if total_h.is_positive() {
+                nodes as f64 * (*h / total_h)
+            } else {
+                nodes as f64 / p as f64
+            }
+        })
+        .collect();
+    Ok(UpperBound { jobs, duplicates, node_budget: nodes })
+}
+
+/// Jobs completed by an explicit (real-valued) duplicate allocation under
+/// the ideal strategy: `min_i (n_i * B / H_i)` — Eq. 1's inner expression.
+///
+/// Exposed so property tests (and users exploring mappings) can verify
+/// that the closed-form optimum of Eq. 3 dominates every other allocation.
+///
+/// # Panics
+///
+/// Panics if `allocation.len()` differs from the module count.
+#[must_use]
+pub fn jobs_for_allocation(inputs: &BoundInputs, allocation: &[f64], battery: Energy) -> f64 {
+    assert_eq!(
+        allocation.len(),
+        inputs.module_count(),
+        "allocation length must match module count"
+    );
+    inputs
+        .normalized
+        .iter()
+        .zip(allocation)
+        .map(|(h, &n)| {
+            if h.is_positive() {
+                n * battery.picojoules() / h.picojoules()
+            } else {
+                f64::INFINITY
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_app::ModuleSpec;
+    use proptest::prelude::*;
+
+    fn pj(v: f64) -> Energy {
+        Energy::from_picojoules(v)
+    }
+
+    /// The calibrated per-act communication energy implied by Table 2
+    /// (see DESIGN.md): ~116.7 pJ.
+    const CALIBRATED_COMM_PJ: f64 = 116.71;
+
+    fn aes_inputs() -> BoundInputs {
+        BoundInputs::uniform_comm(&AppSpec::aes(), pj(CALIBRATED_COMM_PJ))
+    }
+
+    #[test]
+    fn table2_upper_bounds_reproduced() {
+        // Paper Table 2: (mesh, J*) pairs.
+        let expected = [(16, 131.42), (25, 205.25), (36, 295.70), (49, 402.48), (64, 525.69)];
+        let inputs = aes_inputs();
+        for (k, j_star) in expected {
+            let b = upper_bound(&inputs, pj(60_000.0), k).unwrap();
+            let rel = (b.jobs() - j_star).abs() / j_star;
+            assert!(
+                rel < 0.005,
+                "K={k}: computed {:.2}, paper {j_star} (rel err {rel:.4})",
+                b.jobs()
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_energies_match_hand_computation() {
+        let inputs = aes_inputs();
+        let h = inputs.normalized_energies();
+        let c = CALIBRATED_COMM_PJ;
+        assert!((h[0].picojoules() - 10.0 * (120.1 + c)).abs() < 1e-9);
+        assert!((h[1].picojoules() - 9.0 * (73.34 + c)).abs() < 1e-9);
+        assert!((h[2].picojoules() - 11.0 * (176.55 + c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_duplicates_sum_to_node_budget() {
+        let inputs = aes_inputs();
+        for k in [16usize, 25, 36, 49, 64] {
+            let b = upper_bound(&inputs, pj(60_000.0), k).unwrap();
+            let sum: f64 = b.optimal_duplicates().iter().sum();
+            assert!((sum - k as f64).abs() < 1e-9);
+            // Module 3 has the largest H, so the most duplicates (the
+            // paper's design rule behind the checkerboard mapping).
+            let d = b.optimal_duplicates();
+            assert!(d[2] > d[0] && d[0] > d[1]);
+        }
+    }
+
+    #[test]
+    fn integer_duplicates_sum_and_minimums() {
+        let inputs = aes_inputs();
+        for k in [3usize, 4, 16, 25, 64, 101] {
+            let b = upper_bound(&inputs, pj(60_000.0), k).unwrap();
+            let ints = b.integer_duplicates().unwrap();
+            assert_eq!(ints.iter().map(|&v| v as usize).sum::<usize>(), k);
+            assert!(ints.iter().all(|&v| v >= 1));
+        }
+    }
+
+    #[test]
+    fn checkerboard_is_near_optimal_for_aes_on_4x4() {
+        // The paper maps 4/4/8 of 16 nodes to modules 1/2/3; Eq. 3 gives
+        // the real-valued optimum — the checkerboard is its feasible
+        // neighbour, with module 3 getting the most nodes.
+        let b = upper_bound(&aes_inputs(), pj(60_000.0), 16).unwrap();
+        let d = b.optimal_duplicates();
+        assert!((d[0] - 5.2).abs() < 0.5, "n1* = {}", d[0]);
+        assert!((d[1] - 3.8).abs() < 0.5, "n2* = {}", d[1]);
+        assert!((d[2] - 7.1).abs() < 0.5, "n3* = {}", d[2]);
+    }
+
+    #[test]
+    fn error_cases() {
+        let app = AppSpec::aes();
+        assert!(matches!(
+            BoundInputs::new(&app, &[pj(1.0)]),
+            Err(BoundError::CommEnergyLengthMismatch { modules: 3, supplied: 1 })
+        ));
+        assert!(matches!(
+            BoundInputs::new(&app, &[pj(1.0), pj(-2.0), pj(1.0)]),
+            Err(BoundError::NegativeCommEnergy { .. })
+        ));
+        let inputs = aes_inputs();
+        assert_eq!(
+            upper_bound(&inputs, pj(-1.0), 16),
+            Err(BoundError::NegativeBudget)
+        );
+        assert!(matches!(
+            upper_bound(&inputs, pj(1.0), 2),
+            Err(BoundError::NodeBudgetTooSmall { nodes: 2, modules: 3 })
+        ));
+        let msg = upper_bound(&inputs, pj(1.0), 2).unwrap_err().to_string();
+        assert!(msg.contains("cannot host"));
+    }
+
+    #[test]
+    fn apportion_handles_degenerate_weights() {
+        assert_eq!(apportion(&[0.0, 0.0], 4).unwrap(), vec![2, 2]);
+        assert_eq!(apportion(&[1.0], 3).unwrap(), vec![3]);
+        assert!(apportion(&[1.0, 1.0], 1).is_err());
+        // Tiny weights keep their guaranteed single seat.
+        let a = apportion(&[1e-9, 1.0, 1.0], 3).unwrap();
+        assert_eq!(a, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn jobs_for_allocation_at_optimum_equals_bound() {
+        let inputs = aes_inputs();
+        let b = upper_bound(&inputs, pj(60_000.0), 16).unwrap();
+        let at_opt = jobs_for_allocation(&inputs, b.optimal_duplicates(), pj(60_000.0));
+        assert!((at_opt - b.jobs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_scales_linearly_in_battery_and_nodes() {
+        let inputs = aes_inputs();
+        let base = upper_bound(&inputs, pj(60_000.0), 16).unwrap().jobs();
+        let double_b = upper_bound(&inputs, pj(120_000.0), 16).unwrap().jobs();
+        let double_k = upper_bound(&inputs, pj(60_000.0), 32).unwrap().jobs();
+        assert!((double_b - 2.0 * base).abs() < 1e-9);
+        assert!((double_k - 2.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_energy_app_gives_infinite_bound() {
+        let app = AppSpec::builder("free")
+            .module(ModuleSpec::new("noop", 1, Energy::ZERO))
+            .op_sequence([0])
+            .build()
+            .unwrap();
+        let inputs = BoundInputs::uniform_comm(&app, Energy::ZERO);
+        let b = upper_bound(&inputs, pj(1.0), 1).unwrap();
+        assert!(b.jobs().is_infinite());
+    }
+
+    proptest! {
+        /// Eq. 3 dominates: no random allocation beats the closed-form
+        /// optimum (Theorem 1's optimality claim).
+        #[test]
+        fn closed_form_dominates_random_allocations(
+            raw in proptest::collection::vec(0.01f64..10.0, 3),
+            battery in 100.0f64..1e6,
+            k in 3usize..64,
+        ) {
+            let inputs = aes_inputs();
+            let sum: f64 = raw.iter().sum();
+            let alloc: Vec<f64> = raw.iter().map(|r| r / sum * k as f64).collect();
+            let opt = upper_bound(&inputs, pj(battery), k).unwrap();
+            let random_jobs = jobs_for_allocation(&inputs, &alloc, pj(battery));
+            prop_assert!(random_jobs <= opt.jobs() + 1e-9,
+                "allocation {alloc:?} beat the bound: {random_jobs} > {}", opt.jobs());
+        }
+
+        /// Apportionment always sums to the budget with unit minimums.
+        #[test]
+        fn apportion_invariants(
+            weights in proptest::collection::vec(0.0f64..100.0, 1..10),
+            extra in 0usize..50,
+        ) {
+            let total = weights.len() + extra;
+            let a = apportion(&weights, total).unwrap();
+            prop_assert_eq!(a.iter().map(|&v| v as usize).sum::<usize>(), total);
+            prop_assert!(a.iter().all(|&v| v >= 1));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The [`ControllerBank`]: redundant controllers with failover (Sec 7.3).
+
+use etx_battery::{Battery, DrawOutcome, ThinFilmBattery};
+use etx_units::Energy;
+
+/// A bank of central controllers, each with its own attached thin-film
+/// battery (the same cell as the AES nodes, Sec 5.1.3).
+///
+/// Exactly one controller is *active* at a time; the others are powered
+/// down ("several active and idle centralized controllers"). When the
+/// active controller's battery dies, the next idle one takes over. The
+/// system-lifetime effect of the bank size is the subject of the paper's
+/// Fig 8.
+///
+/// An *infinite* bank (Sec 7.1–7.2: "a single central controller with
+/// infinite energy resource") never dies and never pays for energy.
+///
+/// # Examples
+///
+/// ```
+/// use etx_control::ControllerBank;
+/// use etx_units::Energy;
+///
+/// let mut bank = ControllerBank::new(2, Energy::from_picojoules(100.0));
+/// assert_eq!(bank.live_count(), 2);
+/// // Drain through the first controller; the second takes over.
+/// bank.charge(Energy::from_picojoules(150.0));
+/// assert_eq!(bank.live_count(), 1);
+/// assert!(!bank.all_dead());
+/// ```
+#[derive(Debug)]
+pub struct ControllerBank {
+    controllers: Vec<ThinFilmBattery>,
+    active: usize,
+    infinite: bool,
+    consumed: Energy,
+}
+
+impl ControllerBank {
+    /// Creates a bank of `count` controllers, each powered by a thin-film
+    /// battery of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` — a platform without any controller cannot
+    /// route at all; use [`ControllerBank::infinite`] for the idealized
+    /// setup instead.
+    #[must_use]
+    pub fn new(count: usize, capacity: Energy) -> Self {
+        assert!(count > 0, "a controller bank needs at least one controller");
+        ControllerBank {
+            controllers: (0..count).map(|_| ThinFilmBattery::new(capacity)).collect(),
+            active: 0,
+            infinite: false,
+            consumed: Energy::ZERO,
+        }
+    }
+
+    /// The idealized single controller with infinite energy used by the
+    /// paper's Sec 7.1 and 7.2 experiments.
+    #[must_use]
+    pub fn infinite() -> Self {
+        ControllerBank {
+            controllers: Vec::new(),
+            active: 0,
+            infinite: true,
+            consumed: Energy::ZERO,
+        }
+    }
+
+    /// `true` for the infinite-energy controller.
+    #[must_use]
+    pub fn is_infinite(&self) -> bool {
+        self.infinite
+    }
+
+    /// Number of controllers still able to serve (always 1 for the
+    /// infinite bank).
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        if self.infinite {
+            1
+        } else {
+            self.controllers.iter().filter(|c| !c.is_dead()).count()
+        }
+    }
+
+    /// Total number of controllers provisioned.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        if self.infinite {
+            1
+        } else {
+            self.controllers.len()
+        }
+    }
+
+    /// `true` once every controller battery has died — the Sec 7.3
+    /// system-death condition "the lifetime of the central controllers".
+    #[must_use]
+    pub fn all_dead(&self) -> bool {
+        !self.infinite && self.controllers.iter().all(Battery::is_dead)
+    }
+
+    /// Total energy the control function has consumed so far (tracked
+    /// even for the infinite bank, for overhead accounting).
+    #[must_use]
+    pub fn consumed(&self) -> Energy {
+        self.consumed
+    }
+
+    /// Draws `energy` from the active controller, failing over to the
+    /// next idle controller if the active one dies mid-draw (the residual
+    /// charge request is forwarded).
+    ///
+    /// Returns `false` once the whole bank is dead and the draw could not
+    /// be completed.
+    pub fn charge(&mut self, energy: Energy) -> bool {
+        self.consumed += energy.clamp_non_negative();
+        if self.infinite {
+            return true;
+        }
+        let mut remaining = energy.clamp_non_negative();
+        while self.active < self.controllers.len() {
+            match self.controllers[self.active].draw(remaining) {
+                DrawOutcome::Delivered => return true,
+                DrawOutcome::Depleted { delivered } => {
+                    remaining = (remaining - delivered).clamp_non_negative();
+                    self.active += 1;
+                }
+                DrawOutcome::AlreadyDead => {
+                    self.active += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Index of the active controller, if any is alive.
+    #[must_use]
+    pub fn active_index(&self) -> Option<usize> {
+        if self.infinite {
+            Some(0)
+        } else if self.active < self.controllers.len()
+            && !self.controllers[self.active].is_dead()
+        {
+            Some(self.active)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pj(v: f64) -> Energy {
+        Energy::from_picojoules(v)
+    }
+
+    #[test]
+    fn infinite_bank_never_dies() {
+        let mut bank = ControllerBank::infinite();
+        assert!(bank.is_infinite());
+        assert_eq!(bank.size(), 1);
+        for _ in 0..1000 {
+            assert!(bank.charge(pj(1e6)));
+        }
+        assert!(!bank.all_dead());
+        assert_eq!(bank.active_index(), Some(0));
+        assert_eq!(bank.consumed().picojoules(), 1e9);
+    }
+
+    #[test]
+    fn failover_walks_through_bank() {
+        // Thin-film cells strand ~5 % at the 3.0 V knee, so each 1000 pJ
+        // controller delivers a bit under 1000 pJ.
+        let mut bank = ControllerBank::new(3, pj(1000.0));
+        let mut served = 0u32;
+        while bank.charge(pj(100.0)) {
+            served += 1;
+            assert!(served < 100, "bank never died");
+        }
+        assert!(bank.all_dead());
+        assert_eq!(bank.live_count(), 0);
+        assert_eq!(bank.active_index(), None);
+        // Three batteries at >=85 % usable each: at least 24 draws served.
+        assert!(served >= 24, "served only {served}");
+    }
+
+    #[test]
+    fn live_count_decreases_on_failover() {
+        let mut bank = ControllerBank::new(2, pj(200.0));
+        assert_eq!(bank.live_count(), 2);
+        while bank.active_index() == Some(0) {
+            bank.charge(pj(50.0));
+        }
+        assert!(bank.live_count() <= 1);
+    }
+
+    #[test]
+    fn consumed_tracks_all_draws() {
+        let mut bank = ControllerBank::new(1, pj(100.0));
+        bank.charge(pj(30.0));
+        bank.charge(pj(30.0));
+        assert_eq!(bank.consumed().picojoules(), 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one controller")]
+    fn empty_bank_panics() {
+        let _ = ControllerBank::new(0, pj(100.0));
+    }
+}

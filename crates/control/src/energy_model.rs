@@ -1,0 +1,130 @@
+//! The [`ControllerEnergyModel`]: power of the central controller.
+
+use etx_units::{Cycles, Energy, Frequency, Power};
+
+/// Power model of a central controller.
+///
+/// Sec 7.3 of the paper measures the controller of a **4x4** mesh at
+/// 100 MHz: 6.94 mW dynamic plus 0.57 mW leakage. For other mesh sizes the
+/// paper only states that "a controller for a bigger mesh consumes more
+/// power than a controller for a smaller mesh"; this model scales both
+/// components linearly with the node count (the controller's state —
+/// routing tables, status registers — grows with `K`). That scaling is
+/// what produces the decreasing tails of Fig 8.
+///
+/// # Examples
+///
+/// ```
+/// use etx_control::ControllerEnergyModel;
+/// use etx_units::Cycles;
+///
+/// let m44 = ControllerEnergyModel::for_mesh_nodes(16);
+/// let m88 = ControllerEnergyModel::for_mesh_nodes(64);
+/// let idle = Cycles::new(1000);
+/// assert!(m88.leakage_energy(idle) > m44.leakage_energy(idle));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerEnergyModel {
+    dynamic: Power,
+    leakage: Power,
+    clock: Frequency,
+}
+
+impl ControllerEnergyModel {
+    /// The paper's measured dynamic power for the 4x4-mesh controller.
+    pub const BASE_DYNAMIC_MILLIWATTS: f64 = 6.94;
+    /// The paper's measured leakage power for the 4x4-mesh controller.
+    pub const BASE_LEAKAGE_MILLIWATTS: f64 = 0.57;
+    /// Mesh size the base measurement corresponds to.
+    pub const BASE_MESH_NODES: usize = 16;
+
+    /// Creates a model from explicit powers and clock.
+    #[must_use]
+    pub fn new(dynamic: Power, leakage: Power, clock: Frequency) -> Self {
+        ControllerEnergyModel { dynamic, leakage, clock }
+    }
+
+    /// The paper's controller for a mesh of `nodes` nodes: the 4x4
+    /// measurement scaled by `nodes / 16`, at the default 100 MHz clock.
+    #[must_use]
+    pub fn for_mesh_nodes(nodes: usize) -> Self {
+        let scale = nodes as f64 / Self::BASE_MESH_NODES as f64;
+        ControllerEnergyModel {
+            dynamic: Power::from_milliwatts(Self::BASE_DYNAMIC_MILLIWATTS) * scale,
+            leakage: Power::from_milliwatts(Self::BASE_LEAKAGE_MILLIWATTS) * scale,
+            clock: Frequency::default(),
+        }
+    }
+
+    /// Dynamic power draw while actively computing routes / driving
+    /// downloads.
+    #[must_use]
+    pub fn dynamic_power(&self) -> Power {
+        self.dynamic
+    }
+
+    /// Leakage power drawn whenever the controller is powered on.
+    #[must_use]
+    pub fn leakage_power(&self) -> Power {
+        self.leakage
+    }
+
+    /// Energy for `cycles` of active computation: (dynamic + leakage) · t.
+    #[must_use]
+    pub fn active_energy(&self, cycles: Cycles) -> Energy {
+        (self.dynamic + self.leakage).energy_over(cycles, self.clock)
+    }
+
+    /// Energy for `cycles` of powered-on idling: leakage only.
+    #[must_use]
+    pub fn leakage_energy(&self, cycles: Cycles) -> Energy {
+        self.leakage.energy_over(cycles, self.clock)
+    }
+}
+
+impl Default for ControllerEnergyModel {
+    /// The 4x4-mesh controller of the paper.
+    fn default() -> Self {
+        Self::for_mesh_nodes(Self::BASE_MESH_NODES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_measurement_reproduced() {
+        let m = ControllerEnergyModel::default();
+        // 6.94 + 0.57 = 7.51 mW at 100 MHz -> 75.1 pJ/cycle active.
+        let e = m.active_energy(Cycles::new(1));
+        assert!((e.picojoules() - 75.1).abs() < 1e-9);
+        // Leakage alone: 5.7 pJ/cycle.
+        let e = m.leakage_energy(Cycles::new(1));
+        assert!((e.picojoules() - 5.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_is_linear_in_nodes() {
+        let m16 = ControllerEnergyModel::for_mesh_nodes(16);
+        let m64 = ControllerEnergyModel::for_mesh_nodes(64);
+        let c = Cycles::new(100);
+        assert!(
+            (m64.active_energy(c).picojoules() - 4.0 * m16.active_energy(c).picojoules()).abs()
+                < 1e-9
+        );
+        assert_eq!(m64.dynamic_power().milliwatts(), 4.0 * 6.94);
+        assert_eq!(m64.leakage_power().milliwatts(), 4.0 * 0.57);
+    }
+
+    #[test]
+    fn custom_model() {
+        let m = ControllerEnergyModel::new(
+            Power::from_milliwatts(1.0),
+            Power::from_milliwatts(0.5),
+            Frequency::from_megahertz(100.0),
+        );
+        assert!((m.active_energy(Cycles::new(10)).picojoules() - 150.0).abs() < 1e-9);
+        assert!((m.leakage_energy(Cycles::new(10)).picojoules() - 50.0).abs() < 1e-9);
+    }
+}

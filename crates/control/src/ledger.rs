@@ -1,0 +1,128 @@
+//! The [`ControlLedger`]: overhead accounting for Sec 7.1's percentages.
+
+use etx_units::Energy;
+
+/// Running account of where control energy went.
+///
+/// The paper reports "the percentage of energy consumed on exchanging the
+/// control information divided by the total energy consumption" — 2.8 %,
+/// 3.1 %, 4.1 %, 9.3 % and 11.6 % for 4x4 … 8x8 meshes. The ledger
+/// separates the shared-medium energy (what that quote measures) from the
+/// controller's own compute energy so both ratios can be reported.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ControlLedger {
+    upload_medium: Energy,
+    download_medium: Energy,
+    controller_compute: Energy,
+}
+
+impl ControlLedger {
+    /// A fresh, empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records energy spent by nodes driving the medium during uploads.
+    pub fn record_upload(&mut self, energy: Energy) {
+        self.upload_medium += energy.clamp_non_negative();
+    }
+
+    /// Records energy spent by the controller driving downloads.
+    pub fn record_download(&mut self, energy: Energy) {
+        self.download_medium += energy.clamp_non_negative();
+    }
+
+    /// Records controller computation (routing algorithm + leakage).
+    pub fn record_controller_compute(&mut self, energy: Energy) {
+        self.controller_compute += energy.clamp_non_negative();
+    }
+
+    /// Energy spent on the shared medium (uploads + downloads) — the
+    /// quantity behind the paper's overhead percentages.
+    #[must_use]
+    pub fn medium_energy(&self) -> Energy {
+        self.upload_medium + self.download_medium
+    }
+
+    /// Upload-phase medium energy.
+    #[must_use]
+    pub fn upload_energy(&self) -> Energy {
+        self.upload_medium
+    }
+
+    /// Download-phase medium energy.
+    #[must_use]
+    pub fn download_energy(&self) -> Energy {
+        self.download_medium
+    }
+
+    /// Controller compute + leakage energy.
+    #[must_use]
+    pub fn controller_energy(&self) -> Energy {
+        self.controller_compute
+    }
+
+    /// Everything the control mechanism consumed.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.medium_energy() + self.controller_compute
+    }
+
+    /// The paper's overhead metric: medium energy as a fraction of
+    /// `total_system_energy` (which must already include the medium
+    /// energy). Returns 0 for a zero-energy system.
+    #[must_use]
+    pub fn overhead_fraction(&self, total_system_energy: Energy) -> f64 {
+        if total_system_energy.is_positive() {
+            self.medium_energy() / total_system_energy
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pj(v: f64) -> Energy {
+        Energy::from_picojoules(v)
+    }
+
+    #[test]
+    fn accumulates_by_category() {
+        let mut l = ControlLedger::new();
+        l.record_upload(pj(10.0));
+        l.record_upload(pj(5.0));
+        l.record_download(pj(20.0));
+        l.record_controller_compute(pj(100.0));
+        assert_eq!(l.upload_energy(), pj(15.0));
+        assert_eq!(l.download_energy(), pj(20.0));
+        assert_eq!(l.medium_energy(), pj(35.0));
+        assert_eq!(l.controller_energy(), pj(100.0));
+        assert_eq!(l.total(), pj(135.0));
+    }
+
+    #[test]
+    fn overhead_fraction_matches_paper_definition() {
+        let mut l = ControlLedger::new();
+        l.record_upload(pj(28.0));
+        // 28 medium out of 1000 total system energy: 2.8 %.
+        assert!((l.overhead_fraction(pj(1000.0)) - 0.028).abs() < 1e-12);
+        assert_eq!(l.overhead_fraction(Energy::ZERO), 0.0);
+    }
+
+    #[test]
+    fn negative_records_are_clamped() {
+        let mut l = ControlLedger::new();
+        l.record_upload(pj(-5.0));
+        assert_eq!(l.medium_energy(), Energy::ZERO);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let l = ControlLedger::default();
+        assert_eq!(l.total(), Energy::ZERO);
+    }
+}

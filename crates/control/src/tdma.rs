@@ -1,0 +1,152 @@
+//! The [`TdmaConfig`] frame schedule and shared-medium energy.
+
+use etx_energy::TransmissionLineModel;
+use etx_units::{Cycles, Energy, Length};
+
+/// Configuration of the TDMA control frames (the paper's Fig 4).
+///
+/// Defaults are calibrated so the control-energy overhead lands in the
+/// paper's reported band (2.8 % on a 4x4 mesh growing to ~12 % on 8x8):
+/// 5-bit status uploads (4-bit battery level + deadlock flag), 8-bit
+/// routing downloads, a 2-bit-wide shared medium of 20 cm, and one frame
+/// every 1024 cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdmaConfig {
+    /// Cycles between consecutive control frames.
+    pub frame_period: Cycles,
+    /// Bits each node uploads per frame (battery level + deadlock flag).
+    pub upload_bits_per_node: u32,
+    /// Bits the controller downloads per node when routing changes.
+    pub download_bits_per_node: u32,
+    /// Width of the shared control medium in bits ("can be very narrow,
+    /// for instance, only 2-bit wide").
+    pub medium_width_bits: u32,
+    /// Physical length of the shared medium.
+    pub medium_length: Length,
+    /// Switching activity on the medium.
+    pub medium_activity: f64,
+}
+
+impl Default for TdmaConfig {
+    fn default() -> Self {
+        TdmaConfig {
+            frame_period: Cycles::new(1024),
+            upload_bits_per_node: 5,
+            download_bits_per_node: 8,
+            medium_width_bits: 2,
+            medium_length: Length::from_centimetres(20.0),
+            medium_activity: 1.0,
+        }
+    }
+}
+
+impl TdmaConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width is zero, the period is zero, or the activity is
+    /// outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(!self.frame_period.is_zero(), "frame period must be positive");
+        assert!(self.upload_bits_per_node > 0, "upload payload must be non-empty");
+        assert!(self.download_bits_per_node > 0, "download payload must be non-empty");
+        assert!(self.medium_width_bits > 0, "medium width must be positive");
+        assert!(
+            self.medium_activity.is_finite() && (0.0..=1.0).contains(&self.medium_activity),
+            "medium activity must be in [0, 1]"
+        );
+    }
+
+    /// TDMA slots (medium cycles) one node's upload occupies.
+    #[must_use]
+    pub fn upload_slots_per_node(&self) -> u32 {
+        self.upload_bits_per_node.div_ceil(self.medium_width_bits)
+    }
+
+    /// TDMA slots one node's download occupies.
+    #[must_use]
+    pub fn download_slots_per_node(&self) -> u32 {
+        self.download_bits_per_node.div_ceil(self.medium_width_bits)
+    }
+
+    /// Total cycles of one full frame (upload + download phases) for
+    /// `nodes` participating nodes, assuming one slot per cycle.
+    #[must_use]
+    pub fn frame_cycles(&self, nodes: usize) -> Cycles {
+        let slots =
+            (self.upload_slots_per_node() + self.download_slots_per_node()) as u64 * nodes as u64;
+        Cycles::new(slots)
+    }
+
+    /// Energy one node spends driving the shared medium for its upload
+    /// slot in one frame.
+    #[must_use]
+    pub fn upload_energy_per_node(&self, line: &TransmissionLineModel) -> Energy {
+        line.energy_per_bit_switch(self.medium_length)
+            * f64::from(self.upload_bits_per_node)
+            * self.medium_activity
+    }
+
+    /// Energy the controller spends driving the shared medium to download
+    /// one node's routing instruction.
+    #[must_use]
+    pub fn download_energy_per_node(&self, line: &TransmissionLineModel) -> Energy {
+        line.energy_per_bit_switch(self.medium_length)
+            * f64::from(self.download_bits_per_node)
+            * self.medium_activity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper_shape() {
+        let t = TdmaConfig::default();
+        t.validate();
+        assert_eq!(t.medium_width_bits, 2); // the paper's 2-bit medium
+        assert_eq!(t.upload_slots_per_node(), 3); // ceil(5/2)
+        assert_eq!(t.download_slots_per_node(), 4); // ceil(8/2)
+        assert_eq!(t.frame_cycles(16), Cycles::new(112)); // (3+4)*16
+    }
+
+    #[test]
+    fn upload_energy_uses_medium_length() {
+        let t = TdmaConfig::default();
+        let line = TransmissionLineModel::textile();
+        // 5 bits at the 20 cm anchor (11.867 pJ/bit).
+        let e = t.upload_energy_per_node(&line);
+        assert!((e.picojoules() - 5.0 * 11.867).abs() < 1e-9);
+        let d = t.download_energy_per_node(&line);
+        assert!((d.picojoules() - 8.0 * 11.867).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slots_round_up() {
+        let t = TdmaConfig { upload_bits_per_node: 4, ..TdmaConfig::default() };
+        assert_eq!(t.upload_slots_per_node(), 2);
+        let t = TdmaConfig { medium_width_bits: 3, ..TdmaConfig::default() };
+        assert_eq!(t.upload_slots_per_node(), 2); // ceil(5/3)
+    }
+
+    #[test]
+    fn frame_cycles_scale_with_mesh() {
+        let t = TdmaConfig::default();
+        assert!(t.frame_cycles(64) > t.frame_cycles(16));
+        assert_eq!(t.frame_cycles(0), Cycles::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "medium width")]
+    fn zero_width_medium_panics() {
+        TdmaConfig { medium_width_bits: 0, ..TdmaConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "frame period")]
+    fn zero_period_panics() {
+        TdmaConfig { frame_period: Cycles::ZERO, ..TdmaConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,258 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! None of these appear as numbered artifacts in the paper, but each
+//! probes a knob the paper fixes silently: the EAR exponent `Q`, the
+//! battery quantization `N_B`, the mapping strategy behind Fig 3(b), and
+//! the battery model gap between Table 2 and Fig 7.
+
+use etx_routing::{Algorithm, BatteryWeighting};
+use etx_sim::{
+    BatteryModel, JobSource, MappingKind, RemappingPolicy, SimConfig, TopologyKind,
+};
+
+use super::render_table;
+
+/// Outcome of one ablation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Human-readable setting, e.g. `"Q = 2"`.
+    pub setting: String,
+    /// Jobs completed (fractional).
+    pub jobs: f64,
+    /// Lifetime in cycles.
+    pub lifetime: u64,
+}
+
+fn base(battery_pj: f64) -> etx_sim::SimConfigBuilder {
+    SimConfig::builder()
+        .mesh_square(4)
+        .algorithm(Algorithm::Ear)
+        .battery(BatteryModel::ThinFilm)
+        .battery_capacity_picojoules(battery_pj)
+}
+
+/// Sweeps the EAR weighting exponent `Q` (Q = 1 disables battery
+/// awareness entirely, degenerating EAR into SDR).
+#[must_use]
+pub fn q_sweep(qs: &[f64], battery_pj: f64) -> Vec<AblationRow> {
+    qs.iter()
+        .map(|&q| {
+            let report = base(battery_pj)
+                .weighting(BatteryWeighting::new(16, q))
+                .build()
+                .expect("q sweep config is valid")
+                .run();
+            AblationRow {
+                setting: format!("Q = {q}"),
+                jobs: report.jobs_fractional,
+                lifetime: report.lifetime_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the battery-level quantization `N_B` (coarser reports hide
+/// imbalance from the controller).
+#[must_use]
+pub fn levels_sweep(levels: &[u32], battery_pj: f64) -> Vec<AblationRow> {
+    levels
+        .iter()
+        .map(|&nb| {
+            let report = base(battery_pj)
+                .weighting(BatteryWeighting::new(nb, 2.0))
+                .build()
+                .expect("levels sweep config is valid")
+                .run();
+            AblationRow {
+                setting: format!("N_B = {nb}"),
+                jobs: report.jobs_fractional,
+                lifetime: report.lifetime_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Compares the mapping strategies under identical EAR routing.
+#[must_use]
+pub fn mapping_sweep(battery_pj: f64) -> Vec<AblationRow> {
+    [
+        ("checkerboard (paper)", MappingKind::Checkerboard),
+        ("proportional (Thm 1)", MappingKind::Proportional),
+        ("round-robin", MappingKind::RoundRobin),
+    ]
+    .into_iter()
+    .map(|(name, mapping)| {
+        let report = base(battery_pj)
+            .mapping(mapping)
+            .build()
+            .expect("mapping sweep config is valid")
+            .run();
+        AblationRow {
+            setting: name.to_string(),
+            jobs: report.jobs_fractional,
+            lifetime: report.lifetime_cycles,
+        }
+    })
+    .collect()
+}
+
+/// Quantifies the ideal-vs-thin-film battery gap for both algorithms
+/// (the gap that separates Table 2 from Fig 7).
+#[must_use]
+pub fn battery_sweep(battery_pj: f64) -> Vec<AblationRow> {
+    let cases = [
+        ("EAR / ideal", Algorithm::Ear, BatteryModel::Ideal),
+        ("EAR / thin-film", Algorithm::Ear, BatteryModel::ThinFilm),
+        ("SDR / ideal", Algorithm::Sdr, BatteryModel::Ideal),
+        ("SDR / thin-film", Algorithm::Sdr, BatteryModel::ThinFilm),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, algorithm, battery)| {
+            let report = base(battery_pj)
+                .algorithm(algorithm)
+                .battery(battery)
+                .build()
+                .expect("battery sweep config is valid")
+                .run();
+            AblationRow {
+                setting: name.to_string(),
+                jobs: report.jobs_fractional,
+                lifetime: report.lifetime_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Compares interconnect topologies under identical EAR routing and the
+/// Theorem-1 proportional mapping (the checkerboard needs mesh
+/// coordinates). The routing algorithms are general-purpose; this sweep
+/// shows how much the fabric shape itself matters.
+#[must_use]
+pub fn topology_sweep(battery_pj: f64) -> Vec<AblationRow> {
+    let cases = [
+        ("mesh 4x4", TopologyKind::Mesh),
+        ("torus 4x4", TopologyKind::Torus),
+        ("ring of 16", TopologyKind::Ring),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, topology)| {
+            let report = base(battery_pj)
+                .topology(topology)
+                .mapping(MappingKind::Proportional)
+                .source(JobSource::GatewayNode { node: 0 })
+                .build()
+                .expect("topology sweep config is valid")
+                .run();
+            AblationRow {
+                setting: name.to_string(),
+                jobs: report.jobs_fractional,
+                lifetime: report.lifetime_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Quantifies the remapping (code-migration) extension the paper defers:
+/// EAR with a fixed mapping vs EAR allowed to reprogram surplus nodes
+/// when a module's live duplicates run low.
+#[must_use]
+pub fn remap_sweep(battery_pj: f64) -> Vec<AblationRow> {
+    let cases: [(&str, Option<RemappingPolicy>); 2] = [
+        ("fixed mapping (paper)", None),
+        ("with remapping", Some(RemappingPolicy::default())),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, remapping)| {
+            let mut builder = base(battery_pj).mesh_square(5);
+            if let Some(policy) = remapping {
+                builder = builder.remapping(policy);
+            }
+            let report = builder.build().expect("remap sweep config is valid").run();
+            AblationRow {
+                setting: format!("{name} ({} remaps)", report.remaps),
+                jobs: report.jobs_fractional,
+                lifetime: report.lifetime_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Renders any ablation as a text table.
+#[must_use]
+pub fn render(title: &str, rows: &[AblationRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![r.setting.clone(), format!("{:.1}", r.jobs), r.lifetime.to_string()]
+        })
+        .collect();
+    format!("{title}\n{}", render_table(&["setting", "jobs", "lifetime (cyc)"], &body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_sweep_shows_battery_awareness_matters() {
+        let rows = q_sweep(&[1.0, 2.0], 10_000.0);
+        assert_eq!(rows.len(), 2);
+        // Q = 2 (battery-aware) should beat Q = 1 (oblivious).
+        assert!(
+            rows[1].jobs >= rows[0].jobs,
+            "Q=2 ({:.1}) trailed Q=1 ({:.1})",
+            rows[1].jobs,
+            rows[0].jobs
+        );
+    }
+
+    #[test]
+    fn mapping_sweep_runs_all_strategies() {
+        let rows = mapping_sweep(6_000.0);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.jobs > 0.0));
+    }
+
+    #[test]
+    fn battery_sweep_ideal_near_or_above_thin_film() {
+        // Ideal cells deliver strictly more energy, but staggered
+        // voltage-cutoff deaths give the router earlier warnings, so the
+        // thin-film run can tie or inch ahead (at tiny budgets the 2-vs-3
+        // job discretization even amplifies this). The durable invariant,
+        // checked at a budget big enough to smooth discretization: thin
+        // film never *substantially* beats ideal.
+        let rows = battery_sweep(20_000.0);
+        let get = |name: &str| rows.iter().find(|r| r.setting.starts_with(name)).unwrap().jobs;
+        assert!(get("EAR / ideal") >= get("EAR / thin-film") * 0.85, "{rows:?}");
+        assert!(get("SDR / ideal") >= get("SDR / thin-film") * 0.85, "{rows:?}");
+        // And every configuration completes work.
+        assert!(rows.iter().all(|r| r.jobs > 0.0));
+    }
+
+    #[test]
+    fn topology_sweep_runs_all_shapes() {
+        let rows = topology_sweep(6_000.0);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.jobs > 0.0), "{rows:?}");
+    }
+
+    #[test]
+    fn remap_sweep_never_hurts() {
+        let rows = remap_sweep(8_000.0);
+        assert_eq!(rows.len(), 2);
+        // With the default checkerboard there is redundancy everywhere,
+        // so remapping may or may not fire — but it must not lose jobs.
+        assert!(rows[1].jobs >= rows[0].jobs * 0.9, "{rows:?}");
+    }
+
+    #[test]
+    fn levels_sweep_and_render() {
+        let rows = levels_sweep(&[2, 16], 6_000.0);
+        assert_eq!(rows.len(), 2);
+        let table = render("N_B sweep", &rows);
+        assert!(table.contains("N_B sweep") && table.contains("N_B = 16"));
+    }
+}

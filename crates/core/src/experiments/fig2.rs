@@ -1,0 +1,94 @@
+//! Fig 2: the thin-film battery discharge curve.
+//!
+//! The paper's Fig 2 plots output voltage against delivered capacity for
+//! the Li-free thin-film cell of \[10\]. This driver discharges our
+//! [`ThinFilmBattery`] model at a constant per-step load and samples the
+//! voltage, regenerating the same curve (scaled to the paper's reduced
+//! 60 000 pJ nominal capacity).
+
+use etx_battery::{Battery, ThinFilmBattery};
+use etx_units::Energy;
+
+use super::render_table;
+
+/// One sample of the discharge curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DischargeSample {
+    /// Energy delivered so far, in picojoules.
+    pub delivered_pj: f64,
+    /// Fraction of nominal capacity delivered.
+    pub delivered_fraction: f64,
+    /// Output voltage at this point.
+    pub volts: f64,
+}
+
+/// Discharges a default thin-film cell with `step_pj` draws and records
+/// the voltage after each draw until the 3.0 V death cutoff.
+///
+/// # Panics
+///
+/// Panics if `step_pj` is not positive.
+#[must_use]
+pub fn run(battery_pj: f64, step_pj: f64) -> Vec<DischargeSample> {
+    assert!(step_pj > 0.0, "discharge step must be positive");
+    let mut battery = ThinFilmBattery::new(Energy::from_picojoules(battery_pj));
+    let nominal = battery.nominal_capacity().picojoules();
+    let mut samples = vec![DischargeSample {
+        delivered_pj: 0.0,
+        delivered_fraction: 0.0,
+        volts: battery.voltage().volts(),
+    }];
+    while battery.draw(Energy::from_picojoules(step_pj)).is_delivered() {
+        let delivered = battery.delivered().picojoules();
+        samples.push(DischargeSample {
+            delivered_pj: delivered,
+            delivered_fraction: delivered / nominal,
+            volts: battery.voltage().volts(),
+        });
+    }
+    samples
+}
+
+/// Renders (a down-sampled view of) the curve as a text table.
+#[must_use]
+pub fn render(samples: &[DischargeSample], max_rows: usize) -> String {
+    let stride = (samples.len() / max_rows.max(1)).max(1);
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .step_by(stride)
+        .map(|s| {
+            vec![
+                format!("{:.0}", s.delivered_pj),
+                format!("{:.1}", s.delivered_fraction * 100.0),
+                format!("{:.3}", s.volts),
+            ]
+        })
+        .collect();
+    render_table(&["delivered (pJ)", "delivered (%)", "voltage (V)"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone_and_ends_near_cutoff() {
+        let samples = run(60_000.0, 250.0);
+        assert!(samples.len() > 100);
+        assert!(samples.windows(2).all(|w| w[1].volts <= w[0].volts + 1e-9));
+        let last = samples.last().unwrap();
+        // Dies at the 3.0 V knee, having delivered most of the capacity.
+        assert!(last.volts >= 2.9 && last.volts <= 3.4, "final voltage {}", last.volts);
+        assert!(last.delivered_fraction > 0.75);
+        assert!((samples[0].volts - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_downsamples() {
+        let samples = run(10_000.0, 100.0);
+        let table = render(&samples, 10);
+        let lines = table.lines().count();
+        assert!(lines <= 14, "table too long: {lines} lines");
+        assert!(table.contains("voltage"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Fig 7: jobs completed under EAR vs SDR, plus the in-text control
+//! overhead percentages of Sec 7.1.
+//!
+//! Setup per the paper: thin-film batteries, one job in flight at a time,
+//! a single controller with infinite energy, 2-bit control medium, mesh
+//! sizes 4x4 … 8x8. EAR's win here is the paper's headline result: a
+//! factor between 5x and 15x, growing with network size.
+
+use etx_routing::Algorithm;
+use etx_sim::{BatteryModel, SimConfig, SimReport};
+
+use super::{render_csv, render_table};
+
+/// One mesh-size row of Fig 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Mesh side (the paper's 4 … 8).
+    pub mesh: usize,
+    /// Jobs completed under EAR (fractional, as the paper counts).
+    pub ear_jobs: f64,
+    /// Jobs completed under SDR.
+    pub sdr_jobs: f64,
+    /// Control-medium overhead percentage of the EAR run (Sec 7.1's
+    /// 2.8 % … 11.6 % list).
+    pub ear_overhead_pct: f64,
+    /// Full EAR report, for deeper inspection.
+    pub ear_report: SimReport,
+    /// Full SDR report.
+    pub sdr_report: SimReport,
+}
+
+impl Fig7Row {
+    /// The EAR/SDR performance gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        if self.sdr_jobs > 0.0 {
+            self.ear_jobs / self.sdr_jobs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn run_one(mesh: usize, algorithm: Algorithm, battery_pj: f64) -> SimReport {
+    SimConfig::builder()
+        .mesh_square(mesh)
+        .algorithm(algorithm)
+        .battery(BatteryModel::ThinFilm)
+        .battery_capacity_picojoules(battery_pj)
+        .build()
+        .expect("fig7 configuration is valid")
+        .run()
+}
+
+/// Runs the Fig 7 sweep.
+#[must_use]
+pub fn run(meshes: &[usize], battery_pj: f64) -> Vec<Fig7Row> {
+    meshes
+        .iter()
+        .map(|&mesh| {
+            let ear_report = run_one(mesh, Algorithm::Ear, battery_pj);
+            let sdr_report = run_one(mesh, Algorithm::Sdr, battery_pj);
+            Fig7Row {
+                mesh,
+                ear_jobs: ear_report.jobs_fractional,
+                sdr_jobs: sdr_report.jobs_fractional,
+                ear_overhead_pct: ear_report.overhead_percent(),
+                ear_report,
+                sdr_report,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep in the shape of the paper's Fig 7 plus the overhead
+/// list.
+#[must_use]
+pub fn render(rows: &[Fig7Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{0}x{0}", r.mesh),
+                format!("{:.1}", r.sdr_jobs),
+                format!("{:.1}", r.ear_jobs),
+                format!("{:.1}x", r.gain()),
+                format!("{:.1}%", r.ear_overhead_pct),
+            ]
+        })
+        .collect();
+    render_table(
+        &["mesh", "SDR jobs", "EAR jobs", "EAR/SDR", "ctl overhead"],
+        &body,
+    )
+}
+
+/// Renders the sweep as CSV for plotting.
+#[must_use]
+pub fn render_as_csv(rows: &[Fig7Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mesh.to_string(),
+                format!("{:.3}", r.sdr_jobs),
+                format!("{:.3}", r.ear_jobs),
+                format!("{:.3}", r.gain()),
+                format!("{:.3}", r.ear_overhead_pct),
+            ]
+        })
+        .collect();
+    render_csv(&["mesh", "sdr_jobs", "ear_jobs", "gain", "ear_overhead_pct"], &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ear_dominates_sdr_and_scales() {
+        // Scaled battery keeps the debug-mode test quick.
+        let rows = run(&[4, 5], 15_000.0);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(
+                row.ear_jobs > row.sdr_jobs,
+                "{0}x{0}: EAR {1:.1} vs SDR {2:.1}",
+                row.mesh,
+                row.ear_jobs,
+                row.sdr_jobs
+            );
+            assert!(row.gain() > 1.0);
+            assert!((0.0..100.0).contains(&row.ear_overhead_pct));
+        }
+        // EAR exploits extra nodes; SDR stays corner-bound.
+        assert!(rows[1].ear_jobs > rows[0].ear_jobs);
+    }
+
+    #[test]
+    fn render_shape() {
+        let rows = run(&[4], 8_000.0);
+        let table = render(&rows);
+        assert!(table.contains("4x4"));
+        assert!(table.contains("EAR/SDR"));
+        let csv = render_as_csv(&rows);
+        assert!(csv.starts_with("mesh,sdr_jobs"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Fig 8: the effect of the number of central controllers on system
+//! lifetime (Sec 7.3).
+//!
+//! Controllers here are battery-powered (same thin-film cell as the
+//! nodes) with failover; a bigger mesh needs a beefier — hungrier —
+//! controller. Expected shape: jobs increase with the controller count up
+//! to a saturation threshold where the AES nodes' lifetime dominates, and
+//! for a fixed count the tails decrease with mesh size.
+
+use etx_routing::Algorithm;
+use etx_sim::{BatteryModel, ControllerSetup, SimConfig, SimReport};
+
+use super::{render_csv, render_table};
+
+/// One (mesh, controller-count) cell of Fig 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Cell {
+    /// Mesh side.
+    pub mesh: usize,
+    /// Number of provisioned controllers.
+    pub controllers: usize,
+    /// Jobs completed (fractional).
+    pub jobs: f64,
+    /// Why the system died (controller-limited vs node-limited).
+    pub report: SimReport,
+}
+
+/// Runs the Fig 8 sweep: every mesh size crossed with every controller
+/// count.
+#[must_use]
+pub fn run(meshes: &[usize], controller_counts: &[usize], battery_pj: f64) -> Vec<Fig8Cell> {
+    let mut cells = Vec::with_capacity(meshes.len() * controller_counts.len());
+    for &mesh in meshes {
+        for &controllers in controller_counts {
+            let report = SimConfig::builder()
+                .mesh_square(mesh)
+                .algorithm(Algorithm::Ear)
+                .battery(BatteryModel::ThinFilm)
+                .battery_capacity_picojoules(battery_pj)
+                .controllers(ControllerSetup::Finite { count: controllers })
+                .build()
+                .expect("fig8 configuration is valid")
+                .run();
+            cells.push(Fig8Cell { mesh, controllers, jobs: report.jobs_fractional, report });
+        }
+    }
+    cells
+}
+
+/// Renders the sweep as a mesh x controllers grid (one series per
+/// controller count, like the paper's grouped bars).
+#[must_use]
+pub fn render(cells: &[Fig8Cell]) -> String {
+    let mut meshes: Vec<usize> = cells.iter().map(|c| c.mesh).collect();
+    meshes.sort_unstable();
+    meshes.dedup();
+    let mut counts: Vec<usize> = cells.iter().map(|c| c.controllers).collect();
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut header: Vec<String> = vec!["mesh".to_string()];
+    header.extend(counts.iter().map(|c| format!("{c} ctl")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let body: Vec<Vec<String>> = meshes
+        .iter()
+        .map(|&m| {
+            let mut row = vec![format!("{m}x{m}")];
+            for &c in &counts {
+                let cell = cells
+                    .iter()
+                    .find(|x| x.mesh == m && x.controllers == c)
+                    .map_or_else(|| "-".to_string(), |x| format!("{:.1}", x.jobs));
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    render_table(&header_refs, &body)
+}
+
+/// Renders the sweep as long-format CSV (one row per cell) for plotting.
+#[must_use]
+pub fn render_as_csv(cells: &[Fig8Cell]) -> String {
+    let body: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.mesh.to_string(),
+                c.controllers.to_string(),
+                format!("{:.3}", c.jobs),
+                c.report.death_cause.to_string(),
+            ]
+        })
+        .collect();
+    render_csv(&["mesh", "controllers", "jobs", "death_cause"], &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_sim::DeathCause;
+
+    #[test]
+    fn more_controllers_never_hurt() {
+        let cells = run(&[4], &[1, 4], 10_000.0);
+        assert_eq!(cells.len(), 2);
+        let one = &cells[0];
+        let four = &cells[1];
+        assert!(
+            four.jobs >= one.jobs,
+            "4 controllers ({:.1}) should not trail 1 controller ({:.1})",
+            four.jobs,
+            one.jobs
+        );
+    }
+
+    #[test]
+    fn starved_controllers_are_the_death_cause() {
+        // With a single controller and plenty of node battery, the
+        // controller battery dies first.
+        let cells = run(&[4], &[1], 40_000.0);
+        assert_eq!(cells[0].report.death_cause, DeathCause::ControllersDead);
+    }
+
+    #[test]
+    fn render_grid_shape() {
+        let cells = run(&[4], &[1, 2], 6_000.0);
+        let table = render(&cells);
+        assert!(table.contains("1 ctl"));
+        assert!(table.contains("2 ctl"));
+        assert!(table.contains("4x4"));
+        let csv = render_as_csv(&cells);
+        assert!(csv.starts_with("mesh,controllers"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

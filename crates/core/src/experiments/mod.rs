@@ -1,0 +1,141 @@
+//! Experiment drivers: one per table/figure of the paper's evaluation.
+//!
+//! | Driver | Paper artifact | What it sweeps |
+//! |---|---|---|
+//! | [`fig2`] | Fig 2 | thin-film discharge voltage vs delivered energy |
+//! | [`fig7`] | Fig 7 + Sec 7.1 overhead list | EAR vs SDR across mesh sizes (thin-film batteries) |
+//! | [`table2`] | Table 2 | EAR vs the Theorem-1 bound (ideal batteries) |
+//! | [`fig8`] | Fig 8 | jobs vs controller count across mesh sizes |
+//! | [`concurrent`] | Sec 7 intro | concurrent jobs & deadlock recovery |
+//! | [`ablation`] | DESIGN.md §5 | Q, N_B, mapping and battery-model sweeps |
+//!
+//! Every driver takes an explicit battery budget so tests can run scaled
+//! down while the `repro` binary uses the paper's 60 000 pJ; every row
+//! type renders as an aligned text table via [`render_table`].
+
+pub mod ablation;
+pub mod concurrent;
+pub mod fig2;
+pub mod fig7;
+pub mod fig8;
+pub mod table2;
+
+/// The paper's per-node battery budget in picojoules.
+pub const PAPER_BATTERY_PJ: f64 = 60_000.0;
+
+/// The paper's mesh side lengths (4x4 … 8x8).
+pub const PAPER_MESHES: [usize; 5] = [4, 5, 6, 7, 8];
+
+/// The controller counts of Fig 8.
+pub const PAPER_CONTROLLER_COUNTS: [usize; 5] = [1, 2, 4, 7, 10];
+
+/// Renders rows as an aligned, pipe-separated text table.
+///
+/// `header` and each row must have the same number of columns.
+///
+/// # Panics
+///
+/// Panics if a row's column count differs from the header's.
+#[must_use]
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row has {} columns, header has {cols}", row.len());
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:>w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(ToString::to_string).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Renders rows as CSV (header + comma-separated lines) for plotting.
+///
+/// Cells containing commas or quotes are quoted per RFC 4180.
+///
+/// # Panics
+///
+/// Panics if a row's column count differs from the header's.
+#[must_use]
+pub fn render_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let cols = header.len();
+    let mut out = header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), cols, "row has {} columns, header has {cols}", row.len());
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_csv_escapes() {
+        let s = render_csv(
+            &["mesh", "note"],
+            &[vec!["4x4".to_string(), "has, comma".to_string()],
+              vec!["5x5".to_string(), "has \"quote\"".to_string()]],
+        );
+        assert!(s.starts_with("mesh,note\n"));
+        assert!(s.contains("\"has, comma\""));
+        assert!(s.contains("\"has \"\"quote\"\"\""));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn render_csv_ragged_panics() {
+        let _ = render_csv(&["a"], &[vec!["x".to_string(), "y".to_string()]]);
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = render_table(
+            &["mesh", "jobs"],
+            &[
+                vec!["4x4".to_string(), "62.8".to_string()],
+                vec!["8x8".to_string(), "234".to_string()],
+            ],
+        );
+        assert!(s.contains("| mesh | jobs |"));
+        assert!(s.contains("|  4x4 | 62.8 |"));
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a"], &[vec!["x".to_string(), "y".to_string()]]);
+    }
+}

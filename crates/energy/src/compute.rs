@@ -1,0 +1,131 @@
+//! Computation-energy constants and tables.
+//!
+//! The paper synthesizes the three AES modules in Verilog (Synopsys Design
+//! Compiler, 0.16 µm) and measures power at 100 MHz, obtaining the
+//! per-act-of-computation energies reproduced here. We cannot re-run the
+//! synthesis flow, so — per the reproduction's substitution rules — the
+//! published constants themselves are the model (see DESIGN.md).
+
+use etx_units::Energy;
+
+/// Per-act computation energy of AES Module 1 (SubBytes / ShiftRows).
+pub const AES_MODULE1_PJ: f64 = 120.1;
+
+/// Per-act computation energy of AES Module 2 (MixColumns).
+pub const AES_MODULE2_PJ: f64 = 73.34;
+
+/// Per-act computation energy of AES Module 3 (KeyExpansion / AddRoundKey).
+pub const AES_MODULE3_PJ: f64 = 176.55;
+
+/// The three AES module energies `[E1, E2, E3]` as typed quantities.
+///
+/// # Examples
+///
+/// ```
+/// use etx_energy::compute::aes_module_energies;
+///
+/// let [e1, e2, e3] = aes_module_energies();
+/// assert!(e3 > e1 && e1 > e2); // Module 3 is the hungriest
+/// ```
+#[must_use]
+pub fn aes_module_energies() -> [Energy; 3] {
+    [
+        Energy::from_picojoules(AES_MODULE1_PJ),
+        Energy::from_picojoules(AES_MODULE2_PJ),
+        Energy::from_picojoules(AES_MODULE3_PJ),
+    ]
+}
+
+/// A per-module computation-energy table for an arbitrary application.
+///
+/// Index `i` holds `E_i`, the energy one act of computation costs on
+/// module `i` (the paper's Table 1 notation).
+///
+/// # Examples
+///
+/// ```
+/// use etx_energy::compute::ComputeEnergyTable;
+/// use etx_units::Energy;
+///
+/// let table = ComputeEnergyTable::new(vec![
+///     Energy::from_picojoules(120.1),
+///     Energy::from_picojoules(73.34),
+/// ]);
+/// assert_eq!(table.module_count(), 2);
+/// assert_eq!(table.energy(1).unwrap().picojoules(), 73.34);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeEnergyTable {
+    energies: Vec<Energy>,
+}
+
+impl ComputeEnergyTable {
+    /// Creates a table from per-module energies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any energy is negative.
+    #[must_use]
+    pub fn new(energies: Vec<Energy>) -> Self {
+        for (i, e) in energies.iter().enumerate() {
+            assert!(
+                e.picojoules() >= 0.0,
+                "module {i} has negative computation energy {e}"
+            );
+        }
+        ComputeEnergyTable { energies }
+    }
+
+    /// The paper's three-module AES table.
+    #[must_use]
+    pub fn aes() -> Self {
+        Self::new(aes_module_energies().to_vec())
+    }
+
+    /// Number of modules in the table.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// Energy per act of computation for module `module`; `None` if out of
+    /// range.
+    #[must_use]
+    pub fn energy(&self, module: usize) -> Option<Energy> {
+        self.energies.get(module).copied()
+    }
+
+    /// Iterates over all module energies in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Energy> + '_ {
+        self.energies.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_constants_match_paper() {
+        let [e1, e2, e3] = aes_module_energies();
+        assert_eq!(e1.picojoules(), 120.1);
+        assert_eq!(e2.picojoules(), 73.34);
+        assert_eq!(e3.picojoules(), 176.55);
+    }
+
+    #[test]
+    fn aes_table() {
+        let t = ComputeEnergyTable::aes();
+        assert_eq!(t.module_count(), 3);
+        assert_eq!(t.energy(0).unwrap().picojoules(), AES_MODULE1_PJ);
+        assert_eq!(t.energy(2).unwrap().picojoules(), AES_MODULE3_PJ);
+        assert_eq!(t.energy(3), None);
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative computation energy")]
+    fn negative_energy_panics() {
+        let _ = ComputeEnergyTable::new(vec![Energy::from_picojoules(-1.0)]);
+    }
+}

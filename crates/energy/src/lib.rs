@@ -1,0 +1,43 @@
+//! Energy models for the e-textile platform.
+//!
+//! Sec 5.1 of the DATE'05 paper measures three things and feeds them into
+//! `et_sim`:
+//!
+//! 1. **Computation energy** per act of each AES module (Synopsys synthesis
+//!    at 0.16 µm, measured at 100 MHz): `E1 = 120.1 pJ`, `E2 = 73.34 pJ`,
+//!    `E3 = 176.55 pJ` — see [`compute`].
+//! 2. **Communication energy** of woven textile transmission lines
+//!    (polyester yarn twisted with a 40 µm copper thread), SPICE-extracted
+//!    per bit-switching activity at 1/10/20/100 cm — see
+//!    [`TransmissionLineModel`].
+//! 3. The battery discharge behaviour (in the `etx-battery` crate).
+//!
+//! The paper's key observation — *"the power consumed on the transmission
+//! lines is not negligible compared with the power consumed in the
+//! computational modules"* — is what makes energy-aware routing
+//! worthwhile; the doc-test below checks it holds in this model too.
+//!
+//! # Examples
+//!
+//! ```
+//! use etx_energy::{TransmissionLineModel, PacketFormat, compute};
+//! use etx_units::Length;
+//!
+//! let line = TransmissionLineModel::textile();
+//! let packet = PacketFormat::default(); // 128-bit AES state packets
+//! // A 10 cm hop costs 4.4472 pJ/bit * 128 bits:
+//! let hop = line.packet_energy(Length::from_centimetres(10.0), &packet, 1.0);
+//! assert!((hop.picojoules() - 569.24).abs() < 0.01);
+//! // ... which dwarfs even the most expensive computation act (176.55 pJ):
+//! assert!(hop > compute::aes_module_energies()[2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compute;
+mod line;
+mod packet;
+
+pub use line::{LineModelError, TransmissionLineModel, TEXTILE_LINE_POINTS};
+pub use packet::PacketFormat;

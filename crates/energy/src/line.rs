@@ -1,0 +1,330 @@
+//! The [`TransmissionLineModel`] for woven textile interconnects.
+
+use core::fmt;
+
+use etx_units::{Energy, Length};
+
+use crate::PacketFormat;
+
+/// The paper's SPICE-extracted energies per bit-switching activity, for
+/// textile transmission lines of 1, 10, 20 and 100 cm (Sec 5.1.2).
+///
+/// The fabric is polyester yarn twisted with a single 40 µm copper thread,
+/// insulated with a polyesterimide coating (Cottet et al., the paper's
+/// reference \[6\]).
+pub const TEXTILE_LINE_POINTS: [(f64, f64); 4] = [
+    (1.0, 0.4472),
+    (10.0, 4.4472),
+    (20.0, 11.867),
+    (100.0, 53.082),
+];
+
+/// Errors raised when constructing a [`TransmissionLineModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineModelError {
+    /// No anchor points supplied.
+    Empty,
+    /// Lengths must be strictly increasing and positive.
+    BadLength {
+        /// Offending anchor index.
+        index: usize,
+    },
+    /// Energies must be non-negative and non-decreasing with length.
+    BadEnergy {
+        /// Offending anchor index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LineModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineModelError::Empty => write!(f, "transmission-line model needs anchor points"),
+            LineModelError::BadLength { index } => write!(
+                f,
+                "transmission-line anchor {index} has a non-increasing or non-positive length"
+            ),
+            LineModelError::BadEnergy { index } => write!(
+                f,
+                "transmission-line anchor {index} has a negative or decreasing energy"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LineModelError {}
+
+/// Per-bit-switching energy of a textile transmission line as a function
+/// of its physical length.
+///
+/// The model interpolates linearly between measured anchors, pins
+/// `e(0) = 0` (a zero-length line costs nothing), and extrapolates the
+/// last segment's slope beyond the longest anchor. That matches how the
+/// measured points behave: energy grows monotonically and roughly linearly
+/// with length once past the short-line regime.
+///
+/// # Examples
+///
+/// ```
+/// use etx_energy::TransmissionLineModel;
+/// use etx_units::Length;
+///
+/// let line = TransmissionLineModel::textile();
+/// // Measured anchors are reproduced exactly:
+/// let e = line.energy_per_bit_switch(Length::from_centimetres(20.0));
+/// assert!((e.picojoules() - 11.867).abs() < 1e-12);
+/// // Between anchors the model interpolates:
+/// let e = line.energy_per_bit_switch(Length::from_centimetres(15.0));
+/// assert!(e.picojoules() > 4.4472 && e.picojoules() < 11.867);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransmissionLineModel {
+    /// `(length_cm, energy_pj)` anchors, with the implicit `(0, 0)` origin.
+    anchors: Vec<(f64, f64)>,
+}
+
+impl TransmissionLineModel {
+    /// The paper's textile line model built from [`TEXTILE_LINE_POINTS`].
+    #[must_use]
+    pub fn textile() -> Self {
+        Self::from_points(
+            TEXTILE_LINE_POINTS
+                .iter()
+                .map(|&(cm, pj)| (Length::from_centimetres(cm), Energy::from_picojoules(pj))),
+        )
+        .expect("built-in anchors are valid")
+    }
+
+    /// Builds a model from measured `(length, energy-per-bit-switch)`
+    /// anchors.
+    ///
+    /// # Errors
+    ///
+    /// * [`LineModelError::Empty`] without anchors;
+    /// * [`LineModelError::BadLength`] unless lengths are positive and
+    ///   strictly increasing;
+    /// * [`LineModelError::BadEnergy`] unless energies are non-negative
+    ///   and non-decreasing.
+    pub fn from_points<I>(points: I) -> Result<Self, LineModelError>
+    where
+        I: IntoIterator<Item = (Length, Energy)>,
+    {
+        let anchors: Vec<(f64, f64)> = points
+            .into_iter()
+            .map(|(l, e)| (l.centimetres(), e.picojoules()))
+            .collect();
+        if anchors.is_empty() {
+            return Err(LineModelError::Empty);
+        }
+        let mut prev_len = 0.0;
+        let mut prev_energy = 0.0;
+        for (i, &(len, e)) in anchors.iter().enumerate() {
+            if len <= prev_len {
+                return Err(LineModelError::BadLength { index: i });
+            }
+            if e < prev_energy {
+                return Err(LineModelError::BadEnergy { index: i });
+            }
+            prev_len = len;
+            prev_energy = e;
+        }
+        Ok(TransmissionLineModel { anchors })
+    }
+
+    /// Energy per bit-switching activity for a line of length `length`.
+    ///
+    /// Interpolates between anchors (with the origin pinned at zero) and
+    /// extrapolates the final segment beyond the last anchor.
+    #[must_use]
+    pub fn energy_per_bit_switch(&self, length: Length) -> Energy {
+        let l = length.centimetres();
+        if l == 0.0 {
+            return Energy::ZERO;
+        }
+        // Segment list: (0,0) .. anchors .. extrapolation.
+        let mut prev = (0.0, 0.0);
+        for &(al, ae) in &self.anchors {
+            if l <= al {
+                let t = (l - prev.0) / (al - prev.0);
+                return Energy::from_picojoules(prev.1 + t * (ae - prev.1));
+            }
+            prev = (al, ae);
+        }
+        // Beyond the last anchor: extend the final segment's slope.
+        let (last_l, last_e) = *self.anchors.last().expect("non-empty anchors");
+        let (before_l, before_e) = if self.anchors.len() >= 2 {
+            self.anchors[self.anchors.len() - 2]
+        } else {
+            (0.0, 0.0)
+        };
+        let slope = (last_e - before_e) / (last_l - before_l);
+        Energy::from_picojoules(last_e + slope * (l - last_l))
+    }
+
+    /// Energy to transmit one packet across a line of length `length`.
+    ///
+    /// `switching_activity` is the fraction of packet bits that toggle the
+    /// line (1.0 = every bit switches, the paper's conservative default of
+    /// multiplying the per-bit energy by the packet size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switching_activity` is outside `[0, 1]` or NaN.
+    #[must_use]
+    pub fn packet_energy(
+        &self,
+        length: Length,
+        packet: &PacketFormat,
+        switching_activity: f64,
+    ) -> Energy {
+        assert!(
+            switching_activity.is_finite() && (0.0..=1.0).contains(&switching_activity),
+            "switching activity must be in [0, 1], got {switching_activity}"
+        );
+        self.energy_per_bit_switch(length) * (packet.total_bits() as f64) * switching_activity
+    }
+
+    /// The measured anchors (excluding the implicit origin).
+    pub fn anchors(&self) -> impl Iterator<Item = (Length, Energy)> + '_ {
+        self.anchors
+            .iter()
+            .map(|&(l, e)| (Length::from_centimetres(l), Energy::from_picojoules(e)))
+    }
+}
+
+impl Default for TransmissionLineModel {
+    fn default() -> Self {
+        Self::textile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cm(v: f64) -> Length {
+        Length::from_centimetres(v)
+    }
+
+    #[test]
+    fn reproduces_measured_anchors_exactly() {
+        let m = TransmissionLineModel::textile();
+        for (l, e) in TEXTILE_LINE_POINTS {
+            let got = m.energy_per_bit_switch(cm(l)).picojoules();
+            assert!((got - e).abs() < 1e-12, "at {l} cm: got {got}, want {e}");
+        }
+    }
+
+    #[test]
+    fn zero_length_is_free() {
+        let m = TransmissionLineModel::textile();
+        assert_eq!(m.energy_per_bit_switch(Length::ZERO), Energy::ZERO);
+    }
+
+    #[test]
+    fn interpolates_below_first_anchor() {
+        let m = TransmissionLineModel::textile();
+        // Between the pinned origin and (1 cm, 0.4472 pJ).
+        let e = m.energy_per_bit_switch(cm(0.5)).picojoules();
+        assert!((e - 0.2236).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolates_between_anchors() {
+        let m = TransmissionLineModel::textile();
+        // Halfway between 10 and 20 cm anchors.
+        let e = m.energy_per_bit_switch(cm(15.0)).picojoules();
+        let expected = (4.4472 + 11.867) / 2.0;
+        assert!((e - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolates_beyond_last_anchor() {
+        let m = TransmissionLineModel::textile();
+        let slope = (53.082 - 11.867) / 80.0;
+        let e = m.energy_per_bit_switch(cm(150.0)).picojoules();
+        assert!((e - (53.082 + 50.0 * slope)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_calibration_point() {
+        // The default platform uses 2.05 cm links and 128-bit packets; this
+        // combination is calibrated to put the per-act communication energy
+        // near the ~116.7 pJ that Table 2's upper bounds imply.
+        let m = TransmissionLineModel::textile();
+        let e = m.packet_energy(cm(2.05), &PacketFormat::default(), 1.0);
+        assert!(
+            (e.picojoules() - 116.7).abs() < 1.0,
+            "per-packet hop energy {e} should be ~116.7 pJ"
+        );
+    }
+
+    #[test]
+    fn packet_energy_scales_with_activity() {
+        let m = TransmissionLineModel::textile();
+        let p = PacketFormat::default();
+        let full = m.packet_energy(cm(10.0), &p, 1.0);
+        let half = m.packet_energy(cm(10.0), &p, 0.5);
+        assert!((full.picojoules() - 2.0 * half.picojoules()).abs() < 1e-9);
+        assert_eq!(m.packet_energy(cm(10.0), &p, 0.0), Energy::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "switching activity")]
+    fn bad_activity_panics() {
+        let m = TransmissionLineModel::textile();
+        let _ = m.packet_energy(cm(10.0), &PacketFormat::default(), 1.5);
+    }
+
+    #[test]
+    fn rejects_bad_anchor_sets() {
+        assert_eq!(
+            TransmissionLineModel::from_points(std::iter::empty()),
+            Err(LineModelError::Empty)
+        );
+        let e = Energy::from_picojoules(1.0);
+        assert!(matches!(
+            TransmissionLineModel::from_points(vec![(cm(1.0), e), (cm(1.0), e)]),
+            Err(LineModelError::BadLength { index: 1 })
+        ));
+        assert!(matches!(
+            TransmissionLineModel::from_points(vec![
+                (cm(1.0), Energy::from_picojoules(5.0)),
+                (cm(2.0), Energy::from_picojoules(1.0)),
+            ]),
+            Err(LineModelError::BadEnergy { index: 1 })
+        ));
+        let err = TransmissionLineModel::from_points(std::iter::empty()).unwrap_err();
+        assert!(err.to_string().contains("anchor"));
+    }
+
+    #[test]
+    fn single_anchor_extrapolates_through_origin() {
+        let m = TransmissionLineModel::from_points(vec![(
+            cm(10.0),
+            Energy::from_picojoules(5.0),
+        )])
+        .unwrap();
+        assert!((m.energy_per_bit_switch(cm(20.0)).picojoules() - 10.0).abs() < 1e-12);
+        assert!((m.energy_per_bit_switch(cm(5.0)).picojoules() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchors_accessor() {
+        let m = TransmissionLineModel::textile();
+        assert_eq!(m.anchors().count(), 4);
+    }
+
+    proptest! {
+        /// Energy is monotone non-decreasing in line length.
+        #[test]
+        fn monotone_in_length(a in 0.0f64..200.0, b in 0.0f64..200.0) {
+            let m = TransmissionLineModel::textile();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                m.energy_per_bit_switch(cm(lo)) <= m.energy_per_bit_switch(cm(hi))
+            );
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The [`DiGraph`] directed graph with physical edge lengths.
+
+use core::fmt;
+
+use etx_units::Length;
+
+use crate::{Matrix, NodeId};
+
+/// A directed edge carrying the physical length of its transmission line.
+///
+/// E-textile links are *directed* in the paper's formulation (the edge
+/// weight matrices `W` are not required to be symmetric), although mesh
+/// builders create both directions with equal lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Physical length of the textile transmission line.
+    pub length: Length,
+}
+
+/// Errors raised by [`DiGraph`] mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint was not a node of this graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop was requested; the platform has no loopback lines.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop(node) => write!(f, "self-loop on {node} is not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A directed graph over dense node ids, with [`Length`]-weighted edges.
+///
+/// Stored as a dense adjacency matrix of `Option<Length>` — the paper's
+/// algorithms are `O(n^3)` over the full matrix anyway, and e-textile
+/// networks are "tens to a few hundreds of nodes".
+///
+/// # Examples
+///
+/// ```
+/// use etx_graph::{DiGraph, NodeId};
+/// use etx_units::Length;
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), Length::from_centimetres(10.0))?;
+/// g.add_edge(NodeId::new(1), NodeId::new(2), Length::from_centimetres(10.0))?;
+/// assert_eq!(g.edge_count(), 2);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert!(!g.has_edge(NodeId::new(1), NodeId::new(0)));
+/// # Ok::<(), etx_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiGraph {
+    node_count: usize,
+    adjacency: Matrix<Option<Length>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `node_count` nodes and no edges.
+    #[must_use]
+    pub fn new(node_count: usize) -> Self {
+        DiGraph {
+            node_count,
+            adjacency: Matrix::filled(node_count, node_count, None),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count).map(NodeId::new)
+    }
+
+    /// Checks whether `node` belongs to this graph.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < self.node_count
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if self.contains(node) {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { node, node_count: self.node_count })
+        }
+    }
+
+    /// Adds (or replaces) the directed edge `from -> to`.
+    ///
+    /// Returns the previous length if the edge already existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for unknown endpoints and
+    /// [`GraphError::SelfLoop`] when `from == to`.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        length: Length,
+    ) -> Result<Option<Length>, GraphError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        let prev = self.adjacency[(from, to)].replace(length);
+        if prev.is_none() {
+            self.edge_count += 1;
+        }
+        Ok(prev)
+    }
+
+    /// Adds both `a -> b` and `b -> a` with the same length.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DiGraph::add_edge`].
+    pub fn add_edge_bidirectional(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        length: Length,
+    ) -> Result<(), GraphError> {
+        self.add_edge(a, b, length)?;
+        self.add_edge(b, a, length)?;
+        Ok(())
+    }
+
+    /// Removes the directed edge `from -> to`, returning its length.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Option<Length> {
+        if !self.contains(from) || !self.contains(to) {
+            return None;
+        }
+        let prev = self.adjacency[(from, to)].take();
+        if prev.is_some() {
+            self.edge_count -= 1;
+        }
+        prev
+    }
+
+    /// `true` if the directed edge `from -> to` exists.
+    #[must_use]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.edge_length(from, to).is_some()
+    }
+
+    /// The length of edge `from -> to`, if present.
+    #[must_use]
+    pub fn edge_length(&self, from: NodeId, to: NodeId) -> Option<Length> {
+        if self.contains(from) && self.contains(to) {
+            self.adjacency[(from, to)]
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all directed edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adjacency.entries().filter_map(|(r, c, len)| {
+            len.map(|length| Edge { from: NodeId::new(r), to: NodeId::new(c), length })
+        })
+    }
+
+    /// Iterates over the out-neighbours of `node` (with edge lengths).
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, Length)> + '_ {
+        let row = node.index();
+        (0..self.node_count).filter_map(move |c| {
+            self.adjacency.get(row, c).and_then(|len| len.map(|l| (NodeId::new(c), l)))
+        })
+    }
+
+    /// Out-degree of `node`.
+    #[must_use]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).count()
+    }
+
+    /// Builds a cost matrix from the adjacency structure.
+    ///
+    /// Entry `(i, i)` is `0`, entry `(i, j)` is `cost(edge)` when the edge
+    /// exists and [`INFINITE_DISTANCE`](crate::INFINITE_DISTANCE)
+    /// otherwise — exactly the `W` matrix construction of the paper's
+    /// phase 1 (for both SDR and EAR, which differ only in `cost`).
+    #[must_use]
+    pub fn weight_matrix<F: FnMut(Edge) -> f64>(&self, mut cost: F) -> Matrix<f64> {
+        let n = self.node_count;
+        let mut w = Matrix::filled(n, n, crate::INFINITE_DISTANCE);
+        for i in 0..n {
+            w[(i, i)] = 0.0;
+        }
+        for edge in self.edges() {
+            w[(edge.from, edge.to)] = cost(edge);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm(v: f64) -> Length {
+        Length::from_centimetres(v)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 4);
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = DiGraph::new(3);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert_eq!(g.add_edge(a, b, cm(5.0)).unwrap(), None);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_length(a, b), Some(cm(5.0)));
+        // replacing returns the old value and keeps the count
+        assert_eq!(g.add_edge(a, b, cm(7.0)).unwrap(), Some(cm(5.0)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.remove_edge(a, b), Some(cm(7.0)));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.remove_edge(a, b), None);
+    }
+
+    #[test]
+    fn bidirectional_adds_two_edges() {
+        let mut g = DiGraph::new(2);
+        g.add_edge_bidirectional(NodeId::new(0), NodeId::new(1), cm(1.0)).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_bad_nodes() {
+        let mut g = DiGraph::new(2);
+        let err = g.add_edge(NodeId::new(0), NodeId::new(0), cm(1.0)).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop(NodeId::new(0)));
+        let err = g.add_edge(NodeId::new(0), NodeId::new(5), cm(1.0)).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), cm(1.0)).unwrap();
+        g.add_edge(NodeId::new(0), NodeId::new(2), cm(2.0)).unwrap();
+        let ns: Vec<_> = g.neighbors(NodeId::new(0)).collect();
+        assert_eq!(ns, vec![(NodeId::new(1), cm(1.0)), (NodeId::new(2), cm(2.0))]);
+        assert_eq!(g.out_degree(NodeId::new(0)), 2);
+        assert_eq!(g.out_degree(NodeId::new(3)), 0);
+    }
+
+    #[test]
+    fn edges_iterator_matches_count() {
+        let mut g = DiGraph::new(3);
+        g.add_edge_bidirectional(NodeId::new(0), NodeId::new(1), cm(1.0)).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(0), cm(3.0)).unwrap();
+        assert_eq!(g.edges().count(), g.edge_count());
+    }
+
+    #[test]
+    fn weight_matrix_structure() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), cm(4.0)).unwrap();
+        let w = g.weight_matrix(|e| e.length.centimetres());
+        assert_eq!(w[(0, 0)], 0.0);
+        assert_eq!(w[(0, 1)], 4.0);
+        assert_eq!(w[(1, 0)], crate::INFINITE_DISTANCE);
+        assert_eq!(w[(2, 2)], 0.0);
+    }
+}

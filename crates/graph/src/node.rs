@@ -1,0 +1,76 @@
+//! The [`NodeId`] index type.
+
+use core::fmt;
+
+/// Identifier of a node in a [`DiGraph`](crate::DiGraph).
+///
+/// Node ids are dense indices `0..node_count`, which keeps the
+/// adjacency/distance/successor matrices flat and cache-friendly — the same
+/// representation the paper assumes ("our algorithms use an
+/// adjacency-matrix representation").
+///
+/// # Examples
+///
+/// ```
+/// use etx_graph::NodeId;
+///
+/// let n = NodeId::new(5);
+/// assert_eq!(n.index(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(NodeId::from(7usize), n);
+        assert_eq!(usize::from(n), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+    }
+}

@@ -1,0 +1,541 @@
+//! Floyd–Warshall all-pairs shortest paths with successor matrices.
+//!
+//! This is phase 2 of both SDR and EAR (Fig 5 in the paper): given a weight
+//! matrix `W`, compute the distance matrix `D` and the successor matrix `S`
+//! where `S[i][j]` is the next hop out of `i` on a shortest `i -> j` path.
+
+use core::fmt;
+
+use crate::{Matrix, NodeId};
+
+/// The weight used for "no edge" entries; any path through it loses.
+pub const INFINITE_DISTANCE: f64 = f64::INFINITY;
+
+/// Result of [`floyd_warshall`]: distances plus successors for path
+/// reconstruction.
+///
+/// # Examples
+///
+/// ```
+/// use etx_graph::{DiGraph, NodeId, floyd_warshall};
+/// use etx_units::Length;
+///
+/// let mut g = DiGraph::new(3);
+/// let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+/// g.add_edge(a, b, Length::from_centimetres(1.0))?;
+/// g.add_edge(b, c, Length::from_centimetres(1.0))?;
+/// g.add_edge(a, c, Length::from_centimetres(5.0))?;
+///
+/// let paths = floyd_warshall(&g.weight_matrix(|e| e.length.centimetres()));
+/// assert_eq!(paths.distance(a, c), Some(2.0)); // via b, not the direct 5.0 edge
+/// assert_eq!(paths.successor(a, c), Some(b));
+/// assert_eq!(paths.path(a, c).unwrap(), vec![a, b, c]);
+/// # Ok::<(), etx_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPaths {
+    dist: Matrix<f64>,
+    succ: Matrix<Option<NodeId>>,
+}
+
+/// Errors raised during path reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// No path exists between the endpoints.
+    Unreachable {
+        /// Path source.
+        from: NodeId,
+        /// Path target.
+        to: NodeId,
+    },
+    /// Successor chain did not terminate (only possible with negative
+    /// cycles or a corrupted successor matrix).
+    CycleDetected {
+        /// Path source.
+        from: NodeId,
+        /// Path target.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Unreachable { from, to } => {
+                write!(f, "no path from {from} to {to}")
+            }
+            PathError::CycleDetected { from, to } => {
+                write!(f, "successor cycle while walking from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl ShortestPaths {
+    /// Number of nodes covered by this result.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.dist.rows()
+    }
+
+    /// Shortest distance `from -> to`; `None` if unreachable.
+    #[must_use]
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        let d = self.dist[(from, to)];
+        d.is_finite().then_some(d)
+    }
+
+    /// The next hop out of `from` on a shortest path to `to`.
+    ///
+    /// `None` when `from == to` or `to` is unreachable.
+    #[must_use]
+    pub fn successor(&self, from: NodeId, to: NodeId) -> Option<NodeId> {
+        if from == to {
+            return None;
+        }
+        self.succ[(from, to)]
+    }
+
+    /// `true` if a path `from -> to` exists (trivially true for `from == to`).
+    #[must_use]
+    pub fn is_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.dist[(from, to)].is_finite()
+    }
+
+    /// Reconstructs the full node sequence of a shortest path.
+    ///
+    /// The result includes both endpoints; `path(a, a)` is `[a]`.
+    ///
+    /// # Errors
+    ///
+    /// [`PathError::Unreachable`] when no path exists, and
+    /// [`PathError::CycleDetected`] if the successor chain exceeds the node
+    /// count (defensive guard; cannot happen with non-negative weights).
+    pub fn path(&self, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, PathError> {
+        if !self.is_reachable(from, to) {
+            return Err(PathError::Unreachable { from, to });
+        }
+        let mut nodes = vec![from];
+        let mut cur = from;
+        while cur != to {
+            cur = self
+                .successor(cur, to)
+                .ok_or(PathError::Unreachable { from, to })?;
+            nodes.push(cur);
+            if nodes.len() > self.node_count() {
+                return Err(PathError::CycleDetected { from, to });
+            }
+        }
+        Ok(nodes)
+    }
+
+    /// Number of hops (edges) on the shortest path, if reachable.
+    #[must_use]
+    pub fn hop_count(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.path(from, to).ok().map(|p| p.len() - 1)
+    }
+
+    /// Read-only view of the distance matrix.
+    #[must_use]
+    pub fn distances(&self) -> &Matrix<f64> {
+        &self.dist
+    }
+
+    /// Read-only view of the successor matrix.
+    #[must_use]
+    pub fn successors(&self) -> &Matrix<Option<NodeId>> {
+        &self.succ
+    }
+}
+
+/// Runs the Floyd–Warshall variant of the paper (Fig 5) on a weight matrix.
+///
+/// `weights[(i, j)]` must be `0` on the diagonal, the edge cost for
+/// existing edges and [`INFINITE_DISTANCE`] otherwise — exactly what
+/// [`DiGraph::weight_matrix`](crate::DiGraph::weight_matrix) produces.
+/// Costs must be non-negative (battery-scaled lengths always are).
+///
+/// Complexity is `O(n^3)` time, `O(n^2)` space, matching the paper's
+/// analysis ("practical for graphs consisting of tens to a few hundreds of
+/// nodes").
+///
+/// Tie-breaking follows Fig 5 exactly: an intermediate node `n` replaces
+/// the current successor only on a *strict* improvement, so earlier
+/// intermediates win ties deterministically.
+///
+/// # Panics
+///
+/// Panics if `weights` is not square or contains negative or NaN entries.
+#[must_use]
+pub fn floyd_warshall(weights: &Matrix<f64>) -> ShortestPaths {
+    assert_eq!(weights.rows(), weights.cols(), "weight matrix must be square");
+    let n = weights.rows();
+    for (r, c, w) in weights.entries() {
+        assert!(!w.is_nan(), "weight ({r},{c}) is NaN");
+        assert!(*w >= 0.0, "weight ({r},{c}) is negative: {w}");
+    }
+
+    let mut dist = weights.clone();
+    // S^(0): the successor of i toward a directly-connected j is j itself.
+    let mut succ: Matrix<Option<NodeId>> = Matrix::filled(n, n, None);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && dist[(i, j)].is_finite() {
+                succ[(i, j)] = Some(NodeId::new(j));
+            }
+        }
+    }
+
+    for k in 0..n {
+        for i in 0..n {
+            let d_ik = dist[(i, k)];
+            if !d_ik.is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let via = d_ik + dist[(k, j)];
+                if via < dist[(i, j)] {
+                    dist[(i, j)] = via;
+                    succ[(i, j)] = succ[(i, k)];
+                }
+            }
+        }
+    }
+
+    ShortestPaths { dist, succ }
+}
+
+/// Computes the same all-pairs result as [`floyd_warshall`] by running a
+/// binary-heap Dijkstra from every source.
+///
+/// Complexity is `O(K · E log K)` — on sparse fabrics (meshes have
+/// `E ≈ 4K`) that is `O(K² log K)`, asymptotically better than
+/// Floyd–Warshall's `O(K³)`. The paper sizes its controller for "tens to
+/// a few hundreds of nodes" with the `O(K³)` algorithm; this backend
+/// shows how much headroom a smarter phase 2 would buy (see the
+/// `routing_scaling` bench). Results are identical (verified by property
+/// tests), including unreachability; tie-breaking may differ, so compare
+/// distances, not successors.
+///
+/// # Panics
+///
+/// Panics if `weights` is not square or contains negative or NaN entries.
+#[must_use]
+pub fn dijkstra_all_pairs(weights: &Matrix<f64>) -> ShortestPaths {
+    assert_eq!(weights.rows(), weights.cols(), "weight matrix must be square");
+    let n = weights.rows();
+    for (r, c, w) in weights.entries() {
+        assert!(!w.is_nan(), "weight ({r},{c}) is NaN");
+        assert!(*w >= 0.0, "weight ({r},{c}) is negative: {w}");
+    }
+    // Sparse adjacency extracted once.
+    let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (r, c, w) in weights.entries() {
+        if r != c && w.is_finite() {
+            adjacency[r].push((c, *w));
+        }
+    }
+
+    let mut dist = Matrix::filled(n, n, INFINITE_DISTANCE);
+    let mut succ: Matrix<Option<NodeId>> = Matrix::filled(n, n, None);
+
+    // Min-heap entry ordered by distance; f64 is totally ordered here
+    // because NaN weights were rejected above.
+    #[derive(PartialEq)]
+    struct Entry(f64, usize);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+            // Reversed for a min-heap on distance, then node id.
+            other
+                .0
+                .partial_cmp(&self.0)
+                .expect("distances are never NaN")
+                .then(other.1.cmp(&self.1))
+        }
+    }
+
+    let mut d = vec![0.0f64; n];
+    let mut pred = vec![usize::MAX; n];
+    let mut settled_order = Vec::with_capacity(n);
+    for source in 0..n {
+        d.fill(INFINITE_DISTANCE);
+        pred.fill(usize::MAX);
+        settled_order.clear();
+        d[source] = 0.0;
+        let mut heap = std::collections::BinaryHeap::with_capacity(n);
+        heap.push(Entry(0.0, source));
+        while let Some(Entry(du, u)) = heap.pop() {
+            if du > d[u] {
+                continue; // stale entry
+            }
+            settled_order.push(u);
+            for &(v, w) in &adjacency[u] {
+                let nd = du + w;
+                if nd < d[v] {
+                    d[v] = nd;
+                    pred[v] = u;
+                    heap.push(Entry(nd, v));
+                }
+            }
+        }
+        // First hops: settled order guarantees pred[j] is resolved before j.
+        dist[(source, source)] = 0.0;
+        for &j in settled_order.iter().skip(1) {
+            dist[(source, j)] = d[j];
+            succ[(source, j)] = if pred[j] == source {
+                Some(NodeId::new(j))
+            } else {
+                succ[(source, pred[j])]
+            };
+        }
+    }
+    ShortestPaths { dist, succ }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+    use etx_units::Length;
+    use proptest::prelude::*;
+
+    fn cm(v: f64) -> Length {
+        Length::from_centimetres(v)
+    }
+
+    fn line_graph(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge_bidirectional(NodeId::new(i), NodeId::new(i + 1), cm(1.0)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn line_distances() {
+        let g = line_graph(5);
+        let p = floyd_warshall(&g.weight_matrix(|e| e.length.centimetres()));
+        assert_eq!(p.distance(NodeId::new(0), NodeId::new(4)), Some(4.0));
+        assert_eq!(p.distance(NodeId::new(4), NodeId::new(0)), Some(4.0));
+        assert_eq!(p.distance(NodeId::new(2), NodeId::new(2)), Some(0.0));
+        assert_eq!(p.hop_count(NodeId::new(0), NodeId::new(4)), Some(4));
+    }
+
+    #[test]
+    fn prefers_cheaper_indirect_path() {
+        let mut g = DiGraph::new(3);
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        g.add_edge(a, c, cm(10.0)).unwrap();
+        g.add_edge(a, b, cm(1.0)).unwrap();
+        g.add_edge(b, c, cm(1.0)).unwrap();
+        let p = floyd_warshall(&g.weight_matrix(|e| e.length.centimetres()));
+        assert_eq!(p.distance(a, c), Some(2.0));
+        assert_eq!(p.successor(a, c), Some(b));
+        assert_eq!(p.path(a, c).unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn unreachable_reported() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), cm(1.0)).unwrap();
+        let p = floyd_warshall(&g.weight_matrix(|e| e.length.centimetres()));
+        let (a, c) = (NodeId::new(0), NodeId::new(2));
+        assert_eq!(p.distance(a, c), None);
+        assert!(!p.is_reachable(a, c));
+        assert_eq!(p.path(a, c), Err(PathError::Unreachable { from: a, to: c }));
+        assert!(p.path(a, c).unwrap_err().to_string().contains("no path"));
+    }
+
+    #[test]
+    fn directed_asymmetry_respected() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId::new(0), NodeId::new(1), cm(3.0)).unwrap();
+        let p = floyd_warshall(&g.weight_matrix(|e| e.length.centimetres()));
+        assert_eq!(p.distance(NodeId::new(0), NodeId::new(1)), Some(3.0));
+        assert_eq!(p.distance(NodeId::new(1), NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn self_path_is_single_node() {
+        let g = line_graph(3);
+        let p = floyd_warshall(&g.weight_matrix(|e| e.length.centimetres()));
+        assert_eq!(p.path(NodeId::new(1), NodeId::new(1)).unwrap(), vec![NodeId::new(1)]);
+        assert_eq!(p.successor(NodeId::new(1), NodeId::new(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_weights_rejected() {
+        let w = Matrix::from_vec(2, 2, vec![0.0, -1.0, 1.0, 0.0]);
+        let _ = floyd_warshall(&w);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let w = Matrix::filled(2, 3, 0.0);
+        let _ = floyd_warshall(&w);
+    }
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall_on_mesh() {
+        let g = crate::topology::Mesh2D::square(5, cm(2.0)).to_graph();
+        let w = g.weight_matrix(|e| e.length.centimetres());
+        let fw = floyd_warshall(&w);
+        let dj = dijkstra_all_pairs(&w);
+        for i in 0..25 {
+            for j in 0..25 {
+                assert_eq!(
+                    fw.dist[(i, j)],
+                    dj.dist[(i, j)],
+                    "distance ({i},{j}) differs"
+                );
+            }
+        }
+        // Paths reconstructed from Dijkstra successors are valid and
+        // cost-matching.
+        let (a, b) = (NodeId::new(0), NodeId::new(24));
+        let path = dj.path(a, b).unwrap();
+        assert_eq!(path.len() - 1, 8); // Manhattan hops on 5x5 corners
+    }
+
+    #[test]
+    fn dijkstra_handles_unreachable() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), cm(1.0)).unwrap();
+        let dj = dijkstra_all_pairs(&g.weight_matrix(|e| e.length.centimetres()));
+        assert!(!dj.is_reachable(NodeId::new(0), NodeId::new(2)));
+        assert!(dj.is_reachable(NodeId::new(0), NodeId::new(1)));
+        assert!(!dj.is_reachable(NodeId::new(1), NodeId::new(0)));
+    }
+
+    /// Reference single-source Bellman-Ford for cross-checking.
+    fn bellman_ford(w: &Matrix<f64>, src: usize) -> Vec<f64> {
+        let n = w.rows();
+        let mut d = vec![INFINITE_DISTANCE; n];
+        d[src] = 0.0;
+        for _ in 0..n {
+            for i in 0..n {
+                if !d[i].is_finite() {
+                    continue;
+                }
+                for j in 0..n {
+                    if i != j && w[(i, j)].is_finite() && d[i] + w[(i, j)] < d[j] {
+                        d[j] = d[i] + w[(i, j)];
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    proptest! {
+        /// Distances agree with an independent Bellman-Ford implementation
+        /// on random digraphs, and reconstructed path costs equal the
+        /// reported distances.
+        #[test]
+        fn matches_bellman_ford_and_paths_consistent(
+            n in 2usize..8,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 0.1f64..10.0), 0..40),
+        ) {
+            let mut g = DiGraph::new(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    g.add_edge(NodeId::new(a), NodeId::new(b), cm(w)).unwrap();
+                }
+            }
+            let w = g.weight_matrix(|e| e.length.centimetres());
+            let p = floyd_warshall(&w);
+            for s in 0..n {
+                let ref_d = bellman_ford(&w, s);
+                for (t, &ref_dt) in ref_d.iter().enumerate() {
+                    let fw = p.dist[(s, t)];
+                    if ref_dt.is_finite() {
+                        prop_assert!((fw - ref_dt).abs() < 1e-9,
+                            "dist({s},{t}): fw={fw} ref={ref_dt}");
+                        // Path cost must equal the distance.
+                        let path = p.path(NodeId::new(s), NodeId::new(t)).unwrap();
+                        let mut cost = 0.0;
+                        for pair in path.windows(2) {
+                            cost += w[(pair[0], pair[1])];
+                        }
+                        prop_assert!((cost - fw).abs() < 1e-9);
+                    } else {
+                        prop_assert!(!fw.is_finite());
+                    }
+                }
+            }
+        }
+
+        /// Dijkstra and Floyd–Warshall agree on distances for random
+        /// digraphs, and both yield cost-consistent paths.
+        #[test]
+        fn dijkstra_equals_floyd_warshall(
+            n in 2usize..8,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 0.1f64..10.0), 0..40),
+        ) {
+            let mut g = DiGraph::new(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    g.add_edge(NodeId::new(a), NodeId::new(b), cm(w)).unwrap();
+                }
+            }
+            let w = g.weight_matrix(|e| e.length.centimetres());
+            let fw = floyd_warshall(&w);
+            let dj = dijkstra_all_pairs(&w);
+            for i in 0..n {
+                for j in 0..n {
+                    let (a, b) = (fw.dist[(i, j)], dj.dist[(i, j)]);
+                    if a.is_finite() || b.is_finite() {
+                        prop_assert!((a - b).abs() < 1e-9, "({i},{j}): fw={a} dj={b}");
+                    }
+                    // Dijkstra paths cost what they claim.
+                    if b.is_finite() && i != j {
+                        let path = dj.path(NodeId::new(i), NodeId::new(j)).unwrap();
+                        let mut cost = 0.0;
+                        for pair in path.windows(2) {
+                            cost += w[(pair[0], pair[1])];
+                        }
+                        prop_assert!((cost - b).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+
+        /// The triangle inequality holds on the resulting distance matrix.
+        #[test]
+        fn triangle_inequality(
+            n in 2usize..7,
+            edges in proptest::collection::vec((0usize..7, 0usize..7, 0.1f64..10.0), 0..30),
+        ) {
+            let mut g = DiGraph::new(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    g.add_edge(NodeId::new(a), NodeId::new(b), cm(w)).unwrap();
+                }
+            }
+            let p = floyd_warshall(&g.weight_matrix(|e| e.length.centimetres()));
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        let (ij, ik, kj) = (p.dist[(i, j)], p.dist[(i, k)], p.dist[(k, j)]);
+                        if ik.is_finite() && kj.is_finite() {
+                            prop_assert!(ij <= ik + kj + 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

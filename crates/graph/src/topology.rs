@@ -1,0 +1,348 @@
+//! Network topology builders for e-textile platforms.
+//!
+//! The paper evaluates 2-D meshes (4x4 … 8x8) with nodes addressed by
+//! 1-indexed coordinates `(x, y)` as in its Fig 3(b). [`Mesh2D`] keeps that
+//! coordinate bookkeeping; the remaining builders (torus, line, ring, star,
+//! complete) exist because `et_sim` "supports, in default mode, any 2D mesh"
+//! but the routing algorithms are general-purpose and deserve exercising on
+//! other shapes.
+
+use etx_units::Length;
+
+use crate::{DiGraph, NodeId};
+
+/// A 2-D mesh with 1-indexed coordinates matching the paper's Fig 3(b).
+///
+/// Nodes are laid out row-major: `(x, y)` with `1 <= x <= width` (column)
+/// and `1 <= y <= height` (row). Every pair of 4-neighbours is connected by
+/// a bidirectional transmission line of length `pitch`.
+///
+/// # Examples
+///
+/// ```
+/// use etx_graph::topology::Mesh2D;
+/// use etx_units::Length;
+///
+/// let mesh = Mesh2D::new(4, 4, Length::from_centimetres(2.0));
+/// assert_eq!(mesh.node_count(), 16);
+/// let corner = mesh.node_at(1, 1).unwrap();
+/// assert_eq!(mesh.coords(corner), Some((1, 1)));
+/// // Corner has two neighbours; 4x4 mesh has 2*2*4*3 = 48 directed edges.
+/// assert_eq!(mesh.to_graph().out_degree(corner), 2);
+/// assert_eq!(mesh.to_graph().edge_count(), 48);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh2D {
+    width: usize,
+    height: usize,
+    pitch: Length,
+}
+
+impl Mesh2D {
+    /// Creates a `width x height` mesh with link length `pitch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize, pitch: Length) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh2D { width, height, pitch }
+    }
+
+    /// Creates the paper's square `n x n` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn square(n: usize, pitch: Length) -> Self {
+        Self::new(n, n, pitch)
+    }
+
+    /// Mesh width (number of columns).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (number of rows).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Link length between adjacent nodes.
+    #[must_use]
+    pub fn pitch(&self) -> Length {
+        self.pitch
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The node at 1-indexed coordinates `(x, y)`; `None` if out of range.
+    #[must_use]
+    pub fn node_at(&self, x: usize, y: usize) -> Option<NodeId> {
+        if (1..=self.width).contains(&x) && (1..=self.height).contains(&y) {
+            Some(NodeId::new((y - 1) * self.width + (x - 1)))
+        } else {
+            None
+        }
+    }
+
+    /// The 1-indexed coordinates of `node`; `None` if out of range.
+    #[must_use]
+    pub fn coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        if node.index() < self.node_count() {
+            Some((node.index() % self.width + 1, node.index() / self.width + 1))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all nodes with their coordinates, row-major.
+    pub fn iter_coords(&self) -> impl Iterator<Item = (NodeId, (usize, usize))> + '_ {
+        (0..self.node_count()).map(move |i| {
+            let id = NodeId::new(i);
+            (id, self.coords(id).expect("index in range"))
+        })
+    }
+
+    /// Manhattan hop distance between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    #[must_use]
+    pub fn manhattan_hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a).expect("node a in range");
+        let (bx, by) = self.coords(b).expect("node b in range");
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Builds the bidirectional mesh graph.
+    #[must_use]
+    pub fn to_graph(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.node_count());
+        for (node, (x, y)) in self.iter_coords() {
+            if let Some(right) = self.node_at(x + 1, y) {
+                g.add_edge_bidirectional(node, right, self.pitch)
+                    .expect("mesh edges are valid");
+            }
+            if let Some(down) = self.node_at(x, y + 1) {
+                g.add_edge_bidirectional(node, down, self.pitch)
+                    .expect("mesh edges are valid");
+            }
+        }
+        g
+    }
+}
+
+/// Builds a 2-D torus (mesh with wrap-around links) of uniform link length.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+#[must_use]
+pub fn torus(width: usize, height: usize, pitch: Length) -> DiGraph {
+    assert!(width > 0 && height > 0, "torus dimensions must be positive");
+    let mesh = Mesh2D::new(width, height, pitch);
+    let mut g = mesh.to_graph();
+    if width > 2 {
+        for y in 1..=height {
+            let a = mesh.node_at(width, y).expect("in range");
+            let b = mesh.node_at(1, y).expect("in range");
+            g.add_edge_bidirectional(a, b, pitch).expect("valid wrap edge");
+        }
+    }
+    if height > 2 {
+        for x in 1..=width {
+            let a = mesh.node_at(x, height).expect("in range");
+            let b = mesh.node_at(x, 1).expect("in range");
+            g.add_edge_bidirectional(a, b, pitch).expect("valid wrap edge");
+        }
+    }
+    g
+}
+
+/// Builds a line (path) of `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn line(n: usize, pitch: Length) -> DiGraph {
+    assert!(n > 0, "line must have at least one node");
+    let mut g = DiGraph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge_bidirectional(NodeId::new(i), NodeId::new(i + 1), pitch)
+            .expect("valid line edge");
+    }
+    g
+}
+
+/// Builds a ring of `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (a ring needs at least three nodes).
+#[must_use]
+pub fn ring(n: usize, pitch: Length) -> DiGraph {
+    assert!(n >= 3, "ring needs at least 3 nodes, got {n}");
+    let mut g = line(n, pitch);
+    g.add_edge_bidirectional(NodeId::new(n - 1), NodeId::new(0), pitch)
+        .expect("valid ring closure");
+    g
+}
+
+/// Builds a star: node 0 is the hub, nodes `1..n` are leaves.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn star(n: usize, pitch: Length) -> DiGraph {
+    assert!(n >= 2, "star needs at least 2 nodes, got {n}");
+    let mut g = DiGraph::new(n);
+    for i in 1..n {
+        g.add_edge_bidirectional(NodeId::new(0), NodeId::new(i), pitch)
+            .expect("valid star edge");
+    }
+    g
+}
+
+/// Builds a complete graph on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn complete(n: usize, pitch: Length) -> DiGraph {
+    assert!(n > 0, "complete graph needs at least one node");
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge_bidirectional(NodeId::new(i), NodeId::new(j), pitch)
+                .expect("valid complete edge");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_strongly_connected;
+    use crate::floyd_warshall;
+
+    fn cm(v: f64) -> Length {
+        Length::from_centimetres(v)
+    }
+
+    #[test]
+    fn mesh_coordinates_roundtrip() {
+        let mesh = Mesh2D::new(4, 3, cm(1.0));
+        assert_eq!(mesh.node_count(), 12);
+        for (node, (x, y)) in mesh.iter_coords() {
+            assert_eq!(mesh.node_at(x, y), Some(node));
+        }
+        assert_eq!(mesh.node_at(0, 1), None);
+        assert_eq!(mesh.node_at(5, 1), None);
+        assert_eq!(mesh.node_at(1, 4), None);
+        assert_eq!(mesh.coords(NodeId::new(12)), None);
+    }
+
+    #[test]
+    fn mesh_matches_paper_fig3_layout() {
+        // Fig 3(b): a 4x4 mesh, (1,1) top-left .. (4,4) bottom-right.
+        let mesh = Mesh2D::square(4, cm(1.0));
+        assert_eq!(mesh.node_at(1, 1), Some(NodeId::new(0)));
+        assert_eq!(mesh.node_at(4, 1), Some(NodeId::new(3)));
+        assert_eq!(mesh.node_at(1, 2), Some(NodeId::new(4)));
+        assert_eq!(mesh.node_at(4, 4), Some(NodeId::new(15)));
+    }
+
+    #[test]
+    fn mesh_edge_count() {
+        // n x m mesh has n(m-1) + m(n-1) undirected links, doubled for direction.
+        for (w, h) in [(4, 4), (5, 5), (8, 8), (2, 7)] {
+            let g = Mesh2D::new(w, h, cm(1.0)).to_graph();
+            let undirected = w * (h - 1) + h * (w - 1);
+            assert_eq!(g.edge_count(), 2 * undirected, "mesh {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn mesh_degrees() {
+        let mesh = Mesh2D::square(4, cm(1.0));
+        let g = mesh.to_graph();
+        // corners: 2, edges: 3, interior: 4.
+        assert_eq!(g.out_degree(mesh.node_at(1, 1).unwrap()), 2);
+        assert_eq!(g.out_degree(mesh.node_at(2, 1).unwrap()), 3);
+        assert_eq!(g.out_degree(mesh.node_at(2, 2).unwrap()), 4);
+    }
+
+    #[test]
+    fn mesh_shortest_paths_are_manhattan() {
+        let mesh = Mesh2D::square(5, cm(2.0));
+        let g = mesh.to_graph();
+        let p = floyd_warshall(&g.weight_matrix(|e| e.length.centimetres()));
+        for (a, _) in mesh.iter_coords() {
+            for (b, _) in mesh.iter_coords() {
+                let hops = mesh.manhattan_hops(a, b);
+                assert_eq!(p.distance(a, b), Some(2.0 * hops as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let g = torus(4, 4, cm(1.0));
+        let mesh = Mesh2D::new(4, 4, cm(1.0));
+        let p = floyd_warshall(&g.weight_matrix(|e| e.length.centimetres()));
+        let a = mesh.node_at(1, 1).unwrap();
+        let b = mesh.node_at(4, 1).unwrap();
+        // With wrap-around the corner pair is one hop apart.
+        assert_eq!(p.distance(a, b), Some(1.0));
+    }
+
+    #[test]
+    fn torus_small_dimensions_do_not_duplicate_links() {
+        // 2-wide torus wrap would duplicate the existing mesh link.
+        let g = torus(2, 3, cm(1.0));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn line_ring_star_complete_shapes() {
+        let l = line(4, cm(1.0));
+        assert_eq!(l.edge_count(), 6);
+        let r = ring(4, cm(1.0));
+        assert_eq!(r.edge_count(), 8);
+        let s = star(5, cm(1.0));
+        assert_eq!(s.edge_count(), 8);
+        assert_eq!(s.out_degree(NodeId::new(0)), 4);
+        let c = complete(4, cm(1.0));
+        assert_eq!(c.edge_count(), 12);
+        for g in [l, r, s, c] {
+            assert!(is_strongly_connected(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        let _ = ring(2, cm(1.0));
+    }
+
+    #[test]
+    fn single_node_line() {
+        let g = line(1, cm(1.0));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Module-to-node mapping strategies for e-textile meshes.
+//!
+//! The routing strategy of the DATE'05 paper bundles four design choices —
+//! topology, mapping, control, routing algorithm. This crate owns the
+//! *mapping*: which mesh node hosts which application module. Provided
+//! strategies:
+//!
+//! * [`CheckerboardMapping`] — the paper's Sec 5.2 rule for the 3-module
+//!   AES partition: node `(x, y)` hosts module 1 if `m(x) + m(y) = 2`,
+//!   module 2 if `= 0`, module 3 if `= 1`, where `m(v) = v mod 2`. On a
+//!   4x4 mesh this yields the 4/4/8 split of Fig 3(b), with the
+//!   energy-hungriest module (KeyExpansion/AddRoundKey) getting the most
+//!   duplicates — the design rule of Theorem 1.
+//! * [`ProportionalMapping`] — the general Theorem-1 rule for *any*
+//!   application: integer-apportion nodes proportional to the normalized
+//!   energies `H_i` (Eq. 3) and interleave them spatially.
+//! * [`RoundRobinMapping`] — an energy-oblivious baseline for ablations.
+//! * [`CustomMapping`] — any explicit assignment.
+//!
+//! All strategies produce a [`Placement`], the structure the router and
+//! simulator consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use etx_app::AppSpec;
+//! use etx_graph::topology::Mesh2D;
+//! use etx_mapping::{CheckerboardMapping, MappingStrategy};
+//! use etx_units::Length;
+//!
+//! let mesh = Mesh2D::square(4, Length::from_centimetres(2.0));
+//! let placement = CheckerboardMapping.place(&mesh, &AppSpec::aes())?;
+//! // Fig 3(b): 4 SubBytes/ShiftRows, 4 MixColumns, 8 AddRoundKey nodes.
+//! assert_eq!(placement.duplicate_counts(), vec![4, 4, 8]);
+//! # Ok::<(), etx_mapping::MappingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod placement;
+mod strategies;
+
+pub use placement::Placement;
+pub use strategies::{
+    CheckerboardMapping, CustomMapping, MappingStrategy, ProportionalMapping, RoundRobinMapping,
+};
+
+use core::fmt;
+
+use etx_app::ModuleId;
+
+/// Errors raised by mapping strategies and [`Placement`] construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// The strategy only supports applications with a specific number of
+    /// modules (the checkerboard is specific to the 3-module AES split).
+    UnsupportedModuleCount {
+        /// Modules the strategy supports.
+        expected: usize,
+        /// Modules the application has.
+        found: usize,
+    },
+    /// Fewer nodes than modules: some module would have no host.
+    NodeBudgetTooSmall {
+        /// Available nodes.
+        nodes: usize,
+        /// Required modules.
+        modules: usize,
+    },
+    /// A module ended up with no nodes.
+    EmptyModule {
+        /// The unhosted module.
+        module: ModuleId,
+    },
+    /// An explicit assignment's length does not match the mesh.
+    AssignmentLengthMismatch {
+        /// Nodes in the mesh.
+        nodes: usize,
+        /// Entries in the assignment.
+        entries: usize,
+    },
+    /// The strategy needs mesh coordinates and cannot place onto an
+    /// arbitrary node set.
+    RequiresMesh {
+        /// Name of the refusing strategy.
+        strategy: &'static str,
+    },
+    /// An explicit assignment references a module the app does not have.
+    UnknownModule {
+        /// The out-of-range module.
+        module: ModuleId,
+        /// The application's module count.
+        module_count: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::UnsupportedModuleCount { expected, found } => write!(
+                f,
+                "mapping strategy supports {expected}-module applications, got {found}"
+            ),
+            MappingError::NodeBudgetTooSmall { nodes, modules } => {
+                write!(f, "{nodes} nodes cannot host {modules} modules")
+            }
+            MappingError::EmptyModule { module } => {
+                write!(f, "module {module} was mapped to no node")
+            }
+            MappingError::AssignmentLengthMismatch { nodes, entries } => {
+                write!(f, "assignment has {entries} entries for a {nodes}-node mesh")
+            }
+            MappingError::RequiresMesh { strategy } => {
+                write!(f, "mapping strategy '{strategy}' needs mesh coordinates")
+            }
+            MappingError::UnknownModule { module, module_count } => {
+                write!(f, "assignment references {module} but the app has {module_count} modules")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}

@@ -1,0 +1,235 @@
+//! The [`Placement`]: a validated module-to-node assignment.
+
+use etx_app::ModuleId;
+use etx_graph::NodeId;
+
+use crate::MappingError;
+
+/// A complete assignment of application modules to network nodes.
+///
+/// Each node hosts exactly one module instance (the paper's "each node is
+/// an instance of exactly one module"); a module may be duplicated across
+/// many nodes. Construction validates that every module has at least one
+/// host, so the router can treat `nodes_of(module)` as the paper's
+/// non-empty set `S_i`.
+///
+/// # Examples
+///
+/// ```
+/// use etx_app::ModuleId;
+/// use etx_mapping::Placement;
+///
+/// // Two modules on three nodes.
+/// let p = Placement::from_assignment(
+///     vec![ModuleId::new(0), ModuleId::new(1), ModuleId::new(0)],
+///     2,
+/// )?;
+/// assert_eq!(p.module_of(0.into()), ModuleId::new(0));
+/// assert_eq!(p.duplicate_counts(), vec![2, 1]);
+/// # Ok::<(), etx_mapping::MappingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    node_modules: Vec<ModuleId>,
+    module_nodes: Vec<Vec<NodeId>>,
+}
+
+impl Placement {
+    /// Builds a placement from a per-node module assignment.
+    ///
+    /// # Errors
+    ///
+    /// * [`MappingError::UnknownModule`] if an entry references a module
+    ///   `>= module_count`;
+    /// * [`MappingError::EmptyModule`] if some module has no host;
+    /// * [`MappingError::NodeBudgetTooSmall`] if there are fewer nodes
+    ///   than modules.
+    pub fn from_assignment(
+        node_modules: Vec<ModuleId>,
+        module_count: usize,
+    ) -> Result<Self, MappingError> {
+        if node_modules.len() < module_count {
+            return Err(MappingError::NodeBudgetTooSmall {
+                nodes: node_modules.len(),
+                modules: module_count,
+            });
+        }
+        let mut module_nodes = vec![Vec::new(); module_count];
+        for (i, &m) in node_modules.iter().enumerate() {
+            if m.index() >= module_count {
+                return Err(MappingError::UnknownModule { module: m, module_count });
+            }
+            module_nodes[m.index()].push(NodeId::new(i));
+        }
+        for (m, hosts) in module_nodes.iter().enumerate() {
+            if hosts.is_empty() {
+                return Err(MappingError::EmptyModule { module: ModuleId::new(m) });
+            }
+        }
+        Ok(Placement { node_modules, module_nodes })
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_modules.len()
+    }
+
+    /// Number of distinct modules.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.module_nodes.len()
+    }
+
+    /// The module hosted by `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn module_of(&self, node: NodeId) -> ModuleId {
+        self.node_modules[node.index()]
+    }
+
+    /// The paper's `S_i`: all nodes hosting duplicates of `module`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is out of range.
+    #[must_use]
+    pub fn nodes_of(&self, module: ModuleId) -> &[NodeId] {
+        &self.module_nodes[module.index()]
+    }
+
+    /// All `S_i` sets, indexed by module — the shape
+    /// [`etx_routing::Router::compute`] expects.
+    ///
+    /// [`etx_routing::Router::compute`]:
+    ///     https://docs.rs/etx-routing/latest/etx_routing/struct.Router.html#method.compute
+    #[must_use]
+    pub fn module_nodes(&self) -> &[Vec<NodeId>] {
+        &self.module_nodes
+    }
+
+    /// `n_i` for every module: how many duplicates each has.
+    #[must_use]
+    pub fn duplicate_counts(&self) -> Vec<usize> {
+        self.module_nodes.iter().map(Vec::len).collect()
+    }
+
+    /// Reassigns `node` to host `module` — the *code migration / remote
+    /// execution* mechanism of Stanley-Marbell et al. that the paper
+    /// cites as an orthogonal lifetime lever (its Sec 3 explicitly fixes
+    /// the mapping; `et_sim` offers remapping as an opt-in extension).
+    ///
+    /// # Errors
+    ///
+    /// * [`MappingError::UnknownModule`] if `module` is out of range;
+    /// * [`MappingError::EmptyModule`] if moving the node would leave its
+    ///   current module with no hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn reassign(&mut self, node: NodeId, module: ModuleId) -> Result<(), MappingError> {
+        if module.index() >= self.module_count() {
+            return Err(MappingError::UnknownModule {
+                module,
+                module_count: self.module_count(),
+            });
+        }
+        let old = self.node_modules[node.index()];
+        if old == module {
+            return Ok(());
+        }
+        if self.module_nodes[old.index()].len() == 1 {
+            return Err(MappingError::EmptyModule { module: old });
+        }
+        self.module_nodes[old.index()].retain(|&n| n != node);
+        // Keep S_i sorted by node id for deterministic routing tie-breaks.
+        let hosts = &mut self.module_nodes[module.index()];
+        let pos = hosts.partition_point(|&n| n < node);
+        hosts.insert(pos, node);
+        self.node_modules[node.index()] = module;
+        Ok(())
+    }
+
+    /// Iterates over `(node, module)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, ModuleId)> + '_ {
+        self.node_modules
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (NodeId::new(i), m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: usize) -> ModuleId {
+        ModuleId::new(i)
+    }
+
+    #[test]
+    fn valid_roundtrip() {
+        let p = Placement::from_assignment(vec![m(0), m(1), m(0), m(2)], 3).unwrap();
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.module_count(), 3);
+        assert_eq!(p.module_of(NodeId::new(2)), m(0));
+        assert_eq!(p.nodes_of(m(0)), &[NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(p.duplicate_counts(), vec![2, 1, 1]);
+        assert_eq!(p.module_nodes().len(), 3);
+        let pairs: Vec<_> = p.iter().collect();
+        assert_eq!(pairs[3], (NodeId::new(3), m(2)));
+    }
+
+    #[test]
+    fn rejects_unknown_module() {
+        let err = Placement::from_assignment(vec![m(0), m(5)], 2).unwrap_err();
+        assert!(matches!(err, MappingError::UnknownModule { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_module() {
+        let err = Placement::from_assignment(vec![m(0), m(0), m(0)], 2).unwrap_err();
+        assert_eq!(err, MappingError::EmptyModule { module: m(1) });
+        assert!(err.to_string().contains("M2"));
+    }
+
+    #[test]
+    fn reassign_moves_hosts() {
+        let mut p = Placement::from_assignment(vec![m(0), m(1), m(0), m(2)], 3).unwrap();
+        p.reassign(NodeId::new(2), m(2)).unwrap();
+        assert_eq!(p.module_of(NodeId::new(2)), m(2));
+        assert_eq!(p.nodes_of(m(0)), &[NodeId::new(0)]);
+        assert_eq!(p.nodes_of(m(2)), &[NodeId::new(2), NodeId::new(3)]);
+        // No-op reassignment is fine.
+        p.reassign(NodeId::new(2), m(2)).unwrap();
+        assert_eq!(p.duplicate_counts(), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn reassign_protects_last_host() {
+        let mut p = Placement::from_assignment(vec![m(0), m(1)], 2).unwrap();
+        let err = p.reassign(NodeId::new(0), m(1)).unwrap_err();
+        assert_eq!(err, MappingError::EmptyModule { module: m(0) });
+        let err = p.reassign(NodeId::new(0), m(9)).unwrap_err();
+        assert!(matches!(err, MappingError::UnknownModule { .. }));
+    }
+
+    #[test]
+    fn reassign_keeps_hosts_sorted() {
+        let mut p =
+            Placement::from_assignment(vec![m(0), m(1), m(0), m(1), m(0)], 2).unwrap();
+        p.reassign(NodeId::new(2), m(1)).unwrap();
+        let hosts = p.nodes_of(m(1));
+        assert!(hosts.windows(2).all(|w| w[0] < w[1]), "unsorted: {hosts:?}");
+    }
+
+    #[test]
+    fn rejects_too_few_nodes() {
+        let err = Placement::from_assignment(vec![m(0)], 2).unwrap_err();
+        assert!(matches!(err, MappingError::NodeBudgetTooSmall { nodes: 1, modules: 2 }));
+    }
+}

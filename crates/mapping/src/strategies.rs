@@ -1,0 +1,338 @@
+//! The [`MappingStrategy`] trait and the provided strategies.
+
+use etx_app::{AppSpec, ModuleId};
+use etx_bound::{apportion, BoundInputs};
+use etx_graph::topology::Mesh2D;
+use etx_units::Energy;
+
+use crate::{MappingError, Placement};
+
+/// A rule assigning application modules to mesh nodes.
+///
+/// Strategies are deterministic: the same mesh and application always
+/// produce the same placement, keeping simulations reproducible.
+pub trait MappingStrategy {
+    /// Produces a placement of `app`'s modules onto `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MappingError`] when the strategy cannot host the
+    /// application on the mesh (wrong module count, too few nodes, ...).
+    fn place(&self, mesh: &Mesh2D, app: &AppSpec) -> Result<Placement, MappingError>;
+
+    /// Produces a placement onto an arbitrary set of `node_count` nodes
+    /// (for non-mesh topologies — rings, stars, custom fabrics).
+    ///
+    /// Coordinate-free strategies implement this directly; strategies
+    /// that need mesh geometry (like the checkerboard) refuse.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::RequiresMesh`] for coordinate-dependent
+    /// strategies, otherwise the same errors as
+    /// [`place`](MappingStrategy::place).
+    fn place_nodes(&self, node_count: usize, app: &AppSpec) -> Result<Placement, MappingError> {
+        let _ = (node_count, app);
+        Err(MappingError::RequiresMesh { strategy: self.name() })
+    }
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's Sec 5.2 checkerboard rule for the 3-module AES partition.
+///
+/// With `m(v) = v mod 2` and 1-indexed coordinates, node `(x, y)` hosts:
+///
+/// * module 1 (SubBytes/ShiftRows) if `m(x) + m(y) = 2` (both odd),
+/// * module 2 (MixColumns) if `m(x) + m(y) = 0` (both even),
+/// * module 3 (KeyExpansion/AddRoundKey) if `m(x) + m(y) = 1` (mixed).
+///
+/// Half the nodes therefore host module 3 — "a large number of nodes are
+/// mapped to module 3 which consumes the highest normalized energy",
+/// the design rule Theorem 1 justifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckerboardMapping;
+
+impl MappingStrategy for CheckerboardMapping {
+    fn place(&self, mesh: &Mesh2D, app: &AppSpec) -> Result<Placement, MappingError> {
+        if app.module_count() != 3 {
+            return Err(MappingError::UnsupportedModuleCount {
+                expected: 3,
+                found: app.module_count(),
+            });
+        }
+        let assignment = mesh
+            .iter_coords()
+            .map(|(_, (x, y))| match (x % 2) + (y % 2) {
+                2 => ModuleId::new(0),
+                0 => ModuleId::new(1),
+                _ => ModuleId::new(2),
+            })
+            .collect();
+        Placement::from_assignment(assignment, 3)
+    }
+
+    fn name(&self) -> &'static str {
+        "checkerboard"
+    }
+}
+
+/// The general Theorem-1 mapping: duplicate counts follow Eq. 3
+/// (`n_i* ∝ H_i`, integer-apportioned), laid out as a spatially balanced
+/// interleaving.
+///
+/// Works for any application. Needs the per-act communication energy to
+/// compute the normalized energies `H_i = f_i (E_i + c)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionalMapping {
+    comm: Energy,
+}
+
+impl ProportionalMapping {
+    /// Creates the strategy with a uniform per-act communication energy.
+    #[must_use]
+    pub fn new(comm: Energy) -> Self {
+        ProportionalMapping { comm }
+    }
+}
+
+impl MappingStrategy for ProportionalMapping {
+    fn place(&self, mesh: &Mesh2D, app: &AppSpec) -> Result<Placement, MappingError> {
+        self.place_nodes(mesh.node_count(), app)
+    }
+
+    fn place_nodes(&self, node_count: usize, app: &AppSpec) -> Result<Placement, MappingError> {
+        let nodes = node_count;
+        let p = app.module_count();
+        if nodes < p {
+            return Err(MappingError::NodeBudgetTooSmall { nodes, modules: p });
+        }
+        let inputs = BoundInputs::uniform_comm(app, self.comm);
+        let weights: Vec<f64> =
+            inputs.normalized_energies().iter().map(|h| h.picojoules()).collect();
+        let targets = apportion(&weights, nodes)
+            .expect("node budget checked above")
+            .into_iter()
+            .map(f64::from)
+            .collect::<Vec<_>>();
+        // Balanced interleaving: at every node pick the module with the
+        // largest remaining deficit relative to its target share, so each
+        // module's duplicates spread over the whole fabric instead of
+        // clustering in one corner.
+        let mut assigned = vec![0.0f64; p];
+        let mut remaining: Vec<f64> = targets.clone();
+        let mut assignment = Vec::with_capacity(nodes);
+        for seen in 0..nodes {
+            let pick = (0..p)
+                .max_by(|&a, &b| {
+                    let da = targets[a] * (seen as f64 + 1.0) / nodes as f64 - assigned[a];
+                    let db = targets[b] * (seen as f64 + 1.0) / nodes as f64 - assigned[b];
+                    let da = if remaining[a] <= 0.0 { f64::NEG_INFINITY } else { da };
+                    let db = if remaining[b] <= 0.0 { f64::NEG_INFINITY } else { db };
+                    da.partial_cmp(&db).expect("deficits are finite")
+                })
+                .expect("at least one module");
+            assigned[pick] += 1.0;
+            remaining[pick] -= 1.0;
+            assignment.push(ModuleId::new(pick));
+        }
+        Placement::from_assignment(assignment, p)
+    }
+
+    fn name(&self) -> &'static str {
+        "proportional"
+    }
+}
+
+/// Energy-oblivious baseline: module `node_index mod p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundRobinMapping;
+
+impl MappingStrategy for RoundRobinMapping {
+    fn place(&self, mesh: &Mesh2D, app: &AppSpec) -> Result<Placement, MappingError> {
+        self.place_nodes(mesh.node_count(), app)
+    }
+
+    fn place_nodes(&self, node_count: usize, app: &AppSpec) -> Result<Placement, MappingError> {
+        let p = app.module_count();
+        if node_count < p {
+            return Err(MappingError::NodeBudgetTooSmall { nodes: node_count, modules: p });
+        }
+        let assignment = (0..node_count).map(|i| ModuleId::new(i % p)).collect();
+        Placement::from_assignment(assignment, p)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// An explicit, user-supplied assignment (node order is row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomMapping {
+    assignment: Vec<ModuleId>,
+}
+
+impl CustomMapping {
+    /// Wraps an explicit per-node module list.
+    #[must_use]
+    pub fn new(assignment: Vec<ModuleId>) -> Self {
+        CustomMapping { assignment }
+    }
+}
+
+impl MappingStrategy for CustomMapping {
+    fn place(&self, mesh: &Mesh2D, app: &AppSpec) -> Result<Placement, MappingError> {
+        self.place_nodes(mesh.node_count(), app)
+    }
+
+    fn place_nodes(&self, node_count: usize, app: &AppSpec) -> Result<Placement, MappingError> {
+        if self.assignment.len() != node_count {
+            return Err(MappingError::AssignmentLengthMismatch {
+                nodes: node_count,
+                entries: self.assignment.len(),
+            });
+        }
+        Placement::from_assignment(self.assignment.clone(), app.module_count())
+    }
+
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_app::ModuleSpec;
+    use etx_units::Length;
+    use proptest::prelude::*;
+
+    fn mesh(n: usize) -> Mesh2D {
+        Mesh2D::square(n, Length::from_centimetres(2.0))
+    }
+
+    #[test]
+    fn checkerboard_matches_fig3b() {
+        let placement = CheckerboardMapping.place(&mesh(4), &AppSpec::aes()).unwrap();
+        assert_eq!(placement.duplicate_counts(), vec![4, 4, 8]);
+        // Spot-check Fig 3(b) corners: (1,1) both odd -> module 1;
+        // (2,2) both even -> module 2; (2,1) mixed -> module 3.
+        let m4 = mesh(4);
+        assert_eq!(placement.module_of(m4.node_at(1, 1).unwrap()), ModuleId::new(0));
+        assert_eq!(placement.module_of(m4.node_at(2, 2).unwrap()), ModuleId::new(1));
+        assert_eq!(placement.module_of(m4.node_at(2, 1).unwrap()), ModuleId::new(2));
+    }
+
+    #[test]
+    fn checkerboard_counts_all_paper_meshes() {
+        // Module 3 always gets the mixed-parity nodes: the biggest share.
+        for n in 4..=8 {
+            let p = CheckerboardMapping.place(&mesh(n), &AppSpec::aes()).unwrap();
+            let counts = p.duplicate_counts();
+            assert_eq!(counts.iter().sum::<usize>(), n * n);
+            assert!(counts[2] >= counts[0] && counts[2] >= counts[1], "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn checkerboard_rejects_non_aes_shapes() {
+        let app = AppSpec::builder("two")
+            .module(ModuleSpec::new("a", 1, Energy::from_picojoules(1.0)))
+            .module(ModuleSpec::new("b", 1, Energy::from_picojoules(1.0)))
+            .op_sequence([0, 1])
+            .build()
+            .unwrap();
+        let err = CheckerboardMapping.place(&mesh(4), &app).unwrap_err();
+        assert_eq!(err, MappingError::UnsupportedModuleCount { expected: 3, found: 2 });
+    }
+
+    #[test]
+    fn proportional_tracks_theorem1_counts() {
+        let strategy = ProportionalMapping::new(Energy::from_picojoules(116.71));
+        let placement = strategy.place(&mesh(4), &AppSpec::aes()).unwrap();
+        let counts = placement.duplicate_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 16);
+        // Eq. 3 optimum is ~(5.2, 3.8, 7.1): integers must be 5/4/7.
+        assert_eq!(counts, vec![5, 4, 7]);
+    }
+
+    #[test]
+    fn proportional_interleaves_spatially() {
+        let strategy = ProportionalMapping::new(Energy::from_picojoules(116.71));
+        let placement = strategy.place(&mesh(4), &AppSpec::aes()).unwrap();
+        // No module should own a whole contiguous prefix: the first four
+        // nodes must not all share a module.
+        let first: Vec<_> = (0..4)
+            .map(|i| placement.module_of(etx_graph::NodeId::new(i)))
+            .collect();
+        assert!(first.windows(2).any(|w| w[0] != w[1]), "prefix {first:?} is clustered");
+    }
+
+    #[test]
+    fn round_robin_equalizes() {
+        let placement = RoundRobinMapping.place(&mesh(3), &AppSpec::aes()).unwrap();
+        assert_eq!(placement.duplicate_counts(), vec![3, 3, 3]);
+        assert_eq!(RoundRobinMapping.name(), "round-robin");
+    }
+
+    #[test]
+    fn custom_mapping_validates_length() {
+        let app = AppSpec::aes();
+        let err = CustomMapping::new(vec![ModuleId::new(0); 5])
+            .place(&mesh(4), &app)
+            .unwrap_err();
+        assert!(matches!(err, MappingError::AssignmentLengthMismatch { nodes: 16, entries: 5 }));
+    }
+
+    #[test]
+    fn custom_mapping_roundtrip() {
+        let app = AppSpec::aes();
+        let mut assignment = vec![ModuleId::new(2); 16];
+        assignment[0] = ModuleId::new(0);
+        assignment[1] = ModuleId::new(1);
+        let placement = CustomMapping::new(assignment).place(&mesh(4), &app).unwrap();
+        assert_eq!(placement.duplicate_counts(), vec![1, 1, 14]);
+        assert_eq!(CustomMapping::new(vec![]).name(), "custom");
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(CheckerboardMapping.name(), "checkerboard");
+        assert_eq!(
+            ProportionalMapping::new(Energy::from_picojoules(1.0)).name(),
+            "proportional"
+        );
+    }
+
+    proptest! {
+        /// Proportional mapping always covers every module and sums to the
+        /// node count, for arbitrary 2-4 module applications.
+        #[test]
+        fn proportional_is_total(
+            side in 2usize..7,
+            energies in proptest::collection::vec(1.0f64..500.0, 2..5),
+            comm in 0.0f64..500.0,
+        ) {
+            let mut builder = AppSpec::builder("gen");
+            for (i, e) in energies.iter().enumerate() {
+                builder = builder.module(ModuleSpec::new(
+                    format!("m{i}"),
+                    1,
+                    Energy::from_picojoules(*e),
+                ));
+            }
+            let app = builder
+                .op_sequence(0..energies.len())
+                .build()
+                .expect("generated app is consistent");
+            prop_assume!(side * side >= energies.len());
+            let strategy = ProportionalMapping::new(Energy::from_picojoules(comm));
+            let placement = strategy.place(&mesh(side), &app).unwrap();
+            let counts = placement.duplicate_counts();
+            prop_assert_eq!(counts.iter().sum::<usize>(), side * side);
+            prop_assert!(counts.iter().all(|&c| c >= 1));
+        }
+    }
+}

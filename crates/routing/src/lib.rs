@@ -1,0 +1,60 @@
+//! The EAR and SDR routing algorithms of Kao & Marculescu (DATE'05).
+//!
+//! Both algorithms run *online* at a central controller, are recomputed
+//! whenever the reported system state changes, and share the same
+//! three-phase structure (Sec 6 of the paper):
+//!
+//! 1. **Phase 1 — edge weights.** SDR weighs a directed link by its
+//!    physical length, `W(i,j) = L(i,j)`. EAR additionally scales by the
+//!    reported battery level of the link's *receiving* node,
+//!    `W(i,j) = f(N_B(j)) · L(i,j)`, with the exponential weighting
+//!    `f(n) = Q^(N_B − 1 − n)`: a full battery costs `Q⁰ = 1` (EAR
+//!    degenerates to SDR), an almost-empty one costs `Q^(N_B−1)`.
+//!    See [`BatteryWeighting`], [`sdr_weights`], [`ear_weights`].
+//! 2. **Phase 2 — all-pairs shortest paths** with successors, via the
+//!    Floyd–Warshall variant in `etx-graph` (the paper's Fig 5).
+//! 3. **Phase 3 — destination selection.** For every node and every
+//!    module, pick the nearest *live* duplicate of that module (w.r.t. the
+//!    phase-2 distances) while avoiding ports in a deadlock state
+//!    (the paper's Fig 6). See [`RoutingState`].
+//!
+//! [`Router`] packages the three phases behind one call.
+//!
+//! # Examples
+//!
+//! ```
+//! use etx_graph::{topology::Mesh2D, NodeId};
+//! use etx_routing::{Algorithm, Router, SystemReport};
+//! use etx_units::Length;
+//!
+//! let mesh = Mesh2D::square(4, Length::from_centimetres(2.0));
+//! let graph = mesh.to_graph();
+//! // Module 0 duplicates live at two corners:
+//! let module_nodes = vec![vec![
+//!     mesh.node_at(1, 1).unwrap(),
+//!     mesh.node_at(4, 4).unwrap(),
+//! ]];
+//!
+//! let report = SystemReport::fresh(graph.node_count(), 16);
+//! let routing = Router::new(Algorithm::Ear).compute(&graph, &module_nodes, &report, None);
+//!
+//! // A node next to corner (1,1) is sent there, not across the mesh.
+//! let src = mesh.node_at(2, 1).unwrap();
+//! let entry = routing.route(src, 0).unwrap();
+//! assert_eq!(entry.destination, mesh.node_at(1, 1).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod router;
+mod table;
+mod weighting;
+mod weights;
+
+pub use report::SystemReport;
+pub use router::{Algorithm, Router};
+pub use table::{RouteEntry, RoutingState};
+pub use weighting::BatteryWeighting;
+pub use weights::{ear_weights, sdr_weights};

@@ -1,0 +1,192 @@
+//! The [`SystemReport`] uploaded to the central controller.
+
+use etx_graph::NodeId;
+
+/// A snapshot of the system state as the TDMA upload phase delivers it to
+/// the central controller: per-node battery levels (quantized to `N_B`
+/// levels), liveness, and deadlock flags.
+///
+/// The controller re-runs the routing algorithm only "when the currently
+/// reported system information differs from the previous one", so
+/// `SystemReport` implements `PartialEq` for exactly that comparison.
+///
+/// # Examples
+///
+/// ```
+/// use etx_routing::SystemReport;
+///
+/// let mut report = SystemReport::fresh(4, 16);
+/// assert_eq!(report.battery_level(0.into()), 15);
+/// report.set_battery_level(0.into(), 3);
+/// report.set_dead(2.into());
+/// assert!(!report.is_alive(2.into()));
+/// assert_eq!(report.battery_level(2.into()), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemReport {
+    levels: u32,
+    battery: Vec<u32>,
+    alive: Vec<bool>,
+    deadlocked: Vec<bool>,
+}
+
+impl SystemReport {
+    /// A report for `nodes` fresh nodes: full batteries, everyone alive,
+    /// nothing deadlocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    #[must_use]
+    pub fn fresh(nodes: usize, levels: u32) -> Self {
+        assert!(levels > 0, "battery quantization needs at least one level");
+        SystemReport {
+            levels,
+            battery: vec![levels - 1; nodes],
+            alive: vec![true; nodes],
+            deadlocked: vec![false; nodes],
+        }
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.battery.len()
+    }
+
+    /// `N_B`: the battery quantization used by this report.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The reported battery level of `node` (0 for dead nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn battery_level(&self, node: NodeId) -> u32 {
+        self.battery[node.index()]
+    }
+
+    /// Sets the reported battery level (clamped to `N_B − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_battery_level(&mut self, node: NodeId, level: u32) {
+        self.battery[node.index()] = level.min(self.levels - 1);
+    }
+
+    /// `true` if `node` reported in (its battery has not died).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Marks `node` dead; its battery level drops to 0 and its deadlock
+    /// flag clears (dead nodes hold no jobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_dead(&mut self, node: NodeId) {
+        self.alive[node.index()] = false;
+        self.battery[node.index()] = 0;
+        self.deadlocked[node.index()] = false;
+    }
+
+    /// `true` if `node` reported a job stuck past the deadlock threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn is_deadlocked(&self, node: NodeId) -> bool {
+        self.deadlocked[node.index()]
+    }
+
+    /// Sets or clears the deadlock flag of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_deadlocked(&mut self, node: NodeId, deadlocked: bool) {
+        self.deadlocked[node.index()] = deadlocked;
+    }
+
+    /// Iterates over all live nodes.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(NodeId::new(i)))
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_report() {
+        let r = SystemReport::fresh(3, 16);
+        assert_eq!(r.node_count(), 3);
+        assert_eq!(r.levels(), 16);
+        assert_eq!(r.live_count(), 3);
+        for i in 0..3 {
+            let n = NodeId::new(i);
+            assert_eq!(r.battery_level(n), 15);
+            assert!(r.is_alive(n));
+            assert!(!r.is_deadlocked(n));
+        }
+    }
+
+    #[test]
+    fn death_zeroes_battery_and_clears_deadlock() {
+        let mut r = SystemReport::fresh(2, 16);
+        r.set_deadlocked(NodeId::new(1), true);
+        r.set_dead(NodeId::new(1));
+        assert!(!r.is_alive(NodeId::new(1)));
+        assert_eq!(r.battery_level(NodeId::new(1)), 0);
+        assert!(!r.is_deadlocked(NodeId::new(1)));
+        assert_eq!(r.live_count(), 1);
+        assert_eq!(r.live_nodes().collect::<Vec<_>>(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn level_clamped_to_quantization() {
+        let mut r = SystemReport::fresh(1, 8);
+        r.set_battery_level(NodeId::new(0), 100);
+        assert_eq!(r.battery_level(NodeId::new(0)), 7);
+    }
+
+    #[test]
+    fn equality_detects_changes() {
+        let a = SystemReport::fresh(4, 16);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.set_battery_level(NodeId::new(2), 3);
+        assert_ne!(a, b);
+        let mut c = a.clone();
+        c.set_deadlocked(NodeId::new(0), true);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let _ = SystemReport::fresh(4, 0);
+    }
+}

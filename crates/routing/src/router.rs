@@ -1,0 +1,272 @@
+//! The [`Router`]: all three phases behind one call.
+
+use core::fmt;
+
+use etx_graph::{floyd_warshall, DiGraph, NodeId};
+
+use crate::{ear_weights, sdr_weights, BatteryWeighting, RoutingState, SystemReport};
+
+/// Which routing algorithm the central controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Shortest-distance routing: weights are physical link lengths. The
+    /// paper's non-energy-aware baseline.
+    Sdr,
+    /// Energy-aware routing: link lengths scaled by the receiving node's
+    /// reported battery level. The paper's contribution.
+    Ear,
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Sdr => write!(f, "SDR"),
+            Algorithm::Ear => write!(f, "EAR"),
+        }
+    }
+}
+
+/// The online routing engine run by the central controller.
+///
+/// "For a fair comparison, the proposed energy-aware routing strategy and
+/// its non-energy-aware counterpart are kept exactly the same except their
+/// routing algorithms" — [`Router`] embodies that: EAR and SDR differ only
+/// in the phase-1 weight matrix.
+///
+/// # Examples
+///
+/// ```
+/// use etx_graph::topology;
+/// use etx_routing::{Algorithm, Router, SystemReport};
+/// use etx_units::Length;
+///
+/// let graph = topology::ring(6, Length::from_centimetres(2.0));
+/// let modules = vec![vec![0.into(), 3.into()]];
+/// let report = SystemReport::fresh(6, 16);
+///
+/// let sdr = Router::new(Algorithm::Sdr).compute(&graph, &modules, &report, None);
+/// let ear = Router::new(Algorithm::Ear).compute(&graph, &modules, &report, None);
+/// // On a fresh system the two agree.
+/// assert_eq!(
+///     sdr.route(1.into(), 0).unwrap().destination,
+///     ear.route(1.into(), 0).unwrap().destination,
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Router {
+    algorithm: Algorithm,
+    weighting: BatteryWeighting,
+}
+
+impl Router {
+    /// Creates a router with the default battery weighting
+    /// (`N_B = 16`, `Q = 2`; irrelevant for SDR).
+    #[must_use]
+    pub fn new(algorithm: Algorithm) -> Self {
+        Router { algorithm, weighting: BatteryWeighting::default() }
+    }
+
+    /// Creates a router with an explicit EAR weighting function.
+    #[must_use]
+    pub fn with_weighting(algorithm: Algorithm, weighting: BatteryWeighting) -> Self {
+        Router { algorithm, weighting }
+    }
+
+    /// The algorithm this router runs.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The EAR weighting function.
+    #[must_use]
+    pub fn weighting(&self) -> &BatteryWeighting {
+        &self.weighting
+    }
+
+    /// Runs phases 1–3 and returns the complete routing state.
+    ///
+    /// `module_nodes[i]` is the paper's `S_i`: the set of nodes hosting
+    /// duplicates of module `i`. `previous` enables the deadlock-port
+    /// avoidance of phase 3; pass the routing state of the previous
+    /// controller invocation (or `None` on the first run).
+    ///
+    /// Complexity is dominated by phase 2's `O(K³)`, matching the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `report` covers a different node count than `graph`.
+    #[must_use]
+    pub fn compute(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        previous: Option<&RoutingState>,
+    ) -> RoutingState {
+        let weights = match self.algorithm {
+            Algorithm::Sdr => sdr_weights(graph, report),
+            Algorithm::Ear => ear_weights(graph, report, &self.weighting),
+        };
+        let paths = floyd_warshall(&weights);
+        RoutingState::build(paths, &weights, module_nodes, report, previous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_graph::topology::{self, Mesh2D};
+    use etx_units::Length;
+    use proptest::prelude::*;
+
+    fn cm(v: f64) -> Length {
+        Length::from_centimetres(v)
+    }
+
+    #[test]
+    fn algorithm_display() {
+        assert_eq!(Algorithm::Sdr.to_string(), "SDR");
+        assert_eq!(Algorithm::Ear.to_string(), "EAR");
+    }
+
+    #[test]
+    fn accessors() {
+        let r = Router::with_weighting(Algorithm::Ear, BatteryWeighting::new(8, 4.0));
+        assert_eq!(r.algorithm(), Algorithm::Ear);
+        assert_eq!(r.weighting().levels(), 8);
+    }
+
+    #[test]
+    fn fresh_system_ear_equals_sdr() {
+        let mesh = Mesh2D::square(5, cm(2.0));
+        let graph = mesh.to_graph();
+        let modules: Vec<Vec<NodeId>> = vec![
+            (0..25).step_by(3).map(NodeId::new).collect(),
+            (1..25).step_by(3).map(NodeId::new).collect(),
+            (2..25).step_by(3).map(NodeId::new).collect(),
+        ];
+        let report = SystemReport::fresh(25, 16);
+        let sdr = Router::new(Algorithm::Sdr).compute(&graph, &modules, &report, None);
+        let ear = Router::new(Algorithm::Ear).compute(&graph, &modules, &report, None);
+        for n in 0..25 {
+            for m in 0..3 {
+                let (s, e) = (sdr.route(NodeId::new(n), m), ear.route(NodeId::new(n), m));
+                assert_eq!(
+                    s.map(|x| x.destination),
+                    e.map(|x| x.destination),
+                    "node {n} module {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ear_switches_destination_when_duplicate_drains() {
+        // Ring of 6 with module hosted at 0 and 3; node 1 queries it.
+        let graph = topology::ring(6, cm(1.0));
+        let modules = vec![vec![NodeId::new(0), NodeId::new(3)]];
+        let mut report = SystemReport::fresh(6, 16);
+
+        let router = Router::new(Algorithm::Ear);
+        let rs = router.compute(&graph, &modules, &report, None);
+        assert_eq!(rs.route(NodeId::new(1), 0).unwrap().destination, NodeId::new(0));
+
+        // Drain node 0 to the last level: the (battery-weighted) distance
+        // to 0 now exceeds the two plain hops to 3.
+        report.set_battery_level(NodeId::new(0), 0);
+        let rs = router.compute(&graph, &modules, &report, None);
+        assert_eq!(rs.route(NodeId::new(1), 0).unwrap().destination, NodeId::new(3));
+
+        // SDR keeps hammering node 0.
+        let rs = Router::new(Algorithm::Sdr).compute(&graph, &modules, &report, None);
+        assert_eq!(rs.route(NodeId::new(1), 0).unwrap().destination, NodeId::new(0));
+    }
+
+    #[test]
+    fn ear_rotates_load_across_duplicates_sdr_does_not() {
+        // Drain-and-reroute loop on a ring with two duplicates of one
+        // module: each "round" the chosen destination loses one battery
+        // level. EAR spreads the work over both duplicates; SDR hammers
+        // its nearest one until death.
+        let graph = topology::ring(6, cm(1.0));
+        let hosts = vec![vec![NodeId::new(2), NodeId::new(4)]];
+        let origin = NodeId::new(0);
+        let mut usage = std::collections::HashMap::new();
+
+        for algorithm in [Algorithm::Ear, Algorithm::Sdr] {
+            let router = Router::new(algorithm);
+            let mut report = SystemReport::fresh(6, 16);
+            let mut counts = [0u32; 6];
+            for _ in 0..24 {
+                let routing = router.compute(&graph, &hosts, &report, None);
+                let Some(entry) = routing.route(origin, 0) else { break };
+                counts[entry.destination.index()] += 1;
+                let level = report.battery_level(entry.destination);
+                if level == 0 {
+                    report.set_dead(entry.destination);
+                } else {
+                    report.set_battery_level(entry.destination, level - 1);
+                }
+            }
+            usage.insert(format!("{algorithm}"), counts);
+        }
+
+        let ear = usage["EAR"];
+        let sdr = usage["SDR"];
+        // EAR alternates once the gap reaches one level: both duplicates
+        // carry meaningful load.
+        assert!(ear[2] >= 8 && ear[4] >= 8, "EAR did not balance: {ear:?}");
+        // SDR uses only the nearer duplicate until it dies.
+        assert_eq!(sdr[2], 16, "SDR should exhaust n2 first: {sdr:?}");
+        assert!(sdr[4] <= 8, "SDR spread load unexpectedly: {sdr:?}");
+    }
+
+    proptest! {
+        /// Structural invariants on random meshes and battery states: every
+        /// route entry's next hop is the node itself or a graph neighbour,
+        /// its destination hosts the module and is alive, and the entry's
+        /// distance matches the phase-2 distance to that destination.
+        #[test]
+        fn route_entries_are_consistent(
+            side in 2usize..6,
+            algorithm in prop_oneof![Just(Algorithm::Sdr), Just(Algorithm::Ear)],
+            levels in proptest::collection::vec(0u32..16, 36),
+            dead in proptest::collection::vec(any::<bool>(), 36),
+        ) {
+            let mesh = Mesh2D::square(side, cm(2.0));
+            let graph = mesh.to_graph();
+            let k = graph.node_count();
+            let mut report = SystemReport::fresh(k, 16);
+            for i in 0..k {
+                report.set_battery_level(NodeId::new(i), levels[i]);
+                if dead[i] {
+                    report.set_dead(NodeId::new(i));
+                }
+            }
+            // Three modules striped over the mesh.
+            let modules: Vec<Vec<NodeId>> = (0..3)
+                .map(|m| (m..k).step_by(3).map(NodeId::new).collect())
+                .collect();
+            let rs = Router::new(algorithm).compute(&graph, &modules, &report, None);
+            for n in 0..k {
+                let node = NodeId::new(n);
+                for (m, hosts) in modules.iter().enumerate() {
+                    if let Some(entry) = rs.route(node, m) {
+                        prop_assert!(report.is_alive(node));
+                        prop_assert!(hosts.contains(&entry.destination));
+                        prop_assert!(report.is_alive(entry.destination));
+                        if entry.destination == node {
+                            prop_assert_eq!(entry.next_hop, node);
+                            prop_assert_eq!(entry.distance, 0.0);
+                        } else {
+                            prop_assert!(graph.has_edge(node, entry.next_hop));
+                        }
+                        let d = rs.distance(node, entry.destination);
+                        prop_assert_eq!(d, Some(entry.distance));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Phase 3: routing tables — nearest-duplicate destination selection with
+//! deadlock avoidance (the paper's Fig 6).
+
+use etx_graph::{Matrix, NodeId, ShortestPaths};
+
+use crate::SystemReport;
+
+/// One routing-table entry: where node `n` should send a packet whose next
+/// operation belongs to module `i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteEntry {
+    /// The chosen destination (a live node hosting the module).
+    pub destination: NodeId,
+    /// The first hop out of the origin toward `destination`. Equals
+    /// `destination` when the origin hosts the module itself (distance 0,
+    /// no packet leaves the node).
+    pub next_hop: NodeId,
+    /// The phase-2 distance to `destination` (battery-weighted under EAR).
+    pub distance: f64,
+}
+
+/// The complete routing state computed by one controller invocation:
+/// the phase-2 all-pairs data plus the phase-3 per-(node, module) table.
+///
+/// Relay nodes forward by destination using [`RoutingState::next_hop`];
+/// origin nodes consult [`RoutingState::route`] to pick the destination
+/// duplicate for their job's next operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingState {
+    paths: ShortestPaths,
+    /// `table[node][module]`.
+    table: Vec<Vec<Option<RouteEntry>>>,
+}
+
+impl RoutingState {
+    /// Builds the phase-3 table from phase-2 results.
+    ///
+    /// For every node `n` and module `i`, selects the live duplicate
+    /// `j ∈ S_i` minimizing `D(n, j)`. When `n` is flagged deadlocked, the
+    /// first hop recorded in `previous` for `(n, i)` is the blocked port
+    /// the controller must redirect the job away from (paper Sec 5.3 /
+    /// Fig 6 line 5): candidates are then restricted to first hops `m`
+    /// other than that port, scored `W(n, m) + D(m, j)` — the cheapest
+    /// unlocked detour phase 2 already paid for.
+    ///
+    /// `weights` is the phase-1 matrix the phase-2 result was computed
+    /// from; finite off-diagonal entries are exactly the usable links.
+    ///
+    /// Unreachable or extinct modules yield `None` entries (the system is
+    /// about to be declared dead by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report or weight matrix cover a different number of
+    /// nodes than the phase-2 result.
+    #[must_use]
+    pub fn build(
+        paths: ShortestPaths,
+        weights: &Matrix<f64>,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        previous: Option<&RoutingState>,
+    ) -> Self {
+        let n = paths.node_count();
+        assert_eq!(
+            n,
+            report.node_count(),
+            "report covers {} nodes but phase 2 covered {n}",
+            report.node_count()
+        );
+        assert_eq!(weights.rows(), n, "weight matrix does not match phase 2");
+        let mut table = vec![vec![None; module_nodes.len()]; n];
+        for node_idx in 0..n {
+            let node = NodeId::new(node_idx);
+            if !report.is_alive(node) {
+                continue;
+            }
+            for (module, duplicates) in module_nodes.iter().enumerate() {
+                // A deadlocked node must be steered off the port its
+                // previous table used for this module.
+                let blocked_port = if report.is_deadlocked(node) {
+                    previous.and_then(|p| p.route(node, module)).map(|e| e.next_hop)
+                } else {
+                    None
+                };
+                let mut best: Option<RouteEntry> = None;
+                let consider = |candidate: RouteEntry, best: &mut Option<RouteEntry>| {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            candidate.distance < b.distance
+                                || (candidate.distance == b.distance
+                                    && candidate.destination < b.destination)
+                        }
+                    };
+                    if better {
+                        *best = Some(candidate);
+                    }
+                };
+                for &dest in duplicates {
+                    if !report.is_alive(dest) {
+                        continue;
+                    }
+                    if dest == node {
+                        // Self-hosting: no packet leaves the node, so no
+                        // port can be blocked.
+                        consider(
+                            RouteEntry { destination: dest, next_hop: node, distance: 0.0 },
+                            &mut best,
+                        );
+                        continue;
+                    }
+                    match blocked_port {
+                        None => {
+                            let Some(distance) = paths.distance(node, dest) else {
+                                continue;
+                            };
+                            let Some(next_hop) = paths.successor(node, dest) else {
+                                continue;
+                            };
+                            consider(
+                                RouteEntry { destination: dest, next_hop, distance },
+                                &mut best,
+                            );
+                        }
+                        Some(blocked) => {
+                            // Detour scan: first hop over any live link
+                            // except the blocked port.
+                            for m in 0..n {
+                                let hop = NodeId::new(m);
+                                if hop == node || hop == blocked {
+                                    continue;
+                                }
+                                let w = weights[(node_idx, m)];
+                                if !w.is_finite() {
+                                    continue;
+                                }
+                                let Some(rest) = paths.distance(hop, dest) else {
+                                    continue;
+                                };
+                                consider(
+                                    RouteEntry {
+                                        destination: dest,
+                                        next_hop: hop,
+                                        distance: w + rest,
+                                    },
+                                    &mut best,
+                                );
+                            }
+                        }
+                    }
+                }
+                table[node_idx][module] = best;
+            }
+        }
+        RoutingState { paths, table }
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of modules covered.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.table.first().map_or(0, Vec::len)
+    }
+
+    /// The routing-table entry for packets originating at `node` whose
+    /// next operation belongs to `module`; `None` if no live duplicate is
+    /// reachable (or `node`/`module` is unknown).
+    #[must_use]
+    pub fn route(&self, node: NodeId, module: usize) -> Option<&RouteEntry> {
+        self.table.get(node.index())?.get(module)?.as_ref()
+    }
+
+    /// The relay decision: the next hop out of `from` toward destination
+    /// `to`, from the phase-2 successor matrix.
+    #[must_use]
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<NodeId> {
+        if from == to {
+            Some(to)
+        } else {
+            self.paths.successor(from, to)
+        }
+    }
+
+    /// The phase-2 (weighted) distance between two nodes.
+    #[must_use]
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        self.paths.distance(from, to)
+    }
+
+    /// The full phase-2 result, for diagnostics.
+    #[must_use]
+    pub fn paths(&self) -> &ShortestPaths {
+        &self.paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ear_weights, BatteryWeighting};
+    use etx_graph::{floyd_warshall, topology, DiGraph};
+    use etx_units::Length;
+
+    fn cm(v: f64) -> Length {
+        Length::from_centimetres(v)
+    }
+
+    fn build_line(
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        previous: Option<&RoutingState>,
+    ) -> RoutingState {
+        let g = topology::line(4, cm(1.0));
+        let w = ear_weights(&g, report, &BatteryWeighting::default());
+        RoutingState::build(floyd_warshall(&w), &w, module_nodes, report, previous)
+    }
+
+    #[test]
+    fn picks_nearest_duplicate() {
+        // Module 0 hosted at nodes 0 and 3 of a 4-line.
+        let modules = vec![vec![NodeId::new(0), NodeId::new(3)]];
+        let report = SystemReport::fresh(4, 16);
+        let rs = build_line(&modules, &report, None);
+        // Node 1 is nearer to 0; node 2 nearer to 3.
+        assert_eq!(rs.route(NodeId::new(1), 0).unwrap().destination, NodeId::new(0));
+        assert_eq!(rs.route(NodeId::new(2), 0).unwrap().destination, NodeId::new(3));
+        // Self-hosting: destination and next hop are the node itself.
+        let own = rs.route(NodeId::new(0), 0).unwrap();
+        assert_eq!(own.destination, NodeId::new(0));
+        assert_eq!(own.next_hop, NodeId::new(0));
+        assert_eq!(own.distance, 0.0);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_node_id() {
+        let modules = vec![vec![NodeId::new(0), NodeId::new(2)]];
+        let report = SystemReport::fresh(3, 16);
+        let g = topology::line(3, cm(1.0));
+        let w = ear_weights(&g, &report, &BatteryWeighting::default());
+        let rs = RoutingState::build(floyd_warshall(&w), &w, &modules, &report, None);
+        // Node 1 is equidistant; deterministic tie-break to node 0.
+        assert_eq!(rs.route(NodeId::new(1), 0).unwrap().destination, NodeId::new(0));
+    }
+
+    #[test]
+    fn dead_duplicates_are_skipped() {
+        let modules = vec![vec![NodeId::new(0), NodeId::new(3)]];
+        let mut report = SystemReport::fresh(4, 16);
+        report.set_dead(NodeId::new(0));
+        let rs = build_line(&modules, &report, None);
+        assert_eq!(rs.route(NodeId::new(1), 0).unwrap().destination, NodeId::new(3));
+    }
+
+    #[test]
+    fn extinct_module_yields_none() {
+        let modules = vec![vec![NodeId::new(0)]];
+        let mut report = SystemReport::fresh(4, 16);
+        report.set_dead(NodeId::new(0));
+        let rs = build_line(&modules, &report, None);
+        assert!(rs.route(NodeId::new(1), 0).is_none());
+    }
+
+    #[test]
+    fn unreachable_duplicate_yields_none() {
+        // Node 1 dead partitions the 4-line; node 3's only module-0 host
+        // (node 0) becomes unreachable.
+        let modules = vec![vec![NodeId::new(0)]];
+        let mut report = SystemReport::fresh(4, 16);
+        report.set_dead(NodeId::new(1));
+        let rs = build_line(&modules, &report, None);
+        assert!(rs.route(NodeId::new(3), 0).is_none());
+        // Node 0 still routes to itself.
+        assert!(rs.route(NodeId::new(0), 0).is_some());
+    }
+
+    #[test]
+    fn deadlocked_node_redirects_away_from_blocked_port() {
+        // Diamond: 0 -> 1 -> 3 and 0 -> 2 -> 3, module at 3.
+        let mut g = DiGraph::new(4);
+        g.add_edge_bidirectional(NodeId::new(0), NodeId::new(1), cm(1.0)).unwrap();
+        g.add_edge_bidirectional(NodeId::new(1), NodeId::new(3), cm(1.0)).unwrap();
+        g.add_edge_bidirectional(NodeId::new(0), NodeId::new(2), cm(2.0)).unwrap();
+        g.add_edge_bidirectional(NodeId::new(2), NodeId::new(3), cm(2.0)).unwrap();
+        let modules = vec![vec![NodeId::new(3)]];
+
+        let report = SystemReport::fresh(4, 16);
+        let w = ear_weights(&g, &report, &BatteryWeighting::default());
+        let first = RoutingState::build(floyd_warshall(&w), &w, &modules, &report, None);
+        assert_eq!(first.route(NodeId::new(0), 0).unwrap().next_hop, NodeId::new(1));
+
+        // Node 0 reports a deadlock: its previous port (toward 1) must be
+        // avoided in the recomputation.
+        let mut stuck = report.clone();
+        stuck.set_deadlocked(NodeId::new(0), true);
+        let w = ear_weights(&g, &stuck, &BatteryWeighting::default());
+        let second =
+            RoutingState::build(floyd_warshall(&w), &w, &modules, &stuck, Some(&first));
+        assert_eq!(second.route(NodeId::new(0), 0).unwrap().next_hop, NodeId::new(2));
+        // Other nodes are unaffected.
+        assert_eq!(second.route(NodeId::new(1), 0).unwrap().next_hop, NodeId::new(3));
+    }
+
+    #[test]
+    fn next_hop_walks_toward_destination() {
+        let modules = vec![vec![NodeId::new(3)]];
+        let report = SystemReport::fresh(4, 16);
+        let rs = build_line(&modules, &report, None);
+        let mut cur = NodeId::new(0);
+        let dest = NodeId::new(3);
+        let mut hops = 0;
+        while cur != dest {
+            cur = rs.next_hop(cur, dest).unwrap();
+            hops += 1;
+            assert!(hops <= 4, "walk did not terminate");
+        }
+        assert_eq!(hops, 3);
+        assert_eq!(rs.next_hop(dest, dest), Some(dest));
+    }
+
+    #[test]
+    fn dimensions() {
+        let modules = vec![vec![NodeId::new(0)], vec![NodeId::new(1)]];
+        let report = SystemReport::fresh(4, 16);
+        let rs = build_line(&modules, &report, None);
+        assert_eq!(rs.node_count(), 4);
+        assert_eq!(rs.module_count(), 2);
+        assert!(rs.route(NodeId::new(9), 0).is_none());
+        assert!(rs.route(NodeId::new(0), 9).is_none());
+        assert!(rs.distance(NodeId::new(0), NodeId::new(3)).is_some());
+        assert_eq!(rs.paths().node_count(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! The EAR battery [`BatteryWeighting`] function `f(n)`.
+
+use core::fmt;
+
+/// The exponential battery weighting of the paper's Sec 6:
+/// `f(n) = Q^(N_B − 1 − n)` for a reported battery level
+/// `n ∈ 0..N_B`.
+///
+/// * At full charge (`n = N_B − 1`) the weight is `Q⁰ = 1`, so EAR's edge
+///   weights coincide with SDR's and the algorithms agree on a fresh
+///   system.
+/// * Each level the battery drops multiplies the weight by `Q`; the
+///   constant `Q > 0` "strengthen\[s\] the impact of the battery
+///   information".
+///
+/// # Examples
+///
+/// ```
+/// use etx_routing::BatteryWeighting;
+///
+/// let w = BatteryWeighting::new(16, 2.0);
+/// assert_eq!(w.weight(15), 1.0);       // full battery
+/// assert_eq!(w.weight(14), 2.0);
+/// assert_eq!(w.weight(0), 2f64.powi(15)); // nearly empty
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryWeighting {
+    levels: u32,
+    q: f64,
+}
+
+impl BatteryWeighting {
+    /// Creates a weighting with `levels` battery levels (`N_B`) and
+    /// exponent base `q` (`Q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or `q` is not finite and positive.
+    #[must_use]
+    pub fn new(levels: u32, q: f64) -> Self {
+        assert!(levels > 0, "battery weighting needs at least one level");
+        assert!(q.is_finite() && q > 0.0, "Q must be finite and positive, got {q}");
+        BatteryWeighting { levels, q }
+    }
+
+    /// `N_B`: the number of battery levels.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// `Q`: the exponent base.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// `f(n) = Q^(N_B − 1 − n)`, clamping `n` to the valid range.
+    #[must_use]
+    pub fn weight(&self, level: u32) -> f64 {
+        let n = level.min(self.levels - 1);
+        self.q.powi((self.levels - 1 - n) as i32)
+    }
+}
+
+impl Default for BatteryWeighting {
+    /// The platform default: `N_B = 16` levels, `Q = 2`.
+    fn default() -> Self {
+        BatteryWeighting::new(16, 2.0)
+    }
+}
+
+impl fmt::Display for BatteryWeighting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f(n) = {}^({} - 1 - n)", self.q, self.levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_battery_weight_is_one() {
+        for q in [1.0, 2.0, 4.0, 8.0] {
+            let w = BatteryWeighting::new(16, q);
+            assert_eq!(w.weight(15), 1.0);
+        }
+    }
+
+    #[test]
+    fn q_of_one_is_flat() {
+        // Q = 1 disables battery awareness entirely: EAR == SDR.
+        let w = BatteryWeighting::new(16, 1.0);
+        for level in 0..16 {
+            assert_eq!(w.weight(level), 1.0);
+        }
+    }
+
+    #[test]
+    fn weight_doubles_per_level_with_q2() {
+        let w = BatteryWeighting::default();
+        for level in 1..16 {
+            assert_eq!(w.weight(level - 1), 2.0 * w.weight(level));
+        }
+    }
+
+    #[test]
+    fn out_of_range_level_clamps() {
+        let w = BatteryWeighting::new(8, 2.0);
+        assert_eq!(w.weight(7), 1.0);
+        assert_eq!(w.weight(100), 1.0); // clamped to the top level
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let w = BatteryWeighting::new(16, 2.0);
+        assert_eq!(w.levels(), 16);
+        assert_eq!(w.q(), 2.0);
+        assert!(w.to_string().contains("2^"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let _ = BatteryWeighting::new(0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_q_panics() {
+        let _ = BatteryWeighting::new(16, 0.0);
+    }
+
+    proptest! {
+        /// Weights are monotone non-increasing in battery level and
+        /// always >= 1 for Q >= 1.
+        #[test]
+        fn monotone_in_level(q in 1.0f64..8.0, a in 0u32..16, b in 0u32..16) {
+            let w = BatteryWeighting::new(16, q);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(w.weight(lo) >= w.weight(hi));
+            prop_assert!(w.weight(hi) >= 1.0);
+        }
+    }
+}

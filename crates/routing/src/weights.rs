@@ -1,0 +1,176 @@
+//! Phase 1: edge-weight matrix construction for SDR and EAR.
+
+use etx_graph::{DiGraph, Matrix, INFINITE_DISTANCE};
+
+use crate::{BatteryWeighting, SystemReport};
+
+/// Builds the SDR weight matrix: `W(i,j) = L(i,j)` for existing edges.
+///
+/// SDR is not energy-aware, but packets still cannot transit dead
+/// hardware, so edges touching dead nodes get infinite weight (that is
+/// connectivity information, not battery information — both algorithms
+/// receive it from the same TDMA reports).
+///
+/// # Panics
+///
+/// Panics if the report covers a different number of nodes than the graph.
+#[must_use]
+pub fn sdr_weights(graph: &DiGraph, report: &SystemReport) -> Matrix<f64> {
+    assert_eq!(
+        graph.node_count(),
+        report.node_count(),
+        "report covers {} nodes but the graph has {}",
+        report.node_count(),
+        graph.node_count()
+    );
+    let mut w = graph.weight_matrix(|e| e.length.centimetres());
+    mask_dead(&mut w, report);
+    w
+}
+
+/// Builds the EAR weight matrix: `W(i,j) = f(N_B(j)) · L(i,j)`, where
+/// `N_B(j)` is the reported battery level of the edge's receiving node and
+/// `f` the exponential [`BatteryWeighting`].
+///
+/// Weighting the *receiver* is what steers traffic away from nearly-dead
+/// relays: every path through node `j` pays `f(N_B(j))` on its inbound
+/// edge.
+///
+/// # Panics
+///
+/// Panics if the report covers a different number of nodes than the graph.
+#[must_use]
+pub fn ear_weights(
+    graph: &DiGraph,
+    report: &SystemReport,
+    weighting: &BatteryWeighting,
+) -> Matrix<f64> {
+    assert_eq!(
+        graph.node_count(),
+        report.node_count(),
+        "report covers {} nodes but the graph has {}",
+        report.node_count(),
+        graph.node_count()
+    );
+    let mut w = graph.weight_matrix(|e| {
+        let level = report.battery_level(e.to);
+        weighting.weight(level) * e.length.centimetres()
+    });
+    mask_dead(&mut w, report);
+    w
+}
+
+/// Makes every edge into or out of a dead node unusable.
+fn mask_dead(w: &mut Matrix<f64>, report: &SystemReport) {
+    let n = w.rows();
+    for i in 0..n {
+        if report.is_alive(etx_graph::NodeId::new(i)) {
+            continue;
+        }
+        for j in 0..n {
+            if i != j {
+                w[(i, j)] = INFINITE_DISTANCE;
+                w[(j, i)] = INFINITE_DISTANCE;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_graph::{floyd_warshall, topology, NodeId};
+    use etx_units::Length;
+
+    fn cm(v: f64) -> Length {
+        Length::from_centimetres(v)
+    }
+
+    #[test]
+    fn sdr_weights_are_plain_lengths() {
+        let g = topology::line(3, cm(2.0));
+        let r = SystemReport::fresh(3, 16);
+        let w = sdr_weights(&g, &r);
+        assert_eq!(w[(0, 1)], 2.0);
+        assert_eq!(w[(1, 2)], 2.0);
+        assert_eq!(w[(0, 2)], INFINITE_DISTANCE);
+        assert_eq!(w[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn ear_weights_equal_sdr_on_fresh_system() {
+        let g = topology::Mesh2D::square(4, cm(2.0)).to_graph();
+        let r = SystemReport::fresh(16, 16);
+        let sdr = sdr_weights(&g, &r);
+        let ear = ear_weights(&g, &r, &BatteryWeighting::default());
+        assert_eq!(sdr, ear);
+    }
+
+    #[test]
+    fn ear_penalizes_low_battery_receivers() {
+        let g = topology::line(3, cm(1.0));
+        let mut r = SystemReport::fresh(3, 16);
+        r.set_battery_level(NodeId::new(1), 13); // two levels down
+        let w = ear_weights(&g, &r, &BatteryWeighting::new(16, 2.0));
+        // Inbound edges to node 1 cost 2^2 = 4x length; others unchanged.
+        assert_eq!(w[(0, 1)], 4.0);
+        assert_eq!(w[(2, 1)], 4.0);
+        assert_eq!(w[(1, 0)], 1.0);
+        assert_eq!(w[(1, 2)], 1.0);
+    }
+
+    #[test]
+    fn ear_reroutes_around_depleted_relay() {
+        // Square: 0-1-3 (short) vs 0-2-3 (same length). Deplete node 1.
+        let mut g = etx_graph::DiGraph::new(4);
+        g.add_edge_bidirectional(NodeId::new(0), NodeId::new(1), cm(1.0)).unwrap();
+        g.add_edge_bidirectional(NodeId::new(1), NodeId::new(3), cm(1.0)).unwrap();
+        g.add_edge_bidirectional(NodeId::new(0), NodeId::new(2), cm(1.5)).unwrap();
+        g.add_edge_bidirectional(NodeId::new(2), NodeId::new(3), cm(1.5)).unwrap();
+
+        let mut r = SystemReport::fresh(4, 16);
+        // SDR picks the 2.0 cm path through node 1 regardless of battery.
+        let sdr_paths = floyd_warshall(&sdr_weights(&g, &r));
+        assert_eq!(
+            sdr_paths.path(NodeId::new(0), NodeId::new(3)).unwrap(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+        );
+
+        // Drain node 1 to level 1: EAR switches to the 3.0 cm detour.
+        r.set_battery_level(NodeId::new(1), 1);
+        let ear_paths = floyd_warshall(&ear_weights(&g, &r, &BatteryWeighting::default()));
+        assert_eq!(
+            ear_paths.path(NodeId::new(0), NodeId::new(3)).unwrap(),
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(3)]
+        );
+        // SDR still goes through the dying relay.
+        let sdr_paths = floyd_warshall(&sdr_weights(&g, &r));
+        assert_eq!(
+            sdr_paths.path(NodeId::new(0), NodeId::new(3)).unwrap(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn dead_nodes_block_both_algorithms() {
+        let g = topology::line(3, cm(1.0));
+        let mut r = SystemReport::fresh(3, 16);
+        r.set_dead(NodeId::new(1));
+        for w in [
+            sdr_weights(&g, &r),
+            ear_weights(&g, &r, &BatteryWeighting::default()),
+        ] {
+            let paths = floyd_warshall(&w);
+            assert!(!paths.is_reachable(NodeId::new(0), NodeId::new(2)));
+            assert!(!paths.is_reachable(NodeId::new(0), NodeId::new(1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "report covers")]
+    fn mismatched_report_panics() {
+        let g = topology::line(3, cm(1.0));
+        let r = SystemReport::fresh(2, 16);
+        let _ = sdr_weights(&g, &r);
+    }
+}

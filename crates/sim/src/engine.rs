@@ -1,0 +1,992 @@
+//! The [`Simulation`] engine: the cycle loop of `et_sim`.
+
+use etx_control::{ControlLedger, ControllerBank, ControllerEnergyModel};
+use etx_graph::{DiGraph, NodeId};
+use etx_mapping::Placement;
+use etx_routing::{Router, RoutingState, SystemReport};
+use etx_units::Energy;
+
+use crate::config::{ControllerSetup, JobSource, SimConfig, SimError};
+use crate::job::{Job, JobPhase};
+use crate::node::{DrainKind, NodeState};
+use crate::stats::{DeathCause, EnergyBreakdown, NodeStats, SimReport};
+use crate::trace::{SimTrace, TraceEvent};
+
+/// Outcome of advancing one job for one cycle.
+enum JobOutcome {
+    /// Still in flight.
+    Continue,
+    /// Walked its whole operation sequence.
+    Completed,
+    /// Lost to a node death.
+    Lost,
+}
+
+/// One `et_sim` run in progress.
+///
+/// Create it with [`SimConfig::builder`], drive it with
+/// [`Simulation::step`] or just call [`Simulation::run`].
+pub struct Simulation {
+    cfg: SimConfig,
+    /// Resolved gateway node for gateway-based job sources.
+    gateway: Option<NodeId>,
+    graph: DiGraph,
+    placement: Placement,
+    nodes: Vec<NodeState>,
+    router: Router,
+    routing: RoutingState,
+    last_report: SystemReport,
+    bank: ControllerBank,
+    controller_model: ControllerEnergyModel,
+    ledger: ControlLedger,
+    jobs: Vec<Job>,
+    now: u64,
+    next_job_id: u64,
+    // Event accumulators.
+    jobs_completed: u64,
+    jobs_lost: u64,
+    finished_fraction: f64,
+    deadlock_reports: u64,
+    routing_recomputes: u64,
+    remaps: u64,
+    routing_version: u64,
+    frames: u64,
+    pending_death: Option<DeathCause>,
+    death: Option<DeathCause>,
+    trace: SimTrace,
+}
+
+impl core::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("mesh", &format_args!("{}x{}", self.cfg.mesh_width, self.cfg.mesh_height))
+            .field("algorithm", &self.cfg.algorithm)
+            .field("jobs_completed", &self.jobs_completed)
+            .field("live_nodes", &self.live_node_count())
+            .field("dead", &self.death)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Assembles a simulation (called by the config builder).
+    pub(crate) fn new(cfg: SimConfig) -> Result<Self, SimError> {
+        let graph = cfg.build_graph();
+        let gateway = cfg.gateway_node();
+        let placement = cfg.placement()?;
+        let nodes: Vec<NodeState> = placement
+            .iter()
+            .map(|(_, module)| NodeState::new(module, cfg.battery.build(cfg.battery_capacity)))
+            .collect();
+        let router = Router::with_weighting(cfg.algorithm, cfg.weighting);
+        let bank = match cfg.controllers {
+            ControllerSetup::Infinite => ControllerBank::infinite(),
+            ControllerSetup::Finite { count } => {
+                ControllerBank::new(count, cfg.battery_capacity)
+            }
+        };
+        let controller_model = cfg.controller_model();
+        let cfg_trace_capacity = cfg.trace_capacity;
+        // Initial routing from the fresh system state.
+        let report = SystemReport::fresh(nodes.len(), cfg.weighting.levels());
+        let routing = router.compute(&graph, placement.module_nodes(), &report, None);
+        Ok(Simulation {
+            cfg,
+            gateway,
+            graph,
+            placement,
+            nodes,
+            router,
+            routing,
+            last_report: report,
+            bank,
+            controller_model,
+            ledger: ControlLedger::new(),
+            jobs: Vec::new(),
+            now: 0,
+            next_job_id: 0,
+            jobs_completed: 0,
+            jobs_lost: 0,
+            finished_fraction: 0.0,
+            deadlock_reports: 0,
+            routing_recomputes: 1,
+            remaps: 0,
+            routing_version: 1,
+            frames: 0,
+            pending_death: None,
+            death: None,
+            trace: SimTrace::with_capacity(cfg_trace_capacity),
+        })
+    }
+
+    /// The configuration this run uses.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// `true` once the system has died.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.death.is_some()
+    }
+
+    /// Jobs completed so far.
+    #[must_use]
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Number of nodes still alive.
+    #[must_use]
+    pub fn live_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_dead()).count()
+    }
+
+    /// The event trace recorded so far (empty unless
+    /// [`SimConfig::trace_capacity`] is non-zero).
+    #[must_use]
+    pub fn trace(&self) -> &SimTrace {
+        &self.trace
+    }
+
+    /// Advances the simulation by one cycle. Returns the death cause once
+    /// the system dies (and on every later call).
+    pub fn step(&mut self) -> Option<DeathCause> {
+        if let Some(cause) = self.death {
+            return Some(cause);
+        }
+        if self.now >= self.cfg.max_cycles {
+            return self.die(DeathCause::MaxCycles);
+        }
+
+        // --- TDMA frame boundary -------------------------------------
+        if self.now.is_multiple_of(self.cfg.tdma.frame_period.count()) {
+            if let Some(cause) = self.tdma_frame() {
+                return self.die(cause);
+            }
+        }
+
+        // --- advance jobs ---------------------------------------------
+        let mut jobs = std::mem::take(&mut self.jobs);
+        let mut survivors = Vec::with_capacity(jobs.len());
+        for mut job in jobs.drain(..) {
+            match self.advance_job(&mut job) {
+                JobOutcome::Continue => survivors.push(job),
+                JobOutcome::Completed => {
+                    self.jobs_completed += 1;
+                    self.trace.record(self.now, TraceEvent::JobCompleted { job: job.id });
+                    self.release_buffer(job.location);
+                }
+                JobOutcome::Lost => {
+                    self.jobs_lost += 1;
+                    self.trace
+                        .record(self.now, TraceEvent::JobLost { job: job.id, at: job.location });
+                    // Buffer slots held on dead nodes are irrelevant; only
+                    // release slots held on live ones.
+                    if !self.nodes[job.location.index()].is_dead() {
+                        self.release_buffer(job.location);
+                    }
+                }
+            }
+            if let Some(cause) = self.pending_death.take() {
+                self.jobs = survivors;
+                return self.die(cause);
+            }
+        }
+        self.jobs = survivors;
+
+        // --- deadlock flags --------------------------------------------
+        let threshold = self.cfg.deadlock_threshold.count();
+        for job in &self.jobs {
+            if job.stuck_for(self.now) > threshold {
+                self.nodes[job.location.index()].deadlock_flag = true;
+            }
+        }
+
+        // --- injection --------------------------------------------------
+        while self.jobs.len() < self.cfg.concurrent_jobs {
+            match self.inject_job() {
+                Ok(true) => {}
+                Ok(false) => break, // temporarily no room; retry next cycle
+                Err(cause) => return self.die(cause),
+            }
+        }
+
+        // --- irrecoverable stall check -----------------------------------
+        let giveup = self.cfg.stall_giveup.count();
+        if !self.jobs.is_empty()
+            && self.jobs.iter().all(|j| j.stuck_for(self.now) > giveup)
+        {
+            return self.die(DeathCause::Stalled);
+        }
+
+        self.now += 1;
+        None
+    }
+
+    /// Runs until the system dies and returns the final report.
+    #[must_use]
+    pub fn run(mut self) -> SimReport {
+        loop {
+            if let Some(cause) = self.step() {
+                return self.into_report(cause);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+
+    fn die(&mut self, cause: DeathCause) -> Option<DeathCause> {
+        self.death = Some(cause);
+        Some(cause)
+    }
+
+    fn release_buffer(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node.index()];
+        n.buffered = n.buffered.saturating_sub(1);
+    }
+
+    /// Handles a node death: checks for module extinction and gateway loss.
+    fn on_node_death(&mut self, node: NodeId) {
+        let module = self.placement.module_of(node);
+        self.trace.record(self.now, TraceEvent::NodeDied { node, module });
+        let extinct = self
+            .placement
+            .nodes_of(module)
+            .iter()
+            .all(|&n| self.nodes[n.index()].is_dead());
+        if extinct {
+            self.pending_death.get_or_insert(DeathCause::ModuleExtinct(module));
+        }
+        if self.gateway == Some(node) {
+            self.pending_death.get_or_insert(DeathCause::GatewayDead);
+        }
+    }
+
+    /// Drains a node battery and propagates death bookkeeping.
+    ///
+    /// A thin-film cell can die *while delivering the full request* (the
+    /// voltage crosses the 3.0 V cutoff on a successful draw), so death
+    /// is checked on every transition, not only on failed draws.
+    fn drain_node(&mut self, node: NodeId, energy: Energy, kind: DrainKind) -> bool {
+        let was_dead = self.nodes[node.index()].is_dead();
+        let ok = self.nodes[node.index()].drain(self.now, energy, kind);
+        if !was_dead && self.nodes[node.index()].is_dead() {
+            self.on_node_death(node);
+        }
+        ok
+    }
+
+    /// One TDMA frame: uploads, report construction, optional recompute
+    /// plus downloads. Returns a death cause if the controllers die.
+    fn tdma_frame(&mut self) -> Option<DeathCause> {
+        self.frames += 1;
+        let upload = self.cfg.tdma.upload_energy_per_node(&self.cfg.line_model);
+
+        // Upload phase: every live node drives its status slot.
+        for i in 0..self.nodes.len() {
+            let node = NodeId::new(i);
+            if self.nodes[i].is_dead() {
+                continue;
+            }
+            self.drain_node(node, upload, DrainKind::Control);
+            if !self.nodes[i].is_dead() {
+                self.ledger.record_upload(upload);
+            } else {
+                // Partial slot still hit the wire.
+                self.ledger.record_upload(upload);
+            }
+        }
+        if let Some(cause) = self.pending_death.take() {
+            return Some(cause);
+        }
+
+        // Controller leakage since the previous frame.
+        let live_before = self.bank.live_count();
+        let leak = self
+            .controller_model
+            .leakage_energy(self.cfg.tdma.frame_period);
+        self.ledger.record_controller_compute(leak);
+        if !self.bank.charge(leak) {
+            self.trace
+                .record(self.now, TraceEvent::ControllerFailover { remaining: 0 });
+            return Some(DeathCause::ControllersDead);
+        }
+        if self.bank.live_count() < live_before {
+            self.trace.record(
+                self.now,
+                TraceEvent::ControllerFailover { remaining: self.bank.live_count() },
+            );
+        }
+
+        // Build the report the controller just received.
+        let report = self.build_report();
+        let any_deadlock = (0..self.nodes.len())
+            .any(|i| report.is_deadlocked(NodeId::new(i)));
+        for i in 0..self.nodes.len() {
+            if report.is_deadlocked(NodeId::new(i)) {
+                self.deadlock_reports += 1;
+                self.trace
+                    .record(self.now, TraceEvent::DeadlockReported { node: NodeId::new(i) });
+            }
+        }
+
+        let remapped = self.maybe_remap(&report);
+
+        if report != self.last_report || any_deadlock || remapped {
+            // Routing recomputation: the controller actively computes for
+            // the duration of the frame.
+            let active = self
+                .controller_model
+                .active_energy(self.cfg.tdma.frame_cycles(self.nodes.len()));
+            self.ledger.record_controller_compute(active);
+            if !self.bank.charge(active) {
+                return Some(DeathCause::ControllersDead);
+            }
+            // Download phase: fresh next hops to every live node.
+            let down_each = self.cfg.tdma.download_energy_per_node(&self.cfg.line_model);
+            let down_total = down_each * report.live_count() as f64;
+            self.ledger.record_download(down_total);
+            if !self.bank.charge(down_total) {
+                return Some(DeathCause::ControllersDead);
+            }
+            self.routing = self.router.compute(
+                &self.graph,
+                self.placement.module_nodes(),
+                &report,
+                Some(&self.routing),
+            );
+            self.routing_recomputes += 1;
+            self.routing_version += 1;
+            self.trace.record(
+                self.now,
+                TraceEvent::RoutingRecomputed { version: self.routing_version },
+            );
+            self.last_report = report;
+        }
+
+        // Deadlock flags are edge-triggered: once uploaded and serviced,
+        // clear them; still-stuck jobs will re-raise them.
+        for n in &mut self.nodes {
+            n.deadlock_flag = false;
+        }
+        None
+    }
+
+    fn build_report(&self) -> SystemReport {
+        let levels = self.cfg.weighting.levels();
+        let mut report = SystemReport::fresh(self.nodes.len(), levels);
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = NodeId::new(i);
+            if n.is_dead() {
+                report.set_dead(id);
+            } else {
+                report.set_battery_level(id, n.battery.reported_level(levels));
+                report.set_deadlocked(id, n.deadlock_flag);
+            }
+        }
+        report
+    }
+
+    /// The remapping extension: reprogram a surplus node to rescue a
+    /// module whose live duplicate count fell below the policy threshold.
+    /// Returns `true` when the placement changed (forcing a routing
+    /// recomputation).
+    fn maybe_remap(&mut self, report: &SystemReport) -> bool {
+        let Some(policy) = self.cfg.remapping.clone() else {
+            return false;
+        };
+        let mut changed = false;
+        let levels = self.cfg.weighting.levels();
+        for m in 0..self.placement.module_count() {
+            let module = etx_app::ModuleId::new(m);
+            let live = self
+                .placement
+                .nodes_of(module)
+                .iter()
+                .filter(|&&n| report.is_alive(n))
+                .count();
+            if live == 0 || live >= policy.min_live_duplicates {
+                // Extinct modules are beyond rescue (the job state is
+                // gone); healthy ones need no help.
+                continue;
+            }
+            // Donor: the best-charged idle node whose own module keeps a
+            // surplus after losing it.
+            let donor = (0..self.nodes.len())
+                .map(NodeId::new)
+                .filter(|&n| report.is_alive(n))
+                .filter(|&n| {
+                    let dm = self.placement.module_of(n);
+                    if dm == module {
+                        return false;
+                    }
+                    let dm_live = self
+                        .placement
+                        .nodes_of(dm)
+                        .iter()
+                        .filter(|&&x| report.is_alive(x))
+                        .count();
+                    dm_live > policy.min_live_duplicates
+                })
+                .filter(|&n| {
+                    let node = &self.nodes[n.index()];
+                    node.buffered == 0 && node.busy_until <= self.now
+                })
+                .max_by_key(|&n| {
+                    (
+                        self.nodes[n.index()].battery.reported_level(levels),
+                        std::cmp::Reverse(n.index()),
+                    )
+                });
+            let Some(donor) = donor else { continue };
+            if !self.drain_node(donor, policy.migration_energy, DrainKind::Compute) {
+                continue; // donor died taking the bitstream; no remap
+            }
+            if self.placement.reassign(donor, module).is_ok() {
+                self.trace.record(self.now, TraceEvent::Remapped { node: donor, to: module });
+                self.nodes[donor.index()].module = module;
+                self.nodes[donor.index()].busy_until =
+                    self.now + policy.migration_cycles.count();
+                self.remaps += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Injects one job. `Ok(true)` on success, `Ok(false)` when the entry
+    /// point has no buffer space this cycle.
+    fn inject_job(&mut self) -> Result<bool, DeathCause> {
+        let entry_node = match self.cfg.source {
+            JobSource::Gateway { .. } | JobSource::GatewayNode { .. } => {
+                let gateway = self.gateway.expect("validated by builder");
+                if self.nodes[gateway.index()].is_dead() {
+                    return Err(DeathCause::GatewayDead);
+                }
+                gateway
+            }
+            JobSource::Broadcast => {
+                // The freshest live duplicate of the first module.
+                let first_module = self.cfg.app.op_sequence()[0];
+                let best = self
+                    .placement
+                    .nodes_of(first_module)
+                    .iter()
+                    .filter(|&&n| !self.nodes[n.index()].is_dead())
+                    .max_by_key(|&&n| {
+                        (
+                            self.nodes[n.index()]
+                                .battery
+                                .reported_level(self.cfg.weighting.levels()),
+                            std::cmp::Reverse(n.index()),
+                        )
+                    })
+                    .copied();
+                match best {
+                    Some(n) => n,
+                    None => return Err(DeathCause::ModuleExtinct(first_module)),
+                }
+            }
+        };
+        if self.nodes[entry_node.index()].buffered >= self.cfg.buffer_capacity {
+            return Ok(false);
+        }
+        self.nodes[entry_node.index()].buffered += 1;
+        let job = Job::new(self.next_job_id, entry_node);
+        self.next_job_id += 1;
+        self.jobs.push(job);
+        Ok(true)
+    }
+
+    /// Advances one job by (at most) one cycle's worth of activity.
+    fn advance_job(&mut self, job: &mut Job) -> JobOutcome {
+        // A dead holder loses the job (packet and state are gone).
+        if self.nodes[job.location.index()].is_dead()
+            && !matches!(job.phase, JobPhase::HopInFlight { .. })
+        {
+            return JobOutcome::Lost;
+        }
+        loop {
+            match job.phase {
+                JobPhase::AwaitingRoute => {
+                    let module = self.cfg.app.op_sequence()[job.op_index];
+                    let Some(entry) = self.routing.route(job.location, module.index()) else {
+                        // No live duplicate reachable right now; wait for
+                        // recovery (or the stall reaper).
+                        job.mark_stuck(self.now);
+                        return JobOutcome::Continue;
+                    };
+                    let dest = entry.destination;
+                    if dest != job.location && self.nodes[dest.index()].is_dead() {
+                        // Stale table: the chosen duplicate died since the
+                        // last TDMA download. Wait for fresh routes.
+                        job.mark_stuck(self.now);
+                        return JobOutcome::Continue;
+                    }
+                    job.seen_routing_version = self.routing_version;
+                    job.phase = JobPhase::Traveling { dest };
+                    continue;
+                }
+                JobPhase::Traveling { dest } => {
+                    // A stuck job re-resolves its destination as soon as
+                    // the controller publishes fresh tables (this is how a
+                    // deadlock redirect actually reaches an en-route job).
+                    if job.stuck_since.is_some()
+                        && job.seen_routing_version < self.routing_version
+                        && job.location != dest
+                    {
+                        job.phase = JobPhase::AwaitingRoute;
+                        continue;
+                    }
+                    // Remapping may have changed what dest hosts while the
+                    // packet was in flight; re-resolve next cycle.
+                    let module = self.cfg.app.op_sequence()[job.op_index];
+                    if self.placement.module_of(dest) != module {
+                        job.mark_stuck(self.now);
+                        job.phase = JobPhase::AwaitingRoute;
+                        return JobOutcome::Continue;
+                    }
+                    if job.location == dest {
+                        // Arrived (or self-hosted): try to start computing.
+                        let node = &self.nodes[dest.index()];
+                        if node.is_dead() {
+                            return JobOutcome::Lost;
+                        }
+                        if node.busy_until > self.now {
+                            job.mark_stuck(self.now);
+                            return JobOutcome::Continue;
+                        }
+                        let module = self.cfg.app.op_sequence()[job.op_index];
+                        let energy = self
+                            .cfg
+                            .app
+                            .module(module)
+                            .expect("placement validated modules")
+                            .compute_energy();
+                        if !self.drain_node(dest, energy, DrainKind::Compute) {
+                            return JobOutcome::Lost;
+                        }
+                        let until = self.now + self.cfg.compute_cycles.count();
+                        self.nodes[dest.index()].busy_until = until;
+                        job.mark_progress();
+                        job.phase = JobPhase::Computing { until };
+                        return JobOutcome::Continue;
+                    }
+                    // Destination may have died while we were travelling.
+                    if self.nodes[dest.index()].is_dead() {
+                        job.phase = JobPhase::AwaitingRoute;
+                        continue;
+                    }
+                    let Some(next) = self.routing.next_hop(job.location, dest) else {
+                        job.mark_stuck(self.now);
+                        return JobOutcome::Continue;
+                    };
+                    if self.nodes[next.index()].is_dead() {
+                        // Stale table points into a dead neighbour; the
+                        // link layer refuses, wait for fresh routes.
+                        job.mark_stuck(self.now);
+                        return JobOutcome::Continue;
+                    }
+                    if self.nodes[next.index()].buffered >= self.cfg.buffer_capacity {
+                        job.mark_stuck(self.now);
+                        return JobOutcome::Continue;
+                    }
+                    // Transmit one hop; the sender pays for the line.
+                    let length = self
+                        .graph
+                        .edge_length(job.location, next)
+                        .expect("next hop is a graph neighbour");
+                    let energy = self.cfg.line_model.packet_energy(
+                        length,
+                        &self.cfg.packet,
+                        self.cfg.switching_activity,
+                    );
+                    self.nodes[next.index()].buffered += 1; // reserve
+                    let sent = self.drain_node(job.location, energy, DrainKind::Communication);
+                    self.nodes[job.location.index()].packets_sent += 1;
+                    self.release_buffer(job.location);
+                    if !sent {
+                        // Sender died driving the line: packet lost.
+                        self.release_buffer(next);
+                        return JobOutcome::Lost;
+                    }
+                    job.mark_progress();
+                    job.phase = JobPhase::HopInFlight {
+                        dest,
+                        to: next,
+                        arrive: self.now + self.cfg.hop_cycles.count(),
+                    };
+                    return JobOutcome::Continue;
+                }
+                JobPhase::HopInFlight { dest, to, arrive } => {
+                    if self.now < arrive {
+                        return JobOutcome::Continue;
+                    }
+                    if self.nodes[to.index()].is_dead() {
+                        // Landed on a node that died mid-flight.
+                        return JobOutcome::Lost;
+                    }
+                    job.location = to;
+                    job.phase = JobPhase::Traveling { dest };
+                    continue;
+                }
+                JobPhase::Computing { until } => {
+                    if self.now < until {
+                        return JobOutcome::Continue;
+                    }
+                    self.nodes[job.location.index()].ops_done += 1;
+                    job.op_index += 1;
+                    job.mark_progress();
+                    if job.op_index >= self.cfg.app.op_sequence().len() {
+                        return JobOutcome::Completed;
+                    }
+                    job.phase = JobPhase::AwaitingRoute;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Final accounting.
+    fn into_report(self, cause: DeathCause) -> SimReport {
+        let total_ops = self.cfg.app.op_sequence().len();
+        let in_flight: f64 = self.jobs.iter().map(|j| j.progress(total_ops)).sum();
+        let mut energy = EnergyBreakdown::default();
+        let mut node_stats = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            energy.compute += n.compute_energy;
+            energy.data_communication += n.comm_energy;
+            let delivered = n.battery.delivered();
+            let stranded = (n.battery.nominal_capacity() - delivered).clamp_non_negative();
+            energy.stranded += stranded;
+            node_stats.push(NodeStats {
+                node: NodeId::new(i),
+                module: n.module,
+                ops_done: n.ops_done,
+                packets_sent: n.packets_sent,
+                compute_energy: n.compute_energy,
+                comm_energy: n.comm_energy,
+                control_energy: n.control_energy,
+                alive_at_end: !n.is_dead(),
+                delivered,
+                stranded,
+            });
+        }
+        energy.control_medium = self.ledger.medium_energy();
+        energy.controller = self.ledger.controller_energy();
+        SimReport {
+            jobs_completed: self.jobs_completed,
+            jobs_fractional: self.jobs_completed as f64 + in_flight + self.finished_fraction,
+            jobs_lost: self.jobs_lost,
+            lifetime_cycles: self.now,
+            death_cause: cause,
+            energy,
+            deadlock_reports: self.deadlock_reports,
+            routing_recomputes: self.routing_recomputes,
+            remaps: self.remaps,
+            frames: self.frames,
+            node_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatteryModel, MappingKind, TopologyKind};
+    use etx_app::ModuleId;
+    use etx_routing::Algorithm;
+
+    fn quick(algorithm: Algorithm, capacity: f64) -> SimReport {
+        SimConfig::builder()
+            .mesh_square(4)
+            .algorithm(algorithm)
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(capacity)
+            .build()
+            .expect("valid config")
+            .run()
+    }
+
+    #[test]
+    fn completes_jobs_and_dies() {
+        let report = quick(Algorithm::Ear, 10_000.0);
+        assert!(report.jobs_completed > 0, "no jobs completed:\n{report}");
+        assert_ne!(report.death_cause, DeathCause::MaxCycles);
+        assert!(report.lifetime_cycles > 0);
+        assert!(report.jobs_fractional >= report.jobs_completed as f64);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick(Algorithm::Ear, 8_000.0);
+        let b = quick(Algorithm::Ear, 8_000.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ear_beats_sdr_on_default_platform() {
+        let ear = quick(Algorithm::Ear, 20_000.0);
+        let sdr = quick(Algorithm::Sdr, 20_000.0);
+        assert!(
+            ear.jobs_fractional > sdr.jobs_fractional,
+            "EAR {:.1} vs SDR {:.1}",
+            ear.jobs_fractional,
+            sdr.jobs_fractional
+        );
+    }
+
+    #[test]
+    fn ideal_battery_outlives_thin_film() {
+        let ideal = SimConfig::builder()
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(20_000.0)
+            .build()
+            .unwrap()
+            .run();
+        let film = SimConfig::builder()
+            .battery(BatteryModel::ThinFilm)
+            .battery_capacity_picojoules(20_000.0)
+            .build()
+            .unwrap()
+            .run();
+        // Near-tie tolerance: staggered thin-film deaths can help the
+        // router at some scales (see the battery ablation).
+        assert!(ideal.jobs_fractional >= film.jobs_fractional * 0.85);
+        assert!(film.energy.stranded.is_positive());
+    }
+
+    #[test]
+    fn energy_accounting_is_consistent() {
+        let report = quick(Algorithm::Ear, 10_000.0);
+        let consumed = report.energy.total_consumed().picojoules();
+        assert!(consumed > 0.0);
+        // Node-side energy must not exceed the aggregate battery budget.
+        let node_side = report.energy.compute.picojoules()
+            + report.energy.data_communication.picojoules();
+        assert!(node_side <= 16.0 * 10_000.0 + 1e-6);
+        // Overhead is a sane percentage.
+        let pct = report.overhead_percent();
+        assert!((0.0..100.0).contains(&pct), "overhead {pct}%");
+    }
+
+    #[test]
+    fn finite_controllers_limit_lifetime() {
+        let make = |setup| {
+            SimConfig::builder()
+                .battery(BatteryModel::Ideal)
+                .battery_capacity_picojoules(60_000.0)
+                .controllers(setup)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let infinite = make(ControllerSetup::Infinite);
+        let one = make(ControllerSetup::Finite { count: 1 });
+        let many = make(ControllerSetup::Finite { count: 10 });
+        assert!(one.jobs_fractional <= many.jobs_fractional + 1e-9);
+        assert!(many.jobs_fractional <= infinite.jobs_fractional + 1e-9);
+    }
+
+    #[test]
+    fn broadcast_source_runs() {
+        let report = SimConfig::builder()
+            .source(JobSource::Broadcast)
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(8_000.0)
+            .build()
+            .unwrap()
+            .run();
+        assert!(report.jobs_completed > 0);
+    }
+
+    #[test]
+    fn concurrent_jobs_complete() {
+        let report = SimConfig::builder()
+            .concurrent_jobs(4)
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(10_000.0)
+            .build()
+            .unwrap()
+            .run();
+        assert!(report.jobs_completed > 0, "report: {report}");
+    }
+
+    #[test]
+    fn proportional_mapping_runs() {
+        let report = SimConfig::builder()
+            .mapping(MappingKind::Proportional)
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(8_000.0)
+            .build()
+            .unwrap()
+            .run();
+        assert!(report.jobs_completed > 0);
+    }
+
+    #[test]
+    fn step_api_reports_death_repeatedly() {
+        let mut sim = SimConfig::builder()
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(2_000.0)
+            .build()
+            .unwrap();
+        let cause = loop {
+            if let Some(c) = sim.step() {
+                break c;
+            }
+        };
+        assert!(sim.is_dead());
+        assert_eq!(sim.step(), Some(cause));
+    }
+
+    #[test]
+    fn ring_topology_runs_with_node_gateway() {
+        let report = SimConfig::builder()
+            .mesh(4, 4) // 16-node ring
+            .topology(TopologyKind::Ring)
+            .mapping(MappingKind::Proportional)
+            .source(JobSource::GatewayNode { node: 0 })
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(8_000.0)
+            .build()
+            .expect("ring config is valid")
+            .run();
+        assert!(report.jobs_completed > 0, "ring completed nothing:
+{report}");
+    }
+
+    #[test]
+    fn torus_beats_mesh_under_ear() {
+        // Wrap-around links shorten paths, so the torus should do at
+        // least as well as the mesh on the same budget.
+        let run = |topology| {
+            SimConfig::builder()
+                .topology(topology)
+                .mapping(MappingKind::Proportional)
+                .battery(BatteryModel::Ideal)
+                .battery_capacity_picojoules(10_000.0)
+                .build()
+                .expect("valid config")
+                .run()
+                .jobs_fractional
+        };
+        let mesh = run(TopologyKind::Mesh);
+        let torus = run(TopologyKind::Torus);
+        assert!(torus >= mesh * 0.9, "torus {torus:.1} vs mesh {mesh:.1}");
+    }
+
+    #[test]
+    fn custom_topology_uses_graph_lengths() {
+        let graph = etx_graph::topology::star(5, etx_units::Length::from_centimetres(3.0));
+        let report = SimConfig::builder()
+            .topology(TopologyKind::Custom(graph))
+            .mapping(MappingKind::RoundRobin)
+            .source(JobSource::Broadcast)
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(20_000.0)
+            .build()
+            .expect("custom topology config is valid")
+            .run();
+        assert!(report.jobs_completed > 0);
+        assert_eq!(report.node_stats.len(), 5);
+    }
+
+    #[test]
+    fn coordinate_gateway_rejected_on_ring() {
+        let err = SimConfig::builder()
+            .topology(TopologyKind::Ring)
+            .mapping(MappingKind::Proportional)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::TopologyMismatch(_)));
+    }
+
+    #[test]
+    fn remapping_rescues_endangered_modules() {
+        use crate::config::RemappingPolicy;
+        // Module 0 starts with a single host: without remapping the
+        // system dies as soon as that node does; with remapping a donor
+        // is reprogrammed and life continues.
+        let mut assignment = vec![ModuleId::new(2); 16];
+        assignment[5] = ModuleId::new(0);
+        assignment[6] = ModuleId::new(1);
+        assignment[9] = ModuleId::new(1);
+        let base = || {
+            SimConfig::builder()
+                .mapping(MappingKind::Custom(assignment.clone()))
+                .battery(BatteryModel::Ideal)
+                .battery_capacity_picojoules(20_000.0)
+        };
+        let plain = base().build().expect("valid config").run();
+        let remapped = base()
+            .remapping(RemappingPolicy::default())
+            .build()
+            .expect("valid config")
+            .run();
+        assert!(remapped.remaps > 0, "no migrations happened:
+{remapped}");
+        assert!(
+            remapped.jobs_fractional > plain.jobs_fractional,
+            "remapping did not help: {:.1} vs {:.1}",
+            remapped.jobs_fractional,
+            plain.jobs_fractional
+        );
+        assert_eq!(plain.remaps, 0);
+    }
+
+    #[test]
+    fn trace_records_key_events() {
+        use crate::trace::TraceEvent;
+        let mut sim = SimConfig::builder()
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(5_000.0)
+            .trace_capacity(10_000)
+            .build()
+            .unwrap();
+        while sim.step().is_none() {}
+        let trace = sim.trace();
+        assert!(!trace.is_disabled());
+        let completions =
+            trace.filter(|e| matches!(e, TraceEvent::JobCompleted { .. })).count();
+        assert_eq!(completions as u64, sim.jobs_completed());
+        let deaths = trace.filter(|e| matches!(e, TraceEvent::NodeDied { .. })).count();
+        assert!(deaths > 0, "no node deaths traced");
+        let recomputes =
+            trace.filter(|e| matches!(e, TraceEvent::RoutingRecomputed { .. })).count();
+        assert!(recomputes > 0);
+        // Events are time-ordered.
+        assert!(trace.events().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut sim = SimConfig::builder()
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(2_000.0)
+            .build()
+            .unwrap();
+        while sim.step().is_none() {}
+        assert!(sim.trace().is_disabled());
+        assert!(sim.trace().events().is_empty());
+    }
+
+    #[test]
+    fn node_stats_cover_all_nodes() {
+        let report = quick(Algorithm::Ear, 5_000.0);
+        assert_eq!(report.node_stats.len(), 16);
+        let total_ops: u64 = report.node_stats.iter().map(|n| n.ops_done).sum();
+        // 30 ops per completed job, at least.
+        assert!(total_ops >= report.jobs_completed * 30);
+    }
+}

@@ -1,0 +1,203 @@
+//! Event tracing for `et_sim` runs.
+//!
+//! The paper debugs its simulator by watching when nodes die, when the
+//! controller recomputes routes, and when jobs stall; [`SimTrace`]
+//! captures exactly those events, cheaply enough to leave on during
+//! experiments (events are plain enums in a `Vec`).
+
+use core::fmt;
+
+use etx_app::ModuleId;
+use etx_graph::NodeId;
+
+/// One timestamped event in a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A node's battery died.
+    NodeDied {
+        /// The dead node.
+        node: NodeId,
+        /// The module it hosted.
+        module: ModuleId,
+    },
+    /// A job completed its final operation.
+    JobCompleted {
+        /// Job id.
+        job: u64,
+    },
+    /// A job was lost to a node death.
+    JobLost {
+        /// Job id.
+        job: u64,
+        /// Where it was lost.
+        at: NodeId,
+    },
+    /// The controller recomputed the routing tables.
+    RoutingRecomputed {
+        /// Monotonic routing version after the recompute.
+        version: u64,
+    },
+    /// A node reported a deadlock during the upload phase.
+    DeadlockReported {
+        /// The reporting node.
+        node: NodeId,
+    },
+    /// The controller reprogrammed a node to host a different module.
+    Remapped {
+        /// The reprogrammed node.
+        node: NodeId,
+        /// The module it now hosts.
+        to: ModuleId,
+    },
+    /// The active controller failed over (or all controllers died).
+    ControllerFailover {
+        /// Controllers still alive after the failover.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::NodeDied { node, module } => write!(f, "{node} ({module}) died"),
+            TraceEvent::JobCompleted { job } => write!(f, "job {job} completed"),
+            TraceEvent::JobLost { job, at } => write!(f, "job {job} lost at {at}"),
+            TraceEvent::RoutingRecomputed { version } => {
+                write!(f, "routing recomputed (v{version})")
+            }
+            TraceEvent::DeadlockReported { node } => write!(f, "{node} reported deadlock"),
+            TraceEvent::Remapped { node, to } => write!(f, "{node} remapped to {to}"),
+            TraceEvent::ControllerFailover { remaining } => {
+                write!(f, "controller failover ({remaining} remaining)")
+            }
+        }
+    }
+}
+
+/// A bounded, timestamped event log.
+///
+/// Disabled by default (zero cost); enable it with
+/// [`SimConfig::builder().tweak(|c| c.trace_capacity = 10_000)`]
+/// or any non-zero capacity. Once full, further events are counted but
+/// not stored.
+///
+/// [`SimConfig::builder().tweak(|c| c.trace_capacity = 10_000)`]:
+///     crate::SimConfig
+#[derive(Debug, Clone, Default)]
+pub struct SimTrace {
+    capacity: usize,
+    events: Vec<(u64, TraceEvent)>,
+    dropped: u64,
+}
+
+impl SimTrace {
+    /// Creates a trace holding at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SimTrace { capacity, events: Vec::new(), dropped: 0 }
+    }
+
+    /// `true` if this trace stores nothing (capacity 0).
+    #[must_use]
+    pub fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Records an event at cycle `now`.
+    pub fn record(&mut self, now: u64, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push((now, event));
+        } else if self.capacity > 0 {
+            self.dropped += 1;
+        } else {
+            // Disabled: drop silently and cheaply.
+        }
+    }
+
+    /// The stored `(cycle, event)` pairs, in order.
+    #[must_use]
+    pub fn events(&self) -> &[(u64, TraceEvent)] {
+        &self.events
+    }
+
+    /// Events that arrived after the log filled up.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over events of one kind.
+    pub fn filter<'a, F: Fn(&TraceEvent) -> bool + 'a>(
+        &'a self,
+        predicate: F,
+    ) -> impl Iterator<Item = &'a (u64, TraceEvent)> + 'a {
+        self.events.iter().filter(move |(_, e)| predicate(e))
+    }
+
+    /// Renders the log as one line per event.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        for (cycle, event) in &self.events {
+            let _ = writeln!(out, "[{cycle:>8}] {event}");
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} further events dropped", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_stores_nothing() {
+        let mut t = SimTrace::default();
+        assert!(t.is_disabled());
+        t.record(5, TraceEvent::JobCompleted { job: 1 });
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_capacity_counts_overflow() {
+        let mut t = SimTrace::with_capacity(2);
+        for i in 0..5 {
+            t.record(i, TraceEvent::JobCompleted { job: i });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let s = t.render();
+        assert!(s.contains("job 0 completed"));
+        assert!(s.contains("3 further events dropped"));
+    }
+
+    #[test]
+    fn filter_by_kind() {
+        let mut t = SimTrace::with_capacity(10);
+        t.record(1, TraceEvent::JobCompleted { job: 1 });
+        t.record(2, TraceEvent::NodeDied { node: NodeId::new(3), module: ModuleId::new(0) });
+        t.record(3, TraceEvent::JobCompleted { job: 2 });
+        let completions: Vec<_> =
+            t.filter(|e| matches!(e, TraceEvent::JobCompleted { .. })).collect();
+        assert_eq!(completions.len(), 2);
+    }
+
+    #[test]
+    fn event_display() {
+        assert_eq!(
+            TraceEvent::NodeDied { node: NodeId::new(1), module: ModuleId::new(2) }.to_string(),
+            "n1 (M3) died"
+        );
+        assert_eq!(
+            TraceEvent::Remapped { node: NodeId::new(4), to: ModuleId::new(0) }.to_string(),
+            "n4 remapped to M1"
+        );
+        assert!(TraceEvent::ControllerFailover { remaining: 2 }
+            .to_string()
+            .contains("2 remaining"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The [`Cycles`] quantity (clock-cycle counts).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A count of clock cycles — the time base of the cycle-accurate simulator.
+///
+/// `et_sim` advances in whole cycles; computation latencies, hop latencies,
+/// TDMA slot widths and deadlock thresholds are all expressed in cycles.
+///
+/// # Examples
+///
+/// ```
+/// use etx_units::Cycles;
+///
+/// let hop = Cycles::new(2);
+/// let path = hop * 5;
+/// assert_eq!(path.count(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// One cycle.
+    pub const ONE: Cycles = Cycles(1);
+
+    /// Creates a cycle count.
+    #[must_use]
+    pub const fn new(count: u64) -> Self {
+        Cycles(count)
+    }
+
+    /// The raw count.
+    #[must_use]
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if the count is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, rhs: Cycles) -> Option<Cycles> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Cycles(v)),
+            None => None,
+        }
+    }
+
+    /// Wall-clock seconds this many cycles take at frequency `clock`.
+    #[must_use]
+    pub fn seconds_at(self, clock: crate::Frequency) -> f64 {
+        self.0 as f64 / clock.hertz()
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Self {
+        Cycles(v)
+    }
+}
+
+impl From<Cycles> for u64 {
+    fn from(v: Cycles) -> Self {
+        v.0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Mul<Cycles> for u64 {
+    type Output = Cycles;
+    fn mul(self, rhs: Cycles) -> Cycles {
+        Cycles(self * rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Frequency;
+
+    #[test]
+    fn constructors_and_conversions() {
+        let c = Cycles::new(42);
+        assert_eq!(c.count(), 42);
+        assert_eq!(Cycles::from(42u64), c);
+        assert_eq!(u64::from(c), 42);
+        assert!(Cycles::ZERO.is_zero());
+        assert!(!Cycles::ONE.is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!((a + b).count(), 13);
+        assert_eq!((a - b).count(), 7);
+        assert_eq!((a * 2).count(), 20);
+        assert_eq!((2 * a).count(), 20);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.checked_add(b), Some(Cycles::new(13)));
+        assert_eq!(Cycles::new(u64::MAX).checked_add(Cycles::ONE), None);
+
+        let mut c = a;
+        c += b;
+        assert_eq!(c.count(), 13);
+        c -= b;
+        assert_eq!(c.count(), 10);
+
+        let total: Cycles = [a, b].into_iter().sum();
+        assert_eq!(total.count(), 13);
+    }
+
+    #[test]
+    fn seconds_at_frequency() {
+        // 100 cycles at 100 MHz is one microsecond.
+        let s = Cycles::new(100).seconds_at(Frequency::from_megahertz(100.0));
+        assert!((s - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Cycles::new(5) < Cycles::new(6));
+    }
+
+    #[test]
+    fn display_shows_unit() {
+        assert_eq!(Cycles::new(7).to_string(), "7 cycles");
+    }
+}

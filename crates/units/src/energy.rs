@@ -1,0 +1,291 @@
+//! The [`Energy`] quantity (picojoules).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::InvalidQuantityError;
+
+/// An amount of energy, stored in picojoules.
+///
+/// Picojoules are the natural scale of the paper: module computations cost
+/// 73–177 pJ per act, a 1 cm textile line costs 0.4472 pJ per bit switch,
+/// and the (reduced) thin-film battery holds 60 000 pJ.
+///
+/// `Energy` may be negative as an intermediate result (e.g. a budget
+/// deficit); constructors that must reject negatives say so.
+///
+/// # Examples
+///
+/// ```
+/// use etx_units::Energy;
+///
+/// let op = Energy::from_picojoules(176.55);
+/// let eleven_ops = op * 11.0;
+/// assert!((eleven_ops.picojoules() - 1942.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from a picojoule value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pj` is not finite. Use [`Energy::try_from_picojoules`]
+    /// for a fallible variant.
+    #[must_use]
+    pub fn from_picojoules(pj: f64) -> Self {
+        assert!(pj.is_finite(), "energy must be finite, got {pj}");
+        Energy(pj)
+    }
+
+    /// Creates an energy from a picojoule value, rejecting non-finite input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidQuantityError`] if `pj` is NaN or infinite.
+    pub fn try_from_picojoules(pj: f64) -> Result<Self, InvalidQuantityError> {
+        if !pj.is_finite() {
+            return Err(InvalidQuantityError::not_finite("energy"));
+        }
+        Ok(Energy(pj))
+    }
+
+    /// Creates an energy from a nanojoule value.
+    #[must_use]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self::from_picojoules(nj * 1e3)
+    }
+
+    /// The value in picojoules.
+    #[must_use]
+    pub fn picojoules(self) -> f64 {
+        self.0
+    }
+
+    /// The value in nanojoules.
+    #[must_use]
+    pub fn nanojoules(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// `true` if this energy is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// `true` if this energy is strictly positive.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// Clamps a (possibly negative) energy to zero from below.
+    #[must_use]
+    pub fn clamp_non_negative(self) -> Self {
+        Energy(self.0.max(0.0))
+    }
+
+    /// Returns the smaller of two energies.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Energy(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two energies.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Energy(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction: `self - other`, but never below zero.
+    ///
+    /// Batteries use this when an operation would over-drain them.
+    #[must_use]
+    pub fn saturating_sub(self, other: Self) -> Self {
+        Energy((self.0 - other.0).max(0.0))
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} pJ", self.0)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Energy {
+    fn sub_assign(&mut self, rhs: Energy) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Energy {
+    type Output = Energy;
+    fn neg(self) -> Energy {
+        Energy(-self.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<Energy> for f64 {
+    type Output = Energy;
+    fn mul(self, rhs: Energy) -> Energy {
+        Energy(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+/// Dividing two energies yields the dimensionless ratio.
+impl Div<Energy> for Energy {
+    type Output = f64;
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Energy> for Energy {
+    fn sum<I: Iterator<Item = &'a Energy>>(iter: I) -> Energy {
+        iter.copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let e = Energy::from_picojoules(1500.0);
+        assert_eq!(e.picojoules(), 1500.0);
+        assert_eq!(e.nanojoules(), 1.5);
+        assert_eq!(Energy::from_nanojoules(1.5), e);
+        assert_eq!(Energy::ZERO.picojoules(), 0.0);
+        assert!(Energy::ZERO.is_zero());
+        assert!(!e.is_zero());
+        assert!(e.is_positive());
+        assert!(!Energy::ZERO.is_positive());
+    }
+
+    #[test]
+    fn try_from_rejects_non_finite() {
+        assert!(Energy::try_from_picojoules(f64::NAN).is_err());
+        assert!(Energy::try_from_picojoules(f64::INFINITY).is_err());
+        assert!(Energy::try_from_picojoules(-5.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn from_picojoules_panics_on_nan() {
+        let _ = Energy::from_picojoules(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_picojoules(100.0);
+        let b = Energy::from_picojoules(40.0);
+        assert_eq!((a + b).picojoules(), 140.0);
+        assert_eq!((a - b).picojoules(), 60.0);
+        assert_eq!((a * 2.0).picojoules(), 200.0);
+        assert_eq!((2.0 * a).picojoules(), 200.0);
+        assert_eq!((a / 4.0).picojoules(), 25.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!((-a).picojoules(), -100.0);
+
+        let mut c = a;
+        c += b;
+        assert_eq!(c.picojoules(), 140.0);
+        c -= b;
+        assert_eq!(c.picojoules(), 100.0);
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        let a = Energy::from_picojoules(10.0);
+        let b = Energy::from_picojoules(25.0);
+        assert_eq!(a.saturating_sub(b), Energy::ZERO);
+        assert_eq!(b.saturating_sub(a).picojoules(), 15.0);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Energy::from_picojoules(-3.0);
+        let b = Energy::from_picojoules(7.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.clamp_non_negative(), Energy::ZERO);
+        assert_eq!(b.clamp_non_negative(), b);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = [1.0, 2.0, 3.5].map(Energy::from_picojoules);
+        let total: Energy = parts.iter().sum();
+        assert_eq!(total.picojoules(), 6.5);
+        let total: Energy = parts.into_iter().sum();
+        assert_eq!(total.picojoules(), 6.5);
+    }
+
+    #[test]
+    fn display_shows_unit() {
+        assert_eq!(Energy::from_picojoules(12.5).to_string(), "12.5000 pJ");
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+            let (x, y) = (Energy::from_picojoules(a), Energy::from_picojoules(b));
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn saturating_sub_is_non_negative(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+            let (x, y) = (Energy::from_picojoules(a), Energy::from_picojoules(b));
+            prop_assert!(x.saturating_sub(y).picojoules() >= 0.0);
+        }
+    }
+}

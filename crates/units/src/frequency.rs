@@ -1,0 +1,146 @@
+//! The [`Frequency`] quantity (clock rates).
+
+use core::fmt;
+use core::ops::{Div, Mul};
+
+use crate::InvalidQuantityError;
+
+/// A clock frequency, stored in hertz.
+///
+/// The paper's modules are synthesized for up to 233 MHz but measured at
+/// 100 MHz, which is the default clock of the platform model.
+///
+/// # Examples
+///
+/// ```
+/// use etx_units::Frequency;
+///
+/// let clock = Frequency::from_megahertz(100.0);
+/// assert_eq!(clock.hertz(), 1.0e8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// Creates a frequency from a hertz value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not finite or not strictly positive. Use
+    /// [`Frequency::try_from_hertz`] for a fallible variant.
+    #[must_use]
+    pub fn from_hertz(hz: f64) -> Self {
+        assert!(hz.is_finite(), "frequency must be finite, got {hz}");
+        assert!(hz > 0.0, "frequency must be positive, got {hz}");
+        Frequency(hz)
+    }
+
+    /// Creates a frequency, rejecting invalid input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidQuantityError`] if `hz` is NaN, infinite, zero or
+    /// negative (a zero clock would stall the simulator's time base).
+    pub fn try_from_hertz(hz: f64) -> Result<Self, InvalidQuantityError> {
+        if !hz.is_finite() {
+            return Err(InvalidQuantityError::not_finite("frequency"));
+        }
+        if hz <= 0.0 {
+            return Err(InvalidQuantityError::negative("frequency"));
+        }
+        Ok(Frequency(hz))
+    }
+
+    /// Creates a frequency from a megahertz value.
+    #[must_use]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Self::from_hertz(mhz * 1e6)
+    }
+
+    /// The value in hertz.
+    #[must_use]
+    pub fn hertz(self) -> f64 {
+        self.0
+    }
+
+    /// The value in megahertz.
+    #[must_use]
+    pub fn megahertz(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// The period of one cycle, in seconds.
+    #[must_use]
+    pub fn period_seconds(self) -> f64 {
+        1.0 / self.0
+    }
+}
+
+impl Default for Frequency {
+    /// The paper's measurement clock: 100 MHz.
+    fn default() -> Self {
+        Frequency::from_megahertz(100.0)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} MHz", self.megahertz())
+    }
+}
+
+impl Mul<f64> for Frequency {
+    type Output = Frequency;
+    fn mul(self, rhs: f64) -> Frequency {
+        Frequency::from_hertz(self.0 * rhs)
+    }
+}
+
+/// Dividing two frequencies yields the dimensionless ratio.
+impl Div<Frequency> for Frequency {
+    type Output = f64;
+    fn div(self, rhs: Frequency) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let f = Frequency::from_megahertz(100.0);
+        assert_eq!(f.hertz(), 1e8);
+        assert_eq!(f.megahertz(), 100.0);
+        assert!((f.period_seconds() - 1e-8).abs() < 1e-20);
+        assert!(Frequency::try_from_hertz(0.0).is_err());
+        assert!(Frequency::try_from_hertz(-5.0).is_err());
+        assert!(Frequency::try_from_hertz(f64::NAN).is_err());
+        assert!(Frequency::try_from_hertz(233e6).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = Frequency::from_hertz(0.0);
+    }
+
+    #[test]
+    fn default_is_100_mhz() {
+        assert_eq!(Frequency::default(), Frequency::from_megahertz(100.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let f = Frequency::from_megahertz(100.0);
+        assert_eq!((f * 2.33).megahertz(), 233.0);
+        assert!((f * 2.0 / f - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_unit() {
+        assert_eq!(Frequency::from_megahertz(100.0).to_string(), "100.000 MHz");
+    }
+}

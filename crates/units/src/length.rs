@@ -1,0 +1,185 @@
+//! The [`Length`] quantity (centimetres).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use crate::InvalidQuantityError;
+
+/// A physical length, stored in centimetres.
+///
+/// Textile transmission lines in the paper are characterized at 1 cm,
+/// 10 cm, 20 cm and 100 cm; routing weights in the SDR/EAR algorithms are
+/// (scaled) link lengths.
+///
+/// # Examples
+///
+/// ```
+/// use etx_units::Length;
+///
+/// let pitch = Length::from_centimetres(2.0);
+/// let three_hops = pitch * 3.0;
+/// assert_eq!(three_hops.centimetres(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Length(f64);
+
+impl Length {
+    /// Zero length.
+    pub const ZERO: Length = Length(0.0);
+
+    /// Creates a length from a centimetre value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cm` is negative or not finite. Use
+    /// [`Length::try_from_centimetres`] for a fallible variant.
+    #[must_use]
+    pub fn from_centimetres(cm: f64) -> Self {
+        assert!(cm.is_finite(), "length must be finite, got {cm}");
+        assert!(cm >= 0.0, "length must be non-negative, got {cm}");
+        Length(cm)
+    }
+
+    /// Creates a length, rejecting invalid input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidQuantityError`] if `cm` is NaN, infinite or
+    /// negative.
+    pub fn try_from_centimetres(cm: f64) -> Result<Self, InvalidQuantityError> {
+        if !cm.is_finite() {
+            return Err(InvalidQuantityError::not_finite("length"));
+        }
+        if cm < 0.0 {
+            return Err(InvalidQuantityError::negative("length"));
+        }
+        Ok(Length(cm))
+    }
+
+    /// Creates a length from a metre value.
+    #[must_use]
+    pub fn from_metres(m: f64) -> Self {
+        Self::from_centimetres(m * 100.0)
+    }
+
+    /// The value in centimetres.
+    #[must_use]
+    pub fn centimetres(self) -> f64 {
+        self.0
+    }
+
+    /// The value in metres.
+    #[must_use]
+    pub fn metres(self) -> f64 {
+        self.0 / 100.0
+    }
+
+    /// `true` if this length is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Length {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} cm", self.0)
+    }
+}
+
+impl Add for Length {
+    type Output = Length;
+    fn add(self, rhs: Length) -> Length {
+        Length(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Length {
+    fn add_assign(&mut self, rhs: Length) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Length {
+    type Output = Length;
+    fn sub(self, rhs: Length) -> Length {
+        Length((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Length {
+    type Output = Length;
+    fn mul(self, rhs: f64) -> Length {
+        Length(self.0 * rhs)
+    }
+}
+
+impl Mul<Length> for f64 {
+    type Output = Length;
+    fn mul(self, rhs: Length) -> Length {
+        Length(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Length {
+    type Output = Length;
+    fn div(self, rhs: f64) -> Length {
+        Length(self.0 / rhs)
+    }
+}
+
+/// Dividing two lengths yields the dimensionless ratio.
+impl Div<Length> for Length {
+    type Output = f64;
+    fn div(self, rhs: Length) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Length {
+    fn sum<I: Iterator<Item = Length>>(iter: I) -> Length {
+        iter.fold(Length::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Length::from_centimetres(10.0).centimetres(), 10.0);
+        assert_eq!(Length::from_metres(1.0).centimetres(), 100.0);
+        assert_eq!(Length::from_centimetres(50.0).metres(), 0.5);
+        assert!(Length::try_from_centimetres(-1.0).is_err());
+        assert!(Length::try_from_centimetres(f64::NAN).is_err());
+        assert!(Length::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_panics() {
+        let _ = Length::from_centimetres(-2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Length::from_centimetres(10.0);
+        let b = Length::from_centimetres(4.0);
+        assert_eq!((a + b).centimetres(), 14.0);
+        assert_eq!((a - b).centimetres(), 6.0);
+        assert_eq!((b - a), Length::ZERO);
+        assert_eq!((a * 2.0).centimetres(), 20.0);
+        assert_eq!((a / 2.0).centimetres(), 5.0);
+        assert_eq!(a / b, 2.5);
+        let total: Length = [a, b].into_iter().sum();
+        assert_eq!(total.centimetres(), 14.0);
+    }
+
+    #[test]
+    fn display_shows_unit() {
+        assert_eq!(Length::from_centimetres(1.0).to_string(), "1.000 cm");
+    }
+}

@@ -1,0 +1,110 @@
+//! Typed physical quantities for the etx e-textile platform.
+//!
+//! The whole reproduction works at the scale of the paper's measurements:
+//! picojoules for energy, milliwatts for power, volts for battery output,
+//! centimetres for textile transmission lines, and clock cycles for
+//! simulated time. Mixing those up silently is the classic way such a
+//! simulator goes wrong, so each quantity is a newtype ([`Energy`],
+//! [`Power`], [`Voltage`], [`Length`], [`Cycles`], [`Frequency`]) with only
+//! the physically meaningful arithmetic implemented.
+//!
+//! # Examples
+//!
+//! ```
+//! use etx_units::{Energy, Power, Frequency};
+//!
+//! let per_op = Energy::from_picojoules(120.1);
+//! let budget = Energy::from_picojoules(60_000.0);
+//! assert_eq!((budget / per_op).floor(), 499.0);
+//!
+//! // 6.94 mW at 100 MHz is 69.4 pJ per clock cycle.
+//! let controller = Power::from_milliwatts(6.94);
+//! let clock = Frequency::from_megahertz(100.0);
+//! let per_cycle = controller.energy_per_cycle(clock);
+//! assert!((per_cycle.picojoules() - 69.4).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycles;
+mod energy;
+mod frequency;
+mod length;
+mod power;
+mod voltage;
+
+pub use cycles::Cycles;
+pub use energy::Energy;
+pub use frequency::Frequency;
+pub use length::Length;
+pub use power::Power;
+pub use voltage::Voltage;
+
+/// Error returned when constructing a quantity from an invalid raw value.
+///
+/// All etx quantities must be finite, and most must also be non-negative;
+/// the `checked` constructors (`try_from_*`) return this error instead of
+/// letting a NaN propagate through a multi-hour simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidQuantityError {
+    kind: InvalidQuantityKind,
+    /// Human-readable quantity name, e.g. `"energy"`.
+    quantity: &'static str,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InvalidQuantityKind {
+    NotFinite,
+    Negative,
+}
+
+impl InvalidQuantityError {
+    pub(crate) fn not_finite(quantity: &'static str) -> Self {
+        Self { kind: InvalidQuantityKind::NotFinite, quantity }
+    }
+
+    pub(crate) fn negative(quantity: &'static str) -> Self {
+        Self { kind: InvalidQuantityKind::Negative, quantity }
+    }
+
+    /// The name of the offending quantity (`"energy"`, `"voltage"`, ...).
+    pub fn quantity(&self) -> &'static str {
+        self.quantity
+    }
+}
+
+impl core::fmt::Display for InvalidQuantityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.kind {
+            InvalidQuantityKind::NotFinite => {
+                write!(f, "{} value is not finite", self.quantity)
+            }
+            InvalidQuantityKind::Negative => {
+                write!(f, "{} value is negative", self.quantity)
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidQuantityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_mentions_quantity() {
+        let e = InvalidQuantityError::not_finite("energy");
+        assert!(e.to_string().contains("energy"));
+        let e = InvalidQuantityError::negative("voltage");
+        assert!(e.to_string().contains("voltage"));
+        assert_eq!(e.quantity(), "voltage");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InvalidQuantityError>();
+    }
+}

@@ -1,0 +1,204 @@
+//! The [`Power`] quantity (milliwatts).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use crate::{Cycles, Energy, Frequency, InvalidQuantityError};
+
+/// A power draw, stored in milliwatts.
+///
+/// The paper reports the central controller of a 4x4 mesh as drawing
+/// 6.94 mW dynamic plus 0.57 mW leakage at 100 MHz. Power never appears
+/// negative in this domain, so the constructors reject negative values.
+///
+/// # Examples
+///
+/// ```
+/// use etx_units::{Power, Frequency};
+///
+/// let dynamic = Power::from_milliwatts(6.94);
+/// let leakage = Power::from_milliwatts(0.57);
+/// let total = dynamic + leakage;
+/// let per_cycle = total.energy_per_cycle(Frequency::from_megahertz(100.0));
+/// assert!((per_cycle.picojoules() - 75.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power from a milliwatt value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mw` is negative or not finite. Use
+    /// [`Power::try_from_milliwatts`] for a fallible variant.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        assert!(mw.is_finite(), "power must be finite, got {mw}");
+        assert!(mw >= 0.0, "power must be non-negative, got {mw}");
+        Power(mw)
+    }
+
+    /// Creates a power from a milliwatt value, rejecting invalid input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidQuantityError`] if `mw` is NaN, infinite or
+    /// negative.
+    pub fn try_from_milliwatts(mw: f64) -> Result<Self, InvalidQuantityError> {
+        if !mw.is_finite() {
+            return Err(InvalidQuantityError::not_finite("power"));
+        }
+        if mw < 0.0 {
+            return Err(InvalidQuantityError::negative("power"));
+        }
+        Ok(Power(mw))
+    }
+
+    /// Creates a power from a microwatt value.
+    #[must_use]
+    pub fn from_microwatts(uw: f64) -> Self {
+        Self::from_milliwatts(uw * 1e-3)
+    }
+
+    /// The value in milliwatts.
+    #[must_use]
+    pub fn milliwatts(self) -> f64 {
+        self.0
+    }
+
+    /// The value in picojoules per second (1 mW = 1e9 pJ/s).
+    #[must_use]
+    pub fn picojoules_per_second(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Energy consumed during one clock cycle at frequency `clock`.
+    ///
+    /// This converts the controller's measured power draw into the
+    /// per-cycle energy the cycle-accurate simulator charges its battery.
+    #[must_use]
+    pub fn energy_per_cycle(self, clock: Frequency) -> Energy {
+        // pJ/s divided by cycles/s = pJ/cycle.
+        Energy::from_picojoules(self.picojoules_per_second() / clock.hertz())
+    }
+
+    /// Energy consumed over `cycles` clock cycles at frequency `clock`.
+    #[must_use]
+    pub fn energy_over(self, cycles: Cycles, clock: Frequency) -> Energy {
+        self.energy_per_cycle(clock) * cycles.count() as f64
+    }
+
+    /// `true` if this power is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} mW", self.0)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Mul<Power> for f64 {
+    type Output = Power;
+    fn mul(self, rhs: Power) -> Power {
+        Power(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power(self.0 / rhs)
+    }
+}
+
+/// Dividing two powers yields the dimensionless ratio.
+impl Div<Power> for Power {
+    type Output = f64;
+    fn div(self, rhs: Power) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let p = Power::from_milliwatts(6.94);
+        assert_eq!(p.milliwatts(), 6.94);
+        assert_eq!(Power::from_microwatts(6940.0), p);
+        assert!(Power::try_from_milliwatts(-1.0).is_err());
+        assert!(Power::try_from_milliwatts(f64::NAN).is_err());
+        assert!(Power::try_from_milliwatts(0.57).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_panics() {
+        let _ = Power::from_milliwatts(-0.5);
+    }
+
+    #[test]
+    fn controller_energy_per_cycle_matches_paper() {
+        // 6.94 mW dynamic + 0.57 mW leakage at 100 MHz -> 75.1 pJ/cycle.
+        let total = Power::from_milliwatts(6.94) + Power::from_milliwatts(0.57);
+        let e = total.energy_per_cycle(Frequency::from_megahertz(100.0));
+        assert!((e.picojoules() - 75.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_over_cycles() {
+        let p = Power::from_milliwatts(1.0); // 10 pJ/cycle at 100 MHz
+        let e = p.energy_over(Cycles::new(7), Frequency::from_megahertz(100.0));
+        assert!((e.picojoules() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let a = Power::from_milliwatts(1.0);
+        let b = Power::from_milliwatts(2.0);
+        assert_eq!(a - b, Power::ZERO);
+    }
+
+    #[test]
+    fn display_shows_unit() {
+        assert_eq!(Power::from_milliwatts(0.57).to_string(), "0.5700 mW");
+    }
+}

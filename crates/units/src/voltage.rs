@@ -1,0 +1,160 @@
+//! The [`Voltage`] quantity (volts).
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Sub};
+
+use crate::InvalidQuantityError;
+
+/// An electric potential, stored in volts.
+///
+/// The thin-film battery's output voltage is what decides node death: the
+/// paper declares a node dead once its battery output drops below 3.0 V,
+/// with the remaining stored energy wasted.
+///
+/// # Examples
+///
+/// ```
+/// use etx_units::Voltage;
+///
+/// let cutoff = Voltage::from_volts(3.0);
+/// let fresh = Voltage::from_volts(4.2);
+/// assert!(fresh > cutoff);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Voltage(f64);
+
+impl Voltage {
+    /// Zero volts.
+    pub const ZERO: Voltage = Voltage(0.0);
+
+    /// Creates a voltage from a volt value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative or not finite. Use
+    /// [`Voltage::try_from_volts`] for a fallible variant.
+    #[must_use]
+    pub fn from_volts(v: f64) -> Self {
+        assert!(v.is_finite(), "voltage must be finite, got {v}");
+        assert!(v >= 0.0, "voltage must be non-negative, got {v}");
+        Voltage(v)
+    }
+
+    /// Creates a voltage, rejecting invalid input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidQuantityError`] if `v` is NaN, infinite or negative.
+    pub fn try_from_volts(v: f64) -> Result<Self, InvalidQuantityError> {
+        if !v.is_finite() {
+            return Err(InvalidQuantityError::not_finite("voltage"));
+        }
+        if v < 0.0 {
+            return Err(InvalidQuantityError::negative("voltage"));
+        }
+        Ok(Voltage(v))
+    }
+
+    /// The value in volts.
+    #[must_use]
+    pub fn volts(self) -> f64 {
+        self.0
+    }
+
+    /// Linear interpolation between two voltages: `self + t * (other - self)`.
+    ///
+    /// Used by discharge-curve lookups; `t` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn lerp(self, other: Voltage, t: f64) -> Voltage {
+        let t = t.clamp(0.0, 1.0);
+        Voltage(self.0 + t * (other.0 - self.0))
+    }
+}
+
+impl fmt::Display for Voltage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} V", self.0)
+    }
+}
+
+impl Add for Voltage {
+    type Output = Voltage;
+    fn add(self, rhs: Voltage) -> Voltage {
+        Voltage(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Voltage {
+    type Output = Voltage;
+    fn sub(self, rhs: Voltage) -> Voltage {
+        Voltage((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Voltage {
+    type Output = Voltage;
+    fn mul(self, rhs: f64) -> Voltage {
+        Voltage(self.0 * rhs)
+    }
+}
+
+/// Dividing two voltages yields the dimensionless ratio.
+impl Div<Voltage> for Voltage {
+    type Output = f64;
+    fn div(self, rhs: Voltage) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Voltage::from_volts(4.2).volts(), 4.2);
+        assert!(Voltage::try_from_volts(-0.1).is_err());
+        assert!(Voltage::try_from_volts(f64::INFINITY).is_err());
+        assert!(Voltage::try_from_volts(3.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_voltage_panics() {
+        let _ = Voltage::from_volts(-1.0);
+    }
+
+    #[test]
+    fn ordering_for_cutoff_test() {
+        let cutoff = Voltage::from_volts(3.0);
+        assert!(Voltage::from_volts(3.6) > cutoff);
+        assert!(Voltage::from_volts(2.9) < cutoff);
+    }
+
+    #[test]
+    fn lerp_clamps() {
+        let a = Voltage::from_volts(4.0);
+        let b = Voltage::from_volts(3.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5).volts(), 3.5);
+        assert_eq!(a.lerp(b, 2.0), b); // clamped
+        assert_eq!(a.lerp(b, -1.0), a); // clamped
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = Voltage::from_volts(1.0);
+        let b = Voltage::from_volts(2.5);
+        assert_eq!(a - b, Voltage::ZERO);
+        assert_eq!((a + b).volts(), 3.5);
+        assert_eq!((b * 2.0).volts(), 5.0);
+        assert_eq!(b / a, 2.5);
+    }
+
+    #[test]
+    fn display_shows_unit() {
+        assert_eq!(Voltage::from_volts(3.0).to_string(), "3.000 V");
+    }
+}

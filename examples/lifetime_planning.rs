@@ -1,0 +1,75 @@
+//! Provisioning a deployment: how much battery and how many controllers
+//! does a 5x5 smart-shirt AES fabric need to encrypt a day's telemetry?
+//!
+//! Uses Theorem 1 for a fast first cut, then verifies with full `et_sim`
+//! runs — the gap between the two is exactly the routing/topology/control
+//! overhead the paper quantifies in Table 2.
+//!
+//! ```text
+//! cargo run --example lifetime_planning --release
+//! ```
+
+use etx::prelude::*;
+
+const TARGET_JOBS: f64 = 150.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("target: {TARGET_JOBS} AES jobs on a 5x5 fabric\n");
+
+    // --- step 1: closed-form sizing with Theorem 1 -----------------------
+    let platform = SimConfig::builder().mesh_square(5).build()?;
+    let comm = platform.config().comm_energy_per_act();
+    let inputs = BoundInputs::uniform_comm(&AppSpec::aes(), comm);
+    // J* = B*K / sum(H) => B = J* * sum(H) / K. Aim the bound at 2x the
+    // target since simulation lands near half the bound (Table 2).
+    let sum_h = inputs.total_normalized_energy().picojoules();
+    let b_estimate = 2.0 * TARGET_JOBS * sum_h / 25.0;
+    println!(
+        "Theorem 1 sizing: sum(H) = {sum_h:.0} pJ/job -> provision ~{b_estimate:.0} pJ/node \
+         (bound aimed at {:.0} jobs)",
+        2.0 * TARGET_JOBS
+    );
+
+    // --- step 2: verify and refine by simulation -------------------------
+    let mut budget = b_estimate;
+    for round in 1..=4 {
+        let report = SimConfig::builder()
+            .mesh_square(5)
+            .battery(BatteryModel::ThinFilm)
+            .battery_capacity_picojoules(budget)
+            .build()?
+            .run();
+        println!(
+            "round {round}: {budget:>8.0} pJ/node -> {:>6.1} jobs ({})",
+            report.jobs_fractional, report.death_cause
+        );
+        if report.jobs_fractional >= TARGET_JOBS {
+            println!("  target met.\n");
+            break;
+        }
+        // Linear refinement: jobs scale ~linearly with B.
+        budget *= (TARGET_JOBS / report.jobs_fractional).min(4.0) * 1.05;
+    }
+
+    // --- step 3: controller provisioning (Fig 8 logic) --------------------
+    println!("controller provisioning at {budget:.0} pJ/node:");
+    for controllers in [1usize, 2, 4, 7, 10] {
+        let report = SimConfig::builder()
+            .mesh_square(5)
+            .battery(BatteryModel::ThinFilm)
+            .battery_capacity_picojoules(budget)
+            .controllers(ControllerSetup::Finite { count: controllers })
+            .build()?
+            .run();
+        let verdict = if report.jobs_fractional >= TARGET_JOBS { "meets target" } else { "short" };
+        println!(
+            "  {controllers:>2} controllers -> {:>6.1} jobs ({}) [{verdict}]",
+            report.jobs_fractional, report.death_cause
+        );
+    }
+    println!(
+        "\nNote how controller-limited deployments die with '{}' — the Fig 8 effect.",
+        DeathCause::ControllersDead
+    );
+    Ok(())
+}

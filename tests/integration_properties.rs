@@ -1,0 +1,139 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary applications, meshes and budgets.
+
+use etx::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a random-but-valid application spec.
+fn arb_app() -> impl Strategy<Value = AppSpec> {
+    // 2-4 modules, each with 1-6 ops/job and 10-300 pJ per act.
+    proptest::collection::vec((1u32..6, 10.0f64..300.0), 2..5).prop_map(|modules| {
+        let mut builder = AppSpec::builder("generated");
+        let mut sequence = Vec::new();
+        for (i, (ops, energy)) in modules.iter().enumerate() {
+            builder = builder.module(ModuleSpec::new(
+                format!("m{i}"),
+                *ops,
+                Energy::from_picojoules(*energy),
+            ));
+            sequence.extend(std::iter::repeat_n(i, *ops as usize));
+        }
+        // Interleave deterministically so the sequence isn't one long
+        // block per module: sort positions by (occurrence, module).
+        let mut indexed: Vec<(usize, usize)> = Vec::new();
+        let mut seen = vec![0usize; modules.len()];
+        for &m in &sequence {
+            indexed.push((seen[m], m));
+            seen[m] += 1;
+        }
+        indexed.sort();
+        builder
+            .op_sequence(indexed.into_iter().map(|(_, m)| m))
+            .build()
+            .expect("constructed sequence matches declared counts")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any generated app, budget and mesh: the ideal-battery
+    /// simulation never beats the Theorem-1 bound computed with the same
+    /// platform communication energy.
+    #[test]
+    fn bound_dominates_simulation(
+        app in arb_app(),
+        side in 2usize..5,
+        battery in 2_000.0f64..10_000.0,
+    ) {
+        prop_assume!(side * side >= app.module_count());
+        let sim = SimConfig::builder()
+            .mesh_square(side)
+            .app(app.clone())
+            .mapping(MappingKind::Proportional)
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(battery)
+            .build()
+            .expect("valid generated config");
+        let comm = sim.config().comm_energy_per_act();
+        let nodes = sim.config().node_count();
+        let report = sim.run();
+        let inputs = BoundInputs::uniform_comm(&app, comm);
+        let bound = upper_bound(&inputs, Energy::from_picojoules(battery), nodes)
+            .expect("valid bound inputs");
+        prop_assert!(
+            report.jobs_fractional <= bound.jobs() + 1e-9,
+            "sim {:.2} > bound {:.2}", report.jobs_fractional, bound.jobs()
+        );
+    }
+
+    /// Energy conservation holds for arbitrary apps and both algorithms.
+    #[test]
+    fn conservation_for_generated_apps(
+        app in arb_app(),
+        algorithm in prop_oneof![Just(Algorithm::Ear), Just(Algorithm::Sdr)],
+        battery in 2_000.0f64..8_000.0,
+    ) {
+        let report = SimConfig::builder()
+            .mesh_square(4)
+            .app(app)
+            .mapping(MappingKind::Proportional)
+            .algorithm(algorithm)
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(battery)
+            .build()
+            .expect("valid generated config")
+            .run();
+        let budget = 16.0 * battery;
+        let delivered: f64 =
+            report.node_stats.iter().map(|n| n.delivered.picojoules()).sum();
+        let stranded: f64 =
+            report.node_stats.iter().map(|n| n.stranded.picojoules()).sum();
+        prop_assert!((delivered + stranded - budget).abs() < 1e-6);
+        let spent: f64 = report.node_stats.iter().map(|n| {
+            n.compute_energy.picojoules()
+                + n.comm_energy.picojoules()
+                + n.control_energy.picojoules()
+        }).sum();
+        prop_assert!((spent - delivered).abs() < 1e-6);
+    }
+
+    /// EAR never loses to SDR by more than noise on the default AES
+    /// platform, across budgets (it is allowed to tie on tiny budgets).
+    #[test]
+    fn ear_at_least_matches_sdr(battery in 3_000.0f64..12_000.0) {
+        let run = |algorithm| {
+            SimConfig::builder()
+                .algorithm(algorithm)
+                .battery(BatteryModel::ThinFilm)
+                .battery_capacity_picojoules(battery)
+                .build()
+                .expect("valid config")
+                .run()
+                .jobs_fractional
+        };
+        let (ear, sdr) = (run(Algorithm::Ear), run(Algorithm::Sdr));
+        prop_assert!(ear >= sdr * 0.95, "EAR {ear:.2} vs SDR {sdr:.2}");
+    }
+
+    /// Placements from every strategy are total and consistent with the
+    /// router on random fresh meshes.
+    #[test]
+    fn placements_route_totally(side in 2usize..6) {
+        let mesh = Mesh2D::square(side, Length::from_centimetres(2.05));
+        let app = AppSpec::aes();
+        prop_assume!(side * side >= 3);
+        let placement = CheckerboardMapping.place(&mesh, &app)
+            .expect("checkerboard fits AES on any mesh >= 2x2");
+        let graph = mesh.to_graph();
+        let report = SystemReport::fresh(graph.node_count(), 16);
+        let routing = Router::new(Algorithm::Ear)
+            .compute(&graph, placement.module_nodes(), &report, None);
+        for node in graph.nodes() {
+            for module in 0..3 {
+                let entry = routing.route(node, module);
+                prop_assert!(entry.is_some(), "no route from {node} to module {module}");
+            }
+        }
+    }
+}
