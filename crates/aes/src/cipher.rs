@@ -25,11 +25,7 @@ impl InvalidKeyLengthError {
 
 impl fmt::Display for InvalidKeyLengthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "AES key must be 16, 24 or 32 bytes, got {} bytes",
-            self.length
-        )
+        write!(f, "AES key must be 16, 24 or 32 bytes, got {} bytes", self.length)
     }
 }
 
@@ -184,9 +180,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len() / 2)
-            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
-            .collect()
+        (0..s.len() / 2).map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap()).collect()
     }
 
     fn hex16(s: &str) -> [u8; 16] {
@@ -213,9 +207,8 @@ mod tests {
 
     #[test]
     fn fips_appendix_c2_aes192() {
-        let key: [u8; 24] = hex("000102030405060708090a0b0c0d0e0f1011121314151617")
-            .try_into()
-            .unwrap();
+        let key: [u8; 24] =
+            hex("000102030405060708090a0b0c0d0e0f1011121314151617").try_into().unwrap();
         let pt = hex16("00112233445566778899aabbccddeeff");
         let aes = Aes192::new(&key);
         let ct = aes.encrypt_block(&pt);
@@ -225,10 +218,9 @@ mod tests {
 
     #[test]
     fn fips_appendix_c3_aes256() {
-        let key: [u8; 32] =
-            hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
-                .try_into()
-                .unwrap();
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
         let pt = hex16("00112233445566778899aabbccddeeff");
         let aes = Aes256::new(&key);
         let ct = aes.encrypt_block(&pt);

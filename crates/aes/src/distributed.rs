@@ -107,9 +107,7 @@ impl DistributedAes128 {
     /// Creates the distributed cipher from a 128-bit key.
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
-        DistributedAes128 {
-            round_keys: expand_key(key).expect("16-byte key is always valid"),
-        }
+        DistributedAes128 { round_keys: expand_key(key).expect("16-byte key is always valid") }
     }
 
     /// The module-operation schedule of one encryption job: the initial
@@ -212,17 +210,17 @@ mod tests {
     #[test]
     fn fips_vector_through_distributed_path() {
         let key: [u8; 16] = [
-            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c,
-            0x0d, 0x0e, 0x0f,
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
         ];
         let pt: [u8; 16] = [
-            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
-            0xdd, 0xee, 0xff,
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
         ];
         let trace = DistributedAes128::new(&key).encrypt_block(&pt);
         let expected: [u8; 16] = [
-            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-            0xb4, 0xc5, 0x5a,
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
         ];
         assert_eq!(trace.ciphertext, expected);
     }

@@ -46,12 +46,7 @@ impl RoundKeys {
 }
 
 fn sub_word(w: [u8; 4]) -> [u8; 4] {
-    [
-        SBOX[w[0] as usize],
-        SBOX[w[1] as usize],
-        SBOX[w[2] as usize],
-        SBOX[w[3] as usize],
-    ]
+    [SBOX[w[0] as usize], SBOX[w[1] as usize], SBOX[w[2] as usize], SBOX[w[3] as usize]]
 }
 
 fn rot_word(w: [u8; 4]) -> [u8; 4] {
@@ -96,12 +91,7 @@ pub fn expand_key(key: &[u8]) -> Result<RoundKeys, crate::InvalidKeyLengthError>
             temp = sub_word(temp);
         }
         let prev = words[i - nk];
-        words.push([
-            prev[0] ^ temp[0],
-            prev[1] ^ temp[1],
-            prev[2] ^ temp[2],
-            prev[3] ^ temp[3],
-        ]);
+        words.push([prev[0] ^ temp[0], prev[1] ^ temp[1], prev[2] ^ temp[2], prev[3] ^ temp[3]]);
     }
     let keys = words
         .chunks_exact(4)

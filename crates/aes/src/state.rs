@@ -99,14 +99,10 @@ impl State {
     pub fn mix_columns(&mut self) {
         for c in 0..4 {
             let col = [self.grid[0][c], self.grid[1][c], self.grid[2][c], self.grid[3][c]];
-            self.grid[0][c] =
-                gf::mul(col[0], 2) ^ gf::mul(col[1], 3) ^ col[2] ^ col[3];
-            self.grid[1][c] =
-                col[0] ^ gf::mul(col[1], 2) ^ gf::mul(col[2], 3) ^ col[3];
-            self.grid[2][c] =
-                col[0] ^ col[1] ^ gf::mul(col[2], 2) ^ gf::mul(col[3], 3);
-            self.grid[3][c] =
-                gf::mul(col[0], 3) ^ col[1] ^ col[2] ^ gf::mul(col[3], 2);
+            self.grid[0][c] = gf::mul(col[0], 2) ^ gf::mul(col[1], 3) ^ col[2] ^ col[3];
+            self.grid[1][c] = col[0] ^ gf::mul(col[1], 2) ^ gf::mul(col[2], 3) ^ col[3];
+            self.grid[2][c] = col[0] ^ col[1] ^ gf::mul(col[2], 2) ^ gf::mul(col[3], 3);
+            self.grid[3][c] = gf::mul(col[0], 3) ^ col[1] ^ col[2] ^ gf::mul(col[3], 2);
         }
     }
 
@@ -176,15 +172,9 @@ mod tests {
         let mut s = state(b);
         s.shift_rows();
         // Row 1 was [1, 5, 9, 13] -> [5, 9, 13, 1].
-        assert_eq!(
-            [s.byte(1, 0), s.byte(1, 1), s.byte(1, 2), s.byte(1, 3)],
-            [5, 9, 13, 1]
-        );
+        assert_eq!([s.byte(1, 0), s.byte(1, 1), s.byte(1, 2), s.byte(1, 3)], [5, 9, 13, 1]);
         // Row 2 rotates by two.
-        assert_eq!(
-            [s.byte(2, 0), s.byte(2, 1), s.byte(2, 2), s.byte(2, 3)],
-            [10, 14, 2, 6]
-        );
+        assert_eq!([s.byte(2, 0), s.byte(2, 1), s.byte(2, 2), s.byte(2, 3)], [10, 14, 2, 6]);
         s.inv_shift_rows();
         assert_eq!(s.to_bytes(), b);
     }

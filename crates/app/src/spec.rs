@@ -166,10 +166,7 @@ impl AppSpec {
     /// Per-job computation energy `Σ f_i * E_i` (no communication).
     #[must_use]
     pub fn compute_energy_per_job(&self) -> Energy {
-        self.modules
-            .iter()
-            .map(|m| m.compute_energy() * f64::from(m.ops_per_job()))
-            .sum()
+        self.modules.iter().map(|m| m.compute_energy() * f64::from(m.ops_per_job())).sum()
     }
 }
 
@@ -263,7 +260,7 @@ mod tests {
         let seq = aes.op_sequence();
         let (m1, m2, m3) = (ModuleId::new(0), ModuleId::new(1), ModuleId::new(2));
         assert_eq!(seq[0], m3); // initial AddRoundKey
-        // First full round:
+                                // First full round:
         assert_eq!(&seq[1..4], &[m1, m2, m3]);
         // Final round skips MixColumns:
         assert_eq!(&seq[28..30], &[m1, m3]);
@@ -272,43 +269,24 @@ mod tests {
     #[test]
     fn builder_rejects_inconsistencies() {
         let e = Energy::from_picojoules(1.0);
+        assert_eq!(AppSpec::builder("x").op_sequence([0]).build(), Err(AppSpecError::NoModules));
         assert_eq!(
-            AppSpec::builder("x").op_sequence([0]).build(),
-            Err(AppSpecError::NoModules)
-        );
-        assert_eq!(
-            AppSpec::builder("x")
-                .module(ModuleSpec::new("a", 1, e))
-                .build(),
+            AppSpec::builder("x").module(ModuleSpec::new("a", 1, e)).build(),
             Err(AppSpecError::EmptySequence)
         );
         assert_eq!(
-            AppSpec::builder("x")
-                .module(ModuleSpec::new("a", 1, e))
-                .op_sequence([0, 1])
-                .build(),
+            AppSpec::builder("x").module(ModuleSpec::new("a", 1, e)).op_sequence([0, 1]).build(),
             Err(AppSpecError::UnknownModule { position: 1, module: ModuleId::new(1) })
         );
         assert_eq!(
-            AppSpec::builder("x")
-                .module(ModuleSpec::new("a", 2, e))
-                .op_sequence([0])
-                .build(),
-            Err(AppSpecError::OpCountMismatch {
-                module: ModuleId::new(0),
-                declared: 2,
-                found: 1
-            })
+            AppSpec::builder("x").module(ModuleSpec::new("a", 2, e)).op_sequence([0]).build(),
+            Err(AppSpecError::OpCountMismatch { module: ModuleId::new(0), declared: 2, found: 1 })
         );
     }
 
     #[test]
     fn error_messages_are_informative() {
-        let err = AppSpecError::OpCountMismatch {
-            module: ModuleId::new(1),
-            declared: 9,
-            found: 8,
-        };
+        let err = AppSpecError::OpCountMismatch { module: ModuleId::new(1), declared: 9, found: 8 };
         let s = err.to_string();
         assert!(s.contains("M2") && s.contains('9') && s.contains('8'));
     }

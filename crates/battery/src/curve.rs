@@ -89,10 +89,7 @@ impl DischargeCurve {
             return Err(CurveError::BadDomain { index: 0, dod: raw[0].0 });
         }
         if raw[raw.len() - 1].0 != 1.0 {
-            return Err(CurveError::BadDomain {
-                index: raw.len() - 1,
-                dod: raw[raw.len() - 1].0,
-            });
+            return Err(CurveError::BadDomain { index: raw.len() - 1, dod: raw[raw.len() - 1].0 });
         }
         for i in 1..raw.len() {
             if raw[i].0 <= raw[i - 1].0 || !raw[i].0.is_finite() {
@@ -246,10 +243,7 @@ mod tests {
     #[test]
     fn rejects_bad_domains() {
         let v = Voltage::from_volts(3.6);
-        assert_eq!(
-            DischargeCurve::new(vec![(0.0, v)]),
-            Err(CurveError::TooFewPoints(1))
-        );
+        assert_eq!(DischargeCurve::new(vec![(0.0, v)]), Err(CurveError::TooFewPoints(1)));
         assert!(matches!(
             DischargeCurve::new(vec![(0.1, v), (1.0, v)]),
             Err(CurveError::BadDomain { index: 0, .. })

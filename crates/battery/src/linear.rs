@@ -56,14 +56,8 @@ impl LinearBattery {
             nominal.picojoules() >= 0.0,
             "battery capacity must be non-negative, got {nominal}"
         );
-        let mut b = LinearBattery {
-            nominal,
-            consumed: Energy::ZERO,
-            v_full,
-            v_empty,
-            cutoff,
-            dead: false,
-        };
+        let mut b =
+            LinearBattery { nominal, consumed: Energy::ZERO, v_full, v_empty, cutoff, dead: false };
         b.dead = b.nominal.is_zero() || b.voltage_now() < b.cutoff;
         b
     }

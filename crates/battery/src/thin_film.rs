@@ -102,10 +102,7 @@ impl ThinFilmBattery {
     /// `recovery_per_kilocycle > 1`.
     #[must_use]
     pub fn with_config(config: ThinFilmConfig) -> Self {
-        assert!(
-            config.nominal.picojoules() >= 0.0,
-            "battery capacity must be non-negative"
-        );
+        assert!(config.nominal.picojoules() >= 0.0, "battery capacity must be non-negative");
         assert!(
             config.rate_capacity_coeff.is_finite() && config.rate_capacity_coeff >= 0.0,
             "rate-capacity coefficient must be finite and non-negative"
@@ -115,10 +112,7 @@ impl ThinFilmBattery {
                 && (0.0..=1.0).contains(&config.recovery_per_kilocycle),
             "recovery fraction must be within [0, 1]"
         );
-        assert!(
-            config.reference_draw.is_positive(),
-            "reference draw must be positive"
-        );
+        assert!(config.reference_draw.is_positive(), "reference draw must be positive");
         let mut b = ThinFilmBattery {
             dead: config.nominal.is_zero(),
             config,
@@ -177,8 +171,7 @@ impl Battery for ThinFilmBattery {
             return DrawOutcome::AlreadyDead;
         }
         let energy = energy.clamp_non_negative();
-        let usable = (self.config.nominal - self.consumed - self.unavailable)
-            .clamp_non_negative();
+        let usable = (self.config.nominal - self.consumed - self.unavailable).clamp_non_negative();
         if energy <= usable {
             self.consumed += energy;
             // Rate-capacity effect: a draw of size e locks away

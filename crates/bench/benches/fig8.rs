@@ -8,10 +8,7 @@ const BENCH_BATTERY_PJ: f64 = 15_000.0;
 
 fn bench_fig8(c: &mut Criterion) {
     let cells = fig8::run(&[4, 5], &[1, 2, 4], BENCH_BATTERY_PJ);
-    println!(
-        "\nFig 8 (scaled to {BENCH_BATTERY_PJ} pJ/node):\n{}",
-        fig8::render(&cells)
-    );
+    println!("\nFig 8 (scaled to {BENCH_BATTERY_PJ} pJ/node):\n{}", fig8::render(&cells));
 
     let mut group = c.benchmark_group("fig8");
     group.sample_size(10);

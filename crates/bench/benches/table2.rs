@@ -9,10 +9,7 @@ const BENCH_BATTERY_PJ: f64 = 15_000.0;
 
 fn bench_table2(c: &mut Criterion) {
     let rows = table2::run(&[4, 5], BENCH_BATTERY_PJ);
-    println!(
-        "\nTable 2 (scaled to {BENCH_BATTERY_PJ} pJ/node):\n{}",
-        table2::render(&rows)
-    );
+    println!("\nTable 2 (scaled to {BENCH_BATTERY_PJ} pJ/node):\n{}", table2::render(&rows));
 
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
@@ -22,17 +19,10 @@ fn bench_table2(c: &mut Criterion) {
     // The closed-form side on its own is effectively free; keep it
     // measured so regressions in the bound path are visible.
     group.bench_function("theorem1_closed_form", |b| {
-        let inputs = BoundInputs::uniform_comm(
-            &AppSpec::aes(),
-            Energy::from_picojoules(116.71),
-        );
+        let inputs = BoundInputs::uniform_comm(&AppSpec::aes(), Energy::from_picojoules(116.71));
         b.iter(|| {
-            upper_bound(
-                std::hint::black_box(&inputs),
-                Energy::from_picojoules(60_000.0),
-                64,
-            )
-            .expect("valid inputs")
+            upper_bound(std::hint::black_box(&inputs), Energy::from_picojoules(60_000.0), 64)
+                .expect("valid inputs")
         });
     });
     group.finish();

@@ -1,0 +1,156 @@
+//! `bench_routing` — emits `BENCH_routing.json`, the machine-readable
+//! perf baseline of the routing kernel, so future changes have a
+//! trajectory to compare against.
+//!
+//! ```text
+//! cargo run -p etx-bench --bin bench_routing --release            # writes ./BENCH_routing.json
+//! cargo run -p etx-bench --bin bench_routing --release -- out.json
+//! ```
+//!
+//! For each K in {16, 64, 256, 1024} (square meshes 4×4 … 32×32) it
+//! measures, in nanoseconds (best of a fixed wall-clock budget):
+//!
+//! * `full_floyd_warshall_ns` — the seed's phase-2+3 path (`Router::compute`
+//!   pinned to [`PathBackend::FloydWarshall`]),
+//! * `full_auto_ns` — the same full recompute under [`PathBackend::Auto`],
+//! * `delta_recompute_ns` — the steady-state path the simulator actually
+//!   runs: one battery-bucket drain per frame, recomputed in place via
+//!   `Router::recompute_into` with a warmed [`RoutingScratch`].
+
+use std::time::{Duration, Instant};
+
+use etx::graph::PathBackend;
+use etx::prelude::*;
+use etx::routing::{RoutingScratch, RoutingState};
+
+fn best_ns(budget: Duration, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    let deadline = Instant::now() + budget;
+    let mut iters = 0u32;
+    loop {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed().as_secs_f64() * 1e9;
+        best = best.min(elapsed);
+        iters += 1;
+        if (iters >= 3 && Instant::now() >= deadline) || iters >= 10_000 {
+            return best;
+        }
+    }
+}
+
+fn module_stripes(k: usize) -> Vec<Vec<NodeId>> {
+    (0..3).map(|m| (m..k).step_by(3).map(NodeId::new).collect()).collect()
+}
+
+struct Point {
+    k: usize,
+    side: usize,
+    auto_backend: &'static str,
+    full_floyd_warshall_ns: f64,
+    full_auto_ns: f64,
+    delta_recompute_ns: f64,
+}
+
+fn measure(side: usize, budget: Duration) -> Point {
+    let mesh = Mesh2D::square(side, Length::from_centimetres(2.05));
+    let graph = mesh.to_graph();
+    let k = graph.node_count();
+    let modules = module_stripes(k);
+    let report = SystemReport::fresh(k, 16);
+
+    let fw = Router::new(Algorithm::Ear).with_backend(PathBackend::FloydWarshall);
+    let auto = Router::new(Algorithm::Ear);
+    let auto_backend = match PathBackend::Auto.resolve(graph.node_count(), graph.edge_count()) {
+        etx::graph::ResolvedBackend::FloydWarshall => "floyd_warshall",
+        etx::graph::ResolvedBackend::DijkstraAllPairs => "dijkstra_all_pairs",
+    };
+
+    let full_floyd_warshall_ns = best_ns(budget, || {
+        std::hint::black_box(fw.compute(std::hint::black_box(&graph), &modules, &report, None));
+    });
+    let full_auto_ns = best_ns(budget, || {
+        std::hint::black_box(auto.compute(std::hint::black_box(&graph), &modules, &report, None));
+    });
+
+    // Steady-state simulator path: warmed scratch, one battery drain per
+    // frame, in-place delta-aware recompute.
+    let mut scratch = RoutingScratch::new();
+    let mut state = RoutingState::empty();
+    let mut current = report.clone();
+    let mut old = SystemReport::fresh(0, 1);
+    auto.compute_into(&graph, &modules, &current, None, &mut scratch, &mut state);
+    let mut frame = 0usize;
+    let mut drain_one = |current: &mut SystemReport,
+                         old: &mut SystemReport,
+                         scratch: &mut RoutingScratch,
+                         state: &mut RoutingState| {
+        old.clone_from(current);
+        let node = NodeId::new((frame * 7 + 3) % k);
+        let level = current.battery_level(node);
+        if level == 0 {
+            current.set_battery_level(node, 15); // keep the loop running
+        } else {
+            current.set_battery_level(node, level - 1);
+        }
+        frame += 1;
+        auto.recompute_into(&graph, &modules, old, current, scratch, state);
+    };
+    for _ in 0..8 {
+        drain_one(&mut current, &mut old, &mut scratch, &mut state);
+    }
+    let delta_recompute_ns = best_ns(budget, || {
+        drain_one(&mut current, &mut old, &mut scratch, &mut state);
+    });
+
+    Point { k, side, auto_backend, full_floyd_warshall_ns, full_auto_ns, delta_recompute_ns }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_routing.json".to_string());
+    let mut points = Vec::new();
+    for side in [4usize, 8, 16, 32] {
+        let budget =
+            if side >= 32 { Duration::from_millis(3000) } else { Duration::from_millis(400) };
+        let point = measure(side, budget);
+        eprintln!(
+            "K={:4} ({}x{}, auto={}): full_fw={:.0}ns full_auto={:.0}ns delta={:.0}ns ({:.1}x / {:.1}x vs seed)",
+            point.k,
+            point.side,
+            point.side,
+            point.auto_backend,
+            point.full_floyd_warshall_ns,
+            point.full_auto_ns,
+            point.delta_recompute_ns,
+            point.full_floyd_warshall_ns / point.full_auto_ns,
+            point.full_floyd_warshall_ns / point.delta_recompute_ns,
+        );
+        points.push(point);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"routing_recompute\",\n");
+    json.push_str("  \"command\": \"cargo run -p etx-bench --bin bench_routing --release\",\n");
+    json.push_str("  \"units\": \"nanoseconds, best observed iteration\",\n");
+    json.push_str("  \"workload\": \"EAR three-phase recompute, square mesh, 3 striped modules, 16 battery levels\",\n");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"k\": {}, \"mesh\": \"{}x{}\", \"auto_backend\": \"{}\", \
+             \"full_floyd_warshall_ns\": {:.0}, \"full_auto_ns\": {:.0}, \
+             \"delta_recompute_ns\": {:.0}}}{}\n",
+            p.k,
+            p.side,
+            p.side,
+            p.auto_backend,
+            p.full_floyd_warshall_ns,
+            p.full_auto_ns,
+            p.delta_recompute_ns,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

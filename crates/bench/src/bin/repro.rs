@@ -39,9 +39,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--battery" => {
                 let pj = args.next().ok_or("--battery needs a value")?;
-                battery_pj = pj
-                    .parse::<f64>()
-                    .map_err(|e| format!("bad battery value '{pj}': {e}"))?;
+                battery_pj =
+                    pj.parse::<f64>().map_err(|e| format!("bad battery value '{pj}': {e}"))?;
             }
             "--csv" => {
                 csv = true;
@@ -64,10 +63,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn run_theorem1(battery_pj: f64) {
-    let inputs = BoundInputs::uniform_comm(
-        &AppSpec::aes(),
-        SimConfig::default().comm_energy_per_act(),
-    );
+    let inputs =
+        BoundInputs::uniform_comm(&AppSpec::aes(), SimConfig::default().comm_energy_per_act());
     println!("Theorem 1 — upper bound and optimal duplicates (B = {battery_pj} pJ)");
     println!(
         "normalized energies H_i: {:?}",
@@ -78,17 +75,13 @@ fn run_theorem1(battery_pj: f64) {
             .collect::<Vec<_>>()
     );
     for k in [16usize, 25, 36, 49, 64] {
-        let bound = upper_bound(&inputs, Energy::from_picojoules(battery_pj), k)
-            .expect("valid inputs");
+        let bound =
+            upper_bound(&inputs, Energy::from_picojoules(battery_pj), k).expect("valid inputs");
         let ints = bound.integer_duplicates().expect("node budget >= modules");
         println!(
             "K = {k:2}: J* = {:7.2}, n* = {:?} (integers {:?})",
             bound.jobs(),
-            bound
-                .optimal_duplicates()
-                .iter()
-                .map(|d| format!("{d:.2}"))
-                .collect::<Vec<_>>(),
+            bound.optimal_duplicates().iter().map(|d| format!("{d:.2}")).collect::<Vec<_>>(),
             ints
         );
     }
@@ -175,10 +168,7 @@ fn main() {
             }
             Experiment::AblateRemap => {
                 let rows = ablation::remap_sweep(b);
-                println!(
-                    "{}",
-                    ablation::render("Extension — module remapping (EAR, 5x5)", &rows)
-                );
+                println!("{}", ablation::render("Extension — module remapping (EAR, 5x5)", &rows));
             }
         }
         println!();

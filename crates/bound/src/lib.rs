@@ -408,10 +408,7 @@ mod tests {
             Err(BoundError::NegativeCommEnergy { .. })
         ));
         let inputs = aes_inputs();
-        assert_eq!(
-            upper_bound(&inputs, pj(-1.0), 16),
-            Err(BoundError::NegativeBudget)
-        );
+        assert_eq!(upper_bound(&inputs, pj(-1.0), 16), Err(BoundError::NegativeBudget));
         assert!(matches!(
             upper_bound(&inputs, pj(1.0), 2),
             Err(BoundError::NodeBudgetTooSmall { nodes: 2, modules: 3 })

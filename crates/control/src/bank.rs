@@ -141,9 +141,7 @@ impl ControllerBank {
     pub fn active_index(&self) -> Option<usize> {
         if self.infinite {
             Some(0)
-        } else if self.active < self.controllers.len()
-            && !self.controllers[self.active].is_dead()
-        {
+        } else if self.active < self.controllers.len() && !self.controllers[self.active].is_dead() {
             Some(self.active)
         } else {
             None

@@ -6,9 +6,7 @@
 //! the battery model gap between Table 2 and Fig 7.
 
 use etx_routing::{Algorithm, BatteryWeighting};
-use etx_sim::{
-    BatteryModel, JobSource, MappingKind, RemappingPolicy, SimConfig, TopologyKind,
-};
+use etx_sim::{BatteryModel, JobSource, MappingKind, RemappingPolicy, SimConfig, TopologyKind};
 
 use super::render_table;
 
@@ -35,65 +33,58 @@ fn base(battery_pj: f64) -> etx_sim::SimConfigBuilder {
 /// awareness entirely, degenerating EAR into SDR).
 #[must_use]
 pub fn q_sweep(qs: &[f64], battery_pj: f64) -> Vec<AblationRow> {
-    qs.iter()
-        .map(|&q| {
-            let report = base(battery_pj)
-                .weighting(BatteryWeighting::new(16, q))
-                .build()
-                .expect("q sweep config is valid")
-                .run();
-            AblationRow {
-                setting: format!("Q = {q}"),
-                jobs: report.jobs_fractional,
-                lifetime: report.lifetime_cycles,
-            }
-        })
-        .collect()
+    etx_par::par_map(qs, 1, |&q| {
+        let report = base(battery_pj)
+            .weighting(BatteryWeighting::new(16, q))
+            .build()
+            .expect("q sweep config is valid")
+            .run();
+        AblationRow {
+            setting: format!("Q = {q}"),
+            jobs: report.jobs_fractional,
+            lifetime: report.lifetime_cycles,
+        }
+    })
 }
 
 /// Sweeps the battery-level quantization `N_B` (coarser reports hide
 /// imbalance from the controller).
 #[must_use]
 pub fn levels_sweep(levels: &[u32], battery_pj: f64) -> Vec<AblationRow> {
-    levels
-        .iter()
-        .map(|&nb| {
-            let report = base(battery_pj)
-                .weighting(BatteryWeighting::new(nb, 2.0))
-                .build()
-                .expect("levels sweep config is valid")
-                .run();
-            AblationRow {
-                setting: format!("N_B = {nb}"),
-                jobs: report.jobs_fractional,
-                lifetime: report.lifetime_cycles,
-            }
-        })
-        .collect()
+    etx_par::par_map(levels, 1, |&nb| {
+        let report = base(battery_pj)
+            .weighting(BatteryWeighting::new(nb, 2.0))
+            .build()
+            .expect("levels sweep config is valid")
+            .run();
+        AblationRow {
+            setting: format!("N_B = {nb}"),
+            jobs: report.jobs_fractional,
+            lifetime: report.lifetime_cycles,
+        }
+    })
 }
 
 /// Compares the mapping strategies under identical EAR routing.
 #[must_use]
 pub fn mapping_sweep(battery_pj: f64) -> Vec<AblationRow> {
-    [
+    let cases = [
         ("checkerboard (paper)", MappingKind::Checkerboard),
         ("proportional (Thm 1)", MappingKind::Proportional),
         ("round-robin", MappingKind::RoundRobin),
-    ]
-    .into_iter()
-    .map(|(name, mapping)| {
+    ];
+    etx_par::par_map(&cases, 1, |(name, mapping)| {
         let report = base(battery_pj)
-            .mapping(mapping)
+            .mapping(mapping.clone())
             .build()
             .expect("mapping sweep config is valid")
             .run();
         AblationRow {
-            setting: name.to_string(),
+            setting: (*name).to_string(),
             jobs: report.jobs_fractional,
             lifetime: report.lifetime_cycles,
         }
     })
-    .collect()
 }
 
 /// Quantifies the ideal-vs-thin-film battery gap for both algorithms
@@ -106,22 +97,19 @@ pub fn battery_sweep(battery_pj: f64) -> Vec<AblationRow> {
         ("SDR / ideal", Algorithm::Sdr, BatteryModel::Ideal),
         ("SDR / thin-film", Algorithm::Sdr, BatteryModel::ThinFilm),
     ];
-    cases
-        .into_iter()
-        .map(|(name, algorithm, battery)| {
-            let report = base(battery_pj)
-                .algorithm(algorithm)
-                .battery(battery)
-                .build()
-                .expect("battery sweep config is valid")
-                .run();
-            AblationRow {
-                setting: name.to_string(),
-                jobs: report.jobs_fractional,
-                lifetime: report.lifetime_cycles,
-            }
-        })
-        .collect()
+    etx_par::par_map(&cases, 1, |(name, algorithm, battery)| {
+        let report = base(battery_pj)
+            .algorithm(*algorithm)
+            .battery(battery.clone())
+            .build()
+            .expect("battery sweep config is valid")
+            .run();
+        AblationRow {
+            setting: name.to_string(),
+            jobs: report.jobs_fractional,
+            lifetime: report.lifetime_cycles,
+        }
+    })
 }
 
 /// Compares interconnect topologies under identical EAR routing and the
@@ -135,23 +123,20 @@ pub fn topology_sweep(battery_pj: f64) -> Vec<AblationRow> {
         ("torus 4x4", TopologyKind::Torus),
         ("ring of 16", TopologyKind::Ring),
     ];
-    cases
-        .into_iter()
-        .map(|(name, topology)| {
-            let report = base(battery_pj)
-                .topology(topology)
-                .mapping(MappingKind::Proportional)
-                .source(JobSource::GatewayNode { node: 0 })
-                .build()
-                .expect("topology sweep config is valid")
-                .run();
-            AblationRow {
-                setting: name.to_string(),
-                jobs: report.jobs_fractional,
-                lifetime: report.lifetime_cycles,
-            }
-        })
-        .collect()
+    etx_par::par_map(&cases, 1, |(name, topology)| {
+        let report = base(battery_pj)
+            .topology(topology.clone())
+            .mapping(MappingKind::Proportional)
+            .source(JobSource::GatewayNode { node: 0 })
+            .build()
+            .expect("topology sweep config is valid")
+            .run();
+        AblationRow {
+            setting: (*name).to_string(),
+            jobs: report.jobs_fractional,
+            lifetime: report.lifetime_cycles,
+        }
+    })
 }
 
 /// Quantifies the remapping (code-migration) extension the paper defers:
@@ -159,25 +144,20 @@ pub fn topology_sweep(battery_pj: f64) -> Vec<AblationRow> {
 /// when a module's live duplicates run low.
 #[must_use]
 pub fn remap_sweep(battery_pj: f64) -> Vec<AblationRow> {
-    let cases: [(&str, Option<RemappingPolicy>); 2] = [
-        ("fixed mapping (paper)", None),
-        ("with remapping", Some(RemappingPolicy::default())),
-    ];
-    cases
-        .into_iter()
-        .map(|(name, remapping)| {
-            let mut builder = base(battery_pj).mesh_square(5);
-            if let Some(policy) = remapping {
-                builder = builder.remapping(policy);
-            }
-            let report = builder.build().expect("remap sweep config is valid").run();
-            AblationRow {
-                setting: format!("{name} ({} remaps)", report.remaps),
-                jobs: report.jobs_fractional,
-                lifetime: report.lifetime_cycles,
-            }
-        })
-        .collect()
+    let cases: [(&str, Option<RemappingPolicy>); 2] =
+        [("fixed mapping (paper)", None), ("with remapping", Some(RemappingPolicy::default()))];
+    etx_par::par_map(&cases, 1, |(name, remapping)| {
+        let mut builder = base(battery_pj).mesh_square(5);
+        if let Some(policy) = remapping {
+            builder = builder.remapping(policy.clone());
+        }
+        let report = builder.build().expect("remap sweep config is valid").run();
+        AblationRow {
+            setting: format!("{name} ({} remaps)", report.remaps),
+            jobs: report.jobs_fractional,
+            lifetime: report.lifetime_cycles,
+        }
+    })
 }
 
 /// Renders any ablation as a text table.
@@ -185,9 +165,7 @@ pub fn remap_sweep(battery_pj: f64) -> Vec<AblationRow> {
 pub fn render(title: &str, rows: &[AblationRow]) -> String {
     let body: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![r.setting.clone(), format!("{:.1}", r.jobs), r.lifetime.to_string()]
-        })
+        .map(|r| vec![r.setting.clone(), format!("{:.1}", r.jobs), r.lifetime.to_string()])
         .collect();
     format!("{title}\n{}", render_table(&["setting", "jobs", "lifetime (cyc)"], &body))
 }

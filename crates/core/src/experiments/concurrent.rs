@@ -28,32 +28,30 @@ pub struct ConcurrentRow {
     pub report: SimReport,
 }
 
-/// Runs the concurrency sweep under EAR with tight (2-slot) buffers.
+/// Runs the concurrency sweep under EAR with tight (2-slot) buffers
+/// (sweep points in parallel, rows in input order).
 #[must_use]
 pub fn run(levels: &[usize], battery_pj: f64) -> Vec<ConcurrentRow> {
-    levels
-        .iter()
-        .map(|&jobs_in_flight| {
-            let report = SimConfig::builder()
-                .mesh_square(4)
-                .algorithm(Algorithm::Ear)
-                .battery(BatteryModel::ThinFilm)
-                .battery_capacity_picojoules(battery_pj)
-                .concurrent_jobs(jobs_in_flight)
-                .buffer_capacity(2)
-                .deadlock_threshold(Cycles::new(128))
-                .build()
-                .expect("concurrency configuration is valid")
-                .run();
-            ConcurrentRow {
-                jobs_in_flight,
-                completed: report.jobs_fractional,
-                deadlock_reports: report.deadlock_reports,
-                lost: report.jobs_lost,
-                report,
-            }
-        })
-        .collect()
+    etx_par::par_map(levels, 1, |&jobs_in_flight| {
+        let report = SimConfig::builder()
+            .mesh_square(4)
+            .algorithm(Algorithm::Ear)
+            .battery(BatteryModel::ThinFilm)
+            .battery_capacity_picojoules(battery_pj)
+            .concurrent_jobs(jobs_in_flight)
+            .buffer_capacity(2)
+            .deadlock_threshold(Cycles::new(128))
+            .build()
+            .expect("concurrency configuration is valid")
+            .run();
+        ConcurrentRow {
+            jobs_in_flight,
+            completed: report.jobs_fractional,
+            deadlock_reports: report.deadlock_reports,
+            lost: report.jobs_lost,
+            report,
+        }
+    })
 }
 
 /// Renders the sweep.

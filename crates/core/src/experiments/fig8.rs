@@ -29,22 +29,23 @@ pub struct Fig8Cell {
 /// count.
 #[must_use]
 pub fn run(meshes: &[usize], controller_counts: &[usize], battery_pj: f64) -> Vec<Fig8Cell> {
-    let mut cells = Vec::with_capacity(meshes.len() * controller_counts.len());
-    for &mesh in meshes {
-        for &controllers in controller_counts {
-            let report = SimConfig::builder()
-                .mesh_square(mesh)
-                .algorithm(Algorithm::Ear)
-                .battery(BatteryModel::ThinFilm)
-                .battery_capacity_picojoules(battery_pj)
-                .controllers(ControllerSetup::Finite { count: controllers })
-                .build()
-                .expect("fig8 configuration is valid")
-                .run();
-            cells.push(Fig8Cell { mesh, controllers, jobs: report.jobs_fractional, report });
-        }
-    }
-    cells
+    // The full mesh x controller-count cross product runs as one
+    // parallel batch; `par_map` preserves input order, so the cells (and
+    // everything rendered from them) match the serial sweep exactly.
+    let points: Vec<(usize, usize)> =
+        meshes.iter().flat_map(|&mesh| controller_counts.iter().map(move |&c| (mesh, c))).collect();
+    etx_par::par_map(&points, 1, |&(mesh, controllers)| {
+        let report = SimConfig::builder()
+            .mesh_square(mesh)
+            .algorithm(Algorithm::Ear)
+            .battery(BatteryModel::ThinFilm)
+            .battery_capacity_picojoules(battery_pj)
+            .controllers(ControllerSetup::Finite { count: controllers })
+            .build()
+            .expect("fig8 configuration is valid")
+            .run();
+        Fig8Cell { mesh, controllers, jobs: report.jobs_fractional, report }
+    })
 }
 
 /// Renders the sweep as a mesh x controllers grid (one series per

@@ -103,8 +103,10 @@ mod tests {
     fn render_csv_escapes() {
         let s = render_csv(
             &["mesh", "note"],
-            &[vec!["4x4".to_string(), "has, comma".to_string()],
-              vec!["5x5".to_string(), "has \"quote\"".to_string()]],
+            &[
+                vec!["4x4".to_string(), "has, comma".to_string()],
+                vec!["5x5".to_string(), "has \"quote\"".to_string()],
+            ],
         );
         assert!(s.starts_with("mesh,note\n"));
         assert!(s.contains("\"has, comma\""));

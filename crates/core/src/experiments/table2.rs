@@ -39,30 +39,27 @@ impl Table2Row {
     }
 }
 
-/// Runs the Table 2 sweep.
+/// Runs the Table 2 sweep (mesh sizes in parallel, rows in input order).
 #[must_use]
 pub fn run(meshes: &[usize], battery_pj: f64) -> Vec<Table2Row> {
-    meshes
-        .iter()
-        .map(|&mesh| {
-            let sim = SimConfig::builder()
-                .mesh_square(mesh)
-                .algorithm(Algorithm::Ear)
-                .battery(BatteryModel::Ideal)
-                .battery_capacity_picojoules(battery_pj)
-                .build()
-                .expect("table2 configuration is valid");
-            // The bound uses the same platform's per-act communication
-            // energy (one packet, one default hop).
-            let comm = sim.config().comm_energy_per_act();
-            let nodes = sim.config().node_count();
-            let inputs = BoundInputs::uniform_comm(&AppSpec::aes(), comm);
-            let bound = upper_bound(&inputs, Energy::from_picojoules(battery_pj), nodes)
-                .expect("bound inputs are valid");
-            let report = sim.run();
-            Table2Row { mesh, j_ear: report.jobs_fractional, j_star: bound.jobs(), report }
-        })
-        .collect()
+    etx_par::par_map(meshes, 1, |&mesh| {
+        let sim = SimConfig::builder()
+            .mesh_square(mesh)
+            .algorithm(Algorithm::Ear)
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(battery_pj)
+            .build()
+            .expect("table2 configuration is valid");
+        // The bound uses the same platform's per-act communication
+        // energy (one packet, one default hop).
+        let comm = sim.config().comm_energy_per_act();
+        let nodes = sim.config().node_count();
+        let inputs = BoundInputs::uniform_comm(&AppSpec::aes(), comm);
+        let bound = upper_bound(&inputs, Energy::from_picojoules(battery_pj), nodes)
+            .expect("bound inputs are valid");
+        let report = sim.run();
+        Table2Row { mesh, j_ear: report.jobs_fractional, j_star: bound.jobs(), report }
+    })
 }
 
 /// Renders the sweep in the shape of the paper's Table 2.

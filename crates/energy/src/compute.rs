@@ -68,10 +68,7 @@ impl ComputeEnergyTable {
     #[must_use]
     pub fn new(energies: Vec<Energy>) -> Self {
         for (i, e) in energies.iter().enumerate() {
-            assert!(
-                e.picojoules() >= 0.0,
-                "module {i} has negative computation energy {e}"
-            );
+            assert!(e.picojoules() >= 0.0, "module {i} has negative computation energy {e}");
         }
         ComputeEnergyTable { energies }
     }

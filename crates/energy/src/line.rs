@@ -12,12 +12,8 @@ use crate::PacketFormat;
 /// The fabric is polyester yarn twisted with a single 40 µm copper thread,
 /// insulated with a polyesterimide coating (Cottet et al., the paper's
 /// reference \[6\]).
-pub const TEXTILE_LINE_POINTS: [(f64, f64); 4] = [
-    (1.0, 0.4472),
-    (10.0, 4.4472),
-    (20.0, 11.867),
-    (100.0, 53.082),
-];
+pub const TEXTILE_LINE_POINTS: [(f64, f64); 4] =
+    [(1.0, 0.4472), (10.0, 4.4472), (20.0, 11.867), (100.0, 53.082)];
 
 /// Errors raised when constructing a [`TransmissionLineModel`].
 #[derive(Debug, Clone, PartialEq)]
@@ -44,10 +40,9 @@ impl fmt::Display for LineModelError {
                 f,
                 "transmission-line anchor {index} has a non-increasing or non-positive length"
             ),
-            LineModelError::BadEnergy { index } => write!(
-                f,
-                "transmission-line anchor {index} has a negative or decreasing energy"
-            ),
+            LineModelError::BadEnergy { index } => {
+                write!(f, "transmission-line anchor {index} has a negative or decreasing energy")
+            }
         }
     }
 }
@@ -109,10 +104,8 @@ impl TransmissionLineModel {
     where
         I: IntoIterator<Item = (Length, Energy)>,
     {
-        let anchors: Vec<(f64, f64)> = points
-            .into_iter()
-            .map(|(l, e)| (l.centimetres(), e.picojoules()))
-            .collect();
+        let anchors: Vec<(f64, f64)> =
+            points.into_iter().map(|(l, e)| (l.centimetres(), e.picojoules())).collect();
         if anchors.is_empty() {
             return Err(LineModelError::Empty);
         }
@@ -152,11 +145,8 @@ impl TransmissionLineModel {
         }
         // Beyond the last anchor: extend the final segment's slope.
         let (last_l, last_e) = *self.anchors.last().expect("non-empty anchors");
-        let (before_l, before_e) = if self.anchors.len() >= 2 {
-            self.anchors[self.anchors.len() - 2]
-        } else {
-            (0.0, 0.0)
-        };
+        let (before_l, before_e) =
+            if self.anchors.len() >= 2 { self.anchors[self.anchors.len() - 2] } else { (0.0, 0.0) };
         let slope = (last_e - before_e) / (last_l - before_l);
         Energy::from_picojoules(last_e + slope * (l - last_l))
     }
@@ -186,9 +176,7 @@ impl TransmissionLineModel {
 
     /// The measured anchors (excluding the implicit origin).
     pub fn anchors(&self) -> impl Iterator<Item = (Length, Energy)> + '_ {
-        self.anchors
-            .iter()
-            .map(|&(l, e)| (Length::from_centimetres(l), Energy::from_picojoules(e)))
+        self.anchors.iter().map(|&(l, e)| (Length::from_centimetres(l), Energy::from_picojoules(e)))
     }
 }
 
@@ -301,11 +289,8 @@ mod tests {
 
     #[test]
     fn single_anchor_extrapolates_through_origin() {
-        let m = TransmissionLineModel::from_points(vec![(
-            cm(10.0),
-            Energy::from_picojoules(5.0),
-        )])
-        .unwrap();
+        let m = TransmissionLineModel::from_points(vec![(cm(10.0), Energy::from_picojoules(5.0))])
+            .unwrap();
         assert!((m.energy_per_bit_switch(cm(20.0)).picojoules() - 10.0).abs() < 1e-12);
         assert!((m.energy_per_bit_switch(cm(5.0)).picojoules() - 2.5).abs() < 1e-12);
     }

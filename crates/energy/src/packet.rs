@@ -36,10 +36,7 @@ impl PacketFormat {
     /// every communication free and silently disable the energy model.
     #[must_use]
     pub fn new(payload_bits: u32, header_bits: u32) -> Self {
-        assert!(
-            payload_bits + header_bits > 0,
-            "packet must contain at least one bit"
-        );
+        assert!(payload_bits + header_bits > 0, "packet must contain at least one bit");
         PacketFormat { payload_bits, header_bits }
     }
 
@@ -71,11 +68,7 @@ impl Default for PacketFormat {
 
 impl fmt::Display for PacketFormat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}b payload + {}b header",
-            self.payload_bits, self.header_bits
-        )
+        write!(f, "{}b payload + {}b header", self.payload_bits, self.header_bits)
     }
 }
 

@@ -48,6 +48,15 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Source of globally unique [`DiGraph::version_stamp`] values: every
+/// graph construction and every mutation draws a fresh value, so two
+/// graphs that ever diverged can never share a stamp.
+static NEXT_VERSION_STAMP: core::sync::atomic::AtomicU64 = core::sync::atomic::AtomicU64::new(1);
+
+fn fresh_version_stamp() -> u64 {
+    NEXT_VERSION_STAMP.fetch_add(1, core::sync::atomic::Ordering::Relaxed)
+}
+
 /// A directed graph over dense node ids, with [`Length`]-weighted edges.
 ///
 /// Stored as a dense adjacency matrix of `Option<Length>` — the paper's
@@ -68,11 +77,22 @@ impl std::error::Error for GraphError {}
 /// assert!(!g.has_edge(NodeId::new(1), NodeId::new(0)));
 /// # Ok::<(), etx_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DiGraph {
     node_count: usize,
     adjacency: Matrix<Option<Length>>,
     edge_count: usize,
+    version_stamp: u64,
+}
+
+/// Equality compares the graph *content* (nodes and edges); the version
+/// stamp is an identity aid for caches and is excluded.
+impl PartialEq for DiGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_count == other.node_count
+            && self.edge_count == other.edge_count
+            && self.adjacency == other.adjacency
+    }
 }
 
 impl DiGraph {
@@ -83,7 +103,19 @@ impl DiGraph {
             node_count,
             adjacency: Matrix::filled(node_count, node_count, None),
             edge_count: 0,
+            version_stamp: fresh_version_stamp(),
         }
+    }
+
+    /// An opaque value identifying this graph's exact edge content:
+    /// refreshed (globally uniquely) on every mutation and copied by
+    /// `Clone`, so equal stamps imply identical edges. Routing caches key
+    /// on it to detect graph changes in `O(1)` instead of re-hashing the
+    /// edge list. (Stamps are conservative: independently built graphs
+    /// with identical edges get different stamps.)
+    #[must_use]
+    pub fn version_stamp(&self) -> u64 {
+        self.version_stamp
     }
 
     /// Number of nodes.
@@ -140,6 +172,7 @@ impl DiGraph {
         if prev.is_none() {
             self.edge_count += 1;
         }
+        self.version_stamp = fresh_version_stamp();
         Ok(prev)
     }
 
@@ -167,6 +200,7 @@ impl DiGraph {
         let prev = self.adjacency[(from, to)].take();
         if prev.is_some() {
             self.edge_count -= 1;
+            self.version_stamp = fresh_version_stamp();
         }
         prev
     }

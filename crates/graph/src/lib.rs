@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod digraph;
 mod matrix;
 mod node;
@@ -49,8 +50,13 @@ mod shortest;
 pub mod connectivity;
 pub mod topology;
 
+pub use backend::{PathBackend, ResolvedBackend};
 pub use digraph::{DiGraph, Edge, GraphError};
 pub use matrix::Matrix;
 pub use node::NodeId;
-pub use shortest::{dijkstra_all_pairs, floyd_warshall, PathError, ShortestPaths, INFINITE_DISTANCE};
+pub use shortest::{
+    dijkstra_all_pairs, dijkstra_all_pairs_into, dijkstra_source_into, floyd_warshall,
+    floyd_warshall_into, AdjacencyList, DijkstraScratch, PathError, ShortestPaths,
+    INFINITE_DISTANCE,
+};
 pub use topology::Mesh2D;

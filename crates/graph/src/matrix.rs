@@ -30,6 +30,13 @@ pub struct Matrix<T> {
     data: Vec<T>,
 }
 
+impl<T> Default for Matrix<T> {
+    /// An empty `0 x 0` matrix (grow it with [`Matrix::reset`]).
+    fn default() -> Self {
+        Matrix { rows: 0, cols: 0, data: Vec::new() }
+    }
+}
+
 impl<T: Clone> Matrix<T> {
     /// Creates a `rows x cols` matrix with every entry set to `fill`.
     ///
@@ -40,6 +47,30 @@ impl<T: Clone> Matrix<T> {
     pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
         let len = rows.checked_mul(cols).expect("matrix dimensions overflow");
         Matrix { rows, cols, data: vec![fill; len] }
+    }
+}
+
+impl<T: Clone> Matrix<T> {
+    /// Resizes to `rows x cols` with every entry set to `fill`, reusing
+    /// the existing allocation whenever it is large enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn reset(&mut self, rows: usize, cols: usize, fill: T) {
+        let len = rows.checked_mul(cols).expect("matrix dimensions overflow");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(len, fill);
+    }
+
+    /// Copies dimensions and entries from `other`, reusing the existing
+    /// allocation whenever it is large enough.
+    pub fn copy_from(&mut self, other: &Matrix<T>) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clone_from(&other.data);
     }
 }
 
@@ -101,12 +132,42 @@ impl<T> Matrix<T> {
         self.data[row * self.cols..(row + 1) * self.cols].iter()
     }
 
+    /// Borrows one row as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row_slice(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows one row as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_slice_mut(&mut self, row: usize) -> &mut [T] {
+        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Splits the matrix into disjoint mutable blocks of up to
+    /// `rows_per_chunk` consecutive rows — the handoff used to compute
+    /// independent all-pairs rows on separate threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_chunk` is zero.
+    pub fn row_chunks_mut(&mut self, rows_per_chunk: usize) -> impl Iterator<Item = &mut [T]> {
+        assert!(rows_per_chunk > 0, "rows_per_chunk must be non-zero");
+        self.data.chunks_mut(rows_per_chunk * self.cols.max(1))
+    }
+
     /// Iterates over all `(row, col, &value)` triples in row-major order.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, &T)> + '_ {
-        self.data
-            .iter()
-            .enumerate()
-            .map(move |(k, v)| (k / self.cols, k % self.cols, v))
+        self.data.iter().enumerate().map(move |(k, v)| (k / self.cols, k % self.cols, v))
     }
 
     /// Applies `f` to every element, producing a new matrix.

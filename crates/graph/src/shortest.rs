@@ -120,9 +120,7 @@ impl ShortestPaths {
         let mut nodes = vec![from];
         let mut cur = from;
         while cur != to {
-            cur = self
-                .successor(cur, to)
-                .ok_or(PathError::Unreachable { from, to })?;
+            cur = self.successor(cur, to).ok_or(PathError::Unreachable { from, to })?;
             nodes.push(cur);
             if nodes.len() > self.node_count() {
                 return Err(PathError::CycleDetected { from, to });
@@ -132,9 +130,26 @@ impl ShortestPaths {
     }
 
     /// Number of hops (edges) on the shortest path, if reachable.
+    ///
+    /// Walks the successor matrix directly without materializing the path
+    /// vector, so it performs no allocation. Returns `None` when `to` is
+    /// unreachable or the successor chain is corrupt (the conditions
+    /// [`ShortestPaths::path`] reports as errors).
     #[must_use]
     pub fn hop_count(&self, from: NodeId, to: NodeId) -> Option<usize> {
-        self.path(from, to).ok().map(|p| p.len() - 1)
+        if !self.is_reachable(from, to) {
+            return None;
+        }
+        let mut hops = 0usize;
+        let mut cur = from;
+        while cur != to {
+            cur = self.successor(cur, to)?;
+            hops += 1;
+            if hops >= self.node_count() {
+                return None; // defensive: cycle in a corrupt matrix
+            }
+        }
+        Some(hops)
     }
 
     /// Read-only view of the distance matrix.
@@ -147,6 +162,45 @@ impl ShortestPaths {
     #[must_use]
     pub fn successors(&self) -> &Matrix<Option<NodeId>> {
         &self.succ
+    }
+
+    /// An empty (0-node) result, for preallocated workspaces that are
+    /// filled by the `*_into` backends before first use.
+    #[must_use]
+    pub fn empty() -> Self {
+        ShortestPaths { dist: Matrix::filled(0, 0, 0.0), succ: Matrix::filled(0, 0, None) }
+    }
+
+    /// Resizes to `n` nodes and resets every pair to "unreachable"
+    /// (`dist = ∞`, diagonal `0`, successors `None`), reusing the
+    /// existing allocations whenever they are large enough.
+    pub fn reset(&mut self, n: usize) {
+        self.dist.reset(n, n, INFINITE_DISTANCE);
+        self.succ.reset(n, n, None);
+        for i in 0..n {
+            self.dist[(i, i)] = 0.0;
+        }
+    }
+
+    /// Ensures the matrices are `n x n` without touching existing
+    /// entries when the dimensions already match — for callers about to
+    /// overwrite every row anyway ([`dijkstra_all_pairs_into`]), skipping
+    /// the `2·n²` fill a full [`ShortestPaths::reset`] would pay.
+    fn ensure_dims(&mut self, n: usize) {
+        if self.dist.rows() != n || self.dist.cols() != n {
+            self.reset(n);
+        }
+    }
+
+    /// Mutably borrows the distance and successor rows of one source —
+    /// the write target of a single-source recompute
+    /// ([`dijkstra_source_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn source_rows_mut(&mut self, source: NodeId) -> (&mut [f64], &mut [Option<NodeId>]) {
+        (self.dist.row_slice_mut(source.index()), self.succ.row_slice_mut(source.index()))
     }
 }
 
@@ -170,16 +224,33 @@ impl ShortestPaths {
 /// Panics if `weights` is not square or contains negative or NaN entries.
 #[must_use]
 pub fn floyd_warshall(weights: &Matrix<f64>) -> ShortestPaths {
+    let mut out = ShortestPaths::empty();
+    floyd_warshall_into(weights, &mut out);
+    out
+}
+
+fn validate_weights(weights: &Matrix<f64>) {
     assert_eq!(weights.rows(), weights.cols(), "weight matrix must be square");
-    let n = weights.rows();
     for (r, c, w) in weights.entries() {
         assert!(!w.is_nan(), "weight ({r},{c}) is NaN");
         assert!(*w >= 0.0, "weight ({r},{c}) is negative: {w}");
     }
+}
 
-    let mut dist = weights.clone();
+/// [`floyd_warshall`] into a preallocated result: no heap allocation once
+/// `out` has seen the current node count.
+///
+/// # Panics
+///
+/// Panics if `weights` is not square or contains negative or NaN entries.
+pub fn floyd_warshall_into(weights: &Matrix<f64>, out: &mut ShortestPaths) {
+    validate_weights(weights);
+    let n = weights.rows();
+
+    out.dist.copy_from(weights);
     // S^(0): the successor of i toward a directly-connected j is j itself.
-    let mut succ: Matrix<Option<NodeId>> = Matrix::filled(n, n, None);
+    out.succ.reset(n, n, None);
+    let (dist, succ) = (&mut out.dist, &mut out.succ);
     for i in 0..n {
         for j in 0..n {
             if i != j && dist[(i, j)].is_finite() {
@@ -203,8 +274,294 @@ pub fn floyd_warshall(weights: &Matrix<f64>) -> ShortestPaths {
             }
         }
     }
+}
 
-    ShortestPaths { dist, succ }
+/// Sparse out-neighbour lists extracted from a weight matrix, kept sorted
+/// by neighbour id so that incremental updates preserve the exact
+/// iteration order a full rebuild would produce (Dijkstra's successor
+/// tie-breaking depends on it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdjacencyList {
+    lists: Vec<Vec<(usize, f64)>>,
+    edge_count: usize,
+}
+
+impl AdjacencyList {
+    /// An empty adjacency list; call [`AdjacencyList::rebuild`] before use.
+    #[must_use]
+    pub fn new() -> Self {
+        AdjacencyList::default()
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// `true` when covering zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The out-neighbours of `u` as `(neighbour, weight)`, ascending by
+    /// neighbour id.
+    #[must_use]
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.lists[u]
+    }
+
+    /// Total number of (finite, off-diagonal) edges currently held —
+    /// an upper bound on a Dijkstra run's live heap entries, used to
+    /// pre-size the heap so steady-state runs never reallocate it.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Re-extracts every list from `weights`, reusing per-node capacity.
+    pub fn rebuild(&mut self, weights: &Matrix<f64>) {
+        let n = weights.rows();
+        self.lists.resize_with(n, Vec::new);
+        self.edge_count = 0;
+        for (r, list) in self.lists.iter_mut().enumerate() {
+            list.clear();
+            for (c, w) in weights.row_slice(r).iter().enumerate() {
+                if r != c && w.is_finite() {
+                    list.push((c, *w));
+                }
+            }
+            self.edge_count += list.len();
+        }
+    }
+
+    /// Re-synchronizes the edges touching node `j` with `weights`: its
+    /// out-list is rebuilt and its entry in every other out-list is
+    /// inserted, updated, or removed. Equivalent to a full
+    /// [`AdjacencyList::rebuild`] when only edges incident to `j` changed,
+    /// at `O(K + Σ deg)` instead of `O(K²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` or the list dimensions do not match `weights`.
+    pub fn sync_node(&mut self, j: usize, weights: &Matrix<f64>) {
+        let n = weights.rows();
+        assert_eq!(self.lists.len(), n, "adjacency does not match weights");
+        assert!(j < n, "node {j} out of range");
+        // Out-edges of j: rebuild the list in one pass.
+        self.edge_count -= self.lists[j].len();
+        self.lists[j].clear();
+        for (c, w) in weights.row_slice(j).iter().enumerate() {
+            if j != c && w.is_finite() {
+                self.lists[j].push((c, *w));
+            }
+        }
+        self.edge_count += self.lists[j].len();
+        // In-edges of j: fix the (sorted) position of j in every list.
+        for (i, list) in self.lists.iter_mut().enumerate() {
+            if i == j {
+                continue;
+            }
+            let w = weights[(i, j)];
+            match list.binary_search_by_key(&j, |&(c, _)| c) {
+                Ok(pos) if w.is_finite() => list[pos].1 = w,
+                Ok(pos) => {
+                    list.remove(pos);
+                    self.edge_count -= 1;
+                }
+                Err(pos) if w.is_finite() => {
+                    list.insert(pos, (j, w));
+                    self.edge_count += 1;
+                }
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+/// Min-heap entry: `(distance, node)` packed into one `u128`, so every
+/// heap comparison is a single integer compare.
+///
+/// Non-negative, non-NaN `f64`s (validated up front) compare identically
+/// to their raw bit patterns, so the packed order is exactly "distance
+/// ascending, then node id ascending" — the deterministic tie-break the
+/// delta recompute depends on. Keys are unique (a node is only re-pushed
+/// on a strict distance improvement), so pop order is a total order and
+/// independent of the heap implementation.
+#[inline]
+fn pack_entry(distance: f64, node: usize) -> u128 {
+    (u128::from(distance.to_bits()) << 64) | node as u128
+}
+
+#[inline]
+fn unpack_entry(key: u128) -> (f64, usize) {
+    (f64::from_bits((key >> 64) as u64), (key & u128::from(u64::MAX)) as usize)
+}
+
+/// Reusable per-thread working memory for single-source Dijkstra runs.
+///
+/// All buffers retain their capacity across calls, so a steady-state
+/// recompute loop performs no heap allocation (the property the simulator
+/// relies on; see `etx-routing`'s `RoutingScratch`).
+///
+/// The queue is `std`'s binary heap over `Reverse`-packed keys: a
+/// hand-rolled 4-ary heap was tried and measured ~35% *slower* here —
+/// `BinaryHeap`'s hole-based sift is hard to beat once comparisons are
+/// single integers.
+#[derive(Default)]
+pub struct DijkstraScratch {
+    heap: std::collections::BinaryHeap<core::cmp::Reverse<u128>>,
+}
+
+impl core::fmt::Debug for DijkstraScratch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DijkstraScratch").field("capacity", &self.heap.capacity()).finish()
+    }
+}
+
+impl DijkstraScratch {
+    /// A scratch with no capacity; grows on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        DijkstraScratch::default()
+    }
+}
+
+/// Recomputes the all-pairs rows of `source` by binary-heap Dijkstra,
+/// writing distances into `dist_row` and first hops into `succ_row`
+/// (both of length `adjacency.len()`).
+///
+/// Successor tie-breaking is deterministic: the heap pops by
+/// `(distance, node id)` and predecessors update only on strict
+/// improvement, so re-running a source over an unchanged reachable
+/// subgraph reproduces its rows bit-for-bit — the property the
+/// delta-aware recompute in `etx-routing` relies on.
+///
+/// # Panics
+///
+/// Panics if `source` or the row lengths do not match `adjacency`.
+pub fn dijkstra_source_into(
+    adjacency: &AdjacencyList,
+    source: NodeId,
+    scratch: &mut DijkstraScratch,
+    dist_row: &mut [f64],
+    succ_row: &mut [Option<NodeId>],
+) {
+    let n = adjacency.len();
+    assert!(source.index() < n, "source {source} out of range");
+    assert_eq!(dist_row.len(), n, "distance row length mismatch");
+    assert_eq!(succ_row.len(), n, "successor row length mismatch");
+    let source = source.index();
+
+    scratch.heap.clear();
+    // At most one live heap entry per relaxed edge plus the source:
+    // pre-sizing here means later runs never grow the heap mid-flight.
+    let heap_bound = adjacency.edge_count() + 1;
+    if scratch.heap.capacity() < heap_bound {
+        scratch.heap.reserve(heap_bound);
+    }
+
+    // The output rows double as the tentative-distance / first-hop
+    // arrays: a node's first hop is final when it settles (its
+    // predecessor settled earlier), so no pred chain or second pass is
+    // needed.
+    dist_row.fill(INFINITE_DISTANCE);
+    succ_row.fill(None);
+    dist_row[source] = 0.0;
+    scratch.heap.push(core::cmp::Reverse(pack_entry(0.0, source)));
+    while let Some(core::cmp::Reverse(entry)) = scratch.heap.pop() {
+        let (du, u) = unpack_entry(entry);
+        if du > dist_row[u] {
+            continue; // stale entry
+        }
+        let via_u = if u == source { None } else { succ_row[u] };
+        for &(v, w) in adjacency.neighbors(u) {
+            let nd = du + w;
+            if nd < dist_row[v] {
+                dist_row[v] = nd;
+                // First hop toward v: v itself off the source, else the
+                // settled first hop of u.
+                succ_row[v] = via_u.or(Some(NodeId::new(v)));
+                scratch.heap.push(core::cmp::Reverse(pack_entry(nd, v)));
+            }
+        }
+    }
+}
+
+/// Below this node count the scoped-thread fan-out of
+/// [`dijkstra_all_pairs_into`] costs more than it saves.
+const PARALLEL_MIN_NODES: usize = 128;
+
+/// Minimum sources per worker thread for the parallel fan-out.
+const PARALLEL_MIN_ROWS_PER_THREAD: usize = 32;
+
+/// [`dijkstra_all_pairs`] into preallocated storage.
+///
+/// `adjacency` is rebuilt from `weights`; `out` is resized and every row
+/// recomputed. With `parallel` set, sources are fanned out over scoped
+/// threads in contiguous row blocks (each worker allocates its own
+/// [`DijkstraScratch`]), producing bit-identical results to the serial
+/// path since every row is an independent deterministic computation. The
+/// serial path (`parallel = false`) reuses `scratch` and performs no
+/// steady-state allocation.
+///
+/// # Panics
+///
+/// Panics if `weights` is not square or contains negative or NaN entries.
+pub fn dijkstra_all_pairs_into(
+    weights: &Matrix<f64>,
+    adjacency: &mut AdjacencyList,
+    scratch: &mut DijkstraScratch,
+    out: &mut ShortestPaths,
+    parallel: bool,
+) {
+    validate_weights(weights);
+    let n = weights.rows();
+    adjacency.rebuild(weights);
+    // Every row is fully rewritten below, so only the dimensions need
+    // fixing up front.
+    out.ensure_dims(n);
+
+    let threads = if parallel && n >= PARALLEL_MIN_NODES {
+        etx_par::chunk_count(n, PARALLEL_MIN_ROWS_PER_THREAD)
+    } else {
+        1
+    };
+    if threads <= 1 {
+        for source in 0..n {
+            let (dist_row, succ_row) = out.source_rows_mut(NodeId::new(source));
+            dijkstra_source_into(adjacency, NodeId::new(source), scratch, dist_row, succ_row);
+        }
+        return;
+    }
+
+    let rows_per_chunk = n.div_ceil(threads);
+    let adjacency = &*adjacency;
+    std::thread::scope(|scope| {
+        for (chunk_idx, (dist_chunk, succ_chunk)) in out
+            .dist
+            .row_chunks_mut(rows_per_chunk)
+            .zip(out.succ.row_chunks_mut(rows_per_chunk))
+            .enumerate()
+        {
+            let first_source = chunk_idx * rows_per_chunk;
+            scope.spawn(move || {
+                let mut local = DijkstraScratch::new();
+                for (offset, (dist_row, succ_row)) in
+                    dist_chunk.chunks_mut(n).zip(succ_chunk.chunks_mut(n)).enumerate()
+                {
+                    dijkstra_source_into(
+                        adjacency,
+                        NodeId::new(first_source + offset),
+                        &mut local,
+                        dist_row,
+                        succ_row,
+                    );
+                }
+            });
+        }
+    });
 }
 
 /// Computes the same all-pairs result as [`floyd_warshall`] by running a
@@ -224,80 +581,11 @@ pub fn floyd_warshall(weights: &Matrix<f64>) -> ShortestPaths {
 /// Panics if `weights` is not square or contains negative or NaN entries.
 #[must_use]
 pub fn dijkstra_all_pairs(weights: &Matrix<f64>) -> ShortestPaths {
-    assert_eq!(weights.rows(), weights.cols(), "weight matrix must be square");
-    let n = weights.rows();
-    for (r, c, w) in weights.entries() {
-        assert!(!w.is_nan(), "weight ({r},{c}) is NaN");
-        assert!(*w >= 0.0, "weight ({r},{c}) is negative: {w}");
-    }
-    // Sparse adjacency extracted once.
-    let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for (r, c, w) in weights.entries() {
-        if r != c && w.is_finite() {
-            adjacency[r].push((c, *w));
-        }
-    }
-
-    let mut dist = Matrix::filled(n, n, INFINITE_DISTANCE);
-    let mut succ: Matrix<Option<NodeId>> = Matrix::filled(n, n, None);
-
-    // Min-heap entry ordered by distance; f64 is totally ordered here
-    // because NaN weights were rejected above.
-    #[derive(PartialEq)]
-    struct Entry(f64, usize);
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-            // Reversed for a min-heap on distance, then node id.
-            other
-                .0
-                .partial_cmp(&self.0)
-                .expect("distances are never NaN")
-                .then(other.1.cmp(&self.1))
-        }
-    }
-
-    let mut d = vec![0.0f64; n];
-    let mut pred = vec![usize::MAX; n];
-    let mut settled_order = Vec::with_capacity(n);
-    for source in 0..n {
-        d.fill(INFINITE_DISTANCE);
-        pred.fill(usize::MAX);
-        settled_order.clear();
-        d[source] = 0.0;
-        let mut heap = std::collections::BinaryHeap::with_capacity(n);
-        heap.push(Entry(0.0, source));
-        while let Some(Entry(du, u)) = heap.pop() {
-            if du > d[u] {
-                continue; // stale entry
-            }
-            settled_order.push(u);
-            for &(v, w) in &adjacency[u] {
-                let nd = du + w;
-                if nd < d[v] {
-                    d[v] = nd;
-                    pred[v] = u;
-                    heap.push(Entry(nd, v));
-                }
-            }
-        }
-        // First hops: settled order guarantees pred[j] is resolved before j.
-        dist[(source, source)] = 0.0;
-        for &j in settled_order.iter().skip(1) {
-            dist[(source, j)] = d[j];
-            succ[(source, j)] = if pred[j] == source {
-                Some(NodeId::new(j))
-            } else {
-                succ[(source, pred[j])]
-            };
-        }
-    }
-    ShortestPaths { dist, succ }
+    let mut adjacency = AdjacencyList::new();
+    let mut scratch = DijkstraScratch::new();
+    let mut out = ShortestPaths::empty();
+    dijkstra_all_pairs_into(weights, &mut adjacency, &mut scratch, &mut out, true);
+    out
 }
 
 #[cfg(test)]
@@ -393,11 +681,7 @@ mod tests {
         let dj = dijkstra_all_pairs(&w);
         for i in 0..25 {
             for j in 0..25 {
-                assert_eq!(
-                    fw.dist[(i, j)],
-                    dj.dist[(i, j)],
-                    "distance ({i},{j}) differs"
-                );
+                assert_eq!(fw.dist[(i, j)], dj.dist[(i, j)], "distance ({i},{j}) differs");
             }
         }
         // Paths reconstructed from Dijkstra successors are valid and

@@ -130,12 +130,10 @@ impl Mesh2D {
         let mut g = DiGraph::new(self.node_count());
         for (node, (x, y)) in self.iter_coords() {
             if let Some(right) = self.node_at(x + 1, y) {
-                g.add_edge_bidirectional(node, right, self.pitch)
-                    .expect("mesh edges are valid");
+                g.add_edge_bidirectional(node, right, self.pitch).expect("mesh edges are valid");
             }
             if let Some(down) = self.node_at(x, y + 1) {
-                g.add_edge_bidirectional(node, down, self.pitch)
-                    .expect("mesh edges are valid");
+                g.add_edge_bidirectional(node, down, self.pitch).expect("mesh edges are valid");
             }
         }
         g
@@ -209,8 +207,7 @@ pub fn star(n: usize, pitch: Length) -> DiGraph {
     assert!(n >= 2, "star needs at least 2 nodes, got {n}");
     let mut g = DiGraph::new(n);
     for i in 1..n {
-        g.add_edge_bidirectional(NodeId::new(0), NodeId::new(i), pitch)
-            .expect("valid star edge");
+        g.add_edge_bidirectional(NodeId::new(0), NodeId::new(i), pitch).expect("valid star edge");
     }
     g
 }

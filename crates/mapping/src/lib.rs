@@ -98,10 +98,9 @@ pub enum MappingError {
 impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MappingError::UnsupportedModuleCount { expected, found } => write!(
-                f,
-                "mapping strategy supports {expected}-module applications, got {found}"
-            ),
+            MappingError::UnsupportedModuleCount { expected, found } => {
+                write!(f, "mapping strategy supports {expected}-module applications, got {found}")
+            }
             MappingError::NodeBudgetTooSmall { nodes, modules } => {
                 write!(f, "{nodes} nodes cannot host {modules} modules")
             }

@@ -133,10 +133,7 @@ impl Placement {
     /// Panics if `node` is out of range.
     pub fn reassign(&mut self, node: NodeId, module: ModuleId) -> Result<(), MappingError> {
         if module.index() >= self.module_count() {
-            return Err(MappingError::UnknownModule {
-                module,
-                module_count: self.module_count(),
-            });
+            return Err(MappingError::UnknownModule { module, module_count: self.module_count() });
         }
         let old = self.node_modules[node.index()];
         if old == module {
@@ -156,10 +153,7 @@ impl Placement {
 
     /// Iterates over `(node, module)` pairs in node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, ModuleId)> + '_ {
-        self.node_modules
-            .iter()
-            .enumerate()
-            .map(|(i, &m)| (NodeId::new(i), m))
+        self.node_modules.iter().enumerate().map(|(i, &m)| (NodeId::new(i), m))
     }
 }
 
@@ -220,8 +214,7 @@ mod tests {
 
     #[test]
     fn reassign_keeps_hosts_sorted() {
-        let mut p =
-            Placement::from_assignment(vec![m(0), m(1), m(0), m(1), m(0)], 2).unwrap();
+        let mut p = Placement::from_assignment(vec![m(0), m(1), m(0), m(1), m(0)], 2).unwrap();
         p.reassign(NodeId::new(2), m(1)).unwrap();
         let hosts = p.nodes_of(m(1));
         assert!(hosts.windows(2).all(|w| w[0] < w[1]), "unsorted: {hosts:?}");

@@ -264,9 +264,8 @@ mod tests {
         let placement = strategy.place(&mesh(4), &AppSpec::aes()).unwrap();
         // No module should own a whole contiguous prefix: the first four
         // nodes must not all share a module.
-        let first: Vec<_> = (0..4)
-            .map(|i| placement.module_of(etx_graph::NodeId::new(i)))
-            .collect();
+        let first: Vec<_> =
+            (0..4).map(|i| placement.module_of(etx_graph::NodeId::new(i))).collect();
         assert!(first.windows(2).any(|w| w[0] != w[1]), "prefix {first:?} is clustered");
     }
 
@@ -280,9 +279,7 @@ mod tests {
     #[test]
     fn custom_mapping_validates_length() {
         let app = AppSpec::aes();
-        let err = CustomMapping::new(vec![ModuleId::new(0); 5])
-            .place(&mesh(4), &app)
-            .unwrap_err();
+        let err = CustomMapping::new(vec![ModuleId::new(0); 5]).place(&mesh(4), &app).unwrap_err();
         assert!(matches!(err, MappingError::AssignmentLengthMismatch { nodes: 16, entries: 5 }));
     }
 
@@ -300,10 +297,7 @@ mod tests {
     #[test]
     fn strategy_names() {
         assert_eq!(CheckerboardMapping.name(), "checkerboard");
-        assert_eq!(
-            ProportionalMapping::new(Energy::from_picojoules(1.0)).name(),
-            "proportional"
-        );
+        assert_eq!(ProportionalMapping::new(Energy::from_picojoules(1.0)).name(), "proportional");
     }
 
     proptest! {

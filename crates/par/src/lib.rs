@@ -1,0 +1,136 @@
+//! Deterministic, dependency-free data parallelism on std scoped threads.
+//!
+//! The workspace cannot depend on `rayon` (the build environment is
+//! offline), so this crate provides the two primitives the hot paths
+//! need:
+//!
+//! * [`par_map`] — an order-preserving parallel map: the output vector is
+//!   byte-identical to `items.iter().map(f).collect()`, whatever the
+//!   thread count. Used by the experiment sweeps (`fig7`, `fig8`,
+//!   `table2`, ablations) so parallel runs render exactly the serial
+//!   tables.
+//! * [`chunk_count`] / [`chunk_ranges`] — helpers to split `n` work items
+//!   into contiguous per-thread ranges; used by the all-pairs Dijkstra in
+//!   `etx-graph`, which hands each thread a disjoint block of matrix
+//!   rows.
+//!
+//! Threads are spawned per call (`std::thread::scope`), which costs a few
+//! tens of microseconds — callers gate on work size via `min_per_thread`
+//! and fall back to the serial path for small inputs. The simulator's
+//! steady-state recompute intentionally uses the serial path so that it
+//! performs no heap allocation (see `etx-routing::RoutingScratch`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::num::NonZeroUsize;
+use core::ops::Range;
+
+/// Number of worker threads to use for `n` items when each thread should
+/// get at least `min_per_thread` of them. Returns 1 (serial) when the
+/// machine has a single core or the work is too small to amortize spawns.
+#[must_use]
+pub fn chunk_count(n: usize, min_per_thread: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let by_work = n / min_per_thread.max(1);
+    cores.min(by_work).max(1)
+}
+
+/// Splits `0..n` into `chunks` contiguous, near-equal ranges covering all
+/// of `0..n`. The first `n % chunks` ranges are one longer.
+#[must_use]
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.clamp(1, n.max(1));
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Order-preserving parallel map.
+///
+/// Semantically identical to `items.iter().map(f).collect()`, including
+/// output order; `f` runs concurrently on contiguous chunks when the item
+/// count reaches `min_per_thread` per available core. A panic in `f`
+/// propagates to the caller (scoped threads re-raise on join).
+pub fn par_map<T, U, F>(items: &[T], min_per_thread: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = chunk_count(items.len(), min_per_thread);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut results: Vec<Option<U>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let ranges = chunk_ranges(items.len(), threads);
+    std::thread::scope(|scope| {
+        let mut out_rest: &mut [Option<U>] = &mut results;
+        let mut consumed = 0;
+        for range in ranges {
+            let (out_chunk, rest) = out_rest.split_at_mut(range.len());
+            out_rest = rest;
+            let in_chunk = &items[consumed..consumed + range.len()];
+            consumed += range.len();
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|slot| slot.expect("every chunk fills its slots")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        for n in 0..50 {
+            for chunks in 1..8 {
+                let ranges = chunk_ranges(n, chunks);
+                let mut covered = 0;
+                let mut expected_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start);
+                    expected_start = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, n, "n={n} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        let parallel = par_map(&items, 1, |x| x * 3 + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn small_inputs_stay_serial() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(&items, 1000, |x| x + 1), vec![2, 3, 4]);
+        assert_eq!(chunk_count(3, 1000), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [u32; 0] = [];
+        assert!(par_map(&items, 1, |x| *x).is_empty());
+        assert!(chunk_ranges(0, 4).iter().all(Range::is_empty));
+    }
+}

@@ -11,8 +11,15 @@
 //!    `f(n) = Q^(N_B − 1 − n)`: a full battery costs `Q⁰ = 1` (EAR
 //!    degenerates to SDR), an almost-empty one costs `Q^(N_B−1)`.
 //!    See [`BatteryWeighting`], [`sdr_weights`], [`ear_weights`].
-//! 2. **Phase 2 — all-pairs shortest paths** with successors, via the
-//!    Floyd–Warshall variant in `etx-graph` (the paper's Fig 5).
+//! 2. **Phase 2 — all-pairs shortest paths** with successors, through a
+//!    pluggable backend ([`PathBackend`]): the paper's Floyd–Warshall
+//!    variant (Fig 5, `O(K³)`), an all-sources Dijkstra
+//!    (`O(K·E log K)`, the winner on sparse fabrics past a few dozen
+//!    nodes), or `Auto`, which picks by node count and edge density.
+//!    [`Router::recompute_into`] additionally diffs consecutive
+//!    [`SystemReport`]s and re-runs only sources whose distances can
+//!    have changed, into preallocated [`RoutingScratch`] storage with
+//!    zero steady-state allocation.
 //! 3. **Phase 3 — destination selection.** For every node and every
 //!    module, pick the nearest *live* duplicate of that module (w.r.t. the
 //!    phase-2 distances) while avoiding ports in a deadlock state
@@ -49,12 +56,16 @@
 
 mod report;
 mod router;
+mod scratch;
 mod table;
 mod weighting;
 mod weights;
 
+pub use etx_graph::PathBackend;
 pub use report::SystemReport;
 pub use router::{Algorithm, Router};
+pub use scratch::RoutingScratch;
 pub use table::{RouteEntry, RoutingState};
 pub use weighting::BatteryWeighting;
-pub use weights::{ear_weights, sdr_weights};
+pub(crate) use weights::update_node_weights;
+pub use weights::{ear_weights, ear_weights_into, sdr_weights, sdr_weights_into};

@@ -22,12 +22,33 @@ use etx_graph::NodeId;
 /// assert!(!report.is_alive(2.into()));
 /// assert_eq!(report.battery_level(2.into()), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct SystemReport {
     levels: u32,
     battery: Vec<u32>,
     alive: Vec<bool>,
     deadlocked: Vec<bool>,
+}
+
+impl Clone for SystemReport {
+    fn clone(&self) -> Self {
+        SystemReport {
+            levels: self.levels,
+            battery: self.battery.clone(),
+            alive: self.alive.clone(),
+            deadlocked: self.deadlocked.clone(),
+        }
+    }
+
+    /// Field-wise `clone_from` so recycled report buffers (the simulator
+    /// keeps two and swaps them every TDMA frame) are refilled without
+    /// allocating.
+    fn clone_from(&mut self, source: &Self) {
+        self.levels = source.levels;
+        self.battery.clone_from(&source.battery);
+        self.alive.clone_from(&source.alive);
+        self.deadlocked.clone_from(&source.deadlocked);
+    }
 }
 
 impl SystemReport {
@@ -46,6 +67,25 @@ impl SystemReport {
             alive: vec![true; nodes],
             deadlocked: vec![false; nodes],
         }
+    }
+
+    /// Resets this report to the fresh state of [`SystemReport::fresh`]
+    /// for `nodes` nodes, reusing the existing allocations — the
+    /// simulator rebuilds its report every TDMA frame through this, so
+    /// steady-state frames allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn reset_fresh(&mut self, nodes: usize, levels: u32) {
+        assert!(levels > 0, "battery quantization needs at least one level");
+        self.levels = levels;
+        self.battery.clear();
+        self.battery.resize(nodes, levels - 1);
+        self.alive.clear();
+        self.alive.resize(nodes, true);
+        self.deadlocked.clear();
+        self.deadlocked.resize(nodes, false);
     }
 
     /// Number of nodes covered.
@@ -122,10 +162,7 @@ impl SystemReport {
 
     /// Iterates over all live nodes.
     pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.alive
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| a.then_some(NodeId::new(i)))
+        self.alive.iter().enumerate().filter_map(|(i, &a)| a.then_some(NodeId::new(i)))
     }
 
     /// Number of live nodes.

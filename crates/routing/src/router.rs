@@ -2,9 +2,19 @@
 
 use core::fmt;
 
-use etx_graph::{floyd_warshall, DiGraph, NodeId};
+use etx_graph::{dijkstra_source_into, DiGraph, NodeId, PathBackend, ResolvedBackend};
 
-use crate::{ear_weights, sdr_weights, BatteryWeighting, RoutingState, SystemReport};
+use crate::scratch::WeightsKey;
+use crate::table::PathPolicy;
+use crate::{
+    ear_weights_into, sdr_weights_into, update_node_weights, BatteryWeighting, RoutingScratch,
+    RoutingState, SystemReport,
+};
+
+/// Delta gate: fall back to a full recompute once more than this fraction
+/// of the nodes is dirty (the incremental bookkeeping stops paying for
+/// itself when most sources get re-run anyway).
+const DELTA_MAX_DIRTY_FRACTION: f64 = 0.25;
 
 /// Which routing algorithm the central controller runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,20 +66,30 @@ impl fmt::Display for Algorithm {
 pub struct Router {
     algorithm: Algorithm,
     weighting: BatteryWeighting,
+    backend: PathBackend,
 }
 
 impl Router {
     /// Creates a router with the default battery weighting
-    /// (`N_B = 16`, `Q = 2`; irrelevant for SDR).
+    /// (`N_B = 16`, `Q = 2`; irrelevant for SDR) and the
+    /// [`PathBackend::Auto`] phase-2 backend.
     #[must_use]
     pub fn new(algorithm: Algorithm) -> Self {
-        Router { algorithm, weighting: BatteryWeighting::default() }
+        Router { algorithm, weighting: BatteryWeighting::default(), backend: PathBackend::Auto }
     }
 
     /// Creates a router with an explicit EAR weighting function.
     #[must_use]
     pub fn with_weighting(algorithm: Algorithm, weighting: BatteryWeighting) -> Self {
-        Router { algorithm, weighting }
+        Router { algorithm, weighting, backend: PathBackend::Auto }
+    }
+
+    /// Selects the phase-2 all-pairs backend (default
+    /// [`PathBackend::Auto`]; see its docs for the crossover heuristic).
+    #[must_use]
+    pub fn with_backend(mut self, backend: PathBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The algorithm this router runs.
@@ -84,6 +104,12 @@ impl Router {
         &self.weighting
     }
 
+    /// The configured phase-2 backend.
+    #[must_use]
+    pub fn backend(&self) -> PathBackend {
+        self.backend
+    }
+
     /// Runs phases 1–3 and returns the complete routing state.
     ///
     /// `module_nodes[i]` is the paper's `S_i`: the set of nodes hosting
@@ -91,7 +117,10 @@ impl Router {
     /// avoidance of phase 3; pass the routing state of the previous
     /// controller invocation (or `None` on the first run).
     ///
-    /// Complexity is dominated by phase 2's `O(K³)`, matching the paper.
+    /// This is a thin allocating wrapper over [`Router::compute_into`]
+    /// with a fresh [`RoutingScratch`] (parallel phase 2 enabled).
+    /// Complexity is dominated by phase 2: `O(K³)` under Floyd–Warshall —
+    /// matching the paper — or `O(K·E log K)` under Dijkstra.
     ///
     /// # Panics
     ///
@@ -104,12 +133,247 @@ impl Router {
         report: &SystemReport,
         previous: Option<&RoutingState>,
     ) -> RoutingState {
-        let weights = match self.algorithm {
-            Algorithm::Sdr => sdr_weights(graph, report),
-            Algorithm::Ear => ear_weights(graph, report, &self.weighting),
+        let mut scratch = RoutingScratch::new().with_parallel(true);
+        let mut out = RoutingState::empty();
+        self.compute_into(graph, module_nodes, report, previous, &mut scratch, &mut out);
+        out
+    }
+
+    /// Runs phases 1–3 **into** preallocated storage: once `scratch` and
+    /// `out` have seen the current dimensions, the call performs no heap
+    /// allocation (with `scratch`'s serial default; see
+    /// [`RoutingScratch::with_parallel`]).
+    ///
+    /// Always performs a *full* phase-2 recompute; the simulation engine
+    /// uses [`Router::recompute_into`], which additionally skips
+    /// unaffected work by diffing consecutive reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `report` covers a different node count than `graph`.
+    pub fn compute_into(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        previous: Option<&RoutingState>,
+        scratch: &mut RoutingScratch,
+        out: &mut RoutingState,
+    ) {
+        match previous {
+            Some(prev)
+                if prev.module_count() == module_nodes.len()
+                    && prev.node_count() == graph.node_count() =>
+            {
+                prev.next_hop_snapshot_into(&mut scratch.prev_hops);
+            }
+            _ => scratch.prev_hops.clear(),
+        }
+        let key = WeightsKey::new(self.algorithm, &self.weighting, graph);
+        self.full_recompute(graph, module_nodes, report, key, scratch, out);
+    }
+
+    /// Delta-aware recompute: `out` must hold the state this router
+    /// produced for (`graph`, `old_report`), and `scratch` must be the
+    /// workspace that produced it. Diffs the two reports to find nodes
+    /// whose battery bucket or liveness changed, and — when the resolved
+    /// backend is Dijkstra and the dirty set is small — re-runs
+    /// single-source Dijkstra only from sources whose out-distances can
+    /// change, falling back to a full recompute otherwise. The result is
+    /// identical to [`Router::compute_into`] over `new_report` with
+    /// `previous = out` (property-tested).
+    ///
+    /// Phase 3 (deadlock avoidance reads `out`'s table as "previous") and
+    /// the report-difference bookkeeping are always refreshed; like
+    /// `compute_into`, the steady state performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reports cover a different node count than `graph`.
+    pub fn recompute_into(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        old_report: &SystemReport,
+        new_report: &SystemReport,
+        scratch: &mut RoutingScratch,
+        out: &mut RoutingState,
+    ) {
+        if out.module_count() == module_nodes.len() && out.node_count() == graph.node_count() {
+            out.next_hop_snapshot_into(&mut scratch.prev_hops);
+        } else {
+            scratch.prev_hops.clear();
+        }
+        // One fingerprint per frame: the delta gate compares it, the
+        // full fallback stores it.
+        let key = WeightsKey::new(self.algorithm, &self.weighting, graph);
+        if !self.try_delta_recompute(graph, module_nodes, old_report, new_report, key, scratch, out)
+        {
+            self.full_recompute(graph, module_nodes, new_report, key, scratch, out);
+        }
+    }
+
+    /// `true` if `node`'s phase-1-relevant state differs between reports:
+    /// liveness always matters; the quantized battery bucket only feeds
+    /// EAR weights.
+    fn node_is_dirty(&self, old: &SystemReport, new: &SystemReport, node: NodeId) -> bool {
+        if old.is_alive(node) != new.is_alive(node) {
+            return true;
+        }
+        self.algorithm == Algorithm::Ear && old.battery_level(node) != new.battery_level(node)
+    }
+
+    /// The delta path; returns `false` when the gate conditions fail and
+    /// a full recompute is required. Expects `scratch.prev_hops` to be
+    /// snapshotted already.
+    #[allow(clippy::too_many_arguments)]
+    fn try_delta_recompute(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        old_report: &SystemReport,
+        new_report: &SystemReport,
+        key: WeightsKey,
+        scratch: &mut RoutingScratch,
+        out: &mut RoutingState,
+    ) -> bool {
+        let n = graph.node_count();
+        // Gate: the cached weights/adjacency/paths must all describe the
+        // previous call of this very configuration, and the previous
+        // phase 2 must have used the Dijkstra successor policy (kept rows
+        // must be bit-identical to what a fresh run would produce).
+        if scratch.key != Some(key)
+            || out.policy != PathPolicy::Dijkstra
+            || self.backend.resolve(n, graph.edge_count()) != ResolvedBackend::DijkstraAllPairs
+            || old_report.node_count() != n
+            || new_report.node_count() != n
+        {
+            return false;
+        }
+
+        // Both vectors hold at most one entry per node; reserving the
+        // bound up front keeps later frames free of mid-flight growth.
+        scratch.dirty.clear();
+        scratch.dirty.reserve(n);
+        scratch.queue.reserve(n);
+        for i in 0..n {
+            if self.node_is_dirty(old_report, new_report, NodeId::new(i)) {
+                scratch.dirty.push(i);
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        if scratch.dirty.len() as f64 > DELTA_MAX_DIRTY_FRACTION * n as f64 {
+            return false;
+        }
+
+        if !scratch.dirty.is_empty() {
+            // Affected sources: everything that reaches a dirty node in
+            // the *union* of the old and new graphs. A source that cannot
+            // reach any dirty node (old or new) never routes over a
+            // changed edge, so its rows are unchanged; everything else is
+            // recomputed from scratch by single-source Dijkstra.
+            scratch.affected.clear();
+            scratch.affected.resize(n, false);
+            scratch.queue.clear();
+            for &d in &scratch.dirty {
+                scratch.affected[d] = true;
+                scratch.queue.push(d);
+            }
+            while let Some(v) = scratch.queue.pop() {
+                let v_node = NodeId::new(v);
+                let v_alive_new = new_report.is_alive(v_node);
+                for u in 0..n {
+                    if u == v || scratch.affected[u] {
+                        continue;
+                    }
+                    let u_node = NodeId::new(u);
+                    // Old edge u→v: finite off-diagonal weight in the
+                    // cached (previous) matrix.
+                    let old_edge = scratch.weights[(u, v)].is_finite();
+                    // New edge u→v: physical link with both ends alive.
+                    let new_edge = v_alive_new
+                        && new_report.is_alive(u_node)
+                        && graph.has_edge(u_node, v_node);
+                    if old_edge || new_edge {
+                        scratch.affected[u] = true;
+                        scratch.queue.push(u);
+                    }
+                }
+            }
+
+            // Phase 1 delta: refresh the weight rows/columns of dirty
+            // nodes and mirror them into the adjacency lists.
+            for &d in &scratch.dirty {
+                update_node_weights(
+                    graph,
+                    new_report,
+                    (self.algorithm == Algorithm::Ear).then_some(&self.weighting),
+                    NodeId::new(d),
+                    &mut scratch.weights,
+                );
+                scratch.adjacency.sync_node(d, &scratch.weights);
+            }
+
+            // Phase 2 delta: re-run the affected sources only.
+            let paths = out.paths_mut();
+            for s in 0..n {
+                if !scratch.affected[s] {
+                    continue;
+                }
+                let source = NodeId::new(s);
+                let (dist_row, succ_row) = paths.source_rows_mut(source);
+                dijkstra_source_into(
+                    &scratch.adjacency,
+                    source,
+                    &mut scratch.dijkstra,
+                    dist_row,
+                    succ_row,
+                );
+            }
+        }
+
+        // Phase 3 always refreshes (deadlock flags and module placement
+        // are not part of the dirty predicate).
+        let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
+        out.rebuild_table(&scratch.weights, module_nodes, new_report, prev);
+        scratch.delta_recomputes += 1;
+        true
+    }
+
+    /// Full phases 1–3 into `out`, refreshing the scratch caches.
+    /// Expects `scratch.prev_hops` to be snapshotted already.
+    fn full_recompute(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        key: WeightsKey,
+        scratch: &mut RoutingScratch,
+        out: &mut RoutingState,
+    ) {
+        let n = graph.node_count();
+        match self.algorithm {
+            Algorithm::Sdr => sdr_weights_into(graph, report, &mut scratch.weights),
+            Algorithm::Ear => {
+                ear_weights_into(graph, report, &self.weighting, &mut scratch.weights);
+            }
+        }
+        let resolved = self.backend.resolve(n, graph.edge_count());
+        resolved.compute_into(
+            &scratch.weights,
+            &mut scratch.adjacency,
+            &mut scratch.dijkstra,
+            out.paths_mut(),
+            scratch.parallel,
+        );
+        out.policy = match resolved {
+            ResolvedBackend::FloydWarshall => PathPolicy::FloydWarshall,
+            ResolvedBackend::DijkstraAllPairs => PathPolicy::Dijkstra,
         };
-        let paths = floyd_warshall(&weights);
-        RoutingState::build(paths, &weights, module_nodes, report, previous)
+        scratch.key = Some(key);
+        let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
+        out.rebuild_table(&scratch.weights, module_nodes, report, prev);
+        scratch.full_recomputes += 1;
     }
 }
 

@@ -1,0 +1,117 @@
+//! The [`RoutingScratch`] reusable workspace for zero-allocation routing
+//! recomputes.
+
+use etx_graph::{AdjacencyList, DijkstraScratch, Matrix, NodeId};
+
+use crate::{Algorithm, BatteryWeighting};
+
+/// Identifies the inputs the scratch's cached weight matrix was built
+/// from; the delta-aware recompute only engages when the fingerprint of
+/// the current call matches the previous one.
+///
+/// The graph is identified by [`DiGraph::version_stamp`] — an `O(1)`
+/// identity refreshed (globally uniquely) on every mutation — so
+/// swapping in a different graph, or mutating the same graph in place
+/// (even in ways that keep node/edge counts identical), can never
+/// silently reuse stale cached weights.
+///
+/// [`DiGraph::version_stamp`]: etx_graph::DiGraph::version_stamp
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct WeightsKey {
+    pub algorithm: Algorithm,
+    pub levels: u32,
+    pub q_bits: u64,
+    pub nodes: usize,
+    pub graph_stamp: u64,
+}
+
+impl WeightsKey {
+    pub(crate) fn new(
+        algorithm: Algorithm,
+        weighting: &BatteryWeighting,
+        graph: &etx_graph::DiGraph,
+    ) -> Self {
+        WeightsKey {
+            algorithm,
+            levels: weighting.levels(),
+            q_bits: weighting.q().to_bits(),
+            nodes: graph.node_count(),
+            graph_stamp: graph.version_stamp(),
+        }
+    }
+}
+
+/// Preallocated working memory for `Router::compute_into` /
+/// `Router::recompute_into`.
+///
+/// Holds everything a recompute needs between TDMA frames: the phase-1
+/// weight matrix, the sparse adjacency lists and Dijkstra workspace of
+/// phase 2, and the previous-table snapshot phase 3's deadlock avoidance
+/// reads. All buffers retain capacity across calls, so once the scratch
+/// has seen the system's dimensions, recomputes perform **no heap
+/// allocation** (verified by the `zero_alloc` integration test).
+///
+/// A scratch may be reused across different graphs/routers — it resizes
+/// as needed — but the cached state that powers the delta path is keyed
+/// to the previous call's inputs, so mixing callers simply falls back to
+/// full recomputes.
+#[derive(Debug, Default)]
+pub struct RoutingScratch {
+    /// Phase-1 weight matrix of the *previous* call (input to the union
+    /// reachability scan), updated in place to the current weights.
+    pub(crate) weights: Matrix<f64>,
+    /// Sparse adjacency mirroring `weights`, kept in sync incrementally.
+    pub(crate) adjacency: AdjacencyList,
+    /// Per-source Dijkstra working memory.
+    pub(crate) dijkstra: DijkstraScratch,
+    /// Snapshot of the previous table's first hops (deadlock avoidance).
+    pub(crate) prev_hops: Vec<Option<NodeId>>,
+    /// Nodes whose battery bucket or liveness changed this frame.
+    pub(crate) dirty: Vec<usize>,
+    /// Sources whose all-pairs rows may change (and BFS visited marks).
+    pub(crate) affected: Vec<bool>,
+    /// Work stack of the reverse union-reachability scan.
+    pub(crate) queue: Vec<usize>,
+    /// What the cached `weights`/`adjacency` were built from.
+    pub(crate) key: Option<WeightsKey>,
+    /// Let the full Dijkstra backend fan sources out over threads.
+    /// Defaults to `false`: thread spawning allocates, and the steady
+    /// state of the simulator must not.
+    pub(crate) parallel: bool,
+    /// How many recomputes took the delta path.
+    pub(crate) delta_recomputes: u64,
+    /// How many recomputes ran a full phase 2.
+    pub(crate) full_recomputes: u64,
+}
+
+impl RoutingScratch {
+    /// An empty scratch; buffers grow on first use and are retained.
+    #[must_use]
+    pub fn new() -> Self {
+        RoutingScratch::default()
+    }
+
+    /// Enables the scoped-thread fan-out for *full* Dijkstra recomputes.
+    ///
+    /// Spawning threads allocates, so leave this off (the default) on
+    /// paths that rely on the zero-allocation guarantee; the delta path
+    /// is always serial.
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// How many recomputes through this scratch took the delta path
+    /// (phase 2 restricted to affected sources, or skipped entirely).
+    #[must_use]
+    pub fn delta_recomputes(&self) -> u64 {
+        self.delta_recomputes
+    }
+
+    /// How many recomputes through this scratch ran a full phase 2.
+    #[must_use]
+    pub fn full_recomputes(&self) -> u64 {
+        self.full_recomputes
+    }
+}

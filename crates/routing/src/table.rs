@@ -19,17 +19,50 @@ pub struct RouteEntry {
     pub distance: f64,
 }
 
+/// Which phase-2 algorithm (and successor tie-breaking policy) filled the
+/// current [`ShortestPaths`] of a [`RoutingState`].
+///
+/// The delta-aware recompute keeps untouched all-pairs rows as-is and
+/// recomputes only affected sources with single-source Dijkstra; that is
+/// only sound when every existing row was produced by the same
+/// deterministic Dijkstra policy, which this marker tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PathPolicy {
+    /// Provenance unknown (state assembled outside the router).
+    Unknown,
+    /// Rows produced by Floyd–Warshall tie-breaking.
+    FloydWarshall,
+    /// Rows produced by the deterministic Dijkstra policy.
+    Dijkstra,
+}
+
 /// The complete routing state computed by one controller invocation:
 /// the phase-2 all-pairs data plus the phase-3 per-(node, module) table.
 ///
 /// Relay nodes forward by destination using [`RoutingState::next_hop`];
 /// origin nodes consult [`RoutingState::route`] to pick the destination
 /// duplicate for their job's next operation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The table is stored flat (`node * module_count + module`), so a
+/// recompute into an existing state touches one contiguous buffer and
+/// performs no allocation in steady state.
+#[derive(Debug, Clone)]
 pub struct RoutingState {
     paths: ShortestPaths,
-    /// `table[node][module]`.
-    table: Vec<Vec<Option<RouteEntry>>>,
+    /// Flat `[node × module]` table, row-major by node.
+    table: Vec<Option<RouteEntry>>,
+    modules: usize,
+    pub(crate) policy: PathPolicy,
+}
+
+/// Equality compares the routing *data* (phase-2 paths and phase-3
+/// table) only; the internal backend-provenance marker is excluded, so
+/// identically-routed states built through different entry points
+/// compare equal.
+impl PartialEq for RoutingState {
+    fn eq(&self, other: &Self) -> bool {
+        self.paths == other.paths && self.table == other.table && self.modules == other.modules
+    }
 }
 
 impl RoutingState {
@@ -49,6 +82,10 @@ impl RoutingState {
     /// Unreachable or extinct modules yield `None` entries (the system is
     /// about to be declared dead by the caller).
     ///
+    /// A `previous` state whose node or module count does not match the
+    /// current inputs is ignored (as if `None` were passed): its table
+    /// has no meaningful blocked-port entries for this system shape.
+    ///
     /// # Panics
     ///
     /// Panics if the report or weight matrix cover a different number of
@@ -61,7 +98,73 @@ impl RoutingState {
         report: &SystemReport,
         previous: Option<&RoutingState>,
     ) -> Self {
-        let n = paths.node_count();
+        let mut state = RoutingState {
+            paths,
+            table: Vec::new(),
+            modules: module_nodes.len(),
+            policy: PathPolicy::Unknown,
+        };
+        // Snapshot the previous first hops (only deadlocked nodes need
+        // them; copying the full table keeps the loop branch-free).
+        let prev_hops: Option<Vec<Option<NodeId>>> = previous
+            .filter(|p| {
+                p.module_count() == module_nodes.len() && p.node_count() == state.paths.node_count()
+            })
+            .map(RoutingState::next_hop_snapshot);
+        state.rebuild_table(weights, module_nodes, report, prev_hops.as_deref());
+        state
+    }
+
+    /// An empty state for preallocated workspaces; fill it through
+    /// `Router::compute_into` before use.
+    #[must_use]
+    pub fn empty() -> Self {
+        RoutingState {
+            paths: ShortestPaths::empty(),
+            table: Vec::new(),
+            modules: 0,
+            policy: PathPolicy::Unknown,
+        }
+    }
+
+    /// Flat copy of every entry's first hop, indexed `node * modules +
+    /// module` — the part of a previous table the deadlock-avoidance scan
+    /// needs.
+    pub(crate) fn next_hop_snapshot(&self) -> Vec<Option<NodeId>> {
+        self.table.iter().map(|e| e.as_ref().map(|e| e.next_hop)).collect()
+    }
+
+    /// Writes the flat next-hop snapshot into `out` (reusing capacity).
+    pub(crate) fn next_hop_snapshot_into(&self, out: &mut Vec<Option<NodeId>>) {
+        out.clear();
+        out.extend(self.table.iter().map(|e| e.as_ref().map(|e| e.next_hop)));
+    }
+
+    /// Mutable access to the phase-2 data for in-place backends.
+    pub(crate) fn paths_mut(&mut self) -> &mut ShortestPaths {
+        &mut self.paths
+    }
+
+    /// Rebuilds the phase-3 table in place from the current phase-2 data
+    /// (the paper's Fig 6), reusing the table buffer: no allocation once
+    /// the `(node, module)` dimensions have been seen.
+    ///
+    /// `prev_hops` is a [`RoutingState::next_hop_snapshot`] of the
+    /// previous controller invocation (deadlock-port avoidance); its
+    /// length must be `n * module_nodes.len()` if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report or weight matrix cover a different number of
+    /// nodes than the phase-2 result.
+    pub(crate) fn rebuild_table(
+        &mut self,
+        weights: &Matrix<f64>,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        prev_hops: Option<&[Option<NodeId>]>,
+    ) {
+        let n = self.paths.node_count();
         assert_eq!(
             n,
             report.node_count(),
@@ -69,7 +172,14 @@ impl RoutingState {
             report.node_count()
         );
         assert_eq!(weights.rows(), n, "weight matrix does not match phase 2");
-        let mut table = vec![vec![None; module_nodes.len()]; n];
+        let m = module_nodes.len();
+        if let Some(prev) = prev_hops {
+            assert_eq!(prev.len(), n * m, "previous-hop snapshot dimensions mismatch");
+        }
+        self.modules = m;
+        self.table.clear();
+        self.table.resize(n * m, None);
+        let paths = &self.paths;
         for node_idx in 0..n {
             let node = NodeId::new(node_idx);
             if !report.is_alive(node) {
@@ -79,7 +189,7 @@ impl RoutingState {
                 // A deadlocked node must be steered off the port its
                 // previous table used for this module.
                 let blocked_port = if report.is_deadlocked(node) {
-                    previous.and_then(|p| p.route(node, module)).map(|e| e.next_hop)
+                    prev_hops.and_then(|prev| prev[node_idx * m + module])
                 } else {
                     None
                 };
@@ -150,22 +260,21 @@ impl RoutingState {
                         }
                     }
                 }
-                table[node_idx][module] = best;
+                self.table[node_idx * m + module] = best;
             }
         }
-        RoutingState { paths, table }
     }
 
     /// Number of nodes covered.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.table.len()
+        self.paths.node_count()
     }
 
     /// Number of modules covered.
     #[must_use]
     pub fn module_count(&self) -> usize {
-        self.table.first().map_or(0, Vec::len)
+        self.modules
     }
 
     /// The routing-table entry for packets originating at `node` whose
@@ -173,7 +282,10 @@ impl RoutingState {
     /// reachable (or `node`/`module` is unknown).
     #[must_use]
     pub fn route(&self, node: NodeId, module: usize) -> Option<&RouteEntry> {
-        self.table.get(node.index())?.get(module)?.as_ref()
+        if module >= self.modules {
+            return None;
+        }
+        self.table.get(node.index() * self.modules + module)?.as_ref()
     }
 
     /// The relay decision: the next hop out of `from` toward destination
@@ -299,8 +411,7 @@ mod tests {
         let mut stuck = report.clone();
         stuck.set_deadlocked(NodeId::new(0), true);
         let w = ear_weights(&g, &stuck, &BatteryWeighting::default());
-        let second =
-            RoutingState::build(floyd_warshall(&w), &w, &modules, &stuck, Some(&first));
+        let second = RoutingState::build(floyd_warshall(&w), &w, &modules, &stuck, Some(&first));
         assert_eq!(second.route(NodeId::new(0), 0).unwrap().next_hop, NodeId::new(2));
         // Other nodes are unaffected.
         assert_eq!(second.route(NodeId::new(1), 0).unwrap().next_hop, NodeId::new(3));

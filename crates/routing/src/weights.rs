@@ -1,8 +1,83 @@
 //! Phase 1: edge-weight matrix construction for SDR and EAR.
 
-use etx_graph::{DiGraph, Matrix, INFINITE_DISTANCE};
+use etx_graph::{DiGraph, Matrix, NodeId, INFINITE_DISTANCE};
 
 use crate::{BatteryWeighting, SystemReport};
+
+/// The phase-1 weight of one directed edge under either algorithm:
+/// `weighting = None` is SDR (plain length), `Some` is EAR (length scaled
+/// by the receiver's battery weight). Edges touching dead nodes are
+/// unusable under both.
+#[inline]
+fn edge_weight(
+    report: &SystemReport,
+    weighting: Option<&BatteryWeighting>,
+    from: NodeId,
+    to: NodeId,
+    length_cm: f64,
+) -> f64 {
+    if !report.is_alive(from) || !report.is_alive(to) {
+        return INFINITE_DISTANCE;
+    }
+    match weighting {
+        None => length_cm,
+        Some(w) => w.weight(report.battery_level(to)) * length_cm,
+    }
+}
+
+fn weights_into(
+    graph: &DiGraph,
+    report: &SystemReport,
+    weighting: Option<&BatteryWeighting>,
+    out: &mut Matrix<f64>,
+) {
+    let n = graph.node_count();
+    assert_eq!(
+        n,
+        report.node_count(),
+        "report covers {} nodes but the graph has {n}",
+        report.node_count()
+    );
+    out.reset(n, n, INFINITE_DISTANCE);
+    for i in 0..n {
+        out[(i, i)] = 0.0;
+    }
+    for edge in graph.edges() {
+        out[(edge.from, edge.to)] =
+            edge_weight(report, weighting, edge.from, edge.to, edge.length.centimetres());
+    }
+}
+
+/// Refreshes row and column `node` of a weight matrix previously built by
+/// [`sdr_weights_into`]/[`ear_weights_into`] (`weighting` must match the
+/// original call). After refreshing every node whose battery bucket or
+/// liveness changed, the matrix equals a full rebuild against the new
+/// report — at `O(K)` per changed node instead of `O(K²)`. This is the
+/// phase-1 half of the delta-aware recompute.
+pub(crate) fn update_node_weights(
+    graph: &DiGraph,
+    report: &SystemReport,
+    weighting: Option<&BatteryWeighting>,
+    node: NodeId,
+    out: &mut Matrix<f64>,
+) {
+    let n = graph.node_count();
+    debug_assert_eq!(out.rows(), n, "weight matrix does not match the graph");
+    for other_idx in 0..n {
+        let other = NodeId::new(other_idx);
+        if other == node {
+            continue;
+        }
+        out[(other, node)] = match graph.edge_length(other, node) {
+            Some(len) => edge_weight(report, weighting, other, node, len.centimetres()),
+            None => INFINITE_DISTANCE,
+        };
+        out[(node, other)] = match graph.edge_length(node, other) {
+            Some(len) => edge_weight(report, weighting, node, other, len.centimetres()),
+            None => INFINITE_DISTANCE,
+        };
+    }
+}
 
 /// Builds the SDR weight matrix: `W(i,j) = L(i,j)` for existing edges.
 ///
@@ -16,16 +91,19 @@ use crate::{BatteryWeighting, SystemReport};
 /// Panics if the report covers a different number of nodes than the graph.
 #[must_use]
 pub fn sdr_weights(graph: &DiGraph, report: &SystemReport) -> Matrix<f64> {
-    assert_eq!(
-        graph.node_count(),
-        report.node_count(),
-        "report covers {} nodes but the graph has {}",
-        report.node_count(),
-        graph.node_count()
-    );
-    let mut w = graph.weight_matrix(|e| e.length.centimetres());
-    mask_dead(&mut w, report);
+    let mut w = Matrix::filled(0, 0, 0.0);
+    sdr_weights_into(graph, report, &mut w);
     w
+}
+
+/// [`sdr_weights`] into a preallocated matrix: no heap allocation once
+/// `out` has seen the current node count.
+///
+/// # Panics
+///
+/// Panics if the report covers a different number of nodes than the graph.
+pub fn sdr_weights_into(graph: &DiGraph, report: &SystemReport, out: &mut Matrix<f64>) {
+    weights_into(graph, report, None, out);
 }
 
 /// Builds the EAR weight matrix: `W(i,j) = f(N_B(j)) · L(i,j)`, where
@@ -45,35 +123,24 @@ pub fn ear_weights(
     report: &SystemReport,
     weighting: &BatteryWeighting,
 ) -> Matrix<f64> {
-    assert_eq!(
-        graph.node_count(),
-        report.node_count(),
-        "report covers {} nodes but the graph has {}",
-        report.node_count(),
-        graph.node_count()
-    );
-    let mut w = graph.weight_matrix(|e| {
-        let level = report.battery_level(e.to);
-        weighting.weight(level) * e.length.centimetres()
-    });
-    mask_dead(&mut w, report);
+    let mut w = Matrix::filled(0, 0, 0.0);
+    ear_weights_into(graph, report, weighting, &mut w);
     w
 }
 
-/// Makes every edge into or out of a dead node unusable.
-fn mask_dead(w: &mut Matrix<f64>, report: &SystemReport) {
-    let n = w.rows();
-    for i in 0..n {
-        if report.is_alive(etx_graph::NodeId::new(i)) {
-            continue;
-        }
-        for j in 0..n {
-            if i != j {
-                w[(i, j)] = INFINITE_DISTANCE;
-                w[(j, i)] = INFINITE_DISTANCE;
-            }
-        }
-    }
+/// [`ear_weights`] into a preallocated matrix: no heap allocation once
+/// `out` has seen the current node count.
+///
+/// # Panics
+///
+/// Panics if the report covers a different number of nodes than the graph.
+pub fn ear_weights_into(
+    graph: &DiGraph,
+    report: &SystemReport,
+    weighting: &BatteryWeighting,
+    out: &mut Matrix<f64>,
+) {
+    weights_into(graph, report, Some(weighting), out);
 }
 
 #[cfg(test)]
@@ -156,10 +223,7 @@ mod tests {
         let g = topology::line(3, cm(1.0));
         let mut r = SystemReport::fresh(3, 16);
         r.set_dead(NodeId::new(1));
-        for w in [
-            sdr_weights(&g, &r),
-            ear_weights(&g, &r, &BatteryWeighting::default()),
-        ] {
+        for w in [sdr_weights(&g, &r), ear_weights(&g, &r, &BatteryWeighting::default())] {
             let paths = floyd_warshall(&w);
             assert!(!paths.is_reachable(NodeId::new(0), NodeId::new(2)));
             assert!(!paths.is_reachable(NodeId::new(0), NodeId::new(1)));

@@ -1,0 +1,256 @@
+//! Property tests for the routing kernel's fast paths: scratch reuse,
+//! delta-aware recompute, and backend equivalence.
+
+use etx_graph::{topology::Mesh2D, NodeId, PathBackend};
+use etx_routing::{Algorithm, Router, RoutingScratch, RoutingState, SystemReport};
+use etx_units::Length;
+use proptest::prelude::*;
+
+fn mesh_graph(side: usize) -> etx_graph::DiGraph {
+    Mesh2D::square(side, Length::from_centimetres(2.05)).to_graph()
+}
+
+/// Three modules striped over `k` nodes.
+fn module_stripes(k: usize) -> Vec<Vec<NodeId>> {
+    (0..3).map(|m| (m..k).step_by(3).map(NodeId::new).collect()).collect()
+}
+
+fn report_from(levels: &[u32], dead: &[bool], deadlocked: &[bool], k: usize) -> SystemReport {
+    let mut report = SystemReport::fresh(k, 16);
+    for i in 0..k {
+        let node = NodeId::new(i);
+        report.set_battery_level(node, levels[i % levels.len()]);
+        report.set_deadlocked(node, deadlocked[i % deadlocked.len()]);
+        if dead[i % dead.len()] {
+            report.set_dead(node);
+        }
+    }
+    report
+}
+
+/// One random mutation step applied to a report: drains, deaths, and
+/// deadlock toggles. (`SystemReport` cannot revive a node in place;
+/// dead→alive transitions are covered separately by
+/// `delta_recompute_equals_full_across_independent_reports`, which feeds
+/// unrelated reports into `recompute_into`.)
+fn apply_diff(report: &mut SystemReport, ops: &[(u8, usize, u32)]) {
+    let k = report.node_count();
+    for &(kind, node, value) in ops {
+        let node = NodeId::new(node % k);
+        match kind % 4 {
+            0 => report.set_battery_level(node, value % 16),
+            1 => report.set_dead(node),
+            2 if report.is_alive(node) => report.set_deadlocked(node, value % 2 == 0),
+            _ => {} // no-op step: recompute with an unchanged report
+        }
+    }
+}
+
+/// Regression: a different graph with identical node/edge *counts* (only
+/// edge lengths differ) must not let the delta path reuse stale cached
+/// weights — the scratch fingerprints the full edge list.
+#[test]
+fn swapping_same_shape_graph_invalidates_scratch_cache() {
+    let router = Router::new(Algorithm::Ear).with_backend(PathBackend::DijkstraAllPairs);
+    let graph_a = Mesh2D::square(4, Length::from_centimetres(2.0)).to_graph();
+    let graph_b = Mesh2D::square(4, Length::from_centimetres(3.0)).to_graph();
+    let k = graph_a.node_count();
+    let modules = module_stripes(k);
+    let report = SystemReport::fresh(k, 16);
+
+    let mut scratch = RoutingScratch::new();
+    let mut state = RoutingState::empty();
+    router.compute_into(&graph_a, &modules, &report, None, &mut scratch, &mut state);
+
+    // Same report (empty diff), different graph of identical shape: a
+    // count-only fingerprint would skip phase 2 and keep graph A's
+    // distances.
+    router.recompute_into(&graph_b, &modules, &report, &report, &mut scratch, &mut state);
+    let reference = router.compute(&graph_b, &modules, &report, None);
+    assert_eq!(state.paths().distances(), reference.paths().distances());
+    assert_eq!(scratch.delta_recomputes(), 0, "delta must not engage across graphs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `compute_into` with one long-lived scratch/state pair — resized
+    /// across differing mesh sizes, both algorithms and all backends —
+    /// always equals a fresh `compute`.
+    #[test]
+    fn compute_into_with_reused_scratch_equals_fresh_compute(
+        sides in proptest::collection::vec(2usize..9, 1..5),
+        algorithm in prop_oneof![Just(Algorithm::Ear), Just(Algorithm::Sdr)],
+        backend in prop_oneof![
+            Just(PathBackend::FloydWarshall),
+            Just(PathBackend::DijkstraAllPairs),
+            Just(PathBackend::Auto),
+        ],
+        levels in proptest::collection::vec(0u32..16, 8),
+        dead in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let router = Router::new(algorithm).with_backend(backend);
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        for &side in &sides {
+            let graph = mesh_graph(side);
+            let k = graph.node_count();
+            let modules = module_stripes(k);
+            let report = report_from(&levels, &dead, &[false], k);
+            router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+            let fresh = router.compute(&graph, &modules, &report, None);
+            prop_assert_eq!(&state, &fresh, "side {} backend {:?}", side, backend);
+        }
+    }
+
+    /// Delta-aware recompute over a whole chain of random report diffs
+    /// stays exactly equal (distances, successors, and tables) to a full
+    /// recompute at every step.
+    #[test]
+    fn delta_recompute_equals_full_recompute(
+        side in 2usize..8,
+        algorithm in prop_oneof![Just(Algorithm::Ear), Just(Algorithm::Sdr)],
+        levels in proptest::collection::vec(0u32..16, 8),
+        dead in proptest::collection::vec(any::<bool>(), 5),
+        diffs in proptest::collection::vec(
+            proptest::collection::vec((0u8..4, 0usize..64, 0u32..32), 0..4),
+            1..6
+        ),
+    ) {
+        // Explicit Dijkstra backend so the delta path engages at every
+        // mesh size, not just past the Auto crossover.
+        let router = Router::new(algorithm).with_backend(PathBackend::DijkstraAllPairs);
+        let graph = mesh_graph(side);
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+
+        let mut report = report_from(&levels, &dead, &[false], k);
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+
+        for ops in &diffs {
+            let old_report = report.clone();
+            let previous = state.clone();
+            apply_diff(&mut report, ops);
+            router.recompute_into(&graph, &modules, &old_report, &report, &mut scratch, &mut state);
+            // Reference: full recompute with the previous state supplied
+            // for deadlock-port avoidance, exactly as `compute` would.
+            let reference = router.compute(&graph, &modules, &report, Some(&previous));
+            prop_assert_eq!(&state, &reference, "side {} after ops {:?}", side, ops);
+        }
+    }
+
+    /// Delta recompute stays exact when consecutive reports are built
+    /// *independently* — including nodes flipping dead→alive between
+    /// frames (impossible via in-place `SystemReport` mutation but legal
+    /// through the public `recompute_into` API), and mass changes that
+    /// trip the dirty-fraction fallback.
+    #[test]
+    fn delta_recompute_equals_full_across_independent_reports(
+        side in 2usize..8,
+        algorithm in prop_oneof![Just(Algorithm::Ear), Just(Algorithm::Sdr)],
+        frames in proptest::collection::vec(
+            (proptest::collection::vec(0u32..16, 8), proptest::collection::vec(any::<bool>(), 5)),
+            2..6
+        ),
+    ) {
+        let router = Router::new(algorithm).with_backend(PathBackend::DijkstraAllPairs);
+        let graph = mesh_graph(side);
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        let mut report = report_from(&frames[0].0, &frames[0].1, &[false], k);
+        router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+
+        for (levels, dead) in &frames[1..] {
+            let old_report = report;
+            let previous = state.clone();
+            report = report_from(levels, dead, &[false], k);
+            router.recompute_into(&graph, &modules, &old_report, &report, &mut scratch, &mut state);
+            let reference = router.compute(&graph, &modules, &report, Some(&previous));
+            prop_assert_eq!(&state, &reference, "side {} frame levels {:?}", side, levels);
+        }
+    }
+
+    /// `PathBackend::Auto` agrees with both explicit backends on
+    /// distances for arbitrary battery/death patterns (successor
+    /// tie-breaking may differ between algorithms, distances may not).
+    #[test]
+    fn auto_matches_both_backends_on_distances(
+        side in 2usize..9,
+        algorithm in prop_oneof![Just(Algorithm::Ear), Just(Algorithm::Sdr)],
+        levels in proptest::collection::vec(0u32..16, 8),
+        dead in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let graph = mesh_graph(side);
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+        let report = report_from(&levels, &dead, &[false], k);
+        let states: Vec<RoutingState> = [
+            PathBackend::Auto,
+            PathBackend::FloydWarshall,
+            PathBackend::DijkstraAllPairs,
+        ]
+        .into_iter()
+        .map(|backend| {
+            Router::new(algorithm)
+                .with_backend(backend)
+                .compute(&graph, &modules, &report, None)
+        })
+        .collect();
+        for i in 0..k {
+            for j in 0..k {
+                let (a, b) = (NodeId::new(i), NodeId::new(j));
+                let auto = states[0].distance(a, b);
+                let fw = states[1].distance(a, b);
+                let dj = states[2].distance(a, b);
+                match (auto, fw, dj) {
+                    (Some(x), Some(y), Some(z)) => {
+                        prop_assert!((x - y).abs() < 1e-9, "({i},{j}): auto={x} fw={y}");
+                        prop_assert!((x - z).abs() < 1e-9, "({i},{j}): auto={x} dj={z}");
+                    }
+                    (None, None, None) => {}
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "({i},{j}): reachability disagrees: {other:?}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The deadlock-avoidance phase behaves identically whether the
+    /// previous tables arrive via `compute(previous)` or in place via
+    /// `recompute_into` — exercised with deadlock flags set so the
+    /// blocked-port scan actually runs.
+    #[test]
+    fn deadlock_ports_survive_in_place_recompute(
+        side in 3usize..7,
+        stuck in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let router = Router::new(Algorithm::Ear).with_backend(PathBackend::DijkstraAllPairs);
+        let graph = mesh_graph(side);
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+        let fresh = SystemReport::fresh(k, 16);
+
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        router.compute_into(&graph, &modules, &fresh, None, &mut scratch, &mut state);
+        let previous = state.clone();
+
+        let mut flagged = fresh.clone();
+        for i in 0..k {
+            if stuck[i % stuck.len()] {
+                flagged.set_deadlocked(NodeId::new(i), true);
+            }
+        }
+        router.recompute_into(&graph, &modules, &fresh, &flagged, &mut scratch, &mut state);
+        let reference = router.compute(&graph, &modules, &flagged, Some(&previous));
+        prop_assert_eq!(&state, &reference);
+    }
+}

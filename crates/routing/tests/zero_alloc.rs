@@ -1,0 +1,145 @@
+//! Proves the zero-allocation claim of `Router::recompute_into`: once a
+//! `RoutingScratch`/`RoutingState` pair has warmed up on the system's
+//! dimensions, steady-state recomputes perform **no heap allocation** —
+//! under both phase-2 backends and on the delta path the simulator runs.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; this file
+//! contains a single test so no concurrent test case can pollute the
+//! counter between snapshots.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use etx_graph::{topology::Mesh2D, NodeId};
+use etx_routing::{Algorithm, Router, RoutingScratch, RoutingState, SystemReport};
+use etx_units::Length;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a relaxed atomic with no further side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn module_stripes(k: usize) -> Vec<Vec<NodeId>> {
+    (0..3).map(|m| (m..k).step_by(3).map(NodeId::new).collect()).collect()
+}
+
+/// Drives a warmed scratch through `frames` battery-drain recomputes
+/// (mirroring what the simulator does every TDMA frame: snapshot the old
+/// report into a recycled buffer, mutate, recompute) and returns how many
+/// heap allocations the frames performed.
+#[allow(clippy::too_many_arguments)] // test helper mirroring the engine's state
+fn allocations_over_drain_frames(
+    router: &Router,
+    graph: &etx_graph::DiGraph,
+    modules: &[Vec<NodeId>],
+    scratch: &mut RoutingScratch,
+    state: &mut RoutingState,
+    report: &mut SystemReport,
+    old_report: &mut SystemReport,
+    frames: u32,
+) -> u64 {
+    let k = graph.node_count();
+    let before = allocations();
+    for frame in 0..frames {
+        old_report.clone_from(report); // warmed buffer: no allocation
+        let node = NodeId::new((frame as usize * 7 + 3) % k);
+        let level = report.battery_level(node);
+        report.set_battery_level(node, level.saturating_sub(1));
+        router.recompute_into(graph, modules, old_report, report, scratch, state);
+    }
+    allocations() - before
+}
+
+#[test]
+fn steady_state_recompute_does_not_allocate() {
+    // 8x8: Auto resolves to Dijkstra (the simulator's delta path).
+    // 4x4: Auto resolves to Floyd-Warshall (the paper's sizes).
+    for (side, expect_delta) in [(8usize, true), (4usize, false)] {
+        let graph = Mesh2D::square(side, Length::from_centimetres(2.05)).to_graph();
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+        let router = Router::new(Algorithm::Ear);
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        let mut report = SystemReport::fresh(k, 16);
+
+        // Warm-up: initial full compute, then a burst of drain frames so
+        // every lazily-grown buffer (dirty/affected/queue/prev-hop
+        // snapshot, adjacency, heap, report clone buffer) reaches steady
+        // capacity. Everything is deterministic, so "warm" is a stable
+        // property, not a flaky one.
+        router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+        let mut warm_old = SystemReport::fresh(0, 1);
+        let _ = allocations_over_drain_frames(
+            &router,
+            &graph,
+            &modules,
+            &mut scratch,
+            &mut state,
+            &mut report,
+            &mut warm_old,
+            8,
+        );
+
+        let allocated = allocations_over_drain_frames(
+            &router,
+            &graph,
+            &modules,
+            &mut scratch,
+            &mut state,
+            &mut report,
+            &mut warm_old,
+            32,
+        );
+        assert_eq!(
+            allocated, 0,
+            "{side}x{side}: steady-state recompute allocated {allocated} times"
+        );
+        if expect_delta {
+            assert!(
+                scratch.delta_recomputes() >= 32,
+                "{side}x{side}: delta path never engaged ({} delta / {} full)",
+                scratch.delta_recomputes(),
+                scratch.full_recomputes()
+            );
+        } else {
+            assert_eq!(
+                scratch.delta_recomputes(),
+                0,
+                "{side}x{side}: Floyd-Warshall sizes must not take the delta path"
+            );
+        }
+        // Results stay correct after all those in-place updates.
+        let reference = router.compute(&graph, &modules, &report, None);
+        assert_eq!(state.paths().distances(), reference.paths().distances());
+    }
+}

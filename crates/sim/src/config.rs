@@ -334,8 +334,7 @@ impl SimConfig {
     /// default-pitch hop. This is the `c_i` the analytical bound uses.
     #[must_use]
     pub fn comm_energy_per_act(&self) -> Energy {
-        self.line_model
-            .packet_energy(self.link_pitch, &self.packet, self.switching_activity)
+        self.line_model.packet_energy(self.link_pitch, &self.packet, self.switching_activity)
     }
 
     /// The controller energy model scaled for this mesh.
@@ -355,8 +354,7 @@ impl SimConfig {
             match &self.mapping {
                 MappingKind::Checkerboard => CheckerboardMapping.place(&mesh, &self.app),
                 MappingKind::Proportional => {
-                    ProportionalMapping::new(self.comm_energy_per_act())
-                        .place(&mesh, &self.app)
+                    ProportionalMapping::new(self.comm_energy_per_act()).place(&mesh, &self.app)
                 }
                 MappingKind::RoundRobin => RoundRobinMapping.place(&mesh, &self.app),
                 MappingKind::Custom(assignment) => {
@@ -366,13 +364,9 @@ impl SimConfig {
         } else {
             let nodes = self.node_count();
             match &self.mapping {
-                MappingKind::Checkerboard => {
-                    CheckerboardMapping.place_nodes(nodes, &self.app)
-                }
-                MappingKind::Proportional => {
-                    ProportionalMapping::new(self.comm_energy_per_act())
-                        .place_nodes(nodes, &self.app)
-                }
+                MappingKind::Checkerboard => CheckerboardMapping.place_nodes(nodes, &self.app),
+                MappingKind::Proportional => ProportionalMapping::new(self.comm_energy_per_act())
+                    .place_nodes(nodes, &self.app),
                 MappingKind::RoundRobin => RoundRobinMapping.place_nodes(nodes, &self.app),
                 MappingKind::Custom(assignment) => {
                     CustomMapping::new(assignment.clone()).place_nodes(nodes, &self.app)
@@ -670,10 +664,7 @@ mod tests {
 
     #[test]
     fn builder_validation() {
-        assert!(matches!(
-            SimConfig::builder().mesh(0, 4).build(),
-            Err(SimError::InvalidConfig(_))
-        ));
+        assert!(matches!(SimConfig::builder().mesh(0, 4).build(), Err(SimError::InvalidConfig(_))));
         assert!(matches!(
             SimConfig::builder().concurrent_jobs(0).build(),
             Err(SimError::InvalidConfig(_))
@@ -683,9 +674,7 @@ mod tests {
             Err(SimError::GatewayOutOfRange { x: 9, y: 1 })
         ));
         assert!(matches!(
-            SimConfig::builder()
-                .controllers(ControllerSetup::Finite { count: 0 })
-                .build(),
+            SimConfig::builder().controllers(ControllerSetup::Finite { count: 0 }).build(),
             Err(SimError::InvalidConfig(_))
         ));
         let err = SimConfig::builder().mesh(0, 4).build().unwrap_err();
@@ -705,11 +694,8 @@ mod tests {
 
     #[test]
     fn tweak_reaches_all_fields() {
-        let sim = SimConfig::builder()
-            .tweak(|c| c.max_cycles = 123)
-            .max_cycles(456)
-            .build()
-            .unwrap();
+        let sim =
+            SimConfig::builder().tweak(|c| c.max_cycles = 123).max_cycles(456).build().unwrap();
         assert_eq!(sim.config().max_cycles, 456);
     }
 }

@@ -3,7 +3,7 @@
 use etx_control::{ControlLedger, ControllerBank, ControllerEnergyModel};
 use etx_graph::{DiGraph, NodeId};
 use etx_mapping::Placement;
-use etx_routing::{Router, RoutingState, SystemReport};
+use etx_routing::{Router, RoutingScratch, RoutingState, SystemReport};
 use etx_units::Energy;
 
 use crate::config::{ControllerSetup, JobSource, SimConfig, SimError};
@@ -35,7 +35,13 @@ pub struct Simulation {
     nodes: Vec<NodeState>,
     router: Router,
     routing: RoutingState,
+    /// Reusable workspace for routing recomputes: after the first frame
+    /// the steady-state recompute performs no heap allocation, and report
+    /// diffs let the router skip unaffected phase-2 work entirely.
+    routing_scratch: RoutingScratch,
     last_report: SystemReport,
+    /// Recycled buffer for the next frame's report (capacity reuse).
+    report_buf: SystemReport,
     bank: ControllerBank,
     controller_model: ControllerEnergyModel,
     ledger: ControlLedger,
@@ -82,15 +88,22 @@ impl Simulation {
         let router = Router::with_weighting(cfg.algorithm, cfg.weighting);
         let bank = match cfg.controllers {
             ControllerSetup::Infinite => ControllerBank::infinite(),
-            ControllerSetup::Finite { count } => {
-                ControllerBank::new(count, cfg.battery_capacity)
-            }
+            ControllerSetup::Finite { count } => ControllerBank::new(count, cfg.battery_capacity),
         };
         let controller_model = cfg.controller_model();
         let cfg_trace_capacity = cfg.trace_capacity;
         // Initial routing from the fresh system state.
         let report = SystemReport::fresh(nodes.len(), cfg.weighting.levels());
-        let routing = router.compute(&graph, placement.module_nodes(), &report, None);
+        let mut routing_scratch = RoutingScratch::new();
+        let mut routing = RoutingState::empty();
+        router.compute_into(
+            &graph,
+            placement.module_nodes(),
+            &report,
+            None,
+            &mut routing_scratch,
+            &mut routing,
+        );
         Ok(Simulation {
             cfg,
             gateway,
@@ -99,7 +112,9 @@ impl Simulation {
             nodes,
             router,
             routing,
+            routing_scratch,
             last_report: report,
+            report_buf: SystemReport::fresh(0, 1),
             bank,
             controller_model,
             ledger: ControlLedger::new(),
@@ -222,9 +237,7 @@ impl Simulation {
 
         // --- irrecoverable stall check -----------------------------------
         let giveup = self.cfg.stall_giveup.count();
-        if !self.jobs.is_empty()
-            && self.jobs.iter().all(|j| j.stuck_for(self.now) > giveup)
-        {
+        if !self.jobs.is_empty() && self.jobs.iter().all(|j| j.stuck_for(self.now) > giveup) {
             return self.die(DeathCause::Stalled);
         }
 
@@ -259,11 +272,8 @@ impl Simulation {
     fn on_node_death(&mut self, node: NodeId) {
         let module = self.placement.module_of(node);
         self.trace.record(self.now, TraceEvent::NodeDied { node, module });
-        let extinct = self
-            .placement
-            .nodes_of(module)
-            .iter()
-            .all(|&n| self.nodes[n.index()].is_dead());
+        let extinct =
+            self.placement.nodes_of(module).iter().all(|&n| self.nodes[n.index()].is_dead());
         if extinct {
             self.pending_death.get_or_insert(DeathCause::ModuleExtinct(module));
         }
@@ -299,12 +309,9 @@ impl Simulation {
                 continue;
             }
             self.drain_node(node, upload, DrainKind::Control);
-            if !self.nodes[i].is_dead() {
-                self.ledger.record_upload(upload);
-            } else {
-                // Partial slot still hit the wire.
-                self.ledger.record_upload(upload);
-            }
+            // The slot hits the wire either way: even a node dying
+            // mid-drive leaves its partial slot on the shared medium.
+            self.ledger.record_upload(upload);
         }
         if let Some(cause) = self.pending_death.take() {
             return Some(cause);
@@ -312,13 +319,10 @@ impl Simulation {
 
         // Controller leakage since the previous frame.
         let live_before = self.bank.live_count();
-        let leak = self
-            .controller_model
-            .leakage_energy(self.cfg.tdma.frame_period);
+        let leak = self.controller_model.leakage_energy(self.cfg.tdma.frame_period);
         self.ledger.record_controller_compute(leak);
         if !self.bank.charge(leak) {
-            self.trace
-                .record(self.now, TraceEvent::ControllerFailover { remaining: 0 });
+            self.trace.record(self.now, TraceEvent::ControllerFailover { remaining: 0 });
             return Some(DeathCause::ControllersDead);
         }
         if self.bank.live_count() < live_before {
@@ -328,15 +332,15 @@ impl Simulation {
             );
         }
 
-        // Build the report the controller just received.
-        let report = self.build_report();
-        let any_deadlock = (0..self.nodes.len())
-            .any(|i| report.is_deadlocked(NodeId::new(i)));
+        // Build the report the controller just received (into the
+        // recycled buffer; steady-state frames allocate nothing).
+        let mut report = std::mem::replace(&mut self.report_buf, SystemReport::fresh(0, 1));
+        self.build_report_into(&mut report);
+        let any_deadlock = (0..self.nodes.len()).any(|i| report.is_deadlocked(NodeId::new(i)));
         for i in 0..self.nodes.len() {
             if report.is_deadlocked(NodeId::new(i)) {
                 self.deadlock_reports += 1;
-                self.trace
-                    .record(self.now, TraceEvent::DeadlockReported { node: NodeId::new(i) });
+                self.trace.record(self.now, TraceEvent::DeadlockReported { node: NodeId::new(i) });
             }
         }
 
@@ -345,9 +349,8 @@ impl Simulation {
         if report != self.last_report || any_deadlock || remapped {
             // Routing recomputation: the controller actively computes for
             // the duration of the frame.
-            let active = self
-                .controller_model
-                .active_energy(self.cfg.tdma.frame_cycles(self.nodes.len()));
+            let active =
+                self.controller_model.active_energy(self.cfg.tdma.frame_cycles(self.nodes.len()));
             self.ledger.record_controller_compute(active);
             if !self.bank.charge(active) {
                 return Some(DeathCause::ControllersDead);
@@ -359,19 +362,27 @@ impl Simulation {
             if !self.bank.charge(down_total) {
                 return Some(DeathCause::ControllersDead);
             }
-            self.routing = self.router.compute(
+            // Delta-aware in-place recompute: the router diffs the two
+            // reports, re-runs phase 2 only from sources whose distances
+            // can change, and reuses all scratch storage (zero
+            // steady-state allocation).
+            self.router.recompute_into(
                 &self.graph,
                 self.placement.module_nodes(),
+                &self.last_report,
                 &report,
-                Some(&self.routing),
+                &mut self.routing_scratch,
+                &mut self.routing,
             );
             self.routing_recomputes += 1;
             self.routing_version += 1;
-            self.trace.record(
-                self.now,
-                TraceEvent::RoutingRecomputed { version: self.routing_version },
-            );
-            self.last_report = report;
+            self.trace
+                .record(self.now, TraceEvent::RoutingRecomputed { version: self.routing_version });
+            // The new report becomes the baseline; the old baseline's
+            // buffers are recycled for the next frame.
+            self.report_buf = std::mem::replace(&mut self.last_report, report);
+        } else {
+            self.report_buf = report;
         }
 
         // Deadlock flags are edge-triggered: once uploaded and serviced,
@@ -382,9 +393,9 @@ impl Simulation {
         None
     }
 
-    fn build_report(&self) -> SystemReport {
+    fn build_report_into(&self, report: &mut SystemReport) {
         let levels = self.cfg.weighting.levels();
-        let mut report = SystemReport::fresh(self.nodes.len(), levels);
+        report.reset_fresh(self.nodes.len(), levels);
         for (i, n) in self.nodes.iter().enumerate() {
             let id = NodeId::new(i);
             if n.is_dead() {
@@ -394,7 +405,6 @@ impl Simulation {
                 report.set_deadlocked(id, n.deadlock_flag);
             }
         }
-        report
     }
 
     /// The remapping extension: reprogram a surplus node to rescue a
@@ -409,12 +419,8 @@ impl Simulation {
         let levels = self.cfg.weighting.levels();
         for m in 0..self.placement.module_count() {
             let module = etx_app::ModuleId::new(m);
-            let live = self
-                .placement
-                .nodes_of(module)
-                .iter()
-                .filter(|&&n| report.is_alive(n))
-                .count();
+            let live =
+                self.placement.nodes_of(module).iter().filter(|&&n| report.is_alive(n)).count();
             if live == 0 || live >= policy.min_live_duplicates {
                 // Extinct modules are beyond rescue (the job state is
                 // gone); healthy ones need no help.
@@ -430,12 +436,8 @@ impl Simulation {
                     if dm == module {
                         return false;
                     }
-                    let dm_live = self
-                        .placement
-                        .nodes_of(dm)
-                        .iter()
-                        .filter(|&&x| report.is_alive(x))
-                        .count();
+                    let dm_live =
+                        self.placement.nodes_of(dm).iter().filter(|&&x| report.is_alive(x)).count();
                     dm_live > policy.min_live_duplicates
                 })
                 .filter(|&n| {
@@ -455,8 +457,7 @@ impl Simulation {
             if self.placement.reassign(donor, module).is_ok() {
                 self.trace.record(self.now, TraceEvent::Remapped { node: donor, to: module });
                 self.nodes[donor.index()].module = module;
-                self.nodes[donor.index()].busy_until =
-                    self.now + policy.migration_cycles.count();
+                self.nodes[donor.index()].busy_until = self.now + policy.migration_cycles.count();
                 self.remaps += 1;
                 changed = true;
             }
@@ -772,8 +773,8 @@ mod tests {
         let consumed = report.energy.total_consumed().picojoules();
         assert!(consumed > 0.0);
         // Node-side energy must not exceed the aggregate battery budget.
-        let node_side = report.energy.compute.picojoules()
-            + report.energy.data_communication.picojoules();
+        let node_side =
+            report.energy.compute.picojoules() + report.energy.data_communication.picojoules();
         assert!(node_side <= 16.0 * 10_000.0 + 1e-6);
         // Overhead is a sane percentage.
         let pct = report.overhead_percent();
@@ -862,8 +863,11 @@ mod tests {
             .build()
             .expect("ring config is valid")
             .run();
-        assert!(report.jobs_completed > 0, "ring completed nothing:
-{report}");
+        assert!(
+            report.jobs_completed > 0,
+            "ring completed nothing:
+{report}"
+        );
     }
 
     #[test]
@@ -929,13 +933,13 @@ mod tests {
                 .battery_capacity_picojoules(20_000.0)
         };
         let plain = base().build().expect("valid config").run();
-        let remapped = base()
-            .remapping(RemappingPolicy::default())
-            .build()
-            .expect("valid config")
-            .run();
-        assert!(remapped.remaps > 0, "no migrations happened:
-{remapped}");
+        let remapped =
+            base().remapping(RemappingPolicy::default()).build().expect("valid config").run();
+        assert!(
+            remapped.remaps > 0,
+            "no migrations happened:
+{remapped}"
+        );
         assert!(
             remapped.jobs_fractional > plain.jobs_fractional,
             "remapping did not help: {:.1} vs {:.1}",
@@ -957,8 +961,7 @@ mod tests {
         while sim.step().is_none() {}
         let trace = sim.trace();
         assert!(!trace.is_disabled());
-        let completions =
-            trace.filter(|e| matches!(e, TraceEvent::JobCompleted { .. })).count();
+        let completions = trace.filter(|e| matches!(e, TraceEvent::JobCompleted { .. })).count();
         assert_eq!(completions as u64, sim.jobs_completed());
         let deaths = trace.filter(|e| matches!(e, TraceEvent::NodeDied { .. })).count();
         assert!(deaths > 0, "no node deaths traced");

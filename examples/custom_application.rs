@@ -62,9 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .node_stats
             .iter()
             .filter(|n| n.module == id)
-            .fold((0, 0.0), |(o, e), n| {
-                (o + n.ops_done, e + n.compute_energy.picojoules())
-            });
+            .fold((0, 0.0), |(o, e), n| (o + n.ops_done, e + n.compute_energy.picojoules()));
         println!("  {id} {:<9} {ops:>6} ops  {energy:>10.0} pJ", spec.name());
     }
     println!(

@@ -36,19 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // How much headroom does ANY routing strategy have? Theorem 1.
     let platform = SimConfig::builder().build()?;
-    let inputs = BoundInputs::uniform_comm(
-        &AppSpec::aes(),
-        platform.config().comm_energy_per_act(),
-    );
+    let inputs =
+        BoundInputs::uniform_comm(&AppSpec::aes(), platform.config().comm_energy_per_act());
     let bound = upper_bound(&inputs, Energy::from_picojoules(battery_pj), 16)?;
     println!(
         "Theorem 1 upper bound: {:.1} jobs -> EAR achieves {:.0}% of it.",
         bound.jobs(),
         100.0 * ear.jobs_fractional / bound.jobs()
     );
-    println!(
-        "Optimal duplicates per module (Eq. 3): {:?}",
-        bound.integer_duplicates()?
-    );
+    println!("Optimal duplicates per module (Eq. 3): {:?}", bound.integer_duplicates()?);
     Ok(())
 }

@@ -20,8 +20,7 @@ use etx::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- functional half -------------------------------------------------
     let key = [0x13u8; 16];
-    let telemetry =
-        b"hr=071bpm;spo2=98%;skin=33.1C;accel=+0.02,-0.98,+0.05;gps=40.4433,-79.9436";
+    let telemetry = b"hr=071bpm;spo2=98%;skin=33.1C;accel=+0.02,-0.98,+0.05;gps=40.4433,-79.9436";
     println!("telemetry ({} bytes): {}", telemetry.len(), String::from_utf8_lossy(telemetry));
 
     // Each 16-byte block is one platform *job*; verify the distributed

@@ -16,10 +16,7 @@ fn all_topologies_complete_jobs() {
         ("ring", TopologyKind::Ring),
         (
             "custom star",
-            TopologyKind::Custom(etx::graph::topology::star(
-                16,
-                Length::from_centimetres(2.05),
-            )),
+            TopologyKind::Custom(etx::graph::topology::star(16, Length::from_centimetres(2.05))),
         ),
     ];
     for (name, topology) in shapes {
@@ -50,8 +47,8 @@ fn remapping_stays_below_bound() {
     let comm = sim.config().comm_energy_per_act();
     let report = sim.run();
     let inputs = BoundInputs::uniform_comm(&AppSpec::aes(), comm);
-    let bound = upper_bound(&inputs, Energy::from_picojoules(battery), 16)
-        .expect("valid bound inputs");
+    let bound =
+        upper_bound(&inputs, Energy::from_picojoules(battery), 16).expect("valid bound inputs");
     assert!(report.jobs_fractional <= bound.jobs() + 1e-9);
 }
 
@@ -97,8 +94,7 @@ fn remap_events_traced() {
             break c;
         }
     };
-    let remap_events =
-        sim.trace().filter(|e| matches!(e, TraceEvent::Remapped { .. })).count();
+    let remap_events = sim.trace().filter(|e| matches!(e, TraceEvent::Remapped { .. })).count();
     assert!(remap_events > 0, "no remap events despite fragile placement ({cause})");
 }
 
@@ -113,15 +109,9 @@ fn torus_shortens_corner_routes() {
     let report = SystemReport::fresh(36, 16);
     let hosts = vec![vec![far]];
 
-    let mesh_routing = Router::new(Algorithm::Ear).compute(
-        &mesh.to_graph(),
-        &hosts,
-        &report,
-        None,
-    );
+    let mesh_routing = Router::new(Algorithm::Ear).compute(&mesh.to_graph(), &hosts, &report, None);
     let torus_graph = etx::graph::topology::torus(6, 6, pitch);
-    let torus_routing =
-        Router::new(Algorithm::Ear).compute(&torus_graph, &hosts, &report, None);
+    let torus_routing = Router::new(Algorithm::Ear).compute(&torus_graph, &hosts, &report, None);
 
     let mesh_distance = mesh_routing.route(corner, 0).expect("reachable").distance;
     let torus_distance = torus_routing.route(corner, 0).expect("reachable").distance;

@@ -13,11 +13,7 @@ fn aes_spec_matches_distributed_cipher() {
     let schedule = DistributedAes128::schedule();
     assert_eq!(app.op_sequence().len(), schedule.len());
     for (spec_module, op) in app.op_sequence().iter().zip(&schedule) {
-        assert_eq!(
-            spec_module.index(),
-            op.module_index(),
-            "operation order diverges at {op}"
-        );
+        assert_eq!(spec_module.index(), op.module_index(), "operation order diverges at {op}");
     }
     // And the cipher executed through that schedule is real AES.
     let key = [0xA5u8; 16];
@@ -118,9 +114,8 @@ fn energy_conservation() {
 #[test]
 fn routing_respects_placement() {
     let mesh = Mesh2D::square(5, Length::from_centimetres(2.05));
-    let placement = CheckerboardMapping
-        .place(&mesh, &AppSpec::aes())
-        .expect("checkerboard fits AES");
+    let placement =
+        CheckerboardMapping.place(&mesh, &AppSpec::aes()).expect("checkerboard fits AES");
     let graph = mesh.to_graph();
     let report = SystemReport::fresh(25, 16);
     for algorithm in [Algorithm::Ear, Algorithm::Sdr] {
