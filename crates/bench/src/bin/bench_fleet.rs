@@ -1,0 +1,94 @@
+//! `bench_fleet` — emits `BENCH_fleet.json`, the machine-readable perf
+//! baseline of the fleet controller: instances/second at fleet sizes
+//! 100, 1 000 and 10 000 of the small `smoke` scenario family.
+//!
+//! ```text
+//! cargo run -p etx-bench --bin bench_fleet --release          # writes ./BENCH_fleet.json
+//! cargo run -p etx-bench --bin bench_fleet --release -- out.json
+//! ```
+//!
+//! Each point reports wall time, instances/sec, the shard count the
+//! auto plan picked, and the aggregate's totals (so a perf "win" that
+//! silently changed results is visible in review). Aggregates are
+//! deterministic; timings of course are not.
+
+use std::time::Instant;
+
+use etx::fleet::{FleetController, ScenarioSpec, ShardPlan};
+
+struct Point {
+    instances: usize,
+    shards: usize,
+    wall_seconds: f64,
+    instances_per_sec: f64,
+    jobs_completed_total: u128,
+    lifetime_p50: u64,
+}
+
+fn measure(instances: usize) -> Point {
+    let spec = ScenarioSpec { instances, ..ScenarioSpec::smoke() };
+    let controller = FleetController::new().with_shards(ShardPlan::Auto);
+    // Single measured pass (fleet runs are long enough that best-of-N
+    // would only measure the OS scheduler); `main` does one throwaway
+    // warm-up call before the measured sizes.
+    let start = Instant::now();
+    let result = controller.run(&spec).expect("smoke-derived spec is valid");
+    let wall = start.elapsed().as_secs_f64();
+    Point {
+        instances,
+        shards: result.shards,
+        wall_seconds: wall,
+        instances_per_sec: instances as f64 / wall.max(1e-9),
+        jobs_completed_total: result.aggregate.jobs_completed_total,
+        lifetime_p50: result.aggregate.lifetime.quantile_raw(0.5),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    // Warm-up (code paths, allocator, page cache).
+    let _ = measure(50);
+    let mut points = Vec::new();
+    for instances in [100usize, 1_000, 10_000] {
+        let point = measure(instances);
+        eprintln!(
+            "instances={:>6} shards={:>2}: {:>8.3}s wall, {:>7.0} instances/sec, \
+             {} jobs total, lifetime p50 {}",
+            point.instances,
+            point.shards,
+            point.wall_seconds,
+            point.instances_per_sec,
+            point.jobs_completed_total,
+            point.lifetime_p50,
+        );
+        points.push(point);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"fleet_throughput\",\n");
+    json.push_str("  \"command\": \"cargo run -p etx-bench --bin bench_fleet --release\",\n");
+    json.push_str("  \"units\": \"instances per second, single measured pass\",\n");
+    json.push_str(
+        "  \"workload\": \"smoke scenario family (3x3..4x4 fabrics, churn, heterogeneity), \
+         auto shard plan, per-shard SimPool reuse\",\n",
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"instances\": {}, \"shards\": {}, \"wall_seconds\": {:.3}, \
+             \"instances_per_sec\": {:.0}, \"jobs_completed_total\": {}, \
+             \"lifetime_p50\": {}}}{}\n",
+            p.instances,
+            p.shards,
+            p.wall_seconds,
+            p.instances_per_sec,
+            p.jobs_completed_total,
+            p.lifetime_p50,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

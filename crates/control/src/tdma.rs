@@ -41,21 +41,44 @@ impl Default for TdmaConfig {
 }
 
 impl TdmaConfig {
-    /// Validates the configuration.
+    /// Checks the configuration, returning a descriptive message for the
+    /// first violated constraint. This is the non-fatal form fleet
+    /// scenario sampling relies on: a bad sampled schedule is rejected,
+    /// not a process abort.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the violated constraint.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.frame_period.is_zero() {
+            return Err("frame period must be positive");
+        }
+        if self.upload_bits_per_node == 0 {
+            return Err("upload payload must be non-empty");
+        }
+        if self.download_bits_per_node == 0 {
+            return Err("download payload must be non-empty");
+        }
+        if self.medium_width_bits == 0 {
+            return Err("medium width must be positive");
+        }
+        if !self.medium_activity.is_finite() || !(0.0..=1.0).contains(&self.medium_activity) {
+            return Err("medium activity must be in [0, 1]");
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration (panicking wrapper over
+    /// [`TdmaConfig::check`]).
     ///
     /// # Panics
     ///
     /// Panics if any width is zero, the period is zero, or the activity is
     /// outside `[0, 1]`.
     pub fn validate(&self) {
-        assert!(!self.frame_period.is_zero(), "frame period must be positive");
-        assert!(self.upload_bits_per_node > 0, "upload payload must be non-empty");
-        assert!(self.download_bits_per_node > 0, "download payload must be non-empty");
-        assert!(self.medium_width_bits > 0, "medium width must be positive");
-        assert!(
-            self.medium_activity.is_finite() && (0.0..=1.0).contains(&self.medium_activity),
-            "medium activity must be in [0, 1]"
-        );
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
+        }
     }
 
     /// TDMA slots (medium cycles) one node's upload occupies.

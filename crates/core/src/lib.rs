@@ -23,6 +23,7 @@
 //! | [`routing`] | `etx-routing` | EAR and SDR (phases 1–3) |
 //! | [`control`] | `etx-control` | TDMA schedule, controllers, overhead ledger |
 //! | [`sim`] | `etx-sim` | the cycle-accurate simulator |
+//! | [`fleet`] | `etx-fleet` | sharded fleet controller + scenario generation |
 //! | [`experiments`] | (here) | one driver per paper table/figure |
 //!
 //! ## Quickstart
@@ -59,6 +60,7 @@ pub use etx_battery as battery;
 pub use etx_bound as bound;
 pub use etx_control as control;
 pub use etx_energy as energy;
+pub use etx_fleet as fleet;
 pub use etx_graph as graph;
 pub use etx_mapping as mapping;
 pub use etx_routing as routing;
@@ -75,12 +77,13 @@ pub mod prelude {
     pub use etx_bound::{upper_bound, BoundInputs, UpperBound};
     pub use etx_control::{ControllerBank, ControllerEnergyModel, TdmaConfig};
     pub use etx_energy::{PacketFormat, TransmissionLineModel};
+    pub use etx_fleet::{FleetAggregate, FleetController, ScenarioSpec, ShardPlan};
     pub use etx_graph::{topology::Mesh2D, DiGraph, NodeId};
     pub use etx_mapping::{CheckerboardMapping, MappingStrategy, Placement};
     pub use etx_routing::{Algorithm, BatteryWeighting, Router, SystemReport};
     pub use etx_sim::{
         BatteryModel, ControllerSetup, DeathCause, JobSource, MappingKind, RemappingPolicy,
-        SimConfig, SimReport, Simulation, TopologyKind,
+        ScriptedFailure, SimConfig, SimPool, SimReport, Simulation, TopologyKind,
     };
     pub use etx_units::{Cycles, Energy, Frequency, Length, Power, Voltage};
 }

@@ -1,0 +1,136 @@
+//! `fleet` — run a scenario spec across a sharded fleet and print the
+//! aggregate distributions.
+//!
+//! ```text
+//! fleet --preset mixed --instances 1000          # built-in spec, table output
+//! fleet --spec my_scenario.spec --json           # spec file, JSON output
+//! fleet --smoke                                  # tiny CI exercise of every layer
+//! fleet --preset churn --print-spec              # show a spec's canonical form
+//! ```
+//!
+//! Options: `--preset NAME` (mixed|smoke|churn), `--spec FILE`,
+//! `--instances N`, `--seed S`, `--shards N`, `--json`, `--print-spec`,
+//! `--smoke` (shorthand for `--preset smoke`, defaulting to 2 shards
+//! unless `--shards` is given).
+
+use etx_fleet::{FleetController, ScenarioSpec, ShardPlan};
+
+struct Options {
+    spec: ScenarioSpec,
+    plan: ShardPlan,
+    json: bool,
+    print_spec: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut spec: Option<ScenarioSpec> = None;
+    let mut instances: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut plan: Option<ShardPlan> = None;
+    let mut smoke = false;
+    let mut json = false;
+    let mut print_spec = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let name = args.next().ok_or("--preset needs a value")?;
+                spec = Some(
+                    ScenarioSpec::preset(&name)
+                        .ok_or_else(|| format!("unknown preset `{name}` (mixed|smoke|churn)"))?,
+                );
+                smoke = false;
+            }
+            "--spec" => {
+                let path = args.next().ok_or("--spec needs a file path")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                spec = Some(ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?);
+                smoke = false;
+            }
+            "--smoke" => {
+                spec = Some(ScenarioSpec::smoke());
+                smoke = true;
+            }
+            "--instances" => {
+                let n = args.next().ok_or("--instances needs a value")?;
+                instances = Some(n.parse().map_err(|e| format!("bad instance count `{n}`: {e}"))?);
+            }
+            "--seed" => {
+                let s = args.next().ok_or("--seed needs a value")?;
+                seed = Some(s.parse().map_err(|e| format!("bad seed `{s}`: {e}"))?);
+            }
+            "--shards" => {
+                let n = args.next().ok_or("--shards needs a value")?;
+                plan = Some(ShardPlan::Fixed(
+                    n.parse().map_err(|e| format!("bad shard count `{n}`: {e}"))?,
+                ));
+            }
+            "--json" => json = true,
+            "--print-spec" => print_spec = true,
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}`\nusage: fleet [--preset NAME | --spec FILE | --smoke] \
+                     [--instances N] [--seed S] [--shards N] [--json] [--print-spec]"
+                ));
+            }
+        }
+    }
+    let mut spec = spec.unwrap_or_default();
+    if let Some(n) = instances {
+        spec.instances = n;
+    }
+    if let Some(s) = seed {
+        spec.seed = s;
+    }
+    spec.check()?;
+    // `--smoke` defaults to two shards (exercising the merge path), but
+    // an explicit `--shards` wins regardless of flag order.
+    let plan = plan.unwrap_or(if smoke { ShardPlan::Fixed(2) } else { ShardPlan::Auto });
+    Ok(Options { spec, plan, json, print_spec })
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("fleet: {message}");
+            std::process::exit(2);
+        }
+    };
+    if options.print_spec {
+        print!("{}", options.spec.to_text());
+        return;
+    }
+    let start = std::time::Instant::now();
+    // The spec passed `check()` in `parse_args`, so this cannot fail.
+    let result = match FleetController::new().with_shards(options.plan).run(&options.spec) {
+        Ok(result) => result,
+        Err(message) => {
+            eprintln!("fleet: {message}");
+            std::process::exit(2);
+        }
+    };
+    let elapsed = start.elapsed();
+    if options.json {
+        println!("{}", result.aggregate.to_json());
+    } else {
+        println!(
+            "fleet `{}` (seed {}): {} instances over {} shard{}",
+            result.spec_name,
+            result.seed,
+            options.spec.instances,
+            result.shards,
+            if result.shards == 1 { "" } else { "s" },
+        );
+        println!("{}", result.aggregate);
+        let per_sec = options.spec.instances as f64 / elapsed.as_secs_f64().max(1e-9);
+        eprintln!("({:.2?} wall, {per_sec:.0} instances/sec)", elapsed);
+    }
+    // A fleet where *every* instance was rejected means the spec is
+    // unusable — signal failure so CI smoke jobs catch it.
+    if result.aggregate.instances == 0 {
+        eprintln!("fleet: every sampled instance was rejected");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,562 @@
+//! [`ScenarioSpec`]: one declarative spec that expands into N diverse,
+//! reproducible [`SimConfig`]s.
+//!
+//! The paper evaluates EAR under fixed operating points (one mesh, one
+//! battery budget, one schedule); the fleet controller instead sweeps
+//! *distributions* over operating conditions — topology shape and size,
+//! battery budget and heterogeneity, node churn, TDMA duty cycle and
+//! traffic mix — the way a garment fleet in the field actually varies.
+//! Instance `i` of a spec is sampled from a [`FleetRng`] substream forked
+//! from `(spec.seed, i)` alone, so the expansion is reproducible and
+//! independent of sharding.
+
+use etx_app::{AppSpec, ModuleSpec};
+use etx_routing::Algorithm;
+use etx_sim::{
+    BatteryModel, JobSource, MappingKind, ScriptedFailure, SimConfig, SimConfigBuilder,
+    TopologyKind,
+};
+use etx_units::{Cycles, Energy, Voltage};
+
+use crate::rng::FleetRng;
+
+/// Interconnect shapes a scenario may draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyChoice {
+    /// 2-D mesh (the paper's platform).
+    Mesh,
+    /// Mesh with wrap-around links.
+    Torus,
+    /// Ring of `side * side` nodes.
+    Ring,
+}
+
+impl TopologyChoice {
+    /// CLI/spec-file name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyChoice::Mesh => "mesh",
+            TopologyChoice::Torus => "torus",
+            TopologyChoice::Ring => "ring",
+        }
+    }
+
+    /// Parses a spec-file name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "mesh" => Some(TopologyChoice::Mesh),
+            "torus" => Some(TopologyChoice::Torus),
+            "ring" => Some(TopologyChoice::Ring),
+            _ => None,
+        }
+    }
+}
+
+/// Battery models a scenario may draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatteryChoice {
+    /// Constant-voltage ideal cell.
+    Ideal,
+    /// Li-free thin-film cell with discrete-time effects.
+    ThinFilm,
+    /// Linear voltage decline with a 3.0 V cutoff.
+    Linear,
+}
+
+impl BatteryChoice {
+    /// CLI/spec-file name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BatteryChoice::Ideal => "ideal",
+            BatteryChoice::ThinFilm => "thinfilm",
+            BatteryChoice::Linear => "linear",
+        }
+    }
+
+    /// Parses a spec-file name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "ideal" => Some(BatteryChoice::Ideal),
+            "thinfilm" | "thin-film" => Some(BatteryChoice::ThinFilm),
+            "linear" => Some(BatteryChoice::Linear),
+            _ => None,
+        }
+    }
+
+    fn build(self) -> BatteryModel {
+        match self {
+            BatteryChoice::Ideal => BatteryModel::Ideal,
+            BatteryChoice::ThinFilm => BatteryModel::ThinFilm,
+            BatteryChoice::Linear => BatteryModel::Linear {
+                v_full: Voltage::from_volts(4.1),
+                v_empty: Voltage::from_volts(2.0),
+                cutoff: Voltage::from_volts(3.0),
+            },
+        }
+    }
+}
+
+/// Applications a scenario may draw (the traffic-mix dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppChoice {
+    /// The paper's 3-module distributed AES (30 ops per job).
+    Aes,
+    /// A light 2-module sense-then-log pipeline (3 ops per job).
+    SenseLog,
+}
+
+impl AppChoice {
+    /// CLI/spec-file name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AppChoice::Aes => "aes",
+            AppChoice::SenseLog => "senselog",
+        }
+    }
+
+    /// Parses a spec-file name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "aes" => Some(AppChoice::Aes),
+            "senselog" | "sense-log" => Some(AppChoice::SenseLog),
+            _ => None,
+        }
+    }
+
+    fn build(self) -> AppSpec {
+        match self {
+            AppChoice::Aes => AppSpec::aes(),
+            AppChoice::SenseLog => AppSpec::builder("sense-log")
+                .module(ModuleSpec::new("sense", 2, Energy::from_picojoules(50.0)))
+                .module(ModuleSpec::new("store", 1, Energy::from_picojoules(90.0)))
+                .op_sequence([0, 0, 1])
+                .build()
+                .expect("static sense-log app is well-formed"),
+        }
+    }
+}
+
+/// A declarative distribution over operating conditions; one spec plus a
+/// seed expands into `instances` reproducible [`SimConfig`]s.
+///
+/// All numeric pairs are uniform sampling ranges: integer pairs are
+/// inclusive of both ends, `f64` pairs are half-open `[lo, hi)`. The
+/// spec-file format is one `key = value` per line (see
+/// [`ScenarioSpec::parse`]); [`ScenarioSpec::to_text`] renders the
+/// canonical form back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Human-readable spec name (reported in aggregates).
+    pub name: String,
+    /// Root seed; instance `i` forks substream `(seed, i)`.
+    pub seed: u64,
+    /// How many instances the spec expands into.
+    pub instances: usize,
+    /// Mesh side length range (`side x side` fabrics; a ring gets
+    /// `side * side` nodes).
+    pub mesh_side: (usize, usize),
+    /// Interconnect shapes drawn uniformly.
+    pub topologies: Vec<TopologyChoice>,
+    /// Routing algorithms drawn uniformly.
+    pub algorithms: Vec<Algorithm>,
+    /// Battery models drawn uniformly.
+    pub battery_models: Vec<BatteryChoice>,
+    /// Applications drawn uniformly.
+    pub apps: Vec<AppChoice>,
+    /// Per-node battery budget range in picojoules.
+    pub battery_pj: (f64, f64),
+    /// Battery heterogeneity `h`: per-node capacity multipliers drawn
+    /// from `[max(0.05, 1-h), 1+h]`. `0` disables (uniform fleet).
+    pub heterogeneity: f64,
+    /// How many scripted node failures to inject per instance.
+    pub churn: (usize, usize),
+    /// Scripted failures land uniformly in `[1, churn_horizon]` cycles.
+    pub churn_horizon: u64,
+    /// TDMA frame period range in cycles (the duty-cycle lever: longer
+    /// frames mean rarer control traffic and staler routes).
+    pub frame_period: (u64, u64),
+    /// Concurrent-job count range (traffic intensity).
+    pub concurrent_jobs: (usize, usize),
+    /// Probability a scenario feeds jobs in via [`JobSource::Broadcast`]
+    /// instead of a random fixed gateway node.
+    pub broadcast_fraction: f64,
+    /// Hard per-instance cycle limit.
+    pub max_cycles: u64,
+}
+
+impl Default for ScenarioSpec {
+    /// The `mixed` preset: every dimension open, paper-adjacent scales.
+    fn default() -> Self {
+        ScenarioSpec {
+            name: "mixed".to_string(),
+            seed: 2005,
+            instances: 1000,
+            mesh_side: (3, 6),
+            topologies: vec![TopologyChoice::Mesh, TopologyChoice::Torus, TopologyChoice::Ring],
+            algorithms: vec![Algorithm::Ear, Algorithm::Sdr],
+            battery_models: vec![BatteryChoice::Ideal, BatteryChoice::ThinFilm],
+            apps: vec![AppChoice::Aes, AppChoice::SenseLog],
+            battery_pj: (4_000.0, 12_000.0),
+            heterogeneity: 0.3,
+            churn: (0, 2),
+            churn_horizon: 30_000,
+            frame_period: (512, 2_048),
+            concurrent_jobs: (1, 3),
+            broadcast_fraction: 0.3,
+            max_cycles: 2_000_000,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// The tiny CI preset: a handful of small, short-lived instances that
+    /// still cross every sampling dimension.
+    #[must_use]
+    pub fn smoke() -> Self {
+        ScenarioSpec {
+            name: "smoke".to_string(),
+            instances: 8,
+            mesh_side: (3, 4),
+            battery_pj: (3_000.0, 5_000.0),
+            churn: (0, 1),
+            churn_horizon: 10_000,
+            max_cycles: 300_000,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// The churn-heavy preset: mid-size fabrics losing nodes constantly —
+    /// the regime where EAR's battery-awareness and the controller's
+    /// rerouting earn their keep.
+    #[must_use]
+    pub fn churn() -> Self {
+        ScenarioSpec {
+            name: "churn".to_string(),
+            mesh_side: (4, 6),
+            heterogeneity: 0.5,
+            churn: (2, 6),
+            churn_horizon: 20_000,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// Looks up a named preset (`mixed`, `smoke`, `churn`).
+    #[must_use]
+    pub fn preset(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "mixed" => Some(ScenarioSpec::default()),
+            "smoke" => Some(ScenarioSpec::smoke()),
+            "churn" => Some(ScenarioSpec::churn()),
+            _ => None,
+        }
+    }
+
+    /// Samples instance `index`'s configuration.
+    ///
+    /// The returned builder still runs full [`SimConfigBuilder`]
+    /// validation at build time; a spec whose ranges produce an invalid
+    /// combination yields a *rejected* instance (counted by the
+    /// controller), never a panic.
+    #[must_use]
+    pub fn sample(&self, index: usize) -> SimConfigBuilder {
+        let mut rng = FleetRng::new(self.seed).fork(index as u64);
+        let side = rng.range_usize(self.mesh_side.0..=self.mesh_side.1);
+        let nodes = side * side;
+        let topology = match rng.pick(&self.topologies).copied().unwrap_or(TopologyChoice::Mesh) {
+            TopologyChoice::Mesh => TopologyKind::Mesh,
+            TopologyChoice::Torus => TopologyKind::Torus,
+            TopologyChoice::Ring => TopologyKind::Ring,
+        };
+        let algorithm = rng.pick(&self.algorithms).copied().unwrap_or(Algorithm::Ear);
+        let battery =
+            rng.pick(&self.battery_models).copied().unwrap_or(BatteryChoice::Ideal).build();
+        let app = rng.pick(&self.apps).copied().unwrap_or(AppChoice::Aes).build();
+        let capacity = rng.range_f64(self.battery_pj.0, self.battery_pj.1);
+        // Coordinate-free mappings work on every sampled topology.
+        let mapping =
+            if rng.chance(0.5) { MappingKind::Proportional } else { MappingKind::RoundRobin };
+        let source = if rng.chance(self.broadcast_fraction) {
+            JobSource::Broadcast
+        } else {
+            JobSource::GatewayNode { node: rng.below(nodes as u64) as usize }
+        };
+        let capacity_profile = if self.heterogeneity > 0.0 {
+            let lo = (1.0 - self.heterogeneity).max(0.05);
+            let hi = 1.0 + self.heterogeneity;
+            (0..nodes).map(|_| rng.range_f64(lo, hi)).collect()
+        } else {
+            Vec::new()
+        };
+        let failures = (0..rng.range_usize(self.churn.0..=self.churn.1))
+            .map(|_| ScriptedFailure {
+                at_cycle: rng.range_u64(1..=self.churn_horizon.max(1)),
+                node: rng.below(nodes as u64) as usize,
+            })
+            .collect();
+        let frame_period = rng.range_u64(self.frame_period.0..=self.frame_period.1);
+        let concurrent = rng.range_usize(self.concurrent_jobs.0..=self.concurrent_jobs.1);
+        SimConfig::builder()
+            .mesh_square(side)
+            .topology(topology)
+            .algorithm(algorithm)
+            .battery(battery)
+            .battery_capacity_picojoules(capacity)
+            .capacity_profile(capacity_profile)
+            .scripted_failures(failures)
+            .app(app)
+            .mapping(mapping)
+            .source(source)
+            .concurrent_jobs(concurrent)
+            .max_cycles(self.max_cycles)
+            .tweak(|c| c.tdma.frame_period = Cycles::new(frame_period))
+    }
+
+    /// Parses the `key = value` spec-file format. Unknown keys and
+    /// malformed values are hard errors (a silently ignored dimension
+    /// would corrupt a fleet comparison). `#` starts a comment anywhere
+    /// on a line; blank lines are skipped. Omitted keys keep the
+    /// `mixed` defaults.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first bad line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut spec = ScenarioSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| format!("line {}: bad {what}: `{value}`", lineno + 1);
+            match key {
+                "name" => spec.name = value.to_string(),
+                "seed" => spec.seed = value.parse().map_err(|_| bad("seed"))?,
+                "instances" => spec.instances = value.parse().map_err(|_| bad("instances"))?,
+                "mesh_side" => spec.mesh_side = parse_range(value).ok_or_else(|| bad("range"))?,
+                "topology" => {
+                    spec.topologies = parse_list(value, TopologyChoice::parse)
+                        .ok_or_else(|| bad("topology list"))?;
+                }
+                "algorithm" => {
+                    spec.algorithms = parse_list(value, |s| match s {
+                        "ear" => Some(Algorithm::Ear),
+                        "sdr" => Some(Algorithm::Sdr),
+                        _ => None,
+                    })
+                    .ok_or_else(|| bad("algorithm list"))?;
+                }
+                "battery_model" => {
+                    spec.battery_models = parse_list(value, BatteryChoice::parse)
+                        .ok_or_else(|| bad("battery model list"))?;
+                }
+                "app" => {
+                    spec.apps =
+                        parse_list(value, AppChoice::parse).ok_or_else(|| bad("app list"))?;
+                }
+                "battery_pj" => {
+                    let (lo, hi) = parse_range::<f64>(value).ok_or_else(|| bad("range"))?;
+                    spec.battery_pj = (lo, hi);
+                }
+                "heterogeneity" => {
+                    spec.heterogeneity = value.parse().map_err(|_| bad("fraction"))?;
+                }
+                "churn" => spec.churn = parse_range(value).ok_or_else(|| bad("range"))?,
+                "churn_horizon" => {
+                    spec.churn_horizon = value.parse().map_err(|_| bad("cycle count"))?;
+                }
+                "frame_period" => {
+                    spec.frame_period = parse_range(value).ok_or_else(|| bad("range"))?;
+                }
+                "concurrent_jobs" => {
+                    spec.concurrent_jobs = parse_range(value).ok_or_else(|| bad("range"))?;
+                }
+                "broadcast_fraction" => {
+                    spec.broadcast_fraction = value.parse().map_err(|_| bad("fraction"))?;
+                }
+                "max_cycles" => spec.max_cycles = value.parse().map_err(|_| bad("cycle count"))?,
+                _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
+            }
+        }
+        spec.check()?;
+        Ok(spec)
+    }
+
+    /// Renders the canonical spec-file form ([`ScenarioSpec::parse`]'s
+    /// inverse).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "name = {}", self.name);
+        let _ = writeln!(out, "seed = {}", self.seed);
+        let _ = writeln!(out, "instances = {}", self.instances);
+        let _ = writeln!(out, "mesh_side = {}..{}", self.mesh_side.0, self.mesh_side.1);
+        let topos: Vec<&str> = self.topologies.iter().map(|t| t.name()).collect();
+        let _ = writeln!(out, "topology = {}", topos.join(", "));
+        let algos: Vec<&str> = self
+            .algorithms
+            .iter()
+            .map(|a| if *a == Algorithm::Ear { "ear" } else { "sdr" })
+            .collect();
+        let _ = writeln!(out, "algorithm = {}", algos.join(", "));
+        let models: Vec<&str> = self.battery_models.iter().map(|m| m.name()).collect();
+        let _ = writeln!(out, "battery_model = {}", models.join(", "));
+        let apps: Vec<&str> = self.apps.iter().map(|a| a.name()).collect();
+        let _ = writeln!(out, "app = {}", apps.join(", "));
+        let _ = writeln!(out, "battery_pj = {}..{}", self.battery_pj.0, self.battery_pj.1);
+        let _ = writeln!(out, "heterogeneity = {}", self.heterogeneity);
+        let _ = writeln!(out, "churn = {}..{}", self.churn.0, self.churn.1);
+        let _ = writeln!(out, "churn_horizon = {}", self.churn_horizon);
+        let _ = writeln!(out, "frame_period = {}..{}", self.frame_period.0, self.frame_period.1);
+        let _ = writeln!(
+            out,
+            "concurrent_jobs = {}..{}",
+            self.concurrent_jobs.0, self.concurrent_jobs.1
+        );
+        let _ = writeln!(out, "broadcast_fraction = {}", self.broadcast_fraction);
+        let _ = writeln!(out, "max_cycles = {}", self.max_cycles);
+        out
+    }
+
+    /// Structural sanity checks on the spec itself (not on sampled
+    /// configs — those go through `SimConfigBuilder` validation).
+    ///
+    /// # Errors
+    ///
+    /// A description of the violated constraint.
+    pub fn check(&self) -> Result<(), String> {
+        if self.instances == 0 {
+            return Err("spec expands into zero instances".to_string());
+        }
+        if self.mesh_side.0 == 0 || self.mesh_side.0 > self.mesh_side.1 {
+            return Err(format!(
+                "mesh_side range {}..{} is empty or zero",
+                self.mesh_side.0, self.mesh_side.1
+            ));
+        }
+        if self.topologies.is_empty()
+            || self.algorithms.is_empty()
+            || self.battery_models.is_empty()
+            || self.apps.is_empty()
+        {
+            return Err("every choice list needs at least one entry".to_string());
+        }
+        if !(self.battery_pj.0 > 0.0 && self.battery_pj.0 <= self.battery_pj.1) {
+            return Err("battery_pj range must be positive and non-empty".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.broadcast_fraction) {
+            return Err("broadcast_fraction must be in [0, 1]".to_string());
+        }
+        if !(0.0..1.0).contains(&self.heterogeneity) {
+            return Err("heterogeneity must be in [0, 1)".to_string());
+        }
+        if self.frame_period.0 == 0 || self.frame_period.0 > self.frame_period.1 {
+            return Err("frame_period range must be positive and non-empty".to_string());
+        }
+        if self.concurrent_jobs.0 == 0 || self.concurrent_jobs.0 > self.concurrent_jobs.1 {
+            return Err("concurrent_jobs range must be positive and non-empty".to_string());
+        }
+        if self.churn.0 > self.churn.1 {
+            return Err("churn range is empty".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Parses `lo..hi` (inclusive) or a single scalar `v` (meaning `v..v`).
+fn parse_range<T: Copy + core::str::FromStr>(value: &str) -> Option<(T, T)> {
+    if let Some((lo, hi)) = value.split_once("..") {
+        let lo = lo.trim().parse().ok()?;
+        let hi = hi.trim().parse().ok()?;
+        Some((lo, hi))
+    } else {
+        let v: T = value.trim().parse().ok()?;
+        Some((v, v))
+    }
+}
+
+/// Parses a comma-separated list through `one`, requiring at least one
+/// entry and no unknowns.
+fn parse_list<T>(value: &str, one: impl Fn(&str) -> Option<T>) -> Option<Vec<T>> {
+    let items: Option<Vec<T>> =
+        value.split(',').map(|s| one(s.trim().to_ascii_lowercase().as_str())).collect();
+    items.filter(|v| !v.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_pass_their_own_checks() {
+        for name in ["mixed", "smoke", "churn"] {
+            let spec = ScenarioSpec::preset(name).expect("preset exists");
+            spec.check().expect("preset is well-formed");
+            assert_eq!(spec.name, name);
+        }
+        assert!(ScenarioSpec::preset("nope").is_none());
+    }
+
+    #[test]
+    fn sampling_is_reproducible_and_index_sensitive() {
+        let spec = ScenarioSpec::smoke();
+        let a = spec.sample(3).validate().expect("sampled config is valid");
+        let b = spec.sample(3).validate().expect("sampled config is valid");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // Across 8 instances at least two distinct fabric sizes appear.
+        let sizes: std::collections::BTreeSet<usize> =
+            (0..8).map(|i| spec.sample(i).validate().unwrap().node_count()).collect();
+        assert!(sizes.len() > 1, "smoke preset collapsed to one size: {sizes:?}");
+    }
+
+    #[test]
+    fn sampled_configs_build_and_run() {
+        let spec = ScenarioSpec::smoke();
+        for i in 0..spec.instances {
+            let report = spec.sample(i).build().expect("smoke instances are valid").run();
+            assert!(report.lifetime_cycles > 0, "instance {i} died at cycle 0");
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip_and_errors() {
+        let spec = ScenarioSpec::churn();
+        let parsed = ScenarioSpec::parse(&spec.to_text()).expect("canonical text parses");
+        assert_eq!(spec, parsed);
+
+        let overridden =
+            ScenarioSpec::parse("instances = 5 # inline comment\nmesh_side = 4\n# comment\n")
+                .expect("partial spec parses");
+        assert_eq!(overridden.instances, 5);
+        assert_eq!(overridden.mesh_side, (4, 4));
+
+        assert!(ScenarioSpec::parse("bogus_key = 1").is_err());
+        assert!(ScenarioSpec::parse("mesh_side = banana").is_err());
+        assert!(ScenarioSpec::parse("instances = 0").is_err());
+        assert!(ScenarioSpec::parse("topology = klein-bottle").is_err());
+        assert!(ScenarioSpec::parse("no equals sign").is_err());
+    }
+
+    #[test]
+    fn choice_names_roundtrip() {
+        for t in [TopologyChoice::Mesh, TopologyChoice::Torus, TopologyChoice::Ring] {
+            assert_eq!(TopologyChoice::parse(t.name()), Some(t));
+        }
+        for b in [BatteryChoice::Ideal, BatteryChoice::ThinFilm, BatteryChoice::Linear] {
+            assert_eq!(BatteryChoice::parse(b.name()), Some(b));
+        }
+        for a in [AppChoice::Aes, AppChoice::SenseLog] {
+            assert_eq!(AppChoice::parse(a.name()), Some(a));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Verifies the fleet acceptance criterion that per-shard heap usage is
+//! *bounded* by buffer reuse: once a shard's [`SimPool`] has warmed up,
+//! running more instances does not grow the per-instance allocation
+//! count, and pooling allocates strictly less than building every
+//! instance from scratch.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; this
+//! file contains a single test so no concurrent case can pollute the
+//! counter between snapshots.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use etx_fleet::{FleetAggregate, ScenarioSpec};
+use etx_sim::SimPool;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a relaxed atomic with no further side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs instances `range` of `spec` sequentially over `pool` (exactly
+/// what one fleet shard does) and returns the allocation count.
+fn allocations_over_range(
+    spec: &ScenarioSpec,
+    pool: &mut SimPool,
+    range: core::ops::Range<usize>,
+) -> u64 {
+    let mut agg = FleetAggregate::new();
+    let before = allocations();
+    for index in range {
+        match spec.sample(index).build_pooled(pool) {
+            Ok(sim) => agg.observe(&sim.run_pooled(pool)),
+            Err(_) => agg.observe_rejection(),
+        }
+    }
+    allocations() - before
+}
+
+#[test]
+fn shard_steady_state_allocation_is_bounded_by_pooling() {
+    let spec = ScenarioSpec {
+        instances: 48,
+        // One fabric size so the steady state is a stable property,
+        // plus churn/heterogeneity to exercise the full engine path.
+        mesh_side: (4, 4),
+        battery_pj: (2_500.0, 4_000.0),
+        max_cycles: 200_000,
+        ..ScenarioSpec::smoke()
+    };
+
+    let mut pool = SimPool::new();
+    // Warm-up: the first batch grows the pool's scratch/report buffers
+    // to the fleet's dimensions.
+    let _warm = allocations_over_range(&spec, &mut pool, 0..16);
+
+    // Steady state is a *stable* property: re-running the same instance
+    // range through the warmed pool costs exactly the same (everything
+    // is deterministic and the pool never has to grow again).
+    let pass_one = allocations_over_range(&spec, &mut pool, 16..32);
+    let pass_two = allocations_over_range(&spec, &mut pool, 16..32);
+    assert_eq!(pass_one, pass_two, "warmed pool allocation drifted across identical batches");
+
+    // Reuse pays: the same batch built *without* pooling (fresh scratch,
+    // table and report buffers per instance) allocates strictly more.
+    let unpooled = {
+        let mut agg = FleetAggregate::new();
+        let before = allocations();
+        for index in 16..32 {
+            match spec.sample(index).build() {
+                Ok(sim) => agg.observe(&sim.run()),
+                Err(_) => agg.observe_rejection(),
+            }
+        }
+        allocations() - before
+    };
+    assert!(pass_one < unpooled, "pooling saved nothing: pooled {pass_one} vs unpooled {unpooled}");
+
+    // And a sane absolute per-instance ceiling. A 4x4 instance costs
+    // ~60-70 allocations of engine construction (graph, placement,
+    // batteries, sampled churn/profile vectors); 500 leaves headroom
+    // while still catching any per-cycle or per-TDMA-frame allocation
+    // regression, which would blow past it by orders of magnitude
+    // (lifetimes run to thousands of cycles).
+    let per_instance = pass_two / 16;
+    assert!(per_instance < 500, "per-instance allocations exploded: {per_instance}");
+}

@@ -1,0 +1,85 @@
+//! The fleet controller's two load-bearing guarantees, property-tested:
+//!
+//! 1. **Engine equivalence** — a 1-instance fleet produces a
+//!    [`SimReport`]-derived aggregate identical to folding a direct
+//!    `Simulation::run` of the same sampled config (pooling and
+//!    scenario expansion add nothing and lose nothing);
+//! 2. **Shard invariance** — the same spec and seed yield byte-identical
+//!    fleet aggregates whatever the shard count.
+
+use etx_fleet::{FleetAggregate, FleetController, ScenarioSpec, ShardPlan};
+use proptest::prelude::*;
+
+fn fast_spec(seed: u64, instances: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        seed,
+        instances,
+        // Small fabrics and small batteries keep a property case cheap.
+        mesh_side: (3, 4),
+        battery_pj: (2_500.0, 4_500.0),
+        max_cycles: 200_000,
+        ..ScenarioSpec::smoke()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A 1-instance fleet equals a direct run of the sampled config,
+    /// for any seed: same report, hence the same aggregate.
+    #[test]
+    fn one_instance_fleet_matches_direct_run(seed in 0u64..10_000) {
+        let spec = fast_spec(seed, 1);
+        let fleet = FleetController::new().run(&spec).unwrap().aggregate;
+
+        let direct_report = spec
+            .sample(0)
+            .build()
+            .expect("fast_spec instance 0 is valid")
+            .run();
+        let mut direct = FleetAggregate::new();
+        direct.observe(&direct_report);
+
+        prop_assert_eq!(&fleet, &direct);
+        prop_assert_eq!(fleet.to_json(), direct.to_json());
+    }
+
+    /// Shard count never changes the aggregate — including degenerate
+    /// plans (more shards than instances) and repeated runs.
+    #[test]
+    fn aggregates_are_shard_invariant(
+        seed in 0u64..10_000,
+        instances in 1usize..7,
+        shards in 1usize..9,
+    ) {
+        let spec = fast_spec(seed, instances);
+        let baseline = FleetController::new().with_shards(ShardPlan::Fixed(1)).run(&spec).unwrap();
+        let sharded = FleetController::new().with_shards(ShardPlan::Fixed(shards)).run(&spec).unwrap();
+        prop_assert_eq!(&baseline.aggregate, &sharded.aggregate);
+        prop_assert_eq!(baseline.aggregate.to_json(), sharded.aggregate.to_json());
+        // And a rerun of the same plan is bitwise-stable.
+        let again = FleetController::new().with_shards(ShardPlan::Fixed(shards)).run(&spec).unwrap();
+        prop_assert_eq!(&sharded.aggregate, &again.aggregate);
+    }
+}
+
+/// Different seeds should explore different fleets (not a formal
+/// property of a PRNG, but a canary against seed-plumbing bugs).
+#[test]
+fn different_seeds_differ() {
+    let a = FleetController::new().run(&fast_spec(1, 4)).unwrap();
+    let b = FleetController::new().run(&fast_spec(2, 4)).unwrap();
+    assert_ne!(a.aggregate, b.aggregate, "seeds 1 and 2 produced identical fleets");
+}
+
+/// The aggregate folds every instance exactly once, whatever the
+/// sharding — checked through the instance counter rather than stats.
+#[test]
+fn instance_accounting_is_exact() {
+    let spec = fast_spec(7, 13);
+    for shards in [1usize, 2, 3, 13] {
+        let result =
+            FleetController::new().with_shards(ShardPlan::Fixed(shards)).run(&spec).unwrap();
+        assert_eq!(result.aggregate.instances + result.aggregate.rejected, 13, "shards={shards}");
+    }
+}

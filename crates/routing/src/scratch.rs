@@ -114,4 +114,17 @@ impl RoutingScratch {
     pub fn full_recomputes(&self) -> u64 {
         self.full_recomputes
     }
+
+    /// Prepares this scratch for reuse by an unrelated caller (a new
+    /// simulation instance drawing it from a pool): drops the cached
+    /// weight fingerprint so the next call runs a clean full recompute,
+    /// and zeroes the per-run counters. All buffer *capacity* is
+    /// retained — that is the whole point of pooling — so a scratch that
+    /// has seen a fleet's largest fabric never reallocates for a smaller
+    /// one.
+    pub fn recycle(&mut self) {
+        self.key = None;
+        self.delta_recomputes = 0;
+        self.full_recomputes = 0;
+    }
 }

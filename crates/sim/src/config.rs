@@ -170,6 +170,18 @@ impl Default for RemappingPolicy {
     }
 }
 
+/// One scripted node failure: at cycle `at_cycle`, node `node` is ripped
+/// out of the fabric (cut trace, torn connector, washing-machine event),
+/// whatever its remaining charge — which is then accounted as stranded
+/// energy. This is the churn-injection lever fleet scenarios sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFailure {
+    /// Simulation cycle at which the node fails.
+    pub at_cycle: u64,
+    /// Dense node index of the failing node.
+    pub node: usize,
+}
+
 /// Errors raised while assembling a [`Simulation`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -248,6 +260,15 @@ pub struct SimConfig {
     pub battery: BatteryModel,
     /// Battery budget `B` per node.
     pub battery_capacity: Energy,
+    /// Per-node battery-capacity multipliers (battery heterogeneity).
+    /// Node `i` gets `battery_capacity * capacity_profile[i % len]`;
+    /// empty (the default) means a uniform fleet. Entries must be
+    /// positive and finite.
+    pub capacity_profile: Vec<f64>,
+    /// Scripted node failures (churn injection), applied when the
+    /// simulation clock reaches each entry's cycle. Order is irrelevant;
+    /// the engine sorts a copy. Empty by default.
+    pub scripted_failures: Vec<ScriptedFailure>,
     /// Routing algorithm (EAR or SDR).
     pub algorithm: Algorithm,
     /// EAR battery weighting (`N_B`, `Q`).
@@ -284,6 +305,11 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Event-trace capacity; 0 (default) disables tracing.
     pub trace_capacity: usize,
+    /// When `true`, a full trace overwrites its *oldest* events (ring
+    /// buffer) instead of dropping new ones — long fleet runs keep the
+    /// interesting tail with bounded memory. Default `false` (the seed's
+    /// keep-first behaviour).
+    pub trace_ring: bool,
 }
 
 impl SimConfig {
@@ -291,6 +317,14 @@ impl SimConfig {
     #[must_use]
     pub fn builder() -> SimConfigBuilder {
         SimConfigBuilder { config: SimConfig::default() }
+    }
+
+    /// Wraps an already-assembled config in a builder, so programmatic
+    /// producers (fleet scenario sampling) can go through the same
+    /// validation and pooled-construction paths as hand-written specs.
+    #[must_use]
+    pub fn into_builder(self) -> SimConfigBuilder {
+        SimConfigBuilder { config: self }
     }
 
     /// The mesh geometry.
@@ -375,6 +409,18 @@ impl SimConfig {
         }
     }
 
+    /// The battery budget of node `i` after applying the heterogeneity
+    /// profile (the uniform `battery_capacity` when the profile is
+    /// empty).
+    #[must_use]
+    pub fn effective_capacity(&self, node: usize) -> Energy {
+        if self.capacity_profile.is_empty() {
+            self.battery_capacity
+        } else {
+            self.battery_capacity * self.capacity_profile[node % self.capacity_profile.len()]
+        }
+    }
+
     /// Resolves the configured job source to a gateway node id, if the
     /// source is gateway-based.
     #[must_use]
@@ -401,6 +447,8 @@ impl Default for SimConfig {
             mapping: MappingKind::Checkerboard,
             battery: BatteryModel::ThinFilm,
             battery_capacity: Energy::from_picojoules(60_000.0),
+            capacity_profile: Vec::new(),
+            scripted_failures: Vec::new(),
             algorithm: Algorithm::Ear,
             weighting: BatteryWeighting::default(),
             tdma: TdmaConfig::default(),
@@ -416,6 +464,7 @@ impl Default for SimConfig {
             stall_giveup: Cycles::new(16_384),
             max_cycles: 20_000_000,
             trace_capacity: 0,
+            trace_ring: false,
         }
     }
 }
@@ -560,6 +609,29 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Makes a full trace overwrite its oldest events (ring buffer)
+    /// instead of dropping new ones.
+    #[must_use]
+    pub fn trace_ring(mut self, ring: bool) -> Self {
+        self.config.trace_ring = ring;
+        self
+    }
+
+    /// Sets per-node battery-capacity multipliers (battery
+    /// heterogeneity); node `i` gets `battery_capacity * profile[i % len]`.
+    #[must_use]
+    pub fn capacity_profile(mut self, profile: Vec<f64>) -> Self {
+        self.config.capacity_profile = profile;
+        self
+    }
+
+    /// Schedules scripted node failures (churn injection).
+    #[must_use]
+    pub fn scripted_failures(mut self, failures: Vec<ScriptedFailure>) -> Self {
+        self.config.scripted_failures = failures;
+        self
+    }
+
     /// Grants direct access for fields without a dedicated setter.
     #[must_use]
     pub fn tweak(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
@@ -569,12 +641,39 @@ impl SimConfigBuilder {
 
     /// Validates the configuration and assembles the [`Simulation`].
     ///
+    /// Validation is descriptive and non-fatal: every bad spec —
+    /// including the TDMA schedule, the heterogeneity profile and
+    /// scripted failures — comes back as an `Err`, never a panic, so
+    /// fleet scenario sampling can reject and move on.
+    ///
     /// # Errors
     ///
     /// [`SimError::InvalidConfig`] for out-of-range scalar fields,
     /// [`SimError::GatewayOutOfRange`] for a bad gateway, and
     /// [`SimError::Mapping`] when the application cannot be placed.
     pub fn build(self) -> Result<Simulation, SimError> {
+        Simulation::new(self.validate()?)
+    }
+
+    /// Like [`SimConfigBuilder::build`], but drawing the routing
+    /// scratch, table and report buffers from `pool` instead of
+    /// allocating fresh ones — the fleet controller's per-shard reuse
+    /// path. [`Simulation::run_pooled`] returns them when the run ends.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimConfigBuilder::build`].
+    pub fn build_pooled(self, pool: &mut crate::SimPool) -> Result<Simulation, SimError> {
+        Simulation::new_pooled(self.validate()?, pool)
+    }
+
+    /// Runs every validation check and returns the finalized
+    /// [`SimConfig`] (with the auto-derived medium length applied).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimConfigBuilder::build`].
+    pub fn validate(self) -> Result<SimConfig, SimError> {
         let c = &self.config;
         if c.mesh_width == 0 || c.mesh_height == 0 {
             return Err(SimError::InvalidConfig("mesh dimensions must be positive"));
@@ -594,10 +693,15 @@ impl SimConfigBuilder {
         if c.battery_capacity.picojoules() <= 0.0 {
             return Err(SimError::InvalidConfig("battery capacity must be positive"));
         }
+        if !c.capacity_profile.iter().all(|m| m.is_finite() && *m > 0.0) {
+            return Err(SimError::InvalidConfig(
+                "capacity profile multipliers must be positive and finite",
+            ));
+        }
         if let ControllerSetup::Finite { count: 0 } = c.controllers {
             return Err(SimError::InvalidConfig("finite controller bank needs at least one"));
         }
-        c.tdma.validate();
+        c.tdma.check().map_err(SimError::InvalidConfig)?;
         match c.source {
             JobSource::Gateway { x, y } => {
                 if !c.has_mesh_coordinates() {
@@ -619,12 +723,17 @@ impl SimConfigBuilder {
         if matches!(c.topology, TopologyKind::Ring) && c.mesh_width * c.mesh_height < 3 {
             return Err(SimError::InvalidConfig("ring topology needs at least 3 nodes"));
         }
+        if c.scripted_failures.iter().any(|f| f.node >= c.node_count()) {
+            return Err(SimError::InvalidConfig(
+                "scripted failure names a node outside the fabric",
+            ));
+        }
         let mut config = self.config;
         if config.auto_medium_length {
             config.tdma.medium_length =
                 config.link_pitch * (config.mesh_width + config.mesh_height) as f64;
         }
-        Simulation::new(config)
+        Ok(config)
     }
 }
 

@@ -6,9 +6,10 @@ use etx_mapping::Placement;
 use etx_routing::{Router, RoutingScratch, RoutingState, SystemReport};
 use etx_units::Energy;
 
-use crate::config::{ControllerSetup, JobSource, SimConfig, SimError};
+use crate::config::{ControllerSetup, JobSource, ScriptedFailure, SimConfig, SimError};
 use crate::job::{Job, JobPhase};
 use crate::node::{DrainKind, NodeState};
+use crate::pool::SimPool;
 use crate::stats::{DeathCause, EnergyBreakdown, NodeStats, SimReport};
 use crate::trace::{SimTrace, TraceEvent};
 
@@ -46,6 +47,9 @@ pub struct Simulation {
     controller_model: ControllerEnergyModel,
     ledger: ControlLedger,
     jobs: Vec<Job>,
+    /// Recycled spare for the per-cycle survivor sweep, so steady-state
+    /// stepping performs no heap allocation.
+    jobs_spare: Vec<Job>,
     now: u64,
     next_job_id: u64,
     // Event accumulators.
@@ -57,6 +61,10 @@ pub struct Simulation {
     remaps: u64,
     routing_version: u64,
     frames: u64,
+    /// Scripted failures sorted by cycle; `failure_cursor` tracks the
+    /// next one due.
+    failures: Vec<ScriptedFailure>,
+    failure_cursor: usize,
     pending_death: Option<DeathCause>,
     death: Option<DeathCause>,
     trace: SimTrace,
@@ -78,12 +86,55 @@ impl core::fmt::Debug for Simulation {
 impl Simulation {
     /// Assembles a simulation (called by the config builder).
     pub(crate) fn new(cfg: SimConfig) -> Result<Self, SimError> {
+        Self::with_buffers(
+            cfg,
+            RoutingScratch::new(),
+            RoutingState::empty(),
+            SystemReport::fresh(0, 1),
+            SystemReport::fresh(0, 1),
+        )
+    }
+
+    /// Assembles a simulation on recycled buffers drawn from `pool`.
+    pub(crate) fn new_pooled(cfg: SimConfig, pool: &mut SimPool) -> Result<Self, SimError> {
+        // Resolve the one remaining fallible step *before* drawing
+        // buffers, so a rejected instance (mapping failure) cannot leak
+        // the shard's warm buffer set out of the pool.
+        let placement = cfg.placement()?;
+        let (scratch, routing, report, report_buf) = pool.take();
+        Ok(Self::assemble(cfg, placement, scratch, routing, report, report_buf))
+    }
+
+    /// Assembles a simulation from a validated config plus the buffer
+    /// set it will own (fresh or recycled — capacity is reused either
+    /// way).
+    fn with_buffers(
+        cfg: SimConfig,
+        routing_scratch: RoutingScratch,
+        routing: RoutingState,
+        report: SystemReport,
+        report_buf: SystemReport,
+    ) -> Result<Self, SimError> {
+        let placement = cfg.placement()?;
+        Ok(Self::assemble(cfg, placement, routing_scratch, routing, report, report_buf))
+    }
+
+    /// Infallible assembly once the placement is resolved.
+    fn assemble(
+        cfg: SimConfig,
+        placement: Placement,
+        mut routing_scratch: RoutingScratch,
+        mut routing: RoutingState,
+        mut report: SystemReport,
+        report_buf: SystemReport,
+    ) -> Self {
         let graph = cfg.build_graph();
         let gateway = cfg.gateway_node();
-        let placement = cfg.placement()?;
         let nodes: Vec<NodeState> = placement
             .iter()
-            .map(|(_, module)| NodeState::new(module, cfg.battery.build(cfg.battery_capacity)))
+            .map(|(id, module)| {
+                NodeState::new(module, cfg.battery.build(cfg.effective_capacity(id.index())))
+            })
             .collect();
         let router = Router::with_weighting(cfg.algorithm, cfg.weighting);
         let bank = match cfg.controllers {
@@ -92,10 +143,15 @@ impl Simulation {
         };
         let controller_model = cfg.controller_model();
         let cfg_trace_capacity = cfg.trace_capacity;
+        let mut failures = cfg.scripted_failures.clone();
+        failures.sort_by_key(|f| (f.at_cycle, f.node));
+        let trace = if cfg.trace_ring {
+            SimTrace::ring(cfg_trace_capacity)
+        } else {
+            SimTrace::with_capacity(cfg_trace_capacity)
+        };
         // Initial routing from the fresh system state.
-        let report = SystemReport::fresh(nodes.len(), cfg.weighting.levels());
-        let mut routing_scratch = RoutingScratch::new();
-        let mut routing = RoutingState::empty();
+        report.reset_fresh(nodes.len(), cfg.weighting.levels());
         router.compute_into(
             &graph,
             placement.module_nodes(),
@@ -104,7 +160,7 @@ impl Simulation {
             &mut routing_scratch,
             &mut routing,
         );
-        Ok(Simulation {
+        Simulation {
             cfg,
             gateway,
             graph,
@@ -114,11 +170,12 @@ impl Simulation {
             routing,
             routing_scratch,
             last_report: report,
-            report_buf: SystemReport::fresh(0, 1),
+            report_buf,
             bank,
             controller_model,
             ledger: ControlLedger::new(),
             jobs: Vec::new(),
+            jobs_spare: Vec::new(),
             now: 0,
             next_job_id: 0,
             jobs_completed: 0,
@@ -129,10 +186,12 @@ impl Simulation {
             remaps: 0,
             routing_version: 1,
             frames: 0,
+            failures,
+            failure_cursor: 0,
             pending_death: None,
             death: None,
-            trace: SimTrace::with_capacity(cfg_trace_capacity),
-        })
+            trace,
+        }
     }
 
     /// The configuration this run uses.
@@ -182,6 +241,21 @@ impl Simulation {
             return self.die(DeathCause::MaxCycles);
         }
 
+        // --- scripted failures (churn injection) ----------------------
+        while self.failure_cursor < self.failures.len()
+            && self.failures[self.failure_cursor].at_cycle <= self.now
+        {
+            let node = NodeId::new(self.failures[self.failure_cursor].node);
+            self.failure_cursor += 1;
+            if !self.nodes[node.index()].is_dead() {
+                self.nodes[node.index()].forced_dead = true;
+                self.on_node_death(node);
+            }
+        }
+        if let Some(cause) = self.pending_death.take() {
+            return self.die(cause);
+        }
+
         // --- TDMA frame boundary -------------------------------------
         if self.now.is_multiple_of(self.cfg.tdma.frame_period.count()) {
             if let Some(cause) = self.tdma_frame() {
@@ -190,8 +264,13 @@ impl Simulation {
         }
 
         // --- advance jobs ---------------------------------------------
+        // Both vectors are recycled every cycle (`jobs` drains into
+        // `survivors`, then becomes next cycle's spare), so the sweep
+        // allocates only when the in-flight job count grows.
         let mut jobs = std::mem::take(&mut self.jobs);
-        let mut survivors = Vec::with_capacity(jobs.len());
+        let mut survivors = std::mem::take(&mut self.jobs_spare);
+        debug_assert!(survivors.is_empty());
+        let mut died = None;
         for mut job in jobs.drain(..) {
             match self.advance_job(&mut job) {
                 JobOutcome::Continue => survivors.push(job),
@@ -211,12 +290,18 @@ impl Simulation {
                     }
                 }
             }
-            if let Some(cause) = self.pending_death.take() {
-                self.jobs = survivors;
-                return self.die(cause);
+            died = self.pending_death.take();
+            if died.is_some() {
+                break;
             }
         }
+        // `jobs` is empty here even after an early break: dropping the
+        // `Drain` iterator removes any undrained elements.
+        self.jobs_spare = jobs;
         self.jobs = survivors;
+        if let Some(cause) = died {
+            return self.die(cause);
+        }
 
         // --- deadlock flags --------------------------------------------
         let threshold = self.cfg.deadlock_threshold.count();
@@ -253,6 +338,26 @@ impl Simulation {
                 return self.into_report(cause);
             }
         }
+    }
+
+    /// Runs to completion like [`Simulation::run`], then hands the
+    /// simulation's routing scratch, table and report buffers back to
+    /// `pool` for the next instance. Pair with
+    /// [`SimConfigBuilder::build_pooled`][crate::SimConfigBuilder::build_pooled];
+    /// the report is identical to what [`Simulation::run`] produces.
+    #[must_use]
+    pub fn run_pooled(mut self, pool: &mut SimPool) -> SimReport {
+        let cause = loop {
+            if let Some(cause) = self.step() {
+                break cause;
+            }
+        };
+        let scratch = std::mem::take(&mut self.routing_scratch);
+        let routing = std::mem::replace(&mut self.routing, RoutingState::empty());
+        let report = std::mem::replace(&mut self.last_report, SystemReport::fresh(0, 1));
+        let report_buf = std::mem::replace(&mut self.report_buf, SystemReport::fresh(0, 1));
+        pool.put(scratch, routing, report, report_buf);
+        self.into_report(cause)
     }
 
     // ------------------------------------------------------------------
@@ -982,6 +1087,117 @@ mod tests {
         while sim.step().is_none() {}
         assert!(sim.trace().is_disabled());
         assert!(sim.trace().events().is_empty());
+    }
+
+    #[test]
+    fn scripted_failures_kill_nodes_and_strand_energy() {
+        use crate::config::ScriptedFailure;
+        // Rip out a relay corner early; the run must still be well-formed
+        // and the victim's remaining charge counts as stranded.
+        let base = || {
+            SimConfig::builder().battery(BatteryModel::Ideal).battery_capacity_picojoules(10_000.0)
+        };
+        let plain = base().build().expect("valid config").run();
+        let churned = base()
+            .scripted_failures(vec![ScriptedFailure { at_cycle: 500, node: 15 }])
+            .build()
+            .expect("valid config")
+            .run();
+        let victim = &churned.node_stats[15];
+        assert!(!victim.alive_at_end);
+        assert!(victim.stranded.picojoules() > 1_000.0, "forced death strands charge");
+        assert!(churned.jobs_fractional <= plain.jobs_fractional);
+        // Determinism holds with failures scripted.
+        let again = base()
+            .scripted_failures(vec![ScriptedFailure { at_cycle: 500, node: 15 }])
+            .build()
+            .expect("valid config")
+            .run();
+        assert_eq!(churned, again);
+    }
+
+    #[test]
+    fn scripted_failure_of_singleton_module_is_fatal() {
+        use crate::config::ScriptedFailure;
+        let mut assignment = vec![ModuleId::new(2); 16];
+        assignment[5] = ModuleId::new(0);
+        assignment[6] = ModuleId::new(1);
+        let report = SimConfig::builder()
+            .mapping(MappingKind::Custom(assignment))
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(60_000.0)
+            .scripted_failures(vec![ScriptedFailure { at_cycle: 2_000, node: 5 }])
+            .build()
+            .expect("valid config")
+            .run();
+        assert_eq!(report.death_cause, DeathCause::ModuleExtinct(ModuleId::new(0)));
+        assert!(report.lifetime_cycles <= 2_001);
+    }
+
+    #[test]
+    fn scripted_failure_rejects_out_of_range_node() {
+        use crate::config::ScriptedFailure;
+        let err = SimConfig::builder()
+            .scripted_failures(vec![ScriptedFailure { at_cycle: 0, node: 99 }])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, crate::SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn capacity_profile_scales_per_node_budgets() {
+        // Give the gateway quadrant weak cells: lifetime must drop.
+        let weak_first = vec![0.25, 1.0, 1.0, 1.0];
+        let rich = quick(Algorithm::Ear, 10_000.0);
+        let poor = SimConfig::builder()
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(10_000.0)
+            .capacity_profile(weak_first)
+            .build()
+            .expect("valid config")
+            .run();
+        assert!(poor.jobs_fractional < rich.jobs_fractional);
+        let err = SimConfig::builder().capacity_profile(vec![0.0]).build().unwrap_err();
+        assert!(matches!(err, crate::SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn pooled_run_matches_direct_run() {
+        use crate::pool::SimPool;
+        let mut pool = SimPool::new();
+        let make = |caps: f64| {
+            SimConfig::builder().battery(BatteryModel::Ideal).battery_capacity_picojoules(caps)
+        };
+        // Several sequential instances over one pool, including a size
+        // change, all identical to their unpooled twins.
+        for (side, caps) in [(4usize, 8_000.0), (5, 6_000.0), (4, 8_000.0)] {
+            let direct = make(caps).mesh_square(side).build().expect("valid config").run();
+            let pooled = make(caps)
+                .mesh_square(side)
+                .build_pooled(&mut pool)
+                .expect("valid config")
+                .run_pooled(&mut pool);
+            assert_eq!(direct, pooled, "{side}x{side} diverged under pooling");
+        }
+        assert_eq!(pool.served(), 3);
+    }
+
+    #[test]
+    fn ring_trace_bounds_memory_on_long_runs() {
+        let mut sim = SimConfig::builder()
+            .battery(BatteryModel::Ideal)
+            .battery_capacity_picojoules(8_000.0)
+            .trace_capacity(4)
+            .trace_ring(true)
+            .build()
+            .unwrap();
+        while sim.step().is_none() {}
+        let trace = sim.trace();
+        assert!(trace.events().len() <= 4);
+        assert!(trace.dropped() > 0, "a whole lifetime should overflow 4 slots");
+        // The ring keeps the tail: the last stored cycle is near death.
+        let last_cycle = trace.iter().last().expect("events stored").0;
+        assert!(last_cycle * 2 >= sim.now(), "ring kept early events only");
     }
 
     #[test]

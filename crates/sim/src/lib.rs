@@ -52,13 +52,15 @@ mod config;
 mod engine;
 mod job;
 mod node;
+mod pool;
 mod stats;
 mod trace;
 
 pub use config::{
-    BatteryModel, ControllerSetup, JobSource, MappingKind, RemappingPolicy, SimConfig,
-    SimConfigBuilder, SimError, TopologyKind,
+    BatteryModel, ControllerSetup, JobSource, MappingKind, RemappingPolicy, ScriptedFailure,
+    SimConfig, SimConfigBuilder, SimError, TopologyKind,
 };
 pub use engine::Simulation;
+pub use pool::SimPool;
 pub use stats::{DeathCause, EnergyBreakdown, NodeStats, SimReport};
-pub use trace::{SimTrace, TraceEvent};
+pub use trace::{SimTrace, TraceEvent, TraceOverflow, TraceRun};

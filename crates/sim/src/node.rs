@@ -19,6 +19,9 @@ pub(crate) enum DrainKind {
 pub(crate) struct NodeState {
     pub module: ModuleId,
     pub battery: Box<dyn Battery>,
+    /// Scripted failure: the node was ripped out of the fabric (churn
+    /// injection), regardless of how much charge its battery holds.
+    pub forced_dead: bool,
     /// Cycle of the last battery interaction, for idle-recovery credit.
     pub last_activity: u64,
     /// The node's compute unit is busy until this cycle.
@@ -40,6 +43,7 @@ impl NodeState {
         NodeState {
             module,
             battery,
+            forced_dead: false,
             last_activity: 0,
             busy_until: 0,
             buffered: 0,
@@ -53,14 +57,14 @@ impl NodeState {
     }
 
     pub fn is_dead(&self) -> bool {
-        self.battery.is_dead()
+        self.forced_dead || self.battery.is_dead()
     }
 
     /// Rests the battery for the idle time since the last interaction,
     /// then draws `energy`. Returns `true` only if the full energy was
     /// delivered (otherwise the node just died).
     pub fn drain(&mut self, now: u64, energy: Energy, kind: DrainKind) -> bool {
-        if self.battery.is_dead() {
+        if self.is_dead() {
             return false;
         }
         let idle = now.saturating_sub(self.last_activity);

@@ -1,0 +1,91 @@
+//! [`SimPool`]: recycled simulation buffers for fleet-scale runs.
+//!
+//! One `Simulation` owns a [`RoutingScratch`], a [`RoutingState`] and two
+//! [`SystemReport`] buffers — several megabytes on the largest fabrics,
+//! and the dominant allocation cost of spinning a fresh instance up. A
+//! fleet shard that runs thousands of instances *sequentially* needs only
+//! one set: build each instance with
+//! [`SimConfigBuilder::build_pooled`][crate::SimConfigBuilder::build_pooled],
+//! finish it with [`Simulation::run_pooled`][crate::Simulation::run_pooled],
+//! and the buffers flow back here for the next instance. Capacity is
+//! retained across instances (and across *different* fabric sizes — the
+//! routing scratch resizes lazily and keeps the high-water mark), so a
+//! shard's steady-state allocation per instance is bounded and small.
+
+use etx_routing::{RoutingScratch, RoutingState, SystemReport};
+
+/// Recycled buffers shared by the sequential simulations of one shard.
+///
+/// Not thread-safe by design: each shard owns its own pool, which is what
+/// keeps the fleet controller deterministic and lock-free.
+#[derive(Debug, Default)]
+pub struct SimPool {
+    scratch: Option<RoutingScratch>,
+    routing: Option<RoutingState>,
+    reports: Vec<SystemReport>,
+    /// Instances served since creation (for diagnostics/tests).
+    served: u64,
+}
+
+impl SimPool {
+    /// An empty pool; buffers are created on first use and recycled
+    /// thereafter.
+    #[must_use]
+    pub fn new() -> Self {
+        SimPool::default()
+    }
+
+    /// Instances that have drawn buffers from this pool so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Draws a full buffer set: `(scratch, routing, report, report_buf)`.
+    pub(crate) fn take(&mut self) -> (RoutingScratch, RoutingState, SystemReport, SystemReport) {
+        self.served += 1;
+        let scratch = self.scratch.take().unwrap_or_default();
+        let routing = self.routing.take().unwrap_or_else(RoutingState::empty);
+        let report = self.reports.pop().unwrap_or_else(|| SystemReport::fresh(0, 1));
+        let report_buf = self.reports.pop().unwrap_or_else(|| SystemReport::fresh(0, 1));
+        (scratch, routing, report, report_buf)
+    }
+
+    /// Returns a buffer set drawn with [`SimPool::take`]. The scratch is
+    /// [recycled][RoutingScratch::recycle] (cached fingerprint dropped,
+    /// counters zeroed) so the next instance starts clean.
+    pub(crate) fn put(
+        &mut self,
+        mut scratch: RoutingScratch,
+        routing: RoutingState,
+        report: SystemReport,
+        report_buf: SystemReport,
+    ) {
+        scratch.recycle();
+        self.scratch = Some(scratch);
+        self.routing = Some(routing);
+        // Keep at most the two buffers one instance needs (`report` on
+        // top, so it is the first drawn again).
+        self.reports.clear();
+        self.reports.push(report_buf);
+        self.reports.push(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_cycle_reuses_buffers() {
+        let mut pool = SimPool::new();
+        let (scratch, routing, mut report, report_buf) = pool.take();
+        assert_eq!(pool.served(), 1);
+        report.reset_fresh(64, 16);
+        pool.put(scratch, routing, report, report_buf);
+        let (_, _, report, _) = pool.take();
+        // The recycled report kept its 64-node allocation.
+        assert_eq!(report.node_count(), 64);
+        assert_eq!(pool.served(), 2);
+    }
+}

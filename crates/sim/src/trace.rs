@@ -74,27 +74,58 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// What a full [`SimTrace`] does with further events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceOverflow {
+    /// Keep the *first* `capacity` events and count the rest (the
+    /// original behaviour, and still the default).
+    #[default]
+    KeepFirst,
+    /// Treat the storage as a ring buffer: keep the *latest* `capacity`
+    /// events, overwriting the oldest. Long fleet runs use this so a
+    /// traced instance's memory stays bounded at `capacity` events no
+    /// matter how long it lives, while the tail — where deaths, stalls
+    /// and failovers cluster — is preserved.
+    Ring,
+}
+
+/// One contiguous run of stored trace entries (see [`SimTrace::runs`]).
+pub type TraceRun<'a> = &'a [(u64, TraceEvent)];
+
 /// A bounded, timestamped event log.
 ///
 /// Disabled by default (zero cost); enable it with
 /// [`SimConfig::builder().tweak(|c| c.trace_capacity = 10_000)`]
-/// or any non-zero capacity. Once full, further events are counted but
-/// not stored.
+/// or any non-zero capacity. Once full, the [`TraceOverflow`] policy
+/// decides whether further events are counted-but-ignored
+/// ([`TraceOverflow::KeepFirst`]) or overwrite the oldest entries
+/// ([`TraceOverflow::Ring`]).
 ///
 /// [`SimConfig::builder().tweak(|c| c.trace_capacity = 10_000)`]:
 ///     crate::SimConfig
 #[derive(Debug, Clone, Default)]
 pub struct SimTrace {
     capacity: usize,
+    overflow: TraceOverflow,
     events: Vec<(u64, TraceEvent)>,
+    /// Ring mode: index of the *oldest* stored event once the buffer has
+    /// wrapped (equivalently, where the next overwrite lands).
+    head: usize,
     dropped: u64,
 }
 
 impl SimTrace {
-    /// Creates a trace holding at most `capacity` events.
+    /// Creates a trace holding at most `capacity` events, keeping the
+    /// first ones on overflow.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        SimTrace { capacity, events: Vec::new(), dropped: 0 }
+        SimTrace { capacity, ..SimTrace::default() }
+    }
+
+    /// Creates a ring trace holding the *latest* `capacity` events.
+    #[must_use]
+    pub fn ring(capacity: usize) -> Self {
+        SimTrace { capacity, overflow: TraceOverflow::Ring, ..SimTrace::default() }
     }
 
     /// `true` if this trace stores nothing (capacity 0).
@@ -103,18 +134,55 @@ impl SimTrace {
         self.capacity == 0
     }
 
+    /// The overflow policy.
+    #[must_use]
+    pub fn overflow(&self) -> TraceOverflow {
+        self.overflow
+    }
+
     /// Records an event at cycle `now`.
     pub fn record(&mut self, now: u64, event: TraceEvent) {
         if self.events.len() < self.capacity {
             self.events.push((now, event));
-        } else if self.capacity > 0 {
+        } else if self.capacity == 0 {
+            // Disabled: drop silently and cheaply.
+        } else if self.overflow == TraceOverflow::Ring {
+            self.events[self.head] = (now, event);
+            self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         } else {
-            // Disabled: drop silently and cheaply.
+            self.dropped += 1;
         }
     }
 
+    /// The stored `(cycle, event)` pairs in chronological order, as the
+    /// two contiguous runs of the underlying storage: `(older, newer)`.
+    /// For a [`TraceOverflow::KeepFirst`] trace (or an unwrapped ring)
+    /// everything is in the first run and the second is empty.
+    #[must_use]
+    pub fn runs(&self) -> (TraceRun<'_>, TraceRun<'_>) {
+        let (newer, older) = self.events.split_at(self.head);
+        if older.is_empty() {
+            // head == len: degenerate wrap right at the boundary.
+            (newer, older)
+        } else {
+            (older, newer)
+        }
+    }
+
+    /// Iterates over the stored events in chronological order (works in
+    /// both overflow modes, wrapped or not).
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, TraceEvent)> + '_ {
+        let (older, newer) = self.runs();
+        older.iter().chain(newer.iter())
+    }
+
     /// The stored `(cycle, event)` pairs, in order.
+    ///
+    /// A wrapped [`TraceOverflow::Ring`] trace stores its events
+    /// rotated; use [`SimTrace::iter`] or [`SimTrace::runs`] there —
+    /// this accessor keeps its borrow-as-slice shape for the
+    /// `KeepFirst` traces the seed tests drive.
     #[must_use]
     pub fn events(&self) -> &[(u64, TraceEvent)] {
         &self.events
@@ -126,23 +194,26 @@ impl SimTrace {
         self.dropped
     }
 
-    /// Iterates over events of one kind.
+    /// Iterates over events of one kind, in chronological order.
     pub fn filter<'a, F: Fn(&TraceEvent) -> bool + 'a>(
         &'a self,
         predicate: F,
     ) -> impl Iterator<Item = &'a (u64, TraceEvent)> + 'a {
-        self.events.iter().filter(move |(_, e)| predicate(e))
+        self.iter().filter(move |(_, e)| predicate(e))
     }
 
-    /// Renders the log as one line per event.
+    /// Renders the log as one line per event, oldest first.
     #[must_use]
     pub fn render(&self) -> String {
         use core::fmt::Write as _;
         let mut out = String::new();
-        for (cycle, event) in &self.events {
+        if self.overflow == TraceOverflow::Ring && self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier events overwritten", self.dropped);
+        }
+        for (cycle, event) in self.iter() {
             let _ = writeln!(out, "[{cycle:>8}] {event}");
         }
-        if self.dropped > 0 {
+        if self.overflow == TraceOverflow::KeepFirst && self.dropped > 0 {
             let _ = writeln!(out, "... {} further events dropped", self.dropped);
         }
         out
@@ -184,6 +255,48 @@ mod tests {
         let completions: Vec<_> =
             t.filter(|e| matches!(e, TraceEvent::JobCompleted { .. })).collect();
         assert_eq!(completions.len(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_latest_events() {
+        let mut t = SimTrace::ring(3);
+        assert_eq!(t.overflow(), TraceOverflow::Ring);
+        for i in 0..10 {
+            t.record(i, TraceEvent::JobCompleted { job: i });
+        }
+        // Memory stays bounded at capacity; the latest 3 survive.
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let ids: Vec<u64> = t
+            .iter()
+            .map(|(_, e)| match e {
+                TraceEvent::JobCompleted { job } => *job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![7, 8, 9]);
+        // Chronological iteration holds across the wrap point.
+        let cycles: Vec<u64> = t.iter().map(|(c, _)| *c).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+        let s = t.render();
+        assert!(s.contains("job 9 completed"));
+        assert!(s.contains("7 earlier events overwritten"));
+        assert!(!s.contains("job 6 completed"));
+    }
+
+    #[test]
+    fn ring_below_capacity_matches_keep_first() {
+        let mut ring = SimTrace::ring(8);
+        let mut keep = SimTrace::with_capacity(8);
+        for i in 0..5 {
+            ring.record(i, TraceEvent::JobCompleted { job: i });
+            keep.record(i, TraceEvent::JobCompleted { job: i });
+        }
+        assert_eq!(ring.events(), keep.events());
+        assert_eq!(ring.dropped(), 0);
+        let (older, newer) = ring.runs();
+        assert_eq!(older.len(), 5);
+        assert!(newer.is_empty());
     }
 
     #[test]
