@@ -13,15 +13,20 @@
 //! * `full_floyd_warshall_ns` — the seed's phase-2+3 path (`Router::compute`
 //!   pinned to [`PathBackend::FloydWarshall`]),
 //! * `full_auto_ns` — the same full recompute under [`PathBackend::Auto`],
-//! * `delta_recompute_ns` — the steady-state path the simulator actually
-//!   runs: one battery-bucket drain per frame, recomputed in place via
-//!   `Router::recompute_into` with a warmed [`RoutingScratch`].
+//! * `delta_recompute_ns` — the affected-sources delta path
+//!   (`RecomputeStrategy::AffectedSources`): one battery-bucket drain per
+//!   frame, recomputed in place via `Router::recompute_into` with a
+//!   warmed [`RoutingScratch`] — on a connected fabric this still re-runs
+//!   single-source Dijkstra from every source,
+//! * `incremental_repair_ns` — the same steady-drain loop under
+//!   `RecomputeStrategy::IncrementalRepair`: per-source shortest-path-
+//!   tree repair over the frame's edge-delta stream.
 
 use std::time::{Duration, Instant};
 
 use etx::graph::PathBackend;
 use etx::prelude::*;
-use etx::routing::{RoutingScratch, RoutingState};
+use etx::routing::{RecomputeStrategy, RoutingScratch, RoutingState};
 
 fn best_ns(budget: Duration, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
@@ -50,6 +55,47 @@ struct Point {
     full_floyd_warshall_ns: f64,
     full_auto_ns: f64,
     delta_recompute_ns: f64,
+    incremental_repair_ns: f64,
+}
+
+/// Times the simulator's steady-state loop — one battery-bucket drain
+/// per frame, recomputed in place over warmed buffers — under `router`'s
+/// configured strategy.
+fn steady_drain_ns(
+    router: &Router,
+    graph: &etx::graph::DiGraph,
+    modules: &[Vec<NodeId>],
+    report: &SystemReport,
+    budget: Duration,
+) -> f64 {
+    let k = graph.node_count();
+    let mut scratch = RoutingScratch::new();
+    let mut state = RoutingState::empty();
+    let mut current = report.clone();
+    let mut old = SystemReport::fresh(0, 1);
+    router.compute_into(graph, modules, &current, None, &mut scratch, &mut state);
+    let mut frame = 0usize;
+    let mut drain_one = move |current: &mut SystemReport,
+                              old: &mut SystemReport,
+                              scratch: &mut RoutingScratch,
+                              state: &mut RoutingState| {
+        old.clone_from(current);
+        let node = NodeId::new((frame * 7 + 3) % k);
+        let level = current.battery_level(node);
+        if level == 0 {
+            current.set_battery_level(node, 15); // keep the loop running
+        } else {
+            current.set_battery_level(node, level - 1);
+        }
+        frame += 1;
+        router.recompute_into(graph, modules, old, current, scratch, state);
+    };
+    for _ in 0..8 {
+        drain_one(&mut current, &mut old, &mut scratch, &mut state);
+    }
+    best_ns(budget, || {
+        drain_one(&mut current, &mut old, &mut scratch, &mut state);
+    })
 }
 
 fn measure(side: usize, budget: Duration) -> Point {
@@ -73,37 +119,32 @@ fn measure(side: usize, budget: Duration) -> Point {
         std::hint::black_box(auto.compute(std::hint::black_box(&graph), &modules, &report, None));
     });
 
-    // Steady-state simulator path: warmed scratch, one battery drain per
-    // frame, in-place delta-aware recompute.
-    let mut scratch = RoutingScratch::new();
-    let mut state = RoutingState::empty();
-    let mut current = report.clone();
-    let mut old = SystemReport::fresh(0, 1);
-    auto.compute_into(&graph, &modules, &current, None, &mut scratch, &mut state);
-    let mut frame = 0usize;
-    let mut drain_one = |current: &mut SystemReport,
-                         old: &mut SystemReport,
-                         scratch: &mut RoutingScratch,
-                         state: &mut RoutingState| {
-        old.clone_from(current);
-        let node = NodeId::new((frame * 7 + 3) % k);
-        let level = current.battery_level(node);
-        if level == 0 {
-            current.set_battery_level(node, 15); // keep the loop running
-        } else {
-            current.set_battery_level(node, level - 1);
-        }
-        frame += 1;
-        auto.recompute_into(&graph, &modules, old, current, scratch, state);
-    };
-    for _ in 0..8 {
-        drain_one(&mut current, &mut old, &mut scratch, &mut state);
-    }
-    let delta_recompute_ns = best_ns(budget, || {
-        drain_one(&mut current, &mut old, &mut scratch, &mut state);
-    });
+    // The two steady-state simulator paths, over identical drain loops:
+    // affected-sources re-solve vs incremental path repair.
+    let delta_recompute_ns = steady_drain_ns(
+        &Router::new(Algorithm::Ear).with_strategy(RecomputeStrategy::AffectedSources),
+        &graph,
+        &modules,
+        &report,
+        budget,
+    );
+    let incremental_repair_ns = steady_drain_ns(
+        &Router::new(Algorithm::Ear).with_strategy(RecomputeStrategy::IncrementalRepair),
+        &graph,
+        &modules,
+        &report,
+        budget,
+    );
 
-    Point { k, side, auto_backend, full_floyd_warshall_ns, full_auto_ns, delta_recompute_ns }
+    Point {
+        k,
+        side,
+        auto_backend,
+        full_floyd_warshall_ns,
+        full_auto_ns,
+        delta_recompute_ns,
+        incremental_repair_ns,
+    }
 }
 
 fn main() {
@@ -114,7 +155,8 @@ fn main() {
             if side >= 32 { Duration::from_millis(3000) } else { Duration::from_millis(400) };
         let point = measure(side, budget);
         eprintln!(
-            "K={:4} ({}x{}, auto={}): full_fw={:.0}ns full_auto={:.0}ns delta={:.0}ns ({:.1}x / {:.1}x vs seed)",
+            "K={:4} ({}x{}, auto={}): full_fw={:.0}ns full_auto={:.0}ns delta={:.0}ns \
+             repair={:.0}ns ({:.1}x over delta, {:.1}x over seed)",
             point.k,
             point.side,
             point.side,
@@ -122,8 +164,9 @@ fn main() {
             point.full_floyd_warshall_ns,
             point.full_auto_ns,
             point.delta_recompute_ns,
-            point.full_floyd_warshall_ns / point.full_auto_ns,
-            point.full_floyd_warshall_ns / point.delta_recompute_ns,
+            point.incremental_repair_ns,
+            point.delta_recompute_ns / point.incremental_repair_ns,
+            point.full_floyd_warshall_ns / point.incremental_repair_ns,
         );
         points.push(point);
     }
@@ -139,7 +182,7 @@ fn main() {
         json.push_str(&format!(
             "    {{\"k\": {}, \"mesh\": \"{}x{}\", \"auto_backend\": \"{}\", \
              \"full_floyd_warshall_ns\": {:.0}, \"full_auto_ns\": {:.0}, \
-             \"delta_recompute_ns\": {:.0}}}{}\n",
+             \"delta_recompute_ns\": {:.0}, \"incremental_repair_ns\": {:.0}}}{}\n",
             p.k,
             p.side,
             p.side,
@@ -147,6 +190,7 @@ fn main() {
             p.full_floyd_warshall_ns,
             p.full_auto_ns,
             p.delta_recompute_ns,
+            p.incremental_repair_ns,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }

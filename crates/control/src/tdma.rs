@@ -71,10 +71,16 @@ impl TdmaConfig {
     /// Validates the configuration (panicking wrapper over
     /// [`TdmaConfig::check`]).
     ///
+    /// Every internal caller has migrated to the non-panicking
+    /// [`TdmaConfig::check`] — fleet scenario sampling must be able to
+    /// reject a bad schedule without aborting the process — and new code
+    /// should too; this wrapper remains only for source compatibility.
+    ///
     /// # Panics
     ///
     /// Panics if any width is zero, the period is zero, or the activity is
     /// outside `[0, 1]`.
+    #[deprecated(since = "0.2.0", note = "use `TdmaConfig::check` and handle the `Err`")]
     pub fn validate(&self) {
         if let Err(msg) = self.check() {
             panic!("{msg}");
@@ -128,7 +134,7 @@ mod tests {
     #[test]
     fn default_is_valid_and_matches_paper_shape() {
         let t = TdmaConfig::default();
-        t.validate();
+        t.check().expect("default schedule is valid");
         assert_eq!(t.medium_width_bits, 2); // the paper's 2-bit medium
         assert_eq!(t.upload_slots_per_node(), 3); // ceil(5/2)
         assert_eq!(t.download_slots_per_node(), 4); // ceil(8/2)
@@ -162,14 +168,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "medium width")]
-    fn zero_width_medium_panics() {
-        TdmaConfig { medium_width_bits: 0, ..TdmaConfig::default() }.validate();
+    fn zero_width_medium_rejected() {
+        let err = TdmaConfig { medium_width_bits: 0, ..TdmaConfig::default() }.check().unwrap_err();
+        assert!(err.contains("medium width"));
     }
 
     #[test]
-    #[should_panic(expected = "frame period")]
-    fn zero_period_panics() {
-        TdmaConfig { frame_period: Cycles::ZERO, ..TdmaConfig::default() }.validate();
+    fn zero_period_rejected() {
+        let err =
+            TdmaConfig { frame_period: Cycles::ZERO, ..TdmaConfig::default() }.check().unwrap_err();
+        assert!(err.contains("frame period"));
+    }
+
+    /// The deprecated panicking wrapper still panics (source compat).
+    #[test]
+    #[should_panic(expected = "medium width")]
+    #[allow(deprecated)]
+    fn deprecated_validate_still_panics() {
+        TdmaConfig { medium_width_bits: 0, ..TdmaConfig::default() }.validate();
     }
 }

@@ -228,6 +228,45 @@ pub struct FleetAggregate {
     pub jobs_lost_total: u128,
     /// Why instances died.
     pub deaths: DeathTally,
+    /// Routing recompute cost profile, fleet-wide.
+    pub recompute: RecomputeTally,
+}
+
+/// Fleet-wide totals of the routing recompute counters (exact integer
+/// sums, like everything else in the aggregate). These describe
+/// controller-side *cost*, never results: fleets run with different
+/// [`RecomputeStrategy`](etx_sim::RecomputeStrategy) settings produce
+/// identical lifetime/jobs/overhead distributions and differ only here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecomputeTally {
+    /// Recomputes that ran a full phase 2.
+    pub full: u128,
+    /// Recomputes that took the affected-sources delta path.
+    pub delta: u128,
+    /// Recomputes that took the incremental repair pipeline.
+    pub repair: u128,
+    /// Sources repaired in place across all repair recomputes.
+    pub repaired_sources: u128,
+    /// Sources the repair pipeline re-ran in full.
+    pub fallback_sources: u128,
+}
+
+impl RecomputeTally {
+    fn observe(&mut self, stats: &etx_sim::RecomputeStats) {
+        self.full += u128::from(stats.full_recomputes);
+        self.delta += u128::from(stats.delta_recomputes);
+        self.repair += u128::from(stats.repair_recomputes);
+        self.repaired_sources += u128::from(stats.repaired_sources);
+        self.fallback_sources += u128::from(stats.fallback_sources);
+    }
+
+    fn merge(&mut self, other: &RecomputeTally) {
+        self.full += other.full;
+        self.delta += other.delta;
+        self.repair += other.repair;
+        self.repaired_sources += other.repaired_sources;
+        self.fallback_sources += other.fallback_sources;
+    }
 }
 
 impl FleetAggregate {
@@ -247,6 +286,7 @@ impl FleetAggregate {
         self.jobs_completed_total += u128::from(report.jobs_completed);
         self.jobs_lost_total += u128::from(report.jobs_lost);
         self.deaths.observe(report.death_cause);
+        self.recompute.observe(&report.recompute);
     }
 
     /// Counts one rejected instance (spec sampled an invalid config).
@@ -264,6 +304,7 @@ impl FleetAggregate {
         self.jobs_completed_total += other.jobs_completed_total;
         self.jobs_lost_total += other.jobs_lost_total;
         self.deaths.merge(&other.deaths);
+        self.recompute.merge(&other.recompute);
     }
 
     /// Renders the aggregate as deterministic JSON (stable key order,
@@ -307,6 +348,17 @@ impl FleetAggregate {
         );
         let _ = writeln!(out, "  \"jobs_completed_total\": {},", self.jobs_completed_total);
         let _ = writeln!(out, "  \"jobs_lost_total\": {},", self.jobs_lost_total);
+        // One line, so cost-only comparisons across strategies can
+        // filter it out and diff the (byte-identical) rest.
+        let _ = writeln!(
+            out,
+            "  \"recompute\": {{\"full\": {}, \"delta\": {}, \"repair\": {}, \"repaired_sources\": {}, \"fallback_sources\": {}}},",
+            self.recompute.full,
+            self.recompute.delta,
+            self.recompute.repair,
+            self.recompute.repaired_sources,
+            self.recompute.fallback_sources,
+        );
         let _ = writeln!(
             out,
             "  \"deaths\": {{\"module_extinct\": {}, \"controllers_dead\": {}, \"gateway_dead\": {}, \"stalled\": {}, \"max_cycles\": {}}}",
@@ -352,6 +404,15 @@ impl fmt::Display for FleetAggregate {
             f,
             "jobs: {} completed, {} lost",
             self.jobs_completed_total, self.jobs_lost_total
+        )?;
+        writeln!(
+            f,
+            "recomputes: {} full, {} delta, {} repair ({} sources repaired, {} re-run)",
+            self.recompute.full,
+            self.recompute.delta,
+            self.recompute.repair,
+            self.recompute.repaired_sources,
+            self.recompute.fallback_sources,
         )?;
         write!(
             f,

@@ -9,11 +9,14 @@
 //! ```
 //!
 //! Options: `--preset NAME` (mixed|smoke|churn), `--spec FILE`,
-//! `--instances N`, `--seed S`, `--shards N`, `--json`, `--print-spec`,
-//! `--smoke` (shorthand for `--preset smoke`, defaulting to 2 shards
-//! unless `--shards` is given).
+//! `--instances N`, `--seed S`, `--shards N`,
+//! `--strategy full|affected|incremental|auto` (routing recompute
+//! strategy; cost-only, results are identical), `--json`,
+//! `--print-spec`, `--smoke` (shorthand for `--preset smoke`,
+//! defaulting to 2 shards unless `--shards` is given).
 
 use etx_fleet::{FleetController, ScenarioSpec, ShardPlan};
+use etx_sim::RecomputeStrategy;
 
 struct Options {
     spec: ScenarioSpec,
@@ -26,6 +29,7 @@ fn parse_args() -> Result<Options, String> {
     let mut spec: Option<ScenarioSpec> = None;
     let mut instances: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut strategy: Option<RecomputeStrategy> = None;
     let mut plan: Option<ShardPlan> = None;
     let mut smoke = false;
     let mut json = false;
@@ -60,6 +64,12 @@ fn parse_args() -> Result<Options, String> {
                 let s = args.next().ok_or("--seed needs a value")?;
                 seed = Some(s.parse().map_err(|e| format!("bad seed `{s}`: {e}"))?);
             }
+            "--strategy" => {
+                let name = args.next().ok_or("--strategy needs a value")?;
+                strategy = Some(RecomputeStrategy::parse(&name).ok_or_else(|| {
+                    format!("unknown strategy `{name}` (full|affected|incremental|auto)")
+                })?);
+            }
             "--shards" => {
                 let n = args.next().ok_or("--shards needs a value")?;
                 plan = Some(ShardPlan::Fixed(
@@ -71,7 +81,7 @@ fn parse_args() -> Result<Options, String> {
             other => {
                 return Err(format!(
                     "unknown argument `{other}`\nusage: fleet [--preset NAME | --spec FILE | --smoke] \
-                     [--instances N] [--seed S] [--shards N] [--json] [--print-spec]"
+                     [--instances N] [--seed S] [--shards N] [--strategy NAME] [--json] [--print-spec]"
                 ));
             }
         }
@@ -82,6 +92,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if let Some(s) = seed {
         spec.seed = s;
+    }
+    if let Some(s) = strategy {
+        spec.strategy = s;
     }
     spec.check()?;
     // `--smoke` defaults to two shards (exercising the merge path), but

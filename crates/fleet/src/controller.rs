@@ -147,6 +147,33 @@ mod tests {
     }
 
     #[test]
+    fn strategy_changes_cost_profile_not_results() {
+        use etx_sim::RecomputeStrategy;
+        // 8x8 fabrics so the Dijkstra backend (and with it the repair
+        // pipeline) engages; strategies must agree on every result
+        // distribution and differ only in the recompute tallies.
+        let spec = |strategy| ScenarioSpec {
+            instances: 4,
+            mesh_side: (8, 8),
+            strategy,
+            ..ScenarioSpec::smoke()
+        };
+        let full =
+            FleetController::new().run(&spec(RecomputeStrategy::Full)).expect("spec is valid");
+        let repair = FleetController::new()
+            .run(&spec(RecomputeStrategy::IncrementalRepair))
+            .expect("spec is valid");
+        assert_eq!(full.aggregate.lifetime, repair.aggregate.lifetime);
+        assert_eq!(full.aggregate.jobs, repair.aggregate.jobs);
+        assert_eq!(full.aggregate.overhead, repair.aggregate.overhead);
+        assert_eq!(full.aggregate.deaths, repair.aggregate.deaths);
+        assert_eq!(full.aggregate.jobs_completed_total, repair.aggregate.jobs_completed_total);
+        assert_eq!(full.aggregate.recompute.repair, 0);
+        assert!(repair.aggregate.recompute.repair > 0, "{}", repair.aggregate);
+        assert!(repair.aggregate.recompute.repaired_sources > 0, "{}", repair.aggregate);
+    }
+
+    #[test]
     fn shard_count_does_not_change_aggregates() {
         let spec = tiny_spec(10);
         let one = FleetController::new().with_shards(ShardPlan::Fixed(1)).run(&spec).unwrap();

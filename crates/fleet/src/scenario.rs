@@ -11,7 +11,7 @@
 //! independent of sharding.
 
 use etx_app::{AppSpec, ModuleSpec};
-use etx_routing::Algorithm;
+use etx_routing::{Algorithm, RecomputeStrategy};
 use etx_sim::{
     BatteryModel, JobSource, MappingKind, ScriptedFailure, SimConfig, SimConfigBuilder,
     TopologyKind,
@@ -165,6 +165,10 @@ pub struct ScenarioSpec {
     pub topologies: Vec<TopologyChoice>,
     /// Routing algorithms drawn uniformly.
     pub algorithms: Vec<Algorithm>,
+    /// Routing recompute strategy every instance runs (a fixed knob, not
+    /// a sampled dimension: strategies change controller cost, never
+    /// results, so sweeping them would only add noise to a comparison).
+    pub strategy: RecomputeStrategy,
     /// Battery models drawn uniformly.
     pub battery_models: Vec<BatteryChoice>,
     /// Applications drawn uniformly.
@@ -200,6 +204,7 @@ impl Default for ScenarioSpec {
             mesh_side: (3, 6),
             topologies: vec![TopologyChoice::Mesh, TopologyChoice::Torus, TopologyChoice::Ring],
             algorithms: vec![Algorithm::Ear, Algorithm::Sdr],
+            strategy: RecomputeStrategy::Auto,
             battery_models: vec![BatteryChoice::Ideal, BatteryChoice::ThinFilm],
             apps: vec![AppChoice::Aes, AppChoice::SenseLog],
             battery_pj: (4_000.0, 12_000.0),
@@ -313,6 +318,7 @@ impl ScenarioSpec {
             .mapping(mapping)
             .source(source)
             .concurrent_jobs(concurrent)
+            .recompute_strategy(self.strategy)
             .max_cycles(self.max_cycles)
             .tweak(|c| c.tdma.frame_period = Cycles::new(frame_period))
     }
@@ -354,6 +360,10 @@ impl ScenarioSpec {
                         _ => None,
                     })
                     .ok_or_else(|| bad("algorithm list"))?;
+                }
+                "strategy" => {
+                    spec.strategy = RecomputeStrategy::parse(value)
+                        .ok_or_else(|| bad("strategy (full|affected|incremental|auto)"))?;
                 }
                 "battery_model" => {
                     spec.battery_models = parse_list(value, BatteryChoice::parse)
@@ -409,6 +419,7 @@ impl ScenarioSpec {
             .map(|a| if *a == Algorithm::Ear { "ear" } else { "sdr" })
             .collect();
         let _ = writeln!(out, "algorithm = {}", algos.join(", "));
+        let _ = writeln!(out, "strategy = {}", self.strategy.name());
         let models: Vec<&str> = self.battery_models.iter().map(|m| m.name()).collect();
         let _ = writeln!(out, "battery_model = {}", models.join(", "));
         let apps: Vec<&str> = self.apps.iter().map(|a| a.name()).collect();
@@ -540,10 +551,14 @@ mod tests {
         assert_eq!(overridden.instances, 5);
         assert_eq!(overridden.mesh_side, (4, 4));
 
+        let strat = ScenarioSpec::parse("strategy = incremental").expect("strategy key parses");
+        assert_eq!(strat.strategy, RecomputeStrategy::IncrementalRepair);
+
         assert!(ScenarioSpec::parse("bogus_key = 1").is_err());
         assert!(ScenarioSpec::parse("mesh_side = banana").is_err());
         assert!(ScenarioSpec::parse("instances = 0").is_err());
         assert!(ScenarioSpec::parse("topology = klein-bottle").is_err());
+        assert!(ScenarioSpec::parse("strategy = warp").is_err());
         assert!(ScenarioSpec::parse("no equals sign").is_err());
     }
 

@@ -34,6 +34,14 @@ use crate::{
 /// 5.8× at K = 256 and 17× at K = 1024; with multiple cores the Dijkstra
 /// backend additionally fans sources out over threads.)
 ///
+/// The backend choice also gates the *between-frame* fast paths: the
+/// routing crate's `RecomputeStrategy` (affected-sources delta and
+/// incremental shortest-path-tree repair) engages only when the resolved
+/// backend is `DijkstraAllPairs`, because kept rows must reproduce the
+/// deterministic Dijkstra successor tie-breaking bit-for-bit. Under
+/// Floyd–Warshall every frame is a full recompute — which is the right
+/// trade at the small sizes where `Auto` picks it.
+///
 /// Dijkstra's advantage requires sparsity: at average out-degree `d`, its
 /// cost grows like `K²·d·log K` against Floyd–Warshall's `K³`, so the
 /// heuristic demands `E·log₂K < K²`, plus a small-K floor:

@@ -1,0 +1,747 @@
+//! Dynamic (incremental) all-pairs shortest paths: per-source
+//! shortest-path-tree storage plus Ramalingam–Reps-style batch repair.
+//!
+//! The simulator's steady state is a stream of *small, mostly monotone*
+//! edge-weight changes: every TDMA frame a handful of batteries cross a
+//! quantization bucket, which only *raises* the cost of the affected
+//! node's in-edges (and a death raises every incident edge to `∞`). A
+//! full delta recompute still re-runs single-source Dijkstra from every
+//! source that can reach a changed edge — on a connected fabric that is
+//! *all* of them. This module repairs each source's rows instead,
+//! touching only the nodes whose shortest path actually used a changed
+//! edge.
+//!
+//! # Exactness contract
+//!
+//! Repair is **bit-exact**: after [`repair_source`] returns
+//! [`RepairOutcome::Repaired`] (or `Unchanged`), the source's distance
+//! row, successor row, and stored tree are byte-identical to what a fresh
+//! [`dijkstra_source_tree_into`] over the new weights would produce. The
+//! proof hinges on the deterministic tie-breaking of the workspace's
+//! Dijkstra: the final successor (and tree parent) of a node `v` is
+//! always derived from `u* = min_(dist,id) { u : dist(u) + w(u,v) =
+//! dist(v) }` — the first-popped *achiever* of `v`'s final distance. For
+//! a batch of pure weight **increases**:
+//!
+//! * a node whose tree path avoids every increased edge keeps its
+//!   distance (no alternative got cheaper) *and* its achiever `u*` (the
+//!   achiever set can only shrink, and the tree parent — the previous
+//!   minimum — stays in it), so its row entries are untouched;
+//! * every other node is a tree descendant of an increased edge; those
+//!   are recomputed by a heap pass restricted to the affected set, and a
+//!   post-pass in pop order restores `u*`-derived successors/parents.
+//!
+//! Weight **decreases** (a node revived, a link restored) can silently
+//! change `u*` for nodes whose *distance* does not change (a new achiever
+//! tie), so a decrease that could reach any settled node —
+//! `dist(u) + w_new ≤ dist(v)` — makes [`repair_source`] demand a full
+//! re-run of that source ([`RepairOutcome::Rerun`]). Irrelevant
+//! decreases are proven no-ops and cost `O(#deltas)`.
+
+use crate::shortest::{pack_entry, unpack_entry};
+use crate::{AdjacencyList, DijkstraScratch, Matrix, NodeId, INFINITE_DISTANCE};
+
+/// Sentinel for "no tree parent" (the source itself, or unreachable).
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// One directed edge whose phase-1 weight changed between two recomputes
+/// — the unit of the edge-delta stream the routing pipeline feeds the
+/// repair with. `old`/`new` may be [`INFINITE_DISTANCE`] (edge absent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightDelta {
+    /// Edge tail.
+    pub from: u32,
+    /// Edge head.
+    pub to: u32,
+    /// Weight before the change.
+    pub old: f64,
+    /// Weight after the change.
+    pub new: f64,
+}
+
+impl WeightDelta {
+    /// `true` when the weight rose (battery drain, node death) — the
+    /// monotone case repair handles incrementally.
+    #[must_use]
+    pub fn is_increase(&self) -> bool {
+        self.new > self.old
+    }
+}
+
+/// Per-source shortest-path trees: for every source `s`, the tree parent
+/// of each node and the settle order (nodes by ascending `(dist, id)` —
+/// exactly the deterministic pop order of the workspace's Dijkstra).
+///
+/// Rows are maintained by [`dijkstra_source_tree_into`] (full per-source
+/// runs) and [`repair_source`] (incremental repair); both leave the same
+/// bytes behind, which is what lets repairs chain frame after frame.
+#[derive(Debug, Default)]
+pub struct SpTreeStore {
+    parent: Matrix<u32>,
+    order: Matrix<u32>,
+    settled: Vec<u32>,
+}
+
+impl SpTreeStore {
+    /// An empty store; size it with [`SpTreeStore::reset`].
+    #[must_use]
+    pub fn new() -> Self {
+        SpTreeStore::default()
+    }
+
+    /// Number of sources (and nodes) covered.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.settled.len()
+    }
+
+    /// Resizes for `n` nodes and invalidates every tree, reusing the
+    /// existing allocations whenever they are large enough.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.reset(n, n, NO_PARENT);
+        self.order.reset(n, n, 0);
+        self.settled.clear();
+        self.settled.resize(n, 0);
+    }
+
+    /// Mutably borrows source `s`'s `(parent_row, order_row)`.
+    pub(crate) fn rows_mut(&mut self, s: usize) -> (&mut [u32], &mut [u32]) {
+        (self.parent.row_slice_mut(s), self.order.row_slice_mut(s))
+    }
+
+    /// The tree parent of `node` in source `s`'s tree (`None` for the
+    /// source itself and unreachable nodes).
+    #[must_use]
+    pub fn parent(&self, s: usize, node: usize) -> Option<NodeId> {
+        let p = self.parent[(s, node)];
+        (p != NO_PARENT).then(|| NodeId::new(p as usize))
+    }
+
+    /// How many nodes source `s` settles (reaches).
+    #[must_use]
+    pub fn settled(&self, s: usize) -> usize {
+        self.settled[s] as usize
+    }
+
+    /// Records source `s`'s settled count (set by the tree-recording
+    /// Dijkstra / repair drivers).
+    pub(crate) fn set_settled(&mut self, s: usize, count: u32) {
+        self.settled[s] = count;
+    }
+}
+
+/// Reusable working memory for [`repair_source`] batches. All buffers
+/// retain capacity across frames, so steady-state repairs perform no
+/// heap allocation.
+#[derive(Debug, Default)]
+pub struct RepairScratch {
+    /// Per-node "some in-edge increased" flags for the current batch.
+    in_increased: Vec<bool>,
+    /// Increased edges sorted by `(to, from)` for tree-edge membership.
+    increases: Vec<(u32, u32)>,
+    /// Decreased edges of the current batch.
+    decreases: Vec<WeightDelta>,
+    /// Affected flags of the source being repaired (valid for its
+    /// settled nodes only; unsettled entries are stale by design — every
+    /// read is guarded by a finite-distance check).
+    affected: Vec<bool>,
+    /// Affected nodes in settle order.
+    touched: Vec<u32>,
+    /// Repaired nodes in `(dist, id)` pop order.
+    pops: Vec<u32>,
+    /// Merge buffer for the new settle order.
+    merged: Vec<u32>,
+}
+
+impl RepairScratch {
+    /// An empty scratch; buffers grow on first use and are retained.
+    #[must_use]
+    pub fn new() -> Self {
+        RepairScratch::default()
+    }
+
+    /// Indexes one frame's delta batch: per-node increase flags, the
+    /// sorted increase list, and the decrease list. Call once per batch,
+    /// before the per-source [`repair_source`] loop.
+    pub fn prepare(&mut self, deltas: &[WeightDelta], n: usize) {
+        self.in_increased.clear();
+        self.in_increased.resize(n, false);
+        self.increases.clear();
+        self.increases.reserve(deltas.len());
+        self.decreases.clear();
+        self.decreases.reserve(deltas.len());
+        // Per-source buffers hold at most one entry per node; reserving
+        // the bound here keeps burst batches free of mid-flight growth.
+        self.touched.reserve(n);
+        self.pops.reserve(n);
+        self.merged.reserve(n);
+        for d in deltas {
+            if d.is_increase() {
+                self.in_increased[d.to as usize] = true;
+                self.increases.push((d.to, d.from));
+            } else if d.new < d.old {
+                self.decreases.push(*d);
+            }
+        }
+        self.increases.sort_unstable();
+    }
+
+    /// `true` when the prepared batch contains no effective change.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.increases.is_empty() && self.decreases.is_empty()
+    }
+
+    fn edge_increased(&self, from: u32, to: u32) -> bool {
+        self.increases.binary_search(&(to, from)).is_ok()
+    }
+}
+
+/// What [`repair_source`] did with one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// No changed edge can affect this source's rows; nothing was
+    /// touched.
+    Unchanged,
+    /// The rows were repaired in place; `touched` nodes were recomputed.
+    Repaired {
+        /// Number of nodes whose entries were recomputed.
+        touched: usize,
+    },
+    /// The repair declined (relevant decrease, or the affected frontier
+    /// exceeded `max_affected_fraction`); the caller must re-run the
+    /// source in full via [`dijkstra_source_tree_into`]. Nothing was
+    /// touched.
+    Rerun,
+}
+
+/// Runs the tree-recording variant of the workspace's single-source
+/// Dijkstra: identical `dist_row`/`succ_row` to
+/// [`dijkstra_source_into`](crate::dijkstra_source_into), and
+/// additionally records each node's tree parent (the deterministic
+/// achiever `u*`) and the settle order into `trees`.
+///
+/// # Panics
+///
+/// Panics if `source` or the row lengths do not match `adjacency`.
+pub fn dijkstra_source_tree_into(
+    adjacency: &AdjacencyList,
+    source: NodeId,
+    scratch: &mut DijkstraScratch,
+    dist_row: &mut [f64],
+    succ_row: &mut [Option<NodeId>],
+    trees: &mut SpTreeStore,
+) {
+    let n = adjacency.len();
+    assert!(source.index() < n, "source {source} out of range");
+    assert_eq!(dist_row.len(), n, "distance row length mismatch");
+    assert_eq!(succ_row.len(), n, "successor row length mismatch");
+    assert_eq!(trees.node_count(), n, "tree store does not cover the adjacency");
+    let s = source.index();
+    let (parent_row, order_row) = trees.rows_mut(s);
+
+    scratch.heap.clear();
+    let heap_bound = adjacency.edge_count() + 1;
+    if scratch.heap.capacity() < heap_bound {
+        scratch.heap.reserve(heap_bound);
+    }
+
+    dist_row.fill(INFINITE_DISTANCE);
+    succ_row.fill(None);
+    parent_row.fill(NO_PARENT);
+    dist_row[s] = 0.0;
+    let mut settled: u32 = 0;
+    scratch.heap.push(core::cmp::Reverse(pack_entry(0.0, s)));
+    while let Some(core::cmp::Reverse(entry)) = scratch.heap.pop() {
+        let (du, u) = unpack_entry(entry);
+        if du > dist_row[u] {
+            continue; // stale entry
+        }
+        order_row[settled as usize] = u as u32;
+        settled += 1;
+        let via_u = if u == s { None } else { succ_row[u] };
+        for &(v, w) in adjacency.neighbors(u) {
+            let nd = du + w;
+            if nd < dist_row[v] {
+                dist_row[v] = nd;
+                succ_row[v] = via_u.or(Some(NodeId::new(v)));
+                parent_row[v] = u as u32;
+                scratch.heap.push(core::cmp::Reverse(pack_entry(nd, v)));
+            }
+        }
+    }
+    trees.set_settled(s, settled);
+}
+
+/// Repairs one source's all-pairs rows against a prepared batch of
+/// weight deltas (see [`RepairScratch::prepare`]), or reports that the
+/// source must be re-run.
+///
+/// Inputs describe the **new** graph: `adjacency` (out-lists) and
+/// `in_adjacency` (in-lists, [`AdjacencyList::rebuild_transpose`]) must
+/// already reflect the post-delta weights, while `dist_row`/`succ_row`
+/// and `trees` still hold the pre-delta solution this repair advances.
+///
+/// `max_affected_fraction` is the repair-vs-rerun cost gate: when more
+/// than that fraction of the source's settled nodes is affected, the
+/// bookkeeping stops paying for itself and [`RepairOutcome::Rerun`] is
+/// returned with nothing touched.
+///
+/// # Panics
+///
+/// Panics if the row lengths or tree store do not match `adjacency`.
+#[allow(clippy::too_many_arguments)] // mirrors the per-source solver rows + workspace
+pub fn repair_source(
+    adjacency: &AdjacencyList,
+    in_adjacency: &AdjacencyList,
+    source: NodeId,
+    heap: &mut DijkstraScratch,
+    repair: &mut RepairScratch,
+    trees: &mut SpTreeStore,
+    dist_row: &mut [f64],
+    succ_row: &mut [Option<NodeId>],
+    max_affected_fraction: f64,
+) -> RepairOutcome {
+    let n = adjacency.len();
+    assert_eq!(dist_row.len(), n, "distance row length mismatch");
+    assert_eq!(succ_row.len(), n, "successor row length mismatch");
+    assert_eq!(trees.node_count(), n, "tree store does not cover the adjacency");
+    let s = source.index();
+
+    // A decrease is relevant when it could improve — or *tie* — the path
+    // to any settled node; ties silently change the deterministic
+    // achiever, so exactness demands a full re-run of this source.
+    for d in &repair.decreases {
+        let du = dist_row[d.from as usize];
+        if du.is_finite() && du + d.new <= dist_row[d.to as usize] {
+            return RepairOutcome::Rerun;
+        }
+    }
+
+    let settled = trees.settled(s);
+    let (parent_row, order_row) = trees.rows_mut(s);
+
+    // Quick pre-filter: an increase only matters when it hits a tree
+    // edge of this source (non-tree alternatives were already ≥ and only
+    // got worse). O(#increases) per source.
+    let any_tree_increase = repair
+        .increases
+        .iter()
+        .any(|&(to, from)| parent_row[to as usize] == from && dist_row[to as usize].is_finite());
+    if !any_tree_increase {
+        return RepairOutcome::Unchanged;
+    }
+
+    // Phase A — affected set: walk the settle order (parents settle
+    // before children, so one pass suffices) marking descendants of
+    // increased tree edges. Unsettled nodes keep stale flags; every
+    // later read of `affected` is for a node adjacent (with finite
+    // weight) to a finite-distance node, which under pure increases was
+    // settled and therefore freshly written here.
+    repair.affected.resize(n, false);
+    repair.touched.clear();
+    for &settled_node in order_row.iter().take(settled) {
+        let v = settled_node as usize;
+        let aff = if v == s {
+            false
+        } else {
+            let p = parent_row[v];
+            repair.affected[p as usize]
+                || (repair.in_increased[v] && repair.edge_increased(p, v as u32))
+        };
+        repair.affected[v] = aff;
+        if aff {
+            repair.touched.push(v as u32);
+        }
+    }
+
+    // Cost gate: past this frontier size a fresh Dijkstra is cheaper
+    // than the repair bookkeeping (measured; see the routing crate's
+    // REPAIR_MAX_AFFECTED_FRACTION).
+    #[allow(clippy::cast_precision_loss)]
+    if repair.touched.len() as f64 > max_affected_fraction * settled as f64 {
+        return RepairOutcome::Rerun;
+    }
+    if repair.touched.is_empty() {
+        return RepairOutcome::Unchanged;
+    }
+
+    // Phase B — invalidate and seed: affected entries drop to
+    // "unreachable", then each gets its best boundary candidate (an
+    // unaffected in-neighbour; positive weights mean every achiever
+    // settles strictly earlier, so these are final values).
+    for &v in &repair.touched {
+        let v = v as usize;
+        dist_row[v] = INFINITE_DISTANCE;
+        succ_row[v] = None;
+        parent_row[v] = NO_PARENT;
+    }
+    heap.heap.clear();
+    let heap_bound = adjacency.edge_count() + 1;
+    if heap.heap.capacity() < heap_bound {
+        heap.heap.reserve(heap_bound);
+    }
+    for &v in &repair.touched {
+        let v = v as usize;
+        let mut best = INFINITE_DISTANCE;
+        for &(u, w) in in_adjacency.neighbors(v) {
+            if !repair.affected[u] && dist_row[u].is_finite() {
+                let cand = dist_row[u] + w;
+                if cand < best {
+                    best = cand;
+                }
+            }
+        }
+        if best.is_finite() {
+            dist_row[v] = best;
+            heap.heap.push(core::cmp::Reverse(pack_entry(best, v)));
+        }
+    }
+
+    // Phase C — Dijkstra restricted to the affected set. Pop order is
+    // `(dist, id)` ascending, exactly the full run's settle order.
+    repair.pops.clear();
+    while let Some(core::cmp::Reverse(entry)) = heap.heap.pop() {
+        let (du, u) = unpack_entry(entry);
+        if du > dist_row[u] {
+            continue; // stale entry
+        }
+        repair.pops.push(u as u32);
+        for &(v, w) in adjacency.neighbors(u) {
+            if !repair.affected[v] {
+                continue;
+            }
+            let nd = du + w;
+            if nd < dist_row[v] {
+                dist_row[v] = nd;
+                heap.heap.push(core::cmp::Reverse(pack_entry(nd, v)));
+            }
+        }
+    }
+
+    // Phase D — successors/parents from the achiever rule, in pop order
+    // so an affected achiever's own entries are already final when a
+    // later node reads them.
+    for &v in &repair.pops {
+        let v = v as usize;
+        let dv = dist_row[v];
+        let mut best: Option<(u64, usize)> = None;
+        for &(u, w) in in_adjacency.neighbors(v) {
+            let du = dist_row[u];
+            if du.is_finite() && du + w == dv && (du < dv || (du == dv && u < v)) {
+                let key = (du.to_bits(), u);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        // A finite repaired distance always has an achiever that settles
+        // strictly before `v` (weights are positive in this workspace;
+        // the zero-weight corner would need the unfiltered minimum).
+        let u = best.expect("finite repaired distance has an earlier achiever").1;
+        parent_row[v] = u as u32;
+        succ_row[v] = if u == s { Some(NodeId::new(v)) } else { succ_row[u] };
+    }
+
+    // Phase E — merge the new settle order: unaffected nodes keep their
+    // old relative order (distances unchanged), repaired nodes arrive in
+    // pop order; both streams ascend by `(dist, id)`.
+    repair.merged.clear();
+    let mut pi = 0;
+    for &v in order_row.iter().take(settled) {
+        if repair.affected[v as usize] {
+            continue;
+        }
+        let vkey = pack_entry(dist_row[v as usize], v as usize);
+        while pi < repair.pops.len() {
+            let p = repair.pops[pi];
+            if pack_entry(dist_row[p as usize], p as usize) < vkey {
+                repair.merged.push(p);
+                pi += 1;
+            } else {
+                break;
+            }
+        }
+        repair.merged.push(v);
+    }
+    repair.merged.extend_from_slice(&repair.pops[pi..]);
+    order_row[..repair.merged.len()].copy_from_slice(&repair.merged);
+    trees.set_settled(s, repair.merged.len() as u32);
+
+    RepairOutcome::Repaired { touched: repair.touched.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dijkstra_source_into, DiGraph};
+    use etx_units::Length;
+    use proptest::prelude::*;
+
+    fn cm(v: f64) -> Length {
+        Length::from_centimetres(v)
+    }
+
+    /// A weighted digraph from an edge list over `n` nodes.
+    fn graph_from(n: usize, edges: &[(usize, usize, f64)]) -> Matrix<f64> {
+        let mut g = DiGraph::new(n);
+        for &(a, b, w) in edges {
+            if a != b {
+                let _ = g.add_edge(NodeId::new(a), NodeId::new(b), cm(w));
+            }
+        }
+        g.weight_matrix(|e| e.length.centimetres())
+    }
+
+    struct Solved {
+        adjacency: AdjacencyList,
+        in_adjacency: AdjacencyList,
+        trees: SpTreeStore,
+        dist: Matrix<f64>,
+        succ: Matrix<Option<NodeId>>,
+    }
+
+    fn solve(weights: &Matrix<f64>) -> Solved {
+        let n = weights.rows();
+        let mut adjacency = AdjacencyList::new();
+        adjacency.rebuild(weights);
+        let mut in_adjacency = AdjacencyList::new();
+        in_adjacency.rebuild_transpose(weights);
+        let mut trees = SpTreeStore::new();
+        trees.reset(n);
+        let mut dist = Matrix::filled(n, n, 0.0);
+        let mut succ = Matrix::filled(n, n, None);
+        let mut scratch = DijkstraScratch::new();
+        for s in 0..n {
+            dijkstra_source_tree_into(
+                &adjacency,
+                NodeId::new(s),
+                &mut scratch,
+                dist.row_slice_mut(s),
+                succ.row_slice_mut(s),
+                &mut trees,
+            );
+        }
+        Solved { adjacency, in_adjacency, trees, dist, succ }
+    }
+
+    /// Applies `deltas` to `weights` and repairs every source of
+    /// `solved`, falling back to a recorded re-run when asked — then
+    /// asserts bit-equality (dist, succ, parent, order) with a from-
+    /// scratch solve over the new weights.
+    fn repair_all_and_check(
+        weights: &mut Matrix<f64>,
+        solved: &mut Solved,
+        deltas: &[WeightDelta],
+    ) {
+        let n = weights.rows();
+        for d in deltas {
+            weights[(d.from as usize, d.to as usize)] = d.new;
+        }
+        for d in deltas {
+            solved.adjacency.sync_node(d.to as usize, weights);
+            solved.adjacency.sync_node(d.from as usize, weights);
+            solved.in_adjacency.sync_node_transpose(d.to as usize, weights);
+            solved.in_adjacency.sync_node_transpose(d.from as usize, weights);
+        }
+        let mut repair = RepairScratch::new();
+        repair.prepare(deltas, n);
+        let mut heap = DijkstraScratch::new();
+        for s in 0..n {
+            let outcome = repair_source(
+                &solved.adjacency,
+                &solved.in_adjacency,
+                NodeId::new(s),
+                &mut heap,
+                &mut repair,
+                &mut solved.trees,
+                solved.dist.row_slice_mut(s),
+                solved.succ.row_slice_mut(s),
+                0.75,
+            );
+            if outcome == RepairOutcome::Rerun {
+                dijkstra_source_tree_into(
+                    &solved.adjacency,
+                    NodeId::new(s),
+                    &mut heap,
+                    solved.dist.row_slice_mut(s),
+                    solved.succ.row_slice_mut(s),
+                    &mut solved.trees,
+                );
+            }
+        }
+        let fresh = solve(weights);
+        assert_eq!(solved.dist, fresh.dist, "distances diverged");
+        assert_eq!(solved.succ, fresh.succ, "successors diverged");
+        for s in 0..n {
+            assert_eq!(solved.trees.settled(s), fresh.trees.settled(s), "settled count s={s}");
+            for v in 0..n {
+                assert_eq!(solved.trees.parent(s, v), fresh.trees.parent(s, v), "parent {s}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_dijkstra_matches_plain_dijkstra() {
+        let w = graph_from(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 2.0), (0, 3, 5.0), (3, 4, 1.0)]);
+        let solved = solve(&w);
+        let mut adjacency = AdjacencyList::new();
+        adjacency.rebuild(&w);
+        let mut scratch = DijkstraScratch::new();
+        let mut dist = vec![0.0; 5];
+        let mut succ = vec![None; 5];
+        for s in 0..5 {
+            dijkstra_source_into(&adjacency, NodeId::new(s), &mut scratch, &mut dist, &mut succ);
+            assert_eq!(dist, solved.dist.row_slice(s), "dist row {s}");
+            assert_eq!(succ, solved.succ.row_slice(s), "succ row {s}");
+        }
+        // Parents form a tree rooted at the source.
+        assert_eq!(solved.trees.parent(0, 0), None);
+        assert_eq!(solved.trees.parent(0, 2), Some(NodeId::new(1)));
+        // Settle order starts at the source.
+        assert_eq!(solved.trees.settled(0), 5);
+    }
+
+    #[test]
+    fn single_increase_repair_is_exact() {
+        let mut w =
+            graph_from(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.5), (2, 3, 1.5), (3, 0, 1.0)]);
+        let mut solved = solve(&w);
+        // Raise the 0->1 shortcut past the detour.
+        let deltas = [WeightDelta { from: 0, to: 1, old: 1.0, new: 4.0 }];
+        repair_all_and_check(&mut w, &mut solved, &deltas);
+    }
+
+    #[test]
+    fn edge_removal_repair_is_exact() {
+        let mut w = graph_from(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 9.0)]);
+        let mut solved = solve(&w);
+        let deltas = [WeightDelta { from: 1, to: 2, old: 1.0, new: INFINITE_DISTANCE }];
+        repair_all_and_check(&mut w, &mut solved, &deltas);
+    }
+
+    #[test]
+    fn irrelevant_decrease_is_unchanged_and_relevant_decrease_reruns() {
+        let w = graph_from(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
+        let mut solved = solve(&w);
+        let mut heap = DijkstraScratch::new();
+        let mut repair = RepairScratch::new();
+        // 5.0 -> 4.0 still loses to the 2.0 path: provably untouchable.
+        repair.prepare(&[WeightDelta { from: 0, to: 2, old: 5.0, new: 4.0 }], 3);
+        let outcome = repair_source(
+            &solved.adjacency,
+            &solved.in_adjacency,
+            NodeId::new(0),
+            &mut heap,
+            &mut repair,
+            &mut solved.trees,
+            solved.dist.row_slice_mut(0),
+            solved.succ.row_slice_mut(0),
+            0.75,
+        );
+        assert_eq!(outcome, RepairOutcome::Unchanged);
+        // 5.0 -> 2.0 ties the detour: the achiever may flip, so re-run.
+        repair.prepare(&[WeightDelta { from: 0, to: 2, old: 5.0, new: 2.0 }], 3);
+        let outcome = repair_source(
+            &solved.adjacency,
+            &solved.in_adjacency,
+            NodeId::new(0),
+            &mut heap,
+            &mut repair,
+            &mut solved.trees,
+            solved.dist.row_slice_mut(0),
+            solved.succ.row_slice_mut(0),
+            0.75,
+        );
+        assert_eq!(outcome, RepairOutcome::Rerun);
+    }
+
+    #[test]
+    fn frontier_gate_demands_rerun() {
+        // Increasing the source's only out-edge affects every settled
+        // node: with a tiny gate the repair must decline untouched.
+        let w = graph_from(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let mut solved = solve(&w);
+        let before = solved.dist.clone();
+        let mut heap = DijkstraScratch::new();
+        let mut repair = RepairScratch::new();
+        repair.prepare(&[WeightDelta { from: 0, to: 1, old: 1.0, new: 2.0 }], 4);
+        let outcome = repair_source(
+            &solved.adjacency,
+            &solved.in_adjacency,
+            NodeId::new(0),
+            &mut heap,
+            &mut repair,
+            &mut solved.trees,
+            solved.dist.row_slice_mut(0),
+            solved.succ.row_slice_mut(0),
+            0.1,
+        );
+        assert_eq!(outcome, RepairOutcome::Rerun);
+        assert_eq!(solved.dist, before, "a declined repair must not touch the rows");
+    }
+
+    #[test]
+    fn transpose_adjacency_mirrors_rows() {
+        let mut w = graph_from(4, &[(0, 1, 1.0), (2, 1, 3.0), (1, 3, 2.0), (3, 0, 1.0)]);
+        let mut t = AdjacencyList::new();
+        t.rebuild_transpose(&w);
+        assert_eq!(t.neighbors(1), &[(0, 1.0), (2, 3.0)]);
+        assert_eq!(t.neighbors(0), &[(3, 1.0)]);
+        assert_eq!(t.edge_count(), 4);
+        // Incremental sync equals a fresh transpose rebuild.
+        w[(2, 1)] = INFINITE_DISTANCE;
+        w[(1, 0)] = 2.5;
+        t.sync_node_transpose(1, &w);
+        let mut fresh = AdjacencyList::new();
+        fresh.rebuild_transpose(&w);
+        assert_eq!(t, fresh);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Chains of random mixed delta batches (increases, removals,
+        /// decreases, insertions) repaired per source — with re-run
+        /// fallback — stay bit-identical to from-scratch solves.
+        #[test]
+        fn chained_repairs_equal_fresh_solves(
+            n in 2usize..8,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 0.5f64..8.0), 1..30),
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0usize..8, 0usize..8, 0u8..4, 0.5f64..8.0), 1..4),
+                1..5
+            ),
+        ) {
+            let edges: Vec<(usize, usize, f64)> =
+                edges.into_iter().map(|(a, b, w)| (a % n, b % n, w)).collect();
+            let mut weights = graph_from(n, &edges);
+            let mut solved = solve(&weights);
+            for batch in &batches {
+                let mut deltas = Vec::new();
+                for &(a, b, kind, w) in batch {
+                    let (a, b) = (a % n, b % n);
+                    if a == b {
+                        continue;
+                    }
+                    let old = weights[(a, b)];
+                    let new = match kind {
+                        0 => old * 3.0,              // increase (∞ stays ∞)
+                        1 => INFINITE_DISTANCE,      // removal
+                        2 if old.is_finite() => old * 0.5, // decrease
+                        _ => w,                      // set (insert or move)
+                    };
+                    if new != old && !(new.is_nan()) {
+                        // Dedup within the batch: keep the last write.
+                        deltas.retain(|d: &WeightDelta| !(d.from as usize == a && d.to as usize == b));
+                        deltas.push(WeightDelta { from: a as u32, to: b as u32, old, new });
+                    }
+                }
+                if deltas.is_empty() {
+                    continue;
+                }
+                repair_all_and_check(&mut weights, &mut solved, &deltas);
+            }
+        }
+    }
+}

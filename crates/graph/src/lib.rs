@@ -48,10 +48,15 @@ mod node;
 mod shortest;
 
 pub mod connectivity;
+pub mod dynamic;
 pub mod topology;
 
 pub use backend::{PathBackend, ResolvedBackend};
 pub use digraph::{DiGraph, Edge, GraphError};
+pub use dynamic::{
+    dijkstra_source_tree_into, repair_source, RepairOutcome, RepairScratch, SpTreeStore,
+    WeightDelta,
+};
 pub use matrix::Matrix;
 pub use node::NodeId;
 pub use shortest::{

@@ -336,6 +336,69 @@ impl AdjacencyList {
         }
     }
 
+    /// Re-extracts every list from the *transpose* of `weights`, so
+    /// `neighbors(v)` yields the **in**-neighbours `(u, w(u, v))` of `v`,
+    /// ascending by `u`. The incremental path repair uses this to find a
+    /// node's shortest-path achievers in `O(indeg)` instead of an `O(K)`
+    /// column scan.
+    pub fn rebuild_transpose(&mut self, weights: &Matrix<f64>) {
+        let n = weights.rows();
+        self.lists.resize_with(n, Vec::new);
+        self.edge_count = 0;
+        for list in &mut self.lists {
+            list.clear();
+        }
+        for (r, c, w) in weights.entries() {
+            if r != c && w.is_finite() {
+                self.lists[c].push((r, *w));
+                self.edge_count += 1;
+            }
+        }
+    }
+
+    /// [`AdjacencyList::sync_node`] for a transposed list built by
+    /// [`AdjacencyList::rebuild_transpose`]: re-synchronizes every edge
+    /// touching node `j` (its in-list, and its entry in every other
+    /// in-list) with `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` or the list dimensions do not match `weights`.
+    pub fn sync_node_transpose(&mut self, j: usize, weights: &Matrix<f64>) {
+        let n = weights.rows();
+        assert_eq!(self.lists.len(), n, "adjacency does not match weights");
+        assert!(j < n, "node {j} out of range");
+        // In-edges of j: rebuild its list from column j in one pass.
+        self.edge_count -= self.lists[j].len();
+        self.lists[j].clear();
+        for r in 0..n {
+            let w = weights[(r, j)];
+            if r != j && w.is_finite() {
+                self.lists[j].push((r, w));
+            }
+        }
+        self.edge_count += self.lists[j].len();
+        // Out-edges of j: fix the (sorted) position of j in every list.
+        for (i, list) in self.lists.iter_mut().enumerate() {
+            if i == j {
+                continue;
+            }
+            let w = weights[(j, i)];
+            match list.binary_search_by_key(&j, |&(c, _)| c) {
+                Ok(pos) if w.is_finite() => list[pos].1 = w,
+                Ok(pos) => {
+                    list.remove(pos);
+                    self.edge_count -= 1;
+                }
+                Err(pos) if w.is_finite() => {
+                    list.insert(pos, (j, w));
+                    self.edge_count += 1;
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
     /// Re-synchronizes the edges touching node `j` with `weights`: its
     /// out-list is rebuilt and its entry in every other out-list is
     /// inserted, updated, or removed. Equivalent to a full
@@ -390,12 +453,12 @@ impl AdjacencyList {
 /// on a strict distance improvement), so pop order is a total order and
 /// independent of the heap implementation.
 #[inline]
-fn pack_entry(distance: f64, node: usize) -> u128 {
+pub(crate) fn pack_entry(distance: f64, node: usize) -> u128 {
     (u128::from(distance.to_bits()) << 64) | node as u128
 }
 
 #[inline]
-fn unpack_entry(key: u128) -> (f64, usize) {
+pub(crate) fn unpack_entry(key: u128) -> (f64, usize) {
     (f64::from_bits((key >> 64) as u64), (key & u128::from(u64::MAX)) as usize)
 }
 
@@ -411,7 +474,7 @@ fn unpack_entry(key: u128) -> (f64, usize) {
 /// single integers.
 #[derive(Default)]
 pub struct DijkstraScratch {
-    heap: std::collections::BinaryHeap<core::cmp::Reverse<u128>>,
+    pub(crate) heap: std::collections::BinaryHeap<core::cmp::Reverse<u128>>,
 }
 
 impl core::fmt::Debug for DijkstraScratch {

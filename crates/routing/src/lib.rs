@@ -16,10 +16,14 @@
 //!    variant (Fig 5, `O(K³)`), an all-sources Dijkstra
 //!    (`O(K·E log K)`, the winner on sparse fabrics past a few dozen
 //!    nodes), or `Auto`, which picks by node count and edge density.
-//!    [`Router::recompute_into`] additionally diffs consecutive
-//!    [`SystemReport`]s and re-runs only sources whose distances can
-//!    have changed, into preallocated [`RoutingScratch`] storage with
-//!    zero steady-state allocation.
+//!    Between TDMA frames, [`Router::recompute_dirty_into`] (and the
+//!    report-diffing [`Router::recompute_into`]) advance the state
+//!    through a staged pipeline — weight-delta extraction, path repair
+//!    or re-solve, table rebuild — selected by [`RecomputeStrategy`]:
+//!    incremental shortest-path-tree repair (Ramalingam–Reps style,
+//!    `O(changed subtree · log K)` per source), affected-sources
+//!    re-runs, or a full phase 2 — into preallocated
+//!    [`RoutingScratch`] storage with zero steady-state allocation.
 //! 3. **Phase 3 — destination selection.** For every node and every
 //!    module, pick the nearest *live* duplicate of that module (w.r.t. the
 //!    phase-2 distances) while avoiding ports in a deadlock state
@@ -63,8 +67,8 @@ mod weights;
 
 pub use etx_graph::PathBackend;
 pub use report::SystemReport;
-pub use router::{Algorithm, Router};
-pub use scratch::RoutingScratch;
+pub use router::{Algorithm, RecomputeStrategy, Router};
+pub use scratch::{RecomputeStats, RoutingScratch};
 pub use table::{RouteEntry, RoutingState};
 pub use weighting::BatteryWeighting;
 pub(crate) use weights::update_node_weights;

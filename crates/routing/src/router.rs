@@ -1,11 +1,16 @@
-//! The [`Router`]: all three phases behind one call.
+//! The [`Router`]: all three phases behind one call, with a
+//! strategy-selected staged recompute pipeline.
 
 use core::fmt;
 
-use etx_graph::{dijkstra_source_into, DiGraph, NodeId, PathBackend, ResolvedBackend};
+use etx_graph::{
+    dijkstra_source_into, dijkstra_source_tree_into, repair_source, DiGraph, NodeId, PathBackend,
+    RepairOutcome, ResolvedBackend,
+};
 
 use crate::scratch::WeightsKey;
 use crate::table::PathPolicy;
+use crate::weights::collect_node_weight_deltas;
 use crate::{
     ear_weights_into, sdr_weights_into, update_node_weights, BatteryWeighting, RoutingScratch,
     RoutingState, SystemReport,
@@ -15,6 +20,15 @@ use crate::{
 /// of the nodes is dirty (the incremental bookkeeping stops paying for
 /// itself when most sources get re-run anyway).
 const DELTA_MAX_DIRTY_FRACTION: f64 = 0.25;
+
+/// Repair gate: a source whose affected frontier exceeds this fraction of
+/// its settled nodes is re-run in full instead of repaired. Tuned on the
+/// 32×32 steady-drain loop (`bench_routing`): a repaired node pays for
+/// its relaxations *plus* an achiever scan and a settle-order merge slot
+/// — roughly twice a plain relaxation — so repair keeps winning to about
+/// half the tree; 0.6 leaves margin because the `O(settled)` affected
+/// walk is paid on the re-run path too.
+const REPAIR_MAX_AFFECTED_FRACTION: f64 = 0.6;
 
 /// Which routing algorithm the central controller runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,12 +50,96 @@ impl fmt::Display for Algorithm {
     }
 }
 
+/// How [`Router::recompute_into`]/[`Router::recompute_dirty_into`] turn
+/// a frame's weight deltas into fresh all-pairs rows (phase 2 of the
+/// staged pipeline). Every strategy produces **identical** routing state
+/// (property-tested, distances *and* successors); they differ only in
+/// cost.
+///
+/// | Strategy | Phase-2 work per frame | When it wins |
+/// |---|---|---|
+/// | `Full` | `O(K·E log K)` (or `O(K³)` under Floyd–Warshall) | cold caches, mass changes |
+/// | `AffectedSources` | full single-source Dijkstra from every source that reaches a changed edge | sparse *reachability* of changes (partitioned fabrics) |
+/// | `IncrementalRepair` | Ramalingam–Reps repair of each source's shortest-path tree; `O(changed subtree · log K)` per source, with a per-source re-run gate | the steady state: small, monotone drain deltas on a connected fabric, where *every* source is "affected" but each tree barely changes |
+/// | `Auto` | `IncrementalRepair` whenever the resolved backend is Dijkstra and the caches are warm, `Full` otherwise | the default |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecomputeStrategy {
+    /// Always re-solve all sources from scratch.
+    Full,
+    /// Re-run only sources whose rows can change (union-reachability
+    /// over report diffs) — the pre-repair delta path.
+    AffectedSources,
+    /// Repair each source's shortest-path tree against the frame's
+    /// edge-delta stream, re-running individual sources when the repair
+    /// gate trips.
+    IncrementalRepair,
+    /// Pick per frame: incremental repair when the caches and resolved
+    /// backend allow it, full otherwise.
+    #[default]
+    Auto,
+}
+
+impl RecomputeStrategy {
+    /// CLI/spec-file name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RecomputeStrategy::Full => "full",
+            RecomputeStrategy::AffectedSources => "affected",
+            RecomputeStrategy::IncrementalRepair => "incremental",
+            RecomputeStrategy::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI/spec-file name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "full" => Some(RecomputeStrategy::Full),
+            "affected" | "affected-sources" => Some(RecomputeStrategy::AffectedSources),
+            "incremental" | "repair" | "incremental-repair" => {
+                Some(RecomputeStrategy::IncrementalRepair)
+            }
+            "auto" => Some(RecomputeStrategy::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RecomputeStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which phase-2 path a recompute resolved to this frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecomputeMode {
+    Full,
+    Affected,
+    Repair,
+}
+
 /// The online routing engine run by the central controller.
 ///
 /// "For a fair comparison, the proposed energy-aware routing strategy and
 /// its non-energy-aware counterpart are kept exactly the same except their
 /// routing algorithms" — [`Router`] embodies that: EAR and SDR differ only
 /// in the phase-1 weight matrix.
+///
+/// # The staged recompute pipeline
+///
+/// Between TDMA frames the router advances its state through three
+/// explicit stages:
+///
+/// 1. **Weight-delta extraction** — the dirty-node feed (from the caller
+///    or a report diff) becomes an edge-delta stream against the cached
+///    phase-1 matrix.
+/// 2. **Path repair or re-solve** — selected by [`RecomputeStrategy`]:
+///    incremental tree repair, affected-sources re-runs, or a full
+///    phase 2.
+/// 3. **Table rebuild** — phase 3 (nearest-duplicate selection with
+///    deadlock-port avoidance) always refreshes.
 ///
 /// # Examples
 ///
@@ -67,21 +165,33 @@ pub struct Router {
     algorithm: Algorithm,
     weighting: BatteryWeighting,
     backend: PathBackend,
+    strategy: RecomputeStrategy,
 }
 
 impl Router {
     /// Creates a router with the default battery weighting
-    /// (`N_B = 16`, `Q = 2`; irrelevant for SDR) and the
-    /// [`PathBackend::Auto`] phase-2 backend.
+    /// (`N_B = 16`, `Q = 2`; irrelevant for SDR), the
+    /// [`PathBackend::Auto`] phase-2 backend and the
+    /// [`RecomputeStrategy::Auto`] recompute strategy.
     #[must_use]
     pub fn new(algorithm: Algorithm) -> Self {
-        Router { algorithm, weighting: BatteryWeighting::default(), backend: PathBackend::Auto }
+        Router {
+            algorithm,
+            weighting: BatteryWeighting::default(),
+            backend: PathBackend::Auto,
+            strategy: RecomputeStrategy::Auto,
+        }
     }
 
     /// Creates a router with an explicit EAR weighting function.
     #[must_use]
     pub fn with_weighting(algorithm: Algorithm, weighting: BatteryWeighting) -> Self {
-        Router { algorithm, weighting, backend: PathBackend::Auto }
+        Router {
+            algorithm,
+            weighting,
+            backend: PathBackend::Auto,
+            strategy: RecomputeStrategy::Auto,
+        }
     }
 
     /// Selects the phase-2 all-pairs backend (default
@@ -89,6 +199,14 @@ impl Router {
     #[must_use]
     pub fn with_backend(mut self, backend: PathBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the recompute strategy (default
+    /// [`RecomputeStrategy::Auto`]).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: RecomputeStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -108,6 +226,12 @@ impl Router {
     #[must_use]
     pub fn backend(&self) -> PathBackend {
         self.backend
+    }
+
+    /// The configured recompute strategy.
+    #[must_use]
+    pub fn strategy(&self) -> RecomputeStrategy {
+        self.strategy
     }
 
     /// Runs phases 1–3 and returns the complete routing state.
@@ -145,8 +269,8 @@ impl Router {
     /// [`RoutingScratch::with_parallel`]).
     ///
     /// Always performs a *full* phase-2 recompute; the simulation engine
-    /// uses [`Router::recompute_into`], which additionally skips
-    /// unaffected work by diffing consecutive reports.
+    /// uses [`Router::recompute_dirty_into`], which additionally skips
+    /// unaffected work by consuming the frame's dirty-node feed.
     ///
     /// # Panics
     ///
@@ -173,23 +297,24 @@ impl Router {
         self.full_recompute(graph, module_nodes, report, key, scratch, out);
     }
 
-    /// Delta-aware recompute: `out` must hold the state this router
-    /// produced for (`graph`, `old_report`), and `scratch` must be the
-    /// workspace that produced it. Diffs the two reports to find nodes
-    /// whose battery bucket or liveness changed, and — when the resolved
-    /// backend is Dijkstra and the dirty set is small — re-runs
-    /// single-source Dijkstra only from sources whose out-distances can
-    /// change, falling back to a full recompute otherwise. The result is
-    /// identical to [`Router::compute_into`] over `new_report` with
-    /// `previous = out` (property-tested).
+    /// Delta-aware recompute from consecutive reports: `out` must hold
+    /// the state this router produced for (`graph`, `old_report`), and
+    /// `scratch` must be the workspace that produced it. Diffs the two
+    /// reports into a dirty-node feed and runs the staged pipeline; the
+    /// result is identical to [`Router::compute_into`] over `new_report`
+    /// with `previous = out` (property-tested, under every
+    /// [`RecomputeStrategy`]).
+    ///
+    /// Callers that already know which nodes changed should use
+    /// [`Router::recompute_dirty_into`] and skip the diff entirely.
     ///
     /// Phase 3 (deadlock avoidance reads `out`'s table as "previous") and
-    /// the report-difference bookkeeping are always refreshed; like
-    /// `compute_into`, the steady state performs no heap allocation.
+    /// the bookkeeping are always refreshed; like `compute_into`, the
+    /// steady state performs no heap allocation.
     ///
     /// # Panics
     ///
-    /// Panics if the reports cover a different node count than `graph`.
+    /// Panics if `new_report` covers a different node count than `graph`.
     pub fn recompute_into(
         &self,
         graph: &DiGraph,
@@ -199,17 +324,77 @@ impl Router {
         scratch: &mut RoutingScratch,
         out: &mut RoutingState,
     ) {
+        let n = graph.node_count();
+        scratch.dirty.clear();
+        // Reserving the per-node bound up front keeps burst frames (mass
+        // churn after a quiet warm-up) free of mid-flight growth — the
+        // zero-allocation guarantee is keyed to the system's dimensions,
+        // not to the largest dirty set seen so far.
+        scratch.dirty.reserve(n);
+        if old_report.node_count() == n && new_report.node_count() == n {
+            for i in 0..n {
+                if self.node_is_dirty(old_report, new_report, NodeId::new(i)) {
+                    scratch.dirty.push(i);
+                }
+            }
+        } else {
+            // Unknown previous state: treat every node as dirty, which
+            // trips the delta gate into a full recompute.
+            scratch.dirty.extend(0..n);
+        }
+        self.snapshot_prev_hops(graph, module_nodes, scratch, out);
+        let key = WeightsKey::new(self.algorithm, &self.weighting, graph);
+        self.staged_recompute(graph, module_nodes, new_report, key, scratch, out);
+    }
+
+    /// The engine's entry point: delta-aware recompute from an explicit
+    /// **dirty-node feed** instead of a report diff. `dirty` lists every
+    /// node whose battery bucket or liveness changed since the recompute
+    /// that produced `out`; the router turns it into an edge-delta
+    /// stream against its cached weights (stage 1), repairs or re-solves
+    /// the all-pairs rows (stage 2, per [`RecomputeStrategy`]) and
+    /// rebuilds the table (stage 3).
+    ///
+    /// An over-approximate feed is safe (a listed node whose weights did
+    /// not change contributes no deltas); a *missing* dirty node is not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `report` covers a different node count than `graph`, or
+    /// a dirty index is out of range.
+    pub fn recompute_dirty_into(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        dirty: &[NodeId],
+        scratch: &mut RoutingScratch,
+        out: &mut RoutingState,
+    ) {
+        let n = graph.node_count();
+        scratch.dirty.clear();
+        scratch.dirty.reserve(n.max(dirty.len()));
+        scratch.dirty.extend(dirty.iter().map(|node| {
+            assert!(node.index() < n, "dirty node {node} out of range");
+            node.index()
+        }));
+        self.snapshot_prev_hops(graph, module_nodes, scratch, out);
+        let key = WeightsKey::new(self.algorithm, &self.weighting, graph);
+        self.staged_recompute(graph, module_nodes, report, key, scratch, out);
+    }
+
+    /// Snapshots `out`'s first hops for phase 3's deadlock avoidance.
+    fn snapshot_prev_hops(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        scratch: &mut RoutingScratch,
+        out: &RoutingState,
+    ) {
         if out.module_count() == module_nodes.len() && out.node_count() == graph.node_count() {
             out.next_hop_snapshot_into(&mut scratch.prev_hops);
         } else {
             scratch.prev_hops.clear();
-        }
-        // One fingerprint per frame: the delta gate compares it, the
-        // full fallback stores it.
-        let key = WeightsKey::new(self.algorithm, &self.weighting, graph);
-        if !self.try_delta_recompute(graph, module_nodes, old_report, new_report, key, scratch, out)
-        {
-            self.full_recompute(graph, module_nodes, new_report, key, scratch, out);
         }
     }
 
@@ -223,49 +408,64 @@ impl Router {
         self.algorithm == Algorithm::Ear && old.battery_level(node) != new.battery_level(node)
     }
 
-    /// The delta path; returns `false` when the gate conditions fail and
-    /// a full recompute is required. Expects `scratch.prev_hops` to be
-    /// snapshotted already.
-    #[allow(clippy::too_many_arguments)]
-    fn try_delta_recompute(
+    /// Stage-2 dispatch: picks the phase-2 path for this frame from the
+    /// configured strategy and the cache/backend gates, then runs it.
+    /// Expects `scratch.dirty` populated and `scratch.prev_hops`
+    /// snapshotted.
+    fn staged_recompute(
         &self,
         graph: &DiGraph,
         module_nodes: &[Vec<NodeId>],
-        old_report: &SystemReport,
-        new_report: &SystemReport,
+        report: &SystemReport,
         key: WeightsKey,
         scratch: &mut RoutingScratch,
         out: &mut RoutingState,
-    ) -> bool {
+    ) {
         let n = graph.node_count();
-        // Gate: the cached weights/adjacency/paths must all describe the
+        // Gate: the cached weights/adjacency/rows must all describe the
         // previous call of this very configuration, and the previous
         // phase 2 must have used the Dijkstra successor policy (kept rows
         // must be bit-identical to what a fresh run would produce).
-        if scratch.key != Some(key)
-            || out.policy != PathPolicy::Dijkstra
-            || self.backend.resolve(n, graph.edge_count()) != ResolvedBackend::DijkstraAllPairs
-            || old_report.node_count() != n
-            || new_report.node_count() != n
-        {
-            return false;
-        }
-
-        // Both vectors hold at most one entry per node; reserving the
-        // bound up front keeps later frames free of mid-flight growth.
-        scratch.dirty.clear();
-        scratch.dirty.reserve(n);
-        scratch.queue.reserve(n);
-        for i in 0..n {
-            if self.node_is_dirty(old_report, new_report, NodeId::new(i)) {
-                scratch.dirty.push(i);
+        let cache_ok = scratch.key == Some(key)
+            && out.policy == PathPolicy::Dijkstra
+            && out.node_count() == n
+            && report.node_count() == n
+            && self.backend.resolve(n, graph.edge_count()) == ResolvedBackend::DijkstraAllPairs;
+        #[allow(clippy::cast_precision_loss)]
+        let few_dirty = scratch.dirty.len() as f64 <= DELTA_MAX_DIRTY_FRACTION * n as f64;
+        let mode = match self.strategy {
+            _ if !cache_ok || !few_dirty => RecomputeMode::Full,
+            RecomputeStrategy::Full => RecomputeMode::Full,
+            RecomputeStrategy::AffectedSources => RecomputeMode::Affected,
+            RecomputeStrategy::IncrementalRepair | RecomputeStrategy::Auto => RecomputeMode::Repair,
+        };
+        match mode {
+            RecomputeMode::Full => {
+                self.full_recompute(graph, module_nodes, report, key, scratch, out);
+            }
+            RecomputeMode::Affected => {
+                self.affected_recompute(graph, module_nodes, report, scratch, out);
+            }
+            RecomputeMode::Repair => {
+                self.repair_recompute(graph, module_nodes, report, scratch, out);
             }
         }
-        #[allow(clippy::cast_precision_loss)]
-        if scratch.dirty.len() as f64 > DELTA_MAX_DIRTY_FRACTION * n as f64 {
-            return false;
-        }
+    }
 
+    /// The affected-sources delta path: union-reachability over the
+    /// dirty set, then full single-source Dijkstra from every affected
+    /// source. Expects the gates of [`Router::staged_recompute`] already
+    /// checked.
+    fn affected_recompute(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        scratch: &mut RoutingScratch,
+        out: &mut RoutingState,
+    ) {
+        let n = graph.node_count();
+        scratch.queue.reserve(n);
         if !scratch.dirty.is_empty() {
             // Affected sources: everything that reaches a dirty node in
             // the *union* of the old and new graphs. A source that cannot
@@ -281,7 +481,7 @@ impl Router {
             }
             while let Some(v) = scratch.queue.pop() {
                 let v_node = NodeId::new(v);
-                let v_alive_new = new_report.is_alive(v_node);
+                let v_alive_new = report.is_alive(v_node);
                 for u in 0..n {
                     if u == v || scratch.affected[u] {
                         continue;
@@ -291,9 +491,8 @@ impl Router {
                     // cached (previous) matrix.
                     let old_edge = scratch.weights[(u, v)].is_finite();
                     // New edge u→v: physical link with both ends alive.
-                    let new_edge = v_alive_new
-                        && new_report.is_alive(u_node)
-                        && graph.has_edge(u_node, v_node);
+                    let new_edge =
+                        v_alive_new && report.is_alive(u_node) && graph.has_edge(u_node, v_node);
                     if old_edge || new_edge {
                         scratch.affected[u] = true;
                         scratch.queue.push(u);
@@ -306,7 +505,7 @@ impl Router {
             for &d in &scratch.dirty {
                 update_node_weights(
                     graph,
-                    new_report,
+                    report,
                     (self.algorithm == Algorithm::Ear).then_some(&self.weighting),
                     NodeId::new(d),
                     &mut scratch.weights,
@@ -314,7 +513,10 @@ impl Router {
                 scratch.adjacency.sync_node(d, &scratch.weights);
             }
 
-            // Phase 2 delta: re-run the affected sources only.
+            // Phase 2 delta: re-run the affected sources only. The
+            // trees are not maintained here, so a later repair frame
+            // starts cold.
+            scratch.trees_valid = false;
             let paths = out.paths_mut();
             for s in 0..n {
                 if !scratch.affected[s] {
@@ -335,9 +537,123 @@ impl Router {
         // Phase 3 always refreshes (deadlock flags and module placement
         // are not part of the dirty predicate).
         let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
-        out.rebuild_table(&scratch.weights, module_nodes, new_report, prev);
+        out.rebuild_table(&scratch.weights, module_nodes, report, prev);
         scratch.delta_recomputes += 1;
-        true
+    }
+
+    /// The incremental path-repair pipeline: edge-delta extraction, per-
+    /// source Ramalingam–Reps repair (with cold-tree / gate / decrease
+    /// fallbacks to recorded re-runs), table rebuild. Expects the gates
+    /// of [`Router::staged_recompute`] already checked.
+    fn repair_recompute(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        scratch: &mut RoutingScratch,
+        out: &mut RoutingState,
+    ) {
+        let n = graph.node_count();
+        let weighting = (self.algorithm == Algorithm::Ear).then_some(&self.weighting);
+
+        // Stage 1 — extract the edge-delta stream against the cached
+        // weights (no writes yet; the old values are part of the
+        // stream).
+        scratch.dirty_mark.clear();
+        scratch.dirty_mark.resize(n, false);
+        for &d in &scratch.dirty {
+            scratch.dirty_mark[d] = true;
+        }
+        scratch.deltas.clear();
+        // Every delta is a directed graph edge incident to a dirty node,
+        // so the edge count bounds the batch; reserving it up front
+        // keeps burst frames free of mid-flight growth.
+        scratch.deltas.reserve(graph.edge_count());
+        for &d in &scratch.dirty {
+            collect_node_weight_deltas(
+                graph,
+                report,
+                weighting,
+                NodeId::new(d),
+                &scratch.weights,
+                &scratch.dirty_mark,
+                &mut scratch.deltas,
+            );
+        }
+
+        let trees_ok = scratch.trees_valid
+            && scratch.trees.node_count() == n
+            && scratch.in_adjacency.len() == n;
+
+        // An empty batch (deadlock-flag-only or remap-only frame) leaves
+        // the rows valid as they stand and skips phase 2 entirely; cold
+        // trees stay cold until a frame with actual deltas warms them.
+        if !scratch.deltas.is_empty() {
+            // Stage 1b — apply the stream: weight matrix and both
+            // adjacency mirrors.
+            for &d in &scratch.dirty {
+                update_node_weights(graph, report, weighting, NodeId::new(d), &mut scratch.weights);
+                scratch.adjacency.sync_node(d, &scratch.weights);
+                if trees_ok {
+                    scratch.in_adjacency.sync_node_transpose(d, &scratch.weights);
+                }
+            }
+
+            // Stage 2 — repair or re-run each source. Cold trees (first
+            // delta frame after a full recompute, or after an affected-
+            // sources frame) re-run every source once, recording trees;
+            // warm frames repair.
+            if !trees_ok {
+                scratch.trees.reset(n);
+                scratch.in_adjacency.rebuild_transpose(&scratch.weights);
+            }
+            scratch.repair.prepare(&scratch.deltas, n);
+            let paths = out.paths_mut();
+            let (mut repaired, mut fallback) = (0u64, 0u64);
+            for s in 0..n {
+                let source = NodeId::new(s);
+                let (dist_row, succ_row) = paths.source_rows_mut(source);
+                let outcome = if trees_ok {
+                    repair_source(
+                        &scratch.adjacency,
+                        &scratch.in_adjacency,
+                        source,
+                        &mut scratch.dijkstra,
+                        &mut scratch.repair,
+                        &mut scratch.trees,
+                        dist_row,
+                        succ_row,
+                        REPAIR_MAX_AFFECTED_FRACTION,
+                    )
+                } else {
+                    RepairOutcome::Rerun
+                };
+                match outcome {
+                    RepairOutcome::Unchanged => {}
+                    RepairOutcome::Repaired { .. } => repaired += 1,
+                    RepairOutcome::Rerun => {
+                        dijkstra_source_tree_into(
+                            &scratch.adjacency,
+                            source,
+                            &mut scratch.dijkstra,
+                            dist_row,
+                            succ_row,
+                            &mut scratch.trees,
+                        );
+                        fallback += 1;
+                    }
+                }
+            }
+            scratch.trees_valid = true;
+            scratch.repaired_sources += repaired;
+            scratch.fallback_sources += fallback;
+        }
+
+        // Stage 3 — the table always refreshes (deadlock flags and
+        // module placement are not part of the dirty predicate).
+        let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
+        out.rebuild_table(&scratch.weights, module_nodes, report, prev);
+        scratch.repair_recomputes += 1;
     }
 
     /// Full phases 1–3 into `out`, refreshing the scratch caches.
@@ -371,6 +687,9 @@ impl Router {
             ResolvedBackend::DijkstraAllPairs => PathPolicy::Dijkstra,
         };
         scratch.key = Some(key);
+        // The trees describe the pre-recompute weights; a later repair
+        // frame must rebuild them (recorded re-runs) before repairing.
+        scratch.trees_valid = false;
         let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
         out.rebuild_table(&scratch.weights, module_nodes, report, prev);
         scratch.full_recomputes += 1;
@@ -395,10 +714,28 @@ mod tests {
     }
 
     #[test]
+    fn strategy_names_roundtrip() {
+        for s in [
+            RecomputeStrategy::Full,
+            RecomputeStrategy::AffectedSources,
+            RecomputeStrategy::IncrementalRepair,
+            RecomputeStrategy::Auto,
+        ] {
+            assert_eq!(RecomputeStrategy::parse(s.name()), Some(s));
+            assert_eq!(s.to_string(), s.name());
+        }
+        assert_eq!(RecomputeStrategy::parse("repair"), Some(RecomputeStrategy::IncrementalRepair));
+        assert_eq!(RecomputeStrategy::parse("bogus"), None);
+        assert_eq!(RecomputeStrategy::default(), RecomputeStrategy::Auto);
+    }
+
+    #[test]
     fn accessors() {
-        let r = Router::with_weighting(Algorithm::Ear, BatteryWeighting::new(8, 4.0));
+        let r = Router::with_weighting(Algorithm::Ear, BatteryWeighting::new(8, 4.0))
+            .with_strategy(RecomputeStrategy::IncrementalRepair);
         assert_eq!(r.algorithm(), Algorithm::Ear);
         assert_eq!(r.weighting().levels(), 8);
+        assert_eq!(r.strategy(), RecomputeStrategy::IncrementalRepair);
     }
 
     #[test]
@@ -484,6 +821,44 @@ mod tests {
         // SDR uses only the nearer duplicate until it dies.
         assert_eq!(sdr[2], 16, "SDR should exhaust n2 first: {sdr:?}");
         assert!(sdr[4] <= 8, "SDR spread load unexpectedly: {sdr:?}");
+    }
+
+    #[test]
+    fn dirty_feed_equals_report_diff() {
+        // The engine-facing dirty feed and the compat report diff must
+        // land in identical state, counters included per-path.
+        let graph = Mesh2D::square(8, cm(2.05)).to_graph();
+        let k = graph.node_count();
+        let modules: Vec<Vec<NodeId>> =
+            (0..3).map(|m| (m..k).step_by(3).map(NodeId::new).collect()).collect();
+        let router = Router::new(Algorithm::Ear);
+
+        let mut report = SystemReport::fresh(k, 16);
+        let mut a_scratch = RoutingScratch::new();
+        let mut a_state = RoutingState::empty();
+        let mut b_scratch = RoutingScratch::new();
+        let mut b_state = RoutingState::empty();
+        router.compute_into(&graph, &modules, &report, None, &mut a_scratch, &mut a_state);
+        router.compute_into(&graph, &modules, &report, None, &mut b_scratch, &mut b_state);
+
+        for frame in 0..6 {
+            let old = report.clone();
+            let node = NodeId::new((frame * 11 + 5) % k);
+            report.set_battery_level(node, report.battery_level(node).saturating_sub(2));
+            router.recompute_into(&graph, &modules, &old, &report, &mut a_scratch, &mut a_state);
+            router.recompute_dirty_into(
+                &graph,
+                &modules,
+                &report,
+                &[node],
+                &mut b_scratch,
+                &mut b_state,
+            );
+            assert_eq!(a_state, b_state, "frame {frame}");
+        }
+        assert_eq!(a_scratch.stats(), b_scratch.stats());
+        assert!(a_scratch.repair_recomputes() >= 5, "Auto at 8x8 should repair");
+        assert!(a_scratch.repaired_sources() > 0);
     }
 
     proptest! {

@@ -1,7 +1,7 @@
 //! The [`RoutingScratch`] reusable workspace for zero-allocation routing
-//! recomputes.
+//! recomputes, and the [`RecomputeStats`] counter snapshot.
 
-use etx_graph::{AdjacencyList, DijkstraScratch, Matrix, NodeId};
+use etx_graph::{AdjacencyList, DijkstraScratch, Matrix, NodeId, RepairScratch, SpTreeStore};
 
 use crate::{Algorithm, BatteryWeighting};
 
@@ -41,20 +41,44 @@ impl WeightsKey {
     }
 }
 
+/// Snapshot of a [`RoutingScratch`]'s recompute counters: how often each
+/// phase-2 path ran, and how the incremental repair split its sources.
+///
+/// The simulation engine reports this in its final
+/// [`SimReport`](../etx_sim/struct.SimReport.html) and the fleet
+/// controller aggregates it fleet-wide, so the cost profile of the
+/// routing pipeline is user-visible end to end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecomputeStats {
+    /// Recomputes that ran a full phase 2 (all sources from scratch).
+    pub full_recomputes: u64,
+    /// Recomputes that took the affected-sources delta path.
+    pub delta_recomputes: u64,
+    /// Recomputes that took the incremental path-repair pipeline.
+    pub repair_recomputes: u64,
+    /// Sources repaired in place across all repair recomputes.
+    pub repaired_sources: u64,
+    /// Sources the repair pipeline re-ran in full (cost gate, relevant
+    /// weight decrease, or cold shortest-path trees).
+    pub fallback_sources: u64,
+}
+
 /// Preallocated working memory for `Router::compute_into` /
-/// `Router::recompute_into`.
+/// `Router::recompute_into` / `Router::recompute_dirty_into`.
 ///
 /// Holds everything a recompute needs between TDMA frames: the phase-1
-/// weight matrix, the sparse adjacency lists and Dijkstra workspace of
-/// phase 2, and the previous-table snapshot phase 3's deadlock avoidance
-/// reads. All buffers retain capacity across calls, so once the scratch
-/// has seen the system's dimensions, recomputes perform **no heap
-/// allocation** (verified by the `zero_alloc` integration test).
+/// weight matrix, the sparse adjacency lists (plus their transpose) and
+/// Dijkstra workspace of phase 2, the per-source shortest-path trees and
+/// repair scratch of the incremental pipeline, and the previous-table
+/// snapshot phase 3's deadlock avoidance reads. All buffers retain
+/// capacity across calls, so once the scratch has seen the system's
+/// dimensions, recomputes perform **no heap allocation** (verified by
+/// the `zero_alloc` integration test).
 ///
 /// A scratch may be reused across different graphs/routers — it resizes
-/// as needed — but the cached state that powers the delta path is keyed
-/// to the previous call's inputs, so mixing callers simply falls back to
-/// full recomputes.
+/// as needed — but the cached state that powers the delta and repair
+/// paths is keyed to the previous call's inputs, so mixing callers
+/// simply falls back to full recomputes.
 #[derive(Debug, Default)]
 pub struct RoutingScratch {
     /// Phase-1 weight matrix of the *previous* call (input to the union
@@ -62,12 +86,26 @@ pub struct RoutingScratch {
     pub(crate) weights: Matrix<f64>,
     /// Sparse adjacency mirroring `weights`, kept in sync incrementally.
     pub(crate) adjacency: AdjacencyList,
+    /// Transposed adjacency (in-edge lists) for the repair pipeline's
+    /// achiever scans; valid only while `trees_valid` holds.
+    pub(crate) in_adjacency: AdjacencyList,
     /// Per-source Dijkstra working memory.
     pub(crate) dijkstra: DijkstraScratch,
+    /// Per-source shortest-path trees the incremental repair advances.
+    pub(crate) trees: SpTreeStore,
+    /// Batch-repair working memory.
+    pub(crate) repair: RepairScratch,
+    /// `true` while `trees`/`in_adjacency` describe the current weights
+    /// (set by the repair pipeline, cleared by full recomputes).
+    pub(crate) trees_valid: bool,
     /// Snapshot of the previous table's first hops (deadlock avoidance).
     pub(crate) prev_hops: Vec<Option<NodeId>>,
     /// Nodes whose battery bucket or liveness changed this frame.
     pub(crate) dirty: Vec<usize>,
+    /// Dirty-membership flags (edge-delta extraction dedup).
+    pub(crate) dirty_mark: Vec<bool>,
+    /// The frame's extracted edge-weight deltas (phase 1 output).
+    pub(crate) deltas: Vec<etx_graph::WeightDelta>,
     /// Sources whose all-pairs rows may change (and BFS visited marks).
     pub(crate) affected: Vec<bool>,
     /// Work stack of the reverse union-reachability scan.
@@ -78,10 +116,16 @@ pub struct RoutingScratch {
     /// Defaults to `false`: thread spawning allocates, and the steady
     /// state of the simulator must not.
     pub(crate) parallel: bool,
-    /// How many recomputes took the delta path.
+    /// How many recomputes took the affected-sources delta path.
     pub(crate) delta_recomputes: u64,
     /// How many recomputes ran a full phase 2.
     pub(crate) full_recomputes: u64,
+    /// How many recomputes took the incremental repair pipeline.
+    pub(crate) repair_recomputes: u64,
+    /// Sources repaired in place (across repair recomputes).
+    pub(crate) repaired_sources: u64,
+    /// Sources the repair pipeline re-ran in full.
+    pub(crate) fallback_sources: u64,
 }
 
 impl RoutingScratch {
@@ -94,16 +138,17 @@ impl RoutingScratch {
     /// Enables the scoped-thread fan-out for *full* Dijkstra recomputes.
     ///
     /// Spawning threads allocates, so leave this off (the default) on
-    /// paths that rely on the zero-allocation guarantee; the delta path
-    /// is always serial.
+    /// paths that rely on the zero-allocation guarantee; the delta and
+    /// repair paths are always serial.
     #[must_use]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
     }
 
-    /// How many recomputes through this scratch took the delta path
-    /// (phase 2 restricted to affected sources, or skipped entirely).
+    /// How many recomputes through this scratch took the
+    /// affected-sources delta path (phase 2 restricted to affected
+    /// sources, or skipped entirely).
     #[must_use]
     pub fn delta_recomputes(&self) -> u64 {
         self.delta_recomputes
@@ -115,16 +160,52 @@ impl RoutingScratch {
         self.full_recomputes
     }
 
+    /// How many recomputes through this scratch took the incremental
+    /// path-repair pipeline.
+    #[must_use]
+    pub fn repair_recomputes(&self) -> u64 {
+        self.repair_recomputes
+    }
+
+    /// Sources repaired in place across all repair recomputes.
+    #[must_use]
+    pub fn repaired_sources(&self) -> u64 {
+        self.repaired_sources
+    }
+
+    /// Sources the repair pipeline re-ran in full (cost gate, relevant
+    /// weight decrease, or cold trees).
+    #[must_use]
+    pub fn fallback_sources(&self) -> u64 {
+        self.fallback_sources
+    }
+
+    /// Snapshot of every recompute counter.
+    #[must_use]
+    pub fn stats(&self) -> RecomputeStats {
+        RecomputeStats {
+            full_recomputes: self.full_recomputes,
+            delta_recomputes: self.delta_recomputes,
+            repair_recomputes: self.repair_recomputes,
+            repaired_sources: self.repaired_sources,
+            fallback_sources: self.fallback_sources,
+        }
+    }
+
     /// Prepares this scratch for reuse by an unrelated caller (a new
     /// simulation instance drawing it from a pool): drops the cached
-    /// weight fingerprint so the next call runs a clean full recompute,
-    /// and zeroes the per-run counters. All buffer *capacity* is
-    /// retained — that is the whole point of pooling — so a scratch that
-    /// has seen a fleet's largest fabric never reallocates for a smaller
-    /// one.
+    /// weight fingerprint and shortest-path trees so the next call runs
+    /// a clean full recompute, and zeroes the per-run counters. All
+    /// buffer *capacity* is retained — that is the whole point of
+    /// pooling — so a scratch that has seen a fleet's largest fabric
+    /// never reallocates for a smaller one.
     pub fn recycle(&mut self) {
         self.key = None;
+        self.trees_valid = false;
         self.delta_recomputes = 0;
         self.full_recomputes = 0;
+        self.repair_recomputes = 0;
+        self.repaired_sources = 0;
+        self.fallback_sources = 0;
     }
 }

@@ -1,6 +1,7 @@
-//! Phase 1: edge-weight matrix construction for SDR and EAR.
+//! Phase 1: edge-weight matrix construction for SDR and EAR, plus the
+//! edge-delta extraction the staged recompute pipeline feeds on.
 
-use etx_graph::{DiGraph, Matrix, NodeId, INFINITE_DISTANCE};
+use etx_graph::{DiGraph, Matrix, NodeId, WeightDelta, INFINITE_DISTANCE};
 
 use crate::{BatteryWeighting, SystemReport};
 
@@ -76,6 +77,48 @@ pub(crate) fn update_node_weights(
             Some(len) => edge_weight(report, weighting, node, other, len.centimetres()),
             None => INFINITE_DISTANCE,
         };
+    }
+}
+
+/// Extracts the edge-weight deltas the new report implies for `node`
+/// *without* mutating the matrix: every in/out edge of `node` whose
+/// weight under the new report differs from the cached value in `out`
+/// is appended to `deltas` (stage 1 of the recompute pipeline).
+///
+/// `dirty` marks every node being extracted this frame; an edge between
+/// two dirty nodes is emitted only by the lower-indexed one, so a batch
+/// never contains duplicates.
+pub(crate) fn collect_node_weight_deltas(
+    graph: &DiGraph,
+    report: &SystemReport,
+    weighting: Option<&BatteryWeighting>,
+    node: NodeId,
+    weights: &Matrix<f64>,
+    dirty: &[bool],
+    deltas: &mut Vec<WeightDelta>,
+) {
+    let n = graph.node_count();
+    debug_assert_eq!(weights.rows(), n, "weight matrix does not match the graph");
+    let mut push = |from: NodeId, to: NodeId, old: f64, new: f64| {
+        if old != new {
+            deltas.push(WeightDelta { from: from.index() as u32, to: to.index() as u32, old, new });
+        }
+    };
+    for (other_idx, &other_dirty) in dirty.iter().enumerate().take(n) {
+        let other = NodeId::new(other_idx);
+        if other == node || (other_dirty && other_idx < node.index()) {
+            continue;
+        }
+        let new_in = match graph.edge_length(other, node) {
+            Some(len) => edge_weight(report, weighting, other, node, len.centimetres()),
+            None => INFINITE_DISTANCE,
+        };
+        push(other, node, weights[(other, node)], new_in);
+        let new_out = match graph.edge_length(node, other) {
+            Some(len) => edge_weight(report, weighting, node, other, len.centimetres()),
+            None => INFINITE_DISTANCE,
+        };
+        push(node, other, weights[(node, other)], new_out);
     }
 }
 

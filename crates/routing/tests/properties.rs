@@ -1,8 +1,10 @@
 //! Property tests for the routing kernel's fast paths: scratch reuse,
-//! delta-aware recompute, and backend equivalence.
+//! delta-aware recompute, strategy equivalence, and backend equivalence.
 
 use etx_graph::{topology::Mesh2D, NodeId, PathBackend};
-use etx_routing::{Algorithm, Router, RoutingScratch, RoutingState, SystemReport};
+use etx_routing::{
+    Algorithm, RecomputeStrategy, Router, RoutingScratch, RoutingState, SystemReport,
+};
 use etx_units::Length;
 use proptest::prelude::*;
 
@@ -138,6 +140,95 @@ proptest! {
             // for deadlock-port avoidance, exactly as `compute` would.
             let reference = router.compute(&graph, &modules, &report, Some(&previous));
             prop_assert_eq!(&state, &reference, "side {} after ops {:?}", side, ops);
+        }
+    }
+
+    /// Every [`RecomputeStrategy`] lands in **identical** routing state
+    /// — distances *and* chosen successors — over chains of random
+    /// drain/churn/scripted-failure mutations. The reference is a
+    /// `Full`-strategy recompute of each frame.
+    #[test]
+    fn strategies_equal_full_over_drain_and_churn(
+        side in 2usize..8,
+        algorithm in prop_oneof![Just(Algorithm::Sdr), Just(Algorithm::Ear)],
+        strategy in prop_oneof![
+            Just(RecomputeStrategy::AffectedSources),
+            Just(RecomputeStrategy::IncrementalRepair),
+            Just(RecomputeStrategy::Auto),
+        ],
+        levels in proptest::collection::vec(0u32..16, 8),
+        diffs in proptest::collection::vec(
+            proptest::collection::vec((0u8..4, 0usize..64, 0u32..32), 0..4),
+            1..6
+        ),
+    ) {
+        // Explicit Dijkstra backend so the fast paths engage at every
+        // mesh size, not just past the Auto crossover.
+        let router = Router::new(algorithm)
+            .with_backend(PathBackend::DijkstraAllPairs)
+            .with_strategy(strategy);
+        let reference_router = Router::new(algorithm)
+            .with_backend(PathBackend::DijkstraAllPairs)
+            .with_strategy(RecomputeStrategy::Full);
+        let graph = mesh_graph(side);
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+
+        let mut report = report_from(&levels, &[false], &[false], k);
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+
+        for ops in &diffs {
+            let old_report = report.clone();
+            let previous = state.clone();
+            apply_diff(&mut report, ops);
+            router.recompute_into(&graph, &modules, &old_report, &report, &mut scratch, &mut state);
+            let reference = reference_router.compute(&graph, &modules, &report, Some(&previous));
+            prop_assert_eq!(&state, &reference,
+                "strategy {:?} side {} after ops {:?}", strategy, side, ops);
+        }
+        let stats = scratch.stats();
+        prop_assert_eq!(
+            stats.full_recomputes + stats.delta_recomputes + stats.repair_recomputes,
+            1 + diffs.len() as u64,
+            "every frame must be counted exactly once"
+        );
+    }
+
+    /// The incremental repair stays exact when consecutive reports are
+    /// built *independently* — including disconnect/reconnect
+    /// transitions (nodes flipping dead→alive revive edges, the decrease
+    /// case that forces per-source re-runs) and mass changes that trip
+    /// the dirty-fraction fallback.
+    #[test]
+    fn repair_equals_full_across_disconnect_reconnect(
+        side in 2usize..8,
+        algorithm in prop_oneof![Just(Algorithm::Sdr), Just(Algorithm::Ear)],
+        frames in proptest::collection::vec(
+            (proptest::collection::vec(0u32..16, 8), proptest::collection::vec(any::<bool>(), 5)),
+            2..6
+        ),
+    ) {
+        let router = Router::new(algorithm)
+            .with_backend(PathBackend::DijkstraAllPairs)
+            .with_strategy(RecomputeStrategy::IncrementalRepair);
+        let graph = mesh_graph(side);
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        let mut report = report_from(&frames[0].0, &frames[0].1, &[false], k);
+        router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+
+        for (levels, dead) in &frames[1..] {
+            let old_report = report;
+            let previous = state.clone();
+            report = report_from(levels, dead, &[false], k);
+            router.recompute_into(&graph, &modules, &old_report, &report, &mut scratch, &mut state);
+            let reference = router.compute(&graph, &modules, &report, Some(&previous));
+            prop_assert_eq!(&state, &reference, "side {} frame levels {:?}", side, levels);
         }
     }
 

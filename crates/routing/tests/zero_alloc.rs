@@ -1,7 +1,8 @@
 //! Proves the zero-allocation claim of `Router::recompute_into`: once a
 //! `RoutingScratch`/`RoutingState` pair has warmed up on the system's
 //! dimensions, steady-state recomputes perform **no heap allocation** —
-//! under both phase-2 backends and on the delta path the simulator runs.
+//! under both phase-2 backends and under every recompute strategy the
+//! simulator can run (incremental repair included).
 //!
 //! A counting `#[global_allocator]` wraps the system allocator; this file
 //! contains a single test so no concurrent test case can pollute the
@@ -11,7 +12,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use etx_graph::{topology::Mesh2D, NodeId};
-use etx_routing::{Algorithm, Router, RoutingScratch, RoutingState, SystemReport};
+use etx_routing::{
+    Algorithm, RecomputeStrategy, Router, RoutingScratch, RoutingState, SystemReport,
+};
 use etx_units::Length;
 
 struct CountingAllocator;
@@ -81,22 +84,30 @@ fn allocations_over_drain_frames(
 
 #[test]
 fn steady_state_recompute_does_not_allocate() {
-    // 8x8: Auto resolves to Dijkstra (the simulator's delta path).
-    // 4x4: Auto resolves to Floyd-Warshall (the paper's sizes).
-    for (side, expect_delta) in [(8usize, true), (4usize, false)] {
+    // 8x8: Auto resolves to Dijkstra, so both the repair pipeline
+    // (strategy Auto/IncrementalRepair) and the affected-sources delta
+    // path engage. 4x4: Auto resolves to Floyd-Warshall (the paper's
+    // sizes) and every frame is a full recompute.
+    for (side, strategy, expect) in [
+        (8usize, RecomputeStrategy::Auto, "repair"),
+        (8, RecomputeStrategy::IncrementalRepair, "repair"),
+        (8, RecomputeStrategy::AffectedSources, "delta"),
+        (4, RecomputeStrategy::Auto, "full"),
+    ] {
         let graph = Mesh2D::square(side, Length::from_centimetres(2.05)).to_graph();
         let k = graph.node_count();
         let modules = module_stripes(k);
-        let router = Router::new(Algorithm::Ear);
+        let router = Router::new(Algorithm::Ear).with_strategy(strategy);
         let mut scratch = RoutingScratch::new();
         let mut state = RoutingState::empty();
         let mut report = SystemReport::fresh(k, 16);
 
         // Warm-up: initial full compute, then a burst of drain frames so
         // every lazily-grown buffer (dirty/affected/queue/prev-hop
-        // snapshot, adjacency, heap, report clone buffer) reaches steady
-        // capacity. Everything is deterministic, so "warm" is a stable
-        // property, not a flaky one.
+        // snapshot, adjacency + transpose, shortest-path trees, repair
+        // scratch, heap, report clone buffer) reaches steady capacity.
+        // Everything is deterministic, so "warm" is a stable property,
+        // not a flaky one.
         router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
         let mut warm_old = SystemReport::fresh(0, 1);
         let _ = allocations_over_drain_frames(
@@ -122,24 +133,42 @@ fn steady_state_recompute_does_not_allocate() {
         );
         assert_eq!(
             allocated, 0,
-            "{side}x{side}: steady-state recompute allocated {allocated} times"
+            "{side}x{side} {strategy}: steady-state recompute allocated {allocated} times"
         );
-        if expect_delta {
-            assert!(
-                scratch.delta_recomputes() >= 32,
-                "{side}x{side}: delta path never engaged ({} delta / {} full)",
-                scratch.delta_recomputes(),
-                scratch.full_recomputes()
-            );
-        } else {
-            assert_eq!(
-                scratch.delta_recomputes(),
-                0,
-                "{side}x{side}: Floyd-Warshall sizes must not take the delta path"
-            );
+        match expect {
+            "repair" => {
+                assert!(
+                    scratch.repair_recomputes() >= 32,
+                    "{side}x{side} {strategy}: repair pipeline never engaged \
+                     ({} repair / {} delta / {} full)",
+                    scratch.repair_recomputes(),
+                    scratch.delta_recomputes(),
+                    scratch.full_recomputes()
+                );
+                assert!(
+                    scratch.repaired_sources() > 0,
+                    "{side}x{side} {strategy}: no source was ever repaired in place"
+                );
+            }
+            "delta" => {
+                assert!(
+                    scratch.delta_recomputes() >= 32,
+                    "{side}x{side} {strategy}: delta path never engaged ({} delta / {} full)",
+                    scratch.delta_recomputes(),
+                    scratch.full_recomputes()
+                );
+            }
+            _ => {
+                assert_eq!(
+                    scratch.delta_recomputes() + scratch.repair_recomputes(),
+                    0,
+                    "{side}x{side} {strategy}: Floyd-Warshall sizes must recompute in full"
+                );
+            }
         }
         // Results stay correct after all those in-place updates.
         let reference = router.compute(&graph, &modules, &report, None);
         assert_eq!(state.paths().distances(), reference.paths().distances());
+        assert_eq!(state.paths().successors(), reference.paths().successors());
     }
 }

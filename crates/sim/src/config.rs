@@ -13,7 +13,7 @@ use etx_mapping::{
     CheckerboardMapping, CustomMapping, MappingError, MappingStrategy, Placement,
     ProportionalMapping, RoundRobinMapping,
 };
-use etx_routing::{Algorithm, BatteryWeighting};
+use etx_routing::{Algorithm, BatteryWeighting, RecomputeStrategy};
 use etx_units::{Cycles, Energy, Length, Voltage};
 
 use crate::Simulation;
@@ -271,6 +271,10 @@ pub struct SimConfig {
     pub scripted_failures: Vec<ScriptedFailure>,
     /// Routing algorithm (EAR or SDR).
     pub algorithm: Algorithm,
+    /// How the controller recomputes routes between TDMA frames. Every
+    /// strategy produces identical routing (and therefore identical
+    /// simulation results); they differ only in controller-side cost.
+    pub recompute_strategy: RecomputeStrategy,
     /// EAR battery weighting (`N_B`, `Q`).
     pub weighting: BatteryWeighting,
     /// TDMA schedule.
@@ -450,6 +454,7 @@ impl Default for SimConfig {
             capacity_profile: Vec::new(),
             scripted_failures: Vec::new(),
             algorithm: Algorithm::Ear,
+            recompute_strategy: RecomputeStrategy::Auto,
             weighting: BatteryWeighting::default(),
             tdma: TdmaConfig::default(),
             auto_medium_length: true,
@@ -494,6 +499,14 @@ impl SimConfigBuilder {
     #[must_use]
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the routing recompute strategy (default
+    /// [`RecomputeStrategy::Auto`]).
+    #[must_use]
+    pub fn recompute_strategy(mut self, strategy: RecomputeStrategy) -> Self {
+        self.config.recompute_strategy = strategy;
         self
     }
 

@@ -37,9 +37,14 @@ pub struct Simulation {
     router: Router,
     routing: RoutingState,
     /// Reusable workspace for routing recomputes: after the first frame
-    /// the steady-state recompute performs no heap allocation, and report
-    /// diffs let the router skip unaffected phase-2 work entirely.
+    /// the steady-state recompute performs no heap allocation, and the
+    /// dirty-node feed lets the router repair (or skip) phase-2 work
+    /// instead of re-solving it.
     routing_scratch: RoutingScratch,
+    /// The frame's routing delta feed: nodes whose battery bucket or
+    /// liveness changed since the last published report, collected while
+    /// the report is built (no post-hoc report diffing).
+    dirty_nodes: Vec<NodeId>,
     last_report: SystemReport,
     /// Recycled buffer for the next frame's report (capacity reuse).
     report_buf: SystemReport,
@@ -136,7 +141,8 @@ impl Simulation {
                 NodeState::new(module, cfg.battery.build(cfg.effective_capacity(id.index())))
             })
             .collect();
-        let router = Router::with_weighting(cfg.algorithm, cfg.weighting);
+        let router = Router::with_weighting(cfg.algorithm, cfg.weighting)
+            .with_strategy(cfg.recompute_strategy);
         let bank = match cfg.controllers {
             ControllerSetup::Infinite => ControllerBank::infinite(),
             ControllerSetup::Finite { count } => ControllerBank::new(count, cfg.battery_capacity),
@@ -169,6 +175,7 @@ impl Simulation {
             router,
             routing,
             routing_scratch,
+            dirty_nodes: Vec::new(),
             last_report: report,
             report_buf,
             bank,
@@ -352,12 +359,15 @@ impl Simulation {
                 break cause;
             }
         };
+        // Snapshot the recompute counters before the scratch (whose
+        // recycling zeroes them) flows back to the pool.
+        let recompute = self.routing_scratch.stats();
         let scratch = std::mem::take(&mut self.routing_scratch);
         let routing = std::mem::replace(&mut self.routing, RoutingState::empty());
         let report = std::mem::replace(&mut self.last_report, SystemReport::fresh(0, 1));
         let report_buf = std::mem::replace(&mut self.report_buf, SystemReport::fresh(0, 1));
         pool.put(scratch, routing, report, report_buf);
-        self.into_report(cause)
+        self.finish_report(cause, recompute)
     }
 
     // ------------------------------------------------------------------
@@ -438,10 +448,11 @@ impl Simulation {
         }
 
         // Build the report the controller just received (into the
-        // recycled buffer; steady-state frames allocate nothing).
+        // recycled buffer; steady-state frames allocate nothing) and, in
+        // the same pass, the routing delta feed: the nodes whose battery
+        // bucket or liveness changed since the last published report.
         let mut report = std::mem::replace(&mut self.report_buf, SystemReport::fresh(0, 1));
-        self.build_report_into(&mut report);
-        let any_deadlock = (0..self.nodes.len()).any(|i| report.is_deadlocked(NodeId::new(i)));
+        let (any_deadlock, deadlock_cleared) = self.build_report_and_deltas_into(&mut report);
         for i in 0..self.nodes.len() {
             if report.is_deadlocked(NodeId::new(i)) {
                 self.deadlock_reports += 1;
@@ -451,7 +462,7 @@ impl Simulation {
 
         let remapped = self.maybe_remap(&report);
 
-        if report != self.last_report || any_deadlock || remapped {
+        if !self.dirty_nodes.is_empty() || any_deadlock || deadlock_cleared || remapped {
             // Routing recomputation: the controller actively computes for
             // the duration of the frame.
             let active =
@@ -467,15 +478,17 @@ impl Simulation {
             if !self.bank.charge(down_total) {
                 return Some(DeathCause::ControllersDead);
             }
-            // Delta-aware in-place recompute: the router diffs the two
-            // reports, re-runs phase 2 only from sources whose distances
-            // can change, and reuses all scratch storage (zero
-            // steady-state allocation).
-            self.router.recompute_into(
+            // Staged in-place recompute fed by the frame's dirty nodes:
+            // the router turns them into an edge-delta stream against
+            // its cached weights, repairs (or re-solves, per the
+            // configured strategy) only the affected shortest-path work,
+            // and reuses all scratch storage (zero steady-state
+            // allocation). No report diffing happens on this path.
+            self.router.recompute_dirty_into(
                 &self.graph,
                 self.placement.module_nodes(),
-                &self.last_report,
                 &report,
+                &self.dirty_nodes,
                 &mut self.routing_scratch,
                 &mut self.routing,
             );
@@ -498,9 +511,21 @@ impl Simulation {
         None
     }
 
-    fn build_report_into(&self, report: &mut SystemReport) {
+    /// Builds the frame's report into `report` and, in the same pass,
+    /// derives the routing delta feed against the last *published*
+    /// report: `self.dirty_nodes` receives every node whose battery
+    /// bucket or liveness changed. Returns `(any_deadlock,
+    /// deadlock_cleared)` — whether any node reports a deadlock now, and
+    /// whether a previously-reported deadlock flag dropped (both force a
+    /// table rebuild even though no edge weight moved).
+    fn build_report_and_deltas_into(&mut self, report: &mut SystemReport) -> (bool, bool) {
         let levels = self.cfg.weighting.levels();
         report.reset_fresh(self.nodes.len(), levels);
+        self.dirty_nodes.clear();
+        let last = &self.last_report;
+        let prev_comparable = last.node_count() == self.nodes.len();
+        let mut any_deadlock = false;
+        let mut deadlock_cleared = false;
         for (i, n) in self.nodes.iter().enumerate() {
             let id = NodeId::new(i);
             if n.is_dead() {
@@ -508,8 +533,20 @@ impl Simulation {
             } else {
                 report.set_battery_level(id, n.battery.reported_level(levels));
                 report.set_deadlocked(id, n.deadlock_flag);
+                any_deadlock |= n.deadlock_flag;
+            }
+            if prev_comparable {
+                if report.battery_level(id) != last.battery_level(id)
+                    || report.is_alive(id) != last.is_alive(id)
+                {
+                    self.dirty_nodes.push(id);
+                }
+                deadlock_cleared |= last.is_deadlocked(id) && !report.is_deadlocked(id);
+            } else {
+                self.dirty_nodes.push(id);
             }
         }
+        (any_deadlock, deadlock_cleared)
     }
 
     /// The remapping extension: reprogram a surplus node to rescue a
@@ -765,6 +802,14 @@ impl Simulation {
 
     /// Final accounting.
     fn into_report(self, cause: DeathCause) -> SimReport {
+        let recompute = self.routing_scratch.stats();
+        self.finish_report(cause, recompute)
+    }
+
+    /// [`Simulation::into_report`] with the recompute counters supplied
+    /// explicitly (the pooled path snapshots them before the scratch is
+    /// recycled).
+    fn finish_report(self, cause: DeathCause, recompute: etx_routing::RecomputeStats) -> SimReport {
         let total_ops = self.cfg.app.op_sequence().len();
         let in_flight: f64 = self.jobs.iter().map(|j| j.progress(total_ops)).sum();
         let mut energy = EnergyBreakdown::default();
@@ -799,6 +844,7 @@ impl Simulation {
             energy,
             deadlock_reports: self.deadlock_reports,
             routing_recomputes: self.routing_recomputes,
+            recompute,
             remaps: self.remaps,
             frames: self.frames,
             node_stats,
@@ -838,6 +884,42 @@ mod tests {
         let a = quick(Algorithm::Ear, 8_000.0);
         let b = quick(Algorithm::Ear, 8_000.0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recompute_strategies_do_not_change_outcomes() {
+        use etx_routing::RecomputeStrategy;
+        // 8x8 so the Auto backend resolves to Dijkstra and the fast
+        // phase-2 paths actually engage.
+        let run = |strategy| {
+            SimConfig::builder()
+                .mesh_square(8)
+                .mapping(MappingKind::Proportional)
+                .battery(BatteryModel::Ideal)
+                .battery_capacity_picojoules(8_000.0)
+                .recompute_strategy(strategy)
+                .build()
+                .expect("valid config")
+                .run()
+        };
+        let full = run(RecomputeStrategy::Full);
+        let affected = run(RecomputeStrategy::AffectedSources);
+        let repair = run(RecomputeStrategy::IncrementalRepair);
+        let auto = run(RecomputeStrategy::Auto);
+        // Identical simulation outcomes — only the controller-side cost
+        // profile (the counters) may differ.
+        for other in [&affected, &repair, &auto] {
+            assert_eq!(full.jobs_fractional, other.jobs_fractional);
+            assert_eq!(full.lifetime_cycles, other.lifetime_cycles);
+            assert_eq!(full.energy, other.energy);
+            assert_eq!(full.node_stats, other.node_stats);
+            assert_eq!(full.routing_recomputes, other.routing_recomputes);
+        }
+        assert_eq!(full.recompute.delta_recomputes + full.recompute.repair_recomputes, 0);
+        assert!(affected.recompute.delta_recomputes > 0, "{affected}");
+        assert!(repair.recompute.repair_recomputes > 0, "{repair}");
+        assert!(repair.recompute.repaired_sources > 0, "{repair}");
+        assert_eq!(auto.recompute, repair.recompute, "Auto at 8x8 is the repair pipeline");
     }
 
     #[test]

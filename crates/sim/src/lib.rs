@@ -61,6 +61,7 @@ pub use config::{
     SimConfig, SimConfigBuilder, SimError, TopologyKind,
 };
 pub use engine::Simulation;
+pub use etx_routing::{RecomputeStats, RecomputeStrategy};
 pub use pool::SimPool;
 pub use stats::{DeathCause, EnergyBreakdown, NodeStats, SimReport};
 pub use trace::{SimTrace, TraceEvent, TraceOverflow, TraceRun};

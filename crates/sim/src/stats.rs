@@ -4,6 +4,7 @@ use core::fmt;
 
 use etx_app::ModuleId;
 use etx_graph::NodeId;
+use etx_routing::RecomputeStats;
 use etx_units::Energy;
 
 /// Why the target system died.
@@ -117,6 +118,10 @@ pub struct SimReport {
     pub deadlock_reports: u64,
     /// How many times the routing algorithm ran.
     pub routing_recomputes: u64,
+    /// How the routing recomputes split across the phase-2 paths (full /
+    /// affected-sources delta / incremental repair), plus the repair
+    /// pipeline's per-source repaired/fallback tallies.
+    pub recompute: RecomputeStats,
     /// Module remappings (code migrations) the controller performed.
     pub remaps: u64,
     /// TDMA frames elapsed.
@@ -157,13 +162,23 @@ impl fmt::Display for SimReport {
             self.energy.controller.picojoules(),
             self.energy.stranded.picojoules(),
         )?;
-        write!(
+        writeln!(
             f,
             "overhead: {:.1} %, recomputes: {}, deadlock reports: {}, remaps: {}",
             self.overhead_percent(),
             self.routing_recomputes,
             self.deadlock_reports,
             self.remaps
+        )?;
+        write!(
+            f,
+            "recompute paths: {} full, {} delta, {} repair \
+             ({} sources repaired, {} re-run)",
+            self.recompute.full_recomputes,
+            self.recompute.delta_recomputes,
+            self.recompute.repair_recomputes,
+            self.recompute.repaired_sources,
+            self.recompute.fallback_sources,
         )
     }
 }
@@ -216,6 +231,13 @@ mod tests {
             },
             deadlock_reports: 2,
             routing_recomputes: 7,
+            recompute: RecomputeStats {
+                full_recomputes: 2,
+                delta_recomputes: 0,
+                repair_recomputes: 5,
+                repaired_sources: 40,
+                fallback_sources: 3,
+            },
             remaps: 0,
             frames: 5,
             node_stats: vec![],
@@ -224,5 +246,6 @@ mod tests {
         assert_eq!(report.survivors(), 0);
         let s = report.to_string();
         assert!(s.contains("10 completed") && s.contains("5.0 %"));
+        assert!(s.contains("5 repair") && s.contains("40 sources repaired"));
     }
 }
