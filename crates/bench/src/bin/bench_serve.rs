@@ -1,0 +1,249 @@
+//! `bench_serve` — emits `BENCH_serve.json`, the machine-readable perf
+//! baseline of the read-side query service: sustained queries/second
+//! plus HDR tail-latency percentiles (p50/p99/p999) against warm,
+//! epoch-published fleet snapshots.
+//!
+//! ```text
+//! cargo run -p etx-bench --bin bench_serve --release              # writes ./BENCH_serve.json
+//! cargo run -p etx-bench --bin bench_serve --release -- out.json
+//! cargo run -p etx-bench --bin bench_serve --release -- --smoke   # tiny CI sizes
+//! cargo run -p etx-bench --bin bench_serve --release -- \
+//!     --dump out.txt --shards 4 --strategy incremental            # determinism dump
+//! ```
+//!
+//! Workloads:
+//!
+//! * `point_32x32` — pure next-hop point lookups on a warm
+//!   32x32-fabric fleet (the ≥ 1M queries/sec acceptance metric),
+//! * `mixed_32x32` — the 8:1:1 point/path/cost mix on the same fleet,
+//! * `point_wide_fleet` — point lookups hash-sharded over hundreds of
+//!   small fabrics,
+//! * `open_loop_32x32` — point lookups arriving on a fixed schedule at
+//!   ~60 % of the measured closed-loop rate, so the tail includes real
+//!   queueing delay.
+//!
+//! `--dump` renders every query's resolved answer as text: CI diffs the
+//! output across shard counts and across `full` vs `incremental`
+//! recompute strategies (published snapshots must be byte-identical).
+
+use std::fmt::Write as _;
+
+use etx::fleet::ScenarioSpec;
+use etx::routing::RecomputeStrategy;
+use etx::serve::{
+    run_load, FleetFrontend, LoadMode, LoadReport, QueryBatch, QueryOutput, QueryResult,
+    WorkloadGen, WorkloadSpec,
+};
+
+/// A single-topology spec: `count` fabrics of `side`x`side` meshes under
+/// EAR, fixed TDMA/battery scales so the warm-up drains visibly.
+fn fleet_spec(side: usize, count: usize, strategy: RecomputeStrategy) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("serve-{side}x{side}"),
+        seed: 2005,
+        instances: count,
+        mesh_side: (side, side),
+        topologies: vec![etx::fleet::TopologyChoice::Mesh],
+        algorithms: vec![etx::routing::Algorithm::Ear],
+        strategy,
+        battery_models: vec![etx::fleet::BatteryChoice::Ideal],
+        battery_pj: (40_000.0, 60_000.0),
+        heterogeneity: 0.2,
+        churn: (0, 0),
+        concurrent_jobs: (2, 4),
+        broadcast_fraction: 0.0,
+        max_cycles: 10_000_000,
+        ..ScenarioSpec::default()
+    }
+}
+
+struct Point {
+    workload: &'static str,
+    fabrics: usize,
+    mesh: String,
+    report: LoadReport,
+}
+
+fn describe(point: &Point) {
+    let r = &point.report;
+    eprintln!(
+        "{:<16} ({} fabrics, {}): {:>9.0} q/s over {:>8} queries; \
+         latency ns p50 {:>6} p99 {:>7} p999 {:>8}",
+        point.workload,
+        point.fabrics,
+        point.mesh,
+        r.qps,
+        r.queries,
+        r.latency_ns(0.50),
+        r.latency_ns(0.99),
+        r.latency_ns(0.999),
+    );
+}
+
+fn bench(smoke: bool, out_path: &str) {
+    let (side, big_count, wide_side, wide_count, warm, target) = if smoke {
+        (8usize, 2usize, 4usize, 16usize, 4_000u64, 50_000u64)
+    } else {
+        (32, 4, 4, 256, 8_000, 4_000_000)
+    };
+
+    eprintln!("building {big_count}x {side}x{side} fleet (warm {warm} cycles each)...");
+    let big =
+        FleetFrontend::from_spec(&fleet_spec(side, big_count, RecomputeStrategy::Auto), warm, 4)
+            .expect("serve spec is valid");
+    eprintln!("building {wide_count}x {wide_side}x{wide_side} wide fleet...");
+    let wide = FleetFrontend::from_spec(
+        &fleet_spec(wide_side, wide_count, RecomputeStrategy::Auto),
+        warm,
+        8,
+    )
+    .expect("serve spec is valid");
+
+    let mut points = Vec::new();
+
+    let point_spec = WorkloadSpec { batch: 2_048, ..WorkloadSpec::point_lookups() };
+    let closed =
+        run_load(&big, &mut WorkloadGen::new(point_spec.clone()), LoadMode::Closed, target);
+    let closed_qps = closed.qps;
+    points.push(Point {
+        workload: "point_32x32",
+        fabrics: big.fabric_count(),
+        mesh: format!("{side}x{side}"),
+        report: closed,
+    });
+
+    let mixed_spec = WorkloadSpec { batch: 2_048, ..WorkloadSpec::default() };
+    points.push(Point {
+        workload: "mixed_32x32",
+        fabrics: big.fabric_count(),
+        mesh: format!("{side}x{side}"),
+        report: run_load(&big, &mut WorkloadGen::new(mixed_spec), LoadMode::Closed, target / 2),
+    });
+
+    points.push(Point {
+        workload: "point_wide_fleet",
+        fabrics: wide.fabric_count(),
+        mesh: format!("{wide_side}x{wide_side}"),
+        report: run_load(
+            &wide,
+            &mut WorkloadGen::new(point_spec.clone()),
+            LoadMode::Closed,
+            target / 2,
+        ),
+    });
+
+    points.push(Point {
+        workload: "open_loop_32x32",
+        fabrics: big.fabric_count(),
+        mesh: format!("{side}x{side}"),
+        report: run_load(
+            &big,
+            &mut WorkloadGen::new(point_spec),
+            LoadMode::Open { rate_qps: closed_qps * 0.6 },
+            target / 4,
+        ),
+    });
+
+    for point in &points {
+        describe(point);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"serve_query_throughput\",\n");
+    json.push_str("  \"command\": \"cargo run -p etx-bench --bin bench_serve --release\",\n");
+    json.push_str(
+        "  \"units\": \"queries per second (single core) and nanoseconds of per-query latency\",\n",
+    );
+    json.push_str(
+        "  \"workload\": \"epoch-published fleet snapshots; batched (2048) queries sorted by \
+         (shard, fabric, source); SplitMix64 workload streams\",\n",
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let r = &p.report;
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"fabrics\": {}, \"mesh\": \"{}\", \"queries\": {}, \
+             \"wall_seconds\": {:.3}, \"qps\": {:.0}, \"latency_ns\": {{\"p50\": {}, \"p90\": {}, \
+             \"p99\": {}, \"p999\": {}, \"max\": {}}}}}{}",
+            p.workload,
+            p.fabrics,
+            p.mesh,
+            r.queries,
+            r.wall_seconds,
+            r.qps,
+            r.latency_ns(0.50),
+            r.latency_ns(0.90),
+            r.latency_ns(0.99),
+            r.latency_ns(0.999),
+            r.latency_ns(1.0),
+            if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}
+
+/// Determinism mode: a fixed fleet + fixed workload, every resolved
+/// answer rendered as one line. Byte-identical across `--shards` values
+/// and across `--strategy full|incremental` (published snapshots carry
+/// no trace of how phase 2/3 were computed).
+fn dump(path: &str, shards: usize, strategy: RecomputeStrategy) {
+    let spec = fleet_spec(8, 6, strategy);
+    let frontend = FleetFrontend::from_spec(&spec, 4_000, shards).expect("dump spec is valid");
+    let mut generator =
+        WorkloadGen::new(WorkloadSpec { seed: 77, batch: 512, ..WorkloadSpec::default() });
+    let mut batch = QueryBatch::new();
+    let mut out = QueryOutput::new();
+    let mut text = String::new();
+    for round in 0..3 {
+        generator.fill(&frontend, &mut batch);
+        frontend.execute(&mut batch, &mut out);
+        for (query, result) in batch.queries().iter().zip(out.results()) {
+            let _ = write!(text, "round {round} {query:?} => ");
+            match result {
+                QueryResult::Path { entry, .. } => {
+                    let _ = writeln!(text, "Path {entry:?} via {:?}", out.path_nodes(result));
+                }
+                other => {
+                    let _ = writeln!(text, "{other:?}");
+                }
+            }
+        }
+    }
+    std::fs::write(path, &text).expect("write dump");
+    eprintln!("wrote {path} ({} lines)", 3 * 512);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut dump_path: Option<String> = None;
+    let mut shards = 2usize;
+    let mut strategy = RecomputeStrategy::Auto;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--dump" => dump_path = Some(it.next().expect("--dump needs a path")),
+            "--shards" => {
+                shards = it.next().and_then(|v| v.parse().ok()).expect("--shards needs a count");
+            }
+            "--strategy" => {
+                let name = it.next().expect("--strategy needs a name");
+                strategy = RecomputeStrategy::parse(&name)
+                    .unwrap_or_else(|| panic!("unknown strategy `{name}`"));
+            }
+            other if !other.starts_with("--") => out_path = Some(other.to_string()),
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    if let Some(path) = dump_path {
+        dump(&path, shards, strategy);
+    } else {
+        bench(smoke, &out_path.unwrap_or_else(|| "BENCH_serve.json".to_string()));
+    }
+}

@@ -68,25 +68,6 @@ impl TdmaConfig {
         Ok(())
     }
 
-    /// Validates the configuration (panicking wrapper over
-    /// [`TdmaConfig::check`]).
-    ///
-    /// Every internal caller has migrated to the non-panicking
-    /// [`TdmaConfig::check`] — fleet scenario sampling must be able to
-    /// reject a bad schedule without aborting the process — and new code
-    /// should too; this wrapper remains only for source compatibility.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any width is zero, the period is zero, or the activity is
-    /// outside `[0, 1]`.
-    #[deprecated(since = "0.2.0", note = "use `TdmaConfig::check` and handle the `Err`")]
-    pub fn validate(&self) {
-        if let Err(msg) = self.check() {
-            panic!("{msg}");
-        }
-    }
-
     /// TDMA slots (medium cycles) one node's upload occupies.
     #[must_use]
     pub fn upload_slots_per_node(&self) -> u32 {
@@ -180,11 +161,19 @@ mod tests {
         assert!(err.contains("frame period"));
     }
 
-    /// The deprecated panicking wrapper still panics (source compat).
+    /// Every invalid schedule is reported through `check()`'s `Err`
+    /// (the panicking `validate()` wrapper is gone): callers match on
+    /// the result instead of aborting the process.
     #[test]
-    #[should_panic(expected = "medium width")]
-    #[allow(deprecated)]
-    fn deprecated_validate_still_panics() {
-        TdmaConfig { medium_width_bits: 0, ..TdmaConfig::default() }.validate();
+    fn check_reports_every_violation_without_panicking() {
+        let bad = [
+            TdmaConfig { medium_width_bits: 0, ..TdmaConfig::default() },
+            TdmaConfig { upload_bits_per_node: 0, ..TdmaConfig::default() },
+            TdmaConfig { download_bits_per_node: 0, ..TdmaConfig::default() },
+            TdmaConfig { medium_activity: f64::NAN, ..TdmaConfig::default() },
+        ];
+        for cfg in bad {
+            assert!(cfg.check().is_err());
+        }
     }
 }

@@ -24,6 +24,7 @@
 //! | [`control`] | `etx-control` | TDMA schedule, controllers, overhead ledger |
 //! | [`sim`] | `etx-sim` | the cycle-accurate simulator |
 //! | [`fleet`] | `etx-fleet` | sharded fleet controller + scenario generation |
+//! | [`serve`] | `etx-serve` | snapshot-consistent route query service |
 //! | [`experiments`] | (here) | one driver per paper table/figure |
 //!
 //! ## Quickstart
@@ -64,6 +65,7 @@ pub use etx_fleet as fleet;
 pub use etx_graph as graph;
 pub use etx_mapping as mapping;
 pub use etx_routing as routing;
+pub use etx_serve as serve;
 pub use etx_sim as sim;
 pub use etx_units as units;
 
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use etx_graph::{topology::Mesh2D, DiGraph, NodeId};
     pub use etx_mapping::{CheckerboardMapping, MappingStrategy, Placement};
     pub use etx_routing::{Algorithm, BatteryWeighting, Router, SystemReport};
+    pub use etx_serve::{FleetFrontend, Query, QueryBatch, QueryOutput, QueryResult};
     pub use etx_sim::{
         BatteryModel, ControllerSetup, DeathCause, JobSource, MappingKind, RemappingPolicy,
         ScriptedFailure, SimConfig, SimPool, SimReport, Simulation, TopologyKind,

@@ -249,6 +249,10 @@ pub struct RecomputeTally {
     pub repaired_sources: u128,
     /// Sources the repair pipeline re-ran in full.
     pub fallback_sources: u128,
+    /// Recomputes whose phase 3 took the delta-aware row rebuild.
+    pub table_delta_rebuilds: u128,
+    /// `(node, module)` table entries refreshed across all recomputes.
+    pub table_entries_rebuilt: u128,
 }
 
 impl RecomputeTally {
@@ -258,6 +262,8 @@ impl RecomputeTally {
         self.repair += u128::from(stats.repair_recomputes);
         self.repaired_sources += u128::from(stats.repaired_sources);
         self.fallback_sources += u128::from(stats.fallback_sources);
+        self.table_delta_rebuilds += u128::from(stats.table_delta_rebuilds);
+        self.table_entries_rebuilt += u128::from(stats.table_entries_rebuilt);
     }
 
     fn merge(&mut self, other: &RecomputeTally) {
@@ -266,6 +272,8 @@ impl RecomputeTally {
         self.repair += other.repair;
         self.repaired_sources += other.repaired_sources;
         self.fallback_sources += other.fallback_sources;
+        self.table_delta_rebuilds += other.table_delta_rebuilds;
+        self.table_entries_rebuilt += other.table_entries_rebuilt;
     }
 }
 
@@ -352,12 +360,14 @@ impl FleetAggregate {
         // filter it out and diff the (byte-identical) rest.
         let _ = writeln!(
             out,
-            "  \"recompute\": {{\"full\": {}, \"delta\": {}, \"repair\": {}, \"repaired_sources\": {}, \"fallback_sources\": {}}},",
+            "  \"recompute\": {{\"full\": {}, \"delta\": {}, \"repair\": {}, \"repaired_sources\": {}, \"fallback_sources\": {}, \"table_delta_rebuilds\": {}, \"table_entries_rebuilt\": {}}},",
             self.recompute.full,
             self.recompute.delta,
             self.recompute.repair,
             self.recompute.repaired_sources,
             self.recompute.fallback_sources,
+            self.recompute.table_delta_rebuilds,
+            self.recompute.table_entries_rebuilt,
         );
         let _ = writeln!(
             out,
@@ -407,12 +417,15 @@ impl fmt::Display for FleetAggregate {
         )?;
         writeln!(
             f,
-            "recomputes: {} full, {} delta, {} repair ({} sources repaired, {} re-run)",
+            "recomputes: {} full, {} delta, {} repair ({} sources repaired, {} re-run); \
+             table: {} delta rebuilds, {} entries",
             self.recompute.full,
             self.recompute.delta,
             self.recompute.repair,
             self.recompute.repaired_sources,
             self.recompute.fallback_sources,
+            self.recompute.table_delta_rebuilds,
+            self.recompute.table_entries_rebuilt,
         )?;
         write!(
             f,

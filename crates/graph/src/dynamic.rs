@@ -192,6 +192,16 @@ impl RepairScratch {
         self.increases.is_empty() && self.decreases.is_empty()
     }
 
+    /// The nodes the most recent [`repair_source`] call recomputed —
+    /// valid after a [`RepairOutcome::Repaired`] return, until the next
+    /// call. Every row entry *outside* this set is bit-identical to the
+    /// pre-repair solution, which is what lets callers maintain
+    /// downstream per-destination state (routing tables) incrementally.
+    #[must_use]
+    pub fn touched_nodes(&self) -> &[u32] {
+        &self.touched
+    }
+
     fn edge_increased(&self, from: u32, to: u32) -> bool {
         self.increases.binary_search(&(to, from)).is_ok()
     }

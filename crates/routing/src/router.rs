@@ -534,10 +534,28 @@ impl Router {
             }
         }
 
-        // Phase 3 always refreshes (deadlock flags and module placement
-        // are not part of the dirty predicate).
-        let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
-        out.rebuild_table(&scratch.weights, module_nodes, report, prev);
+        // Stage 3: rows of unaffected sources have identical inputs, so
+        // when the table-delta gate holds, refreshing the affected rows
+        // alone reproduces a full rebuild (this path re-solves whole
+        // rows, so there is no per-module mask to exploit).
+        if self.table_delta_ok(module_nodes, report, scratch, out) {
+            let mut rebuilt = 0u64;
+            if !scratch.dirty.is_empty() {
+                for s in 0..n {
+                    if scratch.affected[s] {
+                        out.rebuild_table_row(s, &scratch.weights, module_nodes, report, None);
+                        rebuilt += module_nodes.len() as u64;
+                    }
+                }
+            }
+            scratch.table_entries_rebuilt += rebuilt;
+            scratch.table_delta_rebuilds += 1;
+        } else {
+            let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
+            out.rebuild_table(&scratch.weights, module_nodes, report, prev);
+            scratch.table_entries_rebuilt += (n * module_nodes.len()) as u64;
+        }
+        Self::cache_table_inputs(module_nodes, report, scratch);
         scratch.delta_recomputes += 1;
     }
 
@@ -585,6 +603,18 @@ impl Router {
             && scratch.trees.node_count() == n
             && scratch.in_adjacency.len() == n;
 
+        // Stage 2 marks, per source, the modules whose table entries can
+        // change this frame; stage 3 reads the marks for the delta table
+        // rebuild. The key invariant: a `Repaired` outcome implies pure
+        // weight *increases* for that source, so distances only grow —
+        // a candidate that was losing keeps losing, and the entry for
+        // (source, module) can change only when its **current winning
+        // destination** is in the touched set. Re-run sources (decreases,
+        // gate trips, cold trees) get whole-row marks.
+        scratch.row_mask.clear();
+        scratch.row_mask.resize(n, 0);
+        let m_count = module_nodes.len();
+
         // An empty batch (deadlock-flag-only or remap-only frame) leaves
         // the rows valid as they stand and skips phase 2 entirely; cold
         // trees stay cold until a frame with actual deltas warms them.
@@ -608,7 +638,11 @@ impl Router {
                 scratch.in_adjacency.rebuild_transpose(&scratch.weights);
             }
             scratch.repair.prepare(&scratch.deltas, n);
-            let paths = out.paths_mut();
+            let (paths, prev_table, prev_m) = out.paths_and_table_mut();
+            let masks_ok = scratch.dup_mask.len() == n
+                && m_count <= 64
+                && prev_m == m_count
+                && prev_table.len() == n * m_count;
             let (mut repaired, mut fallback) = (0u64, 0u64);
             for s in 0..n {
                 let source = NodeId::new(s);
@@ -630,7 +664,32 @@ impl Router {
                 };
                 match outcome {
                     RepairOutcome::Unchanged => {}
-                    RepairOutcome::Repaired { .. } => repaired += 1,
+                    RepairOutcome::Repaired { .. } => {
+                        // Pure increases: an entry can change only when
+                        // its current winning destination was touched
+                        // (a losing candidate whose distance grew keeps
+                        // losing; an untouched winner keeps its exact
+                        // distance and successor bytes).
+                        let mut mask = u64::MAX;
+                        if masks_ok {
+                            mask = 0;
+                            for &t in scratch.repair.touched_nodes() {
+                                let mut bits = scratch.dup_mask[t as usize];
+                                while bits != 0 {
+                                    let module = bits.trailing_zeros() as usize;
+                                    bits &= bits - 1;
+                                    let winner = prev_table[s * m_count + module]
+                                        .as_ref()
+                                        .is_some_and(|e| e.destination.index() == t as usize);
+                                    if winner {
+                                        mask |= 1u64 << module;
+                                    }
+                                }
+                            }
+                        }
+                        scratch.row_mask[s] = mask;
+                        repaired += 1;
+                    }
                     RepairOutcome::Rerun => {
                         dijkstra_source_tree_into(
                             &scratch.adjacency,
@@ -640,6 +699,9 @@ impl Router {
                             succ_row,
                             &mut scratch.trees,
                         );
+                        // The whole row was re-solved: every entry of
+                        // this source may have changed.
+                        scratch.row_mask[s] = u64::MAX;
                         fallback += 1;
                     }
                 }
@@ -649,10 +711,42 @@ impl Router {
             scratch.fallback_sources += fallback;
         }
 
-        // Stage 3 — the table always refreshes (deadlock flags and
-        // module placement are not part of the dirty predicate).
-        let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
-        out.rebuild_table(&scratch.weights, module_nodes, report, prev);
+        // Stage 3 — delta-aware table maintenance: when liveness,
+        // deadlock flags and placement are unchanged, only the entries
+        // whose distance-to-duplicate inputs were touched by stage 2 can
+        // differ from the previous table, so the paper's `O(K·Σ|S_i|)`
+        // rebuild shrinks to the changed entries alone. Any other frame
+        // (deaths, deadlock raise *or* clear, remap, cold cache)
+        // rebuilds in full.
+        if self.table_delta_ok(module_nodes, report, scratch, out) {
+            let m = module_nodes.len();
+            let mut rebuilt = 0u64;
+            for s in 0..n {
+                let mask = scratch.row_mask[s];
+                if mask == 0 {
+                    continue;
+                }
+                if mask == u64::MAX {
+                    out.rebuild_table_row(s, &scratch.weights, module_nodes, report, None);
+                    rebuilt += m as u64;
+                } else {
+                    let mut bits = mask;
+                    while bits != 0 {
+                        let module = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        out.rebuild_table_cell(s, module, module_nodes, &scratch.weights, report);
+                        rebuilt += 1;
+                    }
+                }
+            }
+            scratch.table_entries_rebuilt += rebuilt;
+            scratch.table_delta_rebuilds += 1;
+        } else {
+            let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
+            out.rebuild_table(&scratch.weights, module_nodes, report, prev);
+            scratch.table_entries_rebuilt += (n * module_nodes.len()) as u64;
+        }
+        Self::cache_table_inputs(module_nodes, report, scratch);
         scratch.repair_recomputes += 1;
     }
 
@@ -692,7 +786,80 @@ impl Router {
         scratch.trees_valid = false;
         let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
         out.rebuild_table(&scratch.weights, module_nodes, report, prev);
+        scratch.table_entries_rebuilt += (n * module_nodes.len()) as u64;
+        Self::cache_table_inputs(module_nodes, report, scratch);
         scratch.full_recomputes += 1;
+    }
+
+    /// Whether stage 3 may refresh only the changed rows of `out`'s
+    /// table instead of rebuilding it: the cached table inputs must
+    /// describe the current call's placement, and neither liveness nor
+    /// deadlock flags may differ from the table build they describe —
+    /// those inputs feed *every* row, so any change forces a full
+    /// rebuild. Deadlock-free frames also never read `prev_hops`.
+    fn table_delta_ok(
+        &self,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        scratch: &RoutingScratch,
+        out: &RoutingState,
+    ) -> bool {
+        let n = report.node_count();
+        if !scratch.table_cache_valid
+            || scratch.prev_any_deadlock
+            || scratch.prev_alive.len() != n
+            || out.module_count() != module_nodes.len()
+            || scratch.prev_modules.as_slice() != module_nodes
+        {
+            return false;
+        }
+        (0..n).all(|i| {
+            let node = NodeId::new(i);
+            !report.is_deadlocked(node) && report.is_alive(node) == scratch.prev_alive[i]
+        })
+    }
+
+    /// Records the table-relevant report state (liveness, deadlock
+    /// presence) and placement the table was just built against, so the
+    /// next frame's [`Router::table_delta_ok`] can compare.
+    fn cache_table_inputs(
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        scratch: &mut RoutingScratch,
+    ) {
+        let n = report.node_count();
+        scratch.prev_alive.clear();
+        scratch.prev_alive.reserve(n);
+        scratch.prev_any_deadlock = false;
+        for i in 0..n {
+            let node = NodeId::new(i);
+            scratch.prev_alive.push(report.is_alive(node));
+            scratch.prev_any_deadlock |= report.is_deadlocked(node);
+        }
+        // Nested `clone_from`-style copy: inner buffers are reused, so
+        // steady-state frames (placement unchanged) allocate nothing.
+        scratch.prev_modules.truncate(module_nodes.len());
+        for (dst, src) in scratch.prev_modules.iter_mut().zip(module_nodes) {
+            dst.clone_from(src);
+        }
+        for src in &module_nodes[scratch.prev_modules.len()..] {
+            scratch.prev_modules.push(src.clone());
+        }
+        // Duplicate-membership masks: bit `m` of `dup_mask[node]` says
+        // the node hosts module `m` (only meaningful up to 64 modules;
+        // larger systems fall back to whole-row rebuilds).
+        scratch.dup_mask.clear();
+        scratch.dup_mask.resize(n, 0);
+        if module_nodes.len() <= 64 {
+            for (m, hosts) in module_nodes.iter().enumerate() {
+                for &host in hosts {
+                    if host.index() < n {
+                        scratch.dup_mask[host.index()] |= 1u64 << m;
+                    }
+                }
+            }
+        }
+        scratch.table_cache_valid = true;
     }
 }
 
@@ -859,6 +1026,65 @@ mod tests {
         assert_eq!(a_scratch.stats(), b_scratch.stats());
         assert!(a_scratch.repair_recomputes() >= 5, "Auto at 8x8 should repair");
         assert!(a_scratch.repaired_sources() > 0);
+    }
+
+    #[test]
+    fn steady_drain_rebuilds_only_changed_table_rows() {
+        // 8x8 battery-only drain: liveness/deadlock/placement never
+        // change, so stage 3 must take the delta row rebuild and touch
+        // far fewer rows than frames * K. A death frame then forces a
+        // full table rebuild (its liveness change invalidates every row).
+        let graph = Mesh2D::square(8, cm(2.05)).to_graph();
+        let k = graph.node_count();
+        let modules: Vec<Vec<NodeId>> =
+            (0..3).map(|m| (m..k).step_by(3).map(NodeId::new).collect()).collect();
+        let router =
+            Router::new(Algorithm::Ear).with_strategy(RecomputeStrategy::IncrementalRepair);
+
+        let mut report = SystemReport::fresh(k, 16);
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+
+        let frames = 12u64;
+        for frame in 0..frames {
+            let node = NodeId::new((frame as usize * 7 + 3) % k);
+            report.set_battery_level(node, report.battery_level(node).saturating_sub(1));
+            router.recompute_dirty_into(
+                &graph,
+                &modules,
+                &report,
+                &[node],
+                &mut scratch,
+                &mut state,
+            );
+            let reference = router.compute(&graph, &modules, &report, None);
+            assert_eq!(state.route_table(), reference.route_table(), "frame {frame}");
+        }
+        let stats = scratch.stats();
+        assert_eq!(stats.table_delta_rebuilds, frames, "drain frames must take the delta path");
+        // Initial full build: k * 3 entries. Each drain frame must touch
+        // far fewer than its own k * 3 — the whole point of the delta.
+        let full_build = 3 * k as u64;
+        assert!(
+            stats.table_entries_rebuilt < full_build + frames * full_build / 4,
+            "delta rebuild touched {} entries over {frames} frames on K={k}",
+            stats.table_entries_rebuilt
+        );
+
+        // Churn: a node death is a liveness change — full rebuild.
+        let victim = NodeId::new(9);
+        report.set_dead(victim);
+        let entries_before = scratch.table_entries_rebuilt();
+        router.recompute_dirty_into(&graph, &modules, &report, &[victim], &mut scratch, &mut state);
+        assert_eq!(scratch.table_delta_rebuilds(), frames, "death frame must rebuild in full");
+        assert_eq!(scratch.table_entries_rebuilt(), entries_before + full_build);
+
+        // The frame after the death is steady again: delta path resumes.
+        let node = NodeId::new(12);
+        report.set_battery_level(node, report.battery_level(node).saturating_sub(1));
+        router.recompute_dirty_into(&graph, &modules, &report, &[node], &mut scratch, &mut state);
+        assert_eq!(scratch.table_delta_rebuilds(), frames + 1);
     }
 
     proptest! {

@@ -61,6 +61,13 @@ pub struct RecomputeStats {
     /// Sources the repair pipeline re-ran in full (cost gate, relevant
     /// weight decrease, or cold shortest-path trees).
     pub fallback_sources: u64,
+    /// Recomputes whose phase 3 refreshed only the changed `(node,
+    /// module)` entries instead of rebuilding the whole table.
+    pub table_delta_rebuilds: u64,
+    /// `(node, module)` table entries refreshed across all recomputes (a
+    /// full rebuild counts every entry, `K · modules`; a delta rebuild
+    /// only the entries whose distance-to-duplicate inputs changed).
+    pub table_entries_rebuilt: u64,
 }
 
 /// Preallocated working memory for `Router::compute_into` /
@@ -110,6 +117,24 @@ pub struct RoutingScratch {
     pub(crate) affected: Vec<bool>,
     /// Work stack of the reverse union-reachability scan.
     pub(crate) queue: Vec<usize>,
+    /// Per-source bitmasks of the modules whose table entries must be
+    /// refreshed this frame (bit `m` = "source's distance to some
+    /// duplicate of module `m` may have changed"); `u64::MAX` marks a
+    /// whole-row rebuild (re-run sources, or > 64 modules).
+    pub(crate) row_mask: Vec<u64>,
+    /// Per-node bitmask of the modules hosting the node (the
+    /// touched-set → changed-entries translation table), refreshed with
+    /// the cached table inputs.
+    pub(crate) dup_mask: Vec<u64>,
+    /// Per-node liveness the current table was built against.
+    pub(crate) prev_alive: Vec<bool>,
+    /// Whether any node was deadlocked when the current table was built.
+    pub(crate) prev_any_deadlock: bool,
+    /// The module placement the current table was built against.
+    pub(crate) prev_modules: Vec<Vec<NodeId>>,
+    /// `true` while `prev_alive`/`prev_any_deadlock`/`prev_modules`
+    /// describe the table currently held by the paired `RoutingState`.
+    pub(crate) table_cache_valid: bool,
     /// What the cached `weights`/`adjacency` were built from.
     pub(crate) key: Option<WeightsKey>,
     /// Let the full Dijkstra backend fan sources out over threads.
@@ -126,6 +151,10 @@ pub struct RoutingScratch {
     pub(crate) repaired_sources: u64,
     /// Sources the repair pipeline re-ran in full.
     pub(crate) fallback_sources: u64,
+    /// Recomputes whose phase 3 took the delta-aware entry rebuild.
+    pub(crate) table_delta_rebuilds: u64,
+    /// `(node, module)` table entries refreshed across all recomputes.
+    pub(crate) table_entries_rebuilt: u64,
 }
 
 impl RoutingScratch {
@@ -180,6 +209,20 @@ impl RoutingScratch {
         self.fallback_sources
     }
 
+    /// Recomputes through this scratch whose phase 3 refreshed only the
+    /// changed `(node, module)` entries (the delta-aware table rebuild).
+    #[must_use]
+    pub fn table_delta_rebuilds(&self) -> u64 {
+        self.table_delta_rebuilds
+    }
+
+    /// `(node, module)` table entries refreshed across all recomputes
+    /// through this scratch.
+    #[must_use]
+    pub fn table_entries_rebuilt(&self) -> u64 {
+        self.table_entries_rebuilt
+    }
+
     /// Snapshot of every recompute counter.
     #[must_use]
     pub fn stats(&self) -> RecomputeStats {
@@ -189,6 +232,8 @@ impl RoutingScratch {
             repair_recomputes: self.repair_recomputes,
             repaired_sources: self.repaired_sources,
             fallback_sources: self.fallback_sources,
+            table_delta_rebuilds: self.table_delta_rebuilds,
+            table_entries_rebuilt: self.table_entries_rebuilt,
         }
     }
 
@@ -202,10 +247,13 @@ impl RoutingScratch {
     pub fn recycle(&mut self) {
         self.key = None;
         self.trees_valid = false;
+        self.table_cache_valid = false;
         self.delta_recomputes = 0;
         self.full_recomputes = 0;
         self.repair_recomputes = 0;
         self.repaired_sources = 0;
         self.fallback_sources = 0;
+        self.table_delta_rebuilds = 0;
+        self.table_entries_rebuilt = 0;
     }
 }

@@ -145,6 +145,16 @@ impl RoutingState {
         &mut self.paths
     }
 
+    /// Split borrow for the repair pipeline: mutable phase-2 data plus a
+    /// read-only view of the *current* (pre-rebuild) table, so stage 2
+    /// can check which entries' winning destinations were touched while
+    /// it rewrites the all-pairs rows.
+    pub(crate) fn paths_and_table_mut(
+        &mut self,
+    ) -> (&mut ShortestPaths, &[Option<RouteEntry>], usize) {
+        (&mut self.paths, &self.table, self.modules)
+    }
+
     /// Rebuilds the phase-3 table in place from the current phase-2 data
     /// (the paper's Fig 6), reusing the table buffer: no allocation once
     /// the `(node, module)` dimensions have been seen.
@@ -179,96 +189,97 @@ impl RoutingState {
         self.modules = m;
         self.table.clear();
         self.table.resize(n * m, None);
-        let paths = &self.paths;
         for node_idx in 0..n {
-            let node = NodeId::new(node_idx);
-            if !report.is_alive(node) {
-                continue;
-            }
-            for (module, duplicates) in module_nodes.iter().enumerate() {
-                // A deadlocked node must be steered off the port its
-                // previous table used for this module.
-                let blocked_port = if report.is_deadlocked(node) {
-                    prev_hops.and_then(|prev| prev[node_idx * m + module])
-                } else {
-                    None
-                };
-                let mut best: Option<RouteEntry> = None;
-                let consider = |candidate: RouteEntry, best: &mut Option<RouteEntry>| {
-                    let better = match best {
-                        None => true,
-                        Some(b) => {
-                            candidate.distance < b.distance
-                                || (candidate.distance == b.distance
-                                    && candidate.destination < b.destination)
-                        }
-                    };
-                    if better {
-                        *best = Some(candidate);
-                    }
-                };
-                for &dest in duplicates {
-                    if !report.is_alive(dest) {
-                        continue;
-                    }
-                    if dest == node {
-                        // Self-hosting: no packet leaves the node, so no
-                        // port can be blocked.
-                        consider(
-                            RouteEntry { destination: dest, next_hop: node, distance: 0.0 },
-                            &mut best,
-                        );
-                        continue;
-                    }
-                    match blocked_port {
-                        None => {
-                            let Some(distance) = paths.distance(node, dest) else {
-                                continue;
-                            };
-                            let Some(next_hop) = paths.successor(node, dest) else {
-                                continue;
-                            };
-                            consider(
-                                RouteEntry { destination: dest, next_hop, distance },
-                                &mut best,
-                            );
-                        }
-                        Some(blocked) => {
-                            // Detour scan: first hop over any live link
-                            // except the blocked port.
-                            for m in 0..n {
-                                let hop = NodeId::new(m);
-                                if hop == node || hop == blocked {
-                                    continue;
-                                }
-                                let w = weights[(node_idx, m)];
-                                if !w.is_finite() {
-                                    continue;
-                                }
-                                let Some(rest) = paths.distance(hop, dest) else {
-                                    continue;
-                                };
-                                consider(
-                                    RouteEntry {
-                                        destination: dest,
-                                        next_hop: hop,
-                                        distance: w + rest,
-                                    },
-                                    &mut best,
-                                );
-                            }
-                        }
-                    }
-                }
-                self.table[node_idx * m + module] = best;
-            }
+            fill_table_row(
+                &self.paths,
+                &mut self.table[node_idx * m..(node_idx + 1) * m],
+                node_idx,
+                weights,
+                module_nodes,
+                report,
+                prev_hops,
+            );
         }
+    }
+
+    /// Refreshes the table row of a single node from the current phase-2
+    /// data — the delta-aware stage 3: when the router knows which
+    /// sources' all-pairs rows changed (and that liveness, deadlock flags
+    /// and placement did not), refreshing only those rows is exactly
+    /// equivalent to a full [`RoutingState::rebuild_table`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was not previously built for
+    /// (`node_count`, `module_nodes.len()`) dimensions.
+    pub(crate) fn rebuild_table_row(
+        &mut self,
+        node_idx: usize,
+        weights: &Matrix<f64>,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        prev_hops: Option<&[Option<NodeId>]>,
+    ) {
+        let m = module_nodes.len();
+        assert_eq!(m, self.modules, "table was built for a different module count");
+        fill_table_row(
+            &self.paths,
+            &mut self.table[node_idx * m..(node_idx + 1) * m],
+            node_idx,
+            weights,
+            module_nodes,
+            report,
+            prev_hops,
+        );
+    }
+
+    /// Refreshes a single `(node, module)` table entry — the finest
+    /// grain of the delta-aware stage 3: an entry's inputs are the
+    /// node's distances *to that module's duplicates* (plus liveness and
+    /// deadlock flags), so when the repair pipeline knows which
+    /// destinations a source's row changed for, everything else can be
+    /// left untouched. Only sound on deadlock-free frames (no
+    /// `prev_hops` detour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was not previously built for
+    /// (`node_count`, `module_nodes.len()`) dimensions.
+    pub(crate) fn rebuild_table_cell(
+        &mut self,
+        node_idx: usize,
+        module: usize,
+        module_nodes: &[Vec<NodeId>],
+        weights: &Matrix<f64>,
+        report: &SystemReport,
+    ) {
+        let m = module_nodes.len();
+        assert_eq!(m, self.modules, "table was built for a different module count");
+        fill_table_cell(
+            &self.paths,
+            &mut self.table[node_idx * m + module],
+            node_idx,
+            module,
+            &module_nodes[module],
+            weights,
+            report,
+            None,
+            m,
+        );
     }
 
     /// Number of nodes covered.
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.paths.node_count()
+    }
+
+    /// The flat phase-3 table, row-major by node (`node * module_count +
+    /// module`) — the copy source for read-side snapshot services that
+    /// need the whole table in one pass (see `etx-serve`).
+    #[must_use]
+    pub fn route_table(&self) -> &[Option<RouteEntry>] {
+        &self.table
     }
 
     /// Number of modules covered.
@@ -310,6 +321,123 @@ impl RoutingState {
     pub fn paths(&self) -> &ShortestPaths {
         &self.paths
     }
+}
+
+/// Fills one node's table row (the paper's Fig 6 body for a single
+/// origin): for every module, the nearest live duplicate by phase-2
+/// distance, with the deadlock-port detour scan when the node is flagged.
+/// Dead origins get all-`None` rows.
+fn fill_table_row(
+    paths: &ShortestPaths,
+    row: &mut [Option<RouteEntry>],
+    node_idx: usize,
+    weights: &Matrix<f64>,
+    module_nodes: &[Vec<NodeId>],
+    report: &SystemReport,
+    prev_hops: Option<&[Option<NodeId>]>,
+) {
+    let m = module_nodes.len();
+    for (module, duplicates) in module_nodes.iter().enumerate() {
+        fill_table_cell(
+            paths,
+            &mut row[module],
+            node_idx,
+            module,
+            duplicates,
+            weights,
+            report,
+            prev_hops,
+            m,
+        );
+    }
+}
+
+/// Fills one `(node, module)` table entry: the nearest live duplicate of
+/// `module` by phase-2 distance (deterministic lower-id tie-break), with
+/// the deadlock-port detour scan when the node is flagged. A dead origin
+/// yields `None`.
+#[allow(clippy::too_many_arguments)] // the full Fig-6 input set for one cell
+fn fill_table_cell(
+    paths: &ShortestPaths,
+    slot: &mut Option<RouteEntry>,
+    node_idx: usize,
+    module: usize,
+    duplicates: &[NodeId],
+    weights: &Matrix<f64>,
+    report: &SystemReport,
+    prev_hops: Option<&[Option<NodeId>]>,
+    module_count: usize,
+) {
+    let n = paths.node_count();
+    let node = NodeId::new(node_idx);
+    if !report.is_alive(node) {
+        *slot = None;
+        return;
+    }
+    // A deadlocked node must be steered off the port its previous table
+    // used for this module.
+    let blocked_port = if report.is_deadlocked(node) {
+        prev_hops.and_then(|prev| prev[node_idx * module_count + module])
+    } else {
+        None
+    };
+    let mut best: Option<RouteEntry> = None;
+    let consider = |candidate: RouteEntry, best: &mut Option<RouteEntry>| {
+        let better = match best {
+            None => true,
+            Some(b) => {
+                candidate.distance < b.distance
+                    || (candidate.distance == b.distance && candidate.destination < b.destination)
+            }
+        };
+        if better {
+            *best = Some(candidate);
+        }
+    };
+    for &dest in duplicates {
+        if !report.is_alive(dest) {
+            continue;
+        }
+        if dest == node {
+            // Self-hosting: no packet leaves the node, so no port can be
+            // blocked.
+            consider(RouteEntry { destination: dest, next_hop: node, distance: 0.0 }, &mut best);
+            continue;
+        }
+        match blocked_port {
+            None => {
+                let Some(distance) = paths.distance(node, dest) else {
+                    continue;
+                };
+                let Some(next_hop) = paths.successor(node, dest) else {
+                    continue;
+                };
+                consider(RouteEntry { destination: dest, next_hop, distance }, &mut best);
+            }
+            Some(blocked) => {
+                // Detour scan: first hop over any live link except the
+                // blocked port.
+                for hop_idx in 0..n {
+                    let hop = NodeId::new(hop_idx);
+                    if hop == node || hop == blocked {
+                        continue;
+                    }
+                    let w = weights[(node_idx, hop_idx)];
+                    if !w.is_finite() {
+                        continue;
+                    }
+                    let Some(rest) = paths.distance(hop, dest) else {
+                        continue;
+                    };
+                    consider(
+                        RouteEntry { destination: dest, next_hop: hop, distance: w + rest },
+                        &mut best,
+                    );
+                }
+            }
+        }
+    }
+    *slot = best;
 }
 
 #[cfg(test)]

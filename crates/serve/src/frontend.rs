@@ -1,0 +1,242 @@
+//! [`FleetFrontend`]: one query surface over thousands of pooled fabric
+//! instances.
+
+use etx_fleet::{FleetRng, ScenarioSpec};
+use etx_sim::SimPool;
+
+use crate::publish::{EpochPublisher, PinnedSnapshot, SnapshotReader};
+use crate::query::{execute_on, QueryBatch, QueryOutput, QueryResult};
+
+/// One served fabric: the reader half of its publisher plus the
+/// dimensions workload generators need.
+#[derive(Debug, Clone)]
+struct FabricHandle {
+    reader: SnapshotReader,
+    nodes: usize,
+    modules: usize,
+}
+
+/// A read-side frontend over a fleet of fabrics: every fabric's routing
+/// tables are published through an [`EpochPublisher`], and queries
+/// address fabrics by dense id (`0..fabric_count`).
+///
+/// Execution hash-shards the batch — fabric `f` belongs to shard
+/// `splitmix64(f) % shard_count` — and visits shards in order, fabrics
+/// grouped within a shard and sources grouped within a fabric, pinning
+/// each fabric's snapshot exactly once per batch. Shard runs touch
+/// disjoint fabrics and disjoint result slots, so the shard count can
+/// never change a result: answers are **byte-identical across shard
+/// counts** (and across the publisher's recompute strategy, since every
+/// strategy publishes identical tables). Execution is serial on this
+/// box — the dev container has one core — but the shard runs are
+/// independent by construction, ready for an `etx-par` fan-out.
+#[derive(Debug, Clone)]
+pub struct FleetFrontend {
+    /// Indexed by fabric id; `None` marks a spec instance the builder
+    /// rejected (queries against it answer `UnknownFabric`).
+    fabrics: Vec<Option<FabricHandle>>,
+    shards: usize,
+}
+
+impl FleetFrontend {
+    /// An empty frontend with `shards` hash shards (clamped to ≥ 1);
+    /// register fabrics with [`FleetFrontend::register`].
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        FleetFrontend { fabrics: Vec::new(), shards: shards.max(1) }
+    }
+
+    /// Builds a frontend from a fleet scenario: every spec instance is
+    /// sampled exactly as the fleet controller would (instance `i`
+    /// depends only on `(spec.seed, i)`), built over one recycled
+    /// [`SimPool`], stepped `warm_cycles` cycles so its tables reflect a
+    /// warmed, draining fabric, and its final published snapshot becomes
+    /// fabric `i` of the frontend. Rejected instances keep their id and
+    /// answer [`QueryResult::UnknownFabric`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioSpec::check`]'s description when the spec itself is
+    /// structurally invalid.
+    pub fn from_spec(
+        spec: &ScenarioSpec,
+        warm_cycles: u64,
+        shards: usize,
+    ) -> Result<FleetFrontend, String> {
+        spec.check()?;
+        let mut frontend = FleetFrontend::new(shards);
+        let mut pool = SimPool::new();
+        for index in 0..spec.instances {
+            match spec.sample(index).build_pooled(&mut pool) {
+                Ok(mut sim) => {
+                    let (publisher, reader) = EpochPublisher::new();
+                    sim.set_table_observer(Box::new(publisher));
+                    for _ in 0..warm_cycles {
+                        if sim.step().is_some() {
+                            break;
+                        }
+                    }
+                    let nodes = sim.routing().node_count();
+                    let modules = sim.routing().module_count();
+                    sim.recycle_into(&mut pool);
+                    frontend.fabrics.push(Some(FabricHandle { reader, nodes, modules }));
+                }
+                Err(_) => frontend.fabrics.push(None),
+            }
+        }
+        Ok(frontend)
+    }
+
+    /// Registers a fabric served by `reader` (e.g. a live simulation's
+    /// publisher) and returns its fabric id.
+    pub fn register(&mut self, reader: SnapshotReader, nodes: usize, modules: usize) -> u32 {
+        let id = self.fabrics.len() as u32;
+        self.fabrics.push(Some(FabricHandle { reader, nodes, modules }));
+        id
+    }
+
+    /// Number of fabric ids (rejected placeholders included).
+    #[must_use]
+    pub fn fabric_count(&self) -> usize {
+        self.fabrics.len()
+    }
+
+    /// Number of hash shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `fabric`: `splitmix64(fabric) % shard_count`.
+    #[must_use]
+    pub fn shard_of(&self, fabric: u32) -> u32 {
+        (FleetRng::new(u64::from(fabric)).next_u64() % self.shards as u64) as u32
+    }
+
+    /// Node count of a served fabric (`None` for unknown/rejected ids).
+    #[must_use]
+    pub fn node_count(&self, fabric: u32) -> Option<usize> {
+        self.fabrics.get(fabric as usize)?.as_ref().map(|h| h.nodes)
+    }
+
+    /// Module count of a served fabric (`None` for unknown/rejected ids).
+    #[must_use]
+    pub fn module_count(&self, fabric: u32) -> Option<usize> {
+        self.fabrics.get(fabric as usize)?.as_ref().map(|h| h.modules)
+    }
+
+    /// The current epoch of a served fabric's tables.
+    #[must_use]
+    pub fn epoch(&self, fabric: u32) -> Option<u64> {
+        self.fabrics.get(fabric as usize)?.as_ref().map(|h| h.reader.epoch())
+    }
+
+    /// Executes a batch: sorts it by `(shard, fabric, source)`, pins
+    /// each addressed fabric's snapshot exactly once, and writes every
+    /// answer into `out` at the query's submission index. All buffers
+    /// (`batch`'s permutation, `out`'s results and path arena) are
+    /// reused — steady-state batches perform no heap allocation.
+    ///
+    /// Within one batch, all queries against the same fabric are
+    /// answered from **one** snapshot (the pin), so a batch can never
+    /// observe two different epochs of the same fabric.
+    pub fn execute(&self, batch: &mut QueryBatch, out: &mut QueryOutput) {
+        batch.sort_for_execution(|fabric| self.shard_of(fabric));
+        out.reset(batch.len());
+        let mut last_fabric: Option<u32> = None;
+        let mut pinned: Option<PinnedSnapshot> = None;
+        for slot in 0..batch.order.len() {
+            let index = batch.order[slot] as usize;
+            let query = batch.queries()[index];
+            let fabric = query.fabric();
+            if last_fabric != Some(fabric) {
+                last_fabric = Some(fabric);
+                pinned = self
+                    .fabrics
+                    .get(fabric as usize)
+                    .and_then(Option::as_ref)
+                    .map(|handle| handle.reader.pin());
+            }
+            let result = match &pinned {
+                Some(snapshot) => execute_on(snapshot, &query, out.arena_mut()),
+                None => QueryResult::UnknownFabric,
+            };
+            out.set(index, result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use etx_graph::NodeId;
+
+    fn smoke_frontend(shards: usize) -> FleetFrontend {
+        let spec = ScenarioSpec { instances: 4, ..ScenarioSpec::smoke() };
+        FleetFrontend::from_spec(&spec, 2_000, shards).expect("smoke spec is valid")
+    }
+
+    #[test]
+    fn from_spec_serves_every_instance() {
+        let frontend = smoke_frontend(2);
+        assert_eq!(frontend.fabric_count(), 4);
+        for f in 0..4u32 {
+            if let Some(nodes) = frontend.node_count(f) {
+                assert!(nodes >= 9, "smoke fabrics are at least 3x3");
+                assert!(frontend.module_count(f).unwrap() >= 2);
+                assert!(frontend.epoch(f).unwrap() >= 1, "warm fabric published at least once");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_shard_counts() {
+        let one = smoke_frontend(1);
+        let many = smoke_frontend(7);
+        let mut batch = QueryBatch::new();
+        for f in 0..one.fabric_count() as u32 {
+            let nodes = one.node_count(f).unwrap_or(1);
+            for s in 0..nodes {
+                batch.push(Query::NextHop { fabric: f, source: NodeId::new(s), module: 0 });
+                batch.push(Query::Path { fabric: f, source: NodeId::new(s), module: 1 });
+                batch.push(Query::Cost {
+                    fabric: f,
+                    source: NodeId::new(s),
+                    target: NodeId::new((s + 1) % nodes),
+                });
+            }
+        }
+        // Unknown fabric id exercises the placeholder path.
+        batch.push(Query::NextHop { fabric: 99, source: NodeId::new(0), module: 0 });
+
+        let mut out_one = QueryOutput::new();
+        let mut out_many = QueryOutput::new();
+        one.execute(&mut batch, &mut out_one);
+        many.execute(&mut batch, &mut out_many);
+        assert!(matches!(out_one.results().last(), Some(QueryResult::UnknownFabric)));
+        // Arena *ranges* depend on execution order (which the shard plan
+        // changes), so compare at the resolved level: identical entries,
+        // identical node sequences, identical costs.
+        assert_eq!(out_one.results().len(), out_many.results().len());
+        for (a, b) in out_one.results().iter().zip(out_many.results()) {
+            match (a, b) {
+                (QueryResult::Path { entry: ea, .. }, QueryResult::Path { entry: eb, .. }) => {
+                    assert_eq!(ea, eb);
+                    assert_eq!(out_one.path_nodes(a), out_many.path_nodes(b));
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_bounded() {
+        let frontend = FleetFrontend::new(5);
+        for f in 0..100u32 {
+            let s = frontend.shard_of(f);
+            assert!(s < 5);
+            assert_eq!(s, frontend.shard_of(f));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Batched route queries: the [`QueryBatch`] / [`QueryOutput`] pair and
+//! the per-snapshot execution core.
+//!
+//! Queries address a `(fabric, source)` pair; batches sort themselves by
+//! `(shard, fabric, source)` before execution so all lookups against one
+//! fabric's snapshot — and within it, one source's table row and
+//! all-pairs rows — land back to back, amortizing cache misses across
+//! the batch. Results land in **caller-owned** buffers in the original
+//! submission order (the sort is an internal permutation), and every
+//! buffer is reused across batches: once warmed, the execute path
+//! performs no heap allocation — the same counting-allocator discipline
+//! as the routing kernel's `RoutingScratch`.
+
+use etx_graph::NodeId;
+use etx_routing::RouteEntry;
+
+use crate::snapshot::TableSnapshot;
+
+/// One route query against a fabric's published tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Point lookup: the full routing-table entry (destination, first
+    /// hop, cost) for packets of `module` originating at `source`.
+    NextHop {
+        /// Fabric instance the query addresses.
+        fabric: u32,
+        /// Originating node.
+        source: NodeId,
+        /// Module whose nearest live duplicate is wanted.
+        module: u32,
+    },
+    /// Full-path materialization: the entry plus the complete node
+    /// sequence to the chosen destination.
+    Path {
+        /// Fabric instance the query addresses.
+        fabric: u32,
+        /// Originating node.
+        source: NodeId,
+        /// Module whose nearest live duplicate is wanted.
+        module: u32,
+    },
+    /// Path-cost lookup between two nodes (phase-2 distance).
+    Cost {
+        /// Fabric instance the query addresses.
+        fabric: u32,
+        /// Path source.
+        source: NodeId,
+        /// Path target.
+        target: NodeId,
+    },
+}
+
+impl Query {
+    /// The fabric this query addresses.
+    #[must_use]
+    pub fn fabric(&self) -> u32 {
+        match self {
+            Query::NextHop { fabric, .. }
+            | Query::Path { fabric, .. }
+            | Query::Cost { fabric, .. } => *fabric,
+        }
+    }
+
+    /// The originating node (the second sort key).
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        match self {
+            Query::NextHop { source, .. }
+            | Query::Path { source, .. }
+            | Query::Cost { source, .. } => *source,
+        }
+    }
+}
+
+/// One query's answer. Path node sequences live in the
+/// [`QueryOutput`]'s arena; resolve them with [`QueryOutput::path_nodes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryResult {
+    /// Answer to [`Query::NextHop`] (`None`: no live duplicate
+    /// reachable, or the source/module is out of range).
+    NextHop(Option<RouteEntry>),
+    /// Answer to [`Query::Path`]: the resolved entry plus the arena
+    /// range holding the node sequence (empty when `None`).
+    Path {
+        /// The resolved table entry, if a route exists.
+        entry: Option<RouteEntry>,
+        /// `[start, end)` range into the output's path arena.
+        nodes: (u32, u32),
+    },
+    /// Answer to [`Query::Cost`] (`None`: unreachable or out of range).
+    Cost(Option<f64>),
+    /// The addressed fabric is not served by this frontend.
+    UnknownFabric,
+}
+
+/// A reusable batch of queries plus the sort permutation the executor
+/// orders them through. Submission order is preserved in the results.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBatch {
+    queries: Vec<Query>,
+    /// Execution order (indices into `queries`), rebuilt per execute.
+    pub(crate) order: Vec<u32>,
+    /// Packed sort keys (`shard | fabric | source | index`), reused per
+    /// execute so the sort never re-evaluates the shard hash.
+    keys: Vec<u128>,
+}
+
+impl QueryBatch {
+    /// An empty batch; buffers grow on first use and are retained.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryBatch::default()
+    }
+
+    /// Drops all queries, retaining capacity.
+    pub fn clear(&mut self) {
+        self.queries.clear();
+    }
+
+    /// Appends one query.
+    pub fn push(&mut self, query: Query) {
+        self.queries.push(query);
+    }
+
+    /// Number of queries in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` when the batch holds no queries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries in submission order.
+    #[must_use]
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Rebuilds the execution order: stable on submission index, sorted
+    /// by `(shard, fabric, source)` so each fabric — and each source
+    /// row within it — is visited exactly once per batch.
+    ///
+    /// Keys are packed into `u128`s up front — one `shard_of` hash per
+    /// query, not per comparison (`sort_unstable_by_key` re-evaluates
+    /// its closure; `sort_by_cached_key` caches but allocates, which
+    /// the steady state must not).
+    pub(crate) fn sort_for_execution(&mut self, shard_of: impl Fn(u32) -> u32) {
+        self.keys.clear();
+        self.keys.reserve(self.queries.len());
+        for (i, q) in self.queries.iter().enumerate() {
+            let fabric = q.fabric();
+            let key = (u128::from(shard_of(fabric)) << 96)
+                | (u128::from(fabric) << 64)
+                | (u128::from(q.source().index() as u32) << 32)
+                | i as u128;
+            self.keys.push(key);
+        }
+        self.keys.sort_unstable();
+        self.order.clear();
+        self.order.extend(self.keys.iter().map(|&key| (key & u128::from(u32::MAX)) as u32));
+    }
+}
+
+/// Caller-owned result storage: one [`QueryResult`] per submitted query
+/// (submission order) plus the shared path-node arena. Reused across
+/// batches — steady-state execution allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    results: Vec<QueryResult>,
+    arena: Vec<NodeId>,
+}
+
+impl QueryOutput {
+    /// Empty output buffers; they grow on first use and are retained.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryOutput::default()
+    }
+
+    /// Resets for a batch of `len` queries.
+    pub(crate) fn reset(&mut self, len: usize) {
+        self.results.clear();
+        self.results.resize(len, QueryResult::UnknownFabric);
+        self.arena.clear();
+    }
+
+    /// The results, in the batch's submission order.
+    #[must_use]
+    pub fn results(&self) -> &[QueryResult] {
+        &self.results
+    }
+
+    /// Resolves a [`QueryResult::Path`] arena range to its node
+    /// sequence (empty for non-path results or unroutable paths).
+    #[must_use]
+    pub fn path_nodes(&self, result: &QueryResult) -> &[NodeId] {
+        match result {
+            QueryResult::Path { nodes: (start, end), .. } => {
+                &self.arena[*start as usize..*end as usize]
+            }
+            _ => &[],
+        }
+    }
+
+    pub(crate) fn set(&mut self, index: usize, result: QueryResult) {
+        self.results[index] = result;
+    }
+
+    pub(crate) fn arena_mut(&mut self) -> &mut Vec<NodeId> {
+        &mut self.arena
+    }
+}
+
+/// Executes one query against a pinned snapshot, materializing path
+/// nodes into `arena`.
+pub(crate) fn execute_on(
+    snapshot: &TableSnapshot,
+    query: &Query,
+    arena: &mut Vec<NodeId>,
+) -> QueryResult {
+    match *query {
+        Query::NextHop { source, module, .. } => {
+            QueryResult::NextHop(snapshot.route(source, module as usize).copied())
+        }
+        Query::Path { source, module, .. } => {
+            let start = arena.len() as u32;
+            let entry = snapshot.path_into(source, module as usize, arena);
+            QueryResult::Path { entry, nodes: (start, arena.len() as u32) }
+        }
+        Query::Cost { source, target, .. } => QueryResult::Cost(snapshot.cost(source, target)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(fabric: u32, source: usize) -> Query {
+        Query::NextHop { fabric, source: NodeId::new(source), module: 0 }
+    }
+
+    #[test]
+    fn sort_groups_by_fabric_then_source_stably() {
+        let mut batch = QueryBatch::new();
+        for (f, s) in [(2, 5), (0, 9), (2, 1), (0, 9), (1, 0)] {
+            batch.push(q(f, s));
+        }
+        // Identity sharding keeps fabric order itself.
+        batch.sort_for_execution(|f| f);
+        let order: Vec<u32> = batch.order.clone();
+        assert_eq!(order, vec![1, 3, 4, 2, 0]);
+        assert_eq!(batch.len(), 5);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn output_reset_preserves_capacity() {
+        let mut out = QueryOutput::new();
+        out.reset(4);
+        assert_eq!(out.results().len(), 4);
+        assert!(matches!(out.results()[0], QueryResult::UnknownFabric));
+        out.arena_mut().push(NodeId::new(1));
+        out.reset(2);
+        assert_eq!(out.results().len(), 2);
+        assert!(out.path_nodes(&QueryResult::Cost(None)).is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! [`TableSnapshot`]: one immutable, epoch-numbered copy of a fabric's
+//! routing tables.
+
+use etx_graph::{Matrix, NodeId};
+use etx_routing::{RouteEntry, RoutingState};
+
+/// An immutable copy of everything a query needs from one controller
+/// invocation: the phase-3 per-(node, module) route table, plus the
+/// phase-2 distance and successor matrices for full-path and path-cost
+/// queries.
+///
+/// Snapshots are **byte-identical** to the [`RoutingState`] they were
+/// filled from (same flat table entries, same matrices), numbered by a
+/// monotonically increasing epoch, and never mutated after publication —
+/// a reader holding one can answer queries indefinitely without
+/// observing a half-rebuilt table, no matter how many recomputes the
+/// writer publishes on top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSnapshot {
+    epoch: u64,
+    modules: usize,
+    dist: Matrix<f64>,
+    succ: Matrix<Option<NodeId>>,
+    table: Vec<Option<RouteEntry>>,
+}
+
+impl Default for TableSnapshot {
+    fn default() -> Self {
+        TableSnapshot::empty()
+    }
+}
+
+impl TableSnapshot {
+    /// An empty (epoch-0, zero-node) snapshot; fill it through
+    /// [`TableSnapshot::fill_from`] (or a publisher) before use.
+    #[must_use]
+    pub fn empty() -> Self {
+        TableSnapshot {
+            epoch: 0,
+            modules: 0,
+            dist: Matrix::default(),
+            succ: Matrix::default(),
+            table: Vec::new(),
+        }
+    }
+
+    /// Overwrites this snapshot with a copy of `routing`'s tables at
+    /// `epoch`, reusing every buffer — refills on warmed snapshots of
+    /// unchanged dimensions perform no heap allocation.
+    pub fn fill_from(&mut self, epoch: u64, routing: &RoutingState) {
+        self.epoch = epoch;
+        self.modules = routing.module_count();
+        self.dist.copy_from(routing.paths().distances());
+        self.succ.copy_from(routing.paths().successors());
+        self.table.clear();
+        self.table.extend_from_slice(routing.route_table());
+    }
+
+    /// The epoch this snapshot was published at (0 = never filled).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.dist.rows()
+    }
+
+    /// Number of modules covered.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.modules
+    }
+
+    /// The flat phase-3 table (`node * module_count + module`), for
+    /// byte-identity checks against the producing router.
+    #[must_use]
+    pub fn route_table(&self) -> &[Option<RouteEntry>] {
+        &self.table
+    }
+
+    /// Point lookup: the routing-table entry for packets originating at
+    /// `node` whose next operation belongs to `module`; `None` when no
+    /// live duplicate is reachable (or `node`/`module` is unknown).
+    #[must_use]
+    pub fn route(&self, node: NodeId, module: usize) -> Option<&RouteEntry> {
+        if module >= self.modules || node.index() >= self.node_count() {
+            return None;
+        }
+        self.table.get(node.index() * self.modules + module)?.as_ref()
+    }
+
+    /// The relay decision: the next hop out of `from` toward `to`, from
+    /// the phase-2 successor matrix (`Some(to)` when `from == to`).
+    #[must_use]
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<NodeId> {
+        let n = self.node_count();
+        if from.index() >= n || to.index() >= n {
+            return None;
+        }
+        if from == to {
+            Some(to)
+        } else {
+            self.succ[(from, to)]
+        }
+    }
+
+    /// The phase-2 (battery-weighted under EAR) path cost between two
+    /// nodes; `None` when unreachable or out of range.
+    #[must_use]
+    pub fn cost(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        let n = self.node_count();
+        if from.index() >= n || to.index() >= n {
+            return None;
+        }
+        let d = self.dist[(from, to)];
+        d.is_finite().then_some(d)
+    }
+
+    /// Full-path materialization: resolves `node`'s table entry for
+    /// `module` and appends the complete node sequence (both endpoints
+    /// included; `[node]` when self-hosted) to `out`. The entry's first
+    /// hop is honoured even when it detours off the successor chain (a
+    /// deadlock redirect), with the remainder walked through the
+    /// successor matrix. Returns the resolved entry, or `None` (with
+    /// `out` untouched) when no route exists or the walk does not
+    /// terminate (corrupt snapshot; defensive guard).
+    pub fn path_into(
+        &self,
+        node: NodeId,
+        module: usize,
+        out: &mut Vec<NodeId>,
+    ) -> Option<RouteEntry> {
+        let entry = *self.route(node, module)?;
+        let start = out.len();
+        out.push(node);
+        if entry.destination != node {
+            let mut cur = entry.next_hop;
+            out.push(cur);
+            let mut hops = 1usize;
+            while cur != entry.destination {
+                let Some(next) = self.next_hop(cur, entry.destination) else {
+                    out.truncate(start);
+                    return None;
+                };
+                cur = next;
+                out.push(cur);
+                hops += 1;
+                if hops > self.node_count() {
+                    out.truncate(start);
+                    return None;
+                }
+            }
+        }
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_graph::topology;
+    use etx_routing::{Algorithm, Router, SystemReport};
+    use etx_units::Length;
+
+    fn ring_state(k: usize) -> RoutingState {
+        let graph = topology::ring(k, Length::from_centimetres(1.0));
+        let modules = vec![vec![NodeId::new(0), NodeId::new(k / 2)]];
+        let report = SystemReport::fresh(k, 16);
+        Router::new(Algorithm::Ear).compute(&graph, &modules, &report, None)
+    }
+
+    #[test]
+    fn snapshot_mirrors_routing_state() {
+        let state = ring_state(6);
+        let mut snap = TableSnapshot::empty();
+        snap.fill_from(7, &state);
+        assert_eq!(snap.epoch(), 7);
+        assert_eq!(snap.node_count(), 6);
+        assert_eq!(snap.module_count(), 1);
+        assert_eq!(snap.route_table(), state.route_table());
+        for i in 0..6 {
+            let node = NodeId::new(i);
+            assert_eq!(snap.route(node, 0), state.route(node, 0));
+            for j in 0..6 {
+                let other = NodeId::new(j);
+                assert_eq!(snap.cost(node, other), state.distance(node, other));
+                assert_eq!(snap.next_hop(node, other), state.next_hop(node, other));
+            }
+        }
+    }
+
+    #[test]
+    fn refill_reuses_buffers_and_replaces_content() {
+        let a = ring_state(6);
+        let b = ring_state(8);
+        let mut snap = TableSnapshot::empty();
+        snap.fill_from(1, &a);
+        snap.fill_from(2, &b);
+        assert_eq!(snap.epoch(), 2);
+        assert_eq!(snap.node_count(), 8);
+        assert_eq!(snap.route_table(), b.route_table());
+    }
+
+    #[test]
+    fn path_walks_to_the_chosen_duplicate() {
+        let state = ring_state(6);
+        let mut snap = TableSnapshot::empty();
+        snap.fill_from(1, &state);
+        let mut path = Vec::new();
+        let entry = snap.path_into(NodeId::new(1), 0, &mut path).expect("route exists");
+        assert_eq!(path.first(), Some(&NodeId::new(1)));
+        assert_eq!(path.last(), Some(&entry.destination));
+        assert_eq!(path[1], entry.next_hop);
+        // Self-hosted: single-node path.
+        path.clear();
+        let own = snap.path_into(NodeId::new(0), 0, &mut path).expect("self route");
+        assert_eq!(own.destination, NodeId::new(0));
+        assert_eq!(path, vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_none() {
+        let mut snap = TableSnapshot::empty();
+        snap.fill_from(1, &ring_state(4));
+        assert!(snap.route(NodeId::new(9), 0).is_none());
+        assert!(snap.route(NodeId::new(0), 9).is_none());
+        assert!(snap.cost(NodeId::new(0), NodeId::new(9)).is_none());
+        assert!(snap.next_hop(NodeId::new(9), NodeId::new(0)).is_none());
+        let mut path = Vec::new();
+        assert!(snap.path_into(NodeId::new(9), 0, &mut path).is_none());
+        assert!(path.is_empty());
+    }
+}

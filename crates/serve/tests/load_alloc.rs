@@ -1,0 +1,86 @@
+//! Proves that `run_load`'s closed loop stays allocation-free after its
+//! internal warm-up batch — one batch/output pair is reused throughout.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; this
+//! file contains a single test so no concurrent test case can pollute
+//! the counter between snapshots (each integration-test binary gets its
+//! own allocator and its own process-wide counter).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use etx_graph::{topology::Mesh2D, NodeId};
+use etx_routing::{Algorithm, Router, SystemReport};
+use etx_serve::{EpochPublisher, FleetFrontend, LoadMode, WorkloadGen, WorkloadSpec};
+use etx_units::Length;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a relaxed atomic with no further side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn module_stripes(k: usize) -> Vec<Vec<NodeId>> {
+    (0..3).map(|m| (m..k).step_by(3).map(NodeId::new).collect()).collect()
+}
+
+/// `run_load`'s closed loop reuses one batch/output pair; the measured
+/// section must stay allocation-free after its internal warm-up batch.
+#[test]
+fn closed_loop_load_run_allocates_only_during_warmup() {
+    let mut frontend = FleetFrontend::new(2);
+    let graph = Mesh2D::square(6, Length::from_centimetres(2.05)).to_graph();
+    let k = graph.node_count();
+    let modules = module_stripes(k);
+    let report = SystemReport::fresh(k, 16);
+    let state = Router::new(Algorithm::Ear).compute(&graph, &modules, &report, None);
+    let (mut publisher, reader) = EpochPublisher::new();
+    publisher.publish(&state);
+    frontend.register(reader, k, modules.len());
+
+    let spec = WorkloadSpec { batch: 256, ..WorkloadSpec::point_lookups() };
+    // First run warms the generator-independent structures; the second
+    // run's allocation budget is the histogram + report only.
+    let _ = etx_serve::run_load(
+        &frontend,
+        &mut WorkloadGen::new(spec.clone()),
+        LoadMode::Closed,
+        1_000,
+    );
+    let before = allocations();
+    let report =
+        etx_serve::run_load(&frontend, &mut WorkloadGen::new(spec), LoadMode::Closed, 1_000);
+    let allocated = allocations() - before;
+    assert!(report.queries >= 1_000);
+    // One QueryBatch/QueryOutput/StreamingStat are constructed per run —
+    // a handful of allocations, not O(queries).
+    assert!(allocated < 64, "load run allocated {allocated} times for {} queries", report.queries);
+}

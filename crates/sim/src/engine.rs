@@ -13,6 +13,20 @@ use crate::pool::SimPool;
 use crate::stats::{DeathCause, EnergyBreakdown, NodeStats, SimReport};
 use crate::trace::{SimTrace, TraceEvent};
 
+/// Observer of freshly recomputed routing tables — the engine's publish
+/// hook for read-side table services (see the `etx-serve` crate).
+///
+/// The engine calls [`TableObserver::on_tables`] once when the observer
+/// is attached (covering the tables computed at construction) and then
+/// after **every** routing recompute, inside the TDMA frame, before any
+/// job consults the new tables. `version` is the engine's monotonically
+/// increasing routing version; `routing` and `report` are the freshly
+/// published state and the system report it was computed from.
+pub trait TableObserver: Send {
+    /// One freshly recomputed routing state.
+    fn on_tables(&mut self, version: u64, routing: &RoutingState, report: &SystemReport);
+}
+
 /// Outcome of advancing one job for one cycle.
 enum JobOutcome {
     /// Still in flight.
@@ -73,6 +87,9 @@ pub struct Simulation {
     pending_death: Option<DeathCause>,
     death: Option<DeathCause>,
     trace: SimTrace,
+    /// Publish hook: told about every fresh routing state (see
+    /// [`TableObserver`]).
+    table_observer: Option<Box<dyn TableObserver>>,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -198,7 +215,48 @@ impl Simulation {
             pending_death: None,
             death: None,
             trace,
+            table_observer: None,
         }
+    }
+
+    /// Attaches the routing-table publish hook. The observer is called
+    /// immediately with the current tables (so an attach after
+    /// construction still sees the initial routing state) and then after
+    /// every recompute. Replaces any previous observer.
+    pub fn set_table_observer(&mut self, mut observer: Box<dyn TableObserver>) {
+        observer.on_tables(self.routing_version, &self.routing, &self.last_report);
+        self.table_observer = Some(observer);
+    }
+
+    /// The current routing state (next-hop/full-path tables included).
+    #[must_use]
+    pub fn routing(&self) -> &RoutingState {
+        &self.routing
+    }
+
+    /// The last system report the controller published tables from.
+    #[must_use]
+    pub fn last_report(&self) -> &SystemReport {
+        &self.last_report
+    }
+
+    /// The monotonically increasing routing-table version.
+    #[must_use]
+    pub fn routing_version(&self) -> u64 {
+        self.routing_version
+    }
+
+    /// Returns this simulation's pooled buffers to `pool` **without**
+    /// running it to completion — the tear-down half of
+    /// [`SimConfigBuilder::build_pooled`][crate::SimConfigBuilder::build_pooled]
+    /// for callers that only needed to warm the system up (a read-side
+    /// frontend extracting a published snapshot, for instance).
+    pub fn recycle_into(mut self, pool: &mut SimPool) {
+        let scratch = std::mem::take(&mut self.routing_scratch);
+        let routing = std::mem::replace(&mut self.routing, RoutingState::empty());
+        let report = std::mem::replace(&mut self.last_report, SystemReport::fresh(0, 1));
+        let report_buf = std::mem::replace(&mut self.report_buf, SystemReport::fresh(0, 1));
+        pool.put(scratch, routing, report, report_buf);
     }
 
     /// The configuration this run uses.
@@ -496,6 +554,11 @@ impl Simulation {
             self.routing_version += 1;
             self.trace
                 .record(self.now, TraceEvent::RoutingRecomputed { version: self.routing_version });
+            // Publish hook: read-side services snapshot the fresh tables
+            // before any job consults them.
+            if let Some(observer) = self.table_observer.as_mut() {
+                observer.on_tables(self.routing_version, &self.routing, &report);
+            }
             // The new report becomes the baseline; the old baseline's
             // buffers are recycled for the next frame.
             self.report_buf = std::mem::replace(&mut self.last_report, report);

@@ -60,7 +60,7 @@ pub use config::{
     BatteryModel, ControllerSetup, JobSource, MappingKind, RemappingPolicy, ScriptedFailure,
     SimConfig, SimConfigBuilder, SimError, TopologyKind,
 };
-pub use engine::Simulation;
+pub use engine::{Simulation, TableObserver};
 pub use etx_routing::{RecomputeStats, RecomputeStrategy};
 pub use pool::SimPool;
 pub use stats::{DeathCause, EnergyBreakdown, NodeStats, SimReport};

@@ -173,12 +173,14 @@ impl fmt::Display for SimReport {
         write!(
             f,
             "recompute paths: {} full, {} delta, {} repair \
-             ({} sources repaired, {} re-run)",
+             ({} sources repaired, {} re-run); table: {} delta rebuilds, {} entries",
             self.recompute.full_recomputes,
             self.recompute.delta_recomputes,
             self.recompute.repair_recomputes,
             self.recompute.repaired_sources,
             self.recompute.fallback_sources,
+            self.recompute.table_delta_rebuilds,
+            self.recompute.table_entries_rebuilt,
         )
     }
 }
@@ -237,6 +239,8 @@ mod tests {
                 repair_recomputes: 5,
                 repaired_sources: 40,
                 fallback_sources: 3,
+                table_delta_rebuilds: 4,
+                table_entries_rebuilt: 60,
             },
             remaps: 0,
             frames: 5,
