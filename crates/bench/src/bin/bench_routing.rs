@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p etx-bench --bin bench_routing --release            # writes ./BENCH_routing.json
 //! cargo run -p etx-bench --bin bench_routing --release -- out.json
+//! cargo run -p etx-bench --bin bench_routing --release -- --smoke # small sizes, short budgets
 //! ```
 //!
 //! For each K in {16, 64, 256, 1024} (square meshes 4×4 … 32×32) it
@@ -18,15 +19,21 @@
 //!   frame, recomputed in place via `Router::recompute_into` with a
 //!   warmed [`RoutingScratch`] — on a connected fabric this still re-runs
 //!   single-source Dijkstra from every source,
-//! * `incremental_repair_ns` — the same steady-drain loop under
-//!   `RecomputeStrategy::IncrementalRepair`: per-source shortest-path-
-//!   tree repair over the frame's edge-delta stream.
+//! * `incremental_repair_ns` — the same steady-drain loop the simulator
+//!   actually runs: the changed-bitset frame feed
+//!   (`Router::recompute_frame_into`) driving the incremental
+//!   path-repair pipeline,
+//!
+//! plus two per-frame observability metrics of the repair loop:
+//! `repair_table_entries_per_frame` (phase-3 delta rebuild) and
+//! `nodes_scanned_per_frame` (the changed-bitset feed's node-state
+//! examinations; a report-diff frame would scan all `K`).
 
 use std::time::{Duration, Instant};
 
-use etx::graph::PathBackend;
+use etx::graph::{NodeBitset, PathBackend};
 use etx::prelude::*;
-use etx::routing::{RecomputeStrategy, RoutingScratch, RoutingState};
+use etx::routing::{FrameDelta, RecomputeStrategy, RoutingScratch, RoutingState};
 
 fn best_ns(budget: Duration, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
@@ -59,26 +66,42 @@ struct Point {
     /// Average `(node, module)` table entries phase 3 refreshed per
     /// steady-drain repair frame (a full rebuild would refresh `3 * K`).
     repair_table_entries_per_frame: f64,
+    /// Average node states the per-frame bookkeeping examined per
+    /// steady-drain repair frame under the changed-bitset feed (a
+    /// report-diff frame scans all `K`).
+    nodes_scanned_per_frame: f64,
 }
 
-/// Measures the delta-aware table rebuild: entries refreshed per frame
-/// over a steady battery-drain loop under `IncrementalRepair`.
-fn table_entries_per_frame(
+/// Measures the steady-state per-frame observability counters over a
+/// battery-drain loop on the changed-bitset frame feed: `(table entries
+/// refreshed, node states scanned)` per frame, plus an assertion-grade
+/// check that every steady frame skipped its `O(K)` scan.
+fn steady_frame_stats(
     graph: &etx::graph::DiGraph,
     modules: &[Vec<NodeId>],
     report: &SystemReport,
-) -> f64 {
+) -> (f64, f64) {
     let router = Router::new(Algorithm::Ear).with_strategy(RecomputeStrategy::IncrementalRepair);
     let k = graph.node_count();
     let mut scratch = RoutingScratch::new();
     let mut state = RoutingState::empty();
     let mut current = report.clone();
+    let mut bits = NodeBitset::with_capacity(k);
     router.compute_into(graph, modules, &current, None, &mut scratch, &mut state);
     let mut drain_one = |frame: usize, scratch: &mut RoutingScratch, state: &mut RoutingState| {
         let node = NodeId::new((frame * 7 + 3) % k);
         let level = current.battery_level(node);
         current.set_battery_level(node, if level == 0 { 15 } else { level - 1 });
-        router.recompute_dirty_into(graph, modules, &current, &[node], scratch, state);
+        bits.clear();
+        bits.insert(node);
+        router.recompute_frame_into(
+            graph,
+            modules,
+            &current,
+            FrameDelta { changed: &bits, any_deadlock: false, placement_changed: false },
+            scratch,
+            state,
+        );
     };
     // Warm-up frames: the first delta frame after a full recompute finds
     // cold shortest-path trees and re-runs (and re-tables) everything —
@@ -93,24 +116,35 @@ fn table_entries_per_frame(
         drain_one(warmup_frames + frame as usize, &mut scratch, &mut state);
     }
     let stats = scratch.stats();
-    (stats.table_entries_rebuilt - warmup.table_entries_rebuilt) as f64 / frames as f64
+    assert_eq!(
+        stats.frames_oK_skipped - warmup.frames_oK_skipped,
+        frames,
+        "steady bitset-fed frames must skip the O(K) scan"
+    );
+    (
+        (stats.table_entries_rebuilt - warmup.table_entries_rebuilt) as f64 / frames as f64,
+        (stats.nodes_scanned - warmup.nodes_scanned) as f64 / frames as f64,
+    )
 }
 
 /// Times the simulator's steady-state loop — one battery-bucket drain
 /// per frame, recomputed in place over warmed buffers — under `router`'s
-/// configured strategy.
+/// configured strategy. `frame_feed` selects the engine's changed-bitset
+/// path (`recompute_frame_into`) over the legacy rebuild-and-diff one.
 fn steady_drain_ns(
     router: &Router,
     graph: &etx::graph::DiGraph,
     modules: &[Vec<NodeId>],
     report: &SystemReport,
     budget: Duration,
+    frame_feed: bool,
 ) -> f64 {
     let k = graph.node_count();
     let mut scratch = RoutingScratch::new();
     let mut state = RoutingState::empty();
     let mut current = report.clone();
     let mut old = SystemReport::fresh(0, 1);
+    let mut bits = NodeBitset::with_capacity(k);
     router.compute_into(graph, modules, &current, None, &mut scratch, &mut state);
     let mut frame = 0usize;
     let mut drain_one = move |current: &mut SystemReport,
@@ -126,7 +160,20 @@ fn steady_drain_ns(
             current.set_battery_level(node, level - 1);
         }
         frame += 1;
-        router.recompute_into(graph, modules, old, current, scratch, state);
+        if frame_feed {
+            bits.clear();
+            bits.insert(node);
+            router.recompute_frame_into(
+                graph,
+                modules,
+                current,
+                FrameDelta { changed: &bits, any_deadlock: false, placement_changed: false },
+                scratch,
+                state,
+            );
+        } else {
+            router.recompute_into(graph, modules, old, current, scratch, state);
+        }
     };
     for _ in 0..8 {
         drain_one(&mut current, &mut old, &mut scratch, &mut state);
@@ -158,13 +205,15 @@ fn measure(side: usize, budget: Duration) -> Point {
     });
 
     // The two steady-state simulator paths, over identical drain loops:
-    // affected-sources re-solve vs incremental path repair.
+    // affected-sources re-solve (report-diff fed) vs the engine's real
+    // loop — incremental path repair on the changed-bitset frame feed.
     let delta_recompute_ns = steady_drain_ns(
         &Router::new(Algorithm::Ear).with_strategy(RecomputeStrategy::AffectedSources),
         &graph,
         &modules,
         &report,
         budget,
+        false,
     );
     let incremental_repair_ns = steady_drain_ns(
         &Router::new(Algorithm::Ear).with_strategy(RecomputeStrategy::IncrementalRepair),
@@ -172,8 +221,11 @@ fn measure(side: usize, budget: Duration) -> Point {
         &modules,
         &report,
         budget,
+        true,
     );
 
+    let (repair_table_entries_per_frame, nodes_scanned_per_frame) =
+        steady_frame_stats(&graph, &modules, &report);
     Point {
         k,
         side,
@@ -182,21 +234,38 @@ fn measure(side: usize, budget: Duration) -> Point {
         full_auto_ns,
         delta_recompute_ns,
         incremental_repair_ns,
-        repair_table_entries_per_frame: table_entries_per_frame(&graph, &modules, &report),
+        repair_table_entries_per_frame,
+        nodes_scanned_per_frame,
     }
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_routing.json".to_string());
+    // `--smoke`: small sizes and short budgets — the CI-speed pass that
+    // still exercises every measured path and emits the per-frame
+    // observability metrics (`nodes_scanned_per_frame` included).
+    let mut smoke = false;
+    let mut out_path = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_routing.json".to_string());
+    let sides: &[usize] = if smoke { &[4, 8, 16] } else { &[4, 8, 16, 32] };
     let mut points = Vec::new();
-    for side in [4usize, 8, 16, 32] {
-        let budget =
-            if side >= 32 { Duration::from_millis(3000) } else { Duration::from_millis(400) };
+    for &side in sides {
+        let budget = match (smoke, side >= 32) {
+            (true, _) => Duration::from_millis(60),
+            (false, true) => Duration::from_millis(3000),
+            (false, false) => Duration::from_millis(400),
+        };
         let point = measure(side, budget);
         eprintln!(
             "K={:4} ({}x{}, auto={}): full_fw={:.0}ns full_auto={:.0}ns delta={:.0}ns \
              repair={:.0}ns ({:.1}x over delta, {:.1}x over seed); \
-             table {:.1}/{} entries per repair frame",
+             table {:.1}/{} entries, {:.1}/{} nodes scanned per repair frame",
             point.k,
             point.side,
             point.side,
@@ -209,6 +278,8 @@ fn main() {
             point.full_floyd_warshall_ns / point.incremental_repair_ns,
             point.repair_table_entries_per_frame,
             3 * point.k,
+            point.nodes_scanned_per_frame,
+            point.k,
         );
         points.push(point);
     }
@@ -225,7 +296,8 @@ fn main() {
             "    {{\"k\": {}, \"mesh\": \"{}x{}\", \"auto_backend\": \"{}\", \
              \"full_floyd_warshall_ns\": {:.0}, \"full_auto_ns\": {:.0}, \
              \"delta_recompute_ns\": {:.0}, \"incremental_repair_ns\": {:.0}, \
-             \"repair_table_entries_per_frame\": {:.1}}}{}\n",
+             \"repair_table_entries_per_frame\": {:.1}, \
+             \"nodes_scanned_per_frame\": {:.1}}}{}\n",
             p.k,
             p.side,
             p.side,
@@ -235,6 +307,7 @@ fn main() {
             p.delta_recompute_ns,
             p.incremental_repair_ns,
             p.repair_table_entries_per_frame,
+            p.nodes_scanned_per_frame,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }

@@ -253,6 +253,14 @@ pub struct RecomputeTally {
     pub table_delta_rebuilds: u128,
     /// `(node, module)` table entries refreshed across all recomputes.
     pub table_entries_rebuilt: u128,
+    /// Recomputes that skipped every per-frame `O(K)` node scan (the
+    /// changed-bitset frame feed maintained the gate inputs in
+    /// `O(changed)`).
+    pub frames_ok_skipped: u128,
+    /// Node states examined by per-frame bookkeeping across all
+    /// recomputes (`nodes_scanned / recomputes ≪ K` is the observable
+    /// win of the bitset feed).
+    pub nodes_scanned: u128,
 }
 
 impl RecomputeTally {
@@ -264,6 +272,8 @@ impl RecomputeTally {
         self.fallback_sources += u128::from(stats.fallback_sources);
         self.table_delta_rebuilds += u128::from(stats.table_delta_rebuilds);
         self.table_entries_rebuilt += u128::from(stats.table_entries_rebuilt);
+        self.frames_ok_skipped += u128::from(stats.frames_oK_skipped);
+        self.nodes_scanned += u128::from(stats.nodes_scanned);
     }
 
     fn merge(&mut self, other: &RecomputeTally) {
@@ -274,6 +284,8 @@ impl RecomputeTally {
         self.fallback_sources += other.fallback_sources;
         self.table_delta_rebuilds += other.table_delta_rebuilds;
         self.table_entries_rebuilt += other.table_entries_rebuilt;
+        self.frames_ok_skipped += other.frames_ok_skipped;
+        self.nodes_scanned += other.nodes_scanned;
     }
 }
 
@@ -360,7 +372,7 @@ impl FleetAggregate {
         // filter it out and diff the (byte-identical) rest.
         let _ = writeln!(
             out,
-            "  \"recompute\": {{\"full\": {}, \"delta\": {}, \"repair\": {}, \"repaired_sources\": {}, \"fallback_sources\": {}, \"table_delta_rebuilds\": {}, \"table_entries_rebuilt\": {}}},",
+            "  \"recompute\": {{\"full\": {}, \"delta\": {}, \"repair\": {}, \"repaired_sources\": {}, \"fallback_sources\": {}, \"table_delta_rebuilds\": {}, \"table_entries_rebuilt\": {}, \"frames_oK_skipped\": {}, \"nodes_scanned\": {}}},",
             self.recompute.full,
             self.recompute.delta,
             self.recompute.repair,
@@ -368,6 +380,8 @@ impl FleetAggregate {
             self.recompute.fallback_sources,
             self.recompute.table_delta_rebuilds,
             self.recompute.table_entries_rebuilt,
+            self.recompute.frames_ok_skipped,
+            self.recompute.nodes_scanned,
         );
         let _ = writeln!(
             out,
@@ -418,7 +432,7 @@ impl fmt::Display for FleetAggregate {
         writeln!(
             f,
             "recomputes: {} full, {} delta, {} repair ({} sources repaired, {} re-run); \
-             table: {} delta rebuilds, {} entries",
+             table: {} delta rebuilds, {} entries; frame scans: {} O(K) skipped, {} nodes",
             self.recompute.full,
             self.recompute.delta,
             self.recompute.repair,
@@ -426,6 +440,8 @@ impl fmt::Display for FleetAggregate {
             self.recompute.fallback_sources,
             self.recompute.table_delta_rebuilds,
             self.recompute.table_entries_rebuilt,
+            self.recompute.frames_ok_skipped,
+            self.recompute.nodes_scanned,
         )?;
         write!(
             f,

@@ -11,12 +11,14 @@
 //! Options: `--preset NAME` (mixed|smoke|churn), `--spec FILE`,
 //! `--instances N`, `--seed S`, `--shards N`,
 //! `--strategy full|affected|incremental|auto` (routing recompute
-//! strategy; cost-only, results are identical), `--json`,
-//! `--print-spec`, `--smoke` (shorthand for `--preset smoke`,
-//! defaulting to 2 shards unless `--shards` is given).
+//! strategy; cost-only, results are identical),
+//! `--feed bitset|report-diff` (engine frame feed; cost-only, results
+//! are identical), `--json`, `--print-spec`, `--smoke` (shorthand for
+//! `--preset smoke`, defaulting to 2 shards unless `--shards` is
+//! given).
 
 use etx_fleet::{FleetController, ScenarioSpec, ShardPlan};
-use etx_sim::RecomputeStrategy;
+use etx_sim::{FrameFeed, RecomputeStrategy};
 
 struct Options {
     spec: ScenarioSpec,
@@ -30,6 +32,7 @@ fn parse_args() -> Result<Options, String> {
     let mut instances: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut strategy: Option<RecomputeStrategy> = None;
+    let mut feed: Option<FrameFeed> = None;
     let mut plan: Option<ShardPlan> = None;
     let mut smoke = false;
     let mut json = false;
@@ -70,6 +73,13 @@ fn parse_args() -> Result<Options, String> {
                     format!("unknown strategy `{name}` (full|affected|incremental|auto)")
                 })?);
             }
+            "--feed" => {
+                let name = args.next().ok_or("--feed needs a value")?;
+                feed = Some(
+                    FrameFeed::parse(&name)
+                        .ok_or_else(|| format!("unknown feed `{name}` (bitset|report-diff)"))?,
+                );
+            }
             "--shards" => {
                 let n = args.next().ok_or("--shards needs a value")?;
                 plan = Some(ShardPlan::Fixed(
@@ -81,7 +91,8 @@ fn parse_args() -> Result<Options, String> {
             other => {
                 return Err(format!(
                     "unknown argument `{other}`\nusage: fleet [--preset NAME | --spec FILE | --smoke] \
-                     [--instances N] [--seed S] [--shards N] [--strategy NAME] [--json] [--print-spec]"
+                     [--instances N] [--seed S] [--shards N] [--strategy NAME] [--feed NAME] \
+                     [--json] [--print-spec]"
                 ));
             }
         }
@@ -95,6 +106,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if let Some(s) = strategy {
         spec.strategy = s;
+    }
+    if let Some(f) = feed {
+        spec.feed = f;
     }
     spec.check()?;
     // `--smoke` defaults to two shards (exercising the merge path), but

@@ -13,7 +13,7 @@
 use etx_app::{AppSpec, ModuleSpec};
 use etx_routing::{Algorithm, RecomputeStrategy};
 use etx_sim::{
-    BatteryModel, JobSource, MappingKind, ScriptedFailure, SimConfig, SimConfigBuilder,
+    BatteryModel, FrameFeed, JobSource, MappingKind, ScriptedFailure, SimConfig, SimConfigBuilder,
     TopologyKind,
 };
 use etx_units::{Cycles, Energy, Voltage};
@@ -169,6 +169,10 @@ pub struct ScenarioSpec {
     /// a sampled dimension: strategies change controller cost, never
     /// results, so sweeping them would only add noise to a comparison).
     pub strategy: RecomputeStrategy,
+    /// Engine frame feed every instance runs (a fixed knob for the same
+    /// reason as `strategy`: feeds change per-frame bookkeeping cost,
+    /// never results — CI diffs the two).
+    pub feed: FrameFeed,
     /// Battery models drawn uniformly.
     pub battery_models: Vec<BatteryChoice>,
     /// Applications drawn uniformly.
@@ -205,6 +209,7 @@ impl Default for ScenarioSpec {
             topologies: vec![TopologyChoice::Mesh, TopologyChoice::Torus, TopologyChoice::Ring],
             algorithms: vec![Algorithm::Ear, Algorithm::Sdr],
             strategy: RecomputeStrategy::Auto,
+            feed: FrameFeed::Bitset,
             battery_models: vec![BatteryChoice::Ideal, BatteryChoice::ThinFilm],
             apps: vec![AppChoice::Aes, AppChoice::SenseLog],
             battery_pj: (4_000.0, 12_000.0),
@@ -319,6 +324,7 @@ impl ScenarioSpec {
             .source(source)
             .concurrent_jobs(concurrent)
             .recompute_strategy(self.strategy)
+            .frame_feed(self.feed)
             .max_cycles(self.max_cycles)
             .tweak(|c| c.tdma.frame_period = Cycles::new(frame_period))
     }
@@ -364,6 +370,10 @@ impl ScenarioSpec {
                 "strategy" => {
                     spec.strategy = RecomputeStrategy::parse(value)
                         .ok_or_else(|| bad("strategy (full|affected|incremental|auto)"))?;
+                }
+                "feed" => {
+                    spec.feed =
+                        FrameFeed::parse(value).ok_or_else(|| bad("feed (bitset|report-diff)"))?;
                 }
                 "battery_model" => {
                     spec.battery_models = parse_list(value, BatteryChoice::parse)
@@ -420,6 +430,7 @@ impl ScenarioSpec {
             .collect();
         let _ = writeln!(out, "algorithm = {}", algos.join(", "));
         let _ = writeln!(out, "strategy = {}", self.strategy.name());
+        let _ = writeln!(out, "feed = {}", self.feed.name());
         let models: Vec<&str> = self.battery_models.iter().map(|m| m.name()).collect();
         let _ = writeln!(out, "battery_model = {}", models.join(", "));
         let apps: Vec<&str> = self.apps.iter().map(|a| a.name()).collect();

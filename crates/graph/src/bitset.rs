@@ -1,0 +1,209 @@
+//! [`NodeBitset`]: a word-packed set of node indices.
+//!
+//! The frame pipeline (engine → router → table) communicates *which*
+//! nodes changed this TDMA frame through one of these: the engine sets a
+//! bit at the drain/death/buffer site where a transition actually
+//! happens, and every consumer downstream iterates **set words** instead
+//! of scanning all `K` nodes. On a quiet fabric that turns per-frame
+//! bookkeeping from `O(K)` into `O(K/64)` word skips plus `O(changed)`
+//! real work.
+//!
+//! # Soundness of the changed-bitset contract
+//!
+//! A node whose bit is clear contributed **no transition** since the bit
+//! was last cleared: nothing mutated its battery bucket, its liveness or
+//! its deadlock flag, so any state derived from those inputs (a cached
+//! report row, a cached liveness snapshot, a table-gate scan
+//! contribution) is still valid and need not be re-examined. Consumers
+//! may therefore restrict themselves to set bits. The reverse is *not*
+//! required: a set bit whose node ended up back at its published value
+//! is an over-approximation the consumers tolerate (they re-check the
+//! actual values), never an error.
+
+use crate::NodeId;
+
+/// A fixed-capacity set of node indices packed 64 per `u64` word.
+///
+/// All operations are branch-light and allocation-free after
+/// [`NodeBitset::resize`]; iteration visits indices in ascending order
+/// (the same order a `0..n` scan would), which is what keeps
+/// bitset-driven consumers byte-identical to their full-scan twins.
+///
+/// # Examples
+///
+/// ```
+/// use etx_graph::{NodeBitset, NodeId};
+///
+/// let mut set = NodeBitset::new();
+/// set.resize(130);
+/// set.insert(NodeId::new(3));
+/// set.insert(NodeId::new(128));
+/// assert!(set.contains(NodeId::new(3)));
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![NodeId::new(3), NodeId::new(128)]);
+/// set.clear();
+/// assert!(set.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeBitset {
+    words: Vec<u64>,
+    /// Number of valid node indices (bits past `len` stay zero).
+    len: usize,
+}
+
+impl NodeBitset {
+    /// An empty set of capacity 0; size it with [`NodeBitset::resize`].
+    #[must_use]
+    pub fn new() -> Self {
+        NodeBitset::default()
+    }
+
+    /// A cleared set covering indices `0..n`.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        let mut set = NodeBitset::new();
+        set.resize(n);
+        set
+    }
+
+    /// Resizes to cover indices `0..n` and clears every bit. Reuses the
+    /// existing allocation whenever it is large enough.
+    pub fn resize(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.len = n;
+    }
+
+    /// Number of node indices covered (the `n` of the last resize).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Clears every bit, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts `node`. Returns `true` when the bit was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.len, "node {i} out of range (capacity {})", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `node`. Returns `true` when the bit was set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.len, "node {i} out of range (capacity {})", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// `true` when `node`'s bit is set (`false` for out-of-range nodes).
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let i = node.index();
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `true` when no bit is set. `O(words)`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits. `O(words)` popcounts.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The packed words (64 indices per word, LSB first).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the set indices in ascending order, skipping whole empty
+    /// words.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(NodeId::new(wi * 64 + bit))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = NodeBitset::with_capacity(70);
+        assert!(set.is_empty());
+        assert!(set.insert(NodeId::new(0)));
+        assert!(!set.insert(NodeId::new(0)), "double insert reports not-fresh");
+        assert!(set.insert(NodeId::new(69)));
+        assert!(set.contains(NodeId::new(0)) && set.contains(NodeId::new(69)));
+        assert!(!set.contains(NodeId::new(68)));
+        assert!(!set.contains(NodeId::new(1_000)), "out of range reads as absent");
+        assert_eq!(set.count(), 2);
+        assert!(set.remove(NodeId::new(0)));
+        assert!(!set.remove(NodeId::new(0)));
+        assert_eq!(set.count(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_word_skipping() {
+        let mut set = NodeBitset::with_capacity(200);
+        for i in [199, 0, 64, 63, 128, 5] {
+            set.insert(NodeId::new(i));
+        }
+        let got: Vec<usize> = set.iter().map(NodeId::index).collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn resize_clears_and_reuses() {
+        let mut set = NodeBitset::with_capacity(128);
+        set.insert(NodeId::new(100));
+        set.resize(64);
+        assert!(set.is_empty());
+        assert_eq!(set.capacity(), 64);
+        set.insert(NodeId::new(63));
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut set = NodeBitset::with_capacity(10);
+        set.insert(NodeId::new(10));
+    }
+}

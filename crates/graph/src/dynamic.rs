@@ -69,17 +69,64 @@ impl WeightDelta {
 }
 
 /// Per-source shortest-path trees: for every source `s`, the tree parent
-/// of each node and the settle order (nodes by ascending `(dist, id)` —
-/// exactly the deterministic pop order of the workspace's Dijkstra).
+/// of each node plus explicit child links (first-child / sibling lists),
+/// so the descendants of any tree edge can be enumerated in time
+/// proportional to the subtree — never by scanning all `K` nodes.
 ///
 /// Rows are maintained by [`dijkstra_source_tree_into`] (full per-source
 /// runs) and [`repair_source`] (incremental repair); both leave the same
-/// bytes behind, which is what lets repairs chain frame after frame.
+/// parents behind, which is what lets repairs chain frame after frame.
+/// Sibling-list *order* is an implementation detail (it depends on the
+/// maintenance history) and carries no meaning: every derived quantity —
+/// distances, successors, parents, settled counts — is history-free.
 #[derive(Debug, Default)]
 pub struct SpTreeStore {
     parent: Matrix<u32>,
-    order: Matrix<u32>,
+    /// Head of each node's child list (`NO_PARENT` = childless).
+    first_child: Matrix<u32>,
+    /// Doubly-linked sibling lists, so a repaired node re-parents in
+    /// `O(1)`.
+    next_sibling: Matrix<u32>,
+    prev_sibling: Matrix<u32>,
     settled: Vec<u32>,
+}
+
+/// Unlinks `v` from `parent`'s child list (row-level helper; all slices
+/// belong to one source's tree).
+fn unlink_child(
+    first_child: &mut [u32],
+    next_sibling: &mut [u32],
+    prev_sibling: &mut [u32],
+    parent: u32,
+    v: u32,
+) {
+    let prev = prev_sibling[v as usize];
+    let next = next_sibling[v as usize];
+    if prev == NO_PARENT {
+        first_child[parent as usize] = next;
+    } else {
+        next_sibling[prev as usize] = next;
+    }
+    if next != NO_PARENT {
+        prev_sibling[next as usize] = prev;
+    }
+}
+
+/// Links `v` at the head of `parent`'s child list.
+fn link_child(
+    first_child: &mut [u32],
+    next_sibling: &mut [u32],
+    prev_sibling: &mut [u32],
+    parent: u32,
+    v: u32,
+) {
+    let head = first_child[parent as usize];
+    next_sibling[v as usize] = head;
+    prev_sibling[v as usize] = NO_PARENT;
+    if head != NO_PARENT {
+        prev_sibling[head as usize] = v;
+    }
+    first_child[parent as usize] = v;
 }
 
 impl SpTreeStore {
@@ -99,14 +146,26 @@ impl SpTreeStore {
     /// existing allocations whenever they are large enough.
     pub fn reset(&mut self, n: usize) {
         self.parent.reset(n, n, NO_PARENT);
-        self.order.reset(n, n, 0);
+        self.first_child.reset(n, n, NO_PARENT);
+        self.next_sibling.reset(n, n, NO_PARENT);
+        self.prev_sibling.reset(n, n, NO_PARENT);
         self.settled.clear();
         self.settled.resize(n, 0);
     }
 
-    /// Mutably borrows source `s`'s `(parent_row, order_row)`.
-    pub(crate) fn rows_mut(&mut self, s: usize) -> (&mut [u32], &mut [u32]) {
-        (self.parent.row_slice_mut(s), self.order.row_slice_mut(s))
+    /// Mutably borrows source `s`'s `(parent, first_child, next_sibling,
+    /// prev_sibling)` rows.
+    pub(crate) fn link_rows_mut(
+        &mut self,
+        s: usize,
+    ) -> (&mut [u32], &mut [u32], &mut [u32], &mut [u32]) {
+        let SpTreeStore { parent, first_child, next_sibling, prev_sibling, .. } = self;
+        (
+            parent.row_slice_mut(s),
+            first_child.row_slice_mut(s),
+            next_sibling.row_slice_mut(s),
+            prev_sibling.row_slice_mut(s),
+        )
     }
 
     /// The tree parent of `node` in source `s`'s tree (`None` for the
@@ -135,22 +194,23 @@ impl SpTreeStore {
 /// heap allocation.
 #[derive(Debug, Default)]
 pub struct RepairScratch {
-    /// Per-node "some in-edge increased" flags for the current batch.
-    in_increased: Vec<bool>,
-    /// Increased edges sorted by `(to, from)` for tree-edge membership.
+    /// Increased edges `(to, from)` of the current batch.
     increases: Vec<(u32, u32)>,
     /// Decreased edges of the current batch.
     decreases: Vec<WeightDelta>,
-    /// Affected flags of the source being repaired (valid for its
-    /// settled nodes only; unsettled entries are stale by design — every
-    /// read is guarded by a finite-distance check).
-    affected: Vec<bool>,
-    /// Affected nodes in settle order.
+    /// Stamp-based affected marks: `affected[v] == stamp` means `v` is
+    /// affected in the *current* [`repair_source`] call. Stamping makes
+    /// clearing `O(1)` per call — no `O(K)` re-initialisation — which is
+    /// what keeps a repair proportional to its subtree.
+    affected: Vec<u32>,
+    /// The stamp of the current call (see `affected`).
+    stamp: u32,
+    /// Affected nodes (DFS discovery order; order carries no meaning).
     touched: Vec<u32>,
+    /// DFS work stack of the subtree walk.
+    stack: Vec<u32>,
     /// Repaired nodes in `(dist, id)` pop order.
     pops: Vec<u32>,
-    /// Merge buffer for the new settle order.
-    merged: Vec<u32>,
 }
 
 impl RepairScratch {
@@ -160,12 +220,19 @@ impl RepairScratch {
         RepairScratch::default()
     }
 
-    /// Indexes one frame's delta batch: per-node increase flags, the
-    /// sorted increase list, and the decrease list. Call once per batch,
-    /// before the per-source [`repair_source`] loop.
+    /// Pre-sizes the batch buffers for up to `edges` deltas, so bursty
+    /// frames (mass churn after a quiet warm-up) never grow them
+    /// mid-flight — the zero-allocation guarantee is keyed to the
+    /// graph's dimensions, not to the largest batch seen so far.
+    pub fn reserve_batch(&mut self, edges: usize) {
+        self.increases.reserve(edges);
+        self.decreases.reserve(edges);
+    }
+
+    /// Indexes one frame's delta batch into increase/decrease lists.
+    /// Call once per batch, before the per-source [`repair_source`]
+    /// loop.
     pub fn prepare(&mut self, deltas: &[WeightDelta], n: usize) {
-        self.in_increased.clear();
-        self.in_increased.resize(n, false);
         self.increases.clear();
         self.increases.reserve(deltas.len());
         self.decreases.clear();
@@ -173,17 +240,15 @@ impl RepairScratch {
         // Per-source buffers hold at most one entry per node; reserving
         // the bound here keeps burst batches free of mid-flight growth.
         self.touched.reserve(n);
+        self.stack.reserve(n);
         self.pops.reserve(n);
-        self.merged.reserve(n);
         for d in deltas {
             if d.is_increase() {
-                self.in_increased[d.to as usize] = true;
                 self.increases.push((d.to, d.from));
             } else if d.new < d.old {
                 self.decreases.push(*d);
             }
         }
-        self.increases.sort_unstable();
     }
 
     /// `true` when the prepared batch contains no effective change.
@@ -202,8 +267,35 @@ impl RepairScratch {
         &self.touched
     }
 
-    fn edge_increased(&self, from: u32, to: u32) -> bool {
-        self.increases.binary_search(&(to, from)).is_ok()
+    /// Starts a fresh affected-mark generation covering `n` nodes.
+    fn bump_stamp(&mut self, n: usize) {
+        if self.affected.len() != n {
+            self.affected.clear();
+            self.affected.resize(n, 0);
+            self.stamp = 0;
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Wrapped: old marks could alias the new generation.
+            self.affected.fill(0);
+            self.stamp = 1;
+        }
+    }
+
+    /// Marks `v` affected. Returns `true` when the mark is new.
+    fn mark(&mut self, v: u32) -> bool {
+        let slot = &mut self.affected[v as usize];
+        if *slot == self.stamp {
+            false
+        } else {
+            *slot = self.stamp;
+            true
+        }
+    }
+
+    /// `true` when `v` was marked affected in the current call.
+    fn is_affected(&self, v: usize) -> bool {
+        self.affected[v] == self.stamp
     }
 }
 
@@ -229,7 +321,7 @@ pub enum RepairOutcome {
 /// Dijkstra: identical `dist_row`/`succ_row` to
 /// [`dijkstra_source_into`](crate::dijkstra_source_into), and
 /// additionally records each node's tree parent (the deterministic
-/// achiever `u*`) and the settle order into `trees`.
+/// achiever `u*`) and the child links into `trees`.
 ///
 /// # Panics
 ///
@@ -248,7 +340,7 @@ pub fn dijkstra_source_tree_into(
     assert_eq!(succ_row.len(), n, "successor row length mismatch");
     assert_eq!(trees.node_count(), n, "tree store does not cover the adjacency");
     let s = source.index();
-    let (parent_row, order_row) = trees.rows_mut(s);
+    let (parent_row, first_child_row, next_row, prev_row) = trees.link_rows_mut(s);
 
     scratch.heap.clear();
     let heap_bound = adjacency.edge_count() + 1;
@@ -267,7 +359,6 @@ pub fn dijkstra_source_tree_into(
         if du > dist_row[u] {
             continue; // stale entry
         }
-        order_row[settled as usize] = u as u32;
         settled += 1;
         let via_u = if u == s { None } else { succ_row[u] };
         for &(v, w) in adjacency.neighbors(u) {
@@ -278,6 +369,16 @@ pub fn dijkstra_source_tree_into(
                 parent_row[v] = u as u32;
                 scratch.heap.push(core::cmp::Reverse(pack_entry(nd, v)));
             }
+        }
+    }
+    // Rebuild the child lists from the final parents (a full re-run
+    // replaces the whole tree, so incremental link maintenance would buy
+    // nothing here).
+    first_child_row.fill(NO_PARENT);
+    for v in 0..n as u32 {
+        let p = parent_row[v as usize];
+        if p != NO_PARENT {
+            link_child(first_child_row, next_row, prev_row, p, v);
         }
     }
     trees.set_settled(s, settled);
@@ -329,39 +430,35 @@ pub fn repair_source(
     }
 
     let settled = trees.settled(s);
-    let (parent_row, order_row) = trees.rows_mut(s);
+    let (parent_row, first_child_row, next_row, prev_row) = trees.link_rows_mut(s);
 
-    // Quick pre-filter: an increase only matters when it hits a tree
-    // edge of this source (non-tree alternatives were already ≥ and only
-    // got worse). O(#increases) per source.
-    let any_tree_increase = repair
-        .increases
-        .iter()
-        .any(|&(to, from)| parent_row[to as usize] == from && dist_row[to as usize].is_finite());
-    if !any_tree_increase {
+    // Phase A — affected set, in time proportional to the *subtree*:
+    // the heads are the tree edges that increased (non-tree alternatives
+    // were already ≥ and only got worse); their descendants are exactly
+    // the nodes whose tree path uses an increased edge, enumerated
+    // through the child links. No settle-order scan, no `O(K)` walk —
+    // an unaffected source pays `O(#increases)` and nothing else.
+    repair.bump_stamp(n);
+    repair.touched.clear();
+    repair.stack.clear();
+    for i in 0..repair.increases.len() {
+        let (to, from) = repair.increases[i];
+        if parent_row[to as usize] == from && dist_row[to as usize].is_finite() && repair.mark(to) {
+            repair.touched.push(to);
+            repair.stack.push(to);
+        }
+    }
+    if repair.touched.is_empty() {
         return RepairOutcome::Unchanged;
     }
-
-    // Phase A — affected set: walk the settle order (parents settle
-    // before children, so one pass suffices) marking descendants of
-    // increased tree edges. Unsettled nodes keep stale flags; every
-    // later read of `affected` is for a node adjacent (with finite
-    // weight) to a finite-distance node, which under pure increases was
-    // settled and therefore freshly written here.
-    repair.affected.resize(n, false);
-    repair.touched.clear();
-    for &settled_node in order_row.iter().take(settled) {
-        let v = settled_node as usize;
-        let aff = if v == s {
-            false
-        } else {
-            let p = parent_row[v];
-            repair.affected[p as usize]
-                || (repair.in_increased[v] && repair.edge_increased(p, v as u32))
-        };
-        repair.affected[v] = aff;
-        if aff {
-            repair.touched.push(v as u32);
+    while let Some(v) = repair.stack.pop() {
+        let mut child = first_child_row[v as usize];
+        while child != NO_PARENT {
+            if repair.mark(child) {
+                repair.touched.push(child);
+                repair.stack.push(child);
+            }
+            child = next_row[child as usize];
         }
     }
 
@@ -372,15 +469,15 @@ pub fn repair_source(
     if repair.touched.len() as f64 > max_affected_fraction * settled as f64 {
         return RepairOutcome::Rerun;
     }
-    if repair.touched.is_empty() {
-        return RepairOutcome::Unchanged;
-    }
 
-    // Phase B — invalidate and seed: affected entries drop to
-    // "unreachable", then each gets its best boundary candidate (an
-    // unaffected in-neighbour; positive weights mean every achiever
-    // settles strictly earlier, so these are final values).
-    for &v in &repair.touched {
+    // Phase B — invalidate and seed: affected entries unlink from their
+    // old parent and drop to "unreachable", then each gets its best
+    // boundary candidate (an unaffected in-neighbour; positive weights
+    // mean every achiever settles strictly earlier, so these are final
+    // values).
+    for i in 0..repair.touched.len() {
+        let v = repair.touched[i];
+        unlink_child(first_child_row, next_row, prev_row, parent_row[v as usize], v);
         let v = v as usize;
         dist_row[v] = INFINITE_DISTANCE;
         succ_row[v] = None;
@@ -391,11 +488,11 @@ pub fn repair_source(
     if heap.heap.capacity() < heap_bound {
         heap.heap.reserve(heap_bound);
     }
-    for &v in &repair.touched {
-        let v = v as usize;
+    for i in 0..repair.touched.len() {
+        let v = repair.touched[i] as usize;
         let mut best = INFINITE_DISTANCE;
         for &(u, w) in in_adjacency.neighbors(v) {
-            if !repair.affected[u] && dist_row[u].is_finite() {
+            if !repair.is_affected(u) && dist_row[u].is_finite() {
                 let cand = dist_row[u] + w;
                 if cand < best {
                     best = cand;
@@ -418,7 +515,7 @@ pub fn repair_source(
         }
         repair.pops.push(u as u32);
         for &(v, w) in adjacency.neighbors(u) {
-            if !repair.affected[v] {
+            if !repair.is_affected(v) {
                 continue;
             }
             let nd = du + w;
@@ -431,9 +528,11 @@ pub fn repair_source(
 
     // Phase D — successors/parents from the achiever rule, in pop order
     // so an affected achiever's own entries are already final when a
-    // later node reads them.
-    for &v in &repair.pops {
-        let v = v as usize;
+    // later node reads them. Each repaired node relinks under its new
+    // parent; nodes that ended up unreachable stay unlinked, which is
+    // exactly the tree a fresh run would leave behind.
+    for i in 0..repair.pops.len() {
+        let v = repair.pops[i] as usize;
         let dv = dist_row[v];
         let mut best: Option<(u64, usize)> = None;
         for &(u, w) in in_adjacency.neighbors(v) {
@@ -451,32 +550,13 @@ pub fn repair_source(
         let u = best.expect("finite repaired distance has an earlier achiever").1;
         parent_row[v] = u as u32;
         succ_row[v] = if u == s { Some(NodeId::new(v)) } else { succ_row[u] };
+        link_child(first_child_row, next_row, prev_row, u as u32, v as u32);
     }
 
-    // Phase E — merge the new settle order: unaffected nodes keep their
-    // old relative order (distances unchanged), repaired nodes arrive in
-    // pop order; both streams ascend by `(dist, id)`.
-    repair.merged.clear();
-    let mut pi = 0;
-    for &v in order_row.iter().take(settled) {
-        if repair.affected[v as usize] {
-            continue;
-        }
-        let vkey = pack_entry(dist_row[v as usize], v as usize);
-        while pi < repair.pops.len() {
-            let p = repair.pops[pi];
-            if pack_entry(dist_row[p as usize], p as usize) < vkey {
-                repair.merged.push(p);
-                pi += 1;
-            } else {
-                break;
-            }
-        }
-        repair.merged.push(v);
-    }
-    repair.merged.extend_from_slice(&repair.pops[pi..]);
-    order_row[..repair.merged.len()].copy_from_slice(&repair.merged);
-    trees.set_settled(s, repair.merged.len() as u32);
+    // Settled accounting: the unaffected nodes keep their reachability;
+    // of the touched ones, exactly the repaired pops remain reachable.
+    let new_settled = settled - repair.touched.len() + repair.pops.len();
+    trees.set_settled(s, new_settled as u32);
 
     RepairOutcome::Repaired { touched: repair.touched.len() }
 }

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod bitset;
 mod digraph;
 mod matrix;
 mod node;
@@ -52,6 +53,7 @@ pub mod dynamic;
 pub mod topology;
 
 pub use backend::{PathBackend, ResolvedBackend};
+pub use bitset::NodeBitset;
 pub use digraph::{DiGraph, Edge, GraphError};
 pub use dynamic::{
     dijkstra_source_tree_into, repair_source, RepairOutcome, RepairScratch, SpTreeStore,

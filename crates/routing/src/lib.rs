@@ -65,9 +65,9 @@ mod table;
 mod weighting;
 mod weights;
 
-pub use etx_graph::PathBackend;
+pub use etx_graph::{NodeBitset, PathBackend};
 pub use report::SystemReport;
-pub use router::{Algorithm, RecomputeStrategy, Router};
+pub use router::{Algorithm, FrameDelta, RecomputeStrategy, Router};
 pub use scratch::{RecomputeStats, RoutingScratch};
 pub use table::{RouteEntry, RoutingState};
 pub use weighting::BatteryWeighting;

@@ -4,8 +4,8 @@
 use core::fmt;
 
 use etx_graph::{
-    dijkstra_source_into, dijkstra_source_tree_into, repair_source, DiGraph, NodeId, PathBackend,
-    RepairOutcome, ResolvedBackend,
+    dijkstra_source_into, dijkstra_source_tree_into, repair_source, DiGraph, NodeBitset, NodeId,
+    PathBackend, RepairOutcome, ResolvedBackend,
 };
 
 use crate::scratch::WeightsKey;
@@ -118,6 +118,46 @@ enum RecomputeMode {
     Full,
     Affected,
     Repair,
+}
+
+/// One TDMA frame's change summary, as an engine that maintains its
+/// frame state *incrementally* hands it to
+/// [`Router::recompute_frame_into`]: the changed-node bitset plus the
+/// per-frame aggregates the engine already tracked at the transition
+/// sites, so the router never has to rediscover them with `O(K)` scans.
+///
+/// # Soundness contract
+///
+/// A node **absent** from `changed` contributed no battery-bucket or
+/// liveness transition since the recompute that produced the paired
+/// routing state. Its cached phase-1 weight rows, its entry in the
+/// router's cached liveness snapshot, and its contribution to the
+/// table-rebuild gate are therefore still valid, which is what lets the
+/// router restrict every per-frame node scan to the set bits.
+/// Over-approximation is safe (a set bit whose node is back at its
+/// published value contributes no weight deltas); a *missing* changed
+/// node is not. The two flags carry the same obligation: `any_deadlock`
+/// must be `true` iff some node in `report` has its deadlock flag set,
+/// and `placement_changed` must be `true` whenever `module_nodes`
+/// differs from the previous recompute's placement.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameDelta<'a> {
+    /// Nodes whose battery bucket or liveness changed since the last
+    /// recompute.
+    pub changed: &'a NodeBitset,
+    /// Whether any node currently reports a deadlock (engine-maintained
+    /// aggregate; replaces the router's per-node deadlock scan).
+    pub any_deadlock: bool,
+    /// Whether the module placement changed since the last recompute
+    /// (a remap); replaces the router's placement deep-compare.
+    pub placement_changed: bool,
+}
+
+/// Internal per-frame metadata threaded through the staged pipeline.
+#[derive(Debug, Clone, Copy)]
+struct FrameMeta {
+    any_deadlock: bool,
+    placement_changed: bool,
 }
 
 /// The online routing engine run by the central controller.
@@ -294,7 +334,7 @@ impl Router {
             _ => scratch.prev_hops.clear(),
         }
         let key = WeightsKey::new(self.algorithm, &self.weighting, graph);
-        self.full_recompute(graph, module_nodes, report, key, scratch, out);
+        self.full_recompute(graph, module_nodes, report, key, None, scratch, out);
     }
 
     /// Delta-aware recompute from consecutive reports: `out` must hold
@@ -344,7 +384,7 @@ impl Router {
         }
         self.snapshot_prev_hops(graph, module_nodes, scratch, out);
         let key = WeightsKey::new(self.algorithm, &self.weighting, graph);
-        self.staged_recompute(graph, module_nodes, new_report, key, scratch, out);
+        self.staged_recompute(graph, module_nodes, new_report, key, None, scratch, out);
     }
 
     /// The engine's entry point: delta-aware recompute from an explicit
@@ -380,7 +420,50 @@ impl Router {
         }));
         self.snapshot_prev_hops(graph, module_nodes, scratch, out);
         let key = WeightsKey::new(self.algorithm, &self.weighting, graph);
-        self.staged_recompute(graph, module_nodes, report, key, scratch, out);
+        self.staged_recompute(graph, module_nodes, report, key, None, scratch, out);
+    }
+
+    /// The engine's **frame-state** entry point: like
+    /// [`Router::recompute_dirty_into`], but fed by the changed-node
+    /// bitset and per-frame aggregates an incrementally-maintained
+    /// engine already has (see [`FrameDelta`] and its soundness
+    /// contract), so the steady-state frame runs in `O(changed)` —
+    /// the `O(K)` liveness/deadlock scan behind the table-rebuild gate
+    /// and the `O(K)` cache refresh are both restricted to the set bits
+    /// ([`RecomputeStats::frames_oK_skipped`] counts exactly those
+    /// frames, and [`RecomputeStats::nodes_scanned`] the node states
+    /// actually examined).
+    ///
+    /// Produces state bit-identical to [`Router::recompute_dirty_into`]
+    /// over the dense changed list (property-tested, every strategy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `report` covers a different node count than `graph`, or
+    /// the bitset's capacity does not match the graph.
+    pub fn recompute_frame_into(
+        &self,
+        graph: &DiGraph,
+        module_nodes: &[Vec<NodeId>],
+        report: &SystemReport,
+        frame: FrameDelta<'_>,
+        scratch: &mut RoutingScratch,
+        out: &mut RoutingState,
+    ) {
+        let n = graph.node_count();
+        assert_eq!(frame.changed.capacity(), n, "changed bitset does not cover the graph");
+        scratch.dirty.clear();
+        scratch.dirty.reserve(n);
+        // Phase-1 extraction consumes the set *words*: empty words — the
+        // overwhelming majority on a quiet frame — cost one compare.
+        scratch.dirty.extend(frame.changed.iter().map(NodeId::index));
+        self.snapshot_prev_hops(graph, module_nodes, scratch, out);
+        let key = WeightsKey::new(self.algorithm, &self.weighting, graph);
+        let meta = FrameMeta {
+            any_deadlock: frame.any_deadlock,
+            placement_changed: frame.placement_changed,
+        };
+        self.staged_recompute(graph, module_nodes, report, key, Some(meta), scratch, out);
     }
 
     /// Snapshots `out`'s first hops for phase 3's deadlock avoidance.
@@ -412,12 +495,14 @@ impl Router {
     /// configured strategy and the cache/backend gates, then runs it.
     /// Expects `scratch.dirty` populated and `scratch.prev_hops`
     /// snapshotted.
+    #[allow(clippy::too_many_arguments)] // the staged pipeline's shared signature
     fn staged_recompute(
         &self,
         graph: &DiGraph,
         module_nodes: &[Vec<NodeId>],
         report: &SystemReport,
         key: WeightsKey,
+        frame: Option<FrameMeta>,
         scratch: &mut RoutingScratch,
         out: &mut RoutingState,
     ) {
@@ -441,13 +526,13 @@ impl Router {
         };
         match mode {
             RecomputeMode::Full => {
-                self.full_recompute(graph, module_nodes, report, key, scratch, out);
+                self.full_recompute(graph, module_nodes, report, key, frame, scratch, out);
             }
             RecomputeMode::Affected => {
-                self.affected_recompute(graph, module_nodes, report, scratch, out);
+                self.affected_recompute(graph, module_nodes, report, frame, scratch, out);
             }
             RecomputeMode::Repair => {
-                self.repair_recompute(graph, module_nodes, report, scratch, out);
+                self.repair_recompute(graph, module_nodes, report, frame, scratch, out);
             }
         }
     }
@@ -461,6 +546,7 @@ impl Router {
         graph: &DiGraph,
         module_nodes: &[Vec<NodeId>],
         report: &SystemReport,
+        frame: Option<FrameMeta>,
         scratch: &mut RoutingScratch,
         out: &mut RoutingState,
     ) {
@@ -538,7 +624,7 @@ impl Router {
         // when the table-delta gate holds, refreshing the affected rows
         // alone reproduces a full rebuild (this path re-solves whole
         // rows, so there is no per-module mask to exploit).
-        if self.table_delta_ok(module_nodes, report, scratch, out) {
+        if self.table_delta_ok(module_nodes, report, frame, scratch, out) {
             let mut rebuilt = 0u64;
             if !scratch.dirty.is_empty() {
                 for s in 0..n {
@@ -555,7 +641,7 @@ impl Router {
             out.rebuild_table(&scratch.weights, module_nodes, report, prev);
             scratch.table_entries_rebuilt += (n * module_nodes.len()) as u64;
         }
-        Self::cache_table_inputs(module_nodes, report, scratch);
+        Self::cache_table_inputs(module_nodes, report, frame, scratch);
         scratch.delta_recomputes += 1;
     }
 
@@ -568,6 +654,7 @@ impl Router {
         graph: &DiGraph,
         module_nodes: &[Vec<NodeId>],
         report: &SystemReport,
+        frame: Option<FrameMeta>,
         scratch: &mut RoutingScratch,
         out: &mut RoutingState,
     ) {
@@ -637,6 +724,7 @@ impl Router {
                 scratch.trees.reset(n);
                 scratch.in_adjacency.rebuild_transpose(&scratch.weights);
             }
+            scratch.repair.reserve_batch(graph.edge_count());
             scratch.repair.prepare(&scratch.deltas, n);
             let (paths, prev_table, prev_m) = out.paths_and_table_mut();
             let masks_ok = scratch.dup_mask.len() == n
@@ -718,7 +806,7 @@ impl Router {
         // rebuild shrinks to the changed entries alone. Any other frame
         // (deaths, deadlock raise *or* clear, remap, cold cache)
         // rebuilds in full.
-        if self.table_delta_ok(module_nodes, report, scratch, out) {
+        if self.table_delta_ok(module_nodes, report, frame, scratch, out) {
             let m = module_nodes.len();
             let mut rebuilt = 0u64;
             for s in 0..n {
@@ -746,18 +834,20 @@ impl Router {
             out.rebuild_table(&scratch.weights, module_nodes, report, prev);
             scratch.table_entries_rebuilt += (n * module_nodes.len()) as u64;
         }
-        Self::cache_table_inputs(module_nodes, report, scratch);
+        Self::cache_table_inputs(module_nodes, report, frame, scratch);
         scratch.repair_recomputes += 1;
     }
 
     /// Full phases 1–3 into `out`, refreshing the scratch caches.
     /// Expects `scratch.prev_hops` to be snapshotted already.
+    #[allow(clippy::too_many_arguments)] // the staged pipeline's shared signature
     fn full_recompute(
         &self,
         graph: &DiGraph,
         module_nodes: &[Vec<NodeId>],
         report: &SystemReport,
         key: WeightsKey,
+        frame: Option<FrameMeta>,
         scratch: &mut RoutingScratch,
         out: &mut RoutingState,
     ) {
@@ -787,7 +877,7 @@ impl Router {
         let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
         out.rebuild_table(&scratch.weights, module_nodes, report, prev);
         scratch.table_entries_rebuilt += (n * module_nodes.len()) as u64;
-        Self::cache_table_inputs(module_nodes, report, scratch);
+        Self::cache_table_inputs(module_nodes, report, frame, scratch);
         scratch.full_recomputes += 1;
     }
 
@@ -797,10 +887,19 @@ impl Router {
     /// deadlock flags may differ from the table build they describe —
     /// those inputs feed *every* row, so any change forces a full
     /// rebuild. Deadlock-free frames also never read `prev_hops`.
+    ///
+    /// With a [`FrameMeta`] the whole decision is `O(changed)`: deadlock
+    /// presence and placement identity come from the engine's
+    /// aggregates, and the liveness comparison is restricted to the
+    /// changed nodes — a node outside the bitset contributed no
+    /// transition, so its cached liveness entry still matches (the
+    /// [`FrameDelta`] soundness contract). Without one, the decision
+    /// falls back to the `O(K)` scan over the report.
     fn table_delta_ok(
         &self,
         module_nodes: &[Vec<NodeId>],
         report: &SystemReport,
+        frame: Option<FrameMeta>,
         scratch: &RoutingScratch,
         out: &RoutingState,
     ) -> bool {
@@ -809,25 +908,65 @@ impl Router {
             || scratch.prev_any_deadlock
             || scratch.prev_alive.len() != n
             || out.module_count() != module_nodes.len()
-            || scratch.prev_modules.as_slice() != module_nodes
         {
             return false;
         }
-        (0..n).all(|i| {
-            let node = NodeId::new(i);
-            !report.is_deadlocked(node) && report.is_alive(node) == scratch.prev_alive[i]
-        })
+        match frame {
+            Some(meta) => {
+                !meta.any_deadlock
+                    && !meta.placement_changed
+                    && scratch.prev_modules.len() == module_nodes.len()
+                    && scratch
+                        .dirty
+                        .iter()
+                        .all(|&d| report.is_alive(NodeId::new(d)) == scratch.prev_alive[d])
+            }
+            None => {
+                scratch.prev_modules.as_slice() == module_nodes
+                    && (0..n).all(|i| {
+                        let node = NodeId::new(i);
+                        !report.is_deadlocked(node)
+                            && report.is_alive(node) == scratch.prev_alive[i]
+                    })
+            }
+        }
     }
 
     /// Records the table-relevant report state (liveness, deadlock
     /// presence) and placement the table was just built against, so the
     /// next frame's [`Router::table_delta_ok`] can compare.
+    ///
+    /// A frame whose cached inputs are still structurally valid is
+    /// patched **in place** from the changed set — `O(changed)` instead
+    /// of the `O(K)` rebuild — which is the second half of what
+    /// [`RecomputeStats::frames_oK_skipped`] counts. Sound for the same
+    /// reason the gate's restriction is: an unchanged node's cached
+    /// liveness entry is already correct, and the placement caches
+    /// (`prev_modules`, `dup_mask`) only depend on a placement the
+    /// engine vouched did not change.
     fn cache_table_inputs(
         module_nodes: &[Vec<NodeId>],
         report: &SystemReport,
+        frame: Option<FrameMeta>,
         scratch: &mut RoutingScratch,
     ) {
         let n = report.node_count();
+        let fast = frame.is_some_and(|meta| !meta.placement_changed)
+            && scratch.table_cache_valid
+            && scratch.prev_alive.len() == n
+            && scratch.dup_mask.len() == n
+            && scratch.prev_modules.len() == module_nodes.len();
+        if fast {
+            for &d in &scratch.dirty {
+                scratch.prev_alive[d] = report.is_alive(NodeId::new(d));
+            }
+            scratch.prev_any_deadlock =
+                frame.expect("fast path requires frame metadata").any_deadlock;
+            scratch.frames_ok_skipped += 1;
+            scratch.nodes_scanned += scratch.dirty.len() as u64;
+            return;
+        }
+        scratch.nodes_scanned += n as u64;
         scratch.prev_alive.clear();
         scratch.prev_alive.reserve(n);
         scratch.prev_any_deadlock = false;

@@ -49,6 +49,7 @@ impl WeightsKey {
 /// controller aggregates it fleet-wide, so the cost profile of the
 /// routing pipeline is user-visible end to end.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(non_snake_case)] // `frames_oK_skipped` is named for what it skips
 pub struct RecomputeStats {
     /// Recomputes that ran a full phase 2 (all sources from scratch).
     pub full_recomputes: u64,
@@ -68,6 +69,17 @@ pub struct RecomputeStats {
     /// full rebuild counts every entry, `K · modules`; a delta rebuild
     /// only the entries whose distance-to-duplicate inputs changed).
     pub table_entries_rebuilt: u64,
+    /// Recomputes that maintained the table-gate inputs (liveness
+    /// snapshot, deadlock presence) in `O(changed)` from the frame's
+    /// changed bitset, skipping the per-frame `O(K)` node scan entirely
+    /// (only possible through `Router::recompute_frame_into`).
+    pub frames_oK_skipped: u64,
+    /// Node states examined across all recomputes by the per-frame
+    /// bookkeeping (dirty extraction, liveness gate, cache refresh): the
+    /// changed-node count on bitset-fed frames, `K` when an `O(K)` scan
+    /// ran. `nodes_scanned / recomputes ≪ K` is the observable win of
+    /// the changed-bitset feed.
+    pub nodes_scanned: u64,
 }
 
 /// Preallocated working memory for `Router::compute_into` /
@@ -155,6 +167,11 @@ pub struct RoutingScratch {
     pub(crate) table_delta_rebuilds: u64,
     /// `(node, module)` table entries refreshed across all recomputes.
     pub(crate) table_entries_rebuilt: u64,
+    /// Recomputes that skipped every per-frame `O(K)` node scan.
+    pub(crate) frames_ok_skipped: u64,
+    /// Node states examined by per-frame bookkeeping (see
+    /// [`RecomputeStats::nodes_scanned`]).
+    pub(crate) nodes_scanned: u64,
 }
 
 impl RoutingScratch {
@@ -223,6 +240,20 @@ impl RoutingScratch {
         self.table_entries_rebuilt
     }
 
+    /// Recomputes through this scratch that maintained the table-gate
+    /// inputs in `O(changed)` — no per-frame `O(K)` node scan at all.
+    #[must_use]
+    pub fn frames_ok_skipped(&self) -> u64 {
+        self.frames_ok_skipped
+    }
+
+    /// Node states examined by per-frame bookkeeping across all
+    /// recomputes (see [`RecomputeStats::nodes_scanned`]).
+    #[must_use]
+    pub fn nodes_scanned(&self) -> u64 {
+        self.nodes_scanned
+    }
+
     /// Snapshot of every recompute counter.
     #[must_use]
     pub fn stats(&self) -> RecomputeStats {
@@ -234,6 +265,8 @@ impl RoutingScratch {
             fallback_sources: self.fallback_sources,
             table_delta_rebuilds: self.table_delta_rebuilds,
             table_entries_rebuilt: self.table_entries_rebuilt,
+            frames_oK_skipped: self.frames_ok_skipped,
+            nodes_scanned: self.nodes_scanned,
         }
     }
 
@@ -255,5 +288,7 @@ impl RoutingScratch {
         self.fallback_sources = 0;
         self.table_delta_rebuilds = 0;
         self.table_entries_rebuilt = 0;
+        self.frames_ok_skipped = 0;
+        self.nodes_scanned = 0;
     }
 }

@@ -1,9 +1,9 @@
 //! Property tests for the routing kernel's fast paths: scratch reuse,
 //! delta-aware recompute, strategy equivalence, and backend equivalence.
 
-use etx_graph::{topology::Mesh2D, NodeId, PathBackend};
+use etx_graph::{topology::Mesh2D, NodeBitset, NodeId, PathBackend};
 use etx_routing::{
-    Algorithm, RecomputeStrategy, Router, RoutingScratch, RoutingState, SystemReport,
+    Algorithm, FrameDelta, RecomputeStrategy, Router, RoutingScratch, RoutingState, SystemReport,
 };
 use etx_units::Length;
 use proptest::prelude::*;
@@ -194,6 +194,81 @@ proptest! {
             1 + diffs.len() as u64,
             "every frame must be counted exactly once"
         );
+    }
+
+    /// The changed-bitset frame feed (`recompute_frame_into`) is
+    /// byte-identical — distances, successors, *and* the phase-3 table —
+    /// to the dense dirty-list feed (`recompute_dirty_into`) across
+    /// chains of drain / churn / deadlock-raise-and-clear mutations,
+    /// under every [`RecomputeStrategy`]. This is the property that
+    /// makes the engine's `O(changed)` frame state safe to trust.
+    #[test]
+    fn bitset_frame_feed_equals_dirty_feed(
+        side in 2usize..8,
+        algorithm in prop_oneof![Just(Algorithm::Sdr), Just(Algorithm::Ear)],
+        strategy in prop_oneof![
+            Just(RecomputeStrategy::Full),
+            Just(RecomputeStrategy::AffectedSources),
+            Just(RecomputeStrategy::IncrementalRepair),
+            Just(RecomputeStrategy::Auto),
+        ],
+        levels in proptest::collection::vec(0u32..16, 8),
+        diffs in proptest::collection::vec(
+            proptest::collection::vec((0u8..4, 0usize..64, 0u32..32), 0..4),
+            1..6
+        ),
+    ) {
+        let router = Router::new(algorithm)
+            .with_backend(PathBackend::DijkstraAllPairs)
+            .with_strategy(strategy);
+        let graph = mesh_graph(side);
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+
+        let mut report = report_from(&levels, &[false], &[false], k);
+        let mut a_scratch = RoutingScratch::new();
+        let mut a_state = RoutingState::empty();
+        let mut b_scratch = RoutingScratch::new();
+        let mut b_state = RoutingState::empty();
+        router.compute_into(&graph, &modules, &report, None, &mut a_scratch, &mut a_state);
+        router.compute_into(&graph, &modules, &report, None, &mut b_scratch, &mut b_state);
+
+        let mut bits = NodeBitset::with_capacity(k);
+        for ops in &diffs {
+            let old_report = report.clone();
+            apply_diff(&mut report, ops);
+            // The engine's contract: the bitset holds exactly the nodes
+            // whose battery bucket or liveness moved; deadlock presence
+            // arrives as a cached aggregate.
+            bits.clear();
+            let mut dirty = Vec::new();
+            let mut any_deadlock = false;
+            for i in 0..k {
+                let node = NodeId::new(i);
+                if report.battery_level(node) != old_report.battery_level(node)
+                    || report.is_alive(node) != old_report.is_alive(node)
+                {
+                    bits.insert(node);
+                    dirty.push(node);
+                }
+                any_deadlock |= report.is_deadlocked(node);
+            }
+            router.recompute_dirty_into(
+                &graph, &modules, &report, &dirty, &mut a_scratch, &mut a_state,
+            );
+            router.recompute_frame_into(
+                &graph,
+                &modules,
+                &report,
+                FrameDelta { changed: &bits, any_deadlock, placement_changed: false },
+                &mut b_scratch,
+                &mut b_state,
+            );
+            prop_assert_eq!(&a_state, &b_state,
+                "strategy {:?} side {} after ops {:?}", strategy, side, ops);
+        }
+        // The frame feed may only ever *skip* node scans, never add any.
+        prop_assert!(b_scratch.nodes_scanned() <= a_scratch.nodes_scanned());
     }
 
     /// The incremental repair stays exact when consecutive reports are

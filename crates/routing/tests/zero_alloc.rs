@@ -11,9 +11,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use etx_graph::{topology::Mesh2D, NodeId};
+use etx_graph::{topology::Mesh2D, NodeBitset, NodeId};
 use etx_routing::{
-    Algorithm, RecomputeStrategy, Router, RoutingScratch, RoutingState, SystemReport,
+    Algorithm, FrameDelta, RecomputeStrategy, Router, RoutingScratch, RoutingState, SystemReport,
 };
 use etx_units::Length;
 
@@ -171,4 +171,52 @@ fn steady_state_recompute_does_not_allocate() {
         assert_eq!(state.paths().distances(), reference.paths().distances());
         assert_eq!(state.paths().successors(), reference.paths().successors());
     }
+
+    // The changed-bitset frame feed (`recompute_frame_into`) holds the
+    // same guarantee — and, being the O(changed) path, must also skip
+    // the per-frame O(K) scans on every steady frame.
+    let graph = Mesh2D::square(8, Length::from_centimetres(2.05)).to_graph();
+    let k = graph.node_count();
+    let modules = module_stripes(k);
+    let router = Router::new(Algorithm::Ear);
+    let mut scratch = RoutingScratch::new();
+    let mut state = RoutingState::empty();
+    let mut report = SystemReport::fresh(k, 16);
+    let mut bits = NodeBitset::with_capacity(k);
+    router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+    let drain_frame = |frame: usize,
+                       report: &mut SystemReport,
+                       bits: &mut NodeBitset,
+                       scratch: &mut RoutingScratch,
+                       state: &mut RoutingState| {
+        let node = NodeId::new((frame * 7 + 3) % k);
+        report.set_battery_level(node, report.battery_level(node).saturating_sub(1));
+        bits.clear();
+        bits.insert(node);
+        router.recompute_frame_into(
+            &graph,
+            &modules,
+            report,
+            FrameDelta { changed: bits, any_deadlock: false, placement_changed: false },
+            scratch,
+            state,
+        );
+    };
+    for frame in 0..8 {
+        drain_frame(frame, &mut report, &mut bits, &mut scratch, &mut state);
+    }
+    let skipped_before = scratch.frames_ok_skipped();
+    let before = allocations();
+    for frame in 8..40 {
+        drain_frame(frame, &mut report, &mut bits, &mut scratch, &mut state);
+    }
+    assert_eq!(allocations() - before, 0, "bitset-fed frames allocated");
+    assert_eq!(
+        scratch.frames_ok_skipped() - skipped_before,
+        32,
+        "every steady bitset-fed frame must skip the O(K) scan"
+    );
+    let reference = router.compute(&graph, &modules, &report, None);
+    assert_eq!(state.paths().distances(), reference.paths().distances());
+    assert_eq!(state.paths().successors(), reference.paths().successors());
 }

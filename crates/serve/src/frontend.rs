@@ -2,10 +2,11 @@
 //! instances.
 
 use etx_fleet::{FleetRng, ScenarioSpec};
+use etx_graph::NodeId;
 use etx_sim::SimPool;
 
 use crate::publish::{EpochPublisher, PinnedSnapshot, SnapshotReader};
-use crate::query::{execute_on, QueryBatch, QueryOutput, QueryResult};
+use crate::query::{execute_on, Query, QueryBatch, QueryOutput, QueryResult};
 
 /// One served fabric: the reader half of its publisher plus the
 /// dimensions workload generators need.
@@ -14,6 +15,48 @@ struct FabricHandle {
     reader: SnapshotReader,
     nodes: usize,
     modules: usize,
+}
+
+/// Reusable per-shard buffers for [`FleetFrontend::execute_sharded`]:
+/// one result/arena slot per non-empty shard of the current batch, plus
+/// the shard partition of the sorted execution order. Everything is
+/// retained across batches, so the serial fallback (and each worker of
+/// the parallel fan-out) performs no steady-state heap allocation.
+#[derive(Debug, Default)]
+pub struct ShardWorkspace {
+    /// Slot `i` holds the output of the batch's `i`-th non-empty shard.
+    slots: Vec<ShardSlot>,
+    /// `(start, end)` ranges of the sorted order, one per non-empty
+    /// shard, in ascending shard order.
+    ranges: Vec<(usize, usize)>,
+    /// Cached host core count: `available_parallelism` reads cgroup
+    /// state on Linux (which allocates), so it is probed once per
+    /// workspace, not once per batch.
+    cores: Option<usize>,
+}
+
+impl ShardWorkspace {
+    /// Empty workspace; buffers grow on first use and are retained.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardWorkspace::default()
+    }
+
+    /// The cached worker bound (host cores, probed on first use).
+    fn cores(&mut self) -> usize {
+        *self.cores.get_or_insert_with(|| {
+            std::thread::available_parallelism().map_or(1, core::num::NonZeroUsize::get)
+        })
+    }
+}
+
+/// One shard's private output: results tagged with their submission
+/// index, and a shard-local path arena (ranges are shard-relative until
+/// the scatter rebases them).
+#[derive(Debug, Default)]
+struct ShardSlot {
+    results: Vec<(u32, QueryResult)>,
+    arena: Vec<NodeId>,
 }
 
 /// A read-side frontend over a fleet of fabrics: every fabric's routing
@@ -164,6 +207,148 @@ impl FleetFrontend {
             out.set(index, result);
         }
     }
+
+    /// [`FleetFrontend::execute`] with an `etx-par`-style fan-out across
+    /// the batch's shards. Shard runs touch disjoint fabrics and write
+    /// disjoint slots of `workspace`, so they parallelize without
+    /// coordination; the final scatter visits shards in ascending order,
+    /// rebases each shard's path-arena ranges onto the shared arena and
+    /// lands every answer at its submission index — the output
+    /// (results *and* arena bytes) is **identical** to [`execute`],
+    /// whatever the worker count. On a single core (or a single-shard
+    /// batch) the fan-out degrades to a serial loop over the same
+    /// per-shard slots, preserving the zero-allocation discipline: once
+    /// `workspace` is warm, no path of this call allocates.
+    ///
+    /// [`execute`]: FleetFrontend::execute
+    pub fn execute_sharded(
+        &self,
+        batch: &mut QueryBatch,
+        out: &mut QueryOutput,
+        workspace: &mut ShardWorkspace,
+    ) {
+        let shard_bound = self.shards.min(batch.len().max(1));
+        let threads = workspace.cores().min(shard_bound).max(1);
+        self.execute_sharded_with(batch, out, workspace, threads);
+    }
+
+    /// [`FleetFrontend::execute_sharded`] with an explicit worker count
+    /// (tests drive the parallel branch deterministically through this,
+    /// independent of the host's core count).
+    pub(crate) fn execute_sharded_with(
+        &self,
+        batch: &mut QueryBatch,
+        out: &mut QueryOutput,
+        workspace: &mut ShardWorkspace,
+        threads: usize,
+    ) {
+        batch.sort_for_execution(|fabric| self.shard_of(fabric));
+        out.reset(batch.len());
+        let order: &[u32] = &batch.order;
+        let queries = batch.queries();
+
+        // Partition the sorted order into per-shard contiguous ranges.
+        // The shard can only change where the fabric changes, so this
+        // costs one hash per fabric *group*, not per query.
+        workspace.ranges.clear();
+        let mut start = 0usize;
+        while start < order.len() {
+            let mut last_fabric = queries[order[start] as usize].fabric();
+            let shard = self.shard_of(last_fabric);
+            let mut end = start + 1;
+            while end < order.len() {
+                let fabric = queries[order[end] as usize].fabric();
+                if fabric != last_fabric {
+                    if self.shard_of(fabric) != shard {
+                        break;
+                    }
+                    last_fabric = fabric;
+                }
+                end += 1;
+            }
+            workspace.ranges.push((start, end));
+            start = end;
+        }
+        let shard_count = workspace.ranges.len();
+        if workspace.slots.len() < shard_count {
+            workspace.slots.resize_with(shard_count, ShardSlot::default);
+        }
+        // Result capacity is bounded by the batch length — a constant
+        // across same-sized batches — so reserving it here keeps shard
+        // size fluctuations from growing slots mid-flight.
+        for slot in &mut workspace.slots[..shard_count] {
+            slot.results.reserve(order.len());
+        }
+
+        if threads <= 1 || shard_count <= 1 {
+            for (i, &(s, e)) in workspace.ranges.iter().enumerate() {
+                self.run_shard(&order[s..e], queries, &mut workspace.slots[i]);
+            }
+        } else {
+            // Contiguous chunks of shards per worker (scoped threads, as
+            // in `etx_par::par_map`); each worker owns its slot slice.
+            std::thread::scope(|scope| {
+                let mut slots_rest: &mut [ShardSlot] = &mut workspace.slots[..shard_count];
+                let mut ranges_rest: &[(usize, usize)] = &workspace.ranges;
+                for chunk in etx_par::chunk_ranges(shard_count, threads) {
+                    let (slot_chunk, rest) = slots_rest.split_at_mut(chunk.len());
+                    slots_rest = rest;
+                    let (range_chunk, rest) = ranges_rest.split_at(chunk.len());
+                    ranges_rest = rest;
+                    scope.spawn(move || {
+                        for (&(s, e), slot) in range_chunk.iter().zip(slot_chunk) {
+                            self.run_shard(&order[s..e], queries, slot);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Scatter, in ascending shard order: rebase each shard's arena
+        // ranges onto the shared arena and write every answer at its
+        // submission index — byte-identical to the serial `execute`,
+        // which visits the shards in exactly this order.
+        for i in 0..shard_count {
+            let slot = &workspace.slots[i];
+            let base = out.arena_mut().len() as u32;
+            for &(index, result) in &slot.results {
+                let rebased = match result {
+                    QueryResult::Path { entry, nodes: (s, e) } => {
+                        QueryResult::Path { entry, nodes: (s + base, e + base) }
+                    }
+                    other => other,
+                };
+                out.set(index as usize, rebased);
+            }
+            out.arena_mut().extend_from_slice(&slot.arena);
+        }
+    }
+
+    /// Executes one shard's contiguous slice of the sorted order into
+    /// its private slot (the unit of the fan-out).
+    fn run_shard(&self, order: &[u32], queries: &[Query], slot: &mut ShardSlot) {
+        slot.results.clear();
+        slot.arena.clear();
+        let mut last_fabric: Option<u32> = None;
+        let mut pinned: Option<PinnedSnapshot> = None;
+        for &index in order {
+            let query = queries[index as usize];
+            let fabric = query.fabric();
+            if last_fabric != Some(fabric) {
+                last_fabric = Some(fabric);
+                pinned = self
+                    .fabrics
+                    .get(fabric as usize)
+                    .and_then(Option::as_ref)
+                    .map(|handle| handle.reader.pin());
+            }
+            let result = match &pinned {
+                Some(snapshot) => execute_on(snapshot, &query, &mut slot.arena),
+                None => QueryResult::UnknownFabric,
+            };
+            slot.results.push((index, result));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +413,52 @@ mod tests {
                 _ => assert_eq!(a, b),
             }
         }
+    }
+
+    /// Fills a batch covering every fabric with all three query kinds,
+    /// plus an unknown-fabric probe.
+    fn mixed_batch(frontend: &FleetFrontend) -> QueryBatch {
+        let mut batch = QueryBatch::new();
+        for f in 0..frontend.fabric_count() as u32 {
+            let nodes = frontend.node_count(f).unwrap_or(1);
+            for s in 0..nodes {
+                batch.push(Query::NextHop { fabric: f, source: NodeId::new(s), module: 0 });
+                batch.push(Query::Path { fabric: f, source: NodeId::new(s), module: 1 });
+                batch.push(Query::Cost {
+                    fabric: f,
+                    source: NodeId::new(s),
+                    target: NodeId::new((s + 1) % nodes),
+                });
+            }
+        }
+        batch.push(Query::Path { fabric: 99, source: NodeId::new(0), module: 0 });
+        batch
+    }
+
+    #[test]
+    fn sharded_execute_is_byte_identical_to_serial() {
+        // The fan-out's scatter must reproduce the serial output
+        // *exactly* — results and arena bytes — both on the serial
+        // fallback (threads=1) and across several forced worker counts
+        // (exercising the scoped-thread branch even on a 1-core host).
+        let frontend = smoke_frontend(3);
+        let mut batch = mixed_batch(&frontend);
+        let mut serial = QueryOutput::new();
+        frontend.execute(&mut batch, &mut serial);
+        let mut workspace = ShardWorkspace::new();
+        for threads in [1usize, 2, 3, 7] {
+            let mut sharded = QueryOutput::new();
+            frontend.execute_sharded_with(&mut batch, &mut sharded, &mut workspace, threads);
+            assert_eq!(serial.results(), sharded.results(), "{threads} workers");
+            for (a, b) in serial.results().iter().zip(sharded.results()) {
+                assert_eq!(serial.path_nodes(a), sharded.path_nodes(b), "{threads} workers");
+            }
+        }
+        // The public entry point picks its own worker count; output is
+        // the same either way.
+        let mut sharded = QueryOutput::new();
+        frontend.execute_sharded(&mut batch, &mut sharded, &mut workspace);
+        assert_eq!(serial.results(), sharded.results());
     }
 
     #[test]

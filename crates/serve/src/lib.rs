@@ -56,7 +56,7 @@ mod query;
 mod snapshot;
 mod workload;
 
-pub use frontend::FleetFrontend;
+pub use frontend::{FleetFrontend, ShardWorkspace};
 pub use publish::{EpochPublisher, PinnedSnapshot, SnapshotReader};
 pub use query::{Query, QueryBatch, QueryOutput, QueryResult};
 pub use snapshot::TableSnapshot;

@@ -214,7 +214,11 @@ mod tests {
             let (a_table, b_table) = (a_table.clone(), b_table.clone());
             std::thread::spawn(move || {
                 let mut pins = 0u64;
-                while stop.load(Ordering::Acquire) == 0 {
+                // Pin-then-check (not check-then-pin): on a loaded
+                // single-core host this thread may get its first
+                // timeslice only after the publisher finishes, and it
+                // must still observe at least one pin.
+                loop {
                     let pin = reader.pin();
                     // Every pin is exactly one of the two published
                     // tables — never a mix, never a partial rebuild.
@@ -225,6 +229,9 @@ mod tests {
                         pin.epoch()
                     );
                     pins += 1;
+                    if stop.load(Ordering::Acquire) != 0 {
+                        break;
+                    }
                 }
                 pins
             })

@@ -141,11 +141,13 @@ impl LoadReport {
 /// `frontend` and captures throughput plus tail latency.
 ///
 /// Per-query latency is attributed at batch granularity: a batch's
-/// service time is divided evenly over its queries (closed loop), and
-/// under [`LoadMode::Open`] each query's latency additionally includes
-/// the time it spent queued behind earlier batches relative to its
-/// scheduled arrival. Batch generation is excluded from the measured
-/// service time.
+/// service time is divided evenly over its queries. Under
+/// [`LoadMode::Open`] each query records *wait + service* — the time it
+/// spent queued behind earlier batches relative to its scheduled
+/// arrival, plus its service share — so percentiles stay meaningful
+/// even when service completes within the arrival tick (a pure
+/// finish-minus-arrival sojourn clamps to zero there). Batch generation
+/// is excluded from the measured service time.
 #[must_use]
 pub fn run_load(
     frontend: &FleetFrontend,
@@ -183,14 +185,22 @@ pub fn run_load(
             LoadMode::Open { rate_qps } => {
                 // Scheduled arrivals: query `i` of the run arrives at
                 // `i / rate`; the batch starts no earlier than both its
-                // first arrival and the previous batch's finish.
+                // first arrival and the previous batch's finish. Each
+                // query's sojourn is its queueing wait (time between its
+                // arrival and the batch start, zero when it arrived
+                // mid-batch) *plus* its service share — never clamped to
+                // zero: a query that completes within its arrival tick
+                // still pays its service time, which is what keeps the
+                // low percentiles meaningful at sub-saturation rates.
                 let inter_ns = 1e9 / rate_qps.max(1e-9);
                 let first_arrival = (queries as f64 * inter_ns) as u64;
                 let batch_start = finish_ns.max(first_arrival);
                 finish_ns = batch_start + service_ns;
+                let per_query = (service_ns / batch_len.max(1)).max(1);
                 for i in 0..batch_len {
                     let arrival = ((queries + i) as f64 * inter_ns) as u64;
-                    latency.observe(finish_ns.saturating_sub(arrival));
+                    let wait = batch_start.saturating_sub(arrival);
+                    latency.observe(wait + per_query);
                 }
             }
         }
@@ -252,6 +262,19 @@ mod tests {
         assert!(report.qps > 0.0);
         assert_eq!(report.latency.count(), report.queries);
         assert!(report.latency_ns(0.999) >= report.latency_ns(0.5));
+    }
+
+    #[test]
+    fn open_loop_percentiles_are_never_zero() {
+        // Sub-saturation arrivals: the service regularly completes
+        // within the arrival tick, the case that used to clamp the
+        // whole lower half of the distribution to 0 ns.
+        let frontend = tiny_frontend();
+        let mut generator =
+            WorkloadGen::new(WorkloadSpec { batch: 256, ..WorkloadSpec::default() });
+        let report = run_load(&frontend, &mut generator, LoadMode::Open { rate_qps: 1_000.0 }, 512);
+        assert!(report.latency_ns(0.5) > 0, "open-loop p50 clamped to zero");
+        assert!(report.latency_ns(0.5) <= report.latency_ns(0.99));
     }
 
     #[test]

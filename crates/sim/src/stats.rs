@@ -173,7 +173,8 @@ impl fmt::Display for SimReport {
         write!(
             f,
             "recompute paths: {} full, {} delta, {} repair \
-             ({} sources repaired, {} re-run); table: {} delta rebuilds, {} entries",
+             ({} sources repaired, {} re-run); table: {} delta rebuilds, {} entries; \
+             frame scans: {} O(K) skipped, {} nodes scanned",
             self.recompute.full_recomputes,
             self.recompute.delta_recomputes,
             self.recompute.repair_recomputes,
@@ -181,6 +182,8 @@ impl fmt::Display for SimReport {
             self.recompute.fallback_sources,
             self.recompute.table_delta_rebuilds,
             self.recompute.table_entries_rebuilt,
+            self.recompute.frames_oK_skipped,
+            self.recompute.nodes_scanned,
         )
     }
 }
@@ -241,6 +244,8 @@ mod tests {
                 fallback_sources: 3,
                 table_delta_rebuilds: 4,
                 table_entries_rebuilt: 60,
+                frames_oK_skipped: 5,
+                nodes_scanned: 70,
             },
             remaps: 0,
             frames: 5,
