@@ -249,10 +249,19 @@ pub struct RecomputeTally {
     pub repaired_sources: u128,
     /// Sources the repair pipeline re-ran in full.
     pub fallback_sources: u128,
+    /// Sources whose repair engaged the decrease half (revival,
+    /// reconnect, recharge) and was still patched in place.
+    pub decrease_repairs: u128,
+    /// Nodes improved (distance drops + achiever tie flips) across all
+    /// decrease-half repairs.
+    pub decrease_nodes_improved: u128,
     /// Recomputes whose phase 3 took the delta-aware row rebuild.
     pub table_delta_rebuilds: u128,
     /// `(node, module)` table entries refreshed across all recomputes.
     pub table_entries_rebuilt: u128,
+    /// The subset of `table_entries_rebuilt` refreshed by the `O(1)`
+    /// challenge patch instead of the `O(|S_i|)` duplicate re-scan.
+    pub table_cells_patched: u128,
     /// Recomputes that skipped every per-frame `O(K)` node scan (the
     /// changed-bitset frame feed maintained the gate inputs in
     /// `O(changed)`).
@@ -270,8 +279,11 @@ impl RecomputeTally {
         self.repair += u128::from(stats.repair_recomputes);
         self.repaired_sources += u128::from(stats.repaired_sources);
         self.fallback_sources += u128::from(stats.fallback_sources);
+        self.decrease_repairs += u128::from(stats.decrease_repairs);
+        self.decrease_nodes_improved += u128::from(stats.decrease_nodes_improved);
         self.table_delta_rebuilds += u128::from(stats.table_delta_rebuilds);
         self.table_entries_rebuilt += u128::from(stats.table_entries_rebuilt);
+        self.table_cells_patched += u128::from(stats.table_cells_patched);
         self.frames_ok_skipped += u128::from(stats.frames_oK_skipped);
         self.nodes_scanned += u128::from(stats.nodes_scanned);
     }
@@ -282,8 +294,11 @@ impl RecomputeTally {
         self.repair += other.repair;
         self.repaired_sources += other.repaired_sources;
         self.fallback_sources += other.fallback_sources;
+        self.decrease_repairs += other.decrease_repairs;
+        self.decrease_nodes_improved += other.decrease_nodes_improved;
         self.table_delta_rebuilds += other.table_delta_rebuilds;
         self.table_entries_rebuilt += other.table_entries_rebuilt;
+        self.table_cells_patched += other.table_cells_patched;
         self.frames_ok_skipped += other.frames_ok_skipped;
         self.nodes_scanned += other.nodes_scanned;
     }
@@ -372,14 +387,17 @@ impl FleetAggregate {
         // filter it out and diff the (byte-identical) rest.
         let _ = writeln!(
             out,
-            "  \"recompute\": {{\"full\": {}, \"delta\": {}, \"repair\": {}, \"repaired_sources\": {}, \"fallback_sources\": {}, \"table_delta_rebuilds\": {}, \"table_entries_rebuilt\": {}, \"frames_oK_skipped\": {}, \"nodes_scanned\": {}}},",
+            "  \"recompute\": {{\"full\": {}, \"delta\": {}, \"repair\": {}, \"repaired_sources\": {}, \"fallback_sources\": {}, \"decrease_repairs\": {}, \"decrease_nodes_improved\": {}, \"table_delta_rebuilds\": {}, \"table_entries_rebuilt\": {}, \"table_cells_patched\": {}, \"frames_oK_skipped\": {}, \"nodes_scanned\": {}}},",
             self.recompute.full,
             self.recompute.delta,
             self.recompute.repair,
             self.recompute.repaired_sources,
             self.recompute.fallback_sources,
+            self.recompute.decrease_repairs,
+            self.recompute.decrease_nodes_improved,
             self.recompute.table_delta_rebuilds,
             self.recompute.table_entries_rebuilt,
+            self.recompute.table_cells_patched,
             self.recompute.frames_ok_skipped,
             self.recompute.nodes_scanned,
         );
@@ -431,15 +449,20 @@ impl fmt::Display for FleetAggregate {
         )?;
         writeln!(
             f,
-            "recomputes: {} full, {} delta, {} repair ({} sources repaired, {} re-run); \
-             table: {} delta rebuilds, {} entries; frame scans: {} O(K) skipped, {} nodes",
+            "recomputes: {} full, {} delta, {} repair ({} sources repaired, {} re-run, \
+             {} decrease-repaired / {} nodes improved); \
+             table: {} delta rebuilds, {} entries ({} challenge-patched); \
+             frame scans: {} O(K) skipped, {} nodes",
             self.recompute.full,
             self.recompute.delta,
             self.recompute.repair,
             self.recompute.repaired_sources,
             self.recompute.fallback_sources,
+            self.recompute.decrease_repairs,
+            self.recompute.decrease_nodes_improved,
             self.recompute.table_delta_rebuilds,
             self.recompute.table_entries_rebuilt,
+            self.recompute.table_cells_patched,
             self.recompute.frames_ok_skipped,
             self.recompute.nodes_scanned,
         )?;

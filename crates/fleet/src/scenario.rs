@@ -13,8 +13,8 @@
 use etx_app::{AppSpec, ModuleSpec};
 use etx_routing::{Algorithm, RecomputeStrategy};
 use etx_sim::{
-    BatteryModel, FrameFeed, JobSource, MappingKind, ScriptedFailure, SimConfig, SimConfigBuilder,
-    TopologyKind,
+    BatteryModel, FrameFeed, JobSource, MappingKind, ScriptedFailure, ScriptedRevival, SimConfig,
+    SimConfigBuilder, TopologyKind,
 };
 use etx_units::{Cycles, Energy, Voltage};
 
@@ -186,6 +186,11 @@ pub struct ScenarioSpec {
     pub churn: (usize, usize),
     /// Scripted failures land uniformly in `[1, churn_horizon]` cycles.
     pub churn_horizon: u64,
+    /// Probability each scripted failure gets a matching scripted
+    /// *revival* (the node reconnects up to `churn_horizon` cycles after
+    /// it was ripped out). `0` disables (pure churn); a reviving fabric
+    /// exercises the router's decrease-repair path.
+    pub revival_fraction: f64,
     /// TDMA frame period range in cycles (the duty-cycle lever: longer
     /// frames mean rarer control traffic and staler routes).
     pub frame_period: (u64, u64),
@@ -216,6 +221,7 @@ impl Default for ScenarioSpec {
             heterogeneity: 0.3,
             churn: (0, 2),
             churn_horizon: 30_000,
+            revival_fraction: 0.0,
             frame_period: (512, 2_048),
             concurrent_jobs: (1, 3),
             broadcast_fraction: 0.3,
@@ -256,13 +262,38 @@ impl ScenarioSpec {
         }
     }
 
-    /// Looks up a named preset (`mixed`, `smoke`, `churn`).
+    /// The reconnect preset: the churn regime, but most ripped-out nodes
+    /// get re-seated later — every revival is a batch of weight
+    /// *decreases*, the regime the incremental decrease-repair path (and
+    /// the energy-harvesting roadmap) is built for. Fabrics start at
+    /// 7×7: the smallest size whose `Auto` backend resolves to Dijkstra,
+    /// so the repair pipeline (and its decrease half) actually runs
+    /// instead of Floyd–Warshall full recomputes.
+    ///
+    /// The horizon is deliberately short and the batteries deliberately
+    /// generous: a disconnect and its reconnect must *both* land well
+    /// inside the system lifetime, on warm repair trees, or the revival
+    /// never fires and the decrease path goes unexercised.
+    #[must_use]
+    pub fn reconnect() -> Self {
+        ScenarioSpec {
+            name: "reconnect".to_string(),
+            mesh_side: (7, 9),
+            battery_pj: (20_000.0, 30_000.0),
+            churn_horizon: 1_500,
+            revival_fraction: 0.8,
+            ..ScenarioSpec::churn()
+        }
+    }
+
+    /// Looks up a named preset (`mixed`, `smoke`, `churn`, `reconnect`).
     #[must_use]
     pub fn preset(name: &str) -> Option<Self> {
         match name.trim().to_ascii_lowercase().as_str() {
             "mixed" => Some(ScenarioSpec::default()),
             "smoke" => Some(ScenarioSpec::smoke()),
             "churn" => Some(ScenarioSpec::churn()),
+            "reconnect" => Some(ScenarioSpec::reconnect()),
             _ => None,
         }
     }
@@ -303,12 +334,25 @@ impl ScenarioSpec {
         } else {
             Vec::new()
         };
-        let failures = (0..rng.range_usize(self.churn.0..=self.churn.1))
+        let failures: Vec<ScriptedFailure> = (0..rng.range_usize(self.churn.0..=self.churn.1))
             .map(|_| ScriptedFailure {
                 at_cycle: rng.range_u64(1..=self.churn_horizon.max(1)),
                 node: rng.below(nodes as u64) as usize,
             })
             .collect();
+        // Only draw revival randomness when the dimension is open, so
+        // pure-churn specs sample identically with or without it.
+        let mut revivals = Vec::new();
+        if self.revival_fraction > 0.0 {
+            for f in &failures {
+                if rng.chance(self.revival_fraction) {
+                    revivals.push(ScriptedRevival {
+                        at_cycle: f.at_cycle + rng.range_u64(1..=self.churn_horizon.max(1)),
+                        node: f.node,
+                    });
+                }
+            }
+        }
         let frame_period = rng.range_u64(self.frame_period.0..=self.frame_period.1);
         let concurrent = rng.range_usize(self.concurrent_jobs.0..=self.concurrent_jobs.1);
         SimConfig::builder()
@@ -319,6 +363,7 @@ impl ScenarioSpec {
             .battery_capacity_picojoules(capacity)
             .capacity_profile(capacity_profile)
             .scripted_failures(failures)
+            .scripted_revivals(revivals)
             .app(app)
             .mapping(mapping)
             .source(source)
@@ -394,6 +439,9 @@ impl ScenarioSpec {
                 "churn_horizon" => {
                     spec.churn_horizon = value.parse().map_err(|_| bad("cycle count"))?;
                 }
+                "revival_fraction" => {
+                    spec.revival_fraction = value.parse().map_err(|_| bad("fraction"))?;
+                }
                 "frame_period" => {
                     spec.frame_period = parse_range(value).ok_or_else(|| bad("range"))?;
                 }
@@ -439,6 +487,7 @@ impl ScenarioSpec {
         let _ = writeln!(out, "heterogeneity = {}", self.heterogeneity);
         let _ = writeln!(out, "churn = {}..{}", self.churn.0, self.churn.1);
         let _ = writeln!(out, "churn_horizon = {}", self.churn_horizon);
+        let _ = writeln!(out, "revival_fraction = {}", self.revival_fraction);
         let _ = writeln!(out, "frame_period = {}..{}", self.frame_period.0, self.frame_period.1);
         let _ = writeln!(
             out,
@@ -491,6 +540,9 @@ impl ScenarioSpec {
         if self.churn.0 > self.churn.1 {
             return Err("churn range is empty".to_string());
         }
+        if !(0.0..=1.0).contains(&self.revival_fraction) {
+            return Err("revival_fraction must be in [0, 1]".to_string());
+        }
         Ok(())
     }
 }
@@ -521,7 +573,7 @@ mod tests {
 
     #[test]
     fn presets_pass_their_own_checks() {
-        for name in ["mixed", "smoke", "churn"] {
+        for name in ["mixed", "smoke", "churn", "reconnect"] {
             let spec = ScenarioSpec::preset(name).expect("preset exists");
             spec.check().expect("preset is well-formed");
             assert_eq!(spec.name, name);
@@ -551,10 +603,43 @@ mod tests {
     }
 
     #[test]
+    fn reconnect_preset_schedules_revivals() {
+        let spec = ScenarioSpec::reconnect();
+        let mut revived = 0usize;
+        for i in 0..16 {
+            let cfg = spec.sample(i).validate().expect("reconnect instances are valid");
+            for r in &cfg.scripted_revivals {
+                let failed = cfg.scripted_failures.iter().find(|f| f.node == r.node);
+                let failed = failed.expect("every revival reconnects a scripted failure");
+                assert!(r.at_cycle > failed.at_cycle, "revival precedes its failure");
+                revived += 1;
+            }
+        }
+        assert!(revived > 0, "reconnect preset never scheduled a revival");
+        // Scheduling is not enough: a revival landing after system death
+        // (or on cold trees) never reaches the router. Run a few
+        // instances end-to-end and demand the decrease half actually
+        // fired — this is the regime the preset exists to exercise.
+        let mut decrease_repairs = 0u64;
+        for i in 6..9 {
+            let report = spec.sample(i).build().expect("reconnect instances are valid").run();
+            decrease_repairs += report.recompute.decrease_repairs;
+        }
+        assert!(decrease_repairs > 0, "no reconnect instance hit the decrease-repair path");
+        // The pure-churn preset must keep sampling exactly as before the
+        // revival dimension existed (no extra rng draws).
+        let churn = ScenarioSpec::churn();
+        for i in 0..8 {
+            assert!(churn.sample(i).validate().unwrap().scripted_revivals.is_empty());
+        }
+    }
+
+    #[test]
     fn parse_roundtrip_and_errors() {
-        let spec = ScenarioSpec::churn();
-        let parsed = ScenarioSpec::parse(&spec.to_text()).expect("canonical text parses");
-        assert_eq!(spec, parsed);
+        for spec in [ScenarioSpec::churn(), ScenarioSpec::reconnect()] {
+            let parsed = ScenarioSpec::parse(&spec.to_text()).expect("canonical text parses");
+            assert_eq!(spec, parsed);
+        }
 
         let overridden =
             ScenarioSpec::parse("instances = 5 # inline comment\nmesh_side = 4\n# comment\n")

@@ -31,12 +31,21 @@
 //!   are recomputed by a heap pass restricted to the affected set, and a
 //!   post-pass in pop order restores `u*`-derived successors/parents.
 //!
-//! Weight **decreases** (a node revived, a link restored) can silently
-//! change `u*` for nodes whose *distance* does not change (a new achiever
-//! tie), so a decrease that could reach any settled node —
-//! `dist(u) + w_new ≤ dist(v)` — makes [`repair_source`] demand a full
-//! re-run of that source ([`RepairOutcome::Rerun`]). Irrelevant
-//! decreases are proven no-ops and cost `O(#deltas)`.
+//! Weight **decreases** (a node revived, a link restored, a battery
+//! recharged) are handled by a second half that runs after the increase
+//! phases: an *improvement propagation* Dijkstra seeded from every
+//! decreased edge whose head could get cheaper, relaxing globally (an
+//! improvement is not confined to any old subtree) and re-hanging each
+//! improved node under its new achiever through the explicit child
+//! links. Exact *ties* — `dist(u) + w_new = dist(v)` with `dist(v)`
+//! unchanged — can still flip the deterministic achiever `u*`; tie
+//! heads are enumerated from the changed edges and the improved tails
+//! (achiever sets only gain members there), their achievers re-derived,
+//! and every successor in the re-hung subtrees refreshed in `(dist,
+//! id)` order. Irrelevant decreases remain proven no-ops and cost
+//! `O(#deltas)`; [`RepairOutcome::Rerun`] is now reserved for the cost
+//! gate (combined increase + decrease frontier past
+//! `max_affected_fraction`) and cold trees, not for decreases per se.
 
 use crate::shortest::{pack_entry, unpack_entry};
 use crate::{AdjacencyList, DijkstraScratch, Matrix, NodeId, INFINITE_DISTANCE};
@@ -211,6 +220,23 @@ pub struct RepairScratch {
     stack: Vec<u32>,
     /// Repaired nodes in `(dist, id)` pop order.
     pops: Vec<u32>,
+    /// Decrease half: nodes whose distance improved (pop order), plus
+    /// tie heads whose achiever flipped (appended after the pops).
+    improved: Vec<u32>,
+    /// Decrease half: heads of exact-tie relaxations whose achiever set
+    /// may have gained a member (deduplicated lazily; false positives
+    /// cost one achiever scan each).
+    tie_heads: Vec<u32>,
+    /// Decrease half: nodes whose successor entry must be re-derived
+    /// (the improved/tie-flipped nodes and their whole subtrees).
+    succ_dirty: Vec<u32>,
+    /// Second stamp array for the decrease half (improvement-pop dedup,
+    /// then the successor-dirty subtree walk) — kept separate from
+    /// `affected` so the increase-phase marks survive for the final
+    /// touched-set merge.
+    marks2: Vec<u32>,
+    /// The stamp of the current `marks2` generation.
+    stamp2: u32,
 }
 
 impl RepairScratch {
@@ -227,6 +253,11 @@ impl RepairScratch {
     pub fn reserve_batch(&mut self, edges: usize) {
         self.increases.reserve(edges);
         self.decreases.reserve(edges);
+        // Tie candidates are recorded per relaxation: each node's
+        // out-edges are scanned at most twice in the decrease half
+        // (once when seeding from the increase-phase pops, once when
+        // popped as an improvement), so `2 * edges` bounds the pushes.
+        self.tie_heads.reserve(2 * edges);
     }
 
     /// Indexes one frame's delta batch into increase/decrease lists.
@@ -239,9 +270,11 @@ impl RepairScratch {
         self.decreases.reserve(deltas.len());
         // Per-source buffers hold at most one entry per node; reserving
         // the bound here keeps burst batches free of mid-flight growth.
-        self.touched.reserve(n);
+        self.touched.reserve(2 * n);
         self.stack.reserve(n);
         self.pops.reserve(n);
+        self.improved.reserve(n);
+        self.succ_dirty.reserve(n);
         for d in deltas {
             if d.is_increase() {
                 self.increases.push((d.to, d.from));
@@ -265,6 +298,22 @@ impl RepairScratch {
     #[must_use]
     pub fn touched_nodes(&self) -> &[u32] {
         &self.touched
+    }
+
+    /// The nodes whose distance improved — or whose exact-tie achiever
+    /// flipped — in the most recent [`repair_source`] call's decrease
+    /// half, always a subset of [`RepairScratch::touched_nodes`]. Valid
+    /// only when the last call returned [`RepairOutcome::Repaired`]
+    /// with `improved > 0` (a repair with no relevant decrease skips
+    /// the decrease half and leaves the buffer stale), until the next
+    /// call. The significance for downstream per-destination state:
+    /// between two frames, these are the **only** nodes whose key in a
+    /// min-distance competition can have gotten *better*, so a cached
+    /// competition winner that did not worsen can only be displaced by
+    /// one of them.
+    #[must_use]
+    pub fn improved_nodes(&self) -> &[u32] {
+        &self.improved
     }
 
     /// Starts a fresh affected-mark generation covering `n` nodes.
@@ -297,6 +346,37 @@ impl RepairScratch {
     fn is_affected(&self, v: usize) -> bool {
         self.affected[v] == self.stamp
     }
+
+    /// Starts a fresh generation of the decrease-half marks (`marks2`).
+    fn bump_stamp2(&mut self, n: usize) {
+        if self.marks2.len() != n {
+            self.marks2.clear();
+            self.marks2.resize(n, 0);
+            self.stamp2 = 0;
+        }
+        self.stamp2 = self.stamp2.wrapping_add(1);
+        if self.stamp2 == 0 {
+            self.marks2.fill(0);
+            self.stamp2 = 1;
+        }
+    }
+
+    /// Marks `v` in the current `marks2` generation. Returns `true`
+    /// when the mark is new.
+    fn mark2(&mut self, v: u32) -> bool {
+        let slot = &mut self.marks2[v as usize];
+        if *slot == self.stamp2 {
+            false
+        } else {
+            *slot = self.stamp2;
+            true
+        }
+    }
+
+    /// `true` when `v` carries the current `marks2` generation.
+    fn is_marked2(&self, v: usize) -> bool {
+        self.marks2[v] == self.stamp2
+    }
 }
 
 /// What [`repair_source`] did with one source.
@@ -307,13 +387,21 @@ pub enum RepairOutcome {
     Unchanged,
     /// The rows were repaired in place; `touched` nodes were recomputed.
     Repaired {
-        /// Number of nodes whose entries were recomputed.
+        /// Number of nodes whose entries were recomputed (increase
+        /// subtrees plus the decrease half's improved/re-hung nodes).
         touched: usize,
+        /// Of those, entries updated by the decrease half: distance
+        /// improvements plus achiever tie flips. Zero for pure-increase
+        /// batches.
+        improved: usize,
     },
-    /// The repair declined (relevant decrease, or the affected frontier
-    /// exceeded `max_affected_fraction`); the caller must re-run the
-    /// source in full via [`dijkstra_source_tree_into`]. Nothing was
-    /// touched.
+    /// The repair declined: the combined increase + decrease frontier
+    /// exceeded `max_affected_fraction`, or the batch predates the
+    /// stored trees. The caller must re-run the source in full via
+    /// [`dijkstra_source_tree_into`]. The increase gate fires before
+    /// any mutation; the decrease gate may abort mid-improvement and
+    /// leave the rows partially updated — the mandatory full re-run
+    /// overwrites every entry either way.
     Rerun,
 }
 
@@ -393,10 +481,13 @@ pub fn dijkstra_source_tree_into(
 /// already reflect the post-delta weights, while `dist_row`/`succ_row`
 /// and `trees` still hold the pre-delta solution this repair advances.
 ///
-/// `max_affected_fraction` is the repair-vs-rerun cost gate: when more
-/// than that fraction of the source's settled nodes is affected, the
-/// bookkeeping stops paying for itself and [`RepairOutcome::Rerun`] is
-/// returned with nothing touched.
+/// `max_affected_fraction` is the repair-vs-rerun cost gate, applied to
+/// the *combined* increase + decrease frontier: when more than that
+/// fraction of the source's settled nodes is affected by the increase
+/// subtrees plus the improvement propagation, the bookkeeping stops
+/// paying for itself and [`RepairOutcome::Rerun`] is returned (the
+/// increase gate declines before mutating; the decrease gate may abort
+/// mid-improvement — see [`RepairOutcome::Rerun`]).
 ///
 /// # Panics
 ///
@@ -419,15 +510,14 @@ pub fn repair_source(
     assert_eq!(trees.node_count(), n, "tree store does not cover the adjacency");
     let s = source.index();
 
-    // A decrease is relevant when it could improve — or *tie* — the path
-    // to any settled node; ties silently change the deterministic
-    // achiever, so exactness demands a full re-run of this source.
-    for d in &repair.decreases {
+    // A decrease is relevant when it could improve — or *tie* — the
+    // path to any settled node. Irrelevant decreases are proven no-ops
+    // against the (still exact) pre-repair rows; relevant ones engage
+    // the decrease half below the increase phases.
+    let any_relevant_decrease = repair.decreases.iter().any(|d| {
         let du = dist_row[d.from as usize];
-        if du.is_finite() && du + d.new <= dist_row[d.to as usize] {
-            return RepairOutcome::Rerun;
-        }
-    }
+        du.is_finite() && du + d.new <= dist_row[d.to as usize]
+    });
 
     let settled = trees.settled(s);
     let (parent_row, first_child_row, next_row, prev_row) = trees.link_rows_mut(s);
@@ -448,7 +538,7 @@ pub fn repair_source(
             repair.stack.push(to);
         }
     }
-    if repair.touched.is_empty() {
+    if repair.touched.is_empty() && !any_relevant_decrease {
         return RepairOutcome::Unchanged;
     }
     while let Some(v) = repair.stack.pop() {
@@ -555,10 +645,198 @@ pub fn repair_source(
 
     // Settled accounting: the unaffected nodes keep their reachability;
     // of the touched ones, exactly the repaired pops remain reachable.
-    let new_settled = settled - repair.touched.len() + repair.pops.len();
+    let mut new_settled = settled - repair.touched.len() + repair.pops.len();
+
+    // ===== Decrease half =====
+    let mut improved_total = 0usize;
+    if any_relevant_decrease {
+        // Phase E — seed the improvement heap. Improvements enter the
+        // row through (a) decreased edges whose head gets cheaper and
+        // (b) increase-phase pops whose distance *dropped* (Phase C
+        // relaxes post-delta weights, so a repaired node can come back
+        // cheaper through a decreased edge); their out-edges may now
+        // undercut neighbours outside the affected set, which the
+        // restricted Phase C never relaxed. Exact-tie relaxations are
+        // recorded as tie heads: achiever sets can only *gain* members
+        // at the heads of changed edges or cheaper tails, and a false
+        // positive costs one no-op achiever scan.
+        repair.improved.clear();
+        repair.tie_heads.clear();
+        repair.bump_stamp2(n);
+        heap.heap.clear();
+        for i in 0..repair.decreases.len() {
+            let d = repair.decreases[i];
+            let du = dist_row[d.from as usize];
+            if !du.is_finite() {
+                continue;
+            }
+            let nd = du + d.new;
+            let v = d.to as usize;
+            if nd < dist_row[v] {
+                if !dist_row[v].is_finite() {
+                    new_settled += 1;
+                }
+                dist_row[v] = nd;
+                heap.heap.push(core::cmp::Reverse(pack_entry(nd, v)));
+            } else if nd == dist_row[v] && v != s {
+                repair.tie_heads.push(d.to);
+            }
+        }
+        for i in 0..repair.pops.len() {
+            let u = repair.pops[i] as usize;
+            let du = dist_row[u];
+            for &(v, w) in adjacency.neighbors(u) {
+                let nd = du + w;
+                if nd < dist_row[v] {
+                    if !dist_row[v].is_finite() {
+                        new_settled += 1;
+                    }
+                    dist_row[v] = nd;
+                    heap.heap.push(core::cmp::Reverse(pack_entry(nd, v)));
+                } else if nd == dist_row[v] && v != s {
+                    repair.tie_heads.push(v as u32);
+                }
+            }
+        }
+
+        // Phase F — improvement Dijkstra with *global* relaxation: an
+        // improvement is not confined to any old subtree, so any node
+        // that gets cheaper joins the frontier. Pop order is `(dist,
+        // id)` ascending on final values, making every valid pop final.
+        while let Some(core::cmp::Reverse(entry)) = heap.heap.pop() {
+            let (du, u) = unpack_entry(entry);
+            if du > dist_row[u] || !repair.mark2(u as u32) {
+                continue; // stale or duplicate-key entry
+            }
+            repair.improved.push(u as u32);
+            // Combined-frontier cost gate. Unlike the increase gate
+            // this fires mid-repair: the rows are dirty, and the
+            // caller's mandatory full re-run rewrites them (see
+            // [`RepairOutcome::Rerun`]).
+            #[allow(clippy::cast_precision_loss)]
+            if (repair.touched.len() + repair.improved.len()) as f64
+                > max_affected_fraction * new_settled as f64
+            {
+                return RepairOutcome::Rerun;
+            }
+            for &(v, w) in adjacency.neighbors(u) {
+                let nd = du + w;
+                if nd < dist_row[v] {
+                    if !dist_row[v].is_finite() {
+                        new_settled += 1;
+                    }
+                    dist_row[v] = nd;
+                    heap.heap.push(core::cmp::Reverse(pack_entry(nd, v)));
+                } else if nd == dist_row[v] && v != s {
+                    // `u` got cheaper, so it may be a *new* achiever.
+                    repair.tie_heads.push(v as u32);
+                }
+            }
+        }
+
+        // Phase G — re-hang each improved node under its achiever
+        // (parents only; successors are derived in Phase I, once every
+        // parent is final).
+        for i in 0..repair.improved.len() {
+            let v = repair.improved[i] as usize;
+            let dv = dist_row[v];
+            let mut best: Option<(u64, usize)> = None;
+            for &(u, w) in in_adjacency.neighbors(v) {
+                let du = dist_row[u];
+                if du.is_finite() && du + w == dv && (du < dv || (du == dv && u < v)) {
+                    let key = (du.to_bits(), u);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            let u = best.expect("finite improved distance has an earlier achiever").1;
+            let old = parent_row[v];
+            if old != u as u32 {
+                if old != NO_PARENT {
+                    unlink_child(first_child_row, next_row, prev_row, old, v as u32);
+                }
+                parent_row[v] = u as u32;
+                link_child(first_child_row, next_row, prev_row, u as u32, v as u32);
+            }
+        }
+
+        // Phase H — exact-tie achiever flips. A tie head's distance is
+        // unchanged, but a changed edge or a cheaper tail may now be
+        // its min-(dist, id) achiever; re-derive and re-hang on a flip.
+        // Improved nodes are skipped (already exact); duplicate heads
+        // self-dedupe (the second scan finds the updated parent).
+        for i in 0..repair.tie_heads.len() {
+            let v = repair.tie_heads[i] as usize;
+            if repair.is_marked2(v) {
+                continue;
+            }
+            let dv = dist_row[v];
+            let mut best: Option<(u64, usize)> = None;
+            for &(u, w) in in_adjacency.neighbors(v) {
+                let du = dist_row[u];
+                if du.is_finite() && du + w == dv && (du < dv || (du == dv && u < v)) {
+                    let key = (du.to_bits(), u);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            let u = best.expect("a tie head keeps a finite distance and an achiever").1;
+            if parent_row[v] != u as u32 {
+                unlink_child(first_child_row, next_row, prev_row, parent_row[v], v as u32);
+                parent_row[v] = u as u32;
+                link_child(first_child_row, next_row, prev_row, u as u32, v as u32);
+                repair.improved.push(v as u32); // successor seed
+            }
+        }
+        improved_total = repair.improved.len();
+
+        // Phase I — successor refresh. A re-hung node changes the
+        // successor of its whole subtree (descendants keep parents but
+        // inherit the source-adjacent hop), so collect the subtree
+        // closure of every improved/flipped node and assign successors
+        // in `(dist, id)` order: a tree parent settles strictly before
+        // its child, so each node reads a final value from its parent.
+        repair.bump_stamp2(n);
+        repair.succ_dirty.clear();
+        repair.stack.clear();
+        for i in 0..repair.improved.len() {
+            let v = repair.improved[i];
+            if repair.mark2(v) {
+                repair.succ_dirty.push(v);
+                repair.stack.push(v);
+            }
+        }
+        while let Some(v) = repair.stack.pop() {
+            let mut child = first_child_row[v as usize];
+            while child != NO_PARENT {
+                if repair.mark2(child) {
+                    repair.succ_dirty.push(child);
+                    repair.stack.push(child);
+                }
+                child = next_row[child as usize];
+            }
+        }
+        repair.succ_dirty.sort_unstable_by_key(|&v| pack_entry(dist_row[v as usize], v as usize));
+        for i in 0..repair.succ_dirty.len() {
+            let v = repair.succ_dirty[i] as usize;
+            let p = parent_row[v] as usize;
+            succ_row[v] = if p == s { Some(NodeId::new(v)) } else { succ_row[p] };
+        }
+        // Merge into the touched set; the increase-phase marks in
+        // `affected` are still live, so the merge stays duplicate-free.
+        for i in 0..repair.succ_dirty.len() {
+            let v = repair.succ_dirty[i];
+            if repair.mark(v) {
+                repair.touched.push(v);
+            }
+        }
+    }
+
     trees.set_settled(s, new_settled as u32);
 
-    RepairOutcome::Repaired { touched: repair.touched.len() }
+    RepairOutcome::Repaired { touched: repair.touched.len(), improved: improved_total }
 }
 
 #[cfg(test)]
@@ -711,8 +989,8 @@ mod tests {
     }
 
     #[test]
-    fn irrelevant_decrease_is_unchanged_and_relevant_decrease_reruns() {
-        let w = graph_from(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
+    fn irrelevant_decrease_is_unchanged_and_exact_tie_repairs_in_place() {
+        let mut w = graph_from(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
         let mut solved = solve(&w);
         let mut heap = DijkstraScratch::new();
         let mut repair = RepairScratch::new();
@@ -730,20 +1008,63 @@ mod tests {
             0.75,
         );
         assert_eq!(outcome, RepairOutcome::Unchanged);
-        // 5.0 -> 2.0 ties the detour: the achiever may flip, so re-run.
-        repair.prepare(&[WeightDelta { from: 0, to: 2, old: 5.0, new: 2.0 }], 3);
-        let outcome = repair_source(
-            &solved.adjacency,
-            &solved.in_adjacency,
-            NodeId::new(0),
-            &mut heap,
-            &mut repair,
-            &mut solved.trees,
-            solved.dist.row_slice_mut(0),
-            solved.succ.row_slice_mut(0),
-            0.75,
-        );
-        assert_eq!(outcome, RepairOutcome::Rerun);
+        // 5.0 -> 2.0 ties the detour. The direct edge 0->2 becomes the
+        // min-(dist, id) achiever of node 2 (tail 0 settles first), so
+        // the successor must flip from "via 1" to "direct" — exactly
+        // the tie case that used to force a rerun.
+        let deltas = [WeightDelta { from: 0, to: 2, old: 5.0, new: 2.0 }];
+        repair_all_and_check(&mut w, &mut solved, &deltas);
+        assert_eq!(solved.succ[(0, 2)], Some(NodeId::new(2)), "achiever tie must flip to direct");
+    }
+
+    #[test]
+    fn decrease_repair_reroutes_outside_the_old_subtree() {
+        // 0 -> 1 -> 2 -> 3 costs 6; dropping the spur 0 -> 4 -> 3 to
+        // cost 3 improves node 3 (and nothing else) — an improvement
+        // that no increase-subtree walk would ever find.
+        let mut w =
+            graph_from(5, &[(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0), (0, 4, 9.0), (4, 3, 1.0)]);
+        let mut solved = solve(&w);
+        let deltas = [WeightDelta { from: 0, to: 4, old: 9.0, new: 2.0 }];
+        repair_all_and_check(&mut w, &mut solved, &deltas);
+        assert_eq!(solved.dist[(0, 3)], 3.0);
+        assert_eq!(solved.succ[(0, 3)], Some(NodeId::new(4)), "3 now routes via the spur");
+    }
+
+    #[test]
+    fn revival_decrease_restores_reachability() {
+        // Node 2 starts cut off (both incident edges absent); restoring
+        // them makes it reachable again purely through the decrease
+        // half, which must also grow the settled count.
+        let mut w = graph_from(4, &[(0, 1, 1.0), (1, 3, 4.0)]);
+        let mut solved = solve(&w);
+        assert_eq!(solved.trees.settled(0), 3);
+        let deltas = [
+            WeightDelta { from: 1, to: 2, old: INFINITE_DISTANCE, new: 1.0 },
+            WeightDelta { from: 2, to: 3, old: INFINITE_DISTANCE, new: 1.0 },
+        ];
+        repair_all_and_check(&mut w, &mut solved, &deltas);
+        assert_eq!(solved.trees.settled(0), 4);
+        assert_eq!(solved.dist[(0, 2)], 2.0);
+        assert_eq!(solved.dist[(0, 3)], 3.0, "3 reroutes through the revived node");
+    }
+
+    #[test]
+    fn mixed_increase_and_decrease_batch_is_exact() {
+        // The increase invalidates 1's subtree while the decrease opens
+        // a cheaper detour through 3 — the combined batch exercises the
+        // phase-C/decrease interaction (a repaired node coming back
+        // cheaper through a decreased edge).
+        let mut w =
+            graph_from(4, &[(0, 1, 1.0), (1, 2, 1.0), (0, 3, 5.0), (3, 2, 1.0), (3, 1, 1.0)]);
+        let mut solved = solve(&w);
+        let deltas = [
+            WeightDelta { from: 0, to: 1, old: 1.0, new: 6.0 },
+            WeightDelta { from: 0, to: 3, old: 5.0, new: 1.0 },
+        ];
+        repair_all_and_check(&mut w, &mut solved, &deltas);
+        assert_eq!(solved.dist[(0, 2)], 2.0);
+        assert_eq!(solved.dist[(0, 1)], 2.0, "1 reroutes through the cheaper spur");
     }
 
     #[test]

@@ -141,6 +141,19 @@ impl SystemReport {
         self.deadlocked[node.index()] = false;
     }
 
+    /// Marks `node` alive again at battery `level` (clamped to `N_B − 1`)
+    /// — a harvested/recharged battery climbing back over the voltage
+    /// cutoff, or a reconnected fabric segment reporting in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn revive(&mut self, node: NodeId, level: u32) {
+        self.alive[node.index()] = true;
+        self.battery[node.index()] = level.min(self.levels - 1);
+        self.deadlocked[node.index()] = false;
+    }
+
     /// `true` if `node` reported a job stuck past the deadlock threshold.
     ///
     /// # Panics
@@ -200,6 +213,18 @@ mod tests {
         assert!(!r.is_deadlocked(NodeId::new(1)));
         assert_eq!(r.live_count(), 1);
         assert_eq!(r.live_nodes().collect::<Vec<_>>(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn revive_restores_liveness_and_battery() {
+        let mut r = SystemReport::fresh(3, 16);
+        r.set_dead(NodeId::new(1));
+        assert_eq!(r.live_count(), 2);
+        r.revive(NodeId::new(1), 99);
+        assert!(r.is_alive(NodeId::new(1)));
+        assert_eq!(r.battery_level(NodeId::new(1)), 15, "level clamps to N_B - 1");
+        assert!(!r.is_deadlocked(NodeId::new(1)));
+        assert_eq!(r.live_count(), 3);
     }
 
     #[test]

@@ -624,7 +624,7 @@ impl Router {
         // when the table-delta gate holds, refreshing the affected rows
         // alone reproduces a full rebuild (this path re-solves whole
         // rows, so there is no per-module mask to exploit).
-        if self.table_delta_ok(module_nodes, report, frame, scratch, out) {
+        if self.table_delta_ok(module_nodes, report, frame, scratch, out, false) {
             let mut rebuilt = 0u64;
             if !scratch.dirty.is_empty() {
                 for s in 0..n {
@@ -691,16 +691,37 @@ impl Router {
             && scratch.in_adjacency.len() == n;
 
         // Stage 2 marks, per source, the modules whose table entries can
-        // change this frame; stage 3 reads the marks for the delta table
-        // rebuild. The key invariant: a `Repaired` outcome implies pure
-        // weight *increases* for that source, so distances only grow —
+        // change this frame. The key invariant: when a `Repaired`
+        // outcome involved no decrease-half work, distances only grew —
         // a candidate that was losing keeps losing, and the entry for
         // (source, module) can change only when its **current winning
-        // destination** is in the touched set. Re-run sources (decreases,
-        // gate trips, cold trees) get whole-row marks.
+        // destination** is in the touched set. A repair with
+        // improvements is the opposite: a losing candidate can *become*
+        // the winner — but only an **improved** one can, so the marked
+        // cells are challenged in place against the repair's improved
+        // set (see [`RoutingState::patch_table_row`]) instead of
+        // re-scanning every duplicate. Re-run sources (gate trips, cold
+        // trees) get whole-row marks for stage 3.
         scratch.row_mask.clear();
         scratch.row_mask.resize(n, 0);
         let m_count = module_nodes.len();
+
+        // The stage-3 feasibility check runs *before* stage 2 so each
+        // repaired source's marked cells can be patched inline, straight
+        // from the per-source improved list (the repair scratch is
+        // reused by the next source, so no per-source state survives the
+        // loop). Liveness flips mark the flipped node's own row for a
+        // whole-row re-solve; the flip's effect on *other* sources' rows
+        // rides the ordinary marks — a died duplicate worsens out of its
+        // cells (its row distances went infinite), a revived one
+        // improves into them (its row distances dropped from infinity,
+        // putting it in every repaired source's improved set).
+        let table_patchable = self.table_delta_ok(module_nodes, report, frame, scratch, out, true);
+        let masks_ok = scratch.dup_mask.len() == n
+            && m_count <= 64
+            && out.module_count() == m_count
+            && out.route_table().len() == n * m_count;
+        let (mut patched_entries, mut patched_full) = (0u64, 0u64);
 
         // An empty batch (deadlock-flag-only or remap-only frame) leaves
         // the rows valid as they stand and skips phase 2 entirely; cold
@@ -726,14 +747,11 @@ impl Router {
             }
             scratch.repair.reserve_batch(graph.edge_count());
             scratch.repair.prepare(&scratch.deltas, n);
-            let (paths, prev_table, prev_m) = out.paths_and_table_mut();
-            let masks_ok = scratch.dup_mask.len() == n
-                && m_count <= 64
-                && prev_m == m_count
-                && prev_table.len() == n * m_count;
             let (mut repaired, mut fallback) = (0u64, 0u64);
+            let (mut dec_repairs, mut dec_improved) = (0u64, 0u64);
             for s in 0..n {
                 let source = NodeId::new(s);
+                let (paths, prev_table, _) = out.paths_and_table_mut();
                 let (dist_row, succ_row) = paths.source_rows_mut(source);
                 let outcome = if trees_ok {
                     repair_source(
@@ -752,31 +770,74 @@ impl Router {
                 };
                 match outcome {
                     RepairOutcome::Unchanged => {}
-                    RepairOutcome::Repaired { .. } => {
-                        // Pure increases: an entry can change only when
-                        // its current winning destination was touched
-                        // (a losing candidate whose distance grew keeps
-                        // losing; an untouched winner keeps its exact
-                        // distance and successor bytes).
+                    RepairOutcome::Repaired { improved, .. } => {
                         let mut mask = u64::MAX;
                         if masks_ok {
                             mask = 0;
-                            for &t in scratch.repair.touched_nodes() {
-                                let mut bits = scratch.dup_mask[t as usize];
-                                while bits != 0 {
-                                    let module = bits.trailing_zeros() as usize;
-                                    bits &= bits - 1;
-                                    let winner = prev_table[s * m_count + module]
-                                        .as_ref()
-                                        .is_some_and(|e| e.destination.index() == t as usize);
-                                    if winner {
-                                        mask |= 1u64 << module;
+                            if improved == 0 {
+                                // Pure increases: an entry can change
+                                // only when its current winning
+                                // destination was touched (a losing
+                                // candidate whose distance grew keeps
+                                // losing; an untouched winner keeps its
+                                // exact distance and successor bytes).
+                                for &t in scratch.repair.touched_nodes() {
+                                    let mut bits = scratch.dup_mask[t as usize];
+                                    while bits != 0 {
+                                        let module = bits.trailing_zeros() as usize;
+                                        bits &= bits - 1;
+                                        let winner = prev_table[s * m_count + module]
+                                            .as_ref()
+                                            .is_some_and(|e| e.destination.index() == t as usize);
+                                        if winner {
+                                            mask |= 1u64 << module;
+                                        }
                                     }
+                                }
+                            } else {
+                                // The decrease half improved entries: a
+                                // touched duplicate may have *become*
+                                // the winner, so its module bits are
+                                // marked whether it currently wins or
+                                // not.
+                                for &t in scratch.repair.touched_nodes() {
+                                    mask |= scratch.dup_mask[t as usize];
                                 }
                             }
                         }
-                        scratch.row_mask[s] = mask;
                         repaired += 1;
+                        if improved > 0 {
+                            dec_repairs += 1;
+                            dec_improved += improved as u64;
+                        }
+                        if table_patchable && masks_ok && scratch.row_mask[s] != u64::MAX {
+                            // Inline stage 3: challenge-patch the
+                            // marked cells now, while the improved list
+                            // still belongs to this source.
+                            if mask != 0 {
+                                let improved_set: &[u32] = if improved > 0 {
+                                    scratch.repair.improved_nodes()
+                                } else {
+                                    &[]
+                                };
+                                let (cells, full) = out.patch_table_row(
+                                    s,
+                                    mask,
+                                    improved_set,
+                                    &scratch.dup_mask,
+                                    module_nodes,
+                                    &scratch.weights,
+                                    report,
+                                );
+                                patched_entries += cells;
+                                patched_full += full;
+                            }
+                        } else {
+                            // A liveness flip already marked this row
+                            // MAX, or stage 3 cannot patch: leave the
+                            // marks for the post-loop sweep.
+                            scratch.row_mask[s] |= mask;
+                        }
                     }
                     RepairOutcome::Rerun => {
                         dijkstra_source_tree_into(
@@ -797,16 +858,18 @@ impl Router {
             scratch.trees_valid = true;
             scratch.repaired_sources += repaired;
             scratch.fallback_sources += fallback;
+            scratch.decrease_repairs += dec_repairs;
+            scratch.decrease_nodes_improved += dec_improved;
         }
 
-        // Stage 3 — delta-aware table maintenance: when liveness,
-        // deadlock flags and placement are unchanged, only the entries
-        // whose distance-to-duplicate inputs were touched by stage 2 can
-        // differ from the previous table, so the paper's `O(K·Σ|S_i|)`
-        // rebuild shrinks to the changed entries alone. Any other frame
-        // (deaths, deadlock raise *or* clear, remap, cold cache)
-        // rebuilds in full.
-        if self.table_delta_ok(module_nodes, report, frame, scratch, out) {
+        // Stage 3 — delta-aware table maintenance for the rows the
+        // inline patch could not cover: re-run sources and liveness
+        // flips re-solve their whole row; leftover per-cell marks (a
+        // patchable frame whose duplicate masks were cold) re-pick just
+        // those entries. Deadlock raise *or* clear, remap and cold cache
+        // still rebuild in full — with those stable, the paper's
+        // `O(K·Σ|S_i|)` rebuild shrinks to the changed entries alone.
+        if table_patchable {
             let m = module_nodes.len();
             let mut rebuilt = 0u64;
             for s in 0..n {
@@ -827,7 +890,8 @@ impl Router {
                     }
                 }
             }
-            scratch.table_entries_rebuilt += rebuilt;
+            scratch.table_entries_rebuilt += rebuilt + patched_entries;
+            scratch.table_cells_patched += patched_entries - patched_full;
             scratch.table_delta_rebuilds += 1;
         } else {
             let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
@@ -881,27 +945,45 @@ impl Router {
         scratch.full_recomputes += 1;
     }
 
-    /// Whether stage 3 may refresh only the changed rows of `out`'s
+    /// Whether stage 3 may refresh only the changed entries of `out`'s
     /// table instead of rebuilding it: the cached table inputs must
-    /// describe the current call's placement, and neither liveness nor
-    /// deadlock flags may differ from the table build they describe —
-    /// those inputs feed *every* row, so any change forces a full
-    /// rebuild. Deadlock-free frames also never read `prev_hops`.
+    /// describe the current call's placement, and deadlock flags may
+    /// not differ from the table build they describe — deadlock
+    /// presence detours *every* row through `prev_hops`, so any change
+    /// forces a full rebuild. Deadlock-free frames also never read
+    /// `prev_hops`.
     ///
-    /// With a [`FrameMeta`] the whole decision is `O(changed)`: deadlock
-    /// presence and placement identity come from the engine's
+    /// Liveness transitions no longer gate to full on the repair path
+    /// (`patch_rows`, requires the per-node duplicate masks warm): a
+    /// changed node's own table row is marked for a whole-row re-solve
+    /// (`row_mask = MAX`), and that is all — the flip's effect on other
+    /// sources' entries travels through the repair marks, because a
+    /// died duplicate's row distances went infinite (its cells fail
+    /// the winner check and re-pick) and a revived one's dropped from
+    /// infinity (it lands in every repaired source's improved set and
+    /// challenges its cells). On the affected-sources path
+    /// (`patch_rows == false`, which rebuilds row-grain only and has
+    /// no repair marks), any liveness change still forces a full
+    /// rebuild.
+    ///
+    /// With a [`FrameMeta`] the whole decision is `O(changed)`:
+    /// deadlock presence and placement identity come from the engine's
     /// aggregates, and the liveness comparison is restricted to the
     /// changed nodes — a node outside the bitset contributed no
     /// transition, so its cached liveness entry still matches (the
-    /// [`FrameDelta`] soundness contract). Without one, the decision
-    /// falls back to the `O(K)` scan over the report.
+    /// [`FrameDelta`] soundness contract). Without one, deadlock
+    /// presence falls back to the `O(K)` scan over the report, while
+    /// the liveness comparison still needs only the dirty set: the
+    /// cached snapshot is re-anchored to the previous report every
+    /// frame, and the dirty set contains every node that changed since.
     fn table_delta_ok(
         &self,
         module_nodes: &[Vec<NodeId>],
         report: &SystemReport,
         frame: Option<FrameMeta>,
-        scratch: &RoutingScratch,
+        scratch: &mut RoutingScratch,
         out: &RoutingState,
+        patch_rows: bool,
     ) -> bool {
         let n = report.node_count();
         if !scratch.table_cache_valid
@@ -911,25 +993,32 @@ impl Router {
         {
             return false;
         }
-        match frame {
+        let structure_ok = match frame {
             Some(meta) => {
                 !meta.any_deadlock
                     && !meta.placement_changed
                     && scratch.prev_modules.len() == module_nodes.len()
-                    && scratch
-                        .dirty
-                        .iter()
-                        .all(|&d| report.is_alive(NodeId::new(d)) == scratch.prev_alive[d])
             }
             None => {
                 scratch.prev_modules.as_slice() == module_nodes
-                    && (0..n).all(|i| {
-                        let node = NodeId::new(i);
-                        !report.is_deadlocked(node)
-                            && report.is_alive(node) == scratch.prev_alive[i]
-                    })
+                    && (0..n).all(|i| !report.is_deadlocked(NodeId::new(i)))
+            }
+        };
+        if !structure_ok {
+            return false;
+        }
+        let masks_warm =
+            scratch.dup_mask.len() == n && module_nodes.len() <= 64 && scratch.row_mask.len() == n;
+        for idx in 0..scratch.dirty.len() {
+            let d = scratch.dirty[idx];
+            if report.is_alive(NodeId::new(d)) != scratch.prev_alive[d] {
+                if !patch_rows || !masks_warm {
+                    return false;
+                }
+                scratch.row_mask[d] = u64::MAX;
             }
         }
+        true
     }
 
     /// Records the table-relevant report state (liveness, deadlock
@@ -1171,8 +1260,9 @@ mod tests {
     fn steady_drain_rebuilds_only_changed_table_rows() {
         // 8x8 battery-only drain: liveness/deadlock/placement never
         // change, so stage 3 must take the delta row rebuild and touch
-        // far fewer rows than frames * K. A death frame then forces a
-        // full table rebuild (its liveness change invalidates every row).
+        // far fewer rows than frames * K. A death frame then patches
+        // incrementally too: the victim's own row plus the columns of
+        // the modules it duplicated, not the whole table.
         let graph = Mesh2D::square(8, cm(2.05)).to_graph();
         let k = graph.node_count();
         let modules: Vec<Vec<NodeId>> =
@@ -1211,19 +1301,33 @@ mod tests {
             stats.table_entries_rebuilt
         );
 
-        // Churn: a node death is a liveness change — full rebuild.
+        // Churn: a node death is a liveness change — the delta path now
+        // patches the victim's row plus its hosted-module columns
+        // instead of gating to a full rebuild.
         let victim = NodeId::new(9);
         report.set_dead(victim);
         let entries_before = scratch.table_entries_rebuilt();
         router.recompute_dirty_into(&graph, &modules, &report, &[victim], &mut scratch, &mut state);
-        assert_eq!(scratch.table_delta_rebuilds(), frames, "death frame must rebuild in full");
-        assert_eq!(scratch.table_entries_rebuilt(), entries_before + full_build);
+        let reference = router.compute(&graph, &modules, &report, None);
+        assert_eq!(state.route_table(), reference.route_table(), "death frame");
+        assert_eq!(
+            scratch.table_delta_rebuilds(),
+            frames + 1,
+            "death frame must take the delta path"
+        );
+        let death_entries = scratch.table_entries_rebuilt() - entries_before;
+        assert!(
+            death_entries < full_build,
+            "death frame rebuilt {death_entries} entries, expected fewer than {full_build}"
+        );
 
-        // The frame after the death is steady again: delta path resumes.
+        // The frame after the death is steady again: delta path continues.
         let node = NodeId::new(12);
         report.set_battery_level(node, report.battery_level(node).saturating_sub(1));
         router.recompute_dirty_into(&graph, &modules, &report, &[node], &mut scratch, &mut state);
-        assert_eq!(scratch.table_delta_rebuilds(), frames + 1);
+        let reference = router.compute(&graph, &modules, &report, None);
+        assert_eq!(state.route_table(), reference.route_table(), "post-death frame");
+        assert_eq!(scratch.table_delta_rebuilds(), frames + 2);
     }
 
     proptest! {

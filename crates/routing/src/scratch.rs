@@ -59,9 +59,20 @@ pub struct RecomputeStats {
     pub repair_recomputes: u64,
     /// Sources repaired in place across all repair recomputes.
     pub repaired_sources: u64,
-    /// Sources the repair pipeline re-ran in full (cost gate, relevant
-    /// weight decrease, or cold shortest-path trees).
+    /// Sources the repair pipeline re-ran in full. Since the
+    /// decrease-half repair landed, this no longer counts weight
+    /// decreases: a source falls back only when the combined
+    /// increase+decrease frontier exceeds the cost-gate fraction or the
+    /// shortest-path trees are cold (first frame, recycled scratch).
     pub fallback_sources: u64,
+    /// Sources whose repair engaged the decrease half: a relevant
+    /// weight *decrease* (revival, reconnect, recharge) repaired in
+    /// place by improvement propagation instead of a full rerun.
+    pub decrease_repairs: u64,
+    /// Row entries the decrease half updated across all repair
+    /// recomputes: distance improvements plus achiever tie flips and
+    /// their re-hung subtrees.
+    pub decrease_nodes_improved: u64,
     /// Recomputes whose phase 3 refreshed only the changed `(node,
     /// module)` entries instead of rebuilding the whole table.
     pub table_delta_rebuilds: u64,
@@ -69,6 +80,11 @@ pub struct RecomputeStats {
     /// full rebuild counts every entry, `K · modules`; a delta rebuild
     /// only the entries whose distance-to-duplicate inputs changed).
     pub table_entries_rebuilt: u64,
+    /// The subset of [`RecomputeStats::table_entries_rebuilt`] refreshed
+    /// by the `O(1)` challenge patch — the cached winner survived (or
+    /// improved) and only the repair's improved duplicates were
+    /// considered — instead of the `O(|S_i|)` duplicate re-scan.
+    pub table_cells_patched: u64,
     /// Recomputes that maintained the table-gate inputs (liveness
     /// snapshot, deadlock presence) in `O(changed)` from the frame's
     /// changed bitset, skipping the per-frame `O(K)` node scan entirely
@@ -163,10 +179,16 @@ pub struct RoutingScratch {
     pub(crate) repaired_sources: u64,
     /// Sources the repair pipeline re-ran in full.
     pub(crate) fallback_sources: u64,
+    /// Sources whose repair engaged the decrease half.
+    pub(crate) decrease_repairs: u64,
+    /// Row entries updated by the decrease half of the repair.
+    pub(crate) decrease_nodes_improved: u64,
     /// Recomputes whose phase 3 took the delta-aware entry rebuild.
     pub(crate) table_delta_rebuilds: u64,
     /// `(node, module)` table entries refreshed across all recomputes.
     pub(crate) table_entries_rebuilt: u64,
+    /// Table entries refreshed by the `O(1)` challenge patch.
+    pub(crate) table_cells_patched: u64,
     /// Recomputes that skipped every per-frame `O(K)` node scan.
     pub(crate) frames_ok_skipped: u64,
     /// Node states examined by per-frame bookkeeping (see
@@ -219,11 +241,28 @@ impl RoutingScratch {
         self.repaired_sources
     }
 
-    /// Sources the repair pipeline re-ran in full (cost gate, relevant
-    /// weight decrease, or cold trees).
+    /// Sources the repair pipeline re-ran in full. Decreases are
+    /// repaired in place since the improvement-propagation half landed;
+    /// fallback now means the combined increase+decrease frontier
+    /// exceeded the cost gate, or the shortest-path trees were cold
+    /// (first frame after a full recompute or a recycle).
     #[must_use]
     pub fn fallback_sources(&self) -> u64 {
         self.fallback_sources
+    }
+
+    /// Sources whose repair engaged the decrease half (a relevant
+    /// weight decrease handled in place).
+    #[must_use]
+    pub fn decrease_repairs(&self) -> u64 {
+        self.decrease_repairs
+    }
+
+    /// Row entries the decrease half updated (improvements + tie flips
+    /// and their re-hung subtrees) across all repair recomputes.
+    #[must_use]
+    pub fn decrease_nodes_improved(&self) -> u64 {
+        self.decrease_nodes_improved
     }
 
     /// Recomputes through this scratch whose phase 3 refreshed only the
@@ -238,6 +277,14 @@ impl RoutingScratch {
     #[must_use]
     pub fn table_entries_rebuilt(&self) -> u64 {
         self.table_entries_rebuilt
+    }
+
+    /// The subset of [`RoutingScratch::table_entries_rebuilt`] refreshed
+    /// by the `O(1)` challenge patch instead of the `O(|S_i|)` duplicate
+    /// re-scan (see [`RecomputeStats::table_cells_patched`]).
+    #[must_use]
+    pub fn table_cells_patched(&self) -> u64 {
+        self.table_cells_patched
     }
 
     /// Recomputes through this scratch that maintained the table-gate
@@ -263,8 +310,11 @@ impl RoutingScratch {
             repair_recomputes: self.repair_recomputes,
             repaired_sources: self.repaired_sources,
             fallback_sources: self.fallback_sources,
+            decrease_repairs: self.decrease_repairs,
+            decrease_nodes_improved: self.decrease_nodes_improved,
             table_delta_rebuilds: self.table_delta_rebuilds,
             table_entries_rebuilt: self.table_entries_rebuilt,
+            table_cells_patched: self.table_cells_patched,
             frames_oK_skipped: self.frames_ok_skipped,
             nodes_scanned: self.nodes_scanned,
         }
@@ -286,8 +336,11 @@ impl RoutingScratch {
         self.repair_recomputes = 0;
         self.repaired_sources = 0;
         self.fallback_sources = 0;
+        self.decrease_repairs = 0;
+        self.decrease_nodes_improved = 0;
         self.table_delta_rebuilds = 0;
         self.table_entries_rebuilt = 0;
+        self.table_cells_patched = 0;
         self.frames_ok_skipped = 0;
         self.nodes_scanned = 0;
     }

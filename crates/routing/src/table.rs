@@ -268,6 +268,178 @@ impl RoutingState {
         );
     }
 
+    /// Patches the masked entries of one node's table row against the
+    /// just-repaired phase-2 rows by *challenging* the cached winners,
+    /// in `O(marked · |improved|)` comparisons instead of the
+    /// `O(marked · |S_i|)` duplicate re-scan of
+    /// [`RoutingState::rebuild_table_cell`] — the churn-frame half of
+    /// the delta-aware stage 3, where the marked duplicates vastly
+    /// outnumber the improved ones.
+    ///
+    /// Soundness leans on the repair contract. Between two
+    /// deadlock-free, placement-stable frames a `(node, module)` entry
+    /// can change hands in exactly two ways:
+    ///
+    /// * the cached winner **worsened** — its distance grew, became
+    ///   infinite, or the duplicate died — so a previously-losing
+    ///   candidate may take over and the cell needs the full duplicate
+    ///   re-scan (a died duplicate shows up here too: a dead node's
+    ///   row distance is infinite);
+    /// * some candidate's key got **better** — its distance shrank
+    ///   (revived duplicates included: their distance drops from
+    ///   infinity) — and every such node is in the repair's improved
+    ///   set by construction, so challenging the improved duplicates
+    ///   alone is exhaustive. A candidate whose distance grew keeps
+    ///   losing; one whose key is unchanged already lost to the
+    ///   cached winner's (unworsened) key.
+    ///
+    /// The winner check is `O(1)` because the stored entry keeps the
+    /// previous frame's distance: comparing it against the current row
+    /// separates "kept or improved" (refresh the fields in place — an
+    /// exact-tie achiever flip keeps the distance but can re-hang the
+    /// successor) from "worsened" (full re-pick). The tie-break mirrors
+    /// [`fill_table_cell`]'s `(distance, lower destination id)` order
+    /// bit for bit.
+    ///
+    /// Only sound on deadlock-free frames (no `prev_hops` detour), like
+    /// the cell rebuild it specialises. `improved` must hold the
+    /// repair's improved set for this node's source row; bit `i` of
+    /// `dup_mask[x]` says node `x` hosts module `i`.
+    ///
+    /// Returns `(entries touched, entries that needed the full
+    /// re-scan)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was not previously built for
+    /// (`node_count`, `module_nodes.len()`) dimensions.
+    #[allow(clippy::too_many_arguments)] // the Fig-6 input set plus the repair's delta feed
+    pub(crate) fn patch_table_row(
+        &mut self,
+        node_idx: usize,
+        mut mask: u64,
+        improved: &[u32],
+        dup_mask: &[u64],
+        module_nodes: &[Vec<NodeId>],
+        weights: &Matrix<f64>,
+        report: &SystemReport,
+    ) -> (u64, u64) {
+        let m = module_nodes.len();
+        assert_eq!(m, self.modules, "table was built for a different module count");
+        let node = NodeId::new(node_idx);
+        let (mut touched, mut full) = (0u64, 0u64);
+        if !report.is_alive(node) {
+            // Dead origins own all-`None` rows (the router marks a
+            // liveness flip's own row for a whole-row rebuild, so this
+            // is defensive, not load-bearing).
+            while mask != 0 {
+                let module = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                touched += 1;
+                self.table[node_idx * m + module] = None;
+            }
+            return (touched, full);
+        }
+        while mask != 0 {
+            let module = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            touched += 1;
+            let slot_idx = node_idx * m + module;
+            // O(1) winner check: did the cached winner worsen?
+            let kept: Option<RouteEntry> = match self.table[slot_idx] {
+                // An empty cell has no winner to lose; only improved
+                // candidates can fill it, and the challenge loop below
+                // considers exactly those.
+                None => None,
+                Some(e) if e.destination == node => Some(e), // self-hosting: 0 cannot worsen
+                Some(e) => {
+                    if report.is_alive(e.destination) {
+                        match self.paths.distance(node, e.destination) {
+                            Some(d) if d <= e.distance => {
+                                let next_hop = self
+                                    .paths
+                                    .successor(node, e.destination)
+                                    .expect("finite distance implies a successor");
+                                Some(RouteEntry {
+                                    destination: e.destination,
+                                    next_hop,
+                                    distance: d,
+                                })
+                            }
+                            _ => {
+                                // Worsened or unreachable: re-pick.
+                                full += 1;
+                                fill_table_cell(
+                                    &self.paths,
+                                    &mut self.table[slot_idx],
+                                    node_idx,
+                                    module,
+                                    &module_nodes[module],
+                                    weights,
+                                    report,
+                                    None,
+                                    m,
+                                );
+                                continue;
+                            }
+                        }
+                    } else {
+                        full += 1;
+                        fill_table_cell(
+                            &self.paths,
+                            &mut self.table[slot_idx],
+                            node_idx,
+                            module,
+                            &module_nodes[module],
+                            weights,
+                            report,
+                            None,
+                            m,
+                        );
+                        continue;
+                    }
+                }
+            };
+            // Challenge round: only the improved duplicates can beat a
+            // kept winner (or fill an empty cell).
+            let mut best = kept;
+            let module_bit = 1u64 << module;
+            for &x in improved {
+                let dest = NodeId::new(x as usize);
+                if dup_mask[x as usize] & module_bit == 0
+                    || !report.is_alive(dest)
+                    || best.is_some_and(|b| b.destination == dest)
+                {
+                    continue;
+                }
+                let candidate = if dest == node {
+                    RouteEntry { destination: dest, next_hop: node, distance: 0.0 }
+                } else {
+                    let Some(distance) = self.paths.distance(node, dest) else {
+                        continue;
+                    };
+                    let Some(next_hop) = self.paths.successor(node, dest) else {
+                        continue;
+                    };
+                    RouteEntry { destination: dest, next_hop, distance }
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        candidate.distance < b.distance
+                            || (candidate.distance == b.distance
+                                && candidate.destination < b.destination)
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            self.table[slot_idx] = best;
+        }
+        (touched, full)
+    }
+
     /// Number of nodes covered.
     #[must_use]
     pub fn node_count(&self) -> usize {

@@ -30,19 +30,18 @@ fn report_from(levels: &[u32], dead: &[bool], deadlocked: &[bool], k: usize) -> 
     report
 }
 
-/// One random mutation step applied to a report: drains, deaths, and
-/// deadlock toggles. (`SystemReport` cannot revive a node in place;
-/// dead→alive transitions are covered separately by
-/// `delta_recompute_equals_full_across_independent_reports`, which feeds
-/// unrelated reports into `recompute_into`.)
+/// One random mutation step applied to a report: drains, deaths, deadlock
+/// toggles, and revivals (dead→alive transitions — weight *decreases* the
+/// repair pipeline now patches in place instead of re-running).
 fn apply_diff(report: &mut SystemReport, ops: &[(u8, usize, u32)]) {
     let k = report.node_count();
     for &(kind, node, value) in ops {
         let node = NodeId::new(node % k);
-        match kind % 4 {
+        match kind % 5 {
             0 => report.set_battery_level(node, value % 16),
             1 => report.set_dead(node),
             2 if report.is_alive(node) => report.set_deadlocked(node, value % 2 == 0),
+            3 if !report.is_alive(node) => report.revive(node, value % 16),
             _ => {} // no-op step: recompute with an unchanged report
         }
     }
@@ -115,7 +114,7 @@ proptest! {
         levels in proptest::collection::vec(0u32..16, 8),
         dead in proptest::collection::vec(any::<bool>(), 5),
         diffs in proptest::collection::vec(
-            proptest::collection::vec((0u8..4, 0usize..64, 0u32..32), 0..4),
+            proptest::collection::vec((0u8..5, 0usize..64, 0u32..32), 0..4),
             1..6
         ),
     ) {
@@ -158,7 +157,7 @@ proptest! {
         ],
         levels in proptest::collection::vec(0u32..16, 8),
         diffs in proptest::collection::vec(
-            proptest::collection::vec((0u8..4, 0usize..64, 0u32..32), 0..4),
+            proptest::collection::vec((0u8..5, 0usize..64, 0u32..32), 0..4),
             1..6
         ),
     ) {
@@ -214,7 +213,7 @@ proptest! {
         ],
         levels in proptest::collection::vec(0u32..16, 8),
         diffs in proptest::collection::vec(
-            proptest::collection::vec((0u8..4, 0usize..64, 0u32..32), 0..4),
+            proptest::collection::vec((0u8..5, 0usize..64, 0u32..32), 0..4),
             1..6
         ),
     ) {
@@ -273,9 +272,9 @@ proptest! {
 
     /// The incremental repair stays exact when consecutive reports are
     /// built *independently* — including disconnect/reconnect
-    /// transitions (nodes flipping dead→alive revive edges, the decrease
-    /// case that forces per-source re-runs) and mass changes that trip
-    /// the dirty-fraction fallback.
+    /// transitions (nodes flipping dead→alive revive edges, weight
+    /// decreases the repair's improvement pass patches in place) and
+    /// mass changes that trip the combined-frontier fallback.
     #[test]
     fn repair_equals_full_across_disconnect_reconnect(
         side in 2usize..8,
@@ -307,11 +306,164 @@ proptest! {
         }
     }
 
+    /// Decrease-heavy chains — revive the dead at the ambient battery
+    /// level (every restored edge exactly ties the uniform mesh around
+    /// it), trickle-charge weak nodes, then disconnect again — are
+    /// repaired **in place** on warm trees: bit-exact vs a `Full`
+    /// reference (distances AND successors), with the decrease half
+    /// engaged and zero per-source fallback re-runs. (Recharging a node
+    /// that *carries* traffic strictly improves its whole shortest-path
+    /// subtree, a legitimately large frontier the gate may decline —
+    /// that regime rides through `strategies_equal_full_over_drain_and_churn`;
+    /// this chain pins the regimes where repair must never fall back.)
+    #[test]
+    fn decrease_chains_repair_in_place_bit_exact(
+        side in 5usize..8,
+        algorithm in prop_oneof![Just(Algorithm::Ear), Just(Algorithm::Sdr)],
+        victims in proptest::collection::vec(0usize..64, 1..3),
+        pulses in proptest::collection::vec(0usize..64, 1..4),
+    ) {
+        let router = Router::new(algorithm)
+            .with_backend(PathBackend::DijkstraAllPairs)
+            .with_strategy(RecomputeStrategy::IncrementalRepair);
+        let reference_router = Router::new(algorithm)
+            .with_backend(PathBackend::DijkstraAllPairs)
+            .with_strategy(RecomputeStrategy::Full);
+        let graph = mesh_graph(side);
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+        let victims: Vec<usize> = victims.iter().map(|&v| v % k).collect();
+        // Trickle targets: weak cells (level 1 in a level-7 fleet) carry
+        // no through-traffic, so a +1 pulse improves only their own
+        // distance — the harvesting regime this PR exists for.
+        let pulses: Vec<usize> =
+            pulses.iter().map(|&p| p % k).filter(|p| !victims.contains(p)).collect();
+
+        let mut report = SystemReport::fresh(k, 16);
+        for i in 0..k {
+            report.set_battery_level(NodeId::new(i), 7);
+        }
+        for &p in &pulses {
+            report.set_battery_level(NodeId::new(p), 1);
+        }
+        for &v in &victims {
+            report.set_dead(NodeId::new(v));
+        }
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+
+        // Warmup: the first delta frame after a full recompute re-runs
+        // every source once to record trees, and the change must be
+        // structural so SDR (whose weights ignore batteries) sees a
+        // non-empty delta stream. Blink one bystander dead and back so
+        // the chain below runs entirely on warm trees in both
+        // algorithms, from the exact pre-blink report.
+        let warm = (0..k).find(|i| !victims.contains(i) && !pulses.contains(i)).unwrap();
+        report.set_dead(NodeId::new(warm));
+        router.recompute_dirty_into(
+            &graph,
+            &modules,
+            &report,
+            &[NodeId::new(warm)],
+            &mut scratch,
+            &mut state,
+        );
+        report.revive(NodeId::new(warm), 7);
+        router.recompute_dirty_into(
+            &graph,
+            &modules,
+            &report,
+            &[NodeId::new(warm)],
+            &mut scratch,
+            &mut state,
+        );
+        let baseline = scratch.stats();
+
+        // Frame 0: revive every victim at the ambient level (exact ties).
+        // Frames 1..: one +1 trickle pulse per frame (strict decreases).
+        // Last frame: disconnect the first victim again (pure increase).
+        let mut frames: Vec<Vec<(usize, Option<u32>)>> = Vec::new();
+        frames.push(victims.iter().map(|&v| (v, Some(7))).collect());
+        for &p in &pulses {
+            frames.push(vec![(p, Some(2))]);
+        }
+        frames.push(vec![(victims[0], None)]);
+
+        let mut decreases_after_revival = 0;
+        let mut fallbacks_after_revival = 0;
+        let mut fallbacks_before_disconnect = 0;
+        for (fi, frame) in frames.iter().enumerate() {
+            let old_report = report.clone();
+            let previous = state.clone();
+            for &(node, level) in frame {
+                let node = NodeId::new(node);
+                match level {
+                    Some(level) if report.is_alive(node) => report.set_battery_level(node, level),
+                    Some(level) => report.revive(node, level),
+                    None => report.set_dead(node),
+                }
+            }
+            let dirty: Vec<NodeId> = (0..k)
+                .map(NodeId::new)
+                .filter(|&n| {
+                    report.battery_level(n) != old_report.battery_level(n)
+                        || report.is_alive(n) != old_report.is_alive(n)
+                })
+                .collect();
+            router.recompute_dirty_into(&graph, &modules, &report, &dirty, &mut scratch, &mut state);
+            let reference = reference_router.compute(&graph, &modules, &report, Some(&previous));
+            prop_assert_eq!(&state, &reference, "frame {} of chain on side {}", fi, side);
+            if fi == 0 {
+                decreases_after_revival =
+                    scratch.stats().decrease_repairs - baseline.decrease_repairs;
+                fallbacks_after_revival = scratch.stats().fallback_sources;
+                // Revival may re-run a *few* sources: the revived source
+                // itself resettles its entire row, and a victim whose
+                // death forced traffic through an expensive weak cell
+                // reroutes a whole region on its return — in both cases
+                // the frontier gate's decline is the cheap call. Repair
+                // in place must still be the common case.
+                let repaired_delta =
+                    scratch.stats().repaired_sources - baseline.repaired_sources;
+                prop_assert!(
+                    repaired_delta > fallbacks_after_revival - baseline.fallback_sources,
+                    "revival mostly fell back instead of repairing: {:?}",
+                    scratch.stats()
+                );
+            }
+            if fi + 2 == frames.len() {
+                fallbacks_before_disconnect = scratch.stats().fallback_sources;
+            }
+        }
+        let stats = scratch.stats();
+        prop_assert!(decreases_after_revival > 0, "revival never engaged the decrease half");
+        // Battery pulses only move EAR weights; under SDR the trickle
+        // frames are no-op deltas by design.
+        prop_assert!(
+            algorithm == Algorithm::Sdr
+                || pulses.is_empty()
+                || stats.decrease_repairs - baseline.decrease_repairs > decreases_after_revival,
+            "trickle pulses never engaged the decrease half: {:?}",
+            stats
+        );
+        // Trickle frames must never fall back: warm trees absorb every
+        // +1 pulse in place. (The final disconnect is the increase
+        // half's regime — a newly dead source re-runs by design — so the
+        // zero-fallback window closes just before it.)
+        prop_assert_eq!(
+            fallbacks_before_disconnect,
+            fallbacks_after_revival,
+            "warm trees must not fall back on trickle pulses: {:?}",
+            stats
+        );
+        prop_assert_eq!(stats.repair_recomputes, (frames.len() + 2) as u64);
+    }
+
     /// Delta recompute stays exact when consecutive reports are built
     /// *independently* — including nodes flipping dead→alive between
-    /// frames (impossible via in-place `SystemReport` mutation but legal
-    /// through the public `recompute_into` API), and mass changes that
-    /// trip the dirty-fraction fallback.
+    /// frames — and under mass changes that trip the dirty-fraction
+    /// fallback.
     #[test]
     fn delta_recompute_equals_full_across_independent_reports(
         side in 2usize..8,

@@ -219,4 +219,47 @@ fn steady_state_recompute_does_not_allocate() {
     let reference = router.compute(&graph, &modules, &report, None);
     assert_eq!(state.paths().distances(), reference.paths().distances());
     assert_eq!(state.paths().successors(), reference.paths().successors());
+
+    // The decrease half holds the guarantee too: alternating drain and
+    // recharge frames keep the improvement heap, the child-link walks
+    // and the succ-dirty DFS inside recycled buffers. The recharges are
+    // genuine weight decreases, so `decrease_repairs` must advance while
+    // the allocation counter stands still.
+    let pulse_frame = |frame: usize,
+                       report: &mut SystemReport,
+                       bits: &mut NodeBitset,
+                       scratch: &mut RoutingScratch,
+                       state: &mut RoutingState| {
+        let node = NodeId::new((frame * 5 + 2) % k);
+        let level = report.battery_level(node);
+        let level =
+            if frame.is_multiple_of(2) { level.saturating_sub(1) } else { (level + 1).min(15) };
+        report.set_battery_level(node, level);
+        bits.clear();
+        bits.insert(node);
+        router.recompute_frame_into(
+            &graph,
+            &modules,
+            report,
+            FrameDelta { changed: bits, any_deadlock: false, placement_changed: false },
+            scratch,
+            state,
+        );
+    };
+    for frame in 0..8 {
+        pulse_frame(frame, &mut report, &mut bits, &mut scratch, &mut state);
+    }
+    let decreases_before = scratch.decrease_repairs();
+    let before = allocations();
+    for frame in 8..40 {
+        pulse_frame(frame, &mut report, &mut bits, &mut scratch, &mut state);
+    }
+    assert_eq!(allocations() - before, 0, "decrease-repair frames allocated");
+    assert!(
+        scratch.decrease_repairs() > decreases_before,
+        "recharge pulses never engaged the decrease half"
+    );
+    let reference = router.compute(&graph, &modules, &report, None);
+    assert_eq!(state.paths().distances(), reference.paths().distances());
+    assert_eq!(state.paths().successors(), reference.paths().successors());
 }

@@ -241,6 +241,20 @@ pub struct ScriptedFailure {
     pub node: usize,
 }
 
+/// One scripted node revival: at cycle `at_cycle`, node `node` is
+/// reconnected to the fabric (re-seated connector, re-stitched trace) if a
+/// scripted failure had ripped it out. The battery rode along untouched
+/// while disconnected, so the node reports back in with whatever charge it
+/// still holds; reviving a node that is live, or whose *battery* died, is
+/// a no-op. This is the reconnect lever fleet churn scenarios sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedRevival {
+    /// Simulation cycle at which the node reconnects.
+    pub at_cycle: u64,
+    /// Dense node index of the reconnecting node.
+    pub node: usize,
+}
+
 /// Errors raised while assembling a [`Simulation`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -328,6 +342,10 @@ pub struct SimConfig {
     /// simulation clock reaches each entry's cycle. Order is irrelevant;
     /// the engine sorts a copy. Empty by default.
     pub scripted_failures: Vec<ScriptedFailure>,
+    /// Scripted node revivals (reconnect injection), applied when the
+    /// simulation clock reaches each entry's cycle. Order is irrelevant;
+    /// the engine sorts a copy. Empty by default.
+    pub scripted_revivals: Vec<ScriptedRevival>,
     /// Routing algorithm (EAR or SDR).
     pub algorithm: Algorithm,
     /// How the controller recomputes routes between TDMA frames. Every
@@ -517,6 +535,7 @@ impl Default for SimConfig {
             battery_capacity: Energy::from_picojoules(60_000.0),
             capacity_profile: Vec::new(),
             scripted_failures: Vec::new(),
+            scripted_revivals: Vec::new(),
             algorithm: Algorithm::Ear,
             recompute_strategy: RecomputeStrategy::Auto,
             frame_feed: FrameFeed::Bitset,
@@ -718,6 +737,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Schedules scripted node revivals (reconnect injection).
+    #[must_use]
+    pub fn scripted_revivals(mut self, revivals: Vec<ScriptedRevival>) -> Self {
+        self.config.scripted_revivals = revivals;
+        self
+    }
+
     /// Grants direct access for fields without a dedicated setter.
     #[must_use]
     pub fn tweak(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
@@ -812,6 +838,11 @@ impl SimConfigBuilder {
         if c.scripted_failures.iter().any(|f| f.node >= c.node_count()) {
             return Err(SimError::InvalidConfig(
                 "scripted failure names a node outside the fabric",
+            ));
+        }
+        if c.scripted_revivals.iter().any(|r| r.node >= c.node_count()) {
+            return Err(SimError::InvalidConfig(
+                "scripted revival names a node outside the fabric",
             ));
         }
         let mut config = self.config;

@@ -6,7 +6,9 @@ use etx_mapping::Placement;
 use etx_routing::{FrameDelta, Router, RoutingScratch, RoutingState, SystemReport};
 use etx_units::Energy;
 
-use crate::config::{ControllerSetup, FrameFeed, JobSource, ScriptedFailure, SimConfig, SimError};
+use crate::config::{
+    ControllerSetup, FrameFeed, JobSource, ScriptedFailure, ScriptedRevival, SimConfig, SimError,
+};
 use crate::job::{Job, JobPhase};
 use crate::node::{DrainKind, NodeState};
 use crate::pool::SimPool;
@@ -114,6 +116,10 @@ pub struct Simulation {
     /// next one due.
     failures: Vec<ScriptedFailure>,
     failure_cursor: usize,
+    /// Scripted revivals sorted by cycle; `revival_cursor` tracks the
+    /// next one due.
+    revivals: Vec<ScriptedRevival>,
+    revival_cursor: usize,
     pending_death: Option<DeathCause>,
     death: Option<DeathCause>,
     trace: SimTrace,
@@ -198,6 +204,8 @@ impl Simulation {
         let cfg_trace_capacity = cfg.trace_capacity;
         let mut failures = cfg.scripted_failures.clone();
         failures.sort_by_key(|f| (f.at_cycle, f.node));
+        let mut revivals = cfg.scripted_revivals.clone();
+        revivals.sort_by_key(|r| (r.at_cycle, r.node));
         let trace = if cfg.trace_ring {
             SimTrace::ring(cfg_trace_capacity)
         } else {
@@ -253,6 +261,8 @@ impl Simulation {
             frames: 0,
             failures,
             failure_cursor: 0,
+            revivals,
+            revival_cursor: 0,
             pending_death: None,
             death: None,
             trace,
@@ -356,6 +366,20 @@ impl Simulation {
             if !self.nodes[node.index()].is_dead() {
                 self.nodes[node.index()].forced_dead = true;
                 self.on_node_death(node);
+            }
+        }
+        // --- scripted revivals (reconnect injection) ------------------
+        while self.revival_cursor < self.revivals.len()
+            && self.revivals[self.revival_cursor].at_cycle <= self.now
+        {
+            let node = NodeId::new(self.revivals[self.revival_cursor].node);
+            self.revival_cursor += 1;
+            // Only a disconnect can be reversed: a node whose *battery*
+            // died stays dead, and reviving a live node is a no-op.
+            let n = &mut self.nodes[node.index()];
+            if n.forced_dead && !n.battery.is_dead() {
+                n.forced_dead = false;
+                self.on_node_revival(node);
             }
         }
         if let Some(cause) = self.pending_death.take() {
@@ -524,6 +548,23 @@ impl Simulation {
         if self.gateway == Some(node) {
             self.pending_death.get_or_insert(DeathCause::GatewayDead);
         }
+    }
+
+    /// Handles a scripted revival: the node reports back in with the
+    /// charge its battery held while disconnected — a weight *decrease*
+    /// the routing repair path absorbs without a full re-run.
+    fn on_node_revival(&mut self, node: NodeId) {
+        self.live_nodes += 1;
+        if self.bitset_feed {
+            // Revival is a liveness transition: patch the frame state
+            // where it happens, exactly like the death site does.
+            let level =
+                self.nodes[node.index()].battery.reported_level(self.cfg.weighting.levels());
+            self.frame_state.revive(node, level);
+            self.touched_bits.insert(node);
+        }
+        let module = self.placement.module_of(node);
+        self.trace.record(self.now, TraceEvent::NodeRevived { node, module });
     }
 
     /// Drains a node battery and propagates death bookkeeping.
@@ -1243,7 +1284,8 @@ mod tests {
                 .scripted_failures(vec![
                     ScriptedFailure { at_cycle: 400, node: 13 },
                     ScriptedFailure { at_cycle: 900, node: 27 },
-                ]),
+                ])
+                .scripted_revivals(vec![ScriptedRevival { at_cycle: 700, node: 13 }]),
             SimConfig::builder()
                 .mesh_square(4)
                 .battery(BatteryModel::ThinFilm)
@@ -1581,6 +1623,45 @@ mod tests {
         use crate::config::ScriptedFailure;
         let err = SimConfig::builder()
             .scripted_failures(vec![ScriptedFailure { at_cycle: 0, node: 99 }])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, crate::SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn scripted_revivals_reconnect_nodes() {
+        use crate::config::{ScriptedFailure, ScriptedRevival};
+        let base = || {
+            SimConfig::builder().battery(BatteryModel::Ideal).battery_capacity_picojoules(10_000.0)
+        };
+        // Disconnect a corner relay, then re-seat it: its battery rode
+        // along untouched, so the fabric gets the node (and its charge)
+        // back for the rest of the run.
+        let failure = vec![ScriptedFailure { at_cycle: 500, node: 15 }];
+        let reconnected = base()
+            .scripted_failures(failure.clone())
+            .scripted_revivals(vec![ScriptedRevival { at_cycle: 1_500, node: 15 }])
+            .build()
+            .expect("valid config")
+            .run();
+        let churned = base().scripted_failures(failure).build().expect("valid config").run();
+        assert!(
+            reconnected.jobs_fractional >= churned.jobs_fractional,
+            "reconnect {:.1} vs churn {:.1}",
+            reconnected.jobs_fractional,
+            churned.jobs_fractional
+        );
+        // Reviving a node that never failed is a no-op, bit for bit.
+        let noop = base()
+            .scripted_revivals(vec![ScriptedRevival { at_cycle: 100, node: 3 }])
+            .build()
+            .expect("valid config")
+            .run();
+        let plain = base().build().expect("valid config").run();
+        assert_eq!(noop, plain);
+        // Out-of-range revivals are rejected like failures are.
+        let err = base()
+            .scripted_revivals(vec![ScriptedRevival { at_cycle: 0, node: 99 }])
             .build()
             .unwrap_err();
         assert!(matches!(err, crate::SimError::InvalidConfig(_)));

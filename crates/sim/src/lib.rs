@@ -58,7 +58,7 @@ mod trace;
 
 pub use config::{
     BatteryModel, ControllerSetup, FrameFeed, JobSource, MappingKind, RemappingPolicy,
-    ScriptedFailure, SimConfig, SimConfigBuilder, SimError, TopologyKind,
+    ScriptedFailure, ScriptedRevival, SimConfig, SimConfigBuilder, SimError, TopologyKind,
 };
 pub use engine::{Simulation, TableObserver};
 pub use etx_routing::{RecomputeStats, RecomputeStrategy};

@@ -173,15 +173,19 @@ impl fmt::Display for SimReport {
         write!(
             f,
             "recompute paths: {} full, {} delta, {} repair \
-             ({} sources repaired, {} re-run); table: {} delta rebuilds, {} entries; \
+             ({} sources repaired, {} re-run, {} decrease-repaired / {} nodes improved); \
+             table: {} delta rebuilds, {} entries ({} challenge-patched); \
              frame scans: {} O(K) skipped, {} nodes scanned",
             self.recompute.full_recomputes,
             self.recompute.delta_recomputes,
             self.recompute.repair_recomputes,
             self.recompute.repaired_sources,
             self.recompute.fallback_sources,
+            self.recompute.decrease_repairs,
+            self.recompute.decrease_nodes_improved,
             self.recompute.table_delta_rebuilds,
             self.recompute.table_entries_rebuilt,
+            self.recompute.table_cells_patched,
             self.recompute.frames_oK_skipped,
             self.recompute.nodes_scanned,
         )
@@ -242,8 +246,11 @@ mod tests {
                 repair_recomputes: 5,
                 repaired_sources: 40,
                 fallback_sources: 3,
+                decrease_repairs: 6,
+                decrease_nodes_improved: 18,
                 table_delta_rebuilds: 4,
                 table_entries_rebuilt: 60,
+                table_cells_patched: 12,
                 frames_oK_skipped: 5,
                 nodes_scanned: 70,
             },
@@ -256,5 +263,6 @@ mod tests {
         let s = report.to_string();
         assert!(s.contains("10 completed") && s.contains("5.0 %"));
         assert!(s.contains("5 repair") && s.contains("40 sources repaired"));
+        assert!(s.contains("6 decrease-repaired / 18 nodes improved"));
     }
 }

@@ -20,6 +20,13 @@ pub enum TraceEvent {
         /// The module it hosted.
         module: ModuleId,
     },
+    /// A scripted revival reconnected a node to the fabric.
+    NodeRevived {
+        /// The reconnected node.
+        node: NodeId,
+        /// The module it hosts.
+        module: ModuleId,
+    },
     /// A job completed its final operation.
     JobCompleted {
         /// Job id.
@@ -60,6 +67,7 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceEvent::NodeDied { node, module } => write!(f, "{node} ({module}) died"),
+            TraceEvent::NodeRevived { node, module } => write!(f, "{node} ({module}) revived"),
             TraceEvent::JobCompleted { job } => write!(f, "job {job} completed"),
             TraceEvent::JobLost { job, at } => write!(f, "job {job} lost at {at}"),
             TraceEvent::RoutingRecomputed { version } => {
