@@ -11,10 +11,17 @@
 //! auto plan picked, and the aggregate's totals (so a perf "win" that
 //! silently changed results is visible in review). Aggregates are
 //! deterministic; timings of course are not.
+//!
+//! A `frame_walltime` block rides along: one smoke instance recorded
+//! through `etx-trace` with wall-time capture on, reduced to per-frame
+//! wall-time percentiles — the engine-level frame latency shape
+//! (upload, dirty extraction, recompute, publish, record) that the
+//! instances/sec figures average away.
 
 use std::time::Instant;
 
 use etx::fleet::{FleetController, ScenarioSpec, ShardPlan};
+use etx::trace::{record_run, RecordMode, RecordOptions};
 
 struct Point {
     instances: usize,
@@ -42,6 +49,37 @@ fn measure(instances: usize) -> Point {
         jobs_completed_total: result.aggregate.jobs_completed_total,
         lifetime_p50: result.aggregate.lifetime.quantile_raw(0.5),
     }
+}
+
+/// Per-frame wall-time distribution of one recorded smoke instance:
+/// `(frames, p50_ns, p90_ns, max_ns)`. The first frame has no
+/// predecessor timestamp (wall time 0) and is excluded.
+fn frame_walltime_stats() -> (usize, u64, u64, u64) {
+    // The longest-lived smoke instance beats a 1-frame one: sample a few
+    // and keep the instance with the most frames.
+    let spec = ScenarioSpec { instances: 8, ..ScenarioSpec::smoke() };
+    let mut best: Vec<u64> = Vec::new();
+    for index in 0..spec.instances {
+        let options = RecordOptions {
+            spec: String::new(),
+            instance: index as u64,
+            mode: RecordMode::Full,
+            wall_time: true,
+        };
+        let Ok((_report, trace)) = record_run(spec.sample(index), &options) else {
+            continue;
+        };
+        let samples: Vec<u64> = trace.records.iter().skip(1).map(|r| r.wall_ns).collect();
+        if samples.len() > best.len() {
+            best = samples;
+        }
+    }
+    if best.is_empty() {
+        return (0, 0, 0, 0);
+    }
+    best.sort_unstable();
+    let pick = |q: f64| best[((best.len() - 1) as f64 * q).round() as usize];
+    (best.len(), pick(0.50), pick(0.90), best[best.len() - 1])
 }
 
 fn main() {
@@ -73,6 +111,15 @@ fn main() {
         "  \"workload\": \"smoke scenario family (3x3..4x4 fabrics, churn, heterogeneity), \
          auto shard plan, per-shard SimPool reuse\",\n",
     );
+    let (ft_frames, ft_p50, ft_p90, ft_max) = frame_walltime_stats();
+    eprintln!(
+        "frame wall time (recorded smoke instance, {ft_frames} frames): \
+         p50={ft_p50}ns p90={ft_p90}ns max={ft_max}ns"
+    );
+    json.push_str(&format!(
+        "  \"frame_walltime\": {{\"frames\": {ft_frames}, \"p50_ns\": {ft_p50}, \
+         \"p90_ns\": {ft_p90}, \"max_ns\": {ft_max}}},\n"
+    ));
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(

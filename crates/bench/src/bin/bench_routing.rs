@@ -35,7 +35,14 @@
 //! `nodes_scanned_per_frame` (the changed-bitset feed's node-state
 //! examinations; a report-diff frame would scan all `K`), and
 //! `decrease_repairs_per_frame` (sources whose repair engaged the
-//! decrease half over the churn loop).
+//! decrease half over the churn loop);
+//!
+//! plus the frame-time distribution and tracing cost:
+//! `repair_frame_p50/p90/p99_ns` (individually-timed steady-drain
+//! repair frames — the latency shape a frame-trace timeline reports)
+//! and `record_overhead_ns` / `record_overhead_frac` (one `etx-trace`
+//! record call — digest + encode + ring store — absolute and as a
+//! fraction of a steady repair frame).
 
 use std::time::{Duration, Instant};
 
@@ -85,6 +92,119 @@ struct Point {
     /// Average sources per churn frame whose repair engaged the decrease
     /// half (improvement propagation instead of a conservative re-run).
     decrease_repairs_per_frame: f64,
+    /// Steady-drain repair frame-time distribution (individual frame
+    /// timings, not best-window averages): the p50/p90/p99 shape the
+    /// frame-trace timeline reports per run.
+    repair_frame_p50_ns: f64,
+    /// 90th percentile of the same distribution.
+    repair_frame_p90_ns: f64,
+    /// 99th percentile of the same distribution.
+    repair_frame_p99_ns: f64,
+    /// Cost of one frame-trace record call (state + cost digest over a
+    /// K-node report, LEB128 encode, ring-slot store) on a warm
+    /// recorder — the whole per-frame price of `fleet --record`.
+    record_overhead_ns: f64,
+    /// `record_overhead_ns / incremental_repair_ns`: recording cost as
+    /// a fraction of the steady-drain repair frame it rides on.
+    record_overhead_frac: f64,
+}
+
+/// Times one frame-trace record call on a warm ring recorder: the state
+/// digest walks all `K` node states, so this is the recording hook's
+/// full per-frame cost (the engine adds only an event-tap drain).
+fn record_frame_ns(report: &SystemReport, budget: Duration) -> f64 {
+    use etx::sim::{FrameSnapshot, TraceEntry, TraceEvent};
+    use etx::trace::{TraceHeader, TraceRecorder};
+    let mut recorder = TraceRecorder::ring(TraceHeader::default(), 64).with_wall_time(false);
+    let events = [
+        TraceEntry::new(1, 1_024, TraceEvent::RoutingRecomputed { version: 1 }),
+        TraceEntry::new(1, 1_024, TraceEvent::JobCompleted { job: 7 }),
+    ];
+    let stats = etx::routing::RecomputeStats {
+        repair_recomputes: 1,
+        repaired_sources: 3,
+        table_cells_patched: 12,
+        nodes_scanned: 1,
+        ..Default::default()
+    };
+    let mut frame = 0u64;
+    let mut record_one = move |recorder: &mut TraceRecorder| {
+        frame += 1;
+        recorder.record(&FrameSnapshot {
+            frame,
+            cycle: frame * 1_024,
+            routing_version: frame,
+            recomputed: true,
+            report,
+            recompute: stats,
+            events: &events,
+            medium_energy: Energy::from_picojoules(frame as f64 * 100.0),
+            controller_energy: Energy::from_picojoules(frame as f64 * 400.0),
+            jobs_completed: frame,
+            jobs_lost: 0,
+        });
+    };
+    // Warm the digest bitsets, encode buffer, and every ring slot.
+    for _ in 0..128 {
+        record_one(&mut recorder);
+    }
+    let window_ns = best_ns(budget, || {
+        for _ in 0..CHURN_PERIOD {
+            record_one(&mut recorder);
+        }
+    });
+    window_ns / CHURN_PERIOD as f64
+}
+
+/// Individual steady-drain repair frame timings (the same loop as
+/// [`steady_drain_ns`] with the changed-bitset feed), reduced to
+/// `(p50, p90, p99)` — the per-frame latency distribution a frame-trace
+/// timeline would show for this fabric size.
+fn repair_frame_percentiles(
+    graph: &etx::graph::DiGraph,
+    modules: &[Vec<NodeId>],
+    report: &SystemReport,
+    samples: usize,
+) -> (f64, f64, f64) {
+    let router = Router::new(Algorithm::Ear).with_strategy(RecomputeStrategy::IncrementalRepair);
+    let k = graph.node_count();
+    let mut scratch = RoutingScratch::new();
+    let mut state = RoutingState::empty();
+    let mut current = report.clone();
+    let mut bits = NodeBitset::with_capacity(k);
+    router.compute_into(graph, modules, &current, None, &mut scratch, &mut state);
+    let mut frame = 0usize;
+    let mut drain_one = move |current: &mut SystemReport,
+                              scratch: &mut RoutingScratch,
+                              state: &mut RoutingState| {
+        let node = NodeId::new((frame * 7 + 3) % k);
+        let level = current.battery_level(node);
+        current.set_battery_level(node, if level == 0 { 15 } else { level - 1 });
+        frame += 1;
+        bits.clear();
+        bits.insert(node);
+        router.recompute_frame_into(
+            graph,
+            modules,
+            current,
+            FrameDelta { changed: &bits, any_deadlock: false, placement_changed: false },
+            scratch,
+            state,
+        );
+    };
+    for _ in 0..8 {
+        drain_one(&mut current, &mut scratch, &mut state);
+    }
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            drain_one(&mut current, &mut scratch, &mut state);
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    timings.sort_by(f64::total_cmp);
+    let pick = |q: f64| timings[((timings.len() - 1) as f64 * q).round() as usize];
+    (pick(0.50), pick(0.90), pick(0.99))
 }
 
 /// Measures the steady-state per-frame observability counters over a
@@ -362,6 +482,12 @@ fn measure(side: usize, budget: Duration) -> Point {
 
     let (repair_table_entries_per_frame, nodes_scanned_per_frame) =
         steady_frame_stats(&graph, &modules, &report);
+
+    let samples = if budget < Duration::from_millis(100) { 64 } else { 128 };
+    let (repair_frame_p50_ns, repair_frame_p90_ns, repair_frame_p99_ns) =
+        repair_frame_percentiles(&graph, &modules, &report, samples);
+    let record_overhead_ns = record_frame_ns(&report, budget);
+    let record_overhead_frac = record_overhead_ns / incremental_repair_ns;
     Point {
         k,
         side,
@@ -374,6 +500,11 @@ fn measure(side: usize, budget: Duration) -> Point {
         repair_table_entries_per_frame,
         nodes_scanned_per_frame,
         decrease_repairs_per_frame,
+        repair_frame_p50_ns,
+        repair_frame_p90_ns,
+        repair_frame_p99_ns,
+        record_overhead_ns,
+        record_overhead_frac,
     }
 }
 
@@ -423,6 +554,15 @@ fn main() {
             point.nodes_scanned_per_frame,
             point.k,
         );
+        eprintln!(
+            "        frame times p50={:.0}ns p90={:.0}ns p99={:.0}ns; trace record {:.0}ns \
+             = {:.2}% of a repair frame",
+            point.repair_frame_p50_ns,
+            point.repair_frame_p90_ns,
+            point.repair_frame_p99_ns,
+            point.record_overhead_ns,
+            point.record_overhead_frac * 100.0,
+        );
         points.push(point);
     }
 
@@ -441,7 +581,10 @@ fn main() {
              \"churn_repair_ns\": {:.0}, \
              \"repair_table_entries_per_frame\": {:.1}, \
              \"nodes_scanned_per_frame\": {:.1}, \
-             \"decrease_repairs_per_frame\": {:.1}}}{}\n",
+             \"decrease_repairs_per_frame\": {:.1}, \
+             \"repair_frame_p50_ns\": {:.0}, \"repair_frame_p90_ns\": {:.0}, \
+             \"repair_frame_p99_ns\": {:.0}, \"record_overhead_ns\": {:.0}, \
+             \"record_overhead_frac\": {:.4}}}{}\n",
             p.k,
             p.side,
             p.side,
@@ -454,6 +597,11 @@ fn main() {
             p.repair_table_entries_per_frame,
             p.nodes_scanned_per_frame,
             p.decrease_repairs_per_frame,
+            p.repair_frame_p50_ns,
+            p.repair_frame_p90_ns,
+            p.repair_frame_p99_ns,
+            p.record_overhead_ns,
+            p.record_overhead_frac,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }

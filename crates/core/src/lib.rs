@@ -67,6 +67,7 @@ pub use etx_mapping as mapping;
 pub use etx_routing as routing;
 pub use etx_serve as serve;
 pub use etx_sim as sim;
+pub use etx_trace as trace;
 pub use etx_units as units;
 
 pub mod experiments;

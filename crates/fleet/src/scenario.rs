@@ -201,6 +201,11 @@ pub struct ScenarioSpec {
     pub broadcast_fraction: f64,
     /// Hard per-instance cycle limit.
     pub max_cycles: u64,
+    /// Frame-trace retention when this spec is recorded (`fleet
+    /// --record`): `0` keeps every frame (a full trace); `N > 0` keeps
+    /// only the last `N` frames in a bounded ring. Cost-only — the knob
+    /// never changes what a run *does*, only how much of it is kept.
+    pub record_frames: u64,
 }
 
 impl Default for ScenarioSpec {
@@ -226,6 +231,7 @@ impl Default for ScenarioSpec {
             concurrent_jobs: (1, 3),
             broadcast_fraction: 0.3,
             max_cycles: 2_000_000,
+            record_frames: 0,
         }
     }
 }
@@ -452,6 +458,9 @@ impl ScenarioSpec {
                     spec.broadcast_fraction = value.parse().map_err(|_| bad("fraction"))?;
                 }
                 "max_cycles" => spec.max_cycles = value.parse().map_err(|_| bad("cycle count"))?,
+                "record_frames" => {
+                    spec.record_frames = value.parse().map_err(|_| bad("frame count"))?;
+                }
                 _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
             }
         }
@@ -496,6 +505,7 @@ impl ScenarioSpec {
         );
         let _ = writeln!(out, "broadcast_fraction = {}", self.broadcast_fraction);
         let _ = writeln!(out, "max_cycles = {}", self.max_cycles);
+        let _ = writeln!(out, "record_frames = {}", self.record_frames);
         out
     }
 

@@ -140,6 +140,17 @@ impl NodeBitset {
         &self.words
     }
 
+    /// Feeds the set's capacity and packed membership words into
+    /// `hasher`: two sets digest equal iff they have the same capacity
+    /// and the same members (tail bits past `len` are never set, so the
+    /// packed words are canonical).
+    pub fn digest_into(&self, hasher: &mut crate::Fnv64) {
+        hasher.write_usize(self.len);
+        for &word in &self.words {
+            hasher.write_u64(word);
+        }
+    }
+
     /// Iterates the set indices in ascending order, skipping whole empty
     /// words.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {

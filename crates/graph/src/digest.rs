@@ -1,0 +1,136 @@
+//! [`Fnv64`]: the workspace's in-repo streaming hash.
+//!
+//! Frame-trace records (the `etx-trace` crate) fingerprint per-frame
+//! engine state — battery buckets, liveness/deadlock bitsets, routing
+//! versions — so replays can assert byte-identical evolution. The build
+//! environment is offline, so instead of a vendored xxHash this is
+//! FNV-1a over little-endian words: dependency-free, allocation-free,
+//! stable across platforms, and plenty for divergence *detection*
+//! (nothing here is security-sensitive).
+
+/// Streaming 64-bit FNV-1a hasher.
+///
+/// All multi-byte writes feed the byte stream little-endian, so digests
+/// are identical across platforms.
+///
+/// ```
+/// use etx_graph::Fnv64;
+///
+/// let mut h = Fnv64::new();
+/// h.write_u64(7);
+/// h.write_bytes(b"etx");
+/// let a = h.finish();
+/// assert_ne!(a, Fnv64::new().finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(OFFSET_BASIS)
+    }
+
+    /// Hashes `bytes` in one shot.
+    #[must_use]
+    pub fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_bytes(bytes);
+        h.finish()
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(PRIME);
+    }
+
+    /// Feeds a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Feeds a `u32`, little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to 64 bits (digests must not depend on
+    /// the host's pointer width).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// The digest of everything written so far (the hasher stays usable).
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Fnv64;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Classic FNV-1a reference values.
+        assert_eq!(Fnv64::hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv64::hash_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_and_is_order_sensitive() {
+        let mut h = Fnv64::new();
+        h.write_u8(b'f');
+        h.write_bytes(b"oobar");
+        assert_eq!(h.finish(), Fnv64::hash_bytes(b"foobar"));
+
+        let mut ab = Fnv64::new();
+        ab.write_u64(1);
+        ab.write_u64(2);
+        let mut ba = Fnv64::new();
+        ba.write_u64(2);
+        ba.write_u64(1);
+        assert_ne!(ab.finish(), ba.finish());
+    }
+
+    #[test]
+    fn typed_writes_are_width_stable() {
+        let mut a = Fnv64::new();
+        a.write_usize(300);
+        let mut b = Fnv64::new();
+        b.write_u64(300);
+        assert_eq!(a.finish(), b.finish());
+
+        let mut t = Fnv64::new();
+        t.write_bool(true);
+        let mut one = Fnv64::new();
+        one.write_u8(1);
+        assert_eq!(t.finish(), one.finish());
+    }
+}

@@ -43,6 +43,7 @@
 
 mod backend;
 mod bitset;
+mod digest;
 mod digraph;
 mod matrix;
 mod node;
@@ -54,6 +55,7 @@ pub mod topology;
 
 pub use backend::{PathBackend, ResolvedBackend};
 pub use bitset::NodeBitset;
+pub use digest::Fnv64;
 pub use digraph::{DiGraph, Edge, GraphError};
 pub use dynamic::{
     dijkstra_source_tree_into, repair_source, RepairOutcome, RepairScratch, SpTreeStore,

@@ -98,6 +98,38 @@ pub struct RecomputeStats {
     pub nodes_scanned: u64,
 }
 
+impl RecomputeStats {
+    /// Field-wise difference against an earlier snapshot of the same
+    /// counters: what happened *since* `prev`. Per-frame consumers (the
+    /// frame recorder, fleet tallies, benches) diff two cumulative
+    /// snapshots instead of hand-rolling twelve subtractions each.
+    ///
+    /// Counters are monotone while a scratch lives, but a recycle zeroes
+    /// them mid-stream; `wrapping_sub` keeps the helper total so a stale
+    /// `prev` can't panic in release-vs-debug-divergent ways.
+    #[must_use]
+    pub fn delta_since(&self, prev: &RecomputeStats) -> RecomputeStats {
+        RecomputeStats {
+            full_recomputes: self.full_recomputes.wrapping_sub(prev.full_recomputes),
+            delta_recomputes: self.delta_recomputes.wrapping_sub(prev.delta_recomputes),
+            repair_recomputes: self.repair_recomputes.wrapping_sub(prev.repair_recomputes),
+            repaired_sources: self.repaired_sources.wrapping_sub(prev.repaired_sources),
+            fallback_sources: self.fallback_sources.wrapping_sub(prev.fallback_sources),
+            decrease_repairs: self.decrease_repairs.wrapping_sub(prev.decrease_repairs),
+            decrease_nodes_improved: self
+                .decrease_nodes_improved
+                .wrapping_sub(prev.decrease_nodes_improved),
+            table_delta_rebuilds: self.table_delta_rebuilds.wrapping_sub(prev.table_delta_rebuilds),
+            table_entries_rebuilt: self
+                .table_entries_rebuilt
+                .wrapping_sub(prev.table_entries_rebuilt),
+            table_cells_patched: self.table_cells_patched.wrapping_sub(prev.table_cells_patched),
+            frames_oK_skipped: self.frames_oK_skipped.wrapping_sub(prev.frames_oK_skipped),
+            nodes_scanned: self.nodes_scanned.wrapping_sub(prev.nodes_scanned),
+        }
+    }
+}
+
 /// Preallocated working memory for `Router::compute_into` /
 /// `Router::recompute_into` / `Router::recompute_dirty_into`.
 ///
@@ -343,5 +375,66 @@ impl RoutingScratch {
         self.table_cells_patched = 0;
         self.frames_ok_skipped = 0;
         self.nodes_scanned = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RecomputeStats;
+
+    #[test]
+    fn delta_since_subtracts_every_counter() {
+        let prev = RecomputeStats {
+            full_recomputes: 1,
+            delta_recomputes: 2,
+            repair_recomputes: 3,
+            repaired_sources: 4,
+            fallback_sources: 5,
+            decrease_repairs: 6,
+            decrease_nodes_improved: 7,
+            table_delta_rebuilds: 8,
+            table_entries_rebuilt: 9,
+            table_cells_patched: 10,
+            frames_oK_skipped: 11,
+            nodes_scanned: 12,
+        };
+        let now = RecomputeStats {
+            full_recomputes: 10,
+            delta_recomputes: 22,
+            repair_recomputes: 33,
+            repaired_sources: 44,
+            fallback_sources: 55,
+            decrease_repairs: 66,
+            decrease_nodes_improved: 77,
+            table_delta_rebuilds: 88,
+            table_entries_rebuilt: 99,
+            table_cells_patched: 110,
+            frames_oK_skipped: 121,
+            nodes_scanned: 132,
+        };
+        let delta = now.delta_since(&prev);
+        assert_eq!(
+            delta,
+            RecomputeStats {
+                full_recomputes: 9,
+                delta_recomputes: 20,
+                repair_recomputes: 30,
+                repaired_sources: 40,
+                fallback_sources: 50,
+                decrease_repairs: 60,
+                decrease_nodes_improved: 70,
+                table_delta_rebuilds: 80,
+                table_entries_rebuilt: 90,
+                table_cells_patched: 100,
+                frames_oK_skipped: 110,
+                nodes_scanned: 120,
+            }
+        );
+        // Diffing against itself is zero; against Default is identity.
+        assert_eq!(now.delta_since(&now), RecomputeStats::default());
+        assert_eq!(now.delta_since(&RecomputeStats::default()), now);
+        // A recycled (zeroed) current snapshot wraps instead of panicking.
+        let wrapped = RecomputeStats::default().delta_since(&prev);
+        assert_eq!(wrapped.full_recomputes, 0u64.wrapping_sub(1));
     }
 }

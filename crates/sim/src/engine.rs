@@ -3,7 +3,7 @@
 use etx_control::{ControlLedger, ControllerBank, ControllerEnergyModel};
 use etx_graph::{DiGraph, NodeBitset, NodeId};
 use etx_mapping::Placement;
-use etx_routing::{FrameDelta, Router, RoutingScratch, RoutingState, SystemReport};
+use etx_routing::{FrameDelta, RecomputeStats, Router, RoutingScratch, RoutingState, SystemReport};
 use etx_units::Energy;
 
 use crate::config::{
@@ -13,7 +13,7 @@ use crate::job::{Job, JobPhase};
 use crate::node::{DrainKind, NodeState};
 use crate::pool::SimPool;
 use crate::stats::{DeathCause, EnergyBreakdown, NodeStats, SimReport};
-use crate::trace::{SimTrace, TraceEvent};
+use crate::trace::{SimTrace, TraceEntry, TraceEvent};
 
 /// Observer of freshly recomputed routing tables — the engine's publish
 /// hook for read-side table services (see the `etx-serve` crate).
@@ -27,6 +27,61 @@ use crate::trace::{SimTrace, TraceEvent};
 pub trait TableObserver: Send {
     /// One freshly recomputed routing state.
     fn on_tables(&mut self, version: u64, routing: &RoutingState, report: &SystemReport);
+}
+
+/// Everything the engine exposes about one *completed* TDMA frame — the
+/// input of the [`FrameRecorder`] hook.
+///
+/// The snapshot is taken at the same point on both [`FrameFeed`] paths:
+/// after the frame's recompute/publish work, *before* the edge-triggered
+/// deadlock flags are cleared (so `report` still shows the deadlocks the
+/// controller just serviced). Every field except the cost counters in
+/// `recompute` is therefore byte-identical across the two feeds.
+#[derive(Debug)]
+pub struct FrameSnapshot<'a> {
+    /// 1-based frame number (the engine's monotonically increasing
+    /// frame counter; partial death frames are skipped, not renumbered).
+    pub frame: u64,
+    /// The cycle this frame boundary fired at.
+    pub cycle: u64,
+    /// Routing-table version after this frame (bumped iff `recomputed`).
+    pub routing_version: u64,
+    /// Whether this frame recomputed the routing tables.
+    pub recomputed: bool,
+    /// The system report the controller acted on this frame: battery
+    /// buckets, liveness, and the frame's (not-yet-cleared) deadlock
+    /// flags.
+    pub report: &'a SystemReport,
+    /// *Cumulative* recompute counters as of this frame; diff
+    /// consecutive snapshots with
+    /// [`RecomputeStats::delta_since`] for per-frame costs.
+    pub recompute: RecomputeStats,
+    /// Trace events since the previous recorded frame (each entry
+    /// carries its own frame/cycle stamp). Delivered even when
+    /// [`SimConfig::trace_capacity`](crate::SimConfig::trace_capacity)
+    /// is 0 — recording taps the event stream directly.
+    pub events: &'a [TraceEntry],
+    /// Cumulative energy the shared medium consumed (uploads +
+    /// downloads).
+    pub medium_energy: Energy,
+    /// Cumulative energy the controller bank consumed.
+    pub controller_energy: Energy,
+    /// Jobs completed so far.
+    pub jobs_completed: u64,
+    /// Jobs lost so far.
+    pub jobs_lost: u64,
+}
+
+/// Per-frame observer — the engine's recording hook (the frame-granular
+/// sibling of [`TableObserver`], which only sees recompute frames).
+///
+/// Attached with [`Simulation::set_frame_recorder`]; called once per
+/// completed TDMA frame on both feed paths. Frames that die mid-frame
+/// (controller death, module extinction during upload) are not
+/// delivered — a replay of the same config dies at the same point.
+pub trait FrameRecorder: Send {
+    /// One completed frame.
+    fn on_frame(&mut self, snapshot: &FrameSnapshot<'_>);
 }
 
 /// Outcome of advancing one job for one cycle.
@@ -126,6 +181,9 @@ pub struct Simulation {
     /// Publish hook: told about every fresh routing state (see
     /// [`TableObserver`]).
     table_observer: Option<Box<dyn TableObserver>>,
+    /// Recording hook: told about every completed TDMA frame (see
+    /// [`FrameRecorder`]).
+    frame_recorder: Option<Box<dyn FrameRecorder>>,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -267,6 +325,7 @@ impl Simulation {
             death: None,
             trace,
             table_observer: None,
+            frame_recorder: None,
         }
     }
 
@@ -277,6 +336,17 @@ impl Simulation {
     pub fn set_table_observer(&mut self, mut observer: Box<dyn TableObserver>) {
         observer.on_tables(self.routing_version, &self.routing, &self.last_report);
         self.table_observer = Some(observer);
+    }
+
+    /// Attaches the per-frame recording hook and enables the trace tap
+    /// that feeds it event streams (works with `trace_capacity = 0`).
+    /// Attach before the first [`Simulation::step`]: the recorder only
+    /// sees frames (and events) from that point on, and replays assume
+    /// recording covered the whole run. Replaces any previous recorder.
+    pub fn set_frame_recorder(&mut self, recorder: Box<dyn FrameRecorder>) {
+        self.trace.enable_tap();
+        self.trace.clear_tap();
+        self.frame_recorder = Some(recorder);
     }
 
     /// The current routing state (next-hop/full-path tables included).
@@ -295,6 +365,13 @@ impl Simulation {
     #[must_use]
     pub fn routing_version(&self) -> u64 {
         self.routing_version
+    }
+
+    /// TDMA frames started so far (including a final partial frame the
+    /// system may have died in).
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.frames
     }
 
     /// Returns this simulation's pooled buffers to `pool` **without**
@@ -610,6 +687,7 @@ impl Simulation {
     /// differ.
     fn tdma_frame_bitset(&mut self) -> Option<DeathCause> {
         self.frames += 1;
+        self.trace.set_frame(self.frames);
         let upload = self.cfg.tdma.upload_energy_per_node(&self.cfg.line_model);
         let levels = self.cfg.weighting.levels();
 
@@ -683,7 +761,8 @@ impl Simulation {
         let any_deadlock = self.deadlocked_count > 0;
         let deadlock_cleared = std::mem::take(&mut self.pending_deadlock_cleared);
 
-        if !self.dirty_nodes.is_empty() || any_deadlock || deadlock_cleared {
+        let recomputed = !self.dirty_nodes.is_empty() || any_deadlock || deadlock_cleared;
+        if recomputed {
             // Routing recomputation: the controller actively computes for
             // the duration of the frame.
             let active =
@@ -731,6 +810,10 @@ impl Simulation {
             self.touched_bits.clear();
         }
 
+        // Recording hook: the frame is complete; deadlock flags are
+        // still visible in the frame state (cleared just below).
+        self.record_frame(recomputed, false);
+
         // Deadlock flags are edge-triggered: once uploaded and serviced,
         // clear them — flagged nodes only, and note the clear so the
         // next frame drops the deadlock-port avoidance like a report
@@ -754,6 +837,7 @@ impl Simulation {
     /// enabled runs take.
     fn tdma_frame_report_diff(&mut self) -> Option<DeathCause> {
         self.frames += 1;
+        self.trace.set_frame(self.frames);
         let upload = self.cfg.tdma.upload_energy_per_node(&self.cfg.line_model);
 
         // Upload phase: every live node drives its status slot.
@@ -801,7 +885,9 @@ impl Simulation {
 
         let remapped = self.maybe_remap(&report);
 
-        if !self.dirty_nodes.is_empty() || any_deadlock || deadlock_cleared || remapped {
+        let recomputed =
+            !self.dirty_nodes.is_empty() || any_deadlock || deadlock_cleared || remapped;
+        if recomputed {
             // Routing recomputation: the controller actively computes for
             // the duration of the frame.
             let active =
@@ -847,12 +933,58 @@ impl Simulation {
             self.frame_state = report;
         }
 
+        // Recording hook: on this path the frame's report sits in
+        // `last_report` when the frame recomputed (the swap above),
+        // otherwise in `frame_state`. Same observation point as the
+        // bitset path: before the deadlock flags drop.
+        self.record_frame(recomputed, recomputed);
+
         // Deadlock flags are edge-triggered: once uploaded and serviced,
         // clear them; still-stuck jobs will re-raise them.
         for n in &mut self.nodes {
             n.deadlock_flag = false;
         }
         None
+    }
+
+    /// Delivers the just-completed frame to the attached
+    /// [`FrameRecorder`] (if any) and drains the trace tap. The frame's
+    /// report lives in `last_report` when `report_in_last` (report-diff
+    /// recompute frames), else in `frame_state`.
+    fn record_frame(&mut self, recomputed: bool, report_in_last: bool) {
+        if self.frame_recorder.is_none() {
+            return;
+        }
+        let Simulation {
+            frame_recorder,
+            frame_state,
+            last_report,
+            trace,
+            routing_scratch,
+            ledger,
+            frames,
+            now,
+            routing_version,
+            jobs_completed,
+            jobs_lost,
+            ..
+        } = self;
+        let recorder = frame_recorder.as_mut().expect("checked above");
+        let report: &SystemReport = if report_in_last { last_report } else { frame_state };
+        recorder.on_frame(&FrameSnapshot {
+            frame: *frames,
+            cycle: *now,
+            routing_version: *routing_version,
+            recomputed,
+            report,
+            recompute: routing_scratch.stats(),
+            events: trace.tap(),
+            medium_energy: ledger.medium_energy(),
+            controller_energy: ledger.controller_energy(),
+            jobs_completed: *jobs_completed,
+            jobs_lost: *jobs_lost,
+        });
+        trace.clear_tap();
     }
 
     /// Builds the frame's report into `report` and, in the same pass,
@@ -1557,8 +1689,10 @@ mod tests {
         let recomputes =
             trace.filter(|e| matches!(e, TraceEvent::RoutingRecomputed { .. })).count();
         assert!(recomputes > 0);
-        // Events are time-ordered.
-        assert!(trace.events().windows(2).all(|w| w[0].0 <= w[1].0));
+        // Events are time-ordered, and frame stamps follow cycle order.
+        assert!(trace.events().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert!(trace.events().windows(2).all(|w| w[0].frame <= w[1].frame));
+        assert!(trace.events().iter().any(|e| e.frame > 0), "no events stamped with a frame");
     }
 
     #[test]
@@ -1719,7 +1853,7 @@ mod tests {
         assert!(trace.events().len() <= 4);
         assert!(trace.dropped() > 0, "a whole lifetime should overflow 4 slots");
         // The ring keeps the tail: the last stored cycle is near death.
-        let last_cycle = trace.iter().last().expect("events stored").0;
+        let last_cycle = trace.iter().last().expect("events stored").cycle;
         assert!(last_cycle * 2 >= sim.now(), "ring kept early events only");
     }
 

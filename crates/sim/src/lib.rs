@@ -60,8 +60,8 @@ pub use config::{
     BatteryModel, ControllerSetup, FrameFeed, JobSource, MappingKind, RemappingPolicy,
     ScriptedFailure, ScriptedRevival, SimConfig, SimConfigBuilder, SimError, TopologyKind,
 };
-pub use engine::{Simulation, TableObserver};
+pub use engine::{FrameRecorder, FrameSnapshot, Simulation, TableObserver};
 pub use etx_routing::{RecomputeStats, RecomputeStrategy};
 pub use pool::SimPool;
 pub use stats::{DeathCause, EnergyBreakdown, NodeStats, SimReport};
-pub use trace::{SimTrace, TraceEvent, TraceOverflow, TraceRun};
+pub use trace::{SimTrace, TraceEntry, TraceEvent, TraceOverflow, TraceRun};

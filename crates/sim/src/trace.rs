@@ -97,8 +97,32 @@ pub enum TraceOverflow {
     Ring,
 }
 
+/// One stored trace entry: the event plus when it happened.
+///
+/// Entries carry both the raw simulation cycle and the TDMA frame the
+/// event occurred in, so frame-granular consumers (the `etx-trace`
+/// recorder, timeline emitters) can bucket events per frame without
+/// re-deriving the frame boundary from the cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// TDMA frame the event occurred in (0 = before the first frame).
+    pub frame: u64,
+    /// Simulation cycle the event occurred at.
+    pub cycle: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TraceEntry {
+    /// Builds an entry.
+    #[must_use]
+    pub fn new(frame: u64, cycle: u64, event: TraceEvent) -> Self {
+        TraceEntry { frame, cycle, event }
+    }
+}
+
 /// One contiguous run of stored trace entries (see [`SimTrace::runs`]).
-pub type TraceRun<'a> = &'a [(u64, TraceEvent)];
+pub type TraceRun<'a> = &'a [TraceEntry];
 
 /// A bounded, timestamped event log.
 ///
@@ -115,11 +139,21 @@ pub type TraceRun<'a> = &'a [(u64, TraceEvent)];
 pub struct SimTrace {
     capacity: usize,
     overflow: TraceOverflow,
-    events: Vec<(u64, TraceEvent)>,
+    events: Vec<TraceEntry>,
     /// Ring mode: index of the *oldest* stored event once the buffer has
     /// wrapped (equivalently, where the next overwrite lands).
     head: usize,
     dropped: u64,
+    /// TDMA frame stamped onto recorded entries (the engine advances it
+    /// at every frame boundary).
+    current_frame: u64,
+    /// Per-frame side buffer: when enabled, *every* event is also pushed
+    /// here regardless of `capacity`, and the engine drains it after each
+    /// frame for the [`FrameRecorder`](crate::FrameRecorder) hook. The
+    /// buffer's capacity is retained across frames (zero steady-state
+    /// allocation once warm).
+    tap: Vec<TraceEntry>,
+    tap_enabled: bool,
 }
 
 impl SimTrace {
@@ -148,14 +182,42 @@ impl SimTrace {
         self.overflow
     }
 
+    /// Sets the TDMA frame stamped onto subsequently recorded events.
+    pub fn set_frame(&mut self, frame: u64) {
+        self.current_frame = frame;
+    }
+
+    /// Enables the per-frame tap: every subsequent event is also pushed
+    /// to the tap buffer (even when `capacity` is 0), until the next
+    /// [`SimTrace::clear_tap`].
+    pub fn enable_tap(&mut self) {
+        self.tap_enabled = true;
+    }
+
+    /// The tapped events since the last [`SimTrace::clear_tap`].
+    #[must_use]
+    pub fn tap(&self) -> &[TraceEntry] {
+        &self.tap
+    }
+
+    /// Empties the tap buffer, retaining its capacity.
+    pub fn clear_tap(&mut self) {
+        self.tap.clear();
+    }
+
     /// Records an event at cycle `now`.
     pub fn record(&mut self, now: u64, event: TraceEvent) {
+        let entry = TraceEntry::new(self.current_frame, now, event);
+        if self.tap_enabled {
+            self.tap.push(entry);
+        }
         if self.events.len() < self.capacity {
-            self.events.push((now, event));
+            self.events.push(entry);
         } else if self.capacity == 0 {
-            // Disabled: drop silently and cheaply.
+            // Disabled: drop silently and cheaply (the tap above still
+            // sees the event — a frame recorder needs no retained log).
         } else if self.overflow == TraceOverflow::Ring {
-            self.events[self.head] = (now, event);
+            self.events[self.head] = entry;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         } else {
@@ -163,7 +225,7 @@ impl SimTrace {
         }
     }
 
-    /// The stored `(cycle, event)` pairs in chronological order, as the
+    /// The stored entries in chronological order, as the
     /// two contiguous runs of the underlying storage: `(older, newer)`.
     /// For a [`TraceOverflow::KeepFirst`] trace (or an unwrapped ring)
     /// everything is in the first run and the second is empty.
@@ -180,19 +242,19 @@ impl SimTrace {
 
     /// Iterates over the stored events in chronological order (works in
     /// both overflow modes, wrapped or not).
-    pub fn iter(&self) -> impl Iterator<Item = &(u64, TraceEvent)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> + '_ {
         let (older, newer) = self.runs();
         older.iter().chain(newer.iter())
     }
 
-    /// The stored `(cycle, event)` pairs, in order.
+    /// The stored entries, in order.
     ///
     /// A wrapped [`TraceOverflow::Ring`] trace stores its events
     /// rotated; use [`SimTrace::iter`] or [`SimTrace::runs`] there —
     /// this accessor keeps its borrow-as-slice shape for the
     /// `KeepFirst` traces the seed tests drive.
     #[must_use]
-    pub fn events(&self) -> &[(u64, TraceEvent)] {
+    pub fn events(&self) -> &[TraceEntry] {
         &self.events
     }
 
@@ -206,8 +268,8 @@ impl SimTrace {
     pub fn filter<'a, F: Fn(&TraceEvent) -> bool + 'a>(
         &'a self,
         predicate: F,
-    ) -> impl Iterator<Item = &'a (u64, TraceEvent)> + 'a {
-        self.iter().filter(move |(_, e)| predicate(e))
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.iter().filter(move |entry| predicate(&entry.event))
     }
 
     /// Renders the log as one line per event, oldest first.
@@ -218,8 +280,9 @@ impl SimTrace {
         if self.overflow == TraceOverflow::Ring && self.dropped > 0 {
             let _ = writeln!(out, "... {} earlier events overwritten", self.dropped);
         }
-        for (cycle, event) in self.iter() {
-            let _ = writeln!(out, "[{cycle:>8}] {event}");
+        for entry in self.iter() {
+            let TraceEntry { frame, cycle, event } = entry;
+            let _ = writeln!(out, "[f{frame:>5} @{cycle:>8}] {event}");
         }
         if self.overflow == TraceOverflow::KeepFirst && self.dropped > 0 {
             let _ = writeln!(out, "... {} further events dropped", self.dropped);
@@ -277,14 +340,14 @@ mod tests {
         assert_eq!(t.dropped(), 7);
         let ids: Vec<u64> = t
             .iter()
-            .map(|(_, e)| match e {
-                TraceEvent::JobCompleted { job } => *job,
+            .map(|entry| match entry.event {
+                TraceEvent::JobCompleted { job } => job,
                 _ => unreachable!(),
             })
             .collect();
         assert_eq!(ids, vec![7, 8, 9]);
         // Chronological iteration holds across the wrap point.
-        let cycles: Vec<u64> = t.iter().map(|(c, _)| *c).collect();
+        let cycles: Vec<u64> = t.iter().map(|entry| entry.cycle).collect();
         assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
         let s = t.render();
         assert!(s.contains("job 9 completed"));
@@ -305,6 +368,36 @@ mod tests {
         let (older, newer) = ring.runs();
         assert_eq!(older.len(), 5);
         assert!(newer.is_empty());
+    }
+
+    #[test]
+    fn entries_carry_the_current_frame() {
+        let mut t = SimTrace::with_capacity(8);
+        t.record(3, TraceEvent::JobCompleted { job: 0 });
+        t.set_frame(1);
+        t.record(10, TraceEvent::JobCompleted { job: 1 });
+        t.record(12, TraceEvent::JobCompleted { job: 2 });
+        t.set_frame(2);
+        t.record(20, TraceEvent::JobCompleted { job: 3 });
+        let frames: Vec<u64> = t.iter().map(|e| e.frame).collect();
+        assert_eq!(frames, vec![0, 1, 1, 2]);
+        assert_eq!(t.events()[1], TraceEntry::new(1, 10, TraceEvent::JobCompleted { job: 1 }));
+    }
+
+    #[test]
+    fn tap_sees_events_past_capacity_and_clears() {
+        let mut t = SimTrace::default();
+        assert!(t.is_disabled());
+        t.enable_tap();
+        t.set_frame(4);
+        t.record(7, TraceEvent::JobCompleted { job: 9 });
+        // Disabled log stores nothing, but the tap still saw the event.
+        assert!(t.events().is_empty());
+        assert_eq!(t.tap(), &[TraceEntry::new(4, 7, TraceEvent::JobCompleted { job: 9 })]);
+        t.clear_tap();
+        assert!(t.tap().is_empty());
+        t.record(8, TraceEvent::JobCompleted { job: 10 });
+        assert_eq!(t.tap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Low-level wire primitives: LEB128 varints, fixed-width little-endian
+//! integers, and a bounds-checked read cursor.
+
+use crate::TraceError;
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub(crate) fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` as 8 little-endian bytes.
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` as 4 little-endian bytes.
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` as 2 little-endian bytes.
+pub(crate) fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked forward reader over an encoded byte slice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    pub(crate) fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(TraceError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    pub(crate) fn take_u16(&mut self) -> Result<u16, TraceError> {
+        let b = self.take_bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn take_u32(&mut self) -> Result<u32, TraceError> {
+        let b = self.take_bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Result<u64, TraceError> {
+        let b = self.take_bytes(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    pub(crate) fn take_uvarint(&mut self) -> Result<u64, TraceError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take_u8()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(TraceError::Malformed("varint overflows u64"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let samples =
+            [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::from(u32::MAX), u64::MAX - 1, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &samples {
+            put_uvarint(&mut buf, v);
+        }
+        let mut cur = Cursor::new(&buf);
+        for &v in &samples {
+            assert_eq!(cur.take_uvarint().unwrap(), v);
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn fixed_width_roundtrip_and_bounds() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xbeef);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, 0x0123_4567_89ab_cdef);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.take_u16().unwrap(), 0xbeef);
+        assert_eq!(cur.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(cur.take_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(matches!(cur.take_u8(), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // 11 continuation bytes: more than a u64 can hold.
+        let buf = [0xffu8; 11];
+        let mut cur = Cursor::new(&buf);
+        assert!(matches!(cur.take_uvarint(), Err(TraceError::Malformed(_))));
+    }
+}

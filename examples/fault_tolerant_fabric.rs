@@ -45,7 +45,7 @@ fn run_and_narrate(label: &str, remap: bool) -> Result<f64, Box<dyn std::error::
     println!("  survivors:      {} of 16", sim.live_node_count());
     // Show the first few pivotal events.
     println!("  first pivotal events:");
-    for (cycle, event) in sim
+    for entry in sim
         .trace()
         .filter(|e| {
             matches!(
@@ -57,7 +57,7 @@ fn run_and_narrate(label: &str, remap: bool) -> Result<f64, Box<dyn std::error::
         })
         .take(6)
     {
-        println!("    [{cycle:>7}] {event}");
+        println!("    [f{:>3} @{:>7}] {}", entry.frame, entry.cycle, entry.event);
     }
     println!();
     Ok(sim.jobs_completed() as f64)
