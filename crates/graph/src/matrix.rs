@@ -165,6 +165,14 @@ impl<T> Matrix<T> {
         self.data.chunks_mut(rows_per_chunk * self.cols.max(1))
     }
 
+    /// The full row-major backing slice (`rows * cols` entries) — the
+    /// contiguous plane view that gather loops and SoA exporters stream
+    /// over without per-row bookkeeping.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
     /// Iterates over all `(row, col, &value)` triples in row-major order.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, &T)> + '_ {
         self.data.iter().enumerate().map(move |(k, v)| (k / self.cols, k % self.cols, v))

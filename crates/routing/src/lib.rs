@@ -69,7 +69,7 @@ pub use etx_graph::{NodeBitset, PathBackend};
 pub use report::SystemReport;
 pub use router::{Algorithm, FrameDelta, RecomputeStrategy, Router};
 pub use scratch::{RecomputeStats, RoutingScratch};
-pub use table::{RouteEntry, RoutingState};
+pub use table::{RouteEntry, RouteTablePlanes, RoutingState};
 pub use weighting::BatteryWeighting;
 pub(crate) use weights::update_node_weights;
 pub use weights::{ear_weights, ear_weights_into, sdr_weights, sdr_weights_into};

@@ -1,7 +1,7 @@
 //! Phase 3: routing tables — nearest-duplicate destination selection with
 //! deadlock avoidance (the paper's Fig 6).
 
-use etx_graph::{Matrix, NodeId, ShortestPaths};
+use etx_graph::{IndexPlane, Matrix, NodeBitset, NodeId, PlaneIdx, ShortestPaths};
 
 use crate::SystemReport;
 
@@ -17,6 +17,132 @@ pub struct RouteEntry {
     pub next_hop: NodeId,
     /// The phase-2 distance to `destination` (battery-weighted under EAR).
     pub distance: f64,
+}
+
+/// Struct-of-arrays compaction of the flat phase-3 route table: the
+/// read-side layout `etx-serve` snapshots serve queries from.
+///
+/// One `Option<RouteEntry>` (a 32-byte struct, half of it padding and
+/// `Option` discriminant) becomes one lane in each of four planes: a
+/// destination-index plane, a first-hop-index plane (both
+/// `u16`-compacted via [`IndexPlane`] whenever the node count allows),
+/// an `f64` entry-distance plane, and a validity word-bitset. A batched
+/// next-hop lookup gathers 4–12 bytes from planes that stay resident in
+/// L1 instead of chasing 32-byte entries through L2, and queries that
+/// never read the distance (pure next-hop relaying) never touch the
+/// distance plane at all.
+///
+/// Invalid entries store the sentinel in both index planes and `0.0`
+/// in the distance plane, so two plane sets filled from equal tables
+/// under equal index bounds compare equal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteTablePlanes {
+    /// Destination-index plane (`flat = node * module_count + module`).
+    pub dest: IndexPlane,
+    /// First-hop-index plane.
+    pub next_hop: IndexPlane,
+    /// Entry-distance plane (`0.0` where invalid).
+    pub distance: Vec<f64>,
+    /// Validity bitset over flat table positions: a clear bit is a
+    /// `None` entry.
+    pub valid: NodeBitset,
+}
+
+impl RouteTablePlanes {
+    /// Empty planes; fill through [`RouteTablePlanes::fill_from_table`]
+    /// (or [`RoutingState::export_route_planes`]) before use.
+    #[must_use]
+    pub fn new() -> Self {
+        RouteTablePlanes::default()
+    }
+
+    /// Number of flat table positions covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.distance.len()
+    }
+
+    /// `true` when no positions are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.distance.is_empty()
+    }
+
+    /// Reconstructs the `Option<RouteEntry>` at flat position `flat`
+    /// (`None` for invalid and out-of-range positions) — byte-identical
+    /// to the entry the planes were filled from.
+    #[must_use]
+    pub fn entry(&self, flat: usize) -> Option<RouteEntry> {
+        if !self.valid.contains(NodeId::new(flat)) {
+            return None;
+        }
+        Some(RouteEntry {
+            destination: NodeId::new(self.dest.get(flat)?),
+            next_hop: NodeId::new(self.next_hop.get(flat)?),
+            distance: self.distance[flat],
+        })
+    }
+
+    /// Refills every plane from a flat AoS table, in one pass, reusing
+    /// all four backing allocations (no heap allocation in steady
+    /// state). `index_bound` is the exclusive upper bound of node
+    /// indices the planes must represent — the producing system's node
+    /// count; bounds past [`IndexPlane::NARROW_BOUND`] select the wide
+    /// (`u32`) fallback planes.
+    pub fn fill_from_table(&mut self, table: &[Option<RouteEntry>], index_bound: usize) {
+        self.valid.resize(table.len());
+        self.distance.clear();
+        self.distance.reserve(table.len());
+        if IndexPlane::narrow_fits(index_bound) {
+            self.fill_lanes::<u16>(table);
+        } else {
+            self.fill_lanes::<u32>(table);
+        }
+    }
+
+    fn fill_lanes<I: PlaneIdx>(&mut self, table: &[Option<RouteEntry>])
+    where
+        IndexPlane: PlaneLanes<I>,
+    {
+        let dest = PlaneLanes::<I>::reset_lanes(&mut self.dest);
+        dest.reserve(table.len());
+        let next = PlaneLanes::<I>::reset_lanes(&mut self.next_hop);
+        next.reserve(table.len());
+        for (flat, entry) in table.iter().enumerate() {
+            match entry {
+                Some(entry) => {
+                    dest.push(I::compact(entry.destination.index()));
+                    next.push(I::compact(entry.next_hop.index()));
+                    self.distance.push(entry.distance);
+                    self.valid.insert(NodeId::new(flat));
+                }
+                None => {
+                    dest.push(I::SENTINEL);
+                    next.push(I::SENTINEL);
+                    self.distance.push(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Width-dispatch helper: resolves an [`IndexPlane`] to the lane buffer
+/// of one concrete width so [`RouteTablePlanes::fill_from_table`] runs
+/// a single monomorphized fill loop per width.
+trait PlaneLanes<I: PlaneIdx> {
+    fn reset_lanes(&mut self) -> &mut Vec<I>;
+}
+
+impl PlaneLanes<u16> for IndexPlane {
+    fn reset_lanes(&mut self) -> &mut Vec<u16> {
+        self.reset_narrow()
+    }
+}
+
+impl PlaneLanes<u32> for IndexPlane {
+    fn reset_lanes(&mut self) -> &mut Vec<u32> {
+        self.reset_wide()
+    }
 }
 
 /// Which phase-2 algorithm (and successor tie-breaking policy) filled the
@@ -447,11 +573,22 @@ impl RoutingState {
     }
 
     /// The flat phase-3 table, row-major by node (`node * module_count +
-    /// module`) — the copy source for read-side snapshot services that
-    /// need the whole table in one pass (see `etx-serve`).
+    /// module`) — the AoS master copy read-side snapshot services
+    /// compact into planes in one pass (see
+    /// [`RoutingState::export_route_planes`] and `etx-serve`).
     #[must_use]
     pub fn route_table(&self) -> &[Option<RouteEntry>] {
         &self.table
+    }
+
+    /// Compacts the phase-3 table into struct-of-arrays planes — the
+    /// read-side export surface: `etx-serve` snapshots call this once
+    /// per published epoch and then answer batched lookups from the
+    /// planes without reconstructing `Option<RouteEntry>` values until
+    /// result write-back. Reuses every buffer in `out`; the lane width
+    /// follows [`RoutingState::node_count`].
+    pub fn export_route_planes(&self, out: &mut RouteTablePlanes) {
+        out.fill_from_table(&self.table, self.node_count());
     }
 
     /// Number of modules covered.
@@ -745,5 +882,39 @@ mod tests {
         assert!(rs.route(NodeId::new(0), 9).is_none());
         assert!(rs.distance(NodeId::new(0), NodeId::new(3)).is_some());
         assert_eq!(rs.paths().node_count(), 4);
+    }
+
+    #[test]
+    fn route_planes_reconstruct_every_entry() {
+        // A table with live entries, a `None` row (dead node) and an
+        // extinct module column exercises every plane lane.
+        let modules = vec![vec![NodeId::new(0), NodeId::new(3)], vec![NodeId::new(2)]];
+        let mut report = SystemReport::fresh(4, 16);
+        report.set_dead(NodeId::new(2));
+        let rs = build_line(&modules, &report, None);
+
+        let mut planes = RouteTablePlanes::new();
+        rs.export_route_planes(&mut planes);
+        assert_eq!(planes.len(), rs.route_table().len());
+        assert!(!planes.dest.is_wide(), "4 nodes compact to u16 lanes");
+        for (flat, expected) in rs.route_table().iter().enumerate() {
+            assert_eq!(planes.entry(flat), *expected, "flat position {flat}");
+        }
+        assert_eq!(planes.entry(planes.len()), None, "out of range reads as absent");
+
+        // Refill in place from the same table: planes compare equal, so
+        // canonicalised invalid lanes carry no stale data across refills.
+        let again = planes.clone();
+        rs.export_route_planes(&mut planes);
+        assert_eq!(planes, again);
+
+        // A bound past the narrow range forces wide lanes with identical
+        // reconstruction (the 65k-node shape without 65k nodes).
+        let mut wide = RouteTablePlanes::new();
+        wide.fill_from_table(rs.route_table(), 70_000);
+        assert!(wide.dest.is_wide() && wide.next_hop.is_wide());
+        for (flat, expected) in rs.route_table().iter().enumerate() {
+            assert_eq!(wide.entry(flat), *expected, "wide flat position {flat}");
+        }
     }
 }

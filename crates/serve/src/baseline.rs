@@ -1,0 +1,250 @@
+//! [`AosFrontend`]: the pre-plane array-of-structs execution path, kept
+//! as a differential baseline.
+//!
+//! The struct-of-arrays snapshot layout claims two things: a measurable
+//! speedup *and* byte-identical answers. Both claims need the old
+//! layout alive in the same process — ROADMAP warns this box drifts
+//! ±40% between runs, so a speedup measured against a stale JSON is
+//! noise, and a byte-diff needs something to diff against. This module
+//! preserves the AoS layout (`Vec<Option<RouteEntry>>` table,
+//! `Matrix<Option<NodeId>>` successors) and the query-at-a-time enum
+//! dispatch exactly as `execute` ran before the lane split, behind the
+//! same `(shard, fabric, source)` sort, so `bench_serve` can interleave
+//! the two layouts and CI can diff their outputs byte for byte.
+
+use etx_fleet::FleetRng;
+use etx_graph::{Matrix, NodeId};
+use etx_routing::RouteEntry;
+
+use crate::frontend::FleetFrontend;
+use crate::query::{Query, QueryBatch, QueryOutput, QueryResult};
+use crate::snapshot::TableSnapshot;
+
+/// One fabric's tables in the pre-plane array-of-structs layout: the
+/// flat `Option<RouteEntry>` route table and the phase-2 matrices as
+/// the snapshot stored them before the SoA repack.
+#[derive(Debug, Clone)]
+pub struct AosTables {
+    modules: usize,
+    nodes: usize,
+    dist: Matrix<f64>,
+    succ: Matrix<Option<NodeId>>,
+    table: Vec<Option<RouteEntry>>,
+}
+
+impl AosTables {
+    /// Reassembles the AoS layout from a plane snapshot. The
+    /// reconstruction inverts `fill_from` exactly — `entry()` is
+    /// byte-identical to the producing router's table — so a query
+    /// answered from these tables is answered from the same data the
+    /// snapshot serves.
+    #[must_use]
+    pub fn from_snapshot(snap: &TableSnapshot) -> Self {
+        let n = snap.node_count();
+        let succ_plane = snap.succ_plane();
+        AosTables {
+            modules: snap.module_count(),
+            nodes: n,
+            dist: Matrix::from_vec(n, n, snap.dist_plane().to_vec()),
+            succ: Matrix::from_vec(
+                n,
+                n,
+                (0..n * n).map(|i| succ_plane.get(i).map(NodeId::new)).collect(),
+            ),
+            table: snap.entries().collect(),
+        }
+    }
+
+    /// The flat AoS table (the byte-identity oracle's ground truth).
+    #[must_use]
+    pub fn route_table(&self) -> &[Option<RouteEntry>] {
+        &self.table
+    }
+
+    fn route(&self, node: NodeId, module: usize) -> Option<RouteEntry> {
+        if module >= self.modules || node.index() >= self.nodes {
+            return None;
+        }
+        *self.table.get(node.index() * self.modules + module)?
+    }
+
+    fn next_hop(&self, from: NodeId, to: NodeId) -> Option<NodeId> {
+        if from.index() >= self.nodes || to.index() >= self.nodes {
+            return None;
+        }
+        if from == to {
+            Some(to)
+        } else {
+            self.succ[(from, to)]
+        }
+    }
+
+    fn cost(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        if from.index() >= self.nodes || to.index() >= self.nodes {
+            return None;
+        }
+        let d = self.dist[(from, to)];
+        d.is_finite().then_some(d)
+    }
+
+    fn path_into(&self, node: NodeId, module: usize, out: &mut Vec<NodeId>) -> Option<RouteEntry> {
+        let entry = self.route(node, module)?;
+        let start = out.len();
+        out.push(node);
+        if entry.destination != node {
+            let mut cur = entry.next_hop;
+            out.push(cur);
+            let mut hops = 1usize;
+            while cur != entry.destination {
+                let Some(next) = self.next_hop(cur, entry.destination) else {
+                    out.truncate(start);
+                    return None;
+                };
+                cur = next;
+                out.push(cur);
+                hops += 1;
+                if hops > self.nodes {
+                    out.truncate(start);
+                    return None;
+                }
+            }
+        }
+        Some(entry)
+    }
+}
+
+/// An array-of-structs mirror of a [`FleetFrontend`]: the same fabrics
+/// (pinned at mirror time), the same shard hash and the same
+/// `(shard, fabric, source)` sort, executed through the pre-lane
+/// query-at-a-time dispatch. Differential harnesses run a batch through
+/// both frontends and require byte-identical outputs.
+///
+/// The mirror copies each fabric's *current* snapshot; fabrics
+/// republished after [`AosFrontend::mirror`] diverge from the live
+/// frontend, so mirror after the tables have settled (benchmark and CI
+/// frontends are static once warmed).
+#[derive(Debug, Clone)]
+pub struct AosFrontend {
+    fabrics: Vec<Option<AosTables>>,
+    shards: usize,
+}
+
+impl AosFrontend {
+    /// Mirrors `frontend`'s current tables into the AoS layout.
+    #[must_use]
+    pub fn mirror(frontend: &FleetFrontend) -> Self {
+        let fabrics = (0..frontend.fabric_count() as u32)
+            .map(|f| frontend.pin(f).map(|pin| AosTables::from_snapshot(&pin)))
+            .collect();
+        AosFrontend { fabrics, shards: frontend.shard_count() }
+    }
+
+    /// The mirrored tables of one fabric (`None` for unserved ids).
+    #[must_use]
+    pub fn tables(&self, fabric: u32) -> Option<&AosTables> {
+        self.fabrics.get(fabric as usize)?.as_ref()
+    }
+
+    /// The shard owning `fabric` — the same `splitmix64(fabric) %
+    /// shard_count` hash as the mirrored frontend, so both sides sort a
+    /// batch into the same execution order (and therefore fill the path
+    /// arena in the same order).
+    #[must_use]
+    pub fn shard_of(&self, fabric: u32) -> u32 {
+        (FleetRng::new(u64::from(fabric)).next_u64() % self.shards as u64) as u32
+    }
+
+    /// Executes a batch through the pre-lane path: one sorted pass,
+    /// every query dispatched individually through the enum match
+    /// against its fabric's AoS tables. Buffers are reused exactly as
+    /// in the live `execute` — steady-state batches allocate nothing —
+    /// and the output (results *and* arena bytes) must be
+    /// byte-identical to the plane-based execution of the same batch.
+    pub fn execute(&self, batch: &mut QueryBatch, out: &mut QueryOutput) {
+        batch.sort_for_execution(|fabric| self.shard_of(fabric));
+        out.reset(batch.len());
+        let mut last_fabric: Option<u32> = None;
+        let mut tables: Option<&AosTables> = None;
+        for slot in 0..batch.order.len() {
+            let index = batch.order[slot] as usize;
+            let query = batch.queries()[index];
+            let fabric = query.fabric();
+            if last_fabric != Some(fabric) {
+                last_fabric = Some(fabric);
+                tables = self.fabrics.get(fabric as usize).and_then(Option::as_ref);
+            }
+            let result = match tables {
+                Some(tables) => match query {
+                    Query::NextHop { source, module, .. } => {
+                        QueryResult::NextHop(tables.route(source, module as usize))
+                    }
+                    Query::Path { source, module, .. } => {
+                        let arena = out.arena_mut();
+                        let start = arena.len() as u32;
+                        let entry = tables.path_into(source, module as usize, arena);
+                        QueryResult::Path { entry, nodes: (start, out.arena_mut().len() as u32) }
+                    }
+                    Query::Cost { source, target, .. } => {
+                        QueryResult::Cost(tables.cost(source, target))
+                    }
+                },
+                None => QueryResult::UnknownFabric,
+            };
+            out.set(index, result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_fleet::ScenarioSpec;
+
+    fn smoke_frontend() -> FleetFrontend {
+        let spec = ScenarioSpec { instances: 3, ..ScenarioSpec::smoke() };
+        FleetFrontend::from_spec(&spec, 1_500, 2).expect("smoke spec is valid")
+    }
+
+    #[test]
+    fn mirror_executes_byte_identically() {
+        let frontend = smoke_frontend();
+        let mirror = AosFrontend::mirror(&frontend);
+        let mut batch = QueryBatch::new();
+        for f in 0..frontend.fabric_count() as u32 {
+            let nodes = frontend.node_count(f).unwrap_or(1);
+            for s in 0..nodes {
+                batch.push(Query::NextHop { fabric: f, source: NodeId::new(s), module: 0 });
+                batch.push(Query::Path { fabric: f, source: NodeId::new(s), module: 1 });
+                batch.push(Query::Cost {
+                    fabric: f,
+                    source: NodeId::new(s),
+                    target: NodeId::new((s + 1) % nodes),
+                });
+            }
+        }
+        batch.push(Query::NextHop { fabric: 99, source: NodeId::new(0), module: 0 });
+
+        let mut soa = QueryOutput::new();
+        let mut aos = QueryOutput::new();
+        frontend.execute(&mut batch, &mut soa);
+        mirror.execute(&mut batch, &mut aos);
+        // Byte identity: same results (arena ranges included) and the
+        // same arena bytes — not just resolved-level equality.
+        assert_eq!(soa.results(), aos.results());
+        for (a, b) in soa.results().iter().zip(aos.results()) {
+            assert_eq!(soa.path_nodes(a), aos.path_nodes(b));
+        }
+    }
+
+    #[test]
+    fn mirror_round_trips_the_table() {
+        let frontend = smoke_frontend();
+        let mirror = AosFrontend::mirror(&frontend);
+        for f in 0..frontend.fabric_count() as u32 {
+            let (Some(pin), Some(tables)) = (frontend.pin(f), mirror.tables(f)) else {
+                continue;
+            };
+            assert!(pin.entries().eq(tables.route_table().iter().copied()));
+        }
+    }
+}

@@ -6,7 +6,7 @@ use etx_graph::NodeId;
 use etx_sim::SimPool;
 
 use crate::publish::{EpochPublisher, PinnedSnapshot, SnapshotReader};
-use crate::query::{execute_on, Query, QueryBatch, QueryOutput, QueryResult};
+use crate::query::{execute_group, LaneScratch, Query, QueryBatch, QueryOutput, QueryResult};
 
 /// One served fabric: the reader half of its publisher plus the
 /// dimensions workload generators need.
@@ -51,12 +51,13 @@ impl ShardWorkspace {
 }
 
 /// One shard's private output: results tagged with their submission
-/// index, and a shard-local path arena (ranges are shard-relative until
-/// the scatter rebases them).
+/// index, a shard-local path arena (ranges are shard-relative until
+/// the scatter rebases them), and the shard's own lane storage.
 #[derive(Debug, Default)]
 struct ShardSlot {
     results: Vec<(u32, QueryResult)>,
     arena: Vec<NodeId>,
+    lanes: LaneScratch,
 }
 
 /// A read-side frontend over a fleet of fabrics: every fabric's routing
@@ -174,11 +175,21 @@ impl FleetFrontend {
         self.fabrics.get(fabric as usize)?.as_ref().map(|h| h.reader.epoch())
     }
 
+    /// Pins a served fabric's current snapshot (`None` for
+    /// unknown/rejected ids) — the hook differential harnesses use to
+    /// mirror the exact tables a batch would be answered from.
+    #[must_use]
+    pub fn pin(&self, fabric: u32) -> Option<PinnedSnapshot> {
+        self.fabrics.get(fabric as usize)?.as_ref().map(|h| h.reader.pin())
+    }
+
     /// Executes a batch: sorts it by `(shard, fabric, source)`, pins
-    /// each addressed fabric's snapshot exactly once, and writes every
-    /// answer into `out` at the query's submission index. All buffers
-    /// (`batch`'s permutation, `out`'s results and path arena) are
-    /// reused — steady-state batches perform no heap allocation.
+    /// each addressed fabric's snapshot exactly once, runs each fabric
+    /// group's per-type lanes over the snapshot planes, and writes
+    /// every answer into `out` at the query's submission index. All
+    /// buffers (`batch`'s permutation and lanes, `out`'s results and
+    /// path arena) are reused — steady-state batches perform no heap
+    /// allocation.
     ///
     /// Within one batch, all queries against the same fabric are
     /// answered from **one** snapshot (the pin), so a batch can never
@@ -186,25 +197,23 @@ impl FleetFrontend {
     pub fn execute(&self, batch: &mut QueryBatch, out: &mut QueryOutput) {
         batch.sort_for_execution(|fabric| self.shard_of(fabric));
         out.reset(batch.len());
-        let mut last_fabric: Option<u32> = None;
-        let mut pinned: Option<PinnedSnapshot> = None;
-        for slot in 0..batch.order.len() {
-            let index = batch.order[slot] as usize;
-            let query = batch.queries()[index];
-            let fabric = query.fabric();
-            if last_fabric != Some(fabric) {
-                last_fabric = Some(fabric);
-                pinned = self
-                    .fabrics
-                    .get(fabric as usize)
-                    .and_then(Option::as_ref)
-                    .map(|handle| handle.reader.pin());
+        let (order, queries, lanes) = batch.exec_parts();
+        let (results, arena) = out.parts_mut();
+        let mut start = 0usize;
+        while start < order.len() {
+            let fabric = queries[order[start] as usize].fabric();
+            let mut end = start + 1;
+            while end < order.len() && queries[order[end] as usize].fabric() == fabric {
+                end += 1;
             }
-            let result = match &pinned {
-                Some(snapshot) => execute_on(snapshot, &query, out.arena_mut()),
-                None => QueryResult::UnknownFabric,
-            };
-            out.set(index, result);
+            let pinned: Option<PinnedSnapshot> = self
+                .fabrics
+                .get(fabric as usize)
+                .and_then(Option::as_ref)
+                .map(|handle| handle.reader.pin());
+            let mut sink = |oi: u32, r| results[oi as usize] = r;
+            execute_group(pinned.as_deref(), &order[start..end], queries, lanes, arena, &mut sink);
+            start = end;
         }
     }
 
@@ -325,28 +334,29 @@ impl FleetFrontend {
     }
 
     /// Executes one shard's contiguous slice of the sorted order into
-    /// its private slot (the unit of the fan-out).
+    /// its private slot (the unit of the fan-out): the same fabric-group
+    /// lane execution as [`FleetFrontend::execute`], appending `(index,
+    /// result)` pairs in lane order — the scatter reorders them by
+    /// submission index, so lane order never leaks into the output.
     fn run_shard(&self, order: &[u32], queries: &[Query], slot: &mut ShardSlot) {
-        slot.results.clear();
-        slot.arena.clear();
-        let mut last_fabric: Option<u32> = None;
-        let mut pinned: Option<PinnedSnapshot> = None;
-        for &index in order {
-            let query = queries[index as usize];
-            let fabric = query.fabric();
-            if last_fabric != Some(fabric) {
-                last_fabric = Some(fabric);
-                pinned = self
-                    .fabrics
-                    .get(fabric as usize)
-                    .and_then(Option::as_ref)
-                    .map(|handle| handle.reader.pin());
+        let ShardSlot { results, arena, lanes } = slot;
+        results.clear();
+        arena.clear();
+        let mut start = 0usize;
+        while start < order.len() {
+            let fabric = queries[order[start] as usize].fabric();
+            let mut end = start + 1;
+            while end < order.len() && queries[order[end] as usize].fabric() == fabric {
+                end += 1;
             }
-            let result = match &pinned {
-                Some(snapshot) => execute_on(snapshot, &query, &mut slot.arena),
-                None => QueryResult::UnknownFabric,
-            };
-            slot.results.push((index, result));
+            let pinned: Option<PinnedSnapshot> = self
+                .fabrics
+                .get(fabric as usize)
+                .and_then(Option::as_ref)
+                .map(|handle| handle.reader.pin());
+            let mut sink = |oi: u32, r| results.push((oi, r));
+            execute_group(pinned.as_deref(), &order[start..end], queries, lanes, arena, &mut sink);
+            start = end;
         }
     }
 }

@@ -6,9 +6,11 @@
 //! *produces* tables. `etx-serve` consumes them at rate:
 //!
 //! * [`TableSnapshot`] — an immutable, epoch-numbered copy of one
-//!   controller invocation's tables (phase-3 route table + phase-2
-//!   distance/successor matrices), byte-identical to the
-//!   [`RoutingState`](etx_routing::RoutingState) it was filled from;
+//!   controller invocation's tables, repacked as **struct-of-arrays
+//!   planes** (u16-compacted destination/first-hop/successor index
+//!   planes, an `f64` distance plane, a validity bitset) that
+//!   reconstruct entries byte-identical to the
+//!   [`RoutingState`](etx_routing::RoutingState) they were filled from;
 //! * [`EpochPublisher`] / [`SnapshotReader`] — std-only double-buffered
 //!   `Arc` publication: the writer fills outside the lock and swaps a
 //!   pointer; readers pin with a pointer clone and can hold a snapshot
@@ -18,7 +20,9 @@
 //!   recompute becomes one published epoch;
 //! * [`QueryBatch`] / [`QueryOutput`] — batched next-hop / full-path /
 //!   path-cost queries, sorted by `(shard, fabric, source)` to amortize
-//!   cache misses, answered into caller-owned buffers with zero
+//!   cache misses (single-fabric batches skip the sort), split into
+//!   per-type lanes that run cache-blocked over exactly the planes each
+//!   query type reads, answered into caller-owned buffers with zero
 //!   steady-state allocation;
 //! * [`FleetFrontend`] — one query surface over thousands of pooled
 //!   fabric instances (built from an
@@ -27,7 +31,10 @@
 //!   across shard counts;
 //! * [`WorkloadGen`] / [`run_load`] — SplitMix64-driven open- and
 //!   closed-loop load generation with HDR-style tail-latency capture
-//!   (the fleet's exact-integer histograms).
+//!   (the fleet's exact-integer histograms);
+//! * [`AosFrontend`] — the pre-plane array-of-structs execution path,
+//!   kept alive so benchmarks can interleave both layouts in one
+//!   process and CI can diff their outputs byte for byte.
 //!
 //! # Example
 //!
@@ -50,12 +57,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod baseline;
 mod frontend;
 mod publish;
 mod query;
 mod snapshot;
 mod workload;
 
+pub use baseline::{AosFrontend, AosTables};
 pub use frontend::{FleetFrontend, ShardWorkspace};
 pub use publish::{EpochPublisher, PinnedSnapshot, SnapshotReader};
 pub use query::{Query, QueryBatch, QueryOutput, QueryResult};

@@ -1,17 +1,25 @@
 //! Batched route queries: the [`QueryBatch`] / [`QueryOutput`] pair and
-//! the per-snapshot execution core.
+//! the lane-split per-snapshot execution core.
 //!
 //! Queries address a `(fabric, source)` pair; batches sort themselves by
 //! `(shard, fabric, source)` before execution so all lookups against one
 //! fabric's snapshot — and within it, one source's table row and
 //! all-pairs rows — land back to back, amortizing cache misses across
-//! the batch. Results land in **caller-owned** buffers in the original
+//! the batch (single-fabric batches skip the sort entirely and run in
+//! submission order). Each fabric's sorted group is then split into
+//! per-type **lanes** — NextHop, Cost, Path — and every lane runs as a
+//! tight cache-blocked loop over exactly the snapshot planes that query
+//! type reads: next-hop lookups gather from two index planes, one `f64`
+//! plane and the validity bitset; cost lookups touch only the distance
+//! plane; path walks run last so the shared node arena fills in sorted
+//! order. No `Option<RouteEntry>` is reconstructed until result
+//! write-back. Results land in **caller-owned** buffers in the original
 //! submission order (the sort is an internal permutation), and every
 //! buffer is reused across batches: once warmed, the execute path
 //! performs no heap allocation — the same counting-allocator discipline
 //! as the routing kernel's `RoutingScratch`.
 
-use etx_graph::NodeId;
+use etx_graph::{NodeId, PlaneIdx};
 use etx_routing::RouteEntry;
 
 use crate::snapshot::TableSnapshot;
@@ -93,6 +101,154 @@ pub enum QueryResult {
     UnknownFabric,
 }
 
+/// Lane slots per cache block of a gather pass: 512 slots touch at most
+/// ~6 KiB of plane data (u16 dest + u16 next_hop + f64 distance), so a
+/// block's plane segments stay L1-resident while its results scatter.
+const LANE_BLOCK: usize = 512;
+
+/// The out-of-range marker in a lane's pre-resolved flat indices: the
+/// split pass bounds-checks once, so the gather loops never re-examine
+/// the query.
+const OUT_OF_RANGE: usize = usize::MAX;
+
+/// Reusable lane storage for one executor: the per-type splits of a
+/// fabric group's sorted order. NextHop and Cost slots carry their
+/// pre-resolved flat plane index (`OUT_OF_RANGE` when the query misses
+/// the fabric's dimensions), so the gather loops are pure plane reads —
+/// the 16-byte `Query` is decoded exactly once, in the split pass. All
+/// buffers are retained across batches (zero steady-state allocation).
+#[derive(Debug, Clone, Default)]
+pub struct LaneScratch {
+    next_hop: Vec<(u32, usize)>,
+    cost: Vec<(u32, usize)>,
+    path: Vec<u32>,
+}
+
+/// Executes one fabric group of the sorted order against its pinned
+/// snapshot (`None`: the fabric is unserved — every query answers
+/// [`QueryResult::UnknownFabric`]), delivering each `(submission index,
+/// result)` pair through `sink`.
+///
+/// The group is split into per-type lanes and each lane runs as a tight
+/// loop over its planes. Lanes preserve the group's internal order, and
+/// the Path lane runs **last**, appending to `arena` — since no other
+/// lane touches the arena, the arena bytes (and every result's arena
+/// range) are identical to a query-at-a-time dispatch over the same
+/// order, which is what keeps serial, sharded and AoS-mirror execution
+/// byte-identical.
+pub(crate) fn execute_group(
+    snapshot: Option<&TableSnapshot>,
+    order: &[u32],
+    queries: &[Query],
+    lanes: &mut LaneScratch,
+    arena: &mut Vec<NodeId>,
+    sink: &mut impl FnMut(u32, QueryResult),
+) {
+    let Some(snap) = snapshot else {
+        for &oi in order {
+            sink(oi, QueryResult::UnknownFabric);
+        }
+        return;
+    };
+    lanes.next_hop.clear();
+    lanes.cost.clear();
+    lanes.path.clear();
+    // Reserve to the group bound, not the split sizes: lane lengths
+    // vary with the batch mix, and capacity must reach its high-water
+    // mark in one step for the steady state to stay allocation-free.
+    lanes.next_hop.reserve(order.len());
+    lanes.cost.reserve(order.len());
+    lanes.path.reserve(order.len());
+    let n = snap.node_count();
+    let modules = snap.module_count();
+    for &oi in order {
+        match queries[oi as usize] {
+            Query::NextHop { source, module, .. } => {
+                let flat = if source.index() < n && (module as usize) < modules {
+                    source.index() * modules + module as usize
+                } else {
+                    OUT_OF_RANGE
+                };
+                lanes.next_hop.push((oi, flat));
+            }
+            Query::Cost { source, target, .. } => {
+                let flat = if source.index() < n && target.index() < n {
+                    source.index() * n + target.index()
+                } else {
+                    OUT_OF_RANGE
+                };
+                lanes.cost.push((oi, flat));
+            }
+            Query::Path { .. } => lanes.path.push(oi),
+        }
+    }
+
+    let planes = snap.table_planes();
+    match (planes.dest.narrow(), planes.next_hop.narrow()) {
+        (Some(dest), Some(next)) => {
+            next_hop_lane(snap, dest, next, &lanes.next_hop, sink);
+        }
+        _ => {
+            let dest = planes.dest.wide().expect("plane widths agree");
+            let next = planes.next_hop.wide().expect("plane widths agree");
+            next_hop_lane(snap, dest, next, &lanes.next_hop, sink);
+        }
+    }
+    cost_lane(snap, &lanes.cost, sink);
+    // Path lane last: the only lane that appends to the arena.
+    for &oi in &lanes.path {
+        let Query::Path { source, module, .. } = queries[oi as usize] else {
+            unreachable!("path lane holds only path queries")
+        };
+        let start = arena.len() as u32;
+        let entry = snap.path_into(source, module as usize, arena);
+        sink(oi, QueryResult::Path { entry, nodes: (start, arena.len() as u32) });
+    }
+}
+
+/// The NextHop lane: a tight gather over the two index planes, the
+/// entry-distance plane and the validity bitset, monomorphized per lane
+/// width. Flat indices were pre-resolved by the split pass, so each
+/// slot is four plane reads and one result write — and because the lane
+/// preserves the `(shard, fabric, source)` sort, each `LANE_BLOCK`
+/// chunk's reads land in a bounded, monotonically advancing segment of
+/// every plane (the blocked schedule falls out of the sort).
+fn next_hop_lane<I: PlaneIdx>(
+    snap: &TableSnapshot,
+    dest: &[I],
+    next: &[I],
+    lane: &[(u32, usize)],
+    sink: &mut impl FnMut(u32, QueryResult),
+) {
+    let planes = snap.table_planes();
+    let dist: &[f64] = &planes.distance;
+    let valid = &planes.valid;
+    for block in lane.chunks(LANE_BLOCK) {
+        for &(oi, flat) in block {
+            // `contains` is false both for the OUT_OF_RANGE sentinel
+            // and for invalid entries, so one bit test gates the gather.
+            let entry = valid.contains(NodeId::new(flat)).then(|| RouteEntry {
+                destination: NodeId::new(dest[flat].expand()),
+                next_hop: NodeId::new(next[flat].expand()),
+                distance: dist[flat],
+            });
+            sink(oi, QueryResult::NextHop(entry));
+        }
+    }
+}
+
+/// The Cost lane: a gather over the phase-2 distance plane — the only
+/// plane a cost query reads (8 bytes per slot).
+fn cost_lane(snap: &TableSnapshot, lane: &[(u32, usize)], sink: &mut impl FnMut(u32, QueryResult)) {
+    let dist = snap.dist_plane();
+    for block in lane.chunks(LANE_BLOCK) {
+        for &(oi, flat) in block {
+            let cost = (flat != OUT_OF_RANGE).then(|| dist[flat]).filter(|d| d.is_finite());
+            sink(oi, QueryResult::Cost(cost));
+        }
+    }
+}
+
 /// A reusable batch of queries plus the sort permutation the executor
 /// orders them through. Submission order is preserved in the results.
 #[derive(Debug, Clone, Default)]
@@ -103,6 +259,8 @@ pub struct QueryBatch {
     /// Packed sort keys (`shard | fabric | source | index`), reused per
     /// execute so the sort never re-evaluates the shard hash.
     keys: Vec<u128>,
+    /// Lane storage for the serial execute path.
+    pub(crate) lanes: LaneScratch,
 }
 
 impl QueryBatch {
@@ -140,15 +298,36 @@ impl QueryBatch {
         &self.queries
     }
 
+    /// Split borrow for the execute loop: the sorted order, the queries
+    /// and the lane scratch, disjointly.
+    pub(crate) fn exec_parts(&mut self) -> (&[u32], &[Query], &mut LaneScratch) {
+        (&self.order, &self.queries, &mut self.lanes)
+    }
+
     /// Rebuilds the execution order: stable on submission index, sorted
     /// by `(shard, fabric, source)` so each fabric — and each source
     /// row within it — is visited exactly once per batch.
     ///
-    /// Keys are packed into `u128`s up front — one `shard_of` hash per
-    /// query, not per comparison (`sort_unstable_by_key` re-evaluates
-    /// its closure; `sort_by_cached_key` caches but allocates, which
-    /// the steady state must not).
+    /// **Single-fabric fast path**: when every query addresses one
+    /// fabric (the per-garment common case), the whole batch is one
+    /// execution group whatever the order, so the sort is skipped and
+    /// the identity (submission) order emitted directly — the lane
+    /// split downstream still gives each query type its streaming pass.
+    ///
+    /// Mixed batches take the packed path: keys are packed into `u128`s
+    /// up front — one `shard_of` hash per query, not per comparison
+    /// (`sort_unstable_by_key` re-evaluates its closure;
+    /// `sort_by_cached_key` caches but allocates, which the steady
+    /// state must not).
     pub(crate) fn sort_for_execution(&mut self, shard_of: impl Fn(u32) -> u32) {
+        self.order.clear();
+        if let Some(first) = self.queries.first() {
+            let fabric = first.fabric();
+            if self.queries.iter().all(|q| q.fabric() == fabric) {
+                self.order.extend(0..self.queries.len() as u32);
+                return;
+            }
+        }
         self.keys.clear();
         self.keys.reserve(self.queries.len());
         for (i, q) in self.queries.iter().enumerate() {
@@ -160,7 +339,6 @@ impl QueryBatch {
             self.keys.push(key);
         }
         self.keys.sort_unstable();
-        self.order.clear();
         self.order.extend(self.keys.iter().map(|&key| (key & u128::from(u32::MAX)) as u32));
     }
 }
@@ -213,31 +391,20 @@ impl QueryOutput {
     pub(crate) fn arena_mut(&mut self) -> &mut Vec<NodeId> {
         &mut self.arena
     }
-}
 
-/// Executes one query against a pinned snapshot, materializing path
-/// nodes into `arena`.
-pub(crate) fn execute_on(
-    snapshot: &TableSnapshot,
-    query: &Query,
-    arena: &mut Vec<NodeId>,
-) -> QueryResult {
-    match *query {
-        Query::NextHop { source, module, .. } => {
-            QueryResult::NextHop(snapshot.route(source, module as usize).copied())
-        }
-        Query::Path { source, module, .. } => {
-            let start = arena.len() as u32;
-            let entry = snapshot.path_into(source, module as usize, arena);
-            QueryResult::Path { entry, nodes: (start, arena.len() as u32) }
-        }
-        Query::Cost { source, target, .. } => QueryResult::Cost(snapshot.cost(source, target)),
+    /// Split borrow for the execute loop: the result slots and the path
+    /// arena, disjointly.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<QueryResult>, &mut Vec<NodeId>) {
+        (&mut self.results, &mut self.arena)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use etx_graph::topology;
+    use etx_routing::{Algorithm, Router, RoutingState, SystemReport};
+    use etx_units::Length;
 
     fn q(fabric: u32, source: usize) -> Query {
         Query::NextHop { fabric, source: NodeId::new(source), module: 0 }
@@ -258,6 +425,22 @@ mod tests {
     }
 
     #[test]
+    fn single_fabric_batch_skips_the_sort() {
+        let mut batch = QueryBatch::new();
+        for s in [5, 1, 9, 0] {
+            batch.push(q(3, s));
+        }
+        // A shard hash that would scramble everything must not even be
+        // consulted: one fabric means one group whatever the order.
+        batch.sort_for_execution(|_| unreachable!("single-fabric batch must not hash"));
+        assert_eq!(batch.order, vec![0, 1, 2, 3], "identity order, not source-sorted");
+        // A second fabric reinstates the packed sort.
+        batch.push(q(1, 2));
+        batch.sort_for_execution(|f| f);
+        assert_eq!(batch.order, vec![4, 3, 1, 0, 2]);
+    }
+
+    #[test]
     fn output_reset_preserves_capacity() {
         let mut out = QueryOutput::new();
         out.reset(4);
@@ -267,5 +450,81 @@ mod tests {
         out.reset(2);
         assert_eq!(out.results().len(), 2);
         assert!(out.path_nodes(&QueryResult::Cost(None)).is_empty());
+    }
+
+    fn ring_state(k: usize) -> RoutingState {
+        let graph = topology::ring(k, Length::from_centimetres(1.0));
+        let modules = vec![vec![NodeId::new(0), NodeId::new(k / 2)]];
+        let report = SystemReport::fresh(k, 16);
+        Router::new(Algorithm::Ear).compute(&graph, &modules, &report, None)
+    }
+
+    /// Runs one mixed group through `execute_group` and collects the
+    /// `(submission index, result)` pairs plus the arena.
+    fn run_group(snap: &TableSnapshot) -> (Vec<(u32, QueryResult)>, Vec<NodeId>) {
+        let n = snap.node_count();
+        let mut queries = Vec::new();
+        for s in 0..n {
+            queries.push(Query::NextHop { fabric: 0, source: NodeId::new(s), module: 0 });
+            queries.push(Query::Path { fabric: 0, source: NodeId::new(s), module: 0 });
+            queries.push(Query::Cost {
+                fabric: 0,
+                source: NodeId::new(s),
+                target: NodeId::new((s + 1) % n),
+            });
+        }
+        // Out-of-range probes ride along in every lane.
+        queries.push(Query::NextHop { fabric: 0, source: NodeId::new(n + 3), module: 9 });
+        queries.push(Query::Cost { fabric: 0, source: NodeId::new(0), target: NodeId::new(n) });
+        let order: Vec<u32> = (0..queries.len() as u32).collect();
+        let mut lanes = LaneScratch::default();
+        let mut arena = Vec::new();
+        let mut got = Vec::new();
+        execute_group(Some(snap), &order, &queries, &mut lanes, &mut arena, &mut |oi, r| {
+            got.push((oi, r));
+        });
+        got.sort_by_key(|&(oi, _)| oi);
+        (got, arena)
+    }
+
+    #[test]
+    fn wide_and_narrow_groups_answer_identically() {
+        // The monomorphized u32 gather must agree with the u16 gather
+        // result for result (the arena ranges included).
+        let state = ring_state(6);
+        let mut narrow = TableSnapshot::empty();
+        narrow.fill_from(1, &state);
+        let mut wide = TableSnapshot::empty();
+        wide.fill_from_bounded(1, &state, 70_000);
+        assert!(wide.wide_index_planes() && !narrow.wide_index_planes());
+        let (narrow_results, narrow_arena) = run_group(&narrow);
+        let (wide_results, wide_arena) = run_group(&wide);
+        assert_eq!(narrow_results, wide_results);
+        assert_eq!(narrow_arena, wide_arena);
+        // And the in-range next-hop answers agree with the routing
+        // state itself (query 3s is source s's next-hop lookup).
+        for (oi, result) in narrow_results {
+            if let QueryResult::NextHop(entry) = result {
+                let source = oi as usize / 3;
+                let want = (source < state.node_count())
+                    .then(|| state.route(NodeId::new(source), 0).copied())
+                    .flatten();
+                assert_eq!(entry, want, "query {oi}");
+            }
+        }
+    }
+
+    #[test]
+    fn unserved_group_answers_unknown_fabric() {
+        let queries = vec![q(7, 0), q(7, 1)];
+        let order = vec![0u32, 1];
+        let mut lanes = LaneScratch::default();
+        let mut arena = Vec::new();
+        let mut got = Vec::new();
+        execute_group(None, &order, &queries, &mut lanes, &mut arena, &mut |oi, r| {
+            got.push((oi, r));
+        });
+        assert_eq!(got, vec![(0, QueryResult::UnknownFabric), (1, QueryResult::UnknownFabric)]);
+        assert!(arena.is_empty());
     }
 }

@@ -36,10 +36,25 @@ impl Default for WorkloadSpec {
 }
 
 impl WorkloadSpec {
-    /// A pure point-lookup workload (the headline throughput metric).
+    /// A pure point-lookup workload (the headline throughput metric;
+    /// exercises the NextHop lane alone).
     #[must_use]
     pub fn point_lookups() -> Self {
         WorkloadSpec { next_hop_weight: 1, path_weight: 0, cost_weight: 0, ..Self::default() }
+    }
+
+    /// A pure full-path workload (exercises the Path lane and the node
+    /// arena alone).
+    #[must_use]
+    pub fn full_paths() -> Self {
+        WorkloadSpec { next_hop_weight: 0, path_weight: 1, cost_weight: 0, ..Self::default() }
+    }
+
+    /// A pure path-cost workload (exercises the Cost lane — and with
+    /// it, only the distance plane).
+    #[must_use]
+    pub fn path_costs() -> Self {
+        WorkloadSpec { next_hop_weight: 0, path_weight: 0, cost_weight: 1, ..Self::default() }
     }
 }
 

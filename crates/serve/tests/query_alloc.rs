@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use etx_graph::{topology::Mesh2D, NodeId};
 use etx_routing::{Algorithm, Router, RoutingScratch, RoutingState, SystemReport};
 use etx_serve::{
-    EpochPublisher, FleetFrontend, QueryBatch, QueryOutput, ShardWorkspace, WorkloadGen,
+    EpochPublisher, FleetFrontend, Query, QueryBatch, QueryOutput, ShardWorkspace, WorkloadGen,
     WorkloadSpec,
 };
 use etx_units::Length;
@@ -173,4 +173,45 @@ fn steady_publish_and_query_loop_does_not_allocate() {
         assert_eq!(allocated, 0, "sharded execute allocated {allocated} times over 8 batches");
     }
     assert_eq!(out.results().len(), 512);
+
+    // Single-fabric fast path: every query addresses fabric 0, so
+    // `sort_for_execution` skips the key build + sort entirely and the
+    // lane-split execute runs all three lanes — the Path lane writing
+    // through the arena — on warm buffers without allocating.
+    let nodes = frontend.node_count(0).unwrap();
+    let modules = frontend.module_count(0).unwrap() as u32;
+    let fill_single_fabric = |batch: &mut QueryBatch, salt: usize| {
+        batch.clear();
+        for i in 0..512usize {
+            let source = NodeId::new((i * 13 + salt) % nodes);
+            let query = match i % 10 {
+                8 => Query::Path { fabric: 0, source, module: (i as u32) % modules },
+                9 => Query::Cost { fabric: 0, source, target: NodeId::new((i * 7 + salt) % nodes) },
+                _ => Query::NextHop { fabric: 0, source, module: (i as u32) % modules },
+            };
+            batch.push(query);
+        }
+    };
+    // Warm-up, then the measured loop (the per-type lane buffers and
+    // the arena reach their high-water marks for this mix).
+    for salt in 0..4 {
+        fill_single_fabric(&mut batch, salt);
+        frontend.execute(&mut batch, &mut out);
+    }
+    let before = allocations();
+    for salt in 0..8 {
+        fill_single_fabric(&mut batch, salt);
+        frontend.execute(&mut batch, &mut out);
+    }
+    let allocated = allocations() - before;
+    assert_eq!(
+        allocated, 0,
+        "single-fabric lane-split execute allocated {allocated} times over 8 batches"
+    );
+    assert_eq!(out.results().len(), 512);
+    // The fast path really answered paths through the arena.
+    assert!(out
+        .results()
+        .iter()
+        .any(|r| matches!(r, etx_serve::QueryResult::Path { nodes: (s, e), .. } if e > s)));
 }

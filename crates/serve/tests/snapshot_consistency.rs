@@ -5,11 +5,16 @@
 //! [`RecomputeStrategy`] (whose in-place delta/repair recomputes and
 //! delta-aware table rebuilds must never leak into a published epoch).
 
+use etx_fleet::ScenarioSpec;
 use etx_graph::{topology::Mesh2D, NodeId, PathBackend};
 use etx_routing::{
     Algorithm, RecomputeStrategy, Router, RoutingScratch, RoutingState, SystemReport,
 };
-use etx_serve::{EpochPublisher, PinnedSnapshot, TableSnapshot};
+use etx_serve::{
+    EpochPublisher, FleetFrontend, PinnedSnapshot, Query, QueryBatch, QueryOutput, QueryResult,
+    ShardWorkspace, TableSnapshot, WorkloadGen, WorkloadSpec,
+};
+use etx_sim::FrameFeed;
 use etx_units::Length;
 use proptest::prelude::*;
 
@@ -170,6 +175,191 @@ proptest! {
                     "strategy {:?} diverged from Full at epoch {}", strategy, want.epoch()
                 );
             }
+        }
+    }
+
+    /// The lane-split batched execution answers exactly what the
+    /// producing `RoutingState` answers: for every epoch of a
+    /// drain/churn/reconnect chain (every recompute strategy, both
+    /// algorithms), a frontend batch of all three query types — serial
+    /// and sharded — resolves to the state's own `route`, `distance`
+    /// and successor-walk answers.
+    #[test]
+    fn batched_queries_match_routing_state(
+        side in 3usize..6,
+        algorithm in prop_oneof![Just(Algorithm::Ear), Just(Algorithm::Sdr)],
+        strategy in prop_oneof![
+            Just(RecomputeStrategy::Full),
+            Just(RecomputeStrategy::AffectedSources),
+            Just(RecomputeStrategy::IncrementalRepair),
+            Just(RecomputeStrategy::Auto),
+        ],
+        shards in 1usize..5,
+        frames in proptest::collection::vec(
+            (proptest::collection::vec(0u32..16, 8), proptest::collection::vec(any::<bool>(), 5)),
+            2..5
+        ),
+    ) {
+        let router = Router::new(algorithm)
+            .with_backend(PathBackend::DijkstraAllPairs)
+            .with_strategy(strategy);
+        let graph = mesh_graph(side);
+        let k = graph.node_count();
+        let modules = module_stripes(k);
+
+        let (mut publisher, reader) = EpochPublisher::new();
+        let mut frontend = FleetFrontend::new(shards);
+        let fabric = frontend.register(reader, k, modules.len());
+
+        let mut scratch = RoutingScratch::new();
+        let mut state = RoutingState::empty();
+        let mut report = report_from(&frames[0].0, &frames[0].1, k);
+        router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+
+        let mut batch = QueryBatch::new();
+        let mut serial = QueryOutput::new();
+        let mut sharded = QueryOutput::new();
+        let mut workspace = ShardWorkspace::new();
+        let mut want_path = Vec::new();
+
+        for (frame, (levels, dead)) in frames.iter().enumerate() {
+            if frame > 0 {
+                let old_report = report;
+                report = report_from(levels, dead, k);
+                router.recompute_into(
+                    &graph, &modules, &old_report, &report, &mut scratch, &mut state,
+                );
+            }
+            publisher.publish(&state);
+
+            batch.clear();
+            for s in 0..k {
+                let source = NodeId::new(s);
+                for m in 0..modules.len() as u32 {
+                    batch.push(Query::NextHop { fabric, source, module: m });
+                    batch.push(Query::Path { fabric, source, module: m });
+                }
+                batch.push(Query::Cost { fabric, source, target: NodeId::new((s * 7 + 1) % k) });
+            }
+            frontend.execute(&mut batch, &mut serial);
+            frontend.execute_sharded(&mut batch, &mut sharded, &mut workspace);
+
+            for (query, result) in batch.queries().iter().zip(serial.results()) {
+                match (*query, *result) {
+                    (Query::NextHop { source, module, .. }, QueryResult::NextHop(entry)) => {
+                        prop_assert_eq!(entry, state.route(source, module as usize).copied());
+                    }
+                    (Query::Cost { source, target, .. }, QueryResult::Cost(cost)) => {
+                        prop_assert_eq!(cost, state.distance(source, target));
+                    }
+                    (Query::Path { source, module, .. }, result @ QueryResult::Path { entry, .. }) => {
+                        let want = state.route(source, module as usize).copied();
+                        prop_assert_eq!(entry, want);
+                        // Reference walk through the state's successor
+                        // data: first hop from the entry, remainder via
+                        // next_hop.
+                        want_path.clear();
+                        if let Some(entry) = want {
+                            want_path.push(source);
+                            let mut cur = entry.next_hop;
+                            while cur != entry.destination {
+                                want_path.push(cur);
+                                cur = state.next_hop(cur, entry.destination)
+                                    .expect("published route walks to its destination");
+                            }
+                            if entry.destination != source {
+                                want_path.push(entry.destination);
+                            }
+                        }
+                        prop_assert_eq!(serial.path_nodes(&result), want_path.as_slice());
+                    }
+                    (query, result) => {
+                        prop_assert!(false, "mismatched kinds: {:?} -> {:?}", query, result);
+                    }
+                }
+            }
+            // The sharded fan-out resolves identically (its arena layout
+            // is shard-ordered, so compare at the resolved level).
+            prop_assert_eq!(serial.results().len(), sharded.results().len());
+            for (a, b) in serial.results().iter().zip(sharded.results()) {
+                match (a, b) {
+                    (QueryResult::Path { entry: ea, .. }, QueryResult::Path { entry: eb, .. }) => {
+                        prop_assert_eq!(ea, eb);
+                        prop_assert_eq!(serial.path_nodes(a), sharded.path_nodes(b));
+                    }
+                    _ => prop_assert_eq!(a, b),
+                }
+            }
+        }
+    }
+}
+
+/// Both engine frame feeds publish byte-identical tables, so frontends
+/// built over either feed answer byte-identical batches (results and
+/// path-arena bytes).
+#[test]
+fn frame_feeds_serve_identical_answers() {
+    let base = ScenarioSpec { instances: 3, ..ScenarioSpec::smoke() };
+    let bitset_spec = ScenarioSpec { feed: FrameFeed::Bitset, ..base.clone() };
+    let diff_spec = ScenarioSpec { feed: FrameFeed::ReportDiff, ..base };
+    let bitset = FleetFrontend::from_spec(&bitset_spec, 1_500, 3).expect("valid spec");
+    let diff = FleetFrontend::from_spec(&diff_spec, 1_500, 3).expect("valid spec");
+
+    let mut generator = WorkloadGen::new(WorkloadSpec { batch: 512, ..WorkloadSpec::default() });
+    let mut batch = QueryBatch::new();
+    let mut out_bitset = QueryOutput::new();
+    let mut out_diff = QueryOutput::new();
+    for _ in 0..4 {
+        generator.fill(&bitset, &mut batch);
+        bitset.execute(&mut batch, &mut out_bitset);
+        diff.execute(&mut batch, &mut out_diff);
+        assert_eq!(out_bitset.results(), out_diff.results());
+        for (a, b) in out_bitset.results().iter().zip(out_diff.results()) {
+            assert_eq!(out_bitset.path_nodes(a), out_diff.path_nodes(b));
+        }
+    }
+}
+
+/// The `node_count > u16::MAX` regime, shaped without 65k nodes: an
+/// index bound past the narrow range forces the wide (`u32`) fallback
+/// on every index plane, and the wide snapshot answers every query
+/// identically to the narrow one and to the producing state.
+#[test]
+fn wide_index_fallback_matches_narrow_and_state() {
+    let graph = mesh_graph(4);
+    let k = graph.node_count();
+    let modules = module_stripes(k);
+    let report = report_from(&[15, 3, 9], &[false, false, true], k);
+    let router = Router::new(Algorithm::Ear);
+    let mut scratch = RoutingScratch::new();
+    let mut state = RoutingState::empty();
+    router.compute_into(&graph, &modules, &report, None, &mut scratch, &mut state);
+
+    let mut narrow = TableSnapshot::empty();
+    narrow.fill_from(1, &state);
+    let mut wide = TableSnapshot::empty();
+    wide.fill_from_bounded(1, &state, (u16::MAX as usize) + 2);
+    assert!(wide.wide_index_planes(), "bound past u16::MAX must select u32 lanes");
+    assert!(!narrow.wide_index_planes());
+
+    assert!(wide.entries().eq(state.route_table().iter().copied()));
+    let mut wide_path = Vec::new();
+    let mut narrow_path = Vec::new();
+    for s in 0..k {
+        let node = NodeId::new(s);
+        for m in 0..modules.len() {
+            assert_eq!(wide.route(node, m), state.route(node, m).copied());
+            wide_path.clear();
+            narrow_path.clear();
+            let we = wide.path_into(node, m, &mut wide_path);
+            let ne = narrow.path_into(node, m, &mut narrow_path);
+            assert_eq!(we, ne);
+            assert_eq!(wide_path, narrow_path);
+        }
+        for t in 0..k {
+            let other = NodeId::new(t);
+            assert_eq!(wide.cost(node, other), state.distance(node, other));
+            assert_eq!(wide.next_hop(node, other), state.next_hop(node, other));
         }
     }
 }
