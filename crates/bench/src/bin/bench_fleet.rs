@@ -21,6 +21,7 @@
 use std::time::Instant;
 
 use etx::fleet::{FleetController, ScenarioSpec, ShardPlan};
+use etx::metrics::{CounterId, MetricsSnapshot};
 use etx::trace::{record_run, RecordMode, RecordOptions};
 
 struct Point {
@@ -30,6 +31,10 @@ struct Point {
     instances_per_sec: f64,
     jobs_completed_total: u128,
     lifetime_p50: u64,
+    /// The run's merged fleet-wide metrics snapshot (per-shard
+    /// counters-only registries; the shards record whether or not the
+    /// bench reads them, so surfacing them costs nothing extra).
+    metrics: MetricsSnapshot,
 }
 
 fn measure(instances: usize) -> Point {
@@ -48,13 +53,14 @@ fn measure(instances: usize) -> Point {
         instances_per_sec: instances as f64 / wall.max(1e-9),
         jobs_completed_total: result.aggregate.jobs_completed_total,
         lifetime_p50: result.aggregate.lifetime.quantile_raw(0.5),
+        metrics: result.metrics,
     }
 }
 
 /// Per-frame wall-time distribution of one recorded smoke instance:
-/// `(frames, p50_ns, p90_ns, max_ns)`. The first frame has no
+/// `(frames, p50_ns, p99_ns, p999_ns, max_ns)`. The first frame has no
 /// predecessor timestamp (wall time 0) and is excluded.
-fn frame_walltime_stats() -> (usize, u64, u64, u64) {
+fn frame_walltime_stats() -> (usize, u64, u64, u64, u64) {
     // The longest-lived smoke instance beats a 1-frame one: sample a few
     // and keep the instance with the most frames.
     let spec = ScenarioSpec { instances: 8, ..ScenarioSpec::smoke() };
@@ -75,11 +81,11 @@ fn frame_walltime_stats() -> (usize, u64, u64, u64) {
         }
     }
     if best.is_empty() {
-        return (0, 0, 0, 0);
+        return (0, 0, 0, 0, 0);
     }
     best.sort_unstable();
     let pick = |q: f64| best[((best.len() - 1) as f64 * q).round() as usize];
-    (best.len(), pick(0.50), pick(0.90), best[best.len() - 1])
+    (best.len(), pick(0.50), pick(0.90), pick(0.999), best[best.len() - 1])
 }
 
 fn main() {
@@ -111,15 +117,29 @@ fn main() {
         "  \"workload\": \"smoke scenario family (3x3..4x4 fabrics, churn, heterogeneity), \
          auto shard plan, per-shard SimPool reuse\",\n",
     );
-    let (ft_frames, ft_p50, ft_p90, ft_max) = frame_walltime_stats();
+    let (ft_frames, ft_p50, ft_p90, ft_p999, ft_max) = frame_walltime_stats();
     eprintln!(
         "frame wall time (recorded smoke instance, {ft_frames} frames): \
-         p50={ft_p50}ns p90={ft_p90}ns max={ft_max}ns"
+         p50={ft_p50}ns p90={ft_p90}ns p999={ft_p999}ns max={ft_max}ns"
     );
     json.push_str(&format!(
         "  \"frame_walltime\": {{\"frames\": {ft_frames}, \"p50_ns\": {ft_p50}, \
-         \"p90_ns\": {ft_p90}, \"max_ns\": {ft_max}}},\n"
+         \"p90_ns\": {ft_p90}, \"p999_ns\": {ft_p999}, \"max_ns\": {ft_max}}},\n"
     ));
+    // Headline counters of the largest measured run (shard-count
+    // invariant, so reviewers can diff them like the aggregates).
+    if let Some(largest) = points.last() {
+        let m = &largest.metrics;
+        json.push_str(&format!(
+            "  \"metrics\": {{\"fleet_instances\": {}, \"sim_frames\": {}, \
+             \"sim_recomputes\": {}, \"sim_jobs_completed\": {}, \"sim_jobs_lost\": {}}},\n",
+            m.counter(CounterId::FleetInstances),
+            m.counter(CounterId::SimFrames),
+            m.counter(CounterId::SimRecomputes),
+            m.counter(CounterId::SimJobsCompleted),
+            m.counter(CounterId::SimJobsLost),
+        ));
+    }
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(

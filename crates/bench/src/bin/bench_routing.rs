@@ -43,10 +43,20 @@
 //! and `record_overhead_ns` / `record_overhead_frac` (one `etx-trace`
 //! record call — digest + encode + ring store — absolute and as a
 //! fraction of a steady repair frame).
+//!
+//! A final `"metrics"` block reports `metrics_overhead_frac`: one
+//! frame's full `etx-metrics` record traffic (the engine's frame
+//! counters, phase spans, routing-version gauge and `RecomputeStats`
+//! delta flush, plus every live repair-stage span) micro-timed on a
+//! warm loop against the identical loop with recording
+//! runtime-disabled, divided by the K=1024 steady-drain repair frame —
+//! the same protocol as `record_overhead_frac`. CI gates this at ≤ 1%.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use etx::graph::{NodeBitset, PathBackend};
+use etx::metrics::{CounterId, GaugeId, MetricsHandle, Registry, SpanId};
 use etx::prelude::*;
 use etx::routing::{FrameDelta, RecomputeStrategy, RoutingScratch, RoutingState};
 
@@ -137,6 +147,7 @@ fn record_frame_ns(report: &SystemReport, budget: Duration) -> f64 {
             recomputed: true,
             report,
             recompute: stats,
+            recompute_delta: stats,
             events: &events,
             medium_energy: Energy::from_picojoules(frame as f64 * 100.0),
             controller_energy: Energy::from_picojoules(frame as f64 * 400.0),
@@ -427,21 +438,135 @@ fn steady_drain_ns(
     window_ns / CHURN_PERIOD as f64
 }
 
+/// Per-frame cost of full `etx-metrics` instrumentation, measured the
+/// way `record_overhead_ns` measures trace recording: the complete
+/// record traffic one instrumented steady-drain frame emits — the
+/// engine's frame counters, phase spans, routing-version gauge and
+/// `RecomputeStats` delta flush, plus every live repair-stage span —
+/// timed on a warm tight loop against the identical loop with
+/// recording runtime-disabled (the shipped no-op mode: every record
+/// call early-returns on the class flags, spans never read the clock).
+/// Returns `(enabled_ns, noop_ns)` per frame.
+///
+/// **One registry, toggled, windows interleaved.** Two
+/// separately-allocated loop instances differ in memory layout, and on
+/// this shared container address-dependent cache/TLB aliasing makes
+/// one systematically 1–2% faster for the lifetime of the process;
+/// and best-of minima gathered seconds apart swing ±4% because the
+/// noise floor itself drifts. Toggling one registry keeps every byte
+/// of working set identical between the streams, and alternating
+/// enabled/disabled windows inside one budget keeps both on the same
+/// machine.
+///
+/// Differential end-to-end timing of the repair loop itself was tried
+/// and abandoned: a sub-microsecond per-frame record cost is ~0.03% of
+/// the 1.8 ms K=1024 repair frame, an order of magnitude below this
+/// container's demonstrated estimator bias — null experiments with
+/// both streams disabled read ±2–4% "overhead" on a true zero, bent by
+/// LLC-exceeding working sets, node-residue workload parity coupling
+/// and co-tenant stalls. Micro-timing the record traffic resolves
+/// nanoseconds; dividing by the separately measured repair frame gives
+/// the fraction the CI gate rides — exactly how `record_overhead_frac`
+/// is defined.
+fn metrics_record_ns(budget: Duration) -> (f64, f64) {
+    let registry = Arc::new(Registry::full());
+    let metrics = MetricsHandle::new(Arc::clone(&registry));
+    // A representative steady-drain frame's recompute delta: one
+    // repaired source, a phase-3 patch sweep, one node scanned.
+    let delta = etx::routing::RecomputeStats {
+        repair_recomputes: 1,
+        repaired_sources: 1,
+        table_cells_patched: 33,
+        nodes_scanned: 1,
+        ..Default::default()
+    };
+    let mut version = 0u64;
+    let mut record_one = || {
+        version += 1;
+        // The engine's frame loop traffic (engine.rs): frame counter,
+        // three phase spans, recompute counter, version gauge, delta
+        // flush...
+        metrics.inc(CounterId::SimFrames);
+        {
+            let _upload = metrics.span(SpanId::SimFrameUpload);
+        }
+        {
+            let _recompute = metrics.span(SpanId::SimFrameRecompute);
+            // ...wrapping the repair pipeline's stage spans
+            // (router.rs): the stage-1 delta guard, the stage-2 timer
+            // with its one-half observation, the stage-3 table guard.
+            {
+                let _delta = metrics.span(SpanId::RoutingRepairDelta);
+            }
+            let stage2 = metrics.timer();
+            metrics.observe_since(SpanId::RoutingRepairIncrease, stage2);
+            {
+                let _table = metrics.span(SpanId::RoutingRepairTable);
+            }
+        }
+        metrics.inc(CounterId::SimRecomputes);
+        {
+            let _publish = metrics.span(SpanId::SimFramePublish);
+        }
+        metrics.gauge_raise(GaugeId::SimRoutingVersion, version);
+        delta.record_into(&metrics);
+    };
+    let set_recording = |on: bool| {
+        registry.set_counting(on);
+        registry.set_timing(on);
+    };
+    // ~600 ns/frame enabled: a window is long enough to dwarf the two
+    // clock reads timing it, short enough for many windows per budget.
+    const WINDOW: usize = 1024;
+    for on in [true, false] {
+        set_recording(on);
+        for _ in 0..WINDOW {
+            record_one();
+        }
+    }
+    // best[0] = noop stream, best[1] = enabled stream.
+    let mut best = [f64::INFINITY; 2];
+    let deadline = Instant::now() + budget;
+    let mut iters = 0u32;
+    loop {
+        for on in [true, false] {
+            set_recording(on);
+            let start = Instant::now();
+            for _ in 0..WINDOW {
+                record_one();
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            let slot = usize::from(on);
+            best[slot] = best[slot].min(ns);
+        }
+        iters += 1;
+        if (iters >= 3 && Instant::now() >= deadline) || iters >= 10_000 {
+            break;
+        }
+    }
+    (best[1] / WINDOW as f64, best[0] / WINDOW as f64)
+}
+
+/// A mid-drain fleet with striped charge (buckets 8..=15, neighbours
+/// differing) rather than a factory-fresh uniform one: uniform levels
+/// make every pulse back to ambient spawn mesh-wide exact-tie
+/// achiever flips, a worst case no running fleet sits in, and the
+/// repair paths measured here are exactly the tie-maintenance-sensitive
+/// ones.
+fn striped_report(k: usize) -> SystemReport {
+    let mut report = SystemReport::fresh(k, 16);
+    for i in 0..k {
+        report.set_battery_level(NodeId::new(i), 8 + ((i * 5) % 8) as u32);
+    }
+    report
+}
+
 fn measure(side: usize, budget: Duration) -> Point {
     let mesh = Mesh2D::square(side, Length::from_centimetres(2.05));
     let graph = mesh.to_graph();
     let k = graph.node_count();
     let modules = module_stripes(k);
-    // A mid-drain fleet with striped charge (buckets 8..=15, neighbours
-    // differing) rather than a factory-fresh uniform one: uniform levels
-    // make every pulse back to ambient spawn mesh-wide exact-tie
-    // achiever flips, a worst case no running fleet sits in, and the
-    // repair paths below are exactly the tie-maintenance-sensitive ones.
-    let mut report = SystemReport::fresh(k, 16);
-    for i in 0..k {
-        report.set_battery_level(NodeId::new(i), 8 + ((i * 5) % 8) as u32);
-    }
-    let report = report;
+    let report = striped_report(k);
 
     let fw = Router::new(Algorithm::Ear).with_backend(PathBackend::FloydWarshall);
     let auto = Router::new(Algorithm::Ear);
@@ -566,6 +691,50 @@ fn main() {
         points.push(point);
     }
 
+    // Metrics instrumentation overhead, always against the K=1024
+    // steady-drain repair frame — the ≤1% budget is defined there, and
+    // at smaller K the (fixed, sub-microsecond) per-frame record cost
+    // reads as a misleadingly large fraction of a cheap frame. The
+    // record traffic is micro-timed (see `metrics_record_ns` for why
+    // end-to-end differential timing cannot resolve this on a shared
+    // container); the denominator reuses the full run's K=1024 point,
+    // or is measured directly with a short budget under `--smoke`.
+    let overhead_side = 32;
+    let overhead_budget =
+        if smoke { Duration::from_millis(200) } else { Duration::from_millis(1000) };
+    let (metrics_enabled_ns, metrics_noop_ns) = metrics_record_ns(overhead_budget);
+    let metrics_overhead_ns = (metrics_enabled_ns - metrics_noop_ns).max(0.0);
+    let repair_frame_ns = points
+        .iter()
+        .find(|p| p.side == overhead_side)
+        .map(|p| p.incremental_repair_ns)
+        .unwrap_or_else(|| {
+            let mesh = Mesh2D::square(overhead_side, Length::from_centimetres(2.05));
+            let graph = mesh.to_graph();
+            let k = graph.node_count();
+            let modules = module_stripes(k);
+            let report = striped_report(k);
+            steady_drain_ns(
+                &Router::new(Algorithm::Ear).with_strategy(RecomputeStrategy::IncrementalRepair),
+                &graph,
+                &modules,
+                &report,
+                Duration::from_millis(250),
+                true,
+            )
+        });
+    let metrics_overhead_frac = metrics_overhead_ns / repair_frame_ns;
+    eprintln!(
+        "metrics record traffic: enabled={:.0}ns noop={:.0}ns overhead={:.0}ns/frame \
+         = {:.3}% of the K={} repair frame ({:.2}ms)",
+        metrics_enabled_ns,
+        metrics_noop_ns,
+        metrics_overhead_ns,
+        metrics_overhead_frac * 100.0,
+        overhead_side * overhead_side,
+        repair_frame_ns / 1e6,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"routing_recompute\",\n");
@@ -605,7 +774,19 @@ fn main() {
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"metrics\": {{\"k\": {}, \"record_enabled_ns\": {:.0}, \
+         \"record_noop_ns\": {:.0}, \"metrics_overhead_ns\": {:.0}, \
+         \"repair_frame_ns\": {:.0}, \"metrics_overhead_frac\": {:.4}}}\n",
+        overhead_side * overhead_side,
+        metrics_enabled_ns,
+        metrics_noop_ns,
+        metrics_overhead_ns,
+        repair_frame_ns,
+        metrics_overhead_frac,
+    ));
+    json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write benchmark json");
     eprintln!("wrote {out_path}");
 }

@@ -34,10 +34,12 @@
 //! box-to-box and minute-to-minute drift.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use etx::fleet::ScenarioSpec;
 use etx::graph::{topology::Mesh2D, NodeId};
+use etx::metrics::{CounterId, MetricsHandle, Registry, SpanId};
 use etx::routing::{Algorithm, RecomputeStrategy, Router, SystemReport};
 use etx::serve::{
     run_load, AosFrontend, EpochPublisher, FleetFrontend, LoadMode, LoadReport, QueryBatch,
@@ -235,17 +237,23 @@ fn bench(smoke: bool, out_path: &str) {
         (32, 4, 4, 256, 8_000, 4_000_000)
     };
 
+    // One full registry across both frontends: the load loops below
+    // fill the batch counters and the per-lane latency histograms,
+    // which the `metrics` JSON block reports at the end.
+    let metrics = MetricsHandle::new(Arc::new(Registry::full()));
     eprintln!("building {big_count}x {side}x{side} fleet (warm {warm} cycles each)...");
     let big =
         FleetFrontend::from_spec(&fleet_spec(side, big_count, RecomputeStrategy::Auto), warm, 4)
-            .expect("serve spec is valid");
+            .expect("serve spec is valid")
+            .with_metrics(metrics.clone());
     eprintln!("building {wide_count}x {wide_side}x{wide_side} wide fleet...");
     let wide = FleetFrontend::from_spec(
         &fleet_spec(wide_side, wide_count, RecomputeStrategy::Auto),
         warm,
         8,
     )
-    .expect("serve spec is valid");
+    .expect("serve spec is valid")
+    .with_metrics(metrics.clone());
 
     let mut points = Vec::new();
 
@@ -333,6 +341,26 @@ fn bench(smoke: bool, out_path: &str) {
         );
     }
     json.push_str("  ],\n");
+    // The registry's view of everything the load loops above executed:
+    // batch counters plus per-lane latency percentiles (each lane pass
+    // timed once, elapsed divided over its queries).
+    let snap = metrics.snapshot();
+    let lane_q = |id: SpanId, q: f64| snap.span(id).map_or(0, |h| h.quantile_raw(q));
+    let _ = writeln!(
+        json,
+        "  \"metrics\": {{\"serve_batches\": {}, \"queries_next_hop\": {}, \
+         \"queries_cost\": {}, \"queries_path\": {}, \
+         \"lane_next_hop_p50_ns\": {}, \"lane_next_hop_p999_ns\": {}, \
+         \"lane_cost_p50_ns\": {}, \"lane_path_p50_ns\": {}}},",
+        snap.counter(CounterId::ServeBatches),
+        snap.counter(CounterId::ServeQueriesNextHop),
+        snap.counter(CounterId::ServeQueriesCost),
+        snap.counter(CounterId::ServeQueriesPath),
+        lane_q(SpanId::ServeLatencyNextHop, 0.50),
+        lane_q(SpanId::ServeLatencyNextHop, 0.999),
+        lane_q(SpanId::ServeLatencyCost, 0.50),
+        lane_q(SpanId::ServeLatencyPath, 0.50),
+    );
     json.push_str("  \"layout\": {\n");
     json.push_str(
         "    \"method\": \"AoS mirror vs SoA planes interleaved in one process; \

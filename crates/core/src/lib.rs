@@ -25,6 +25,7 @@
 //! | [`sim`] | `etx-sim` | the cycle-accurate simulator |
 //! | [`fleet`] | `etx-fleet` | sharded fleet controller + scenario generation |
 //! | [`serve`] | `etx-serve` | snapshot-consistent route query service |
+//! | [`metrics`] | `etx-metrics` | counters, span timers, deterministic export |
 //! | [`experiments`] | (here) | one driver per paper table/figure |
 //!
 //! ## Quickstart
@@ -64,6 +65,7 @@ pub use etx_energy as energy;
 pub use etx_fleet as fleet;
 pub use etx_graph as graph;
 pub use etx_mapping as mapping;
+pub use etx_metrics as metrics;
 pub use etx_routing as routing;
 pub use etx_serve as serve;
 pub use etx_sim as sim;

@@ -16,163 +16,14 @@ use core::fmt;
 
 use etx_sim::{DeathCause, SimReport};
 
-/// Fixed-point scale for fractional metrics (jobs, overhead): 2^20 ≈
-/// 10^-6 resolution, leaving 2^107 of headroom in the u128 sums.
-const FP_SCALE: f64 = (1u64 << 20) as f64;
-
-/// Number of linear buckets per octave in the histograms. 32 sub-buckets
-/// bound the relative quantization error of a percentile estimate by
-/// ~3 %, at 8 bytes x ~2k buckets per stat.
-const SUBBUCKETS: u64 = 1 << SUBBUCKET_BITS;
-const SUBBUCKET_BITS: u32 = 5;
-/// Bucket count covering all of `u64` at `SUBBUCKETS` per octave.
-const BUCKETS: usize =
-    (SUBBUCKETS as usize) * 2 + (64 - SUBBUCKET_BITS as usize - 1) * SUBBUCKETS as usize;
-
-/// Maps a value to its histogram bucket. Values below `2 * SUBBUCKETS`
-/// get exact buckets; larger ones share an octave between 32
-/// geometrically-placed buckets (HdrHistogram's layout, reduced).
-fn bucket_index(v: u64) -> usize {
-    if v < 2 * SUBBUCKETS {
-        v as usize
-    } else {
-        let msb = 63 - v.leading_zeros(); // >= SUBBUCKET_BITS + 1
-        let shift = msb - SUBBUCKET_BITS;
-        let offset = ((v >> shift) - SUBBUCKETS) as usize;
-        (2 * SUBBUCKETS as usize)
-            + ((msb - SUBBUCKET_BITS - 1) as usize) * SUBBUCKETS as usize
-            + offset
-    }
-}
-
-/// The representative (midpoint) value of a bucket, for percentile
-/// reconstruction.
-fn bucket_value(index: usize) -> u64 {
-    let linear_span = 2 * SUBBUCKETS as usize;
-    if index < linear_span {
-        index as u64
-    } else {
-        let rel = index - linear_span;
-        let octave = (rel / SUBBUCKETS as usize) as u32;
-        let offset = (rel % SUBBUCKETS as usize) as u64;
-        let shift = octave + 1;
-        let lower = (SUBBUCKETS + offset) << shift;
-        lower + (1u64 << shift) / 2
-    }
-}
-
-/// A constant-memory summary of one non-negative metric across a fleet:
+/// The constant-memory streaming summary used for every fleet metric:
 /// exact count/min/max/sum plus a log-linear histogram for percentiles.
 ///
-/// Metrics are observed as `u64` after scaling (cycle counts directly;
-/// fractional metrics through [`StreamingStat::observe_scaled`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StreamingStat {
-    count: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
-    buckets: Vec<u64>,
-}
-
-impl Default for StreamingStat {
-    fn default() -> Self {
-        StreamingStat { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; BUCKETS] }
-    }
-}
-
-impl StreamingStat {
-    /// An empty summary.
-    #[must_use]
-    pub fn new() -> Self {
-        StreamingStat::default()
-    }
-
-    /// Folds one raw `u64` observation in.
-    pub fn observe(&mut self, v: u64) {
-        self.count += 1;
-        self.sum += u128::from(v);
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-        self.buckets[bucket_index(v)] += 1;
-    }
-
-    /// Folds one fractional observation in at [`FP_SCALE`] fixed point
-    /// (range ~1.7e13 before saturating the scale — far beyond any
-    /// simulator metric).
-    pub fn observe_scaled(&mut self, v: f64) {
-        debug_assert!(v >= 0.0, "metrics are non-negative");
-        self.observe((v.max(0.0) * FP_SCALE).round() as u64);
-    }
-
-    /// Merges another summary in (exact; associative and commutative).
-    pub fn merge(&mut self, other: &StreamingStat) {
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-    }
-
-    /// Observations folded in so far.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Exact mean of the raw observations (0 when empty).
-    #[must_use]
-    pub fn mean_raw(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Mean of a fixed-point metric observed via
-    /// [`StreamingStat::observe_scaled`].
-    #[must_use]
-    pub fn mean_scaled(&self) -> f64 {
-        self.mean_raw() / FP_SCALE
-    }
-
-    /// The raw `q`-quantile (`q` in `[0, 1]`), estimated from the
-    /// histogram: exact below 64, within ~3 % above. Returns the exact
-    /// min/max at the extremes and 0 when empty.
-    #[must_use]
-    pub fn quantile_raw(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        if q <= 0.0 {
-            return self.min;
-        }
-        if q >= 1.0 {
-            return self.max;
-        }
-        // Rank of the target observation (1-based, nearest-rank method).
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Clamp the bucket representative to the observed range
-                // so single-bucket distributions report exactly.
-                return bucket_value(i).clamp(self.min, self.max);
-            }
-        }
-        self.max
-    }
-
-    /// The `q`-quantile of a fixed-point metric.
-    #[must_use]
-    pub fn quantile_scaled(&self, q: f64) -> f64 {
-        self.quantile_raw(q) as f64 / FP_SCALE
-    }
-}
+/// This is now the shared [`etx_metrics::Histo`], lifted out of this
+/// module so fleet aggregation, serve latency capture and the metrics
+/// registry use one bucket scheme; the old name stays as a re-export so
+/// existing callers keep compiling unchanged.
+pub use etx_metrics::Histo as StreamingStat;
 
 /// Death-cause tallies across a fleet.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -361,8 +212,8 @@ impl FleetAggregate {
             self.lifetime.quantile_raw(0.50),
             self.lifetime.quantile_raw(0.90),
             self.lifetime.quantile_raw(0.99),
-            self.lifetime.min.min(self.lifetime.max),
-            self.lifetime.max,
+            self.lifetime.min_raw(),
+            self.lifetime.max_raw(),
         );
         let _ = writeln!(
             out,
@@ -482,88 +333,9 @@ impl fmt::Display for FleetAggregate {
 mod tests {
     use super::*;
 
-    #[test]
-    fn bucket_mapping_is_monotone_and_bounded() {
-        let mut last = 0usize;
-        for shift in 0..64 {
-            let v = 1u64 << shift;
-            for probe in [v, v + 1, v + v / 3, v + v / 2] {
-                let idx = bucket_index(probe);
-                assert!(idx < BUCKETS, "v={probe} idx={idx}");
-                assert!(idx >= last || probe < 2 * SUBBUCKETS, "non-monotone at {probe}");
-                last = last.max(idx);
-            }
-        }
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(63), 63);
-        // Representative values stay inside a factor of the bucket width.
-        for idx in [0usize, 63, 64, 100, 500, 1000] {
-            let v = bucket_value(idx);
-            let round_trip = bucket_index(v);
-            assert!(round_trip.abs_diff(idx) <= 1, "idx {idx} -> value {v} -> idx {round_trip}");
-        }
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut s = StreamingStat::new();
-        for v in [5u64, 1, 3, 2, 4] {
-            s.observe(v);
-        }
-        assert_eq!(s.count(), 5);
-        assert_eq!(s.quantile_raw(0.5), 3);
-        assert_eq!(s.quantile_raw(0.0), 1);
-        assert_eq!(s.quantile_raw(1.0), 5);
-        assert!((s.mean_raw() - 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn large_value_quantiles_stay_within_resolution() {
-        let mut s = StreamingStat::new();
-        for i in 1..=1000u64 {
-            s.observe(i * 1_000);
-        }
-        let p50 = s.quantile_raw(0.5) as f64;
-        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.04, "p50 = {p50}");
-        let p99 = s.quantile_raw(0.99) as f64;
-        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.04, "p99 = {p99}");
-    }
-
-    #[test]
-    fn merge_equals_single_stream_regardless_of_split() {
-        let values: Vec<u64> = (0..500u64).map(|i| i * i * 37 + i).collect();
-        let mut whole = StreamingStat::new();
-        for &v in &values {
-            whole.observe(v);
-        }
-        for split in [1usize, 7, 100, 499] {
-            let (a, b) = values.split_at(split);
-            let mut left = StreamingStat::new();
-            let mut right = StreamingStat::new();
-            for &v in a {
-                left.observe(v);
-            }
-            for &v in b {
-                right.observe(v);
-            }
-            // Merge in both orders: byte-identical either way.
-            let mut lr = left.clone();
-            lr.merge(&right);
-            let mut rl = right.clone();
-            rl.merge(&left);
-            assert_eq!(lr, whole, "split at {split}");
-            assert_eq!(rl, whole, "reverse merge at {split}");
-        }
-    }
-
-    #[test]
-    fn scaled_metrics_roundtrip() {
-        let mut s = StreamingStat::new();
-        s.observe_scaled(2.5);
-        s.observe_scaled(2.5);
-        assert!((s.mean_scaled() - 2.5).abs() < 1e-5);
-        assert!((s.quantile_scaled(0.5) - 2.5).abs() < 0.1);
-    }
+    // The histogram-level tests (bucket mapping, quantile resolution,
+    // split-invariant merge, fixed-point roundtrip) moved to
+    // `etx_metrics::histo` with the implementation.
 
     #[test]
     fn aggregate_json_is_stable() {

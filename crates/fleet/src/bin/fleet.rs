@@ -27,6 +27,11 @@
 //! with a divergence report if any frame fails to reproduce.
 //! `--timeline N` (with `--json`) splices a `"frames"` block — the last
 //! N per-frame wall/energy samples of instance 0 — into the JSON.
+//!
+//! Metrics (see the `etx-metrics` crate): `--metrics` prints the run's
+//! deterministic metrics snapshot (stable counters only — byte-identical
+//! across shard counts, frame feeds and recompute strategies) after the
+//! regular output; `--metrics=FILE` writes it to FILE instead.
 
 use etx_fleet::{FleetController, ScenarioSpec, ShardPlan};
 use etx_sim::{FrameFeed, RecomputeStrategy};
@@ -41,6 +46,9 @@ struct Options {
     replay: Option<String>,
     timeline: usize,
     record_wall: bool,
+    /// `Some(None)`: print the metrics snapshot to stdout;
+    /// `Some(Some(path))`: write it to `path`.
+    metrics: Option<Option<String>>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -57,6 +65,7 @@ fn parse_args() -> Result<Options, String> {
     let mut replay: Option<String> = None;
     let mut timeline: usize = 0;
     let mut record_wall = true;
+    let mut metrics: Option<Option<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -119,12 +128,20 @@ fn parse_args() -> Result<Options, String> {
                 timeline = n.parse().map_err(|e| format!("bad timeline length `{n}`: {e}"))?;
             }
             "--record-no-wall" => record_wall = false,
+            "--metrics" => metrics = Some(None),
+            other if other.starts_with("--metrics=") => {
+                let path = &other["--metrics=".len()..];
+                if path.is_empty() {
+                    return Err("--metrics= needs a file path (or use bare --metrics)".to_string());
+                }
+                metrics = Some(Some(path.to_string()));
+            }
             other => {
                 return Err(format!(
                     "unknown argument `{other}`\nusage: fleet [--preset NAME | --spec FILE | --smoke] \
                      [--instances N] [--seed S] [--shards N] [--strategy NAME] [--feed NAME] \
-                     [--json] [--print-spec] [--record DIR [--record-no-wall]] \
-                     [--replay FILE] [--timeline N]"
+                     [--json] [--print-spec] [--metrics[=FILE]] \
+                     [--record DIR [--record-no-wall]] [--replay FILE] [--timeline N]"
                 ));
             }
         }
@@ -149,7 +166,7 @@ fn parse_args() -> Result<Options, String> {
     // `--smoke` defaults to two shards (exercising the merge path), but
     // an explicit `--shards` wins regardless of flag order.
     let plan = plan.unwrap_or(if smoke { ShardPlan::Fixed(2) } else { ShardPlan::Auto });
-    Ok(Options { spec, plan, json, print_spec, record, replay, timeline, record_wall })
+    Ok(Options { spec, plan, json, print_spec, record, replay, timeline, record_wall, metrics })
 }
 
 /// `--replay FILE`: re-drives the recorded instance from the trace's
@@ -332,6 +349,18 @@ fn main() {
         println!("{}", result.aggregate);
         let per_sec = options.spec.instances as f64 / elapsed.as_secs_f64().max(1e-9);
         eprintln!("({:.2?} wall, {per_sec:.0} instances/sec)", elapsed);
+    }
+    match &options.metrics {
+        Some(Some(path)) => {
+            // The file form writes *only* the deterministic snapshot, so
+            // CI can byte-diff it across shard counts and frame feeds.
+            if let Err(e) = std::fs::write(path, result.metrics.to_json() + "\n") {
+                eprintln!("fleet: cannot write `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+        Some(None) => println!("{}", result.metrics.to_json()),
+        None => {}
     }
     // A fleet where *every* instance was rejected means the spec is
     // unusable — signal failure so CI smoke jobs catch it.

@@ -19,6 +19,9 @@
 //! exact integer arithmetic, so `shards = 1` and `shards = 64` produce
 //! byte-identical results ([`FleetController::run`] is pure).
 
+use std::sync::Arc;
+
+use etx_metrics::{CounterId, MetricsHandle, MetricsSnapshot, Registry};
 use etx_sim::SimPool;
 
 use crate::aggregate::FleetAggregate;
@@ -57,6 +60,11 @@ pub struct FleetResult {
     pub shards: usize,
     /// The merged, order-independent aggregate.
     pub aggregate: FleetAggregate,
+    /// Fleet-wide metrics: every shard records into its own
+    /// counters-only registry and the per-shard snapshots merge with
+    /// exact integer arithmetic, so — like the aggregate — the stable
+    /// counters are byte-identical whatever the shard count.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Runs [`ScenarioSpec`]s to completion across shards.
@@ -95,22 +103,38 @@ impl FleetController {
         // Fan shards out; each range is processed sequentially over its
         // own reuse pool. `min_per_thread = 1`: ranges are already
         // core-sized chunks.
-        let shard_aggregates = etx_par::par_map(&ranges, 1, |range| {
+        let shard_results = etx_par::par_map(&ranges, 1, |range| {
             let mut pool = SimPool::new();
             let mut agg = FleetAggregate::new();
+            // One counters-only registry per shard: instances within a
+            // shard record into it lock-free, and the shard boundary
+            // never shows because snapshot merging is exact addition.
+            let metrics = MetricsHandle::new(Arc::new(Registry::counters_only()));
             for index in range.clone() {
                 match spec.sample(index).build_pooled(&mut pool) {
-                    Ok(sim) => agg.observe(&sim.run_pooled(&mut pool)),
+                    Ok(mut sim) => {
+                        metrics.inc(CounterId::FleetInstances);
+                        sim.set_metrics(metrics.clone());
+                        agg.observe(&sim.run_pooled(&mut pool));
+                    }
                     Err(_) => agg.observe_rejection(),
                 }
             }
-            agg
+            (agg, metrics.snapshot())
         });
         let mut aggregate = FleetAggregate::new();
-        for shard in &shard_aggregates {
-            aggregate.merge(shard);
+        let mut metrics = MetricsSnapshot::new();
+        for (shard_agg, shard_metrics) in &shard_results {
+            aggregate.merge(shard_agg);
+            metrics.merge(shard_metrics);
         }
-        Ok(FleetResult { spec_name: spec.name.clone(), seed: spec.seed, shards, aggregate })
+        Ok(FleetResult {
+            spec_name: spec.name.clone(),
+            seed: spec.seed,
+            shards,
+            aggregate,
+            metrics,
+        })
     }
 }
 
@@ -182,5 +206,10 @@ mod tests {
         assert_eq!(one.aggregate.to_json(), many.aggregate.to_json());
         assert_eq!(one.shards, 1);
         assert_eq!(many.shards, 5);
+        // The metrics snapshot obeys the same contract: the stable
+        // export is byte-identical whatever the shard count.
+        assert_eq!(one.metrics.to_json(), many.metrics.to_json());
+        assert_eq!(one.metrics.counter(CounterId::FleetInstances), 10);
+        assert!(one.metrics.counter(CounterId::SimFrames) > 0);
     }
 }

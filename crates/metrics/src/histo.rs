@@ -1,0 +1,334 @@
+//! The exact-integer log-linear histogram ([`Histo`]), lifted out of
+//! `etx_fleet::aggregate::StreamingStat` so every layer (fleet
+//! aggregation, serve latency capture, the metrics registry) shares one
+//! bucket scheme — and therefore one determinism argument.
+//!
+//! Everything here is **exact integer arithmetic** — counts, min/max,
+//! fixed-point sums and log-linear bucket tallies — so folding and
+//! merging are associative and commutative: the same observations
+//! produce *byte-identical* summaries whatever the shard count,
+//! completion order or merge grouping, because no floating-point
+//! addition ever depends on ordering.
+
+/// Fixed-point scale for fractional metrics (jobs, overhead): 2^20 ≈
+/// 10^-6 resolution, leaving 2^107 of headroom in the u128 sums.
+pub(crate) const FP_SCALE: f64 = (1u64 << 20) as f64;
+
+/// Number of linear buckets per octave in the histograms. 32 sub-buckets
+/// bound the relative quantization error of a percentile estimate by
+/// ~3 %, at 8 bytes x ~2k buckets per stat.
+pub(crate) const SUBBUCKETS: u64 = 1 << SUBBUCKET_BITS;
+pub(crate) const SUBBUCKET_BITS: u32 = 5;
+/// Bucket count covering all of `u64` at `SUBBUCKETS` per octave.
+pub(crate) const BUCKETS: usize =
+    (SUBBUCKETS as usize) * 2 + (64 - SUBBUCKET_BITS as usize - 1) * SUBBUCKETS as usize;
+
+/// Maps a value to its histogram bucket. Values below `2 * SUBBUCKETS`
+/// get exact buckets; larger ones share an octave between 32
+/// geometrically-placed buckets (HdrHistogram's layout, reduced).
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < 2 * SUBBUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUBBUCKET_BITS + 1
+        let shift = msb - SUBBUCKET_BITS;
+        let offset = ((v >> shift) - SUBBUCKETS) as usize;
+        (2 * SUBBUCKETS as usize)
+            + ((msb - SUBBUCKET_BITS - 1) as usize) * SUBBUCKETS as usize
+            + offset
+    }
+}
+
+/// The representative (midpoint) value of a bucket, for percentile
+/// reconstruction.
+pub(crate) fn bucket_value(index: usize) -> u64 {
+    let linear_span = 2 * SUBBUCKETS as usize;
+    if index < linear_span {
+        index as u64
+    } else {
+        let rel = index - linear_span;
+        let octave = (rel / SUBBUCKETS as usize) as u32;
+        let offset = (rel % SUBBUCKETS as usize) as u64;
+        let shift = octave + 1;
+        let lower = (SUBBUCKETS + offset) << shift;
+        lower + (1u64 << shift) / 2
+    }
+}
+
+/// A constant-memory summary of one non-negative metric: exact
+/// count/min/max/sum plus a log-linear histogram for percentiles.
+///
+/// Metrics are observed as `u64` after scaling (cycle counts and
+/// nanoseconds directly; fractional metrics through
+/// [`Histo::observe_scaled`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histo {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histo {
+    fn default() -> Self {
+        Histo { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; BUCKETS] }
+    }
+}
+
+impl Histo {
+    /// An empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Histo::default()
+    }
+
+    /// Folds one raw `u64` observation in.
+    pub fn observe(&mut self, v: u64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Folds `n` observations of the same value in (exactly equivalent
+    /// to `n` [`Histo::observe`] calls — the batch form lane timers use
+    /// to attribute a shared elapsed time to every query of a lane).
+    pub fn observe_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += n;
+    }
+
+    /// Folds one fractional observation in at fixed point (2^20 scale;
+    /// range ~1.7e13 before saturating the scale — far beyond any
+    /// simulator metric).
+    pub fn observe_scaled(&mut self, v: f64) {
+        debug_assert!(v >= 0.0, "metrics are non-negative");
+        self.observe((v.max(0.0) * FP_SCALE).round() as u64);
+    }
+
+    /// Merges another summary in (exact; associative and commutative).
+    pub fn merge(&mut self, other: &Histo) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Observations folded in so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of the raw observations.
+    #[must_use]
+    pub fn sum_raw(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest raw observation (clamped to `max_raw` when empty, so an
+    /// empty summary reports `0..=0` rather than `u64::MAX`).
+    #[must_use]
+    pub fn min_raw(&self) -> u64 {
+        self.min.min(self.max)
+    }
+
+    /// Largest raw observation (0 when empty).
+    #[must_use]
+    pub fn max_raw(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the raw observations (0 when empty).
+    #[must_use]
+    pub fn mean_raw(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Mean of a fixed-point metric observed via
+    /// [`Histo::observe_scaled`].
+    #[must_use]
+    pub fn mean_scaled(&self) -> f64 {
+        self.mean_raw() / FP_SCALE
+    }
+
+    /// The raw `q`-quantile (`q` in `[0, 1]`), estimated from the
+    /// histogram: exact below 64, within ~3 % above. Returns the exact
+    /// min/max at the extremes and 0 when empty.
+    #[must_use]
+    pub fn quantile_raw(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Rank of the target observation (1-based, nearest-rank method).
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp the bucket representative to the observed range
+                // so single-bucket distributions report exactly.
+                return bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The `q`-quantile of a fixed-point metric.
+    #[must_use]
+    pub fn quantile_scaled(&self, q: f64) -> f64 {
+        self.quantile_raw(q) as f64 / FP_SCALE
+    }
+
+    /// Internal: fold a snapshot of raw bucket counts in (the bridge
+    /// from [`AtomicHisto`](crate::registry::AtomicHisto) snapshots).
+    pub(crate) fn absorb_raw(
+        &mut self,
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+        buckets: &[u64],
+    ) {
+        if count == 0 {
+            return;
+        }
+        self.count += count;
+        self.sum += sum;
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
+        for (a, &b) in self.buckets.iter_mut().zip(buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            for probe in [v, v + 1, v + v / 3, v + v / 2] {
+                let idx = bucket_index(probe);
+                assert!(idx < BUCKETS, "v={probe} idx={idx}");
+                assert!(idx >= last || probe < 2 * SUBBUCKETS, "non-monotone at {probe}");
+                last = last.max(idx);
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(63), 63);
+        // Representative values stay inside a factor of the bucket width.
+        for idx in [0usize, 63, 64, 100, 500, 1000] {
+            let v = bucket_value(idx);
+            let round_trip = bucket_index(v);
+            assert!(round_trip.abs_diff(idx) <= 1, "idx {idx} -> value {v} -> idx {round_trip}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut s = Histo::new();
+        for v in [5u64, 1, 3, 2, 4] {
+            s.observe(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.quantile_raw(0.5), 3);
+        assert_eq!(s.quantile_raw(0.0), 1);
+        assert_eq!(s.quantile_raw(1.0), 5);
+        assert_eq!(s.min_raw(), 1);
+        assert_eq!(s.max_raw(), 5);
+        assert!((s.mean_raw() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histo_reports_zero_range() {
+        let s = Histo::new();
+        assert_eq!(s.min_raw(), 0);
+        assert_eq!(s.max_raw(), 0);
+        assert_eq!(s.quantile_raw(0.5), 0);
+    }
+
+    #[test]
+    fn observe_n_equals_repeated_observe() {
+        let mut batched = Histo::new();
+        batched.observe_n(37, 5);
+        batched.observe_n(1_000_000, 3);
+        let mut single = Histo::new();
+        for _ in 0..5 {
+            single.observe(37);
+        }
+        for _ in 0..3 {
+            single.observe(1_000_000);
+        }
+        assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn large_value_quantiles_stay_within_resolution() {
+        let mut s = Histo::new();
+        for i in 1..=1000u64 {
+            s.observe(i * 1_000);
+        }
+        let p50 = s.quantile_raw(0.5) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.04, "p50 = {p50}");
+        let p99 = s.quantile_raw(0.99) as f64;
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.04, "p99 = {p99}");
+    }
+
+    #[test]
+    fn merge_equals_single_stream_regardless_of_split() {
+        let values: Vec<u64> = (0..500u64).map(|i| i * i * 37 + i).collect();
+        let mut whole = Histo::new();
+        for &v in &values {
+            whole.observe(v);
+        }
+        for split in [1usize, 7, 100, 499] {
+            let (a, b) = values.split_at(split);
+            let mut left = Histo::new();
+            let mut right = Histo::new();
+            for &v in a {
+                left.observe(v);
+            }
+            for &v in b {
+                right.observe(v);
+            }
+            // Merge in both orders: byte-identical either way.
+            let mut lr = left.clone();
+            lr.merge(&right);
+            let mut rl = right.clone();
+            rl.merge(&left);
+            assert_eq!(lr, whole, "split at {split}");
+            assert_eq!(rl, whole, "reverse merge at {split}");
+        }
+    }
+
+    #[test]
+    fn scaled_metrics_roundtrip() {
+        let mut s = Histo::new();
+        s.observe_scaled(2.5);
+        s.observe_scaled(2.5);
+        assert!((s.mean_scaled() - 2.5).abs() < 1e-5);
+        assert!((s.quantile_scaled(0.5) - 2.5).abs() < 0.1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests of [`MetricsSnapshot::merge`]: exact-integer merging
+//! is associative and commutative — with and without span histograms,
+//! and whatever the grouping — which is the structural fact that makes
+//! fleet-wide export byte-identical across shard counts and merge
+//! orders (no tree shape or fold order can show in the result).
+
+use etx_metrics::{CounterId, GaugeId, MetricsSnapshot, Registry, SpanId};
+use proptest::prelude::*;
+
+/// Drives a live registry with the given values and snapshots it:
+/// counter slot `i` gets `counters[i]`, gauge slot `i` gets
+/// `gauges[i]`, and each observation lands in the span histogram its
+/// value selects. Building through the registry (rather than snapshot
+/// internals) keeps the test on the same path production shards use.
+fn build(
+    counters: &[u64],
+    gauges: &[u64],
+    observations: &[u64],
+    with_spans: bool,
+) -> MetricsSnapshot {
+    let reg = if with_spans { Registry::full() } else { Registry::counters_only() };
+    for (&id, &v) in CounterId::ALL.iter().zip(counters) {
+        reg.add(id, v);
+    }
+    for (&id, &v) in GaugeId::ALL.iter().zip(gauges) {
+        reg.gauge_raise(id, v);
+    }
+    for &obs in observations {
+        let id = SpanId::ALL[(obs % SpanId::COUNT as u64) as usize];
+        reg.observe(id, obs);
+    }
+    reg.snapshot()
+}
+
+type Parts = (Vec<u64>, Vec<u64>, Vec<u64>, bool);
+
+fn arb_parts() -> impl Strategy<Value = Parts> {
+    (
+        proptest::collection::vec(0u64..1_000_000_000, CounterId::COUNT),
+        proptest::collection::vec(0u64..1_000_000_000, GaugeId::COUNT),
+        proptest::collection::vec(0u64..u64::from(u32::MAX), 0..24),
+        any::<bool>(),
+    )
+}
+
+fn snap(parts: &Parts) -> MetricsSnapshot {
+    build(&parts.0, &parts.1, &parts.2, parts.3)
+}
+
+fn merged(into: &MetricsSnapshot, from: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = into.clone();
+    out.merge(from);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` and `a ⊕ b == b ⊕ a`, down to the
+    /// rendered bytes — counters add, gauges max, histograms add
+    /// bucketwise, all exact integers.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in arb_parts(),
+        b in arb_parts(),
+        c in arb_parts(),
+    ) {
+        let (a, b, c) = (snap(&a), snap(&b), snap(&c));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.to_json(), right.to_json());
+        prop_assert_eq!(left.to_json_full(), right.to_json_full());
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.to_json_full(), ba.to_json_full());
+    }
+
+    /// Splitting one record stream across any number of per-shard
+    /// registries and merging the snapshots reproduces the single
+    /// registry's snapshot exactly (the fleet controller's contract).
+    #[test]
+    fn sharded_recording_equals_one_registry(
+        observations in proptest::collection::vec(0u64..u64::from(u32::MAX), 1..64),
+        shards in 1usize..8,
+    ) {
+        let whole = Registry::full();
+        let parts: Vec<Registry> = (0..shards).map(|_| Registry::full()).collect();
+        for (i, &obs) in observations.iter().enumerate() {
+            let counter = CounterId::ALL[(obs % CounterId::COUNT as u64) as usize];
+            let span = SpanId::ALL[(obs % SpanId::COUNT as u64) as usize];
+            whole.add(counter, obs);
+            whole.observe(span, obs);
+            let shard = &parts[i % shards];
+            shard.add(counter, obs);
+            shard.observe(span, obs);
+        }
+        let mut folded = MetricsSnapshot::new();
+        for part in &parts {
+            folded.merge(&part.snapshot());
+        }
+        prop_assert_eq!(&folded, &whole.snapshot());
+        prop_assert_eq!(folded.to_json_full(), whole.snapshot().to_json_full());
+    }
+}

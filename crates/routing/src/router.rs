@@ -7,6 +7,7 @@ use etx_graph::{
     dijkstra_source_into, dijkstra_source_tree_into, repair_source, DiGraph, NodeBitset, NodeId,
     PathBackend, RepairOutcome, ResolvedBackend,
 };
+use etx_metrics::SpanId;
 
 use crate::scratch::WeightsKey;
 use crate::table::PathPolicy;
@@ -660,30 +661,37 @@ impl Router {
     ) {
         let n = graph.node_count();
         let weighting = (self.algorithm == Algorithm::Ear).then_some(&self.weighting);
+        // Stage spans borrow the registry, so hold the handle locally
+        // (an `Arc` bump, no allocation) while the stages mutate the
+        // scratch.
+        let metrics = scratch.metrics.clone();
 
         // Stage 1 — extract the edge-delta stream against the cached
         // weights (no writes yet; the old values are part of the
         // stream).
-        scratch.dirty_mark.clear();
-        scratch.dirty_mark.resize(n, false);
-        for &d in &scratch.dirty {
-            scratch.dirty_mark[d] = true;
-        }
-        scratch.deltas.clear();
-        // Every delta is a directed graph edge incident to a dirty node,
-        // so the edge count bounds the batch; reserving it up front
-        // keeps burst frames free of mid-flight growth.
-        scratch.deltas.reserve(graph.edge_count());
-        for &d in &scratch.dirty {
-            collect_node_weight_deltas(
-                graph,
-                report,
-                weighting,
-                NodeId::new(d),
-                &scratch.weights,
-                &scratch.dirty_mark,
-                &mut scratch.deltas,
-            );
+        {
+            let _delta_span = metrics.span(SpanId::RoutingRepairDelta);
+            scratch.dirty_mark.clear();
+            scratch.dirty_mark.resize(n, false);
+            for &d in &scratch.dirty {
+                scratch.dirty_mark[d] = true;
+            }
+            scratch.deltas.clear();
+            // Every delta is a directed graph edge incident to a dirty node,
+            // so the edge count bounds the batch; reserving it up front
+            // keeps burst frames free of mid-flight growth.
+            scratch.deltas.reserve(graph.edge_count());
+            for &d in &scratch.dirty {
+                collect_node_weight_deltas(
+                    graph,
+                    report,
+                    weighting,
+                    NodeId::new(d),
+                    &scratch.weights,
+                    &scratch.dirty_mark,
+                    &mut scratch.deltas,
+                );
+            }
         }
 
         let trees_ok = scratch.trees_valid
@@ -727,6 +735,11 @@ impl Router {
         // the rows valid as they stand and skips phase 2 entirely; cold
         // trees stay cold until a frame with actual deltas warms them.
         if !scratch.deltas.is_empty() {
+            // One timer covers apply + repair; it lands on the decrease
+            // span when any source engaged the decrease half this frame,
+            // the increase span otherwise, so the two repair regimes get
+            // separate latency distributions.
+            let stage2_timer = metrics.timer();
             // Stage 1b — apply the stream: weight matrix and both
             // adjacency mirrors.
             for &d in &scratch.dirty {
@@ -860,6 +873,12 @@ impl Router {
             scratch.fallback_sources += fallback;
             scratch.decrease_repairs += dec_repairs;
             scratch.decrease_nodes_improved += dec_improved;
+            let stage2_span = if dec_repairs > 0 {
+                SpanId::RoutingRepairDecrease
+            } else {
+                SpanId::RoutingRepairIncrease
+            };
+            metrics.observe_since(stage2_span, stage2_timer);
         }
 
         // Stage 3 — delta-aware table maintenance for the rows the
@@ -869,34 +888,43 @@ impl Router {
         // those entries. Deadlock raise *or* clear, remap and cold cache
         // still rebuild in full — with those stable, the paper's
         // `O(K·Σ|S_i|)` rebuild shrinks to the changed entries alone.
-        if table_patchable {
-            let m = module_nodes.len();
-            let mut rebuilt = 0u64;
-            for s in 0..n {
-                let mask = scratch.row_mask[s];
-                if mask == 0 {
-                    continue;
-                }
-                if mask == u64::MAX {
-                    out.rebuild_table_row(s, &scratch.weights, module_nodes, report, None);
-                    rebuilt += m as u64;
-                } else {
-                    let mut bits = mask;
-                    while bits != 0 {
-                        let module = bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        out.rebuild_table_cell(s, module, module_nodes, &scratch.weights, report);
-                        rebuilt += 1;
+        {
+            let _table_span = metrics.span(SpanId::RoutingRepairTable);
+            if table_patchable {
+                let m = module_nodes.len();
+                let mut rebuilt = 0u64;
+                for s in 0..n {
+                    let mask = scratch.row_mask[s];
+                    if mask == 0 {
+                        continue;
+                    }
+                    if mask == u64::MAX {
+                        out.rebuild_table_row(s, &scratch.weights, module_nodes, report, None);
+                        rebuilt += m as u64;
+                    } else {
+                        let mut bits = mask;
+                        while bits != 0 {
+                            let module = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            out.rebuild_table_cell(
+                                s,
+                                module,
+                                module_nodes,
+                                &scratch.weights,
+                                report,
+                            );
+                            rebuilt += 1;
+                        }
                     }
                 }
+                scratch.table_entries_rebuilt += rebuilt + patched_entries;
+                scratch.table_cells_patched += patched_entries - patched_full;
+                scratch.table_delta_rebuilds += 1;
+            } else {
+                let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
+                out.rebuild_table(&scratch.weights, module_nodes, report, prev);
+                scratch.table_entries_rebuilt += (n * module_nodes.len()) as u64;
             }
-            scratch.table_entries_rebuilt += rebuilt + patched_entries;
-            scratch.table_cells_patched += patched_entries - patched_full;
-            scratch.table_delta_rebuilds += 1;
-        } else {
-            let prev = (!scratch.prev_hops.is_empty()).then_some(scratch.prev_hops.as_slice());
-            out.rebuild_table(&scratch.weights, module_nodes, report, prev);
-            scratch.table_entries_rebuilt += (n * module_nodes.len()) as u64;
         }
         Self::cache_table_inputs(module_nodes, report, frame, scratch);
         scratch.repair_recomputes += 1;

@@ -2,6 +2,7 @@
 //! recomputes, and the [`RecomputeStats`] counter snapshot.
 
 use etx_graph::{AdjacencyList, DijkstraScratch, Matrix, NodeId, RepairScratch, SpTreeStore};
+use etx_metrics::{CounterId, MetricsHandle, Registry};
 
 use crate::{Algorithm, BatteryWeighting};
 
@@ -128,6 +129,26 @@ impl RecomputeStats {
             nodes_scanned: self.nodes_scanned.wrapping_sub(prev.nodes_scanned),
         }
     }
+
+    /// Adds these counters into a metrics [`Registry`] under the
+    /// `routing.*` cost counters — the one bridge between the scratch's
+    /// plain per-run counters and the cross-layer metrics catalog.
+    /// Callers feed per-frame [`RecomputeStats::delta_since`] deltas so
+    /// the registry totals stay exact across scratch recycles.
+    pub fn record_into(&self, registry: &Registry) {
+        registry.add(CounterId::RoutingFullRecomputes, self.full_recomputes);
+        registry.add(CounterId::RoutingDeltaRecomputes, self.delta_recomputes);
+        registry.add(CounterId::RoutingRepairRecomputes, self.repair_recomputes);
+        registry.add(CounterId::RoutingRepairedSources, self.repaired_sources);
+        registry.add(CounterId::RoutingFallbackSources, self.fallback_sources);
+        registry.add(CounterId::RoutingDecreaseRepairs, self.decrease_repairs);
+        registry.add(CounterId::RoutingDecreaseNodesImproved, self.decrease_nodes_improved);
+        registry.add(CounterId::RoutingTableDeltaRebuilds, self.table_delta_rebuilds);
+        registry.add(CounterId::RoutingTableEntriesRebuilt, self.table_entries_rebuilt);
+        registry.add(CounterId::RoutingTableCellsPatched, self.table_cells_patched);
+        registry.add(CounterId::RoutingFramesOkSkipped, self.frames_oK_skipped);
+        registry.add(CounterId::RoutingNodesScanned, self.nodes_scanned);
+    }
 }
 
 /// Preallocated working memory for `Router::compute_into` /
@@ -226,6 +247,11 @@ pub struct RoutingScratch {
     /// Node states examined by per-frame bookkeeping (see
     /// [`RecomputeStats::nodes_scanned`]).
     pub(crate) nodes_scanned: u64,
+    /// Where the repair pipeline reports its stage timings
+    /// (delta-extract / increase / decrease / table spans). Defaults to
+    /// the shared no-op registry: one relaxed load and branch per stage,
+    /// no timing, no allocation.
+    pub(crate) metrics: MetricsHandle,
 }
 
 impl RoutingScratch {
@@ -244,6 +270,14 @@ impl RoutingScratch {
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Points the repair pipeline's stage spans (`routing.repair.*`) at
+    /// a metrics registry. The default no-op handle costs one relaxed
+    /// load per stage; a counters-only registry records nothing for
+    /// spans; a full registry captures per-stage latency histograms.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
     }
 
     /// How many recomputes through this scratch took the
@@ -363,6 +397,7 @@ impl RoutingScratch {
         self.key = None;
         self.trees_valid = false;
         self.table_cache_valid = false;
+        self.metrics = MetricsHandle::default();
         self.delta_recomputes = 0;
         self.full_recomputes = 0;
         self.repair_recomputes = 0;
@@ -436,5 +471,31 @@ mod tests {
         // A recycled (zeroed) current snapshot wraps instead of panicking.
         let wrapped = RecomputeStats::default().delta_since(&prev);
         assert_eq!(wrapped.full_recomputes, 0u64.wrapping_sub(1));
+    }
+
+    #[test]
+    fn record_into_maps_every_counter() {
+        use etx_metrics::{CounterId, Registry};
+        let stats = RecomputeStats {
+            full_recomputes: 1,
+            delta_recomputes: 2,
+            repair_recomputes: 3,
+            repaired_sources: 4,
+            fallback_sources: 5,
+            decrease_repairs: 6,
+            decrease_nodes_improved: 7,
+            table_delta_rebuilds: 8,
+            table_entries_rebuilt: 9,
+            table_cells_patched: 10,
+            frames_oK_skipped: 11,
+            nodes_scanned: 12,
+        };
+        let registry = Registry::counters_only();
+        stats.record_into(&registry);
+        stats.record_into(&registry); // additive, like the counters themselves
+        assert_eq!(registry.counter(CounterId::RoutingFullRecomputes), 2);
+        assert_eq!(registry.counter(CounterId::RoutingDecreaseNodesImproved), 14);
+        assert_eq!(registry.counter(CounterId::RoutingFramesOkSkipped), 22);
+        assert_eq!(registry.counter(CounterId::RoutingNodesScanned), 24);
     }
 }

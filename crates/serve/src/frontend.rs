@@ -3,6 +3,7 @@
 
 use etx_fleet::{FleetRng, ScenarioSpec};
 use etx_graph::NodeId;
+use etx_metrics::{CounterId, MetricsHandle, SpanId};
 use etx_sim::SimPool;
 
 use crate::publish::{EpochPublisher, PinnedSnapshot, SnapshotReader};
@@ -80,6 +81,10 @@ pub struct FleetFrontend {
     /// rejected (queries against it answer `UnknownFabric`).
     fabrics: Vec<Option<FabricHandle>>,
     shards: usize,
+    /// Records batch counters, per-type query counters and the
+    /// sort/split/gather + per-lane latency spans; the default no-op
+    /// handle costs one relaxed load per record site.
+    metrics: MetricsHandle,
 }
 
 impl FleetFrontend {
@@ -87,7 +92,19 @@ impl FleetFrontend {
     /// register fabrics with [`FleetFrontend::register`].
     #[must_use]
     pub fn new(shards: usize) -> Self {
-        FleetFrontend { fabrics: Vec::new(), shards: shards.max(1) }
+        FleetFrontend {
+            fabrics: Vec::new(),
+            shards: shards.max(1),
+            metrics: MetricsHandle::default(),
+        }
+    }
+
+    /// Points this frontend's metrics (batch/query counters, sort/split/
+    /// gather spans, per-type latency histograms) at a registry.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Builds a frontend from a fleet scenario: every spec instance is
@@ -195,7 +212,11 @@ impl FleetFrontend {
     /// answered from **one** snapshot (the pin), so a batch can never
     /// observe two different epochs of the same fabric.
     pub fn execute(&self, batch: &mut QueryBatch, out: &mut QueryOutput) {
-        batch.sort_for_execution(|fabric| self.shard_of(fabric));
+        self.metrics.inc(CounterId::ServeBatches);
+        {
+            let _sort_span = self.metrics.span(SpanId::ServeBatchSort);
+            batch.sort_for_execution(|fabric| self.shard_of(fabric));
+        }
         out.reset(batch.len());
         let (order, queries, lanes) = batch.exec_parts();
         let (results, arena) = out.parts_mut();
@@ -212,7 +233,15 @@ impl FleetFrontend {
                 .and_then(Option::as_ref)
                 .map(|handle| handle.reader.pin());
             let mut sink = |oi: u32, r| results[oi as usize] = r;
-            execute_group(pinned.as_deref(), &order[start..end], queries, lanes, arena, &mut sink);
+            execute_group(
+                &self.metrics,
+                pinned.as_deref(),
+                &order[start..end],
+                queries,
+                lanes,
+                arena,
+                &mut sink,
+            );
             start = end;
         }
     }
@@ -251,7 +280,11 @@ impl FleetFrontend {
         workspace: &mut ShardWorkspace,
         threads: usize,
     ) {
-        batch.sort_for_execution(|fabric| self.shard_of(fabric));
+        self.metrics.inc(CounterId::ServeBatches);
+        {
+            let _sort_span = self.metrics.span(SpanId::ServeBatchSort);
+            batch.sort_for_execution(|fabric| self.shard_of(fabric));
+        }
         out.reset(batch.len());
         let order: &[u32] = &batch.order;
         let queries = batch.queries();
@@ -317,6 +350,7 @@ impl FleetFrontend {
         // ranges onto the shared arena and write every answer at its
         // submission index — byte-identical to the serial `execute`,
         // which visits the shards in exactly this order.
+        let _gather_span = self.metrics.span(SpanId::ServeBatchGather);
         for i in 0..shard_count {
             let slot = &workspace.slots[i];
             let base = out.arena_mut().len() as u32;
@@ -355,7 +389,15 @@ impl FleetFrontend {
                 .and_then(Option::as_ref)
                 .map(|handle| handle.reader.pin());
             let mut sink = |oi: u32, r| results.push((oi, r));
-            execute_group(pinned.as_deref(), &order[start..end], queries, lanes, arena, &mut sink);
+            execute_group(
+                &self.metrics,
+                pinned.as_deref(),
+                &order[start..end],
+                queries,
+                lanes,
+                arena,
+                &mut sink,
+            );
             start = end;
         }
     }

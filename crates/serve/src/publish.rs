@@ -19,6 +19,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use etx_metrics::{CounterId, GaugeId, MetricsHandle, SpanId};
 use etx_routing::RoutingState;
 use etx_sim::TableObserver;
 
@@ -43,6 +44,10 @@ pub struct EpochPublisher {
     /// when no reader pins it any more.
     spare: Option<PinnedSnapshot>,
     next_epoch: u64,
+    /// Records `serve.publish` spans, the publish counter and the epoch
+    /// gauge; the default no-op handle costs one relaxed load per
+    /// publish.
+    metrics: MetricsHandle,
 }
 
 /// The reader half: pin the current snapshot, or poll the epoch.
@@ -60,9 +65,20 @@ impl EpochPublisher {
             epoch: AtomicU64::new(0),
         });
         (
-            EpochPublisher { slot: Arc::clone(&slot), spare: None, next_epoch: 0 },
+            EpochPublisher {
+                slot: Arc::clone(&slot),
+                spare: None,
+                next_epoch: 0,
+                metrics: MetricsHandle::default(),
+            },
             SnapshotReader { slot },
         )
+    }
+
+    /// Points this publisher's metrics (`serve.publishes` counter,
+    /// `serve.epoch` gauge, `serve.publish` span) at a registry.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
     }
 
     /// Another handle onto this publisher's readership.
@@ -82,8 +98,14 @@ impl EpochPublisher {
     /// pinned to earlier epochs are unaffected; new pins observe the
     /// complete new table or the complete old one, never a mix.
     pub fn publish(&mut self, routing: &RoutingState) -> u64 {
+        // The span guard borrows the registry, so hold the handle
+        // locally (an `Arc` bump) while the publish mutates `self`.
+        let metrics = self.metrics.clone();
+        let _publish_span = metrics.span(SpanId::ServePublish);
+        metrics.inc(CounterId::ServePublishes);
         self.next_epoch += 1;
         let epoch = self.next_epoch;
+        metrics.gauge_raise(GaugeId::ServeEpoch, epoch);
         // Reclaim the spare for in-place refill, or allocate when a
         // reader still holds it (the reader keeps its epoch intact; we
         // simply cannot reuse the buffer).

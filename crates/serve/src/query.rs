@@ -20,6 +20,7 @@
 //! as the routing kernel's `RoutingScratch`.
 
 use etx_graph::{NodeId, PlaneIdx};
+use etx_metrics::{CounterId, Registry, SpanId};
 use etx_routing::RouteEntry;
 
 use crate::snapshot::TableSnapshot;
@@ -137,6 +138,7 @@ pub struct LaneScratch {
 /// order, which is what keeps serial, sharded and AoS-mirror execution
 /// byte-identical.
 pub(crate) fn execute_group(
+    metrics: &Registry,
     snapshot: Option<&TableSnapshot>,
     order: &[u32],
     queries: &[Query],
@@ -150,39 +152,50 @@ pub(crate) fn execute_group(
         }
         return;
     };
-    lanes.next_hop.clear();
-    lanes.cost.clear();
-    lanes.path.clear();
-    // Reserve to the group bound, not the split sizes: lane lengths
-    // vary with the batch mix, and capacity must reach its high-water
-    // mark in one step for the steady state to stay allocation-free.
-    lanes.next_hop.reserve(order.len());
-    lanes.cost.reserve(order.len());
-    lanes.path.reserve(order.len());
-    let n = snap.node_count();
-    let modules = snap.module_count();
-    for &oi in order {
-        match queries[oi as usize] {
-            Query::NextHop { source, module, .. } => {
-                let flat = if source.index() < n && (module as usize) < modules {
-                    source.index() * modules + module as usize
-                } else {
-                    OUT_OF_RANGE
-                };
-                lanes.next_hop.push((oi, flat));
+    {
+        let _split_span = metrics.span(SpanId::ServeBatchSplit);
+        lanes.next_hop.clear();
+        lanes.cost.clear();
+        lanes.path.clear();
+        // Reserve to the group bound, not the split sizes: lane lengths
+        // vary with the batch mix, and capacity must reach its high-water
+        // mark in one step for the steady state to stay allocation-free.
+        lanes.next_hop.reserve(order.len());
+        lanes.cost.reserve(order.len());
+        lanes.path.reserve(order.len());
+        let n = snap.node_count();
+        let modules = snap.module_count();
+        for &oi in order {
+            match queries[oi as usize] {
+                Query::NextHop { source, module, .. } => {
+                    let flat = if source.index() < n && (module as usize) < modules {
+                        source.index() * modules + module as usize
+                    } else {
+                        OUT_OF_RANGE
+                    };
+                    lanes.next_hop.push((oi, flat));
+                }
+                Query::Cost { source, target, .. } => {
+                    let flat = if source.index() < n && target.index() < n {
+                        source.index() * n + target.index()
+                    } else {
+                        OUT_OF_RANGE
+                    };
+                    lanes.cost.push((oi, flat));
+                }
+                Query::Path { .. } => lanes.path.push(oi),
             }
-            Query::Cost { source, target, .. } => {
-                let flat = if source.index() < n && target.index() < n {
-                    source.index() * n + target.index()
-                } else {
-                    OUT_OF_RANGE
-                };
-                lanes.cost.push((oi, flat));
-            }
-            Query::Path { .. } => lanes.path.push(oi),
         }
     }
+    metrics.add(CounterId::ServeQueriesNextHop, lanes.next_hop.len() as u64);
+    metrics.add(CounterId::ServeQueriesCost, lanes.cost.len() as u64);
+    metrics.add(CounterId::ServeQueriesPath, lanes.path.len() as u64);
 
+    // Each lane pass is timed once and its elapsed time divided over the
+    // lane's queries, so the per-type latency histograms stay exact in
+    // count while the record path pays one clock read per lane, not per
+    // query.
+    let lane_timer = metrics.timer();
     let planes = snap.table_planes();
     match (planes.dest.narrow(), planes.next_hop.narrow()) {
         (Some(dest), Some(next)) => {
@@ -194,8 +207,12 @@ pub(crate) fn execute_group(
             next_hop_lane(snap, dest, next, &lanes.next_hop, sink);
         }
     }
+    metrics.observe_share(SpanId::ServeLatencyNextHop, lane_timer, lanes.next_hop.len() as u64);
+    let lane_timer = metrics.timer();
     cost_lane(snap, &lanes.cost, sink);
+    metrics.observe_share(SpanId::ServeLatencyCost, lane_timer, lanes.cost.len() as u64);
     // Path lane last: the only lane that appends to the arena.
+    let lane_timer = metrics.timer();
     for &oi in &lanes.path {
         let Query::Path { source, module, .. } = queries[oi as usize] else {
             unreachable!("path lane holds only path queries")
@@ -204,6 +221,7 @@ pub(crate) fn execute_group(
         let entry = snap.path_into(source, module as usize, arena);
         sink(oi, QueryResult::Path { entry, nodes: (start, arena.len() as u32) });
     }
+    metrics.observe_share(SpanId::ServeLatencyPath, lane_timer, lanes.path.len() as u64);
 }
 
 /// The NextHop lane: a tight gather over the two index planes, the
@@ -480,9 +498,18 @@ mod tests {
         let mut lanes = LaneScratch::default();
         let mut arena = Vec::new();
         let mut got = Vec::new();
-        execute_group(Some(snap), &order, &queries, &mut lanes, &mut arena, &mut |oi, r| {
-            got.push((oi, r));
-        });
+        let metrics = Registry::disabled();
+        execute_group(
+            &metrics,
+            Some(snap),
+            &order,
+            &queries,
+            &mut lanes,
+            &mut arena,
+            &mut |oi, r| {
+                got.push((oi, r));
+            },
+        );
         got.sort_by_key(|&(oi, _)| oi);
         (got, arena)
     }
@@ -521,7 +548,8 @@ mod tests {
         let mut lanes = LaneScratch::default();
         let mut arena = Vec::new();
         let mut got = Vec::new();
-        execute_group(None, &order, &queries, &mut lanes, &mut arena, &mut |oi, r| {
+        let metrics = Registry::disabled();
+        execute_group(&metrics, None, &order, &queries, &mut lanes, &mut arena, &mut |oi, r| {
             got.push((oi, r));
         });
         assert_eq!(got, vec![(0, QueryResult::UnknownFabric), (1, QueryResult::UnknownFabric)]);

@@ -1,12 +1,14 @@
 //! Workload generation and load loops: SplitMix64-driven query streams
 //! with a configurable point/path/cost mix, driven open- or closed-loop
 //! against a [`FleetFrontend`], with HDR-style tail-latency capture
-//! (reusing the fleet's exact-integer [`StreamingStat`] histograms).
+//! (the exact-integer [`Histo`] from `etx-metrics` — the same bucket
+//! scheme the fleet's `StreamingStat` re-exports).
 
 use std::time::Instant;
 
-use etx_fleet::{FleetRng, StreamingStat};
+use etx_fleet::FleetRng;
 use etx_graph::NodeId;
+use etx_metrics::Histo;
 
 use crate::frontend::FleetFrontend;
 use crate::query::{Query, QueryBatch, QueryOutput};
@@ -141,7 +143,7 @@ pub struct LoadReport {
     /// Sustained throughput, queries per second.
     pub qps: f64,
     /// Per-query latency histogram, nanoseconds.
-    pub latency: StreamingStat,
+    pub latency: Histo,
 }
 
 impl LoadReport {
@@ -172,7 +174,7 @@ pub fn run_load(
 ) -> LoadReport {
     let mut batch = QueryBatch::new();
     let mut out = QueryOutput::new();
-    let mut latency = StreamingStat::new();
+    let mut latency = Histo::new();
     let mut queries = 0u64;
     let mut batches = 0u64;
 

@@ -80,7 +80,7 @@ fn closed_loop_load_run_allocates_only_during_warmup() {
         etx_serve::run_load(&frontend, &mut WorkloadGen::new(spec), LoadMode::Closed, 1_000);
     let allocated = allocations() - before;
     assert!(report.queries >= 1_000);
-    // One QueryBatch/QueryOutput/StreamingStat are constructed per run —
+    // One QueryBatch/QueryOutput/latency Histo are constructed per run —
     // a handful of allocations, not O(queries).
     assert!(allocated < 64, "load run allocated {allocated} times for {} queries", report.queries);
 }

@@ -3,6 +3,7 @@
 use etx_control::{ControlLedger, ControllerBank, ControllerEnergyModel};
 use etx_graph::{DiGraph, NodeBitset, NodeId};
 use etx_mapping::Placement;
+use etx_metrics::{CounterId, GaugeId, MetricsHandle, MetricsSnapshot, SpanId};
 use etx_routing::{FrameDelta, RecomputeStats, Router, RoutingScratch, RoutingState, SystemReport};
 use etx_units::Energy;
 
@@ -56,6 +57,12 @@ pub struct FrameSnapshot<'a> {
     /// consecutive snapshots with
     /// [`RecomputeStats::delta_since`] for per-frame costs.
     pub recompute: RecomputeStats,
+    /// What this frame alone cost: `recompute` diffed against the
+    /// previous frame's snapshot by the engine itself — the single
+    /// per-frame delta every consumer (trace recorder, metrics
+    /// registry, benches) shares instead of keeping its own
+    /// previous-snapshot state.
+    pub recompute_delta: RecomputeStats,
     /// Trace events since the previous recorded frame (each entry
     /// carries its own frame/cycle stamp). Delivered even when
     /// [`SimConfig::trace_capacity`](crate::SimConfig::trace_capacity)
@@ -184,6 +191,12 @@ pub struct Simulation {
     /// Recording hook: told about every completed TDMA frame (see
     /// [`FrameRecorder`]).
     frame_recorder: Option<Box<dyn FrameRecorder>>,
+    /// Where frame counters and phase spans are recorded. Defaults to
+    /// the shared no-op registry (one relaxed load per record call).
+    metrics: MetricsHandle,
+    /// The recompute counters as of the previous completed frame — the
+    /// engine-owned state behind [`FrameSnapshot::recompute_delta`].
+    prev_frame_stats: RecomputeStats,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -326,6 +339,11 @@ impl Simulation {
             trace,
             table_observer: None,
             frame_recorder: None,
+            metrics: MetricsHandle::default(),
+            // Starts at zero (not the post-construction snapshot) so the
+            // first frame's delta covers the initial full recompute,
+            // matching what per-frame consumers historically computed.
+            prev_frame_stats: RecomputeStats::default(),
         }
     }
 
@@ -347,6 +365,25 @@ impl Simulation {
         self.trace.enable_tap();
         self.trace.clear_tap();
         self.frame_recorder = Some(recorder);
+    }
+
+    /// Points this run's metrics (frame counters, frame-phase spans,
+    /// per-frame recompute deltas, and the routing repair-stage spans)
+    /// at a registry. The default is the shared no-op registry, whose
+    /// record calls cost one relaxed load each. Attach before stepping;
+    /// counters recorded so far are not replayed.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.routing_scratch.set_metrics(metrics.clone());
+        self.metrics = metrics;
+    }
+
+    /// A snapshot of the registry this run records into (the no-op
+    /// registry — all zeros — unless [`Simulation::set_metrics`] was
+    /// called). Note the registry is shared: a fleet shard pointing many
+    /// instances at one registry reads their combined totals here.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// The current routing state (next-hop/full-path tables included).
@@ -688,6 +725,11 @@ impl Simulation {
     fn tdma_frame_bitset(&mut self) -> Option<DeathCause> {
         self.frames += 1;
         self.trace.set_frame(self.frames);
+        // Phase spans borrow the registry while the frame mutates
+        // `self`, so hold the handle locally (an `Arc` bump, no
+        // allocation).
+        let metrics = self.metrics.clone();
+        metrics.inc(CounterId::SimFrames);
         let upload = self.cfg.tdma.upload_energy_per_node(&self.cfg.line_model);
         let levels = self.cfg.weighting.levels();
 
@@ -695,18 +737,21 @@ impl Simulation {
         // frame state absorbs its battery-bucket transition in the same
         // pass (a node that died mid-drive was already patched at the
         // death site).
-        for i in 0..self.nodes.len() {
-            let node = NodeId::new(i);
-            if self.nodes[i].is_dead() {
-                continue;
-            }
-            self.drain_node(node, upload, DrainKind::Control);
-            self.ledger.record_upload(upload);
-            if !self.nodes[i].is_dead() {
-                let bucket = self.nodes[i].battery.reported_level(levels);
-                if bucket != self.frame_state.battery_level(node) {
-                    self.frame_state.set_battery_level(node, bucket);
-                    self.touched_bits.insert(node);
+        {
+            let _upload_span = metrics.span(SpanId::SimFrameUpload);
+            for i in 0..self.nodes.len() {
+                let node = NodeId::new(i);
+                if self.nodes[i].is_dead() {
+                    continue;
+                }
+                self.drain_node(node, upload, DrainKind::Control);
+                self.ledger.record_upload(upload);
+                if !self.nodes[i].is_dead() {
+                    let bucket = self.nodes[i].battery.reported_level(levels);
+                    if bucket != self.frame_state.battery_level(node) {
+                        self.frame_state.set_battery_level(node, bucket);
+                        self.touched_bits.insert(node);
+                    }
                 }
             }
         }
@@ -780,27 +825,32 @@ impl Simulation {
             if !self.bank.charge(down_total) {
                 return Some(DeathCause::ControllersDead);
             }
-            self.router.recompute_frame_into(
-                &self.graph,
-                self.placement.module_nodes(),
-                &self.frame_state,
-                FrameDelta {
-                    changed: &self.dirty_bits,
-                    any_deadlock,
-                    // Remapping runs on the report-diff path, so the
-                    // placement can never change under this feed.
-                    placement_changed: false,
-                },
-                &mut self.routing_scratch,
-                &mut self.routing,
-            );
+            {
+                let _recompute_span = metrics.span(SpanId::SimFrameRecompute);
+                self.router.recompute_frame_into(
+                    &self.graph,
+                    self.placement.module_nodes(),
+                    &self.frame_state,
+                    FrameDelta {
+                        changed: &self.dirty_bits,
+                        any_deadlock,
+                        // Remapping runs on the report-diff path, so the
+                        // placement can never change under this feed.
+                        placement_changed: false,
+                    },
+                    &mut self.routing_scratch,
+                    &mut self.routing,
+                );
+            }
             self.routing_recomputes += 1;
             self.routing_version += 1;
+            metrics.inc(CounterId::SimRecomputes);
             self.trace
                 .record(self.now, TraceEvent::RoutingRecomputed { version: self.routing_version });
             // Publish hook: read-side services snapshot the fresh tables
             // before any job consults them.
             if let Some(observer) = self.table_observer.as_mut() {
+                let _publish_span = metrics.span(SpanId::SimFramePublish);
                 observer.on_tables(self.routing_version, &self.routing, &self.frame_state);
             }
             // The published baseline catches up with the patched frame
@@ -838,18 +888,23 @@ impl Simulation {
     fn tdma_frame_report_diff(&mut self) -> Option<DeathCause> {
         self.frames += 1;
         self.trace.set_frame(self.frames);
+        let metrics = self.metrics.clone();
+        metrics.inc(CounterId::SimFrames);
         let upload = self.cfg.tdma.upload_energy_per_node(&self.cfg.line_model);
 
         // Upload phase: every live node drives its status slot.
-        for i in 0..self.nodes.len() {
-            let node = NodeId::new(i);
-            if self.nodes[i].is_dead() {
-                continue;
+        {
+            let _upload_span = metrics.span(SpanId::SimFrameUpload);
+            for i in 0..self.nodes.len() {
+                let node = NodeId::new(i);
+                if self.nodes[i].is_dead() {
+                    continue;
+                }
+                self.drain_node(node, upload, DrainKind::Control);
+                // The slot hits the wire either way: even a node dying
+                // mid-drive leaves its partial slot on the shared medium.
+                self.ledger.record_upload(upload);
             }
-            self.drain_node(node, upload, DrainKind::Control);
-            // The slot hits the wire either way: even a node dying
-            // mid-drive leaves its partial slot on the shared medium.
-            self.ledger.record_upload(upload);
         }
         if let Some(cause) = self.pending_death.take() {
             return Some(cause);
@@ -909,21 +964,26 @@ impl Simulation {
             // configured strategy) only the affected shortest-path work,
             // and reuses all scratch storage (zero steady-state
             // allocation). No report diffing happens on this path.
-            self.router.recompute_dirty_into(
-                &self.graph,
-                self.placement.module_nodes(),
-                &report,
-                &self.dirty_nodes,
-                &mut self.routing_scratch,
-                &mut self.routing,
-            );
+            {
+                let _recompute_span = metrics.span(SpanId::SimFrameRecompute);
+                self.router.recompute_dirty_into(
+                    &self.graph,
+                    self.placement.module_nodes(),
+                    &report,
+                    &self.dirty_nodes,
+                    &mut self.routing_scratch,
+                    &mut self.routing,
+                );
+            }
             self.routing_recomputes += 1;
             self.routing_version += 1;
+            metrics.inc(CounterId::SimRecomputes);
             self.trace
                 .record(self.now, TraceEvent::RoutingRecomputed { version: self.routing_version });
             // Publish hook: read-side services snapshot the fresh tables
             // before any job consults them.
             if let Some(observer) = self.table_observer.as_mut() {
+                let _publish_span = metrics.span(SpanId::SimFramePublish);
                 observer.on_tables(self.routing_version, &self.routing, &report);
             }
             // The new report becomes the baseline; the old baseline's
@@ -947,20 +1007,28 @@ impl Simulation {
         None
     }
 
-    /// Delivers the just-completed frame to the attached
-    /// [`FrameRecorder`] (if any) and drains the trace tap. The frame's
-    /// report lives in `last_report` when `report_in_last` (report-diff
-    /// recompute frames), else in `frame_state`.
+    /// Closes out the just-completed frame: computes the per-frame
+    /// recompute delta (the single source every consumer shares), feeds
+    /// it to the metrics registry, and delivers the frame to the
+    /// attached [`FrameRecorder`] (if any), draining the trace tap. The
+    /// frame's report lives in `last_report` when `report_in_last`
+    /// (report-diff recompute frames), else in `frame_state`.
     fn record_frame(&mut self, recomputed: bool, report_in_last: bool) {
+        let stats = self.routing_scratch.stats();
+        let recompute_delta = stats.delta_since(&self.prev_frame_stats);
+        self.prev_frame_stats = stats;
+        recompute_delta.record_into(&self.metrics);
         if self.frame_recorder.is_none() {
             return;
         }
+        let metrics = self.metrics.clone();
+        self.metrics.inc(CounterId::SimFramesRecorded);
+        let _record_span = metrics.span(SpanId::SimFrameRecord);
         let Simulation {
             frame_recorder,
             frame_state,
             last_report,
             trace,
-            routing_scratch,
             ledger,
             frames,
             now,
@@ -977,7 +1045,8 @@ impl Simulation {
             routing_version: *routing_version,
             recomputed,
             report,
-            recompute: routing_scratch.stats(),
+            recompute: stats,
+            recompute_delta,
             events: trace.tap(),
             medium_energy: ledger.medium_energy(),
             controller_energy: ledger.controller_energy(),
@@ -1286,6 +1355,11 @@ impl Simulation {
     /// explicitly (the pooled path snapshots them before the scratch is
     /// recycled).
     fn finish_report(self, cause: DeathCause, recompute: etx_routing::RecomputeStats) -> SimReport {
+        // Lifetime totals land once, at the end of the run, so a fleet
+        // shard's registry sums exactly what its aggregate sums.
+        self.metrics.add(CounterId::SimJobsCompleted, self.jobs_completed);
+        self.metrics.add(CounterId::SimJobsLost, self.jobs_lost);
+        self.metrics.gauge_raise(GaugeId::SimRoutingVersion, self.routing_version);
         let total_ops = self.cfg.app.op_sequence().len();
         let in_flight: f64 = self.jobs.iter().map(|j| j.progress(total_ops)).sum();
         let mut energy = EnergyBreakdown::default();

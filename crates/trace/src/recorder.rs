@@ -42,9 +42,6 @@ pub struct TraceScratch {
     alive: NodeBitset,
     /// Deadlock membership of the frame being digested.
     deadlocked: NodeBitset,
-    /// Cumulative counters as of the previously recorded frame (for the
-    /// per-frame delta).
-    prev_stats: RecomputeStats,
 }
 
 impl Default for TraceScratch {
@@ -61,7 +58,6 @@ impl TraceScratch {
             frame_buf: Vec::with_capacity(RECORD_BUF_INITIAL),
             alive: NodeBitset::default(),
             deadlocked: NodeBitset::default(),
-            prev_stats: RecomputeStats::default(),
         }
     }
 
@@ -247,8 +243,9 @@ impl TraceRecorder {
         } else {
             0
         };
-        let delta = snapshot.recompute.delta_since(&self.scratch.prev_stats);
-        self.scratch.prev_stats = snapshot.recompute;
+        // The engine diffs consecutive counter snapshots itself; every
+        // per-frame consumer shares that one delta.
+        let delta = snapshot.recompute_delta;
         let digest = self.scratch.digest(snapshot.report, snapshot.routing_version, &delta);
         let buf = &mut self.scratch.frame_buf;
         buf.clear();
