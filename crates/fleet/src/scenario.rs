@@ -206,6 +206,11 @@ pub struct ScenarioSpec {
     /// only the last `N` frames in a bounded ring. Cost-only — the knob
     /// never changes what a run *does*, only how much of it is kept.
     pub record_frames: u64,
+    /// Serve-side warm-up: how many engine cycles each instance drains
+    /// before its routing tables are served (`FleetFrontend::from_spec`
+    /// and the `served` daemon). Fleet *runs* ignore it — it shapes the
+    /// snapshot a query layer answers from, never a simulation outcome.
+    pub warm_cycles: u64,
 }
 
 impl Default for ScenarioSpec {
@@ -232,6 +237,7 @@ impl Default for ScenarioSpec {
             broadcast_fraction: 0.3,
             max_cycles: 2_000_000,
             record_frames: 0,
+            warm_cycles: 4_000,
         }
     }
 }
@@ -461,6 +467,9 @@ impl ScenarioSpec {
                 "record_frames" => {
                     spec.record_frames = value.parse().map_err(|_| bad("frame count"))?;
                 }
+                "warm_cycles" => {
+                    spec.warm_cycles = value.parse().map_err(|_| bad("cycle count"))?;
+                }
                 _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
             }
         }
@@ -506,6 +515,7 @@ impl ScenarioSpec {
         let _ = writeln!(out, "broadcast_fraction = {}", self.broadcast_fraction);
         let _ = writeln!(out, "max_cycles = {}", self.max_cycles);
         let _ = writeln!(out, "record_frames = {}", self.record_frames);
+        let _ = writeln!(out, "warm_cycles = {}", self.warm_cycles);
         out
     }
 

@@ -13,7 +13,11 @@
 //!   execution plan.
 //! * [`Class::Cost`] — identical across shard counts but legitimately
 //!   feed-/strategy-dependent: the routing recompute cost counters
-//!   (exactly the set CI masks with `grep -v '"recompute"'`).
+//!   (exactly the set CI masks with `grep -v '"recompute"'`). The
+//!   `net.*` wire counters also ride in this class: they are
+//!   traffic-shaped rather than results-level, so they must stay out of
+//!   the deterministic export, yet they are exact integers worth having
+//!   in the full export (unlike the `Wall` histograms).
 //! * [`Class::Wall`] — wall-clock span/latency histograms; never
 //!   deterministic, never exported in deterministic snapshots.
 
@@ -83,11 +87,29 @@ pub enum CounterId {
     RoutingFramesOkSkipped = 21,
     /// Node states examined by per-frame bookkeeping.
     RoutingNodesScanned = 22,
+    /// Daemon connections accepted.
+    NetConnections = 23,
+    /// Wire frames decoded off client connections.
+    NetFramesIn = 24,
+    /// Wire frames written back to clients.
+    NetFramesOut = 25,
+    /// Payload bytes received (frame payloads, excluding length prefix).
+    NetBytesIn = 26,
+    /// Payload bytes sent (frame payloads, excluding length prefix).
+    NetBytesOut = 27,
+    /// Query batches accepted off the wire.
+    NetQueryRequests = 28,
+    /// Telemetry-ingest frames applied to a served fabric.
+    NetIngests = 29,
+    /// Requests shed by a full shard queue (load-shedding responses).
+    NetShedTotal = 30,
+    /// Malformed/oversized/unknown frames answered with an error frame.
+    NetProtocolErrors = 31,
 }
 
 impl CounterId {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 32;
 
     /// Every counter, in export order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -114,6 +136,15 @@ impl CounterId {
         CounterId::RoutingTableCellsPatched,
         CounterId::RoutingFramesOkSkipped,
         CounterId::RoutingNodesScanned,
+        CounterId::NetConnections,
+        CounterId::NetFramesIn,
+        CounterId::NetFramesOut,
+        CounterId::NetBytesIn,
+        CounterId::NetBytesOut,
+        CounterId::NetQueryRequests,
+        CounterId::NetIngests,
+        CounterId::NetShedTotal,
+        CounterId::NetProtocolErrors,
     ];
 
     /// The counter's export name.
@@ -143,6 +174,15 @@ impl CounterId {
             CounterId::RoutingTableCellsPatched => "routing.table_cells_patched",
             CounterId::RoutingFramesOkSkipped => "routing.frames_ok_skipped",
             CounterId::RoutingNodesScanned => "routing.nodes_scanned",
+            CounterId::NetConnections => "net.connections",
+            CounterId::NetFramesIn => "net.frames_in",
+            CounterId::NetFramesOut => "net.frames_out",
+            CounterId::NetBytesIn => "net.bytes_in",
+            CounterId::NetBytesOut => "net.bytes_out",
+            CounterId::NetQueryRequests => "net.query_requests",
+            CounterId::NetIngests => "net.ingests",
+            CounterId::NetShedTotal => "net.shed_total",
+            CounterId::NetProtocolErrors => "net.protocol_errors",
         }
     }
 
@@ -183,14 +223,17 @@ pub enum GaugeId {
     SimRoutingVersion = 0,
     /// Highest snapshot epoch any publisher reached.
     ServeEpoch = 1,
+    /// Deepest any bounded shard queue got (high-water occupancy).
+    NetQueueDepthPeak = 2,
 }
 
 impl GaugeId {
     /// Number of gauges in the catalog.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
 
     /// Every gauge, in export order.
-    pub const ALL: [GaugeId; GaugeId::COUNT] = [GaugeId::SimRoutingVersion, GaugeId::ServeEpoch];
+    pub const ALL: [GaugeId; GaugeId::COUNT] =
+        [GaugeId::SimRoutingVersion, GaugeId::ServeEpoch, GaugeId::NetQueueDepthPeak];
 
     /// The gauge's export name.
     #[must_use]
@@ -198,6 +241,7 @@ impl GaugeId {
         match self {
             GaugeId::SimRoutingVersion => "sim.routing_version",
             GaugeId::ServeEpoch => "serve.epoch",
+            GaugeId::NetQueueDepthPeak => "net.queue_depth_peak",
         }
     }
 
@@ -245,11 +289,25 @@ pub enum SpanId {
     ServeLatencyCost = 13,
     /// Per-query latency, Path lane.
     ServeLatencyPath = 14,
+    /// Daemon connection handshake (accept to HELLO_ACK written).
+    NetAccept = 15,
+    /// Wire frame decode (length prefix stripped to work item built).
+    NetDecode = 16,
+    /// Shard-worker execution of one wire request.
+    NetExecute = 17,
+    /// Response frame encode + socket write.
+    NetEncode = 18,
+    /// Wire round-trip share per NextHop query (decode to response written).
+    NetWireNextHop = 19,
+    /// Wire round-trip share per Cost query (decode to response written).
+    NetWireCost = 20,
+    /// Wire round-trip share per Path query (decode to response written).
+    NetWirePath = 21,
 }
 
 impl SpanId {
     /// Number of span/latency histograms in the catalog.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 22;
 
     /// Every span, in export order.
     pub const ALL: [SpanId; SpanId::COUNT] = [
@@ -268,6 +326,13 @@ impl SpanId {
         SpanId::ServeLatencyNextHop,
         SpanId::ServeLatencyCost,
         SpanId::ServeLatencyPath,
+        SpanId::NetAccept,
+        SpanId::NetDecode,
+        SpanId::NetExecute,
+        SpanId::NetEncode,
+        SpanId::NetWireNextHop,
+        SpanId::NetWireCost,
+        SpanId::NetWirePath,
     ];
 
     /// The span's export name.
@@ -289,6 +354,13 @@ impl SpanId {
             SpanId::ServeLatencyNextHop => "serve.latency.next_hop",
             SpanId::ServeLatencyCost => "serve.latency.cost",
             SpanId::ServeLatencyPath => "serve.latency.path",
+            SpanId::NetAccept => "net.accept",
+            SpanId::NetDecode => "net.decode",
+            SpanId::NetExecute => "net.execute",
+            SpanId::NetEncode => "net.encode",
+            SpanId::NetWireNextHop => "net.wire.next_hop",
+            SpanId::NetWireCost => "net.wire.cost",
+            SpanId::NetWirePath => "net.wire.path",
         }
     }
 

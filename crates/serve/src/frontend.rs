@@ -156,6 +156,18 @@ impl FleetFrontend {
         id
     }
 
+    /// Registers a rejected-instance placeholder: the id stays dense
+    /// (builders that sample a spec instance-by-instance keep instance
+    /// `i` at fabric id `i`), and every query against it answers
+    /// [`QueryResult::UnknownFabric`] — exactly what
+    /// [`FleetFrontend::from_spec`] records for instances the
+    /// `SimConfigBuilder` rejects.
+    pub fn register_rejected(&mut self) -> u32 {
+        let id = self.fabrics.len() as u32;
+        self.fabrics.push(None);
+        id
+    }
+
     /// Number of fabric ids (rejected placeholders included).
     #[must_use]
     pub fn fabric_count(&self) -> usize {
@@ -217,6 +229,28 @@ impl FleetFrontend {
             let _sort_span = self.metrics.span(SpanId::ServeBatchSort);
             batch.sort_for_execution(|fabric| self.shard_of(fabric));
         }
+        self.execute_sorted(batch, out);
+    }
+
+    /// [`FleetFrontend::execute`] for a batch already pinned to **one**
+    /// shard — the daemon path, where a connection's batches all run on
+    /// the shard that owns the connection. A single shard can never
+    /// split the execution order, so the sort skips the per-fabric shard
+    /// hash entirely (`QueryBatch::sort_single_shard`); groups run in
+    /// ascending fabric order instead of `(shard, fabric)` order, which
+    /// changes only internal arena layout, never a resolved answer.
+    pub fn execute_pinned(&self, batch: &mut QueryBatch, out: &mut QueryOutput) {
+        self.metrics.inc(CounterId::ServeBatches);
+        {
+            let _sort_span = self.metrics.span(SpanId::ServeBatchSort);
+            batch.sort_single_shard();
+        }
+        self.execute_sorted(batch, out);
+    }
+
+    /// The shared execute body: walks the sorted order's fabric groups,
+    /// pinning each addressed fabric's snapshot exactly once.
+    fn execute_sorted(&self, batch: &mut QueryBatch, out: &mut QueryOutput) {
         out.reset(batch.len());
         let (order, queries, lanes) = batch.exec_parts();
         let (results, arena) = out.parts_mut();
@@ -511,6 +545,30 @@ mod tests {
         let mut sharded = QueryOutput::new();
         frontend.execute_sharded(&mut batch, &mut sharded, &mut workspace);
         assert_eq!(serial.results(), sharded.results());
+    }
+
+    #[test]
+    fn pinned_execute_matches_hashed_execute() {
+        // The daemon path (connection pinned to one shard, shard hash
+        // skipped) must resolve every answer identically to the hashed
+        // sort — arena ranges may differ (group order does), resolved
+        // node sequences may not.
+        let frontend = smoke_frontend(3);
+        let mut batch = mixed_batch(&frontend);
+        let mut hashed = QueryOutput::new();
+        frontend.execute(&mut batch, &mut hashed);
+        let mut pinned = QueryOutput::new();
+        frontend.execute_pinned(&mut batch, &mut pinned);
+        assert_eq!(hashed.results().len(), pinned.results().len());
+        for (a, b) in hashed.results().iter().zip(pinned.results()) {
+            match (a, b) {
+                (QueryResult::Path { entry: ea, .. }, QueryResult::Path { entry: eb, .. }) => {
+                    assert_eq!(ea, eb);
+                    assert_eq!(hashed.path_nodes(a), pinned.path_nodes(b));
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
     }
 
     #[test]

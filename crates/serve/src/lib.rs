@@ -32,6 +32,10 @@
 //! * [`WorkloadGen`] / [`run_load`] — SplitMix64-driven open- and
 //!   closed-loop load generation with HDR-style tail-latency capture
 //!   (the fleet's exact-integer histograms);
+//! * [`net`] — `etx-served`: the thread-per-core TCP daemon that puts
+//!   all of the above behind a compact length-prefixed binary
+//!   protocol, with per-shard connection pinning, a telemetry-ingest
+//!   write path and bounded-queue load shedding;
 //! * [`AosFrontend`] — the pre-plane array-of-structs execution path,
 //!   kept alive so benchmarks can interleave both layouts in one
 //!   process and CI can diff their outputs byte for byte.
@@ -59,6 +63,7 @@
 
 mod baseline;
 mod frontend;
+pub mod net;
 mod publish;
 mod query;
 mod snapshot;
@@ -66,7 +71,8 @@ mod workload;
 
 pub use baseline::{AosFrontend, AosTables};
 pub use frontend::{FleetFrontend, ShardWorkspace};
+pub use net::{run_wire_load, RouteClient, Served, ServedConfig, WireLoadReport};
 pub use publish::{EpochPublisher, PinnedSnapshot, SnapshotReader};
 pub use query::{Query, QueryBatch, QueryOutput, QueryResult};
 pub use snapshot::TableSnapshot;
-pub use workload::{run_load, LoadMode, LoadReport, WorkloadGen, WorkloadSpec};
+pub use workload::{run_load, FabricDirectory, LoadMode, LoadReport, WorkloadGen, WorkloadSpec};

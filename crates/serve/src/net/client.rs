@@ -1,0 +1,551 @@
+//! [`RouteClient`]: the blocking client half of the daemon protocol,
+//! plus [`run_wire_load`] — the open-/closed-loop load driver that
+//! measures the daemon end to end over loopback with the same latency
+//! attribution as the in-process [`run_load`](crate::run_load).
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use etx_metrics::Histo;
+
+use super::proto::{self, FabricDims, Reply, PROTOCOL_VERSION};
+use super::wire::{FrameReader, RecvError, WireError};
+use crate::workload::FabricDirectory;
+use crate::{LoadMode, Query, QueryBatch, QueryOutput, WorkloadGen, WorkloadSpec};
+
+/// A client-side failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// A socket operation failed.
+    Io(std::io::ErrorKind),
+    /// A frame could not be received (truncated, oversized, hostile
+    /// prefix).
+    Recv(RecvError),
+    /// A received payload failed to decode.
+    Wire(WireError),
+    /// The server answered with a fatal ERROR frame and is closing.
+    Remote {
+        /// The server's error code (see [`proto::code`]).
+        code: u8,
+    },
+    /// The server closed the connection cleanly.
+    Closed,
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::Io(kind) => write!(f, "socket error: {kind:?}"),
+            NetError::Recv(e) => write!(f, "receive failed: {e}"),
+            NetError::Wire(e) => write!(f, "malformed server frame: {e}"),
+            NetError::Remote { code } => write!(f, "server error code {code}"),
+            NetError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<RecvError> for NetError {
+    fn from(e: RecvError) -> Self {
+        NetError::Recv(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.kind())
+    }
+}
+
+/// What one received server frame was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// RESULTS: the answers were decoded into the caller's
+    /// [`QueryOutput`].
+    Results,
+    /// INGEST_ACK: the ingest was applied.
+    IngestAck {
+        /// The fabric's table epoch after the ingest.
+        epoch: u64,
+        /// Items that actually changed node state.
+        applied: u64,
+    },
+    /// REJECT: the request was refused (non-fatal); for
+    /// [`proto::code::OVERLOADED`], back off and resend.
+    Rejected {
+        /// Why (see [`proto::code`]).
+        code: u8,
+    },
+}
+
+/// One received server frame: which request it answers and what it
+/// carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// The decoded frame kind.
+    pub kind: ResponseKind,
+}
+
+/// A blocking connection to an `etx-served` daemon. Handshakes on
+/// connect, learns the fleet's fabric dimensions from HELLO_ACK (so a
+/// [`WorkloadGen`] can run against it exactly as against the
+/// in-process frontend), and reuses its encode/receive buffers — the
+/// warm request path allocates nothing.
+#[derive(Debug)]
+pub struct RouteClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    buf: Vec<u8>,
+    dims: FabricDims,
+    shard: u32,
+    shard_count: u32,
+    next_request: u64,
+    max_frame_len: usize,
+}
+
+impl RouteClient {
+    /// Connects and handshakes.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, handshake rejections ([`NetError::Remote`])
+    /// and malformed server frames.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RouteClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = RouteClient {
+            stream,
+            reader: FrameReader::new(),
+            buf: Vec::new(),
+            dims: Vec::new(),
+            shard: 0,
+            shard_count: 0,
+            next_request: 0,
+            max_frame_len: proto::DEFAULT_MAX_FRAME_LEN,
+        };
+        let frame = proto::encode_hello(&mut client.buf);
+        (&client.stream).write_all(frame)?;
+        let payload = client
+            .reader
+            .next_frame(&client.stream, client.max_frame_len)?
+            .ok_or(NetError::Closed)?;
+        match proto::decode_reply(payload)? {
+            Reply::HelloAck { version, shard, shard_count, fabrics }
+                if version == PROTOCOL_VERSION =>
+            {
+                client.dims = fabrics;
+                client.shard = shard;
+                client.shard_count = shard_count;
+                Ok(client)
+            }
+            Reply::Error { code } => Err(NetError::Remote { code }),
+            _ => Err(NetError::Wire(WireError::Malformed)),
+        }
+    }
+
+    /// [`RouteClient::connect`], retried until `timeout` — for racing
+    /// a daemon that is still warming its fleet (the CI smoke job
+    /// launches `served` and connects concurrently).
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once `timeout` has elapsed.
+    pub fn connect_retry(addr: SocketAddr, timeout: Duration) -> Result<RouteClient, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match RouteClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// The shard this connection's queries execute on.
+    #[must_use]
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// The daemon's worker (shard) count.
+    #[must_use]
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// Sends a QUERY frame; returns its request id. Answers arrive
+    /// via [`RouteClient::recv`] in request order.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn send_queries(&mut self, queries: &[Query]) -> Result<u64, NetError> {
+        let id = self.next_request;
+        self.next_request += 1;
+        self.send_queries_as(id, queries)?;
+        Ok(id)
+    }
+
+    /// Sends a QUERY frame under a caller-chosen request id (load
+    /// drivers stamp the batch index so replies match their arrival
+    /// schedule).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn send_queries_as(&mut self, request_id: u64, queries: &[Query]) -> Result<(), NetError> {
+        let frame = proto::encode_query(&mut self.buf, request_id, queries);
+        (&self.stream).write_all(frame)?;
+        Ok(())
+    }
+
+    /// Sends an INGEST of `(node, wire level)` items for `fabric`;
+    /// returns its request id. Wire level `0` reports the node dead,
+    /// `k > 0` reports battery level `k − 1`.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn send_ingest(&mut self, fabric: u32, items: &[(u32, u32)]) -> Result<u64, NetError> {
+        let id = self.next_request;
+        self.next_request += 1;
+        let frame = proto::encode_ingest(&mut self.buf, id, fabric, items);
+        (&self.stream).write_all(frame)?;
+        Ok(id)
+    }
+
+    /// Sends a SHUTDOWN frame: the daemon begins shutdown and closes
+    /// every connection.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn send_shutdown(&mut self) -> Result<(), NetError> {
+        let frame = proto::encode_shutdown(&mut self.buf);
+        (&self.stream).write_all(frame)?;
+        Ok(())
+    }
+
+    /// Receives the next server frame. RESULTS payloads are decoded
+    /// into `out` (its previous contents are replaced); other kinds
+    /// leave `out` untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] on clean close, [`NetError::Remote`] on a
+    /// fatal ERROR frame, receive/decode failures otherwise.
+    pub fn recv(&mut self, out: &mut QueryOutput) -> Result<Response, NetError> {
+        let payload =
+            self.reader.next_frame(&self.stream, self.max_frame_len)?.ok_or(NetError::Closed)?;
+        if payload.first() == Some(&proto::msg::RESULTS) {
+            let request_id = proto::decode_results_into(payload, out)?;
+            return Ok(Response { request_id, kind: ResponseKind::Results });
+        }
+        match proto::decode_reply(payload)? {
+            Reply::IngestAck { request_id, epoch, applied } => {
+                Ok(Response { request_id, kind: ResponseKind::IngestAck { epoch, applied } })
+            }
+            Reply::Reject { request_id, code } => {
+                Ok(Response { request_id, kind: ResponseKind::Rejected { code } })
+            }
+            Reply::Error { code } => Err(NetError::Remote { code }),
+            _ => Err(NetError::Wire(WireError::Malformed)),
+        }
+    }
+
+    /// Sends one batch and blocks for its answer — the convenience
+    /// path for examples and differential tests; load drivers pipeline
+    /// sends and receives instead.
+    ///
+    /// # Errors
+    ///
+    /// Send/receive failures; a REJECT or a mismatched request id is
+    /// surfaced in the returned [`Response`] / as an error.
+    pub fn query(
+        &mut self,
+        queries: &[Query],
+        out: &mut QueryOutput,
+    ) -> Result<Response, NetError> {
+        let id = self.send_queries(queries)?;
+        let response = self.recv(out)?;
+        if response.request_id != id {
+            return Err(NetError::Wire(WireError::Malformed));
+        }
+        Ok(response)
+    }
+}
+
+impl FabricDirectory for RouteClient {
+    fn fabric_count(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn node_count(&self, fabric: u32) -> Option<usize> {
+        self.dims.get(fabric as usize)?.map(|(nodes, _)| nodes as usize)
+    }
+
+    fn module_count(&self, fabric: u32) -> Option<usize> {
+        self.dims.get(fabric as usize)?.map(|(_, modules)| modules as usize)
+    }
+}
+
+/// Result of one wire load run: throughput, shed volume and the
+/// end-to-end latency distribution (decode + queue wait + execute +
+/// encode + loopback, attributed per query exactly as
+/// [`run_load`](crate::run_load) attributes in-process latency).
+#[derive(Debug, Clone)]
+pub struct WireLoadReport {
+    /// Queries answered with RESULTS.
+    pub queries: u64,
+    /// Queries shed with an OVERLOADED REJECT.
+    pub shed_queries: u64,
+    /// Batches answered.
+    pub batches: u64,
+    /// Batches shed.
+    pub shed_batches: u64,
+    /// Wall-clock duration of the measured loop.
+    pub wall_seconds: f64,
+    /// The scheduled arrival rate (offered load); equals `qps` under
+    /// [`LoadMode::Closed`].
+    pub offered_qps: f64,
+    /// Answered throughput, queries per second.
+    pub qps: f64,
+    /// Per-query sojourn histogram, nanoseconds (answered queries
+    /// only — shed queries never entered service).
+    pub latency: Histo,
+}
+
+impl WireLoadReport {
+    /// The `q`-quantile of per-query sojourn time, nanoseconds.
+    #[must_use]
+    pub fn latency_ns(&self, q: f64) -> u64 {
+        self.latency.quantile_raw(q)
+    }
+
+    /// Fraction of offered queries that were shed.
+    #[must_use]
+    pub fn shed_fraction(&self) -> f64 {
+        let offered = self.queries + self.shed_queries;
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed_queries as f64 / offered as f64
+        }
+    }
+}
+
+/// Stamp slot value for "not sent yet".
+const UNSENT: u64 = u64::MAX;
+
+/// Drives `target_queries` (rounded up to whole batches) through the
+/// daemon at `addr` over its wire protocol.
+///
+/// Closed mode is a single send→recv loop: per-query latency is the
+/// round trip divided over the batch. Open mode splits the
+/// connection: a sender thread paces QUERY frames at their scheduled
+/// arrival times while the receiving half attributes each answered
+/// query *wait + service share* — `max(0, send − arrival)` queueing
+/// delay behind the socket plus an even share of the batch's round
+/// trip — mirroring [`run_load`](crate::run_load), so in-process and
+/// wire percentiles are directly comparable. Shed batches count into
+/// `shed_queries` and record no latency.
+///
+/// # Errors
+///
+/// Connection and protocol failures.
+pub fn run_wire_load(
+    addr: SocketAddr,
+    spec: &WorkloadSpec,
+    mode: LoadMode,
+    target_queries: u64,
+) -> Result<WireLoadReport, NetError> {
+    match mode {
+        LoadMode::Closed => run_wire_closed(addr, spec, target_queries),
+        LoadMode::Open { rate_qps } => run_wire_open(addr, spec, rate_qps, target_queries),
+    }
+}
+
+fn run_wire_closed(
+    addr: SocketAddr,
+    spec: &WorkloadSpec,
+    target_queries: u64,
+) -> Result<WireLoadReport, NetError> {
+    let mut client = RouteClient::connect(addr)?;
+    let mut generator = WorkloadGen::new(spec.clone());
+    let mut batch = QueryBatch::new();
+    let mut out = QueryOutput::new();
+    let mut latency = Histo::new();
+    let mut queries = 0u64;
+    let mut shed_queries = 0u64;
+    let mut batches = 0u64;
+    let mut shed_batches = 0u64;
+
+    // Warm-up exchange: grows every buffer on both sides of the wire.
+    generator.fill(&client, &mut batch);
+    client.query(batch.queries(), &mut out)?;
+
+    let start = Instant::now();
+    while queries + shed_queries < target_queries {
+        generator.fill(&client, &mut batch);
+        let batch_len = batch.len() as u64;
+        let issued = Instant::now();
+        let response = client.query(batch.queries(), &mut out)?;
+        let rtt_ns = issued.elapsed().as_nanos() as u64;
+        match response.kind {
+            ResponseKind::Rejected { .. } => {
+                shed_queries += batch_len;
+                shed_batches += 1;
+            }
+            _ => {
+                let per_query = (rtt_ns / batch_len.max(1)).max(1);
+                for _ in 0..batch_len {
+                    latency.observe(per_query);
+                }
+                queries += batch_len;
+                batches += 1;
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let qps = queries as f64 / wall.max(1e-9);
+    Ok(WireLoadReport {
+        queries,
+        shed_queries,
+        batches,
+        shed_batches,
+        wall_seconds: wall,
+        offered_qps: qps,
+        qps,
+        latency,
+    })
+}
+
+fn run_wire_open(
+    addr: SocketAddr,
+    spec: &WorkloadSpec,
+    rate_qps: f64,
+    target_queries: u64,
+) -> Result<WireLoadReport, NetError> {
+    let mut client = RouteClient::connect(addr)?;
+    let mut generator = WorkloadGen::new(spec.clone());
+    let mut batch = QueryBatch::new();
+    let mut out = QueryOutput::new();
+
+    // Warm-up exchanges under out-of-band ids, so the timed batches
+    // are exactly ids `0..total`.
+    generator.fill(&client, &mut batch);
+    for k in 0..4u64 {
+        client.send_queries_as(UNSENT - 1 - k, batch.queries())?;
+        client.recv(&mut out)?;
+    }
+
+    let batch_len = spec.batch.max(1) as u64;
+    let total = target_queries.div_ceil(batch_len);
+    let inter_ns = 1e9 / rate_qps.max(1e-9);
+
+    // Pre-generate the batches (generation must not perturb pacing),
+    // and share per-batch send stamps with the sender thread.
+    let mut frames: Vec<Vec<Query>> = Vec::with_capacity(total as usize);
+    for _ in 0..total {
+        generator.fill(&client, &mut batch);
+        frames.push(batch.queries().to_vec());
+    }
+    let stamps: Arc<Vec<AtomicU64>> =
+        Arc::new((0..total).map(|_| AtomicU64::new(UNSENT)).collect());
+
+    let start = Instant::now();
+    let sender = {
+        let stamps = Arc::clone(&stamps);
+        let stream = client.stream.try_clone()?;
+        std::thread::spawn(move || -> Result<(), NetError> {
+            let mut buf = Vec::new();
+            for (index, queries) in frames.iter().enumerate() {
+                // Query i of the run arrives at i / rate; the batch is
+                // sent at its first query's arrival.
+                let arrival_ns = (index as u64 * batch_len) as f64 * inter_ns;
+                loop {
+                    let now = start.elapsed().as_nanos() as f64;
+                    if now >= arrival_ns {
+                        break;
+                    }
+                    let remaining = Duration::from_nanos((arrival_ns - now) as u64);
+                    if remaining > Duration::from_micros(100) {
+                        std::thread::sleep(remaining - Duration::from_micros(50));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                let frame = proto::encode_query(&mut buf, index as u64, queries);
+                stamps[index].store(start.elapsed().as_nanos() as u64, Ordering::Release);
+                (&stream).write_all(frame)?;
+            }
+            Ok(())
+        })
+    };
+
+    let mut latency = Histo::new();
+    let mut queries = 0u64;
+    let mut shed_queries = 0u64;
+    let mut batches = 0u64;
+    let mut shed_batches = 0u64;
+    for _ in 0..total {
+        let response = client.recv(&mut out)?;
+        let recv_ns = start.elapsed().as_nanos() as u64;
+        let index = response.request_id;
+        if index >= total {
+            continue; // a stray warm-up reply
+        }
+        match response.kind {
+            ResponseKind::Rejected { .. } => {
+                shed_queries += batch_len;
+                shed_batches += 1;
+            }
+            _ => {
+                let sent = stamps[index as usize].load(Ordering::Acquire);
+                let service_ns = recv_ns.saturating_sub(sent);
+                let per_query = (service_ns / batch_len).max(1);
+                for i in 0..batch_len {
+                    let arrival = ((index * batch_len + i) as f64 * inter_ns) as u64;
+                    // The send stamp is where socket backpressure
+                    // surfaces: a batch the sender could not write at
+                    // its scheduled time carries the backlog as wait.
+                    let wait = sent.saturating_sub(arrival);
+                    latency.observe(wait + per_query);
+                }
+                queries += batch_len;
+                batches += 1;
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    match sender.join() {
+        Ok(result) => result?,
+        Err(_) => return Err(NetError::Closed),
+    }
+    Ok(WireLoadReport {
+        queries,
+        shed_queries,
+        batches,
+        shed_batches,
+        wall_seconds: wall,
+        offered_qps: rate_qps,
+        qps: queries as f64 / wall.max(1e-9),
+        latency,
+    })
+}

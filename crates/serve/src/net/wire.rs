@@ -1,0 +1,359 @@
+//! Wire primitives for the daemon protocol: LEB128 varints, a
+//! bounds-checked payload cursor, and a buffered frame reader.
+//!
+//! The conventions mirror `etx-trace`'s container format (the crates
+//! are intentionally independent, so the ~60 lines of varint plumbing
+//! are duplicated rather than coupled): unsigned LEB128 for every
+//! integer, `f64` as its IEEE-754 bit pattern in 8 little-endian
+//! bytes, and a frame = `uvarint(payload_len) ++ payload`. Every
+//! decoder is bounds-checked and total — malformed input yields a
+//! [`WireError`], never a panic — because the daemon feeds these
+//! routines bytes from arbitrary TCP peers.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+/// Bytes reserved at the front of an encode buffer for the length
+/// prefix. Five LEB128 bytes cover payloads up to 2^35-1 — far past
+/// any permitted `max_frame_len` — so the prefix is written backwards
+/// into the reservation and the frame goes out as one contiguous
+/// slice, no second buffer, no memmove.
+pub(crate) const FRAME_PREFIX: usize = 5;
+
+/// A decode failure. Total: every malformed input maps here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field being decoded.
+    Truncated,
+    /// A varint ran past 64 bits.
+    Overflow,
+    /// A field held a value outside its documented range (bad frame
+    /// type, bad result tag, bad magic, impossible count).
+    Malformed,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::Overflow => write!(f, "varint overflows u64"),
+            WireError::Malformed => write!(f, "malformed field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub(crate) fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Appends `v` as its bit pattern in 8 little-endian bytes (exact —
+/// round-trips NaN payloads and signed zeros).
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Clears `buf` and reserves [`FRAME_PREFIX`] bytes for the length
+/// prefix; the message payload is appended after this.
+pub(crate) fn begin_frame(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.resize(FRAME_PREFIX, 0);
+}
+
+/// Seals a frame begun with [`begin_frame`]: writes the payload
+/// length backwards into the reservation and returns the wire bytes
+/// (`length prefix ++ payload`) as one slice of `buf`.
+pub(crate) fn finish_frame(buf: &mut [u8]) -> &[u8] {
+    let payload = buf.len() - FRAME_PREFIX;
+    let mut tmp = [0u8; FRAME_PREFIX];
+    let mut v = payload as u64;
+    let mut w = 0;
+    loop {
+        if v >= 0x80 {
+            tmp[w] = (v as u8 & 0x7f) | 0x80;
+            v >>= 7;
+            w += 1;
+        } else {
+            tmp[w] = v as u8;
+            w += 1;
+            break;
+        }
+    }
+    let start = FRAME_PREFIX - w;
+    buf[start..FRAME_PREFIX].copy_from_slice(&tmp[..w]);
+    &buf[start..]
+}
+
+/// A bounds-checked reader over one frame's payload bytes.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let bytes = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    pub(crate) fn take_uvarint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take_u8()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(WireError::Overflow);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    pub(crate) fn take_f64(&mut self) -> Result<f64, WireError> {
+        let bytes = self.take_bytes(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// A failure while receiving a frame from a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The peer closed the connection mid-frame (a close *between*
+    /// frames is the clean end-of-stream, reported as `Ok(None)`).
+    Truncated,
+    /// The length prefix declared a payload past the permitted
+    /// maximum. Detected before any body byte is read, so oversized
+    /// frames cost the attacker bytes, not the daemon memory.
+    TooLarge {
+        /// The declared payload length.
+        declared: u64,
+    },
+    /// The length prefix itself was not a valid varint.
+    BadLength,
+    /// The underlying socket read failed.
+    Io(std::io::ErrorKind),
+}
+
+impl core::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecvError::Truncated => write!(f, "peer closed mid-frame"),
+            RecvError::TooLarge { declared } => {
+                write!(f, "declared payload of {declared} bytes exceeds the frame limit")
+            }
+            RecvError::BadLength => write!(f, "malformed length prefix"),
+            RecvError::Io(kind) => write!(f, "socket read failed: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Buffered frame extraction from a `TcpStream`: reads in large
+/// chunks, hands out one payload slice per call. The buffer is
+/// retained (and only compacted in place) across frames, so the warm
+/// receive path performs zero allocations once the buffer has grown
+/// to the connection's working frame size.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        FrameReader::new()
+    }
+}
+
+impl FrameReader {
+    /// A reader with a 64 KiB initial buffer (doubles as needed, up
+    /// to the frame limit the caller enforces).
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader { buf: vec![0; 64 * 1024], start: 0, end: 0 }
+    }
+
+    /// Attempts to parse one frame out of the buffered bytes.
+    /// `Ok(Some((s, e)))`: payload spans `buf[s..e]` and the prefix
+    /// was consumed. `Ok(None)`: more bytes needed.
+    fn try_parse(&self, max_len: usize) -> Result<Option<(usize, usize)>, RecvError> {
+        let avail = &self.buf[self.start..self.end];
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        let mut i = 0usize;
+        loop {
+            let Some(&byte) = avail.get(i) else {
+                return Ok(None);
+            };
+            i += 1;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(RecvError::BadLength);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        if v > max_len as u64 {
+            return Err(RecvError::TooLarge { declared: v });
+        }
+        let need = i + v as usize;
+        if avail.len() < need {
+            return Ok(None);
+        }
+        Ok(Some((self.start + i, self.start + need)))
+    }
+
+    /// Reads from `stream` until one whole frame is buffered and
+    /// returns its payload. `Ok(None)` is the clean end of stream: the
+    /// peer closed exactly on a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Truncated`] when the peer closes mid-frame,
+    /// [`RecvError::TooLarge`]/[`RecvError::BadLength`] for a hostile
+    /// prefix, [`RecvError::Io`] when the socket read fails.
+    pub fn next_frame(
+        &mut self,
+        stream: &TcpStream,
+        max_len: usize,
+    ) -> Result<Option<&[u8]>, RecvError> {
+        let (s, e) = loop {
+            match self.try_parse(max_len)? {
+                Some(span) => break span,
+                None => {
+                    if !self.fill(stream)? {
+                        if self.start == self.end {
+                            return Ok(None);
+                        }
+                        return Err(RecvError::Truncated);
+                    }
+                }
+            }
+        };
+        self.start = e;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        Ok(Some(&self.buf[s..e]))
+    }
+
+    /// One socket read into the free tail of the buffer, compacting
+    /// or doubling first when the tail is full. `Ok(false)` is EOF.
+    fn fill(&mut self, mut stream: &TcpStream) -> Result<bool, RecvError> {
+        if self.end == self.buf.len() {
+            if self.start > 0 {
+                self.buf.copy_within(self.start..self.end, 0);
+                self.end -= self.start;
+                self.start = 0;
+            } else {
+                let doubled = self.buf.len() * 2;
+                self.buf.resize(doubled, 0);
+            }
+        }
+        loop {
+            match stream.read(&mut self.buf[self.end..]) {
+                Ok(0) => return Ok(false),
+                Ok(n) => {
+                    self.end += n;
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(RecvError::Io(e.kind())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip() {
+        let mut buf = Vec::new();
+        let samples =
+            [0u64, 1, 0x7f, 0x80, 0x3fff, 0x4000, 123_456_789, u64::from(u32::MAX), u64::MAX];
+        for v in samples {
+            buf.clear();
+            put_uvarint(&mut buf, v);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(c.take_uvarint(), Ok(v));
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn cursor_rejects_truncation_and_overflow() {
+        let mut c = Cursor::new(&[0x80]);
+        assert_eq!(c.take_uvarint(), Err(WireError::Truncated));
+        // Eleven continuation bytes: past 64 bits of shift.
+        let over = [0x80u8; 10];
+        let mut c = Cursor::new(&over);
+        assert_eq!(c.take_uvarint(), Err(WireError::Overflow));
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert_eq!(c.take_bytes(4), Err(WireError::Truncated));
+        let mut c = Cursor::new(&[0u8; 7]);
+        assert_eq!(c.take_f64(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for v in [0.0f64, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, 1.0e-300] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(c.take_f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn frame_prefix_is_written_in_place() {
+        let mut buf = Vec::new();
+        begin_frame(&mut buf);
+        buf.extend_from_slice(b"hello");
+        let frame = finish_frame(&mut buf);
+        assert_eq!(frame, [5, b'h', b'e', b'l', b'l', b'o']);
+
+        // A payload long enough to need a two-byte prefix.
+        begin_frame(&mut buf);
+        buf.resize(FRAME_PREFIX + 300, 0xab);
+        let frame = finish_frame(&mut buf);
+        assert_eq!(frame.len(), 2 + 300);
+        assert_eq!(&frame[..2], &[0xac, 0x02]); // 300 = 0b10_0101100
+    }
+}

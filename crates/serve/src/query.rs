@@ -359,6 +359,35 @@ impl QueryBatch {
         self.keys.sort_unstable();
         self.order.extend(self.keys.iter().map(|&key| (key & u128::from(u32::MAX)) as u32));
     }
+
+    /// [`QueryBatch::sort_for_execution`] for a batch already known to
+    /// execute on **one shard** — the daemon case, where a connection is
+    /// pinned to its owning shard and every batch it submits runs there.
+    /// With a single shard in play the shard hash can never split the
+    /// order, so it is skipped entirely: keys pack `(fabric, source,
+    /// index)` only, and the single-fabric identity fast path applies
+    /// unchanged. The resulting order is identical to
+    /// [`QueryBatch::sort_for_execution`] with any constant `shard_of`.
+    pub(crate) fn sort_single_shard(&mut self) {
+        self.order.clear();
+        if let Some(first) = self.queries.first() {
+            let fabric = first.fabric();
+            if self.queries.iter().all(|q| q.fabric() == fabric) {
+                self.order.extend(0..self.queries.len() as u32);
+                return;
+            }
+        }
+        self.keys.clear();
+        self.keys.reserve(self.queries.len());
+        for (i, q) in self.queries.iter().enumerate() {
+            let key = (u128::from(q.fabric()) << 64)
+                | (u128::from(q.source().index() as u32) << 32)
+                | i as u128;
+            self.keys.push(key);
+        }
+        self.keys.sort_unstable();
+        self.order.extend(self.keys.iter().map(|&key| (key & u128::from(u32::MAX)) as u32));
+    }
 }
 
 /// Caller-owned result storage: one [`QueryResult`] per submitted query
@@ -456,6 +485,29 @@ mod tests {
         batch.push(q(1, 2));
         batch.sort_for_execution(|f| f);
         assert_eq!(batch.order, vec![4, 3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn single_shard_sort_skips_the_shard_hash() {
+        // Mixed fabrics, one shard: the order must match the packed
+        // sort under any constant shard hash — without consulting one.
+        let mut pinned = QueryBatch::new();
+        let mut hashed = QueryBatch::new();
+        for (f, s) in [(2, 5), (0, 9), (2, 1), (0, 9), (1, 0)] {
+            pinned.push(q(f, s));
+            hashed.push(q(f, s));
+        }
+        pinned.sort_single_shard();
+        hashed.sort_for_execution(|_| 7);
+        assert_eq!(pinned.order, hashed.order);
+        assert_eq!(pinned.order, vec![1, 3, 4, 2, 0]);
+        // The single-fabric identity fast path applies here too.
+        let mut single = QueryBatch::new();
+        for s in [5, 1, 9] {
+            single.push(q(3, s));
+        }
+        single.sort_single_shard();
+        assert_eq!(single.order, vec![0, 1, 2], "identity order, not source-sorted");
     }
 
     #[test]

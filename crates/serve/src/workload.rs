@@ -60,6 +60,34 @@ impl WorkloadSpec {
     }
 }
 
+/// The fabric dimensions a workload generator samples against —
+/// implemented by the in-process [`FleetFrontend`] and by the
+/// daemon's [`RouteClient`](crate::net::RouteClient) (which learns
+/// them from the HELLO_ACK handshake), so the *same* generator state
+/// produces the *same* query stream locally and over the wire.
+pub trait FabricDirectory {
+    /// Number of fabric ids (rejected placeholders included).
+    fn fabric_count(&self) -> usize;
+    /// Node count of a served fabric (`None` for rejected ids).
+    fn node_count(&self, fabric: u32) -> Option<usize>;
+    /// Module count of a served fabric (`None` for rejected ids).
+    fn module_count(&self, fabric: u32) -> Option<usize>;
+}
+
+impl FabricDirectory for FleetFrontend {
+    fn fabric_count(&self) -> usize {
+        FleetFrontend::fabric_count(self)
+    }
+
+    fn node_count(&self, fabric: u32) -> Option<usize> {
+        FleetFrontend::node_count(self, fabric)
+    }
+
+    fn module_count(&self, fabric: u32) -> Option<usize> {
+        FleetFrontend::module_count(self, fabric)
+    }
+}
+
 /// Expands a [`WorkloadSpec`] into query batches.
 #[derive(Debug, Clone)]
 pub struct WorkloadGen {
@@ -83,9 +111,10 @@ impl WorkloadGen {
     /// Fills `batch` with the next batch of queries addressed at
     /// `frontend`'s fabrics. Deterministic: batch `b` is sampled from a
     /// substream forked from `(seed, b)` alone, so two generators over
-    /// the same spec and frontend produce identical streams regardless
-    /// of timing.
-    pub fn fill(&mut self, frontend: &FleetFrontend, batch: &mut QueryBatch) {
+    /// the same spec and the same fabric dimensions produce identical
+    /// streams regardless of timing — or of which side of a socket
+    /// they run on.
+    pub fn fill(&mut self, frontend: &impl FabricDirectory, batch: &mut QueryBatch) {
         let mut rng = FleetRng::new(self.spec.seed).fork(self.next_batch);
         self.next_batch += 1;
         batch.clear();

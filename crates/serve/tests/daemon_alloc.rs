@@ -1,0 +1,93 @@
+//! Proves the daemon's warm per-request path allocates nothing: client
+//! and daemon share this process's counting `#[global_allocator]`, so
+//! a steady query exchange loop — encode, socket write, server decode,
+//! pinned execute, results encode, client decode — must leave the
+//! allocation counter untouched on both sides at once.
+//!
+//! Single test in the file so no concurrent case pollutes the counter
+//! (same discipline as `query_alloc.rs`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use etx_fleet::ScenarioSpec;
+use etx_graph::NodeId;
+use etx_serve::net::{ResponseKind, RouteClient, Served, ServedConfig};
+use etx_serve::{Query, QueryOutput};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a relaxed atomic with no further side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_wire_request_path_allocates_nothing() {
+    let spec = ScenarioSpec { instances: 1, ..ScenarioSpec::smoke() };
+    let mut config = ServedConfig::new(spec);
+    config.warm_cycles = Some(300);
+    let served = Served::start(config).expect("daemon starts");
+    let mut client = RouteClient::connect(served.addr()).expect("connect");
+
+    // A fixed mixed batch: next hops, full paths (arena traffic on
+    // both encode and decode sides), and costs.
+    let mut queries = Vec::new();
+    for source in 0..8usize {
+        queries.push(Query::NextHop { fabric: 0, source: NodeId::new(source), module: 0 });
+        queries.push(Query::Path { fabric: 0, source: NodeId::new(source), module: 1 });
+        queries.push(Query::Cost {
+            fabric: 0,
+            source: NodeId::new(source),
+            target: NodeId::new(11 - source),
+        });
+    }
+    let mut out = QueryOutput::new();
+
+    let exchange = |client: &mut RouteClient, out: &mut QueryOutput| {
+        let response = client.query(&queries, out).expect("exchange");
+        assert!(matches!(response.kind, ResponseKind::Results));
+        assert_eq!(out.results().len(), queries.len());
+    };
+
+    // Warm-up: buffers on both sides (frame reader, encode scratch,
+    // the worker's pooled WorkItem, the client's output arena) reach
+    // their steady-state capacities.
+    for _ in 0..50 {
+        exchange(&mut client, &mut out);
+    }
+
+    let before = allocations();
+    for _ in 0..100 {
+        exchange(&mut client, &mut out);
+    }
+    let after = allocations();
+    assert_eq!(after - before, 0, "warm wire exchanges must not allocate (client or daemon side)");
+}

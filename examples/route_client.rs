@@ -1,0 +1,82 @@
+//! A complete client session against the `etx-served` TCP daemon: the
+//! daemon is started in-process on an ephemeral loopback port, a
+//! [`RouteClient`] handshakes and learns the fleet's dimensions, and a
+//! mixed batch of next-hop / full-path / path-cost queries plus a
+//! telemetry ingest go over the compact binary wire protocol —
+//! including what load shedding looks like when a REJECT comes back.
+//!
+//! ```text
+//! cargo run --example route_client
+//! ```
+
+use etx::fleet::ScenarioSpec;
+use etx::graph::NodeId;
+use etx::serve::net::{ResponseKind, RouteClient, Served, ServedConfig};
+use etx::serve::{Query, QueryBatch, QueryOutput, QueryResult};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small fleet behind a socket: two smoke-spec instances, warmed
+    // briefly, one shard (thread) serving on an ephemeral port.
+    let spec = ScenarioSpec { instances: 2, ..ScenarioSpec::smoke() };
+    let mut config = ServedConfig::new(spec);
+    config.warm_cycles = Some(2_000);
+    let served = Served::start(config)?;
+    println!("daemon listening on {}", served.addr());
+
+    // Connect: the HELLO/HELLO_ACK handshake pins this connection to a
+    // shard and reports every fabric's node/module dimensions.
+    let mut client = RouteClient::connect(served.addr())?;
+    println!(
+        "connected: shard {}/{}, {} fabric(s)",
+        client.shard(),
+        client.shard_count(),
+        etx::serve::FabricDirectory::fabric_count(&client),
+    );
+
+    // A mixed batch — all three query kinds in one QUERY frame.
+    let mut batch = QueryBatch::new();
+    batch.push(Query::NextHop { fabric: 0, source: NodeId::new(5), module: 0 });
+    batch.push(Query::Path { fabric: 1, source: NodeId::new(3), module: 1 });
+    batch.push(Query::Cost { fabric: 0, source: NodeId::new(0), target: NodeId::new(15) });
+    let mut out = QueryOutput::new();
+    let response = client.query(batch.queries(), &mut out)?;
+    match response.kind {
+        ResponseKind::Results => {
+            for (query, result) in batch.queries().iter().zip(out.results()) {
+                match result {
+                    QueryResult::Path { entry, .. } => {
+                        println!("{query:?}\n  => Path {entry:?} via {:?}", out.path_nodes(result));
+                    }
+                    other => println!("{query:?}\n  => {other:?}"),
+                }
+            }
+        }
+        // Bounded per-shard queues shed instead of queueing without
+        // bound: an OVERLOADED REJECT means "back off and resend", the
+        // connection stays healthy.
+        ResponseKind::Rejected { code } => {
+            println!("batch shed with code {code}; backing off before resending");
+        }
+        other => println!("unexpected response {other:?}"),
+    }
+
+    // Telemetry ingest: node 5 of fabric 0 reports battery bucket 2
+    // (wire level 3) and node 9 reports dead (wire level 0). The
+    // daemon patches the battery report, reruns the decrease-half
+    // repair and publishes a fresh epoch.
+    let ingest_id = client.send_ingest(0, &[(5, 3), (9, 0)])?;
+    let ack = client.recv(&mut out)?;
+    assert_eq!(ack.request_id, ingest_id);
+    if let ResponseKind::IngestAck { epoch, applied } = ack.kind {
+        println!("ingest applied to {applied} node(s); fabric 0 now at epoch {epoch}");
+    }
+
+    // The same lookup again now answers from the post-ingest tables.
+    let response = client.query(batch.queries(), &mut out)?;
+    if matches!(response.kind, ResponseKind::Results) {
+        println!("post-ingest next hop: {:?}", out.results()[0]);
+    }
+
+    drop(served); // shuts the daemon down and joins its threads
+    Ok(())
+}
